@@ -1,0 +1,101 @@
+//! Criterion micro-ablations:
+//!
+//! * LZF vs `memcpy` (the paper's §5 claim that LZF runs at roughly
+//!   memcpy speed);
+//! * per-buffer-size compression cost (the 200 KB choice);
+//! * the Fig. 2 update function and the FIFO queue (they sit on the hot
+//!   path between buffers, so they must be ~free).
+
+use adoc::adapt::update_level;
+use adoc::queue::{Packet, PacketQueue};
+use adoc_data::{generate, DataKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_lzf_vs_memcpy(c: &mut Criterion) {
+    let data = generate(DataKind::Ascii, 1 << 20, 1);
+    let mut g = c.benchmark_group("ablation/lzf_vs_memcpy");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(20);
+    g.bench_function("memcpy", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(data.len());
+            out.extend_from_slice(black_box(&data));
+            out
+        })
+    });
+    g.bench_function("lzf", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            adoc_codec::lzf::compress(black_box(&data), &mut out);
+            out
+        })
+    });
+    g.bench_function("gzip1", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            adoc_codec::deflate::deflate(black_box(&data), 1, &mut out);
+            out
+        })
+    });
+    g.finish();
+}
+
+fn bench_buffer_size_cost(c: &mut Criterion) {
+    let data = generate(DataKind::Ascii, 1 << 20, 2);
+    let mut g = c.benchmark_group("ablation/buffer_size_gzip6");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+    for buf in [8 << 10, 64 << 10, 200 << 10, 1 << 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(buf), &buf, |b, &buf| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for chunk in data.chunks(buf) {
+                    let mut out = Vec::new();
+                    adoc_codec::compress_at(7, chunk, &mut out);
+                    total += out.len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_adapt_fn(c: &mut Criterion) {
+    c.bench_function("ablation/fig2_update_level", |b| {
+        b.iter(|| {
+            let mut l = 0u8;
+            for n in 0..64usize {
+                l = update_level(black_box(n), black_box(1), l, 0, 10, 10, 20, 30);
+            }
+            l
+        })
+    });
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    c.bench_function("ablation/queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let q = PacketQueue::new(2048);
+            for i in 0..1024u32 {
+                q.push(Packet { bytes: vec![0u8; 64], level: 0, raw_share: i }).unwrap();
+            }
+            q.close();
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lzf_vs_memcpy,
+    bench_buffer_size_cost,
+    bench_adapt_fn,
+    bench_queue_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion companion to **Figure 3**: echo bandwidth on the 100 Mbit
+//! LAN profile at three representative sizes (the full sweep lives in the
+//! `fig3_lan100` binary).
+
+use adoc_bench::runner::{echo_adoc, echo_posix, Method};
+use adoc_data::{generate, DataKind};
+use adoc_sim::netprofiles::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fig3(c: &mut Criterion) {
+    let link = NetProfile::Lan100.link_cfg();
+    let mut g = c.benchmark_group("fig3_lan100");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(8));
+
+    for size in [64 << 10, 1 << 20, 4 << 20] {
+        g.throughput(Throughput::Bytes(2 * size as u64));
+        let ascii = Arc::new(generate(DataKind::Ascii, size, 1));
+        let incompressible = Arc::new(generate(DataKind::Incompressible, size, 2));
+        g.bench_with_input(BenchmarkId::new("posix", size), &ascii, |b, p| {
+            b.iter(|| echo_posix(&link, p, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("adoc_ascii", size), &ascii, |b, p| {
+            b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
+        });
+        g.bench_with_input(BenchmarkId::new("adoc_incompressible", size), &incompressible, |b, p| {
+            b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion companion to **Figures 4–5**: echo bandwidth on the Renater
+//! WAN profile (average and best summaries both derive from these
+//! samples; the binaries print the full sweeps).
+
+use adoc_bench::runner::{echo_adoc, echo_posix, Method};
+use adoc_data::{generate, DataKind};
+use adoc_sim::netprofiles::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fig45(c: &mut Criterion) {
+    let link = NetProfile::Renater.link_cfg();
+    let mut g = c.benchmark_group("fig45_wan");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(12));
+
+    for size in [256 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(2 * size as u64));
+        let ascii = Arc::new(generate(DataKind::Ascii, size, 3));
+        let binary = Arc::new(generate(DataKind::Binary, size, 4));
+        g.bench_with_input(BenchmarkId::new("posix", size), &ascii, |b, p| {
+            b.iter(|| echo_posix(&link, p, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("adoc_ascii", size), &ascii, |b, p| {
+            b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
+        });
+        g.bench_with_input(BenchmarkId::new("adoc_binary", size), &binary, |b, p| {
+            b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig45);
+criterion_main!(benches);

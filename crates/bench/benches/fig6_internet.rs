@@ -1,0 +1,39 @@
+//! Criterion companion to **Figure 6**: echo bandwidth on the
+//! transatlantic Internet profile with a 2× slower remote host.
+
+use adoc::{AdocConfig, SleepThrottle};
+use adoc_bench::runner::{echo_adoc_asym, echo_posix, Method};
+use adoc_data::{generate, DataKind};
+use adoc_sim::netprofiles::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let link = NetProfile::Internet.link_cfg();
+    let remote = AdocConfig::default().with_throttle(Arc::new(SleepThrottle::new(2.0)));
+    let local = AdocConfig::default();
+
+    let mut g = c.benchmark_group("fig6_internet");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(15));
+
+    let size = 512 << 10;
+    g.throughput(Throughput::Bytes(2 * size as u64));
+    let ascii = Arc::new(generate(DataKind::Ascii, size, 5));
+    let incompressible = Arc::new(generate(DataKind::Incompressible, size, 6));
+    g.bench_with_input(BenchmarkId::new("posix", size), &ascii, |b, p| {
+        b.iter(|| echo_posix(&link, p, 1))
+    });
+    g.bench_with_input(BenchmarkId::new("adoc_ascii", size), &ascii, |b, p| {
+        b.iter(|| echo_adoc_asym(&link, p, 1, &Method::Adoc, &local, &remote))
+    });
+    g.bench_with_input(BenchmarkId::new("adoc_incompressible", size), &incompressible, |b, p| {
+        b.iter(|| echo_adoc_asym(&link, p, 1, &Method::Adoc, &local, &remote))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

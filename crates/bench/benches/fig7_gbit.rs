@@ -1,0 +1,32 @@
+//! Criterion companion to **Figure 7**: on the Gbit profile AdOC must sit
+//! on top of POSIX (probe-disabled compression, constant µs overhead).
+
+use adoc_bench::runner::{echo_adoc, echo_posix, Method};
+use adoc_data::{generate, DataKind};
+use adoc_sim::netprofiles::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fig7(c: &mut Criterion) {
+    let link = NetProfile::Gbit.link_cfg();
+    let mut g = c.benchmark_group("fig7_gbit");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(6));
+
+    for size in [1 << 20, 8 << 20] {
+        g.throughput(Throughput::Bytes(2 * size as u64));
+        let ascii = Arc::new(generate(DataKind::Ascii, size, 7));
+        g.bench_with_input(BenchmarkId::new("posix", size), &ascii, |b, p| {
+            b.iter(|| echo_posix(&link, p, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("adoc", size), &ascii, |b, p| {
+            b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion companion to **Figures 8–9**: NetSolve dgemm request time,
+//! dense/sparse × raw/AdOC, on the LAN and Internet profiles (small n;
+//! the binaries sweep to paper scale).
+
+use adoc::AdocConfig;
+use adoc_bench::figures::netsolve_point;
+use adoc_sim::netprofiles::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
+use netsolve::prelude::TransportMode;
+use std::time::Duration;
+
+fn bench_netsolve(c: &mut Criterion, profile: NetProfile, group: &str, n: usize) {
+    let link = profile.link_cfg();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(10));
+
+    for (label, mode) in [
+        ("raw", TransportMode::Raw),
+        ("adoc", TransportMode::Adoc(AdocConfig::default())),
+    ] {
+        for (kind, sparse) in [("dense", false), ("sparse", true)] {
+            g.bench_function(BenchmarkId::new(format!("{label}_{kind}"), n), |b| {
+                b.iter(|| netsolve_point(&link, &mode, n, sparse, 4))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    bench_netsolve(c, NetProfile::Lan100, "fig8_netsolve_lan", 256);
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    bench_netsolve(c, NetProfile::Internet, "fig9_netsolve_internet", 128);
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9);
+criterion_main!(benches);

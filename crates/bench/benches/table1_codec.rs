@@ -1,0 +1,60 @@
+//! Criterion companion to **Table 1**: compression/decompression
+//! throughput of LZF and gzip levels on the two corpus files.
+
+use adoc_data::corpus::{bin_tarball, harwell_boeing};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SIZE: usize = 1 << 20;
+
+fn bench_compress(c: &mut Criterion) {
+    let corpora = [("hb", harwell_boeing(SIZE, 1)), ("tar", bin_tarball(SIZE, 2))];
+    let mut g = c.benchmark_group("table1/compress");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    g.sample_size(10);
+    for (name, data) in &corpora {
+        g.bench_with_input(BenchmarkId::new("lzf", name), data, |b, d| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                adoc_codec::lzf::compress(d, &mut out);
+                out
+            })
+        });
+        for level in [1u8, 3, 6, 9] {
+            g.bench_with_input(BenchmarkId::new(format!("gzip{level}"), name), data, |b, d| {
+                b.iter(|| adoc_codec::gzip::gzip_compress(d, level))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let corpora = [("hb", harwell_boeing(SIZE, 1)), ("tar", bin_tarball(SIZE, 2))];
+    let mut g = c.benchmark_group("table1/decompress");
+    g.throughput(Throughput::Bytes(SIZE as u64));
+    g.sample_size(10);
+    for (name, data) in &corpora {
+        let lzf = {
+            let mut out = Vec::new();
+            adoc_codec::lzf::compress(data, &mut out);
+            out
+        };
+        g.bench_with_input(BenchmarkId::new("lzf", name), &lzf, |b, comp| {
+            b.iter(|| {
+                let mut out = Vec::new();
+                adoc_codec::lzf::decompress(comp, &mut out, SIZE).unwrap();
+                out
+            })
+        });
+        for level in [1u8, 6, 9] {
+            let gz = adoc_codec::gzip::gzip_compress(data, level);
+            g.bench_with_input(BenchmarkId::new(format!("gzip{level}"), name), &gz, |b, comp| {
+                b.iter(|| adoc_codec::gzip::gzip_decompress(comp, SIZE).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

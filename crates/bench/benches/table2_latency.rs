@@ -1,0 +1,33 @@
+//! Criterion companion to **Table 2**: minimal ping-pong latency per
+//! network × method.
+
+use adoc_bench::runner::{pingpong_latency, Method};
+use adoc_sim::netprofiles::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_latency");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(6));
+
+    for profile in NetProfile::ALL {
+        let link = profile.link_cfg();
+        for (label, method) in [
+            ("posix", Method::Posix),
+            ("adoc", Method::Adoc),
+            ("adoc_forced", Method::AdocLevels(1, 10)),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, profile.name()),
+                &link,
+                |b, l| b.iter(|| pingpong_latency(l, &method, 1)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! **Figure 3**: application bandwidth vs message size on a 100 Mbit
+//! Fast Ethernet LAN — POSIX read/write vs AdOC with ASCII / binary /
+//! incompressible data.
+//!
+//! `cargo run --release -p adoc-bench --bin fig3_lan100 [--max-size BYTES] [--reps N] [--csv]`
+
+use adoc_bench::figures::{bandwidth_figure, default_sizes_for, Cli, Summary};
+use adoc_sim::netprofiles::NetProfile;
+
+fn main() {
+    let cli = Cli::parse(8 << 20, 3, 0);
+    let profile = NetProfile::Lan100;
+    let sizes = default_sizes_for(profile, cli.max_size);
+    println!(
+        "Figure 3 — bandwidth on a {} (best of {} runs; paper sweeps to 32 MB, pass --max-size 33554432 for the full axis)\n",
+        profile.name(),
+        cli.reps
+    );
+    let t = bandwidth_figure(&profile.link_cfg(), &sizes, cli.reps, Summary::Best);
+    cli.print(&t);
+    println!(
+        "\nPaper shape: identical to POSIX below 512 KB; above it AdOC pulls ahead\n\
+         (1.85–2.36× at 32 MB), incompressible never loses."
+    );
+}

@@ -1,0 +1,27 @@
+//! **Figure 4**: application bandwidth vs message size on the Renater
+//! WAN — **average** of N runs (the paper's noisy-average companion to
+//! Fig. 5).
+//!
+//! `cargo run --release -p adoc-bench --bin fig4_wan_avg [--max-size BYTES] [--reps N] [--csv]`
+
+use adoc_bench::figures::{bandwidth_figure, default_sizes_for, Cli, Summary};
+use adoc_sim::netprofiles::NetProfile;
+use std::time::Duration;
+
+fn main() {
+    let cli = Cli::parse(2 << 20, 3, 0);
+    let profile = NetProfile::Renater;
+    // The paper's WAN is shared and jittery; Fig. 4 exists to show how
+    // noisy averages are. Add jitter so the average/best distinction has
+    // teeth.
+    let link = profile.link_cfg().with_jitter(Duration::from_millis(4), 0xF16_4);
+    let sizes = default_sizes_for(profile, cli.max_size);
+    println!(
+        "Figure 4 — bandwidth on {} (AVERAGE of {} runs, jittered link; paper used 40 runs)\n",
+        profile.name(),
+        cli.reps
+    );
+    let t = bandwidth_figure(&link, &sizes, cli.reps, Summary::Average);
+    cli.print(&t);
+    println!("\nPaper shape: same ordering as Fig. 5 but visibly noisier after 8 KB.");
+}

@@ -1,0 +1,23 @@
+//! **Figure 7**: application bandwidth vs message size on a Gigabit
+//! Ethernet LAN — the probe must disable compression, leaving AdOC within
+//! tens of microseconds of POSIX at every size.
+//!
+//! `cargo run --release -p adoc-bench --bin fig7_gbit [--max-size BYTES] [--reps N] [--csv]`
+
+use adoc_bench::figures::{bandwidth_figure, default_sizes_for, Cli, Summary};
+use adoc_sim::netprofiles::NetProfile;
+
+fn main() {
+    let cli = Cli::parse(16 << 20, 3, 0);
+    let profile = NetProfile::Gbit;
+    let sizes = default_sizes_for(profile, cli.max_size);
+    println!("Figure 7 — bandwidth on a {} (best of {} runs)\n", profile.name(), cli.reps);
+    let t = bandwidth_figure(&profile.link_cfg(), &sizes, cli.reps, Summary::Best);
+    cli.print(&t);
+    println!(
+        "\nPaper shape: all four curves coincide — the probe classifies the link as\n\
+         too fast and sends raw; overhead is a constant 10–20 µs, not size-dependent.\n\
+         (Simulator timers floor out around 50–100 µs, so sub-millisecond points read\n\
+         lower than physical hardware would.)"
+    );
+}

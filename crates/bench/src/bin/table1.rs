@@ -1,0 +1,91 @@
+//! **Table 1**: compression timings on the bench files using LZF and
+//! gzip levels 1–9 — compression time, ratio, decompression time — for
+//! the `oilpann.hb` analog (Harwell–Boeing ASCII) and the `bin.tar`
+//! analog (executable tarball).
+//!
+//! `cargo run --release -p adoc-bench --bin table1 [--max-size BYTES] [--csv]`
+
+use adoc_bench::figures::Cli;
+use adoc_bench::table::Table;
+use adoc_data::corpus::{bin_tarball, harwell_boeing};
+use std::time::Instant;
+
+fn measure(data: &[u8], level_label: &str, compress: impl Fn(&[u8]) -> Vec<u8>, decompress: impl Fn(&[u8], usize) -> Vec<u8>) -> (String, f64, f64, f64) {
+    // Warm once, then time.
+    let _warm = compress(data);
+    let t0 = Instant::now();
+    let comp = compress(data);
+    let c_time = t0.elapsed().as_secs_f64();
+    let ratio = data.len() as f64 / comp.len() as f64;
+    let t1 = Instant::now();
+    let dec = decompress(&comp, data.len());
+    let d_time = t1.elapsed().as_secs_f64();
+    assert_eq!(dec, data, "{level_label}: corrupted roundtrip");
+    (level_label.to_string(), c_time, ratio, d_time)
+}
+
+fn rows_for(data: &[u8]) -> Vec<(String, f64, f64, f64)> {
+    let mut rows = Vec::new();
+    rows.push(measure(
+        data,
+        "lzf",
+        |d| {
+            let mut out = Vec::new();
+            adoc_codec::lzf::compress(d, &mut out);
+            out
+        },
+        |c, n| {
+            let mut out = Vec::new();
+            adoc_codec::lzf::decompress(c, &mut out, n).expect("lzf decode");
+            out
+        },
+    ));
+    for level in 1..=9u8 {
+        rows.push(measure(
+            data,
+            &format!("gzip {level}"),
+            move |d| adoc_codec::gzip::gzip_compress(d, level),
+            move |c, n| adoc_codec::gzip::gzip_decompress(c, n).expect("gzip decode"),
+        ));
+    }
+    rows
+}
+
+fn main() {
+    let cli = Cli::parse(4 << 20, 1, 0);
+    let size = cli.max_size;
+    println!("Table 1 — compression timings on bench files (size {} KB each)\n", size >> 10);
+
+    let corpora = [
+        ("oilpann.hb (synthetic HB)", harwell_boeing(size, 1)),
+        ("bin.tar (synthetic tarball)", bin_tarball(size, 2)),
+    ];
+
+    let mut t = Table::new(&[
+        "algo",
+        "hb c.time(s)",
+        "hb ratio",
+        "hb d.time(s)",
+        "tar c.time(s)",
+        "tar ratio",
+        "tar d.time(s)",
+    ]);
+    let hb_rows = rows_for(&corpora[0].1);
+    let tar_rows = rows_for(&corpora[1].1);
+    for (h, b) in hb_rows.iter().zip(&tar_rows) {
+        t.row(vec![
+            h.0.clone(),
+            format!("{:.3}", h.1),
+            format!("{:.2}", h.2),
+            format!("{:.3}", h.3),
+            format!("{:.3}", b.1),
+            format!("{:.2}", b.2),
+            format!("{:.3}", b.3),
+        ]);
+    }
+    cli.print(&t);
+    println!(
+        "\nPaper shape: lzf fastest/lowest ratio; gzip c.time grows with level;\n\
+         d.time roughly constant; ratio saturates after level 6."
+    );
+}

@@ -1,0 +1,174 @@
+//! Shared experiment drivers for the figure/table binaries.
+
+use crate::runner::{echo_adoc, echo_posix, Method};
+use crate::table::{fmt_mbits, Table};
+use adoc::AdocConfig;
+use adoc_data::{generate, sweep, DataKind, Matrix};
+use adoc_sim::link::LinkCfg;
+use adoc_sim::netprofiles::NetProfile;
+use netsolve::prelude::*;
+use std::sync::Arc;
+
+/// Which summary the figure plots (the paper shows both for Renater).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Summary {
+    /// Best of N runs (Figs. 3, 5, 6, 7).
+    Best,
+    /// Average of N runs (Fig. 4).
+    Average,
+}
+
+/// Minimal CLI flags shared by the experiment binaries:
+/// `--max-size BYTES --reps N --csv --max-n N`.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Largest one-way payload for bandwidth sweeps.
+    pub max_size: usize,
+    /// Repetitions per point.
+    pub reps: usize,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Largest matrix dimension for the NetSolve figures.
+    pub max_n: usize,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, with experiment-specific defaults.
+    pub fn parse(default_max_size: usize, default_reps: usize, default_max_n: usize) -> Cli {
+        let mut cli = Cli {
+            max_size: default_max_size,
+            reps: default_reps,
+            csv: false,
+            max_n: default_max_n,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--max-size" => {
+                    cli.max_size = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(
+                        || panic!("--max-size needs a byte count"),
+                    );
+                    i += 1;
+                }
+                "--reps" => {
+                    cli.reps = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--reps needs a count"));
+                    i += 1;
+                }
+                "--max-n" => {
+                    cli.max_n = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--max-n needs a dimension"));
+                    i += 1;
+                }
+                "--csv" => cli.csv = true,
+                other => panic!("unknown flag {other} (supported: --max-size --reps --csv --max-n)"),
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Renders per the `--csv` flag.
+    pub fn print(&self, t: &Table) {
+        if self.csv {
+            print!("{}", t.to_csv());
+        } else {
+            print!("{}", t.render());
+        }
+    }
+}
+
+/// Runs one bandwidth-vs-size figure: POSIX + AdOC × three data kinds.
+pub fn bandwidth_figure(link: &LinkCfg, sizes: &[usize], reps: usize, summary: Summary) -> Table {
+    let mut t = Table::new(&[
+        "bytes",
+        "POSIX Mbit/s",
+        "AdOC ASCII",
+        "AdOC binary",
+        "AdOC incompressible",
+    ]);
+    for &size in sizes {
+        let pick = |o: &crate::runner::EchoOutcome| match summary {
+            Summary::Best => o.best_mbits(),
+            Summary::Average => o.mean_mbits(),
+        };
+        let posix = {
+            let payload = Arc::new(generate(DataKind::Ascii, size, 1000 + size as u64));
+            pick(&echo_posix(link, &payload, reps))
+        };
+        let mut cells = vec![size.to_string(), fmt_mbits(posix)];
+        for kind in DataKind::ALL {
+            let payload = Arc::new(generate(kind, size, 2000 + size as u64));
+            let out = echo_adoc(link, &payload, reps, &Method::Adoc);
+            cells.push(fmt_mbits(pick(&out)));
+        }
+        t.row(cells);
+        eprintln!("  measured {size} B");
+    }
+    t
+}
+
+/// Default size axes per network so full runs stay in wall-clock budget;
+/// `--max-size` extends them to the paper's 32 MB.
+pub fn default_sizes_for(profile: NetProfile, cap: usize) -> Vec<usize> {
+    let _ = profile;
+    sweep::sizes_up_to(cap)
+}
+
+/// One NetSolve dgemm point: total request time in seconds.
+pub fn netsolve_point(
+    link: &LinkCfg,
+    mode: &TransportMode,
+    n: usize,
+    sparse: bool,
+    threads: usize,
+) -> f64 {
+    let agent = Arc::new(Agent::new());
+    let server = Server::new("bench-server", mode.clone())
+        .with_service("dgemm", Arc::new(DgemmService { threads }));
+    let names = server.service_names();
+    let handle = server.start();
+    agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+    let client = Client::new(agent, mode.clone(), sim_link_factory(link.clone()));
+
+    let (a, b) = if sparse {
+        (Matrix::sparse(n), Matrix::sparse(n))
+    } else {
+        (Matrix::dense(n, 77), Matrix::dense(n, 78))
+    };
+    let (_c, m) = client.dgemm(&a, &b, MatrixEncoding::Ascii).expect("dgemm rpc");
+    m.elapsed.as_secs_f64()
+}
+
+/// Runs a full Fig. 8/9-style table over matrix sizes.
+pub fn netsolve_figure(link: &LinkCfg, max_n: usize, threads: usize) -> Table {
+    let mut t = Table::new(&[
+        "n",
+        "NetSolve dense (s)",
+        "NetSolve+AdOC dense (s)",
+        "NetSolve sparse (s)",
+        "NetSolve+AdOC sparse (s)",
+    ]);
+    let raw = TransportMode::Raw;
+    let adoc = TransportMode::Adoc(AdocConfig::default());
+    for n in sweep::matrix_sizes(max_n) {
+        let dense_raw = netsolve_point(link, &raw, n, false, threads);
+        let dense_adoc = netsolve_point(link, &adoc, n, false, threads);
+        let sparse_raw = netsolve_point(link, &raw, n, true, threads);
+        let sparse_adoc = netsolve_point(link, &adoc, n, true, threads);
+        t.row(vec![
+            n.to_string(),
+            format!("{dense_raw:.3}"),
+            format!("{dense_adoc:.3}"),
+            format!("{sparse_raw:.3}"),
+            format!("{sparse_adoc:.3}"),
+        ]);
+        eprintln!("  measured n={n}");
+    }
+    t
+}

@@ -1,0 +1,17 @@
+//! # adoc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (full-scale regeneration,
+//! `cargo run --release -p adoc-bench --bin <exp>`) plus Criterion benches
+//! (`cargo bench`) at reduced scale.
+//!
+//! The measurement methodology follows §6.1: application-level bandwidth
+//! is "the amount of time required by the application to send and receive
+//! back a buffer of the given size" — an echo round trip, reported as
+//! `2 × size / time`.
+
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use runner::{echo_adoc, echo_posix, pingpong_latency, EchoOutcome, Method};
+pub use table::{fmt_mbits, Table};

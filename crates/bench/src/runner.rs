@@ -1,0 +1,239 @@
+//! Transfer measurement primitives shared by every figure/table binary
+//! and Criterion bench.
+
+use adoc::{AdocConfig, AdocSocket};
+use adoc_sim::link::{duplex, LinkCfg, LinkReader, LinkWriter};
+use adoc_sim::stats::Samples;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Which communication method a measurement exercises (the figures'
+/// legend entries).
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// POSIX read/write.
+    Posix,
+    /// AdOC with default (adaptive) settings.
+    Adoc,
+    /// AdOC with explicit level bounds (forced or disabled compression).
+    AdocLevels(u8, u8),
+}
+
+impl Method {
+    /// Legend label.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Posix => "POSIX read/write".into(),
+            Method::Adoc => "AdOC".into(),
+            Method::AdocLevels(min, max) => format!("AdOC[{min},{max}]"),
+        }
+    }
+
+}
+
+/// Result of an echo measurement series.
+#[derive(Debug, Clone)]
+pub struct EchoOutcome {
+    /// Per-repetition round-trip timings.
+    pub samples: Samples,
+    /// Payload size in bytes (one way).
+    pub size: usize,
+}
+
+impl EchoOutcome {
+    /// Paper-style application bandwidth from the best run: `2·S / T`.
+    pub fn best_mbits(&self) -> f64 {
+        adoc_sim::stats::mbits_per_sec(2 * self.size, self.samples.best())
+    }
+
+    /// Same from the mean (Fig. 4's "average timings").
+    pub fn mean_mbits(&self) -> f64 {
+        adoc_sim::stats::mbits_per_sec(2 * self.size, self.samples.mean())
+    }
+}
+
+/// Echo `payload` across a fresh link per repetition using plain
+/// read/write on both sides.
+pub fn echo_posix(link: &LinkCfg, payload: &Arc<Vec<u8>>, reps: usize) -> EchoOutcome {
+    let mut samples = Samples::default();
+    for _ in 0..reps {
+        let (mut a, mut b) = duplex(link.clone());
+        let n = payload.len();
+        let echo = thread::spawn(move || {
+            let mut buf = vec![0u8; n];
+            b.read_exact(&mut buf).expect("echo read");
+            b.write_all(&buf).expect("echo write");
+            b // hold the endpoint open until the measurement is done
+        });
+        let start = Instant::now();
+        a.write_all(payload).expect("send");
+        let mut back = vec![0u8; n];
+        a.read_exact(&mut back).expect("recv echo");
+        samples.push(start.elapsed());
+        echo.join().unwrap();
+        debug_assert_eq!(&back, &**payload);
+    }
+    EchoOutcome { samples, size: payload.len() }
+}
+
+type AdocLinkSocket = AdocSocket<LinkReader, LinkWriter>;
+
+fn adoc_pair_asym(
+    link: &LinkCfg,
+    local: &AdocConfig,
+    remote: &AdocConfig,
+) -> (AdocLinkSocket, AdocLinkSocket) {
+    let (a, b) = duplex(link.clone());
+    let (ar, aw) = a.split();
+    let (br, bw) = b.split();
+    (
+        AdocSocket::with_config(ar, aw, local.clone()),
+        AdocSocket::with_config(br, bw, remote.clone()),
+    )
+}
+
+/// Echo `payload` across a fresh link per repetition through AdOC on both
+/// sides.
+pub fn echo_adoc(
+    link: &LinkCfg,
+    payload: &Arc<Vec<u8>>,
+    reps: usize,
+    method: &Method,
+) -> EchoOutcome {
+    let base = AdocConfig::default();
+    echo_adoc_asym(link, payload, reps, method, &base, &base)
+}
+
+/// Like [`echo_adoc`] with distinct local/remote AdOC configurations
+/// (heterogeneous hosts: the remote side may carry a CPU throttle).
+pub fn echo_adoc_asym(
+    link: &LinkCfg,
+    payload: &Arc<Vec<u8>>,
+    reps: usize,
+    method: &Method,
+    local: &AdocConfig,
+    remote: &AdocConfig,
+) -> EchoOutcome {
+    let bounds = match method {
+        Method::Posix => unreachable!("posix is not an adoc method"),
+        Method::Adoc => None,
+        Method::AdocLevels(min, max) => Some((*min, *max)),
+    };
+    let apply = |base: &AdocConfig| match bounds {
+        Some((min, max)) => base.clone().with_levels(min, max),
+        None => base.clone(),
+    };
+    let (local, remote) = (apply(local), apply(remote));
+    let mut samples = Samples::default();
+    for _ in 0..reps {
+        let (mut a, mut b) = adoc_pair_asym(link, &local, &remote);
+        let n = payload.len();
+        let echo = thread::spawn(move || {
+            let mut buf = vec![0u8; n];
+            if n > 0 {
+                b.read_exact(&mut buf).expect("echo adoc read");
+            }
+            b.write(&buf).expect("echo adoc write");
+            b
+        });
+        let start = Instant::now();
+        a.write(payload).expect("adoc send");
+        let mut back = vec![0u8; n];
+        if n > 0 {
+            a.read_exact(&mut back).expect("adoc recv echo");
+        }
+        samples.push(start.elapsed());
+        echo.join().unwrap();
+        debug_assert_eq!(&back, &**payload);
+    }
+    EchoOutcome { samples, size: payload.len() }
+}
+
+/// Table 2's measurement: a minimal ping-pong (1 byte — a genuinely empty
+/// POSIX write is unobservable by the reader), returning per-rep round
+/// trips.
+pub fn pingpong_latency(link: &LinkCfg, method: &Method, reps: usize) -> Samples {
+    let payload = Arc::new(vec![0u8; 1]);
+    match method {
+        Method::Posix => echo_posix(link, &payload, reps).samples,
+        m => echo_adoc(link, &payload, reps, m).samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adoc_sim::mbit;
+    use std::time::Duration;
+
+    /// Timing assertions are noisy when the host is contended (e.g. the
+    /// Criterion suite running in another process); retry a few times.
+    fn retry(attempts: usize, mut f: impl FnMut() -> Result<(), String>) {
+        let mut last = String::new();
+        for _ in 0..attempts {
+            match f() {
+                Ok(()) => return,
+                Err(e) => last = e,
+            }
+        }
+        panic!("timing property failed {attempts} attempts; last: {last}");
+    }
+
+    #[test]
+    fn echo_posix_measures_line_rate() {
+        let link = LinkCfg::new(mbit(400.0), Duration::ZERO);
+        let payload = Arc::new(vec![3u8; 1 << 20]);
+        retry(4, || {
+            let out = echo_posix(&link, &payload, 2);
+            let bw = out.best_mbits();
+            // 2 MB round trip at 400 Mbit with a 64 KB burst head start.
+            if (220.0..650.0).contains(&bw) {
+                Ok(())
+            } else {
+                Err(format!("measured {bw:.0} Mbit/s"))
+            }
+        });
+    }
+
+    #[test]
+    fn echo_adoc_beats_posix_on_slow_link_with_text() {
+        let link = LinkCfg::new(mbit(30.0), Duration::from_millis(1));
+        let payload = Arc::new(adoc_data::generate(adoc_data::DataKind::Ascii, 1 << 20, 3));
+        retry(4, || {
+            let p = echo_posix(&link, &payload, 1);
+            let a = echo_adoc(&link, &payload, 1, &Method::Adoc);
+            if a.best_mbits() > p.best_mbits() * 1.3 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "adoc {:.1} vs posix {:.1} Mbit/s",
+                    a.best_mbits(),
+                    p.best_mbits()
+                ))
+            }
+        });
+    }
+
+    #[test]
+    fn latency_pingpong_reflects_rtt() {
+        let link = LinkCfg::new(mbit(100.0), Duration::from_millis(3));
+        retry(4, || {
+            let s = pingpong_latency(&link, &Method::Posix, 3);
+            let ms = s.best() * 1e3;
+            if (5.5..14.0).contains(&ms) {
+                Ok(())
+            } else {
+                Err(format!("rtt {ms:.2} ms, expected ≈6"))
+            }
+        });
+    }
+
+    #[test]
+    fn forced_levels_run_the_full_machinery() {
+        let link = LinkCfg::new(mbit(1000.0), Duration::ZERO);
+        let s = pingpong_latency(&link, &Method::AdocLevels(1, 10), 2);
+        assert!(s.len() == 2 && s.best() > 0.0);
+    }
+}

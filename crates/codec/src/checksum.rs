@@ -1,0 +1,209 @@
+//! Checksums used by the zlib and gzip containers: Adler-32 (RFC 1950) and
+//! CRC-32 (IEEE 802.3, as used by RFC 1952).
+//!
+//! Both are incremental so streaming callers can feed data in chunks.
+
+/// Largest number of bytes that can be summed into the Adler-32 `a`/`b`
+/// accumulators before a modulo reduction is required (from zlib).
+const ADLER_NMAX: usize = 5552;
+const ADLER_MOD: u32 = 65_521;
+
+/// Incremental Adler-32 checksum (RFC 1950 §2.2).
+///
+/// ```
+/// use adoc_codec::checksum::Adler32;
+/// let mut a = Adler32::new();
+/// a.update(b"hello ");
+/// a.update(b"world");
+/// assert_eq!(a.finish(), Adler32::oneshot(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    /// Creates a checksum in its initial state (value 1, per the RFC).
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        // Sum in NMAX-sized stretches so `b` cannot overflow a u32 between
+        // modulo reductions.
+        for chunk in data.chunks(ADLER_NMAX) {
+            for &byte in chunk {
+                self.a += u32::from(byte);
+                self.b += self.a;
+            }
+            self.a %= ADLER_MOD;
+            self.b %= ADLER_MOD;
+        }
+    }
+
+    /// Returns the current checksum value.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+
+    /// Convenience: checksum of a full buffer.
+    pub fn oneshot(data: &[u8]) -> u32 {
+        let mut c = Self::new();
+        c.update(data);
+        c.finish()
+    }
+}
+
+/// CRC-32 lookup tables for slice-by-4 processing.
+struct CrcTables {
+    t: [[u32; 256]; 4],
+}
+
+fn crc_tables() -> &'static CrcTables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<CrcTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 4];
+        for i in 0..256u32 {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            t[0][i as usize] = c;
+        }
+        for i in 0..256usize {
+            for k in 1..4 {
+                t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xff) as usize];
+            }
+        }
+        CrcTables { t }
+    })
+}
+
+/// Incremental CRC-32 (polynomial 0xEDB88320, reflected), the checksum gzip
+/// stores in its trailer.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a CRC in its initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the CRC using slice-by-4.
+    pub fn update(&mut self, data: &[u8]) {
+        let tabs = crc_tables();
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(4);
+        for four in &mut chunks {
+            crc ^= u32::from_le_bytes([four[0], four[1], four[2], four[3]]);
+            crc = tabs.t[3][(crc & 0xff) as usize]
+                ^ tabs.t[2][((crc >> 8) & 0xff) as usize]
+                ^ tabs.t[1][((crc >> 16) & 0xff) as usize]
+                ^ tabs.t[0][(crc >> 24) as usize];
+        }
+        for &byte in chunks.remainder() {
+            crc = tabs.t[0][((crc ^ u32::from(byte)) & 0xff) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// Returns the final CRC value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// Convenience: CRC of a full buffer.
+    pub fn oneshot(data: &[u8]) -> u32 {
+        let mut c = Self::new();
+        c.update(data);
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        // Values cross-checked against zlib's adler32().
+        assert_eq!(Adler32::oneshot(b""), 1);
+        assert_eq!(Adler32::oneshot(b"a"), 0x0062_0062);
+        assert_eq!(Adler32::oneshot(b"abc"), 0x024D_0127);
+        assert_eq!(Adler32::oneshot(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(100_000).collect();
+        let mut inc = Adler32::new();
+        for chunk in data.chunks(977) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), Adler32::oneshot(&data));
+    }
+
+    #[test]
+    fn adler32_no_overflow_on_long_0xff_runs() {
+        let data = vec![0xFFu8; 1 << 20];
+        // Must not panic in debug (overflow checks) and must match a slow
+        // reference computation.
+        let fast = Adler32::oneshot(&data);
+        let (mut a, mut b) = (1u64, 0u64);
+        for &x in &data {
+            a = (a + u64::from(x)) % 65_521;
+            b = (b + a) % 65_521;
+        }
+        assert_eq!(fast, ((b as u32) << 16) | a as u32);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Values cross-checked against zlib's crc32().
+        assert_eq!(Crc32::oneshot(b""), 0);
+        assert_eq!(Crc32::oneshot(b"a"), 0xE8B7_BE43);
+        assert_eq!(Crc32::oneshot(b"abc"), 0x3524_41C2);
+        assert_eq!(Crc32::oneshot(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::oneshot(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(313) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), Crc32::oneshot(&data));
+    }
+
+    #[test]
+    fn crc32_unaligned_tails() {
+        for n in 0..16 {
+            let data: Vec<u8> = (0..n as u8).collect();
+            let mut byte_at_a_time = Crc32::new();
+            for b in &data {
+                byte_at_a_time.update(std::slice::from_ref(b));
+            }
+            assert_eq!(byte_at_a_time.finish(), Crc32::oneshot(&data), "len {n}");
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! DEFLATE encoder (RFC 1951): turns LZ77 tokens into stored, fixed-Huffman
+//! or dynamic-Huffman blocks, choosing whichever is smallest by exact bit
+//! cost.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{limited_code_lengths, HuffEncoder};
+use crate::lz77::{self, MatchParams, Token};
+use crate::tables::*;
+
+/// Maximum tokens per block: bounds the frequency-table skew on big inputs
+/// and the memory held between header and body emission.
+const TOKENS_PER_BLOCK: usize = 64 * 1024;
+
+/// Maximum payload of one stored block (16-bit LEN field).
+const STORED_MAX: usize = 65_535;
+
+/// Compresses `data` as a raw DEFLATE stream appended to `out`.
+///
+/// `level` 0 emits stored (uncompressed) blocks; 1–9 mirror zlib's
+/// effort/ratio trade-off via [`MatchParams::for_level`].
+pub fn deflate(data: &[u8], level: u8, out: &mut Vec<u8>) {
+    if level == 0 {
+        deflate_stored(data, out);
+        return;
+    }
+    let params = MatchParams::for_level(level);
+
+    let mut w = BitWriter::new(out);
+    let mut tokens: Vec<Token> = Vec::with_capacity(TOKENS_PER_BLOCK);
+    let mut block_start = 0usize; // raw offset where the pending block began
+    let mut raw_pos = 0usize; // raw bytes covered by tokens so far
+
+    // Emit blocks as the tokenizer streams tokens; the final block is
+    // flagged after tokenization completes.
+    lz77::tokenize(data, &params, |tok| {
+        raw_pos += match tok.as_match() {
+            Some((len, _)) => len,
+            None => 1,
+        };
+        tokens.push(tok);
+        if tokens.len() >= TOKENS_PER_BLOCK {
+            emit_block(&mut w, &tokens, &data[block_start..raw_pos], false);
+            tokens.clear();
+            block_start = raw_pos;
+        }
+    });
+    debug_assert_eq!(raw_pos, data.len());
+    emit_block(&mut w, &tokens, &data[block_start..], true);
+    w.finish();
+}
+
+/// Emits `data` as a sequence of stored blocks (deflate "level 0").
+fn deflate_stored(data: &[u8], out: &mut Vec<u8>) {
+    let mut w = BitWriter::new(out);
+    let mut chunks = data.chunks(STORED_MAX).peekable();
+    if chunks.peek().is_none() {
+        // Empty input still needs one final (empty) block.
+        write_stored_block(&mut w, &[], true);
+    }
+    while let Some(chunk) = chunks.next() {
+        write_stored_block(&mut w, chunk, chunks.peek().is_none());
+    }
+    w.finish();
+}
+
+fn write_stored_block(w: &mut BitWriter<'_>, chunk: &[u8], last: bool) {
+    w.write_bits(u32::from(last), 1);
+    w.write_bits(0b00, 2);
+    w.align_byte();
+    // LEN / NLEN then raw bytes — append directly, the writer is aligned.
+    let len = chunk.len() as u16;
+    w.write_bits(u32::from(len), 16);
+    w.write_bits(u32::from(!len), 16);
+    for &b in chunk {
+        w.write_bits(u32::from(b), 8);
+    }
+}
+
+/// Frequency tables for one block.
+struct BlockFreqs {
+    litlen: [u32; NUM_LITLEN],
+    dist: [u32; NUM_DIST],
+}
+
+impl BlockFreqs {
+    fn count(tokens: &[Token]) -> Self {
+        let mut f = BlockFreqs { litlen: [0; NUM_LITLEN], dist: [0; NUM_DIST] };
+        for t in tokens {
+            match t.as_match() {
+                Some((len, dist)) => {
+                    let (lc, _, _) = length_to_code(len);
+                    f.litlen[257 + lc] += 1;
+                    let (dc, _, _) = dist_to_code(dist);
+                    f.dist[dc] += 1;
+                }
+                None => f.litlen[t.as_literal().unwrap() as usize] += 1,
+            }
+        }
+        f.litlen[EOB] += 1;
+        f
+    }
+}
+
+/// Bit cost of the token body (symbols + extra bits) under the given code
+/// lengths, including the end-of-block symbol.
+fn body_cost(freqs: &BlockFreqs, lit_lengths: &[u8], dist_lengths: &[u8]) -> u64 {
+    let mut bits = 0u64;
+    for (sym, &f) in freqs.litlen.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        let mut per = u64::from(lit_lengths[sym]);
+        if sym > EOB {
+            per += u64::from(LENGTH_EXTRA[sym - 257]);
+        }
+        bits += u64::from(f) * per;
+    }
+    for (sym, &f) in freqs.dist.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        bits += u64::from(f) * (u64::from(dist_lengths[sym]) + u64::from(DIST_EXTRA[sym]));
+    }
+    bits
+}
+
+/// One op in the RLE encoding of the code-length sequence.
+#[derive(Clone, Copy)]
+enum ClenOp {
+    /// Emit this literal code length (0..=15).
+    Len(u8),
+    /// Code 16: repeat previous length `n` times (3..=6).
+    RepPrev(u8),
+    /// Code 17: emit `n` zeros (3..=10).
+    ZeroShort(u8),
+    /// Code 18: emit `n` zeros (11..=138).
+    ZeroLong(u8),
+}
+
+impl ClenOp {
+    fn symbol(self) -> usize {
+        match self {
+            ClenOp::Len(l) => l as usize,
+            ClenOp::RepPrev(_) => 16,
+            ClenOp::ZeroShort(_) => 17,
+            ClenOp::ZeroLong(_) => 18,
+        }
+    }
+
+    fn extra(self) -> Option<(u32, u32)> {
+        match self {
+            ClenOp::Len(_) => None,
+            ClenOp::RepPrev(n) => Some((u32::from(n) - 3, 2)),
+            ClenOp::ZeroShort(n) => Some((u32::from(n) - 3, 3)),
+            ClenOp::ZeroLong(n) => Some((u32::from(n) - 11, 7)),
+        }
+    }
+}
+
+/// RLE-encodes the concatenated code-length sequence (RFC 1951 §3.2.7).
+fn rle_code_lengths(lengths: &[u8]) -> Vec<ClenOp> {
+    let mut ops = Vec::new();
+    let mut i = 0usize;
+    while i < lengths.len() {
+        let cur = lengths[i];
+        let mut run = 1usize;
+        while i + run < lengths.len() && lengths[i + run] == cur {
+            run += 1;
+        }
+        if cur == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let n = left.min(138);
+                ops.push(ClenOp::ZeroLong(n as u8));
+                left -= n;
+            }
+            if left >= 3 {
+                ops.push(ClenOp::ZeroShort(left as u8));
+                left = 0;
+            }
+            for _ in 0..left {
+                ops.push(ClenOp::Len(0));
+            }
+        } else {
+            ops.push(ClenOp::Len(cur));
+            let mut left = run - 1;
+            while left >= 3 {
+                let n = left.min(6);
+                ops.push(ClenOp::RepPrev(n as u8));
+                left -= n;
+            }
+            for _ in 0..left {
+                ops.push(ClenOp::Len(cur));
+            }
+        }
+        i += run;
+    }
+    ops
+}
+
+/// Everything needed to emit a dynamic header, plus its exact bit cost.
+struct DynamicPlan {
+    lit_lengths: Vec<u8>,
+    dist_lengths: Vec<u8>,
+    hlit: usize,
+    hdist: usize,
+    hclen: usize,
+    clen_lengths: Vec<u8>,
+    ops: Vec<ClenOp>,
+    header_bits: u64,
+}
+
+fn plan_dynamic(freqs: &BlockFreqs) -> DynamicPlan {
+    let mut lit_lengths = limited_code_lengths(&freqs.litlen, MAX_CODE_LEN);
+    lit_lengths.resize(NUM_LITLEN, 0);
+
+    let mut dist_lengths = if freqs.dist.iter().all(|&f| f == 0) {
+        // No distances used: emit one dummy 1-bit code so the header stays
+        // well-formed (zlib does the same).
+        let mut l = vec![0u8; NUM_DIST];
+        l[0] = 1;
+        l
+    } else {
+        limited_code_lengths(&freqs.dist, MAX_CODE_LEN)
+    };
+    dist_lengths.resize(NUM_DIST, 0);
+
+    let hlit = lit_lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map(|p| p + 1)
+        .unwrap_or(257)
+        .max(257);
+    let hdist = dist_lengths
+        .iter()
+        .rposition(|&l| l > 0)
+        .map(|p| p + 1)
+        .unwrap_or(1)
+        .max(1);
+
+    let mut combined = Vec::with_capacity(hlit + hdist);
+    combined.extend_from_slice(&lit_lengths[..hlit]);
+    combined.extend_from_slice(&dist_lengths[..hdist]);
+    let ops = rle_code_lengths(&combined);
+
+    let mut clen_freqs = [0u32; NUM_CLEN];
+    for op in &ops {
+        clen_freqs[op.symbol()] += 1;
+    }
+    let mut clen_lengths = limited_code_lengths(&clen_freqs, MAX_CLEN_LEN);
+    clen_lengths.resize(NUM_CLEN, 0);
+
+    let hclen = CLEN_ORDER
+        .iter()
+        .rposition(|&sym| clen_lengths[sym] > 0)
+        .map(|p| p + 1)
+        .unwrap_or(4)
+        .max(4);
+
+    let mut header_bits = 5 + 5 + 4 + 3 * hclen as u64;
+    for op in &ops {
+        header_bits += u64::from(clen_lengths[op.symbol()]);
+        if let Some((_, n)) = op.extra() {
+            header_bits += u64::from(n);
+        }
+    }
+
+    DynamicPlan { lit_lengths, dist_lengths, hlit, hdist, hclen, clen_lengths, ops, header_bits }
+}
+
+fn write_tokens(
+    w: &mut BitWriter<'_>,
+    tokens: &[Token],
+    lit_enc: &HuffEncoder,
+    dist_enc: &HuffEncoder,
+) {
+    for t in tokens {
+        match t.as_match() {
+            None => lit_enc.write(w, t.as_literal().unwrap() as usize),
+            Some((len, dist)) => {
+                let (lc, lextra, lval) = length_to_code(len);
+                lit_enc.write(w, 257 + lc);
+                if lextra > 0 {
+                    w.write_bits(u32::from(lval), u32::from(lextra));
+                }
+                let (dc, dextra, dval) = dist_to_code(dist);
+                dist_enc.write(w, dc);
+                if dextra > 0 {
+                    w.write_bits(u32::from(dval), u32::from(dextra));
+                }
+            }
+        }
+    }
+    lit_enc.write(w, EOB);
+}
+
+/// Emits one block, choosing stored / fixed / dynamic by exact cost.
+/// `raw` is the uncompressed byte range the tokens cover.
+fn emit_block(w: &mut BitWriter<'_>, tokens: &[Token], raw: &[u8], last: bool) {
+    let freqs = BlockFreqs::count(tokens);
+
+    let plan = plan_dynamic(&freqs);
+    let dynamic_cost = plan.header_bits + body_cost(&freqs, &plan.lit_lengths, &plan.dist_lengths);
+
+    let fixed_lit = fixed_litlen_lengths();
+    let fixed_dist = fixed_dist_lengths();
+    let fixed_cost = body_cost(&freqs, &fixed_lit, &fixed_dist);
+
+    // Stored: per 65535-byte chunk, 3-bit header + ≤7 alignment + 32 bits of
+    // LEN/NLEN + the bytes themselves.
+    let stored_blocks = raw.len().div_ceil(STORED_MAX).max(1) as u64;
+    let stored_cost = stored_blocks * (3 + 7 + 32) + 8 * raw.len() as u64;
+
+    if stored_cost < dynamic_cost && stored_cost < fixed_cost {
+        let mut chunks = raw.chunks(STORED_MAX).peekable();
+        if chunks.peek().is_none() {
+            write_stored_block(w, &[], last);
+            return;
+        }
+        while let Some(chunk) = chunks.next() {
+            let is_last_chunk = chunks.peek().is_none();
+            write_stored_block(w, chunk, last && is_last_chunk);
+        }
+    } else if fixed_cost <= dynamic_cost {
+        w.write_bits(u32::from(last), 1);
+        w.write_bits(0b01, 2);
+        let lit_enc = HuffEncoder::from_lengths(&fixed_lit);
+        let dist_enc = HuffEncoder::from_lengths(&fixed_dist);
+        write_tokens(w, tokens, &lit_enc, &dist_enc);
+    } else {
+        w.write_bits(u32::from(last), 1);
+        w.write_bits(0b10, 2);
+        w.write_bits((plan.hlit - 257) as u32, 5);
+        w.write_bits((plan.hdist - 1) as u32, 5);
+        w.write_bits((plan.hclen - 4) as u32, 4);
+        for &sym in CLEN_ORDER.iter().take(plan.hclen) {
+            w.write_bits(u32::from(plan.clen_lengths[sym]), 3);
+        }
+        let clen_enc = HuffEncoder::from_lengths(&plan.clen_lengths);
+        for op in &plan.ops {
+            clen_enc.write(w, op.symbol());
+            if let Some((val, n)) = op.extra() {
+                w.write_bits(val, n);
+            }
+        }
+        let lit_enc = HuffEncoder::from_lengths(&plan.lit_lengths);
+        let dist_enc = HuffEncoder::from_lengths(&plan.dist_lengths);
+        write_tokens(w, tokens, &lit_enc, &dist_enc);
+    }
+}
+
+/// Convenience: one-shot deflate returning a fresh vector.
+pub fn deflate_to_vec(data: &[u8], level: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    deflate(data, level, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate_to_vec;
+
+    fn roundtrip(data: &[u8], level: u8) -> Vec<u8> {
+        let comp = deflate_to_vec(data, level);
+        let dec = inflate_to_vec(&comp, data.len()).unwrap_or_else(|e| {
+            panic!("level {level}, len {}: inflate failed: {e}", data.len())
+        });
+        assert_eq!(dec, data, "level {level} roundtrip mismatch");
+        comp
+    }
+
+    #[test]
+    fn empty_input_all_levels() {
+        for level in 0..=9 {
+            roundtrip(b"", level);
+        }
+    }
+
+    #[test]
+    fn small_inputs_all_levels() {
+        for level in 0..=9 {
+            roundtrip(b"a", level);
+            roundtrip(b"hello, world!", level);
+            roundtrip(&[0u8; 300], level);
+        }
+    }
+
+    #[test]
+    fn text_compresses_and_levels_order_sensibly() {
+        let data = include_str!("deflate.rs").as_bytes().repeat(4);
+        let c1 = roundtrip(&data, 1).len();
+        let c6 = roundtrip(&data, 6).len();
+        let c9 = roundtrip(&data, 9).len();
+        assert!(c1 < data.len() / 2, "level 1 got {} of {}", c1, data.len());
+        assert!(c6 <= c1, "level 6 ({c6}) worse than level 1 ({c1})");
+        assert!(c9 <= c6 + c6 / 50, "level 9 ({c9}) much worse than level 6 ({c6})");
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_stored() {
+        let mut state = 0xABCDEFu64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let comp = roundtrip(&data, 6);
+        // Stored-block fallback bounds expansion to ~0.1%.
+        assert!(comp.len() < data.len() + data.len() / 500 + 64, "expanded to {}", comp.len());
+    }
+
+    #[test]
+    fn highly_repetitive_data() {
+        let data = vec![42u8; 1 << 20];
+        let comp = roundtrip(&data, 6);
+        assert!(comp.len() < 2048, "1 MiB of a single byte → {}", comp.len());
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        // Enough distinct tokens to force several blocks.
+        let mut data = Vec::new();
+        for i in 0..400_000u32 {
+            data.push((i.wrapping_mul(2654435761) >> 24) as u8);
+        }
+        roundtrip(&data, 1);
+        roundtrip(&data, 6);
+    }
+
+    #[test]
+    fn stored_level_zero() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let comp = roundtrip(&data, 0);
+        // 4 stored blocks → 5 bytes overhead each, plus final empty none.
+        assert!(comp.len() >= data.len());
+        assert!(comp.len() <= data.len() + 5 * 4 + 8);
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).collect::<Vec<_>>().repeat(64);
+        for level in [1u8, 4, 9] {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn structured_binary_like_payload() {
+        // f64 little-endian values, the NetSolve matrix wire shape.
+        let data: Vec<u8> = (0..20_000)
+            .flat_map(|i| (f64::from(i) * 1.7382).to_le_bytes())
+            .collect();
+        for level in [1u8, 6, 9] {
+            roundtrip(&data, level);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by every codec in this crate.
+
+use std::fmt;
+
+/// Errors produced while decoding (and occasionally encoding) streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a structure.
+    UnexpectedEof,
+    /// A DEFLATE block header or Huffman structure is malformed.
+    Corrupt(&'static str),
+    /// A back-reference pointed before the start of the output.
+    BadDistance {
+        /// The offending back-reference distance.
+        dist: usize,
+        /// Output bytes produced so far.
+        have: usize,
+    },
+    /// Decoded output exceeded the caller-supplied limit.
+    OutputLimitExceeded {
+        /// The caller-supplied output cap in bytes.
+        limit: usize,
+    },
+    /// A container checksum did not match the decoded payload.
+    ChecksumMismatch {
+        /// Checksum stored in the stream.
+        expected: u32,
+        /// Checksum of the decoded bytes.
+        actual: u32,
+    },
+    /// Container magic/flags are not what the format requires.
+    BadContainer(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
+            CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            CodecError::BadDistance { dist, have } => {
+                write!(f, "back-reference distance {dist} exceeds produced output {have}")
+            }
+            CodecError::OutputLimitExceeded { limit } => {
+                write!(f, "decoded output exceeds limit of {limit} bytes")
+            }
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+            }
+            CodecError::BadContainer(what) => write!(f, "bad container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for std::io::Error {
+    fn from(e: CodecError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CodecError>;

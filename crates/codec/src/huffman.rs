@@ -1,0 +1,347 @@
+//! Canonical Huffman coding: optimal length-limited code construction
+//! (package-merge), canonical code assignment (RFC 1951 §3.2.2), and a
+//! table-driven decoder.
+
+use crate::bitio::{reverse_bits, BitReader};
+use crate::error::{CodecError, Result};
+
+/// Computes optimal code lengths for `freqs` limited to `max_len` bits using
+/// the package-merge algorithm. Symbols with zero frequency get length 0.
+///
+/// Returns a vector of code lengths, one per symbol. The resulting lengths
+/// always satisfy the Kraft equality when two or more symbols are used, and
+/// assign length 1 to a lone symbol.
+pub fn limited_code_lengths(freqs: &[u32], max_len: u8) -> Vec<u8> {
+    let used: Vec<(u32, usize)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(sym, &f)| (f, sym))
+        .collect();
+
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0].1] = 1;
+            return lengths;
+        }
+        n => assert!(
+            n <= 1usize << max_len,
+            "cannot code {n} symbols in {max_len} bits"
+        ),
+    }
+
+    // Package-merge. A "package" is a weight plus the multiset of leaves it
+    // contains; we track leaf membership as per-symbol counts local to the
+    // used-symbol indexing (0..n).
+    let n = used.len();
+    let mut sorted = used.clone();
+    sorted.sort_unstable();
+
+    // Each package: (weight, counts over used-leaf index)
+    type Pkg = (u64, Vec<u16>);
+    let leaf_pkgs: Vec<Pkg> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &(f, _))| {
+            let mut counts = vec![0u16; n];
+            counts[i] = 1;
+            (u64::from(f), counts)
+        })
+        .collect();
+
+    let mut prev: Vec<Pkg> = leaf_pkgs.clone();
+    for _ in 1..max_len {
+        // Pair up adjacent packages from the previous list…
+        let mut merged: Vec<Pkg> = prev
+            .chunks_exact(2)
+            .map(|pair| {
+                let mut counts = pair[0].1.clone();
+                for (c, &d) in counts.iter_mut().zip(&pair[1].1) {
+                    *c += d;
+                }
+                (pair[0].0 + pair[1].0, counts)
+            })
+            .collect();
+        // …then merge with the fresh leaves, keeping the list sorted.
+        merged.extend(leaf_pkgs.iter().cloned());
+        merged.sort_by_key(|p| p.0);
+        prev = merged;
+    }
+
+    // Take the first 2n-2 packages; each occurrence of a leaf adds one bit
+    // to that symbol's code length.
+    let mut depth = vec![0u16; n];
+    for pkg in prev.iter().take(2 * n - 2) {
+        for (d, &c) in depth.iter_mut().zip(&pkg.1) {
+            *d += c;
+        }
+    }
+    for (i, &(_, sym)) in sorted.iter().enumerate() {
+        debug_assert!(depth[i] >= 1 && depth[i] <= u16::from(max_len));
+        lengths[sym] = depth[i] as u8;
+    }
+    lengths
+}
+
+/// Assigns canonical codes to `lengths` per RFC 1951: shorter codes first,
+/// ties broken by symbol order. Returns MSB-first code values.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u16> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u16; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u16; max_len + 2];
+    let mut code = 0u16;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// Verifies the Kraft sum of a length assignment.
+///
+/// Returns `Ordering::Equal` for a complete code, `Less` for an incomplete
+/// (under-subscribed) code and `Greater` for an over-subscribed (invalid)
+/// one.
+pub fn kraft(lengths: &[u8]) -> std::cmp::Ordering {
+    let mut sum: u64 = 0;
+    const ONE: u64 = 1 << 32; // fixed-point 1.0
+    for &l in lengths {
+        if l > 0 {
+            sum += ONE >> l;
+        }
+    }
+    sum.cmp(&ONE)
+}
+
+/// Encoder-side table: per symbol, the LSB-first (pre-reversed) code and its
+/// length, ready for `BitWriter::write_bits`.
+#[derive(Debug, Clone)]
+pub struct HuffEncoder {
+    codes: Vec<u16>,
+    lengths: Vec<u8>,
+}
+
+impl HuffEncoder {
+    /// Builds an encoder from canonical code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let canonical = canonical_codes(lengths);
+        let codes = canonical
+            .iter()
+            .zip(lengths)
+            .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, l) })
+            .collect();
+        HuffEncoder { codes, lengths: lengths.to_vec() }
+    }
+
+    /// Emits `sym` through the writer.
+    #[inline]
+    pub fn write(&self, w: &mut crate::bitio::BitWriter<'_>, sym: usize) {
+        let len = self.lengths[sym];
+        debug_assert!(len > 0, "symbol {sym} has no code");
+        w.write_bits(u32::from(self.codes[sym]), u32::from(len));
+    }
+
+    /// Code length of `sym` in bits (0 = unused symbol).
+    #[inline]
+    pub fn len(&self, sym: usize) -> u8 {
+        self.lengths[sym]
+    }
+}
+
+/// Decoder built as a single flat lookup table of `2^max_len` entries: the
+/// next `max_len` bits index straight to `(symbol, code_len)`.
+///
+/// DEFLATE caps code lengths at 15 bits, so the table is at most 32 Ki
+/// entries; it is rebuilt per dynamic block, which is amortized across the
+/// tens of kilobytes each block spans.
+#[derive(Debug, Clone)]
+pub struct HuffDecoder {
+    /// Entry layout: `(sym << 4) | len`; len 0 marks an invalid code.
+    table: Vec<u32>,
+    max_len: u8,
+}
+
+impl HuffDecoder {
+    /// Builds a decoder from canonical code lengths.
+    ///
+    /// `allow_incomplete` accepts under-subscribed codes (needed for the
+    /// one-distance-code streams zlib emits); over-subscribed codes are
+    /// always rejected.
+    pub fn from_lengths(lengths: &[u8], allow_incomplete: bool) -> Result<Self> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Err(CodecError::Corrupt("huffman code with no symbols"));
+        }
+        match kraft(lengths) {
+            std::cmp::Ordering::Greater => {
+                return Err(CodecError::Corrupt("over-subscribed huffman code"))
+            }
+            std::cmp::Ordering::Less => {
+                let used = lengths.iter().filter(|&&l| l > 0).count();
+                // RFC-tolerated special case: a single code of length 1.
+                if !(allow_incomplete || (used == 1 && max_len == 1)) {
+                    return Err(CodecError::Corrupt("incomplete huffman code"));
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+
+        let codes = canonical_codes(lengths);
+        let mut table = vec![0u32; 1usize << max_len];
+        for (sym, (&code, &len)) in codes.iter().zip(lengths).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // The code occupies every table slot whose low `len` bits equal
+            // the bit-reversed code.
+            let rev = reverse_bits(code, len) as usize;
+            let step = 1usize << len;
+            let entry = ((sym as u32) << 4) | u32::from(len);
+            let mut idx = rev;
+            while idx < table.len() {
+                table[idx] = entry;
+                idx += step;
+            }
+        }
+        Ok(HuffDecoder { table, max_len })
+    }
+
+    /// Decodes one symbol from the reader.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize> {
+        let bits = r.peek_bits(u32::from(self.max_len));
+        let entry = self.table[bits as usize];
+        let len = entry & 0xF;
+        if len == 0 {
+            return Err(CodecError::Corrupt("invalid huffman code in stream"));
+        }
+        r.consume(len)?;
+        Ok((entry >> 4) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    #[test]
+    fn single_symbol_gets_length_one() {
+        let lengths = limited_code_lengths(&[0, 7, 0], 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let lengths = limited_code_lengths(&[3, 9], 15);
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        let freqs = [5u32, 9, 12, 13, 16, 45, 0, 1, 1, 2];
+        let lengths = limited_code_lengths(&freqs, 15);
+        assert_eq!(kraft(&lengths), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn respects_length_limit() {
+        // Fibonacci-ish frequencies force deep unbounded-Huffman trees.
+        let freqs: Vec<u32> = {
+            let mut v = vec![1u32, 1];
+            for i in 2..20 {
+                let next = v[i - 1] + v[i - 2];
+                v.push(next);
+            }
+            v
+        };
+        for limit in [5u8, 7, 15] {
+            let lengths = limited_code_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| l <= limit), "limit {limit}");
+            assert_eq!(kraft(&lengths), std::cmp::Ordering::Equal, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn limited_lengths_are_optimal_for_known_case() {
+        // Classic example: freqs {A:1,B:1,C:2,D:4} → lengths 3,3,2,1.
+        let lengths = limited_code_lengths(&[1, 1, 2, 4], 15);
+        assert_eq!(lengths, vec![3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn canonical_codes_rfc_example() {
+        // RFC 1951 §3.2.2 worked example: lengths (3,3,3,3,3,2,4,4)
+        // → codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = canonical_codes(&lengths);
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let freqs = [10u32, 1, 1, 5, 3, 0, 8, 2, 2, 40];
+        let lengths = limited_code_lengths(&freqs, 15);
+        let enc = HuffEncoder::from_lengths(&lengths);
+        let dec = HuffDecoder::from_lengths(&lengths, false).unwrap();
+
+        let symbols: Vec<usize> = (0..freqs.len())
+            .flat_map(|s| std::iter::repeat(s).take(freqs[s] as usize))
+            .collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = BitWriter::new(&mut buf);
+            for &s in &symbols {
+                enc.write(&mut w, s);
+            }
+            w.finish();
+        }
+        let mut r = BitReader::new(&buf);
+        for &expect in &symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        // Three codes of length 1 is over-subscribed.
+        assert!(HuffDecoder::from_lengths(&[1, 1, 1], false).is_err());
+        assert!(HuffDecoder::from_lengths(&[1, 1, 1], true).is_err());
+    }
+
+    #[test]
+    fn incomplete_rejected_unless_allowed() {
+        // One code of length 2 is incomplete (not the 1-bit special case).
+        assert!(HuffDecoder::from_lengths(&[2, 0], false).is_err());
+        assert!(HuffDecoder::from_lengths(&[2, 0], true).is_ok());
+        // A single 1-bit code is always accepted (RFC special case).
+        assert!(HuffDecoder::from_lengths(&[1, 0], false).is_ok());
+    }
+
+    #[test]
+    fn decoding_garbage_under_incomplete_code_errors() {
+        let dec = HuffDecoder::from_lengths(&[2, 0], true).unwrap();
+        // Bits "11" do not map to any code (only "00" is assigned).
+        let data = [0b0000_0011u8];
+        let mut r = BitReader::new(&data);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

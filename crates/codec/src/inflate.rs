@@ -1,0 +1,334 @@
+//! DEFLATE decoder (RFC 1951): stored, fixed and dynamic blocks, with
+//! strict validation and an output-size limit against corrupt streams.
+
+use crate::bitio::BitReader;
+use crate::error::{CodecError, Result};
+use crate::huffman::HuffDecoder;
+use crate::tables::*;
+use std::sync::OnceLock;
+
+fn fixed_decoders() -> &'static (HuffDecoder, HuffDecoder) {
+    static FIXED: OnceLock<(HuffDecoder, HuffDecoder)> = OnceLock::new();
+    FIXED.get_or_init(|| {
+        let lit = HuffDecoder::from_lengths(&fixed_litlen_lengths(), false)
+            .expect("fixed litlen tree is complete");
+        let dist = HuffDecoder::from_lengths(&fixed_dist_lengths(), false)
+            .expect("fixed dist tree is complete");
+        (lit, dist)
+    })
+}
+
+/// Decodes a raw DEFLATE stream, appending to `out`. At most `max_out`
+/// bytes are produced beyond the existing contents of `out`.
+///
+/// Trailing bytes after the final block are ignored (containers read them
+/// separately); use [`inflate_exact`] when the stream must end cleanly.
+pub fn inflate(data: &[u8], out: &mut Vec<u8>, max_out: usize) -> Result<usize> {
+    let mut r = BitReader::new(data);
+    let consumed = inflate_from_reader(&mut r, out, max_out)?;
+    Ok(consumed)
+}
+
+/// Like [`inflate`] but runs off an existing bit reader and returns the
+/// number of bytes produced.
+pub fn inflate_from_reader(r: &mut BitReader<'_>, out: &mut Vec<u8>, max_out: usize) -> Result<usize> {
+    let base = out.len();
+    loop {
+        let last = r.read_bits(1)? == 1;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0b00 => inflate_stored(r, out, base, max_out)?,
+            0b01 => {
+                let (lit, dist) = fixed_decoders();
+                inflate_huffman(r, out, base, max_out, lit, Some(dist))?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_header(r)?;
+                inflate_huffman(r, out, base, max_out, &lit, dist.as_ref())?;
+            }
+            _ => return Err(CodecError::Corrupt("reserved block type 11")),
+        }
+        if last {
+            break;
+        }
+    }
+    Ok(out.len() - base)
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>, base: usize, max_out: usize) -> Result<()> {
+    r.align_byte();
+    let len = r.read_bits(16)? as u16;
+    let nlen = r.read_bits(16)? as u16;
+    if len != !nlen {
+        return Err(CodecError::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    if out.len() - base + len as usize > max_out {
+        return Err(CodecError::OutputLimitExceeded { limit: max_out });
+    }
+    let bytes = r.read_aligned_bytes(len as usize)?;
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Reads an RFC 1951 §3.2.7 dynamic block header and builds the two
+/// decoders.
+fn read_dynamic_header(r: &mut BitReader<'_>) -> Result<(HuffDecoder, Option<HuffDecoder>)> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
+    if hlit > NUM_LITLEN {
+        return Err(CodecError::Corrupt("HLIT exceeds 286"));
+    }
+    if hdist > NUM_DIST {
+        return Err(CodecError::Corrupt("HDIST exceeds 30"));
+    }
+
+    let mut clen_lengths = [0u8; NUM_CLEN];
+    for &sym in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[sym] = r.read_bits(3)? as u8;
+    }
+    let clen_dec = HuffDecoder::from_lengths(&clen_lengths, false)
+        .map_err(|_| CodecError::Corrupt("bad code-length code"))?;
+
+    // Decode hlit + hdist code lengths as one sequence (runs may cross the
+    // boundary).
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = clen_dec.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let &prev = lengths
+                    .last()
+                    .ok_or(CodecError::Corrupt("repeat with no previous length"))?;
+                let n = 3 + r.read_bits(2)? as usize;
+                if lengths.len() + n > total {
+                    return Err(CodecError::Corrupt("code-length repeat overruns header"));
+                }
+                lengths.extend(std::iter::repeat(prev).take(n));
+            }
+            17 => {
+                let n = 3 + r.read_bits(3)? as usize;
+                if lengths.len() + n > total {
+                    return Err(CodecError::Corrupt("zero-run overruns header"));
+                }
+                lengths.extend(std::iter::repeat(0u8).take(n));
+            }
+            18 => {
+                let n = 11 + r.read_bits(7)? as usize;
+                if lengths.len() + n > total {
+                    return Err(CodecError::Corrupt("zero-run overruns header"));
+                }
+                lengths.extend(std::iter::repeat(0u8).take(n));
+            }
+            _ => unreachable!("code-length alphabet has 19 symbols"),
+        }
+    }
+
+    let (lit_lengths, dist_lengths) = lengths.split_at(hlit);
+    if lit_lengths[EOB] == 0 {
+        return Err(CodecError::Corrupt("no end-of-block code"));
+    }
+    let lit = HuffDecoder::from_lengths(lit_lengths, false)?;
+    // Distance trees may be incomplete (single-code streams) or entirely
+    // absent (all-literal blocks); an absent tree only errors if a length
+    // code actually appears.
+    let dist = if dist_lengths.iter().all(|&l| l == 0) {
+        None
+    } else {
+        Some(
+            HuffDecoder::from_lengths(dist_lengths, true)
+                .or(Err(CodecError::Corrupt("bad distance code")))?,
+        )
+    };
+    Ok((lit, dist))
+}
+
+fn inflate_huffman(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    base: usize,
+    max_out: usize,
+    lit: &HuffDecoder,
+    dist_dec: Option<&HuffDecoder>,
+) -> Result<()> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => {
+                if out.len() - base >= max_out {
+                    return Err(CodecError::OutputLimitExceeded { limit: max_out });
+                }
+                out.push(sym as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = sym - 257;
+                let len =
+                    LENGTH_BASE[idx] as usize + r.read_bits(u32::from(LENGTH_EXTRA[idx]))? as usize;
+
+                let dsym = dist_dec
+                    .ok_or(CodecError::Corrupt("length code in block with no distance tree"))?
+                    .decode(r)?;
+                if dsym >= NUM_DIST {
+                    return Err(CodecError::Corrupt("distance code 30/31 in stream"));
+                }
+                let dist =
+                    DIST_BASE[dsym] as usize + r.read_bits(u32::from(DIST_EXTRA[dsym]))? as usize;
+
+                let produced = out.len() - base;
+                if dist > produced {
+                    return Err(CodecError::BadDistance { dist, have: produced });
+                }
+                if produced + len > max_out {
+                    return Err(CodecError::OutputLimitExceeded { limit: max_out });
+                }
+                // Overlapping copies are the RLE idiom; copy byte-wise when
+                // ranges overlap, chunk-wise otherwise.
+                let start = out.len() - dist;
+                if dist >= len {
+                    out.extend_from_within(start..start + len);
+                } else {
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+            _ => return Err(CodecError::Corrupt("literal/length symbol out of range")),
+        }
+    }
+}
+
+/// One-shot inflate with an exact expected size: errors if the stream
+/// produces more or fewer bytes.
+pub fn inflate_exact(data: &[u8], expected: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected);
+    inflate(data, &mut out, expected)?;
+    if out.len() != expected {
+        return Err(CodecError::Corrupt("stream shorter than expected size"));
+    }
+    Ok(out)
+}
+
+/// One-shot inflate with a size hint used both as capacity and output cap.
+pub fn inflate_to_vec(data: &[u8], max_out: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(max_out.min(1 << 24));
+    inflate(data, &mut out, max_out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::deflate_to_vec;
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // BFINAL=1, BTYPE=11.
+        let data = [0b0000_0111u8];
+        assert!(matches!(
+            inflate_to_vec(&data, 100),
+            Err(CodecError::Corrupt("reserved block type 11"))
+        ));
+    }
+
+    #[test]
+    fn rejects_len_nlen_mismatch() {
+        let mut data = vec![0b0000_0001u8]; // final, stored
+        data.extend_from_slice(&5u16.to_le_bytes());
+        data.extend_from_slice(&5u16.to_le_bytes()); // should be !5
+        data.extend_from_slice(b"hello");
+        assert!(inflate_to_vec(&data, 100).is_err());
+    }
+
+    #[test]
+    fn decodes_fixed_block_from_spec() {
+        // Hand-assembled fixed block containing "abc": codes for a,b,c are
+        // 8-bit (0x30 + byte - wait, easier to trust our encoder for fixed
+        // trees and check a known-zlib byte stream instead):
+        // `printf 'abc' | pigz -z -` deflate payload: 4b 4c 4a 06 00
+        let data = [0x4b, 0x4c, 0x4a, 0x06, 0x00];
+        let out = inflate_to_vec(&data, 16).unwrap();
+        assert_eq!(out, b"abc");
+    }
+
+    #[test]
+    fn decodes_zlib_produced_fixed_stream_with_matches() {
+        // deflate payload of zlib level 9 for 200 bytes of "ab":
+        // python3: zlib.compress(b'ab'*100, 9)[2:-4]
+        let data = [0x4b, 0x4c, 0x4a, 0x1c, 0x16, 0x10, 0x00];
+        let out = inflate_to_vec(&data, 256).unwrap();
+        assert_eq!(out, b"ab".repeat(100));
+    }
+
+    #[test]
+    fn decodes_zlib_produced_text_stream() {
+        // python3: zlib.compress(b'the quick brown fox jumps over the lazy dog. '*8, 6)[2:-4]
+        let data = [
+            0x2b, 0xc9, 0x48, 0x55, 0x28, 0x2c, 0xcd, 0x4c, 0xce, 0x56, 0x48, 0x2a, 0xca, 0x2f,
+            0xcf, 0x53, 0x48, 0xcb, 0xaf, 0x50, 0xc8, 0x2a, 0xcd, 0x2d, 0x28, 0x56, 0xc8, 0x2f,
+            0x4b, 0x2d, 0x52, 0x28, 0x01, 0x4a, 0xe7, 0x24, 0x56, 0x55, 0x2a, 0xa4, 0xe4, 0xa7,
+            0xeb, 0x81, 0x79, 0xa3, 0x8a, 0xc9, 0x52, 0x0c, 0x00,
+        ];
+        let expect = b"the quick brown fox jumps over the lazy dog. ".repeat(8);
+        let out = inflate_to_vec(&data, expect.len()).unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic() {
+        let comp = deflate_to_vec(b"some reasonably long input for truncation testing", 6);
+        for cut in 0..comp.len() {
+            let _ = inflate_to_vec(&comp[..cut], 1024); // must not panic
+        }
+    }
+
+    #[test]
+    fn bitflip_corruption_detected_or_bounded() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(20);
+        let comp = deflate_to_vec(&data, 6);
+        let mut bad_outputs = 0;
+        for byte in 0..comp.len().min(200) {
+            let mut c = comp.clone();
+            c[byte] ^= 0x40;
+            // Either an error or output bounded by the cap — never a panic.
+            if let Ok(out) = inflate_to_vec(&c, data.len()) {
+                assert!(out.len() <= data.len());
+                bad_outputs += 1;
+            }
+        }
+        // Some corruptions decode "successfully"; that's fine — containers
+        // catch them by checksum. Just ensure the decoder survived all.
+        let _ = bad_outputs;
+    }
+
+    #[test]
+    fn output_cap_stops_zip_bombs() {
+        let bomb_src = vec![0u8; 10 << 20];
+        let comp = deflate_to_vec(&bomb_src, 9);
+        assert!(comp.len() < 40_000);
+        let err = inflate_to_vec(&comp, 1 << 16).unwrap_err();
+        assert!(matches!(err, CodecError::OutputLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn inflate_exact_rejects_short_streams() {
+        let comp = deflate_to_vec(b"12345", 6);
+        assert!(inflate_exact(&comp, 5).is_ok());
+        assert!(inflate_exact(&comp, 6).is_err());
+        assert!(inflate_exact(&comp, 4).is_err());
+    }
+
+    #[test]
+    fn multiple_sequential_streams_report_consumption() {
+        let a = deflate_to_vec(b"first stream", 6);
+        let b = deflate_to_vec(b"second stream", 6);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let mut out = Vec::new();
+        inflate(&joined, &mut out, 64).unwrap();
+        assert_eq!(out, b"first stream");
+    }
+}

@@ -1,0 +1,47 @@
+//! # adoc-codec — the compression substrate of the AdOC reproduction
+//!
+//! Everything AdOC compresses with, implemented from scratch:
+//!
+//! * [`lzf`] — the very fast/low-ratio codec used as compression level 1
+//!   (liblzf-compatible format);
+//! * [`deflate`] / [`inflate`] — a full RFC 1951 DEFLATE implementation
+//!   with zlib's level-1..9 effort ladder;
+//! * [`zlib`] / [`gzip`] — RFC 1950/1952 containers (what the paper's
+//!   Table 1 measures as "gzip N");
+//! * [`checksum`] — Adler-32 and CRC-32;
+//! * [`level`] — the AdOC level ladder: 0 = none, 1 = LZF,
+//!   2..=10 = DEFLATE 1..=9.
+//!
+//! The crate is `no_std`-adjacent in spirit (no I/O, no threads): it turns
+//! byte slices into byte vectors and back, deterministically.
+//!
+//! ## Quick example
+//!
+//! ```
+//! let data = b"example example example example".repeat(10);
+//! let mut compressed = Vec::new();
+//! adoc_codec::level::compress_at(6, &data, &mut compressed); // gzip level 5
+//! assert!(compressed.len() < data.len());
+//!
+//! let mut restored = Vec::new();
+//! adoc_codec::level::decompress_at(6, &compressed, data.len(), &mut restored).unwrap();
+//! assert_eq!(restored, data);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod bitio;
+pub mod checksum;
+pub mod deflate;
+pub mod error;
+pub mod gzip;
+pub mod huffman;
+pub mod inflate;
+pub mod level;
+pub mod lz77;
+pub mod lzf;
+pub mod tables;
+pub mod zlib;
+
+pub use error::{CodecError, Result};
+pub use level::{compress_at, decompress_at, Algo, ADOC_MAX_LEVEL, ADOC_MIN_LEVEL};

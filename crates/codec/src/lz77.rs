@@ -1,0 +1,478 @@
+//! LZ77 tokenization for DEFLATE: a hash-chain match finder with zlib's
+//! per-level effort parameters and lazy matching.
+//!
+//! This is the component that makes "gzip level 1" cheap and "gzip level 9"
+//! expensive — the cost/ratio ladder the AdOC adaptation climbs (paper
+//! Table 1).
+
+/// Shortest back-reference DEFLATE can encode.
+pub const MIN_MATCH: usize = 3;
+/// Longest back-reference DEFLATE can encode.
+pub const MAX_MATCH: usize = 258;
+/// Maximum back-reference distance allowed by DEFLATE.
+pub const MAX_DIST: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const NIL: u32 = u32::MAX;
+
+/// One output token: a literal byte or a (length, distance) back-reference.
+///
+/// Packed into a `u32`: bit 31 set = match, with length-3 in bits 16..24
+/// and distance-1 in bits 0..16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token(u32);
+
+impl Token {
+    /// A literal byte token.
+    #[inline]
+    pub fn literal(byte: u8) -> Self {
+        Token(u32::from(byte))
+    }
+
+    /// A back-reference token (`len` in 3..=258, `dist` in 1..=32768).
+    #[inline]
+    pub fn reference(len: usize, dist: usize) -> Self {
+        debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+        debug_assert!((1..=MAX_DIST).contains(&dist));
+        Token(0x8000_0000 | (((len - MIN_MATCH) as u32) << 16) | ((dist - 1) as u32 & 0xFFFF))
+    }
+
+    /// `(length, distance)` if this token is a back-reference.
+    #[inline]
+    pub fn as_match(self) -> Option<(usize, usize)> {
+        if self.0 & 0x8000_0000 != 0 {
+            Some(((((self.0 >> 16) & 0xFF) as usize) + MIN_MATCH, ((self.0 & 0xFFFF) as usize) + 1))
+        } else {
+            None
+        }
+    }
+
+    /// The literal byte, if this token is one.
+    #[inline]
+    pub fn as_literal(self) -> Option<u8> {
+        if self.0 & 0x8000_0000 == 0 {
+            Some(self.0 as u8)
+        } else {
+            None
+        }
+    }
+}
+
+/// Effort parameters, directly mirroring zlib's `configuration_table`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchParams {
+    /// A current match at least this long halves further chain searches.
+    pub good_length: usize,
+    /// Do not bother with lazy evaluation if the previous match is at
+    /// least this long (levels 4–9), or maximum insert length (1–3).
+    pub max_lazy: usize,
+    /// Stop searching once a match of this length is found.
+    pub nice_length: usize,
+    /// Maximum hash-chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Whether to use lazy (one-byte-deferred) matching.
+    pub lazy: bool,
+}
+
+impl MatchParams {
+    /// zlib's tuning for compression levels 1..=9.
+    pub fn for_level(level: u8) -> MatchParams {
+        // (good, lazy, nice, chain) as in zlib deflate.c.
+        match level {
+            1 => Self::fast(4, 4, 8, 4),
+            2 => Self::fast(4, 5, 16, 8),
+            3 => Self::fast(4, 6, 32, 32),
+            4 => Self::slow(4, 4, 16, 16),
+            5 => Self::slow(8, 16, 32, 32),
+            6 => Self::slow(8, 16, 128, 128),
+            7 => Self::slow(8, 32, 128, 256),
+            8 => Self::slow(32, 128, 258, 1024),
+            9 => Self::slow(32, 258, 258, 4096),
+            _ => panic!("deflate level must be 1..=9, got {level}"),
+        }
+    }
+
+    fn fast(good: usize, lazy: usize, nice: usize, chain: usize) -> Self {
+        MatchParams { good_length: good, max_lazy: lazy, nice_length: nice, max_chain: chain, lazy: false }
+    }
+
+    fn slow(good: usize, lazy: usize, nice: usize, chain: usize) -> Self {
+        MatchParams { good_length: good, max_lazy: lazy, nice_length: nice, max_chain: chain, lazy: true }
+    }
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (u32::from(data[i]) << 16) | (u32::from(data[i + 1]) << 8) | u32::from(data[i + 2]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain dictionary over the input buffer.
+struct Chains {
+    head: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+impl Chains {
+    fn new(len: usize) -> Self {
+        Chains { head: vec![NIL; HASH_SIZE], prev: vec![NIL; len] }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize) {
+        let h = hash3(data, i);
+        self.prev[i] = self.head[h];
+        self.head[h] = i as u32;
+    }
+
+    /// Most recent prior position hashing like `i`, if any.
+    #[inline]
+    fn candidates(&self, data: &[u8], i: usize) -> u32 {
+        self.head[hash3(data, i)]
+    }
+}
+
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    // Compare 8 bytes at a time; `a < b` and both in-bounds for `max`.
+    let mut n = 0;
+    while n + 8 <= max {
+        let x = u64::from_le_bytes(data[a + n..a + n + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + n..b + n + 8].try_into().unwrap());
+        let xor = x ^ y;
+        if xor != 0 {
+            return n + (xor.trailing_zeros() / 8) as usize;
+        }
+        n += 8;
+    }
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+/// Finds the best match for position `i`, walking at most `depth` chain
+/// links. Returns `(len, dist)` with `len >= MIN_MATCH`, or `None`.
+fn best_match(
+    data: &[u8],
+    chains: &Chains,
+    i: usize,
+    params: &MatchParams,
+    prev_len: usize,
+) -> Option<(usize, usize)> {
+    let max = (data.len() - i).min(MAX_MATCH);
+    if max < MIN_MATCH {
+        return None;
+    }
+    let mut depth = if prev_len >= params.good_length {
+        params.max_chain >> 2
+    } else {
+        params.max_chain
+    };
+    let nice = params.nice_length.min(max);
+
+    let mut best_len = 0usize;
+    let mut best_dist = 0usize;
+    let mut cand = chains.candidates(data, i);
+    while cand != NIL && depth > 0 {
+        let c = cand as usize;
+        debug_assert!(c < i);
+        let dist = i - c;
+        if dist > MAX_DIST {
+            break; // chains are append-only; older entries are even farther
+        }
+        // Quick reject: check the byte that would extend the best match.
+        if best_len == 0 || data[c + best_len] == data[i + best_len] {
+            let len = match_len(data, c, i, max);
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+                if len >= nice {
+                    break;
+                }
+            }
+        }
+        cand = chains.prev[c];
+        depth -= 1;
+    }
+
+    // zlib's TOO_FAR heuristic: a 3-byte match far away costs more bits
+    // than 3 literals.
+    if best_len == MIN_MATCH && best_dist > 4096 {
+        return None;
+    }
+    if best_len >= MIN_MATCH {
+        Some((best_len, best_dist))
+    } else {
+        None
+    }
+}
+
+/// Tokenizes `data` with the given effort parameters, invoking `sink` for
+/// each token in order. The concatenated expansion of the tokens equals
+/// `data` exactly.
+pub fn tokenize(data: &[u8], params: &MatchParams, mut sink: impl FnMut(Token)) {
+    let n = data.len();
+    if n < MIN_MATCH + 1 {
+        for &b in data {
+            sink(Token::literal(b));
+        }
+        return;
+    }
+
+    let mut chains = Chains::new(n);
+    // Every position in [0, insert_end) may enter the dictionary, exactly
+    // once, strictly before any later position is matched.
+    let insert_end = n - MIN_MATCH + 1;
+
+    if params.lazy {
+        tokenize_lazy(data, params, &mut chains, insert_end, &mut sink);
+    } else {
+        tokenize_greedy(data, params, &mut chains, insert_end, &mut sink);
+    }
+}
+
+/// Inserts all not-yet-indexed positions below `upto` into the chains.
+#[inline]
+fn index_upto(chains: &mut Chains, data: &[u8], inserted: &mut usize, upto: usize, insert_end: usize) {
+    let stop = upto.min(insert_end);
+    while *inserted < stop {
+        chains.insert(data, *inserted);
+        *inserted += 1;
+    }
+}
+
+fn tokenize_greedy(
+    data: &[u8],
+    params: &MatchParams,
+    chains: &mut Chains,
+    insert_end: usize,
+    sink: &mut impl FnMut(Token),
+) {
+    let n = data.len();
+    let mut i = 0usize;
+    let mut inserted = 0usize;
+    while i < n {
+        index_upto(chains, data, &mut inserted, i, insert_end);
+        let found = if i < insert_end {
+            best_match(data, chains, i, params, 0)
+        } else {
+            None
+        };
+        match found {
+            Some((len, dist)) => {
+                sink(Token::reference(len, dist));
+                i += len;
+            }
+            None => {
+                sink(Token::literal(data[i]));
+                i += 1;
+            }
+        }
+    }
+}
+
+fn tokenize_lazy(
+    data: &[u8],
+    params: &MatchParams,
+    chains: &mut Chains,
+    insert_end: usize,
+    sink: &mut impl FnMut(Token),
+) {
+    let n = data.len();
+    let mut i = 0usize;
+    let mut inserted = 0usize;
+    // Pending match found at position i-1 awaiting lazy comparison.
+    let mut pending: Option<(usize, usize)> = None;
+
+    while i < n {
+        index_upto(chains, data, &mut inserted, i, insert_end);
+        let prev_len = pending.map_or(0, |(l, _)| l);
+        let cur = if i < insert_end && prev_len < params.max_lazy {
+            best_match(data, chains, i, params, prev_len)
+        } else {
+            None
+        };
+
+        match pending {
+            Some((plen, pdist)) => {
+                let cur_len = cur.map_or(0, |(l, _)| l);
+                if cur_len > plen {
+                    // The deferred match is beaten: emit the byte before it
+                    // as a literal and defer the new match.
+                    sink(Token::literal(data[i - 1]));
+                    pending = cur;
+                    i += 1;
+                } else {
+                    // Keep the previous match (it starts at i-1).
+                    sink(Token::reference(plen, pdist));
+                    i = i - 1 + plen;
+                    pending = None;
+                }
+            }
+            None => match cur {
+                Some(m) => {
+                    pending = Some(m);
+                    i += 1;
+                }
+                None => {
+                    sink(Token::literal(data[i]));
+                    i += 1;
+                }
+            },
+        }
+    }
+    if let Some((plen, pdist)) = pending {
+        // Input ended while a match was deferred; it starts at the last
+        // consumed position and fits entirely within the buffer.
+        sink(Token::reference(plen, pdist));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference expansion of a token stream.
+    fn expand(tokens: &[Token]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for t in tokens {
+            if let Some(b) = t.as_literal() {
+                out.push(b);
+            } else {
+                let (len, dist) = t.as_match().unwrap();
+                assert!(dist <= out.len(), "distance {dist} > produced {}", out.len());
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    fn collect(data: &[u8], level: u8) -> Vec<Token> {
+        let mut v = Vec::new();
+        tokenize(data, &MatchParams::for_level(level), |t| v.push(t));
+        v
+    }
+
+    #[test]
+    fn token_packing_roundtrip() {
+        let t = Token::reference(258, 32768);
+        assert_eq!(t.as_match(), Some((258, 32768)));
+        let t = Token::reference(3, 1);
+        assert_eq!(t.as_match(), Some((3, 1)));
+        let t = Token::literal(0xAB);
+        assert_eq!(t.as_literal(), Some(0xAB));
+        assert_eq!(t.as_match(), None);
+    }
+
+    #[test]
+    fn all_levels_expand_exactly() {
+        let mut data = b"the quick brown fox jumps over the lazy dog. ".repeat(50);
+        data.extend_from_slice(&[0u8; 1000]);
+        data.extend((0..2000u32).map(|i| (i * 37 % 251) as u8));
+        for level in 1..=9 {
+            let toks = collect(&data, level);
+            assert_eq!(expand(&toks), data, "level {level}");
+        }
+    }
+
+    #[test]
+    fn repetitive_data_yields_matches() {
+        let data = b"abcdefgh".repeat(200);
+        for level in [1u8, 6, 9] {
+            let toks = collect(&data, level);
+            let matches = toks.iter().filter(|t| t.as_match().is_some()).count();
+            assert!(matches > 0, "level {level} found no matches");
+            // 1600 bytes of pure repetition should need far fewer tokens.
+            assert!(toks.len() < 120, "level {level}: {} tokens", toks.len());
+        }
+    }
+
+    #[test]
+    fn higher_levels_do_not_find_fewer_bytes_in_matches() {
+        // Lazy matching at level 9 should cover at least as many bytes via
+        // matches as level 1 on text-like data.
+        let data = b"It was the best of times, it was the worst of times, it was the age of wisdom, it was the age of foolishness".repeat(30);
+        let covered = |lvl| {
+            collect(&data, lvl)
+                .iter()
+                .filter_map(|t| t.as_match())
+                .map(|(l, _)| l)
+                .sum::<usize>()
+        };
+        assert!(covered(9) >= covered(1));
+    }
+
+    #[test]
+    fn incompressible_data_is_all_literals_mostly() {
+        let mut state = 0x9E3779B9u64;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let toks = collect(&data, 6);
+        assert_eq!(expand(&toks), data);
+        let match_bytes: usize = toks.iter().filter_map(|t| t.as_match()).map(|(l, _)| l).sum();
+        assert!(match_bytes < data.len() / 10, "unexpected matches in noise: {match_bytes}");
+    }
+
+    #[test]
+    fn max_match_length_is_respected() {
+        let data = vec![b'z'; 4096];
+        for level in [1u8, 9] {
+            for t in collect(&data, level) {
+                if let Some((len, _)) = t.as_match() {
+                    assert!(len <= MAX_MATCH);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_never_exceed_max_dist() {
+        // 100 KB with repeats spaced beyond 32 KB must not produce illegal
+        // distances.
+        let unit: Vec<u8> = (0..40_000u32).map(|i| (i % 256) as u8).collect();
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        data.extend_from_slice(&unit);
+        for t in collect(&data, 6) {
+            if let Some((_, dist)) = t.as_match() {
+                assert!(dist <= MAX_DIST);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for len in 0..8usize {
+            let data: Vec<u8> = (0..len as u8).collect();
+            for level in [1u8, 5, 9] {
+                assert_eq!(expand(&collect(&data, level)), data);
+            }
+        }
+    }
+
+    #[test]
+    fn pending_match_at_end_is_emitted() {
+        // Craft data where the lazy path holds a pending match when input
+        // ends: "XYZ....XYZ" with the repeat at the very end.
+        let mut data = b"XYZabcdefghijklmnop".to_vec();
+        data.extend_from_slice(b"XYZ");
+        let toks = collect(&data, 6);
+        assert_eq!(expand(&toks), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "deflate level")]
+    fn level_zero_params_panic() {
+        let _ = MatchParams::for_level(0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Constant tables from RFC 1951 §3.2.5–§3.2.7, shared by the DEFLATE
+//! encoder and decoder.
+
+/// Length-code bases: code `257 + i` encodes lengths starting at
+/// `LENGTH_BASE[i]` with `LENGTH_EXTRA[i]` extra bits.
+pub const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+
+/// Extra bits carried by each length code.
+pub const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+
+/// Distance-code bases: code `i` encodes distances starting at
+/// `DIST_BASE[i]` with `DIST_EXTRA[i]` extra bits.
+pub const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+
+/// Extra bits carried by each distance code.
+pub const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Transmission order of the code-length alphabet lengths (RFC 1951 §3.2.7).
+pub const CLEN_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// End-of-block symbol in the literal/length alphabet.
+pub const EOB: usize = 256;
+
+/// Number of literal/length symbols that can appear in a stream.
+pub const NUM_LITLEN: usize = 286;
+/// Number of distance symbols.
+pub const NUM_DIST: usize = 30;
+/// Number of code-length symbols.
+pub const NUM_CLEN: usize = 19;
+
+/// Maximum Huffman code length for literal/length and distance alphabets.
+pub const MAX_CODE_LEN: u8 = 15;
+/// Maximum code length for the code-length alphabet.
+pub const MAX_CLEN_LEN: u8 = 7;
+
+/// Code lengths of the fixed literal/length tree (RFC 1951 §3.2.6).
+pub fn fixed_litlen_lengths() -> [u8; 288] {
+    let mut l = [0u8; 288];
+    for (i, item) in l.iter_mut().enumerate() {
+        *item = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    l
+}
+
+/// Code lengths of the fixed distance tree: 32 five-bit codes. Codes 30 and
+/// 31 never occur in valid data (RFC 1951 §3.2.6) but participate in the
+/// code space, making the tree complete; the decoder rejects them if they
+/// appear.
+pub fn fixed_dist_lengths() -> [u8; 32] {
+    [5u8; 32]
+}
+
+/// Maps a match length (3..=258) to `(code_index, extra_bits, extra_value)`
+/// where the emitted symbol is `257 + code_index`.
+#[inline]
+pub fn length_to_code(len: usize) -> (usize, u8, u16) {
+    debug_assert!((3..=258).contains(&len));
+    // Index table over len-3 (0..=255).
+    let idx = LENGTH_TO_CODE_IDX[len - 3] as usize;
+    let extra = LENGTH_EXTRA[idx];
+    let val = (len - LENGTH_BASE[idx] as usize) as u16;
+    (idx, extra, val)
+}
+
+/// Maps a distance (1..=32768) to `(code, extra_bits, extra_value)`.
+#[inline]
+pub fn dist_to_code(dist: usize) -> (usize, u8, u16) {
+    debug_assert!((1..=32768).contains(&dist));
+    let code = if dist <= 256 {
+        DIST_TO_CODE_LO[dist - 1] as usize
+    } else {
+        DIST_TO_CODE_HI[(dist - 1) >> 7] as usize
+    };
+    let extra = DIST_EXTRA[code];
+    let val = (dist - DIST_BASE[code] as usize) as u16;
+    (code, extra, val)
+}
+
+/// len-3 → length code index, built at first use.
+static LENGTH_TO_CODE_IDX: [u8; 256] = build_length_table();
+
+const fn build_length_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut len = 3usize;
+    while len <= 258 {
+        // Find the greatest i with LENGTH_BASE[i] <= len; code 285 is the
+        // dedicated code for 258.
+        let mut i = 28usize;
+        loop {
+            if LENGTH_BASE[i] as usize <= len {
+                break;
+            }
+            i -= 1;
+        }
+        if len == 258 {
+            i = 28;
+        } else if i == 28 {
+            i = 27; // lengths 227..=257 use code 284, not the 258 code
+        }
+        t[len - 3] = i as u8;
+        len += 1;
+    }
+    t
+}
+
+/// dist-1 (0..255) → distance code.
+static DIST_TO_CODE_LO: [u8; 256] = build_dist_lo();
+/// (dist-1)>>7 (2..255) → distance code for dist > 256.
+static DIST_TO_CODE_HI: [u8; 256] = build_dist_hi();
+
+const fn dist_code_of(dist: usize) -> u8 {
+    let mut i = 29usize;
+    loop {
+        if DIST_BASE[i] as usize <= dist {
+            return i as u8;
+        }
+        i -= 1;
+    }
+}
+
+const fn build_dist_lo() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut d = 1usize;
+    while d <= 256 {
+        t[d - 1] = dist_code_of(d);
+        d += 1;
+    }
+    t
+}
+
+const fn build_dist_hi() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut k = 2usize; // (dist-1)>>7 for dist=257.. starts at 2
+    while k < 256 {
+        let dist = (k << 7) + 1;
+        t[k] = dist_code_of(dist);
+        k += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_codes_cover_rfc_table() {
+        // Spot-check the RFC 1951 length table.
+        assert_eq!(length_to_code(3), (0, 0, 0)); // code 257
+        assert_eq!(length_to_code(10), (7, 0, 0)); // code 264
+        assert_eq!(length_to_code(11), (8, 1, 0)); // code 265
+        assert_eq!(length_to_code(12), (8, 1, 1));
+        assert_eq!(length_to_code(18), (11, 1, 1)); // code 268 covers 17,18
+        assert_eq!(length_to_code(257), (27, 5, 30)); // code 284 covers 227..257
+        assert_eq!(length_to_code(258), (28, 0, 0)); // code 285
+    }
+
+    #[test]
+    fn every_length_reconstructs() {
+        for len in 3..=258usize {
+            let (idx, extra, val) = length_to_code(len);
+            assert_eq!(LENGTH_BASE[idx] as usize + val as usize, len);
+            assert!(val < (1 << extra) || (extra == 0 && val == 0), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dist_codes_cover_rfc_table() {
+        assert_eq!(dist_to_code(1), (0, 0, 0));
+        assert_eq!(dist_to_code(4), (3, 0, 0));
+        assert_eq!(dist_to_code(5), (4, 1, 0));
+        assert_eq!(dist_to_code(8), (5, 1, 1));
+        assert_eq!(dist_to_code(257), (16, 7, 0));
+        assert_eq!(dist_to_code(24577), (29, 13, 0));
+        assert_eq!(dist_to_code(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn every_distance_reconstructs() {
+        for dist in 1..=32768usize {
+            let (code, extra, val) = dist_to_code(dist);
+            assert_eq!(DIST_BASE[code] as usize + val as usize, dist, "dist {dist}");
+            assert!(u32::from(val) < (1u32 << extra) || (extra == 0 && val == 0));
+        }
+    }
+
+    #[test]
+    fn fixed_trees_are_complete() {
+        use crate::huffman::kraft;
+        assert_eq!(kraft(&fixed_litlen_lengths()), std::cmp::Ordering::Equal);
+        assert_eq!(kraft(&fixed_dist_lengths()), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,175 @@
+//! DEFLATE edge cases that unit tests' typical payloads do not reach:
+//! format-limit distances and lengths, maximal dynamic headers, block
+//! boundaries, and large multi-block streams.
+
+use adoc_codec::deflate::deflate_to_vec;
+use adoc_codec::inflate::{inflate_exact, inflate_to_vec};
+use adoc_codec::lz77::{MAX_DIST, MAX_MATCH};
+
+fn roundtrip(data: &[u8], level: u8) {
+    let comp = deflate_to_vec(data, level);
+    let out = inflate_exact(&comp, data.len())
+        .unwrap_or_else(|e| panic!("level {level}, {} bytes: {e}", data.len()));
+    assert_eq!(out, data, "level {level}");
+}
+
+#[test]
+fn match_at_exactly_max_distance() {
+    // A 24-byte pattern repeated exactly MAX_DIST apart, noise between.
+    let pattern: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+    let mut data = pattern.clone();
+    let mut x = 1u64;
+    while data.len() < MAX_DIST {
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        data.push((x >> 56) as u8);
+    }
+    data.truncate(MAX_DIST);
+    data.extend_from_slice(&pattern); // second copy at distance exactly 32768
+    for level in [1u8, 6, 9] {
+        roundtrip(&data, level);
+    }
+}
+
+#[test]
+fn match_just_beyond_max_distance_still_correct() {
+    let pattern = b"0123456789abcdefghijklmnop".to_vec();
+    let mut data = pattern.clone();
+    data.extend(std::iter::repeat(0xEEu8).take(MAX_DIST + 1 - pattern.len()));
+    data.extend_from_slice(&pattern);
+    roundtrip(&data, 9);
+}
+
+#[test]
+fn runs_spanning_max_match_length() {
+    for run in [MAX_MATCH - 1, MAX_MATCH, MAX_MATCH + 1, 4 * MAX_MATCH + 3] {
+        let data = vec![b'R'; run];
+        for level in [1u8, 6, 9] {
+            roundtrip(&data, level);
+        }
+    }
+}
+
+#[test]
+fn stored_block_boundary_sizes() {
+    // Around the 65535-byte stored-block limit (level 0 path).
+    for n in [65_534usize, 65_535, 65_536, 131_070, 131_071] {
+        let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        roundtrip(&data, 0);
+    }
+}
+
+#[test]
+fn maximal_literal_alphabet_forces_wide_dynamic_header() {
+    // All 256 literals present with skewed frequencies pushes HLIT to its
+    // maximum and exercises deep code lengths.
+    let mut data = Vec::new();
+    for b in 0..=255u8 {
+        let reps = 1 + (usize::from(b) * 7) % 97;
+        data.extend(std::iter::repeat(b).take(reps));
+    }
+    // Scatter so matches don't swallow the alphabet.
+    let mut scrambled = Vec::with_capacity(data.len());
+    let mut idx = 0usize;
+    let n = data.len();
+    for _ in 0..n {
+        idx = (idx + 104_729) % n; // prime stride visits every index once
+        scrambled.push(data[idx]);
+    }
+    for level in [1u8, 6, 9] {
+        roundtrip(&scrambled, level);
+    }
+}
+
+#[test]
+fn token_block_boundary_exactly_hit() {
+    // The encoder flushes a block every 65536 tokens; all-literal noise
+    // makes tokens == bytes, so craft sizes that straddle the boundary.
+    let mut x = 7u64;
+    for n in [65_535usize, 65_536, 65_537, 131_073] {
+        let data: Vec<u8> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data, 1);
+    }
+}
+
+#[test]
+fn sixteen_megabyte_multi_block_stream() {
+    // Large input: multiple dynamic blocks, window wrap-around many times.
+    let mut data = Vec::with_capacity(16 << 20);
+    let mut x = 99u64;
+    while data.len() < 16 << 20 {
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        if x % 5 < 2 {
+            data.extend_from_slice(b"block after block of sliding window history ");
+        } else {
+            data.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    data.truncate(16 << 20);
+    roundtrip(&data, 6);
+}
+
+#[test]
+fn alternating_compressible_incompressible_segments() {
+    // Forces the encoder to alternate stored and huffman blocks.
+    let mut data = Vec::new();
+    let mut x = 3u64;
+    for seg in 0..32 {
+        if seg % 2 == 0 {
+            data.extend(std::iter::repeat(b'c').take(40_000));
+        } else {
+            for _ in 0..40_000 / 8 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                data.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    for level in [1u8, 6] {
+        roundtrip(&data, level);
+    }
+}
+
+#[test]
+fn zlib_fdict_flag_rejected() {
+    let mut z = adoc_codec::zlib::zlib_compress(b"data", 6);
+    z[1] |= 0x20; // FDICT
+    // Fix FCHECK.
+    let rem = ((u16::from(z[0]) << 8) | u16::from(z[1] & 0xE0)) % 31;
+    z[1] = (z[1] & 0xE0) | if rem == 0 { 0 } else { (31 - rem) as u8 };
+    assert!(adoc_codec::zlib::zlib_decompress(&z, 16).is_err());
+}
+
+#[test]
+fn inflate_rejects_hlit_hdist_overflow() {
+    use adoc_codec::bitio::BitWriter;
+    // Hand-build a dynamic header with HLIT = 31 (286+ codes → invalid).
+    let mut buf = Vec::new();
+    let mut w = BitWriter::new(&mut buf);
+    w.write_bits(1, 1); // BFINAL
+    w.write_bits(0b10, 2); // dynamic
+    w.write_bits(31, 5); // HLIT → 288 > 286
+    w.write_bits(0, 5);
+    w.write_bits(0, 4);
+    w.finish();
+    assert!(inflate_to_vec(&buf, 64).is_err());
+}
+
+#[test]
+fn deflate_of_every_small_size_roundtrips() {
+    let mut x = 17u64;
+    for n in 0..128usize {
+        let data: Vec<u8> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 40) as u8
+            })
+            .collect();
+        for level in [0u8, 1, 6, 9] {
+            roundtrip(&data, level);
+        }
+    }
+}

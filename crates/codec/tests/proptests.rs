@@ -1,0 +1,219 @@
+//! Property-based tests of the compression substrate: round-trips must
+//! hold for *every* input at *every* level, containers must detect
+//! corruption, and the canonical-code machinery must stay consistent.
+
+use adoc_codec::bitio::{BitReader, BitWriter};
+use adoc_codec::checksum::{Adler32, Crc32};
+use adoc_codec::huffman::{canonical_codes, kraft, limited_code_lengths, HuffDecoder, HuffEncoder};
+use adoc_codec::{compress_at, decompress_at, ADOC_MAX_LEVEL};
+use proptest::prelude::*;
+
+/// Structured generators: realistic payload families, not just noise —
+/// LZ77 behaviour differs wildly between them.
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // arbitrary bytes
+        proptest::collection::vec(any::<u8>(), 0..4096),
+        // highly repetitive
+        (any::<u8>(), 0..8192usize).prop_map(|(b, n)| vec![b; n]),
+        // repeated phrases (textual)
+        (proptest::collection::vec(any::<u8>(), 1..64), 1..200usize)
+            .prop_map(|(unit, reps)| unit.repeat(reps)),
+        // runs of zero interleaved with noise
+        proptest::collection::vec(prop_oneof![Just(0u8), any::<u8>()], 0..4096),
+        // low-entropy alphabet
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..4096),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_level_roundtrips(data in payload_strategy(), level in 0u8..=ADOC_MAX_LEVEL) {
+        let mut comp = Vec::new();
+        compress_at(level, &data, &mut comp);
+        let mut out = Vec::new();
+        decompress_at(level, &comp, data.len(), &mut out).expect("decode");
+        prop_assert_eq!(out, data.clone());
+    }
+
+    #[test]
+    fn deflate_roundtrips_all_levels(data in payload_strategy(), level in 0u8..=9) {
+        let comp = adoc_codec::deflate::deflate_to_vec(&data, level);
+        let out = adoc_codec::inflate::inflate_exact(&comp, data.len()).expect("inflate");
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn lzf_roundtrips(data in payload_strategy()) {
+        let mut comp = Vec::new();
+        adoc_codec::lzf::compress(&data, &mut comp);
+        let mut out = Vec::new();
+        adoc_codec::lzf::decompress(&comp, &mut out, data.len()).expect("lzf");
+        prop_assert_eq!(out, data.clone());
+        // liblzf's worst-case bound: one control byte per 32 literals.
+        prop_assert!(comp.len() <= data.len() + data.len() / 32 + 2);
+    }
+
+    #[test]
+    fn zlib_container_roundtrips(data in payload_strategy(), level in 0u8..=9) {
+        let z = adoc_codec::zlib::zlib_compress(&data, level);
+        let out = adoc_codec::zlib::zlib_decompress(&z, data.len()).expect("zlib");
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gzip_container_roundtrips(data in payload_strategy(), level in 0u8..=9) {
+        let g = adoc_codec::gzip::gzip_compress(&data, level);
+        let out = adoc_codec::gzip::gzip_decompress(&g, data.len()).expect("gzip");
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn zlib_detects_any_single_byte_corruption(
+        data in proptest::collection::vec(any::<u8>(), 64..512),
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let z = adoc_codec::zlib::zlib_compress(&data, 6);
+        let mut bad = z.clone();
+        let pos = pos_seed % bad.len();
+        bad[pos] ^= flip;
+        // Either an error, or (for bit flips in ignorable header bits)
+        // identical output — never silently different data.
+        if let Ok(out) = adoc_codec::zlib::zlib_decompress(&bad, data.len()) {
+            prop_assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn inflate_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = adoc_codec::inflate::inflate_to_vec(&garbage, 1 << 16);
+    }
+
+    #[test]
+    fn lzf_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut out = Vec::new();
+        let _ = adoc_codec::lzf::decompress(&garbage, &mut out, 1 << 16);
+    }
+
+    #[test]
+    fn adler_crc_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        split_seed in any::<usize>(),
+    ) {
+        let split = if data.is_empty() { 0 } else { split_seed % data.len() };
+        let (a, b) = data.split_at(split);
+        let mut adler = Adler32::new();
+        adler.update(a);
+        adler.update(b);
+        prop_assert_eq!(adler.finish(), Adler32::oneshot(&data));
+        let mut crc = Crc32::new();
+        crc.update(a);
+        crc.update(b);
+        prop_assert_eq!(crc.finish(), Crc32::oneshot(&data));
+    }
+
+    #[test]
+    fn package_merge_is_valid_and_bounded(
+        freqs in proptest::collection::vec(0u32..10_000, 1..64),
+        max_len in 6u8..=15,
+    ) {
+        let used = freqs.iter().filter(|&&f| f > 0).count();
+        prop_assume!(used > 0);
+        prop_assume!(used <= 1usize << max_len);
+        let lengths = limited_code_lengths(&freqs, max_len);
+        // Zero-frequency symbols get no code; the rest respect the limit.
+        for (f, l) in freqs.iter().zip(&lengths) {
+            prop_assert_eq!(*f > 0, *l > 0);
+            prop_assert!(*l <= max_len);
+        }
+        if used >= 2 {
+            prop_assert_eq!(kraft(&lengths), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn huffman_codes_decode_what_they_encode(
+        freqs in proptest::collection::vec(0u32..64, 2..40),
+        symbols_seed in proptest::collection::vec(any::<usize>(), 1..128),
+    ) {
+        let used: Vec<usize> = freqs.iter().enumerate().filter(|(_, &f)| f > 0).map(|(i, _)| i).collect();
+        prop_assume!(used.len() >= 2);
+        let lengths = limited_code_lengths(&freqs, 15);
+        let enc = HuffEncoder::from_lengths(&lengths);
+        let dec = HuffDecoder::from_lengths(&lengths, false).expect("decoder");
+        let symbols: Vec<usize> = symbols_seed.iter().map(|s| used[s % used.len()]).collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = BitWriter::new(&mut buf);
+            for &s in &symbols {
+                enc.write(&mut w, s);
+            }
+            w.finish();
+        }
+        let mut r = BitReader::new(&buf);
+        for &expect in &symbols {
+            prop_assert_eq!(dec.decode(&mut r).expect("symbol"), expect);
+        }
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free(freqs in proptest::collection::vec(0u32..64, 2..40)) {
+        prop_assume!(freqs.iter().filter(|&&f| f > 0).count() >= 2);
+        let lengths = limited_code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lengths);
+        let coded: Vec<(u16, u8)> = codes
+            .iter()
+            .zip(&lengths)
+            .filter(|(_, &l)| l > 0)
+            .map(|(&c, &l)| (c, l))
+            .collect();
+        for (i, &(ca, la)) in coded.iter().enumerate() {
+            for &(cb, lb) in coded.iter().skip(i + 1) {
+                // Order so `short` has the smaller length; the shorter code
+                // must not be a prefix of the longer one.
+                let (short, slen, long, llen) =
+                    if la <= lb { (ca, la, cb, lb) } else { (cb, lb, ca, la) };
+                let shifted = long >> (llen - slen);
+                prop_assert!(
+                    shifted != short,
+                    "code {short:0slen$b} prefixes {long:0llen$b}",
+                    slen = slen as usize,
+                    llen = llen as usize
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitio_roundtrips_any_sequence(
+        fields in proptest::collection::vec((any::<u32>(), 1u32..=32), 0..64),
+    ) {
+        let mut buf = Vec::new();
+        {
+            let mut w = BitWriter::new(&mut buf);
+            for &(v, n) in &fields {
+                let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+                w.write_bits(masked, n);
+            }
+            w.finish();
+        }
+        let mut r = BitReader::new(&buf);
+        for &(v, n) in &fields {
+            let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+            prop_assert_eq!(r.read_bits(n).expect("bits"), masked);
+        }
+    }
+
+    #[test]
+    fn higher_levels_never_much_worse(data in payload_strategy()) {
+        prop_assume!(data.len() >= 256);
+        // Monotonicity (with slack): gzip-9 output must not exceed gzip-1
+        // output by more than the per-block overhead.
+        let c1 = adoc_codec::deflate::deflate_to_vec(&data, 1).len();
+        let c9 = adoc_codec::deflate::deflate_to_vec(&data, 9).len();
+        prop_assert!(c9 <= c1 + 64, "gzip9 {} vs gzip1 {}", c9, c1);
+    }
+}

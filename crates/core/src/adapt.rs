@@ -1,0 +1,324 @@
+//! The compression-level update algorithm — Figure 2 of the paper,
+//! verbatim — plus the two §5 guards layered on top:
+//!
+//! * the **divergence guard**: if the current level's visible bandwidth is
+//!   beaten by a smaller level, fall back and forbid the level for 1 s;
+//! * the **incompressible-data guard**: after a buffer compresses below
+//!   the ratio threshold, pin the level to minimum for the next 10
+//!   packets.
+
+use crate::bw::BandwidthMonitor;
+use crate::config::AdocConfig;
+use std::time::Instant;
+
+/// Figure 2, line for line. `n` is the queue length in packets, `delta`
+/// its change since the previous update, `l` the old level.
+pub fn update_level(
+    n: usize,
+    delta: isize,
+    l: u8,
+    min: u8,
+    max: u8,
+    low: usize,
+    mid: usize,
+    high: usize,
+) -> u8 {
+    // 1-2: an empty queue means the network is starving — stop compressing.
+    if n == 0 {
+        return min;
+    }
+    let mut l = i32::from(l);
+    if n < low {
+        // 3-5: small queue: the level may only fall (halve on shrink).
+        if delta <= 0 {
+            l /= 2;
+        }
+    } else if n < mid {
+        // 6-10: moderate queue: follow the trend by ±1.
+        if delta > 0 {
+            l += 1;
+        } else if delta < 0 {
+            l -= 1;
+        }
+    } else if n < high {
+        // 11-15: large queue: climb faster than we descend.
+        if delta > 0 {
+            l += 2;
+        } else if delta < 0 {
+            l -= 1;
+        }
+    } else {
+        // 16-17: very large queue: plenty of time to compress.
+        if delta > 0 {
+            l += 2;
+        }
+    }
+    // 18-19: clamp.
+    l.clamp(i32::from(min), i32::from(max)) as u8
+}
+
+/// Stateful controller driving one adaptive transfer: tracks the previous
+/// queue length, forbidden levels and the ratio penalty.
+pub struct LevelController {
+    level: u8,
+    last_len: Option<usize>,
+    /// Until when each level is forbidden by the divergence guard.
+    forbidden_until: [Option<Instant>; 11],
+    /// Packets remaining at the minimum level after a ratio-guard trip.
+    penalty_packets: u32,
+    /// After a trip, buffers are pre-checked cheaply (paper: the per-
+    /// packet ratio check aborts compression early) until one passes.
+    suspicious: bool,
+    /// Counters surfaced through [`crate::stats::TransferStats`].
+    pub divergence_reverts: u64,
+    /// Number of ratio-guard trips.
+    pub ratio_trips: u64,
+}
+
+impl LevelController {
+    /// Starts at the minimum level (a fresh transfer has an empty queue).
+    pub fn new(cfg: &AdocConfig) -> Self {
+        LevelController {
+            level: cfg.min_level,
+            last_len: None,
+            forbidden_until: [None; 11],
+            penalty_packets: 0,
+            suspicious: false,
+            divergence_reverts: 0,
+            ratio_trips: 0,
+        }
+    }
+
+    /// Current level without updating.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Computes the level for the next buffer given the current queue
+    /// length and the visible-bandwidth monitor.
+    pub fn next_level(&mut self, queue_len: usize, bw: &BandwidthMonitor, cfg: &AdocConfig) -> u8 {
+        let now = Instant::now();
+
+        // Incompressible-data penalty takes precedence (§5): minimum level
+        // until the penalty packets have been sent.
+        if self.penalty_packets > 0 {
+            self.last_len = Some(queue_len);
+            self.level = cfg.min_level;
+            return self.level;
+        }
+
+        let delta = match self.last_len {
+            Some(prev) => queue_len as isize - prev as isize,
+            None => 0,
+        };
+        self.last_len = Some(queue_len);
+
+        let mut cand = update_level(
+            queue_len,
+            delta,
+            self.level,
+            cfg.min_level,
+            cfg.max_level,
+            cfg.low_water,
+            cfg.mid_water,
+            cfg.high_water,
+        );
+
+        // Divergence guard: if a smaller level demonstrably moves raw data
+        // faster than the candidate, fall back to it and forbid the
+        // candidate for a while.
+        if cand > cfg.min_level {
+            if let Some(cur_bw) = bw.visible(cand) {
+                if let Some((best_level, best_bw)) = bw.best_below(cand) {
+                    if best_bw > cur_bw * cfg.divergence_margin {
+                        self.forbidden_until[cand as usize] = Some(now + cfg.forbid_duration);
+                        self.divergence_reverts += 1;
+                        cand = best_level.max(cfg.min_level);
+                    }
+                }
+            }
+        }
+
+        // Skip levels still under a forbid (fall to the next lower one).
+        while cand > cfg.min_level {
+            match self.forbidden_until[cand as usize] {
+                Some(t) if t > now => cand -= 1,
+                _ => break,
+            }
+        }
+
+        self.level = cand;
+        cand
+    }
+
+    /// Reports the compression outcome of a buffer: `ratio` = raw/encoded.
+    /// Trips the penalty when it falls below the guard threshold.
+    pub fn report_ratio(&mut self, ratio: f64, cfg: &AdocConfig) {
+        if cfg.ratio_guard == 0.0 {
+            return; // guard disabled
+        }
+        if ratio < cfg.ratio_guard {
+            if self.level > cfg.min_level {
+                self.penalty_packets = cfg.ratio_penalty_packets;
+                self.ratio_trips += 1;
+            }
+            self.suspicious = true;
+        } else {
+            self.suspicious = false;
+        }
+    }
+
+    /// True while the data recently failed the ratio guard: the sender
+    /// pre-checks a small prefix before paying for a full-buffer
+    /// compression (the paper's early abort on bad packets).
+    pub fn is_suspicious(&self) -> bool {
+        self.suspicious
+    }
+
+    /// Notes that `n` packets were pushed (drains the penalty window).
+    pub fn packets_pushed(&mut self, n: u32) {
+        self.penalty_packets = self.penalty_packets.saturating_sub(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2(n: usize, delta: isize, l: u8) -> u8 {
+        update_level(n, delta, l, 0, 10, 10, 20, 30)
+    }
+
+    #[test]
+    fn empty_queue_resets_to_min() {
+        assert_eq!(fig2(0, 5, 9), 0);
+        assert_eq!(update_level(0, 0, 9, 2, 10, 10, 20, 30), 2);
+    }
+
+    #[test]
+    fn small_queue_halves_on_non_growth() {
+        assert_eq!(fig2(5, 0, 8), 4);
+        assert_eq!(fig2(9, -3, 9), 4); // 9/2 = 4 integer division
+        assert_eq!(fig2(5, 2, 8), 8); // growing: hold
+    }
+
+    #[test]
+    fn moderate_queue_steps_by_one() {
+        assert_eq!(fig2(15, 1, 4), 5);
+        assert_eq!(fig2(15, -1, 4), 3);
+        assert_eq!(fig2(15, 0, 4), 4);
+    }
+
+    #[test]
+    fn large_queue_climbs_by_two() {
+        assert_eq!(fig2(25, 1, 4), 6);
+        assert_eq!(fig2(25, -1, 4), 3);
+        assert_eq!(fig2(25, 0, 4), 4);
+    }
+
+    #[test]
+    fn very_large_queue_only_climbs() {
+        assert_eq!(fig2(50, 1, 4), 6);
+        assert_eq!(fig2(50, -5, 4), 4); // no decrease branch above high water
+        assert_eq!(fig2(50, 0, 4), 4);
+    }
+
+    #[test]
+    fn clamping_applies() {
+        assert_eq!(fig2(25, 1, 9), 10);
+        assert_eq!(fig2(25, 1, 10), 10);
+        assert_eq!(fig2(15, -1, 0), 0);
+        assert_eq!(update_level(25, 1, 3, 0, 4, 10, 20, 30), 4);
+    }
+
+    #[test]
+    fn paper_consequence_no_compression_below_80kb() {
+        // §3.3: the level cannot increase while fewer than 10 packets
+        // (80 KB) are queued, so starting from level 0 a short transfer
+        // never compresses.
+        let mut level = 0u8;
+        for n in 0..10usize {
+            level = fig2(n, 1, level);
+            assert_eq!(level, 0, "queue of {n} packets must not raise the level");
+        }
+        // At 10 packets and growing, the level may rise.
+        assert_eq!(fig2(10, 1, 0), 1);
+    }
+
+    fn test_cfg() -> AdocConfig {
+        AdocConfig::default()
+    }
+
+    #[test]
+    fn controller_starts_at_min_and_climbs_when_queue_grows() {
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        assert_eq!(c.level(), 0);
+        // Simulate a steadily growing queue.
+        let mut lens = vec![0usize, 4, 12, 18, 25, 33, 40];
+        let mut max_seen = 0;
+        for len in lens.drain(..) {
+            let l = c.next_level(len, &bw, &cfg);
+            max_seen = max_seen.max(l);
+        }
+        assert!(max_seen >= 3, "level should climb with a growing queue, got {max_seen}");
+    }
+
+    #[test]
+    fn controller_divergence_guard_reverts_and_forbids() {
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        // Observed: level 3 is slow, level 1 is fast.
+        bw.record(3, 100_000, std::time::Duration::from_millis(100)); // 8 Mbit
+        bw.record(1, 2_000_000, std::time::Duration::from_millis(100)); // 160 Mbit
+        c.level = 1;
+        c.last_len = Some(20);
+        // Growing large queue proposes level 1+2 = 3; the guard must veto.
+        let l = c.next_level(25, &bw, &cfg);
+        assert_eq!(l, 1, "should fall back to the best-observed level");
+        assert_eq!(c.divergence_reverts, 1);
+        // Level 3 is now forbidden: propose it again immediately.
+        c.last_len = Some(20);
+        c.level = 1;
+        let l2 = c.next_level(25, &bw, &cfg);
+        assert_ne!(l2, 3, "forbidden level must be skipped");
+    }
+
+    #[test]
+    fn controller_ratio_penalty_pins_to_min() {
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 6;
+        c.report_ratio(0.99, &cfg);
+        assert_eq!(c.ratio_trips, 1);
+        assert_eq!(c.next_level(25, &bw, &cfg), 0, "penalty must pin to min");
+        // Penalty drains per packet.
+        c.packets_pushed(cfg.ratio_penalty_packets - 1);
+        assert_eq!(c.next_level(25, &bw, &cfg), 0, "still one penalty packet left");
+        c.packets_pushed(1);
+        let l = c.next_level(30, &bw, &cfg);
+        // Penalty over: the controller resumes normal adaptation.
+        assert!(l <= 2, "fresh climb from min level, got {l}");
+    }
+
+    #[test]
+    fn controller_good_ratio_does_not_trip() {
+        let cfg = test_cfg();
+        let mut c = LevelController::new(&cfg);
+        c.level = 6;
+        c.report_ratio(3.0, &cfg);
+        assert_eq!(c.ratio_trips, 0);
+    }
+
+    #[test]
+    fn min_level_floor_respected_by_guards() {
+        let cfg = AdocConfig::default().with_levels(2, 8);
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        assert_eq!(c.level(), 2);
+        assert_eq!(c.next_level(0, &bw, &cfg), 2, "empty queue returns min level");
+    }
+}

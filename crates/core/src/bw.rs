@@ -1,0 +1,137 @@
+//! Per-level visible-bandwidth accounting (paper §5, "Compression level
+//! divergence"): the emission thread records, for every packet it puts on
+//! the wire, how many *raw* (pre-compression) bytes that packet
+//! represented and how long the write took. The compression thread
+//! consults these rates when updating the level.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Number of tracked levels (AdOC 0..=10).
+const LEVELS: usize = 11;
+
+/// A decaying byte-rate accumulator: old samples fade so the monitor
+/// tracks *current* conditions (grids change over time, §2).
+#[derive(Debug, Clone, Copy, Default)]
+struct DecayingRate {
+    bytes: f64,
+    secs: f64,
+}
+
+impl DecayingRate {
+    fn add(&mut self, bytes: u64, secs: f64) {
+        self.bytes += bytes as f64;
+        self.secs += secs;
+        // Halve history once the window exceeds ~2 s of send time, so the
+        // estimate follows the network on the paper's 1-second guard
+        // timescale.
+        if self.secs > 2.0 {
+            self.bytes /= 2.0;
+            self.secs /= 2.0;
+        }
+    }
+
+    fn rate(&self) -> Option<f64> {
+        // Require a minimum of observation before trusting the estimate.
+        if self.secs < 1e-4 || self.bytes <= 0.0 {
+            None
+        } else {
+            Some(self.bytes * 8.0 / self.secs) // bits of raw data per sec
+        }
+    }
+}
+
+/// Shared monitor: one decaying rate per compression level.
+#[derive(Debug, Default)]
+pub struct BandwidthMonitor {
+    rates: Mutex<[DecayingRate; LEVELS]>,
+}
+
+impl BandwidthMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a packet send: `raw_bytes` of pre-compression payload left
+    /// the host in `elapsed`.
+    pub fn record(&self, level: u8, raw_bytes: u64, elapsed: Duration) {
+        let mut g = self.rates.lock();
+        g[level as usize].add(raw_bytes, elapsed.as_secs_f64());
+    }
+
+    /// Visible bandwidth at `level` in raw bits/s, if observed recently.
+    pub fn visible(&self, level: u8) -> Option<f64> {
+        self.rates.lock()[level as usize].rate()
+    }
+
+    /// The level `< limit` with the highest recorded visible bandwidth,
+    /// if any level below `limit` has been observed.
+    pub fn best_below(&self, limit: u8) -> Option<(u8, f64)> {
+        let g = self.rates.lock();
+        (0..limit)
+            .filter_map(|l| g[l as usize].rate().map(|r| (l, r)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_monitor_reports_nothing() {
+        let m = BandwidthMonitor::new();
+        for l in 0..=10 {
+            assert!(m.visible(l).is_none());
+        }
+        assert!(m.best_below(10).is_none());
+    }
+
+    #[test]
+    fn records_and_reports_rates() {
+        let m = BandwidthMonitor::new();
+        // 1 MB of raw data in 0.1 s = 80 Mbit/s visible.
+        m.record(3, 1_000_000, Duration::from_millis(100));
+        let r = m.visible(3).unwrap();
+        assert!((r - 80e6).abs() / 80e6 < 1e-6, "{r}");
+        assert!(m.visible(2).is_none());
+    }
+
+    #[test]
+    fn best_below_finds_maximum() {
+        let m = BandwidthMonitor::new();
+        m.record(0, 500_000, Duration::from_millis(100)); // 40 Mbit
+        m.record(2, 1_500_000, Duration::from_millis(100)); // 120 Mbit
+        m.record(5, 1_000_000, Duration::from_millis(100)); // 80 Mbit
+        let (lvl, rate) = m.best_below(5).unwrap();
+        assert_eq!(lvl, 2);
+        assert!((rate - 120e6).abs() / 120e6 < 1e-6);
+        // Levels at/above the limit are excluded.
+        assert_eq!(m.best_below(3).unwrap().0, 2);
+        assert_eq!(m.best_below(1).unwrap().0, 0);
+    }
+
+    #[test]
+    fn history_decays() {
+        let m = BandwidthMonitor::new();
+        // Long slow history…
+        for _ in 0..30 {
+            m.record(1, 100_000, Duration::from_millis(100));
+        }
+        let slow = m.visible(1).unwrap();
+        // …then a burst of fast samples dominates after decay.
+        for _ in 0..30 {
+            m.record(1, 10_000_000, Duration::from_millis(100));
+        }
+        let fast = m.visible(1).unwrap();
+        assert!(fast > slow * 5.0, "slow {slow:.0}, fast {fast:.0}");
+    }
+
+    #[test]
+    fn tiny_samples_not_trusted() {
+        let m = BandwidthMonitor::new();
+        m.record(4, 10, Duration::from_nanos(10));
+        assert!(m.visible(4).is_none());
+    }
+}

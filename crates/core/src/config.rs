@@ -1,0 +1,179 @@
+//! Every constant the paper fixes, as a tunable (the ablation benches
+//! sweep them).
+
+use crate::throttle::{NoThrottle, Throttle};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of an AdOC endpoint.
+///
+/// Defaults are exactly the paper's values; see each field for the section
+/// that fixes it.
+#[derive(Clone)]
+pub struct AdocConfig {
+    /// Minimum compression level (§4.1, `ADOC_MIN_LEVEL`). Setting
+    /// `min_level ≥ 1` *forces* compression (disables the direct path and
+    /// the probe).
+    pub min_level: u8,
+    /// Maximum compression level (§4.1, `ADOC_MAX_LEVEL`). Setting
+    /// `max_level = 0` disables compression entirely.
+    pub max_level: u8,
+    /// Bytes read per compression unit (§3.2: 200 KB — large enough that
+    /// per-buffer compression loses < 6 %, small enough to stay reactive).
+    pub buffer_size: usize,
+    /// Queue/emission granularity (§3.2: 8 KB packets).
+    pub packet_size: usize,
+    /// Messages smaller than this take the direct no-thread path
+    /// (§5 "Small messages": 512 KB).
+    pub probe_threshold: usize,
+    /// Bytes sent uncompressed to measure link speed (§5 "Fast Networks":
+    /// 256 KB).
+    pub probe_size: usize,
+    /// Probe speed above which the rest is sent raw (§5: 500 Mbit/s).
+    pub fast_bps: f64,
+    /// Emission FIFO capacity in packets (bounds sender memory; the paper
+    /// leaves this implicit).
+    pub queue_cap: usize,
+    /// Fig. 2 thresholds: below `low_water` packets the level can only
+    /// fall (paper: 10) …
+    pub low_water: usize,
+    /// … between `low_water` and `mid_water` it moves by ±1 (paper: 20) …
+    pub mid_water: usize,
+    /// … between `mid_water` and `high_water` it rises by 2 / falls by 1
+    /// (paper: 30); above, it only rises.
+    pub high_water: usize,
+    /// Minimum acceptable per-buffer compression ratio before the
+    /// incompressible-data guard trips (§5 "Compressed and random data").
+    /// Set to `0.0` to disable the guard (ablations).
+    pub ratio_guard: f64,
+    /// Packets pinned to the minimum level after the ratio guard trips
+    /// (§5: 10 packets).
+    pub ratio_penalty_packets: u32,
+    /// How long a diverging level is forbidden (§5 "Compression level
+    /// divergence": 1 second).
+    pub forbid_duration: Duration,
+    /// Margin by which a smaller level's visible bandwidth must beat the
+    /// current one to trigger the divergence guard.
+    pub divergence_margin: f64,
+    /// Upper bound accepted for a peer's message size (protects the
+    /// receiver from corrupt headers).
+    pub max_message: u64,
+    /// CPU-speed model charged per unit of (de)compression work
+    /// (simulation hook; defaults to none).
+    pub throttle: Arc<dyn Throttle>,
+}
+
+impl std::fmt::Debug for AdocConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdocConfig")
+            .field("min_level", &self.min_level)
+            .field("max_level", &self.max_level)
+            .field("buffer_size", &self.buffer_size)
+            .field("packet_size", &self.packet_size)
+            .field("probe_threshold", &self.probe_threshold)
+            .field("probe_size", &self.probe_size)
+            .field("fast_bps", &self.fast_bps)
+            .field("queue_cap", &self.queue_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for AdocConfig {
+    fn default() -> Self {
+        AdocConfig {
+            min_level: adoc_codec::ADOC_MIN_LEVEL,
+            max_level: adoc_codec::ADOC_MAX_LEVEL,
+            buffer_size: 200 * 1024,
+            packet_size: 8 * 1024,
+            probe_threshold: 512 * 1024,
+            probe_size: 256 * 1024,
+            fast_bps: 500e6,
+            queue_cap: 512,
+            low_water: 10,
+            mid_water: 20,
+            high_water: 30,
+            ratio_guard: 1.05,
+            ratio_penalty_packets: 10,
+            forbid_duration: Duration::from_secs(1),
+            divergence_margin: 1.10,
+            max_message: 1 << 40,
+            throttle: Arc::new(NoThrottle),
+        }
+    }
+}
+
+impl AdocConfig {
+    /// Restricts levels like `adoc_write_levels` / `adoc_send_file_levels`
+    /// (§4.1): `max = 0` disables compression, `min ≥ 1` forces it.
+    pub fn with_levels(mut self, min: u8, max: u8) -> Self {
+        self.min_level = min;
+        self.max_level = max;
+        self
+    }
+
+    /// Installs a CPU-speed model (heterogeneous-host experiments).
+    pub fn with_throttle(mut self, t: Arc<dyn Throttle>) -> Self {
+        self.throttle = t;
+        self
+    }
+
+    /// True when the caller forces compression on (paper: `min` set above
+    /// `ADOC_MIN_LEVEL`).
+    pub fn compression_forced(&self) -> bool {
+        self.min_level >= 1
+    }
+
+    /// True when compression is disabled outright (paper: `max` set to
+    /// `ADOC_MIN_LEVEL`).
+    pub fn compression_disabled(&self) -> bool {
+        self.max_level == 0
+    }
+
+    /// Panics if the configuration is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.min_level <= self.max_level, "min_level > max_level");
+        assert!(self.max_level <= adoc_codec::ADOC_MAX_LEVEL, "max_level out of range");
+        assert!(self.buffer_size > 0 && self.packet_size > 0);
+        assert!(self.packet_size <= self.buffer_size);
+        assert!(self.probe_size <= self.probe_threshold);
+        assert!(self.low_water < self.mid_water && self.mid_water < self.high_water);
+        assert!(self.queue_cap > self.high_water, "queue must hold more than high_water packets");
+        assert!(
+            self.ratio_guard == 0.0 || self.ratio_guard >= 1.0,
+            "ratio_guard must be 0 (disabled) or >= 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AdocConfig::default();
+        c.validate();
+        assert_eq!(c.buffer_size, 200 * 1024);
+        assert_eq!(c.packet_size, 8 * 1024);
+        assert_eq!(c.probe_threshold, 512 * 1024);
+        assert_eq!(c.probe_size, 256 * 1024);
+        assert_eq!(c.fast_bps, 500e6);
+        assert_eq!((c.low_water, c.mid_water, c.high_water), (10, 20, 30));
+        assert_eq!(c.forbid_duration, Duration::from_secs(1));
+        assert_eq!(c.ratio_penalty_packets, 10);
+        assert!(!c.compression_forced());
+        assert!(!c.compression_disabled());
+    }
+
+    #[test]
+    fn forced_and_disabled_flags() {
+        assert!(AdocConfig::default().with_levels(1, 10).compression_forced());
+        assert!(AdocConfig::default().with_levels(0, 0).compression_disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_level > max_level")]
+    fn invalid_levels_rejected() {
+        AdocConfig::default().with_levels(5, 2).validate();
+    }
+}

@@ -1,0 +1,213 @@
+//! The emission FIFO queue (paper §3.1): the shared buffer between the
+//! compression thread (producer) and the emission thread (consumer), and —
+//! crucially — the *sensor* of the adaptation loop: its length and growth
+//! drive the compression level (§3.3).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// One queue entry: up to `packet_size` wire-ready bytes.
+#[derive(Debug)]
+pub struct Packet {
+    /// Bytes to put on the socket (frame header included in the first
+    /// packet of each buffer).
+    pub bytes: Vec<u8>,
+    /// The AdOC level this packet's buffer was compressed at.
+    pub level: u8,
+    /// Share of the buffer's *raw* size this packet represents (for
+    /// visible-bandwidth accounting).
+    pub raw_share: u32,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    items: VecDeque<Packet>,
+    closed: bool,
+    /// Set by the consumer on I/O failure so the producer stops promptly.
+    poisoned: bool,
+}
+
+/// Bounded MPSC-ish FIFO (one producer, one consumer in AdOC).
+#[derive(Debug)]
+pub struct PacketQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// Why a blocking push did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The consumer failed or the queue was closed; stop producing.
+    Closed,
+}
+
+impl PacketQueue {
+    /// Creates a queue bounded at `cap` packets.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        PacketQueue {
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false, poisoned: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocking push; fails if the consumer has gone away.
+    pub fn push(&self, p: Packet) -> Result<(), PushError> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.poisoned || g.closed {
+                return Err(PushError::Closed);
+            }
+            if g.items.len() < self.cap {
+                g.items.push_back(p);
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut g);
+        }
+    }
+
+    /// Blocking pop; `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<Packet> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(p) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(p);
+            }
+            if g.closed || g.poisoned {
+                return None;
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Current number of queued packets — the adaptation signal.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer signals end of stream; the consumer drains what remains.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Consumer signals failure; pending and future pushes fail fast and
+    /// queued packets are dropped.
+    pub fn poison(&self) {
+        let mut g = self.inner.lock();
+        g.poisoned = true;
+        g.items.clear();
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn pkt(tag: u8) -> Packet {
+        Packet { bytes: vec![tag; 4], level: 0, raw_share: 4 }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = PacketQueue::new(8);
+        for i in 0..5 {
+            q.push(pkt(i)).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().bytes[0], i);
+        }
+        q.close();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn bounded_blocking_push() {
+        let q = Arc::new(PacketQueue::new(2));
+        q.push(pkt(0)).unwrap();
+        q.push(pkt(1)).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push(pkt(2)));
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "producer must be blocked at capacity");
+        assert_eq!(q.pop().unwrap().bytes[0], 0);
+        t.join().unwrap().unwrap();
+        assert_eq!(q.pop().unwrap().bytes[0], 1);
+        assert_eq!(q.pop().unwrap().bytes[0], 2);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(PacketQueue::new(4));
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.pop().map(|p| p.bytes[0]));
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.push(pkt(9)).unwrap();
+        assert_eq!(t.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = PacketQueue::new(4);
+        q.push(pkt(1)).unwrap();
+        q.close();
+        assert!(q.push(pkt(2)).is_err());
+        assert_eq!(q.pop().unwrap().bytes[0], 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn poison_unblocks_producer() {
+        let q = Arc::new(PacketQueue::new(1));
+        q.push(pkt(0)).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push(pkt(1)));
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.poison();
+        assert_eq!(t.join().unwrap(), Err(PushError::Closed));
+        assert!(q.pop().is_none(), "poisoned queue drops queued packets");
+    }
+
+    #[test]
+    fn producer_consumer_stress() {
+        let q = Arc::new(PacketQueue::new(16));
+        let qp = q.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..10_000u32 {
+                qp.push(Packet { bytes: i.to_le_bytes().to_vec(), level: 0, raw_share: 4 })
+                    .unwrap();
+            }
+            qp.close();
+        });
+        let mut expect = 0u32;
+        while let Some(p) = q.pop() {
+            let v = u32::from_le_bytes(p.bytes[..4].try_into().unwrap());
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 10_000);
+        producer.join().unwrap();
+    }
+}

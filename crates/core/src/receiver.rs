@@ -1,0 +1,336 @@
+//! The reception side of AdOC (paper Fig. 1, "symmetric but does not
+//! monitor the queue size"): a reception thread reading frames off the
+//! socket into a FIFO, and a decompression thread draining it into the
+//! application sink.
+
+use crate::config::AdocConfig;
+use crate::queue::{Packet, PacketQueue};
+use crate::wire::{self, FrameHeader, MsgKind};
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+/// Frames buffered between the reception and decompression threads. Kept
+/// small so a slow decompressor backpressures the network promptly —
+/// that is the signal the sender's divergence guard reacts to.
+const RECV_QUEUE_FRAMES: usize = 16;
+
+/// Receives one message, streaming its decoded bytes into `sink`.
+///
+/// Returns `Ok(None)` on clean end-of-stream, `Ok(Some(raw_len))` after a
+/// full message.
+pub fn receive_message<R, K>(
+    reader: &mut R,
+    sink: &mut K,
+    cfg: &AdocConfig,
+) -> io::Result<Option<u64>>
+where
+    R: Read + Send,
+    K: Write + Send,
+{
+    let Some((kind, raw_len)) = wire::read_msg_header(reader)? else {
+        return Ok(None);
+    };
+    if raw_len > cfg.max_message {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message of {raw_len} bytes exceeds configured maximum"),
+        ));
+    }
+
+    match kind {
+        MsgKind::Direct => {
+            copy_exact(reader, sink, raw_len, cfg.buffer_size)?;
+            Ok(Some(raw_len))
+        }
+        MsgKind::Adaptive => {
+            receive_adaptive(reader, sink, raw_len, cfg)?;
+            Ok(Some(raw_len))
+        }
+    }
+}
+
+fn receive_adaptive<R, K>(
+    reader: &mut R,
+    sink: &mut K,
+    raw_len: u64,
+    cfg: &AdocConfig,
+) -> io::Result<()>
+where
+    R: Read + Send,
+    K: Write + Send,
+{
+    let probe_len = u64::from(wire::read_u32(reader)?);
+    if probe_len > raw_len {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "probe longer than message"));
+    }
+    copy_exact(reader, sink, probe_len, cfg.packet_size)?;
+
+    let remaining = raw_len - probe_len;
+    if remaining == 0 {
+        return Ok(());
+    }
+
+    // Reception + decompression overlap (paper §3.1), mirrored from the
+    // sender but with a fixed small queue.
+    let queue = PacketQueue::new(RECV_QUEUE_FRAMES);
+    let (recv_res, decomp_res) = std::thread::scope(|s| {
+        let recv = s.spawn(|| reception_thread(reader, remaining, &queue, cfg));
+        let decomp = s.spawn(|| decompression_thread(sink, remaining, &queue, cfg));
+        (recv.join(), decomp.join())
+    });
+    let recv = recv_res.expect("reception thread panicked");
+    let decomp = decomp_res.expect("decompression thread panicked");
+    // Prefer the decoder's error (it poisons the queue, which the
+    // reception thread sees as Closed).
+    decomp?;
+    recv?;
+    Ok(())
+}
+
+fn reception_thread<R: Read>(
+    reader: &mut R,
+    total_raw: u64,
+    queue: &PacketQueue,
+    cfg: &AdocConfig,
+) -> io::Result<()> {
+    let mut collected = 0u64;
+    while collected < total_raw {
+        let fh = match FrameHeader::read(reader, adoc_codec::ADOC_MAX_LEVEL) {
+            Ok(fh) => fh,
+            Err(e) => {
+                queue.close();
+                return Err(e);
+            }
+        };
+        if u64::from(fh.raw_len) + collected > total_raw {
+            queue.close();
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frames exceed message length",
+            ));
+        }
+        // Sanity bound: a frame payload can exceed its raw size only by
+        // small codec overhead; anything larger is corruption.
+        if u64::from(fh.payload_len) > 2 * u64::from(fh.raw_len).max(cfg.buffer_size as u64) + 1024
+        {
+            queue.close();
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame payload too large"));
+        }
+        let payload = match wire::read_exact_vec(reader, fh.payload_len as usize) {
+            Ok(p) => p,
+            Err(e) => {
+                queue.close();
+                return Err(e);
+            }
+        };
+        collected += u64::from(fh.raw_len);
+        let pkt = Packet { bytes: payload, level: fh.level, raw_share: fh.raw_len };
+        if queue.push(pkt).is_err() {
+            // Decoder failed; its error wins.
+            return Ok(());
+        }
+    }
+    queue.close();
+    Ok(())
+}
+
+fn decompression_thread<K: Write>(
+    sink: &mut K,
+    total_raw: u64,
+    queue: &PacketQueue,
+    cfg: &AdocConfig,
+) -> io::Result<()> {
+    let mut produced = 0u64;
+    let mut scratch: Vec<u8> = Vec::with_capacity(cfg.buffer_size);
+    while let Some(pkt) = queue.pop() {
+        let raw_len = pkt.raw_share as usize;
+        scratch.clear();
+        let t0 = Instant::now();
+        if let Err(e) = adoc_codec::decompress_at(pkt.level, &pkt.bytes, raw_len, &mut scratch) {
+            queue.poison();
+            return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+        }
+        cfg.throttle.charge(t0.elapsed());
+        if let Err(e) = sink.write_all(&scratch) {
+            queue.poison();
+            return Err(e);
+        }
+        produced += raw_len as u64;
+    }
+    if produced != total_raw {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("message truncated: {produced} of {total_raw} bytes"),
+        ));
+    }
+    Ok(())
+}
+
+fn copy_exact<R: Read, W: Write>(
+    reader: &mut R,
+    sink: &mut W,
+    len: u64,
+    chunk: usize,
+) -> io::Result<()> {
+    if len == 0 {
+        return Ok(());
+    }
+    let mut buf = vec![0u8; chunk.max(1).min(len.try_into().unwrap_or(usize::MAX))];
+    let mut left = len;
+    while left > 0 {
+        let want = (buf.len() as u64).min(left) as usize;
+        reader.read_exact(&mut buf[..want])?;
+        sink.write_all(&buf[..want])?;
+        left -= want as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sender::send_message;
+    use std::io::Cursor;
+
+    fn roundtrip_with(cfg_tx: &AdocConfig, cfg_rx: &AdocConfig, data: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        let mut src = data;
+        send_message(&mut wire, &mut src, data.len() as u64, cfg_tx).unwrap();
+        let mut c = Cursor::new(wire);
+        let mut out = Vec::new();
+        let got = receive_message(&mut c, &mut out, cfg_rx).unwrap();
+        assert_eq!(got, Some(data.len() as u64));
+        out
+    }
+
+    fn compressible(n: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = 99u64;
+        while v.len() < n {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            if x % 4 != 0 {
+                v.extend_from_slice(b"some structured text content ");
+            } else {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        v.truncate(n);
+        v
+    }
+
+    #[test]
+    fn direct_roundtrip() {
+        let cfg = AdocConfig::default();
+        let data = compressible(10_000);
+        assert_eq!(roundtrip_with(&cfg, &cfg, &data), data);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let cfg = AdocConfig::default();
+        assert_eq!(roundtrip_with(&cfg, &cfg, b""), b"");
+    }
+
+    #[test]
+    fn adaptive_fast_path_roundtrip() {
+        // Vec sink probe → fast path → raw frames.
+        let cfg = AdocConfig::default();
+        let data = compressible(3 << 20);
+        assert_eq!(roundtrip_with(&cfg, &cfg, &data), data);
+    }
+
+    #[test]
+    fn forced_compression_roundtrip() {
+        let tx = AdocConfig::default().with_levels(1, 10);
+        let rx = AdocConfig::default();
+        let data = compressible(2 << 20);
+        assert_eq!(roundtrip_with(&tx, &rx, &data), data);
+    }
+
+    #[test]
+    fn forced_single_level_roundtrips_each_level() {
+        for level in 1..=10u8 {
+            let tx = AdocConfig::default().with_levels(level, level);
+            let rx = AdocConfig::default();
+            let data = compressible(600_000);
+            assert_eq!(roundtrip_with(&tx, &rx, &data), data, "level {level}");
+        }
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let cfg = AdocConfig::default();
+        let mut c = Cursor::new(Vec::<u8>::new());
+        let mut out = Vec::new();
+        assert!(receive_message(&mut c, &mut out, &cfg).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_adaptive_stream_errors() {
+        let tx = AdocConfig::default().with_levels(1, 10);
+        let data = compressible(1 << 20);
+        let mut wire = Vec::new();
+        let mut src = &data[..];
+        send_message(&mut wire, &mut src, data.len() as u64, &tx).unwrap();
+        for frac in [wire.len() / 4, wire.len() / 2, wire.len() - 3] {
+            let mut c = Cursor::new(wire[..frac].to_vec());
+            let mut out = Vec::new();
+            assert!(
+                receive_message(&mut c, &mut out, &AdocConfig::default()).is_err(),
+                "cut at {frac} did not error"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_message_header_rejected() {
+        let mut cfg = AdocConfig::default();
+        cfg.max_message = 1000;
+        let hdr = wire::encode_msg_header(MsgKind::Direct, 10_000);
+        let mut c = Cursor::new(hdr.to_vec());
+        let mut out = Vec::new();
+        assert!(receive_message(&mut c, &mut out, &cfg).is_err());
+    }
+
+    #[test]
+    fn corrupted_frame_payload_detected() {
+        let tx = AdocConfig::default().with_levels(5, 5);
+        let data = compressible(700_000);
+        let mut wire = Vec::new();
+        let mut src = &data[..];
+        send_message(&mut wire, &mut src, data.len() as u64, &tx).unwrap();
+        // Flip a byte inside the first frame payload (after headers).
+        let idx = wire::MSG_HEADER_LEN + 4 + wire::FRAME_HEADER_LEN + 100;
+        wire[idx] ^= 0xFF;
+        let mut c = Cursor::new(wire);
+        let mut out = Vec::new();
+        let res = receive_message(&mut c, &mut out, &AdocConfig::default());
+        assert!(res.is_err(), "corruption must be detected by decode or length checks");
+    }
+
+    #[test]
+    fn sink_failure_propagates() {
+        struct TinySink(usize);
+        impl Write for TinySink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 < buf.len() {
+                    return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+                }
+                self.0 -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let tx = AdocConfig::default().with_levels(1, 10);
+        let data = compressible(2 << 20);
+        let mut wire = Vec::new();
+        let mut src = &data[..];
+        send_message(&mut wire, &mut src, data.len() as u64, &tx).unwrap();
+        let mut c = Cursor::new(wire);
+        let mut sink = TinySink(100_000);
+        let err = receive_message(&mut c, &mut sink, &AdocConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+}

@@ -1,0 +1,477 @@
+//! The emission side of AdOC (paper Fig. 1): a compression thread feeding
+//! the FIFO queue, an emission thread draining it onto the socket, plus
+//! the §5 heuristics — direct path, 256 KB probe, fast-network bypass,
+//! divergence and ratio guards.
+
+use crate::adapt::LevelController;
+use crate::bw::BandwidthMonitor;
+use crate::config::AdocConfig;
+use crate::queue::{Packet, PacketQueue};
+use crate::stats::TransferStats;
+use crate::wire::{self, FrameHeader, MsgKind};
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+/// What one message send did (merged into [`TransferStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct SendOutcome {
+    /// Bytes put on the socket, headers included.
+    pub wire_bytes: u64,
+    /// Measured probe speed, if a probe ran.
+    pub probe_bps: Option<f64>,
+    /// True if the probe classified the link as too fast to compress.
+    pub fast_path: bool,
+    /// True if the message used the direct (no-thread) path.
+    pub direct: bool,
+    /// Buffers encoded per level during this message.
+    pub buffers_at_level: [u64; 11],
+    /// `(when, level)` per compression buffer, in order.
+    pub level_events: Vec<(Instant, u8)>,
+    /// Divergence-guard reverts during this message.
+    pub divergence_reverts: u64,
+    /// Ratio-guard trips during this message.
+    pub ratio_trips: u64,
+}
+
+impl SendOutcome {
+    /// Folds this outcome into cumulative connection stats.
+    pub fn merge_into(&self, stats: &mut TransferStats, raw_len: u64) {
+        stats.messages += 1;
+        stats.raw_bytes += raw_len;
+        stats.wire_bytes += self.wire_bytes;
+        if self.direct {
+            stats.direct_messages += 1;
+        }
+        if self.probe_bps.is_some() {
+            stats.probes += 1;
+        }
+        if self.fast_path {
+            stats.fast_path_hits += 1;
+        }
+        for &(t, level) in &self.level_events {
+            stats.record_buffer_at(t, level);
+        }
+        debug_assert_eq!(
+            self.buffers_at_level.iter().sum::<u64>(),
+            self.level_events.len() as u64,
+            "level counters and events must agree"
+        );
+        stats.divergence_reverts += self.divergence_reverts;
+        stats.ratio_trips += self.ratio_trips;
+    }
+}
+
+/// Sends one message of exactly `raw_len` bytes drawn from `source`.
+///
+/// Blocking: returns once every byte has been handed to `writer`.
+pub fn send_message<W, S>(
+    writer: &mut W,
+    source: &mut S,
+    raw_len: u64,
+    cfg: &AdocConfig,
+) -> io::Result<SendOutcome>
+where
+    W: Write + Send,
+    S: Read + Send,
+{
+    let direct = cfg.compression_disabled()
+        || (!cfg.compression_forced() && raw_len < cfg.probe_threshold as u64);
+    if direct {
+        return send_direct(writer, source, raw_len, cfg);
+    }
+    send_adaptive(writer, source, raw_len, cfg)
+}
+
+/// §5 "Small messages": header + raw bytes, no threads, latency identical
+/// to plain write.
+fn send_direct<W: Write, S: Read>(
+    writer: &mut W,
+    source: &mut S,
+    raw_len: u64,
+    cfg: &AdocConfig,
+) -> io::Result<SendOutcome> {
+    writer.write_all(&wire::encode_msg_header(MsgKind::Direct, raw_len))?;
+    let copied = copy_exact(source, writer, raw_len, cfg.buffer_size)?;
+    debug_assert_eq!(copied, raw_len);
+    writer.flush()?;
+    Ok(SendOutcome {
+        wire_bytes: wire::MSG_HEADER_LEN as u64 + raw_len,
+        direct: true,
+        ..SendOutcome::default()
+    })
+}
+
+fn send_adaptive<W, S>(
+    writer: &mut W,
+    source: &mut S,
+    raw_len: u64,
+    cfg: &AdocConfig,
+) -> io::Result<SendOutcome>
+where
+    W: Write + Send,
+    S: Read + Send,
+{
+    let mut out = SendOutcome::default();
+    writer.write_all(&wire::encode_msg_header(MsgKind::Adaptive, raw_len))?;
+    out.wire_bytes += wire::MSG_HEADER_LEN as u64;
+
+    // Probe (§5 "Fast Networks") — skipped when compression is forced.
+    let probe_len = if cfg.compression_forced() {
+        0u64
+    } else {
+        (cfg.probe_size as u64).min(raw_len)
+    };
+    wire::write_u32(writer, probe_len as u32)?;
+    out.wire_bytes += 4;
+    if probe_len > 0 {
+        let t0 = Instant::now();
+        copy_exact(source, writer, probe_len, cfg.packet_size)?;
+        writer.flush()?;
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let bps = probe_len as f64 * 8.0 / secs;
+        out.probe_bps = Some(bps);
+        out.wire_bytes += probe_len;
+
+        if bps > cfg.fast_bps {
+            // Too fast to compress: ship the rest as raw frames.
+            out.fast_path = true;
+            let mut remaining = raw_len - probe_len;
+            let mut buf = vec![0u8; cfg.buffer_size];
+            while remaining > 0 {
+                let want = (cfg.buffer_size as u64).min(remaining) as usize;
+                source.read_exact(&mut buf[..want])?;
+                let fh = FrameHeader { level: 0, raw_len: want as u32, payload_len: want as u32 };
+                writer.write_all(&fh.encode())?;
+                writer.write_all(&buf[..want])?;
+                out.wire_bytes += (wire::FRAME_HEADER_LEN + want) as u64;
+                out.buffers_at_level[0] += 1;
+                out.level_events.push((Instant::now(), 0));
+                remaining -= want as u64;
+            }
+            writer.flush()?;
+            return Ok(out);
+        }
+    }
+
+    // Full adaptive machinery: compression thread + emission thread
+    // around the FIFO queue (Fig. 1).
+    let queue = PacketQueue::new(cfg.queue_cap);
+    let bw = BandwidthMonitor::new();
+    let remaining = raw_len - probe_len;
+
+    let (comp_res, emit_res) = std::thread::scope(|s| {
+        let comp = s.spawn(|| compression_thread(source, remaining, &queue, &bw, cfg));
+        let emit = s.spawn(|| emission_thread(writer, &queue, &bw));
+        (comp.join(), emit.join())
+    });
+    let comp = comp_res.expect("compression thread panicked");
+    let emit = emit_res.expect("emission thread panicked");
+
+    // An emission failure poisons the queue, which surfaces in the
+    // compression thread as Closed; prefer the emission (I/O) error.
+    let wire = emit?;
+    let comp = comp?;
+    out.wire_bytes += wire;
+    out.buffers_at_level
+        .iter_mut()
+        .zip(comp.buffers_at_level)
+        .for_each(|(d, s)| *d += s);
+    out.level_events.extend(comp.level_events);
+    out.divergence_reverts = comp.divergence_reverts;
+    out.ratio_trips = comp.ratio_trips;
+    writer.flush()?;
+    Ok(out)
+}
+
+/// Per-message results the compression thread reports back.
+struct CompOutcome {
+    buffers_at_level: [u64; 11],
+    level_events: Vec<(Instant, u8)>,
+    divergence_reverts: u64,
+    ratio_trips: u64,
+}
+
+fn compression_thread<S: Read>(
+    source: &mut S,
+    mut remaining: u64,
+    queue: &PacketQueue,
+    bw: &BandwidthMonitor,
+    cfg: &AdocConfig,
+) -> io::Result<CompOutcome> {
+    let mut ctrl = LevelController::new(cfg);
+    let mut buf = vec![0u8; cfg.buffer_size];
+    let mut payload = Vec::with_capacity(cfg.buffer_size + 64);
+    let mut buffers_at_level = [0u64; 11];
+    let mut level_events: Vec<(Instant, u8)> = Vec::new();
+
+    while remaining > 0 {
+        let want = (cfg.buffer_size as u64).min(remaining) as usize;
+        if let Err(e) = source.read_exact(&mut buf[..want]) {
+            queue.close();
+            return Err(e);
+        }
+
+        // §3.2: the level is updated before each new buffer.
+        let mut level = ctrl.next_level(queue.len(), bw, cfg);
+
+        // §5 "Compressed and random data", early abort: while the stream
+        // looks incompressible, test a small prefix before paying for a
+        // full-buffer compression.
+        if level > 0 && ctrl.is_suspicious() {
+            let check = (4 * cfg.packet_size).min(want);
+            let t0 = Instant::now();
+            payload.clear();
+            adoc_codec::compress_at(level, &buf[..check], &mut payload);
+            cfg.throttle.charge(t0.elapsed());
+            let check_ratio = check as f64 / payload.len() as f64;
+            ctrl.report_ratio(check_ratio, cfg);
+            if cfg.ratio_guard > 0.0 && check_ratio < cfg.ratio_guard {
+                level = 0; // still incompressible: ship the buffer raw
+            }
+        }
+
+        if level == 0 {
+            payload.clear();
+            payload.extend_from_slice(&buf[..want]);
+        } else {
+            let t0 = Instant::now();
+            payload.clear();
+            adoc_codec::compress_at(level, &buf[..want], &mut payload);
+            cfg.throttle.charge(t0.elapsed());
+
+            let ratio = want as f64 / payload.len() as f64;
+            ctrl.report_ratio(ratio, cfg);
+            if cfg.ratio_guard > 0.0 && ratio < cfg.ratio_guard {
+                // Abandon the compressed form; this buffer goes out raw.
+                payload.clear();
+                payload.extend_from_slice(&buf[..want]);
+                level = 0;
+            }
+        }
+        buffers_at_level[level as usize] += 1;
+        level_events.push((Instant::now(), level));
+
+        // Frame = header + payload, split into queue packets.
+        let fh = FrameHeader {
+            level,
+            raw_len: want as u32,
+            payload_len: payload.len() as u32,
+        };
+        let mut frame = Vec::with_capacity(wire::FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&fh.encode());
+        frame.extend_from_slice(&payload);
+
+        let total = frame.len();
+        let mut pushed = 0u32;
+        for chunk in frame.chunks(cfg.packet_size) {
+            let raw_share = ((want as u64 * chunk.len() as u64) / total as u64) as u32;
+            let pkt = Packet { bytes: chunk.to_vec(), level, raw_share };
+            if queue.push(pkt).is_err() {
+                // Consumer failed; its error is authoritative.
+                return Ok(CompOutcome {
+                    buffers_at_level,
+                    level_events,
+                    divergence_reverts: ctrl.divergence_reverts,
+                    ratio_trips: ctrl.ratio_trips,
+                });
+            }
+            pushed += 1;
+        }
+        ctrl.packets_pushed(pushed);
+        remaining -= want as u64;
+    }
+    queue.close();
+    Ok(CompOutcome {
+        buffers_at_level,
+        level_events,
+        divergence_reverts: ctrl.divergence_reverts,
+        ratio_trips: ctrl.ratio_trips,
+    })
+}
+
+fn emission_thread<W: Write>(
+    writer: &mut W,
+    queue: &PacketQueue,
+    bw: &BandwidthMonitor,
+) -> io::Result<u64> {
+    let mut wire_bytes = 0u64;
+    while let Some(pkt) = queue.pop() {
+        let t0 = Instant::now();
+        if let Err(e) = writer.write_all(&pkt.bytes) {
+            queue.poison();
+            return Err(e);
+        }
+        bw.record(pkt.level, u64::from(pkt.raw_share), t0.elapsed());
+        wire_bytes += pkt.bytes.len() as u64;
+    }
+    Ok(wire_bytes)
+}
+
+/// Copies exactly `len` bytes from `source` to `writer` in bounded chunks.
+fn copy_exact<S: Read, W: Write>(
+    source: &mut S,
+    writer: &mut W,
+    len: u64,
+    chunk: usize,
+) -> io::Result<u64> {
+    let mut buf = vec![0u8; chunk.min(len.try_into().unwrap_or(usize::MAX)).max(1)];
+    let mut left = len;
+    while left > 0 {
+        let want = (buf.len() as u64).min(left) as usize;
+        source.read_exact(&mut buf[..want])?;
+        writer.write_all(&buf[..want])?;
+        left -= want as u64;
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_msg_header;
+    use std::io::Cursor;
+
+    fn send_to_vec(data: &[u8], cfg: &AdocConfig) -> (Vec<u8>, SendOutcome) {
+        let mut wire = Vec::new();
+        let mut src = data;
+        let out = send_message(&mut wire, &mut src, data.len() as u64, cfg).unwrap();
+        (wire, out)
+    }
+
+    #[test]
+    fn small_message_takes_direct_path() {
+        let cfg = AdocConfig::default();
+        let data = vec![1u8; 100_000]; // < 512 KB
+        let (wire, out) = send_to_vec(&data, &cfg);
+        assert!(out.direct);
+        assert!(out.probe_bps.is_none());
+        assert_eq!(wire.len(), wire::MSG_HEADER_LEN + data.len());
+        let mut c = Cursor::new(wire);
+        let (kind, len) = read_msg_header(&mut c).unwrap().unwrap();
+        assert_eq!(kind, MsgKind::Direct);
+        assert_eq!(len, data.len() as u64);
+    }
+
+    #[test]
+    fn large_message_probes_and_fast_path_on_instant_sink() {
+        // A Vec sink is infinitely fast: the probe must measure a huge
+        // speed and disable compression (the paper's Gbit behaviour).
+        let cfg = AdocConfig::default();
+        let data = vec![7u8; 1 << 20];
+        let (wire, out) = send_to_vec(&data, &cfg);
+        assert!(!out.direct);
+        assert!(out.probe_bps.expect("probe ran") > cfg.fast_bps);
+        assert!(out.fast_path);
+        // Wire = header + probe_len field + probe + raw frames: no
+        // compression means wire ≥ raw.
+        assert!(wire.len() as u64 >= data.len() as u64);
+    }
+
+    #[test]
+    fn forced_compression_skips_probe_and_compresses() {
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let data = b"compress me please ".repeat(60_000); // ~1.1 MB
+        let (wire, out) = send_to_vec(&data, &cfg);
+        assert!(out.probe_bps.is_none());
+        assert!(!out.fast_path);
+        assert!(wire.len() < data.len(), "forced compression must shrink text");
+        let compressed_buffers: u64 = out.buffers_at_level[1..].iter().sum();
+        assert!(compressed_buffers > 0);
+    }
+
+    #[test]
+    fn forced_compression_of_zero_bytes_works() {
+        // Table 2's "AdOC with forced compression" row does 0-byte
+        // ping-pongs through the full machinery.
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let (wire, out) = send_to_vec(b"", &cfg);
+        assert!(!out.direct);
+        assert_eq!(out.wire_bytes, wire.len() as u64);
+        let mut c = Cursor::new(wire);
+        let (kind, len) = read_msg_header(&mut c).unwrap().unwrap();
+        assert_eq!(kind, MsgKind::Adaptive);
+        assert_eq!(len, 0);
+    }
+
+    #[test]
+    fn disabled_compression_is_direct_even_when_large() {
+        let cfg = AdocConfig::default().with_levels(0, 0);
+        let data = vec![3u8; 2 << 20];
+        let (wire, out) = send_to_vec(&data, &cfg);
+        assert!(out.direct);
+        assert_eq!(wire.len(), wire::MSG_HEADER_LEN + data.len());
+    }
+
+    #[test]
+    fn short_source_is_an_error() {
+        let cfg = AdocConfig::default();
+        let mut wire = Vec::new();
+        let mut src: &[u8] = b"only ten b";
+        let err = send_message(&mut wire, &mut src, 100, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn emission_failure_surfaces_as_error() {
+        struct FailAfter {
+            n: usize,
+        }
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.n < buf.len() {
+                    return Err(io::Error::new(io::ErrorKind::ConnectionReset, "peer gone"));
+                }
+                self.n -= buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = AdocConfig::default().with_levels(1, 10); // skip probe
+        // Incompressible payload so the wire size exceeds the allowance.
+        let data: Vec<u8> = {
+            let mut x = 1u64;
+            (0..4 << 20)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (x >> 40) as u8
+                })
+                .collect()
+        };
+        let mut sink = FailAfter { n: 300_000 };
+        let mut src = &data[..];
+        let err = send_message(&mut sink, &mut src, data.len() as u64, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn wire_byte_accounting_is_exact() {
+        for cfg in [
+            AdocConfig::default(),
+            AdocConfig::default().with_levels(1, 10),
+            AdocConfig::default().with_levels(0, 0),
+        ] {
+            let data = adoc_data_stub(700_000);
+            let (wire, out) = send_to_vec(&data, &cfg);
+            assert_eq!(out.wire_bytes, wire.len() as u64, "cfg {cfg:?}");
+        }
+    }
+
+    /// Mildly compressible deterministic payload without pulling in
+    /// adoc-data (dev-dependency cycle avoidance in unit tests).
+    fn adoc_data_stub(n: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = 7u64;
+        while v.len() < n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x % 3 == 0 {
+                v.extend_from_slice(b"repetitive segment ");
+            } else {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        v.truncate(n);
+        v
+    }
+}

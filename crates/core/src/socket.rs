@@ -1,0 +1,479 @@
+//! The idiomatic connection type: [`AdocSocket`] wraps a reader/writer
+//! pair (TCP halves, simulated link halves, pipes …) and exposes the
+//! paper's seven operations with Rust types.
+
+use crate::config::AdocConfig;
+use crate::receiver::receive_message;
+use crate::sender::{send_message, SendOutcome};
+use crate::stats::TransferStats;
+use std::fs::File;
+use std::io::{self, Read, Write};
+
+/// What one send did, mirroring the paper's `slen` out-parameter
+/// (`raw / wire` is the achieved compression ratio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendReport {
+    /// Application payload bytes handed to the call.
+    pub raw: u64,
+    /// Bytes that actually went on the wire (the paper's `*slen`).
+    pub wire: u64,
+    /// Probe-measured link speed, if a probe ran.
+    pub probe_bps: Option<f64>,
+    /// True when the probe classified the link as too fast to compress.
+    pub fast_path: bool,
+}
+
+/// An AdOC connection over any `Read`/`Write` pair.
+///
+/// ```
+/// use adoc::AdocSocket;
+/// use adoc_sim::pipe::duplex_pipe;
+///
+/// let (a, b) = duplex_pipe(1 << 20);
+/// let (ar, aw) = a.split();
+/// let (br, bw) = b.split();
+/// let mut tx = AdocSocket::new(ar, aw);
+/// let mut rx = AdocSocket::new(br, bw);
+///
+/// let report = tx.write(b"hello adoc").unwrap();
+/// assert_eq!(report.raw, 10);
+/// let mut buf = [0u8; 10];
+/// let n = rx.read(&mut buf).unwrap();
+/// assert_eq!(&buf[..n], b"hello adoc");
+/// ```
+pub struct AdocSocket<R: Read + Send, W: Write + Send> {
+    reader: R,
+    writer: W,
+    cfg: AdocConfig,
+    /// Decoded bytes from a partially-consumed message (the paper's
+    /// temporary buffers for partial reads, §4.1 `adoc_close`).
+    leftover: Vec<u8>,
+    leftover_pos: usize,
+    stats: TransferStats,
+}
+
+impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
+    /// Wraps a reader/writer pair with the default (paper) configuration.
+    pub fn new(reader: R, writer: W) -> Self {
+        Self::with_config(reader, writer, AdocConfig::default())
+    }
+
+    /// Wraps with an explicit configuration.
+    pub fn with_config(reader: R, writer: W, cfg: AdocConfig) -> Self {
+        cfg.validate();
+        AdocSocket {
+            reader,
+            writer,
+            cfg,
+            leftover: Vec::new(),
+            leftover_pos: 0,
+            stats: TransferStats::new(),
+        }
+    }
+
+    /// Connection configuration.
+    pub fn config(&self) -> &AdocConfig {
+        &self.cfg
+    }
+
+    /// Cumulative transfer statistics.
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// Sends `data` as one message (the paper's `adoc_write`): blocks
+    /// until every byte is on the socket, adapting the compression level
+    /// throughout.
+    pub fn write(&mut self, data: &[u8]) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone();
+        self.send_with(data, &cfg)
+    }
+
+    /// `adoc_write_levels`: like [`Self::write`] with level bounds for
+    /// this call only. `max = 0` disables compression; `min ≥ 1` forces
+    /// it.
+    pub fn write_levels(&mut self, data: &[u8], min: u8, max: u8) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone().with_levels(min, max);
+        cfg.validate();
+        self.send_with(data, &cfg)
+    }
+
+    fn send_with(&mut self, data: &[u8], cfg: &AdocConfig) -> io::Result<SendReport> {
+        let mut src = data;
+        let out = send_message(&mut self.writer, &mut src, data.len() as u64, cfg)?;
+        Ok(self.merge(out, data.len() as u64))
+    }
+
+    fn merge(&mut self, out: SendOutcome, raw: u64) -> SendReport {
+        out.merge_into(&mut self.stats, raw);
+        SendReport { raw, wire: out.wire_bytes, probe_bps: out.probe_bps, fast_path: out.fast_path }
+    }
+
+    /// Receives into `out` with POSIX `read` semantics (the paper's
+    /// `adoc_read`): blocks for at least one byte, may return fewer than
+    /// requested (message boundaries cause short reads), `Ok(0)` only at
+    /// end of stream.
+    pub fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        if self.leftover_len() == 0 {
+            self.leftover.clear();
+            self.leftover_pos = 0;
+            match receive_message(&mut self.reader, &mut self.leftover, &self.cfg)? {
+                None => return Ok(0),
+                Some(_) => {}
+            }
+            if self.leftover.is_empty() {
+                // Zero-length message: by POSIX semantics deliver 0 bytes
+                // without signalling EOF only if the caller retries; treat
+                // it as an empty read.
+                return Ok(0);
+            }
+        }
+        let avail = self.leftover_len();
+        let n = avail.min(out.len());
+        out[..n].copy_from_slice(&self.leftover[self.leftover_pos..self.leftover_pos + n]);
+        self.leftover_pos += n;
+        if self.leftover_len() == 0 {
+            self.leftover.clear();
+            self.leftover_pos = 0;
+        }
+        Ok(n)
+    }
+
+    /// Reads exactly `out.len()` bytes across message boundaries.
+    pub fn read_exact(&mut self, out: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < out.len() {
+            let n = self.read(&mut out[filled..])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid read_exact",
+                ));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+
+    fn leftover_len(&self) -> usize {
+        self.leftover.len() - self.leftover_pos
+    }
+
+    /// `adoc_send_file`: streams a file as one message; returns the file
+    /// size and wire bytes (the paper returns the size and outputs `slen`).
+    pub fn send_file(&mut self, file: &mut File) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone();
+        self.send_file_with(file, &cfg)
+    }
+
+    /// `adoc_send_file_levels`: level-bounded variant.
+    pub fn send_file_levels(&mut self, file: &mut File, min: u8, max: u8) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone().with_levels(min, max);
+        cfg.validate();
+        self.send_file_with(file, &cfg)
+    }
+
+    fn send_file_with(&mut self, file: &mut File, cfg: &AdocConfig) -> io::Result<SendReport> {
+        let len = file.metadata()?.len();
+        self.send_reader(file, len, cfg)
+    }
+
+    /// Streams exactly `len` bytes from any reader as one message
+    /// (generalizes `adoc_send_file` to non-file sources).
+    pub fn send_reader(
+        &mut self,
+        source: &mut (impl Read + Send),
+        len: u64,
+        cfg: &AdocConfig,
+    ) -> io::Result<SendReport> {
+        let out = send_message(&mut self.writer, source, len, cfg)?;
+        Ok(self.merge(out, len))
+    }
+
+    /// `adoc_receive_file`: drains any partially-read message, then
+    /// receives exactly one message, streaming it into `sink`. Returns the
+    /// number of bytes stored.
+    pub fn receive_file(&mut self, sink: &mut (impl Write + Send)) -> io::Result<u64> {
+        let mut total = 0u64;
+        if self.leftover_len() > 0 {
+            sink.write_all(&self.leftover[self.leftover_pos..])?;
+            total += self.leftover_len() as u64;
+            self.leftover.clear();
+            self.leftover_pos = 0;
+        }
+        match receive_message(&mut self.reader, sink, &self.cfg)? {
+            Some(n) => Ok(total + n),
+            None if total > 0 => Ok(total),
+            None => Ok(0),
+        }
+    }
+
+    /// `adoc_close`: flushes the writer and frees the partial-read
+    /// buffers. The underlying streams close on drop.
+    pub fn close(mut self) -> io::Result<()> {
+        self.close_mut()
+    }
+
+    /// In-place close used by the descriptor registry.
+    pub(crate) fn close_mut(&mut self) -> io::Result<()> {
+        self.leftover = Vec::new();
+        self.leftover_pos = 0;
+        self.writer.flush()
+    }
+
+    /// Consumes the socket, returning the underlying streams.
+    pub fn into_inner(self) -> (R, W) {
+        (self.reader, self.writer)
+    }
+}
+
+/// `std::io::Read`: makes the socket a drop-in replacement wherever plain
+/// stream reads are used (`io::copy`, `read_to_end`, `BufReader`, …) —
+/// the paper's integration story.
+impl<R: Read + Send, W: Write + Send> Read for AdocSocket<R, W> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        AdocSocket::read(self, buf)
+    }
+}
+
+/// `std::io::Write`: each call sends one AdOC message (write-combining
+/// callers should wrap in `BufWriter` to avoid tiny messages).
+impl<R: Read + Send, W: Write + Send> Write for AdocSocket<R, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        AdocSocket::write(self, buf).map(|r| r.raw as usize)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adoc_sim::pipe::duplex_pipe;
+    use std::thread;
+
+    fn pair() -> (AdocSocket<adoc_sim::pipe::PipeReader, adoc_sim::pipe::PipeWriter>, AdocSocket<adoc_sim::pipe::PipeReader, adoc_sim::pipe::PipeWriter>) {
+        let (a, b) = duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        (AdocSocket::new(ar, aw), AdocSocket::new(br, bw))
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = 5u64;
+        while v.len() < n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x % 2 == 0 {
+                v.extend_from_slice(b"window pane window pane ");
+            } else {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        v.truncate(n);
+        v
+    }
+
+    #[test]
+    fn small_roundtrip_and_stats() {
+        let (mut tx, mut rx) = pair();
+        let report = tx.write(b"tiny").unwrap();
+        assert_eq!(report.raw, 4);
+        assert!(report.wire >= 4);
+        let mut buf = [0u8; 16];
+        let n = rx.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"tiny");
+        assert_eq!(tx.stats().messages, 1);
+        assert_eq!(tx.stats().direct_messages, 1);
+    }
+
+    #[test]
+    fn partial_reads_sixty_forty() {
+        // The paper's example: send 100 (scaled: 1 MB), read 60 % then 40 %.
+        let (tx, mut rx) = pair();
+        let data = payload(1_000_000);
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            tx.write(&data2).unwrap();
+            tx
+        });
+        let mut first = vec![0u8; 600_000];
+        rx.read_exact(&mut first).unwrap();
+        let mut second = vec![0u8; 400_000];
+        rx.read_exact(&mut second).unwrap();
+        t.join().unwrap();
+        assert_eq!(first, data[..600_000]);
+        assert_eq!(second, data[600_000..]);
+    }
+
+    #[test]
+    fn multiple_messages_in_sequence() {
+        let (tx, mut rx) = pair();
+        let msgs: Vec<Vec<u8>> = (0..5).map(|i| payload(10_000 + i * 3733)).collect();
+        let msgs2 = msgs.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            for m in &msgs2 {
+                tx.write(m).unwrap();
+            }
+            tx
+        });
+        for m in &msgs {
+            let mut buf = vec![0u8; m.len()];
+            rx.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, m);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn read_returns_short_at_message_boundary() {
+        let (mut tx, mut rx) = pair();
+        tx.write(b"abc").unwrap();
+        tx.write(b"defg").unwrap();
+        let mut buf = [0u8; 64];
+        // POSIX semantics: the first read must not cross into message 2.
+        let n1 = rx.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n1], b"abc");
+        let n2 = rx.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n2], b"defg");
+    }
+
+    #[test]
+    fn eof_reads_zero() {
+        let (tx, mut rx) = pair();
+        drop(tx); // closes the tx→rx direction
+        let mut buf = [0u8; 8];
+        assert_eq!(rx.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_levels_disable_and_force() {
+        let (tx, mut rx) = pair();
+        let data = payload(900_000);
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            // Disabled: wire ≈ raw + header.
+            let r0 = tx.write_levels(&data2, 0, 0).unwrap();
+            assert_eq!(r0.wire, data2.len() as u64 + crate::wire::MSG_HEADER_LEN as u64);
+            // Forced: text-heavy payload must shrink.
+            let r1 = tx.write_levels(&data2, 1, 10).unwrap();
+            assert!(r1.wire < r0.wire);
+            tx
+        });
+        for _ in 0..2 {
+            let mut buf = vec![0u8; data.len()];
+            rx.read_exact(&mut buf).unwrap();
+            assert_eq!(buf, data);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn send_and_receive_file() {
+        let dir = std::env::temp_dir().join("adoc-socket-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src_path = dir.join("src.bin");
+        let dst_path = dir.join("dst.bin");
+        let data = payload(1_200_000);
+        std::fs::write(&src_path, &data).unwrap();
+
+        let (tx, mut rx) = pair();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            let mut f = File::open(src_path).unwrap();
+            let rep = tx.send_file(&mut f).unwrap();
+            assert_eq!(rep.raw, data.len() as u64);
+            tx
+        });
+        let mut dst = File::create(&dst_path).unwrap();
+        let n = rx.receive_file(&mut dst).unwrap();
+        t.join().unwrap();
+        drop(dst);
+        assert_eq!(n, 1_200_000);
+        let got = std::fs::read(&dst_path).unwrap();
+        assert_eq!(got.len(), 1_200_000);
+        assert_eq!(&got[..64], &payload(1_200_000)[..64]);
+    }
+
+    #[test]
+    fn receive_file_drains_leftover_first() {
+        let (tx, mut rx) = pair();
+        let data = payload(50_000);
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            tx.write(&data2).unwrap();
+            tx.write(b"second message").unwrap();
+            tx
+        });
+        // Consume 10 KB of message 1, then receive_file the rest + msg 2.
+        let mut head = vec![0u8; 10_000];
+        rx.read_exact(&mut head).unwrap();
+        let mut rest: Vec<u8> = Vec::new();
+        let n = rx.receive_file(&mut rest).unwrap();
+        t.join().unwrap();
+        assert_eq!(head, data[..10_000]);
+        assert_eq!(n as usize, 40_000 + 14);
+        assert_eq!(&rest[..40_000], &data[10_000..]);
+        assert_eq!(&rest[40_000..], b"second message");
+    }
+
+    #[test]
+    fn close_flushes() {
+        let (tx, _rx) = pair();
+        tx.close().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod io_trait_tests {
+    use super::*;
+    use adoc_sim::pipe::duplex_pipe;
+    use std::io::{Read as _, Write as _};
+    use std::thread;
+
+    #[test]
+    fn io_copy_works_through_adoc() {
+        let (a, b) = duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        let mut tx = AdocSocket::new(ar, aw);
+        let mut rx = AdocSocket::new(br, bw);
+
+        let data = b"io::copy payload ".repeat(5_000);
+        let expect = data.clone();
+        let t = thread::spawn(move || {
+            let mut src: &[u8] = &data;
+            std::io::copy(&mut src, &mut tx).unwrap();
+            tx.flush().unwrap();
+            tx
+        });
+        let mut got = vec![0u8; expect.len()];
+        rx.read_exact(&mut got).unwrap();
+        t.join().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn read_to_end_collects_until_eof() {
+        let (a, b) = duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        let mut tx = AdocSocket::new(ar, aw);
+        let mut rx = AdocSocket::new(br, bw);
+        tx.write(b"first ").unwrap();
+        tx.write(b"second").unwrap();
+        drop(tx);
+        let mut all = Vec::new();
+        std::io::Read::read_to_end(&mut rx, &mut all).unwrap();
+        assert_eq!(all, b"first second");
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-connection observability: what the adaptation actually did.
+//!
+//! The examples and the experiment harness read these counters to plot
+//! level timelines and to verify probe / guard behaviour; none of it is
+//! on the wire.
+
+use std::time::Instant;
+
+/// Maximum retained timeline entries (a 32 MB transfer produces ~160
+/// buffers; the cap only matters for very long-lived connections).
+const TIMELINE_CAP: usize = 100_000;
+
+/// Cumulative statistics for one AdOC connection.
+#[derive(Debug, Clone)]
+pub struct TransferStats {
+    /// Messages sent (one per `adoc_write`/`adoc_send_file`).
+    pub messages: u64,
+    /// Application payload bytes sent.
+    pub raw_bytes: u64,
+    /// Bytes actually put on the socket (headers included).
+    pub wire_bytes: u64,
+    /// Messages that took the small/disabled direct path.
+    pub direct_messages: u64,
+    /// Probes performed (adaptive messages without forced compression).
+    pub probes: u64,
+    /// Probes that measured a fast network and disabled compression.
+    pub fast_path_hits: u64,
+    /// Compression buffers encoded at each AdOC level (0..=10).
+    pub buffers_at_level: [u64; 11],
+    /// Divergence-guard reverts (§5).
+    pub divergence_reverts: u64,
+    /// Incompressible-data guard trips (§5).
+    pub ratio_trips: u64,
+    /// `(seconds_since_connection, level)` per compression buffer.
+    pub level_timeline: Vec<(f64, u8)>,
+    epoch: Instant,
+}
+
+impl Default for TransferStats {
+    fn default() -> Self {
+        TransferStats {
+            messages: 0,
+            raw_bytes: 0,
+            wire_bytes: 0,
+            direct_messages: 0,
+            probes: 0,
+            fast_path_hits: 0,
+            buffers_at_level: [0; 11],
+            divergence_reverts: 0,
+            ratio_trips: 0,
+            level_timeline: Vec::new(),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl TransferStats {
+    /// Creates zeroed stats with the epoch set to now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seconds since this connection's stats began.
+    pub fn now_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records one buffer compressed at `level`.
+    pub fn record_buffer(&mut self, level: u8) {
+        self.record_buffer_at(Instant::now(), level);
+    }
+
+    /// Records one buffer compressed at `level` at a given instant (the
+    /// sender reports timestamps captured inside the compression thread).
+    pub fn record_buffer_at(&mut self, t: Instant, level: u8) {
+        self.buffers_at_level[level as usize] += 1;
+        if self.level_timeline.len() < TIMELINE_CAP {
+            let secs = t.saturating_duration_since(self.epoch).as_secs_f64();
+            self.level_timeline.push((secs, level));
+        }
+    }
+
+    /// Overall wire/raw ratio so far (> 1 means compression won).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.wire_bytes as f64
+    }
+
+    /// The highest level any buffer used.
+    pub fn max_level_used(&self) -> u8 {
+        (0..11u8).rev().find(|&l| self.buffers_at_level[l as usize] > 0).unwrap_or(0)
+    }
+
+    /// Total compression buffers across all levels.
+    pub fn total_buffers(&self) -> u64 {
+        self.buffers_at_level.iter().sum()
+    }
+}
+
+impl std::fmt::Display for TransferStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "messages: {} ({} direct), raw {} B, wire {} B (ratio {:.2})",
+            self.messages,
+            self.direct_messages,
+            self.raw_bytes,
+            self.wire_bytes,
+            self.compression_ratio()
+        )?;
+        writeln!(
+            f,
+            "probes: {} ({} fast-path), reverts: {}, ratio-guard trips: {}",
+            self.probes, self.fast_path_hits, self.divergence_reverts, self.ratio_trips
+        )?;
+        write!(f, "buffers per level:")?;
+        for (lvl, &n) in self.buffers_at_level.iter().enumerate() {
+            if n > 0 {
+                write!(f, " L{lvl}:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_levels() {
+        let mut s = TransferStats::new();
+        s.raw_bytes = 1000;
+        s.wire_bytes = 250;
+        assert!((s.compression_ratio() - 4.0).abs() < 1e-12);
+        s.record_buffer(3);
+        s.record_buffer(3);
+        s.record_buffer(7);
+        assert_eq!(s.max_level_used(), 7);
+        assert_eq!(s.total_buffers(), 3);
+        assert_eq!(s.buffers_at_level[3], 2);
+        assert_eq!(s.level_timeline.len(), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = TransferStats::new();
+        assert_eq!(s.compression_ratio(), 1.0);
+        assert_eq!(s.max_level_used(), 0);
+        let _ = format!("{s}");
+    }
+
+    #[test]
+    fn timeline_is_monotone_in_time() {
+        let mut s = TransferStats::new();
+        for i in 0..50 {
+            s.record_buffer((i % 11) as u8);
+        }
+        assert!(s.level_timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}
+
+impl TransferStats {
+    /// Exports the level timeline as CSV (`seconds,level` rows) for
+    /// replotting — the adaptive_trace example's machine-readable twin.
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from("seconds,level\n");
+        for &(secs, level) in &self.level_timeline {
+            out.push_str(&format!("{secs:.6},{level}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn timeline_csv_format() {
+        let mut s = TransferStats::new();
+        s.record_buffer(3);
+        s.record_buffer(5);
+        let csv = s.timeline_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "seconds,level");
+        assert!(lines[1].ends_with(",3"));
+        assert!(lines[2].ends_with(",5"));
+    }
+}

@@ -1,0 +1,73 @@
+//! CPU-speed models: the hook the simulation substrate uses to emulate
+//! slower hosts (the paper's Tennessee machine, and the slow-receiver
+//! divergence scenario of §5).
+
+use std::time::Duration;
+
+/// Charged once per unit of (de)compression work with the wall time the
+/// work actually took; implementations may stretch it.
+pub trait Throttle: Send + Sync {
+    /// Called after a compression/decompression step that took `elapsed`.
+    fn charge(&self, elapsed: Duration);
+}
+
+/// Full-speed host: no extra cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoThrottle;
+
+impl Throttle for NoThrottle {
+    fn charge(&self, _elapsed: Duration) {}
+}
+
+/// A host `factor`× slower than this machine: each unit of codec work is
+/// stretched by sleeping the difference.
+#[derive(Debug, Clone, Copy)]
+pub struct SleepThrottle {
+    factor: f64,
+}
+
+impl SleepThrottle {
+    /// `factor` must be ≥ 1 (1.0 = no slowdown).
+    pub fn new(factor: f64) -> Self {
+        assert!(factor >= 1.0, "throttle factor must be >= 1");
+        SleepThrottle { factor }
+    }
+}
+
+impl Throttle for SleepThrottle {
+    fn charge(&self, elapsed: Duration) {
+        let extra = elapsed.mul_f64(self.factor - 1.0);
+        if !extra.is_zero() {
+            std::thread::sleep(extra);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn no_throttle_is_free() {
+        let start = Instant::now();
+        NoThrottle.charge(Duration::from_millis(50));
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sleep_throttle_stretches_work() {
+        let t = SleepThrottle::new(3.0);
+        let start = Instant::now();
+        t.charge(Duration::from_millis(10));
+        // factor 3 ⇒ 20 ms extra.
+        let e = start.elapsed();
+        assert!(e >= Duration::from_millis(18), "{e:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn rejects_speedup_factors() {
+        SleepThrottle::new(0.5);
+    }
+}

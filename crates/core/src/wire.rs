@@ -1,0 +1,214 @@
+//! AdOC wire protocol (little-endian throughout).
+//!
+//! ```text
+//! Message      := MsgHeader Body
+//! MsgHeader    := magic:u8 = 0xAD   kind:u8   raw_len:u64
+//! Direct body  := raw bytes [raw_len]
+//! Adaptive body:= probe_len:u32  probe-bytes[probe_len]  Frame*
+//!                 (probe_len + Σ frame.raw_len == raw_len)
+//! Frame        := level:u8  raw_len:u32  payload_len:u32  payload
+//! ```
+//!
+//! `Direct` carries small messages (< 512 KB) and messages sent with
+//! compression disabled; `Adaptive` carries the probe prefix plus one
+//! frame per 200 KB compression buffer.
+
+use std::io::{self, Read, Write};
+
+/// Message header magic byte.
+pub const MAGIC: u8 = 0xAD;
+
+/// Size of an encoded message header.
+pub const MSG_HEADER_LEN: usize = 10;
+/// Size of an encoded frame header.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// How a message's body is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Raw bytes, no threads involved.
+    Direct,
+    /// Probe prefix + compressed frames.
+    Adaptive,
+}
+
+impl MsgKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            MsgKind::Direct => 0,
+            MsgKind::Adaptive => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> io::Result<Self> {
+        match b {
+            0 => Ok(MsgKind::Direct),
+            1 => Ok(MsgKind::Adaptive),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown AdOC message kind {other}"),
+            )),
+        }
+    }
+}
+
+/// Encodes a message header into a 10-byte array.
+pub fn encode_msg_header(kind: MsgKind, raw_len: u64) -> [u8; MSG_HEADER_LEN] {
+    let mut h = [0u8; MSG_HEADER_LEN];
+    h[0] = MAGIC;
+    h[1] = kind.to_byte();
+    h[2..10].copy_from_slice(&raw_len.to_le_bytes());
+    h
+}
+
+/// Reads a message header. Returns `Ok(None)` on clean EOF (no bytes at
+/// all); a partial header is an error.
+pub fn read_msg_header(r: &mut impl Read) -> io::Result<Option<(MsgKind, u64)>> {
+    let mut h = [0u8; MSG_HEADER_LEN];
+    // First byte decides between EOF and a real header.
+    let mut got = 0usize;
+    while got < 1 {
+        let n = r.read(&mut h[..1])?;
+        if n == 0 {
+            return Ok(None);
+        }
+        got = n;
+    }
+    r.read_exact(&mut h[1..])?;
+    if h[0] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad AdOC magic {:#04x}", h[0]),
+        ));
+    }
+    let kind = MsgKind::from_byte(h[1])?;
+    let raw_len = u64::from_le_bytes(h[2..10].try_into().expect("8 bytes"));
+    Ok(Some((kind, raw_len)))
+}
+
+/// One compression buffer on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// AdOC level the payload was compressed at (0 = raw).
+    pub level: u8,
+    /// Decoded size of this frame.
+    pub raw_len: u32,
+    /// Encoded (on-wire) payload size.
+    pub payload_len: u32,
+}
+
+impl FrameHeader {
+    /// Encodes into a 9-byte array.
+    pub fn encode(&self) -> [u8; FRAME_HEADER_LEN] {
+        let mut h = [0u8; FRAME_HEADER_LEN];
+        h[0] = self.level;
+        h[1..5].copy_from_slice(&self.raw_len.to_le_bytes());
+        h[5..9].copy_from_slice(&self.payload_len.to_le_bytes());
+        h
+    }
+
+    /// Reads and validates a frame header.
+    pub fn read(r: &mut impl Read, max_level: u8) -> io::Result<FrameHeader> {
+        let mut h = [0u8; FRAME_HEADER_LEN];
+        r.read_exact(&mut h)?;
+        let level = h[0];
+        if level > max_level {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame level {level} exceeds protocol maximum {max_level}"),
+            ));
+        }
+        let raw_len = u32::from_le_bytes(h[1..5].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(h[5..9].try_into().expect("4 bytes"));
+        if level == 0 && raw_len != payload_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "raw frame with mismatched lengths",
+            ));
+        }
+        Ok(FrameHeader { level, raw_len, payload_len })
+    }
+}
+
+/// Reads exactly `len` bytes into a fresh buffer.
+pub fn read_exact_vec(r: &mut impl Read, len: usize) -> io::Result<Vec<u8>> {
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Writes a `u32` length prefix (probe segment).
+pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u32` length prefix.
+pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn msg_header_roundtrip() {
+        for (kind, len) in [(MsgKind::Direct, 0u64), (MsgKind::Adaptive, u64::MAX / 2)] {
+            let enc = encode_msg_header(kind, len);
+            let mut c = Cursor::new(enc.to_vec());
+            let (k, l) = read_msg_header(&mut c).unwrap().unwrap();
+            assert_eq!((k, l), (kind, len));
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut c = Cursor::new(Vec::<u8>::new());
+        assert!(read_msg_header(&mut c).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_header_is_error() {
+        let enc = encode_msg_header(MsgKind::Direct, 42);
+        let mut c = Cursor::new(enc[..4].to_vec());
+        assert!(read_msg_header(&mut c).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = encode_msg_header(MsgKind::Direct, 1).to_vec();
+        enc[0] = 0x00;
+        assert!(read_msg_header(&mut Cursor::new(enc)).is_err());
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut enc = encode_msg_header(MsgKind::Direct, 1).to_vec();
+        enc[1] = 9;
+        assert!(read_msg_header(&mut Cursor::new(enc)).is_err());
+    }
+
+    #[test]
+    fn frame_header_roundtrip() {
+        let fh = FrameHeader { level: 7, raw_len: 204_800, payload_len: 31_337 };
+        let mut c = Cursor::new(fh.encode().to_vec());
+        assert_eq!(FrameHeader::read(&mut c, 10).unwrap(), fh);
+    }
+
+    #[test]
+    fn frame_level_out_of_range() {
+        let fh = FrameHeader { level: 11, raw_len: 10, payload_len: 10 };
+        let mut c = Cursor::new(fh.encode().to_vec());
+        assert!(FrameHeader::read(&mut c, 10).is_err());
+    }
+
+    #[test]
+    fn raw_frame_length_mismatch_rejected() {
+        let fh = FrameHeader { level: 0, raw_len: 10, payload_len: 9 };
+        let mut c = Cursor::new(fh.encode().to_vec());
+        assert!(FrameHeader::read(&mut c, 10).is_err());
+    }
+}

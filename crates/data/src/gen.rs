@@ -1,0 +1,173 @@
+//! The paper's three transfer data types (§6.1): ASCII (gzip-6 ratio ≈ 5),
+//! binary (ratio ≈ 2) and incompressible. "These data were generated
+//! randomly, the randomness being set accordingly to the desired
+//! compression ratio" — we do the same: a seeded mixture of
+//! high-entropy tokens and template text, with the mixture fraction
+//! calibrated against our own gzip-6.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three payload families of Figures 3–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    /// Compresses ≈5× at gzip level 6 (sparse-matrix-file-like ASCII).
+    Ascii,
+    /// Compresses ≈2× at gzip level 6 (executable-like binary).
+    Binary,
+    /// Does not compress (random bytes).
+    Incompressible,
+}
+
+impl DataKind {
+    /// All kinds, in the order the paper's figure legends list them.
+    pub const ALL: [DataKind; 3] = [DataKind::Ascii, DataKind::Binary, DataKind::Incompressible];
+
+    /// Legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataKind::Ascii => "ASCII",
+            DataKind::Binary => "binary",
+            DataKind::Incompressible => "incompressible",
+        }
+    }
+
+    /// The gzip-6 compression ratio this generator is calibrated to.
+    pub fn nominal_ratio(self) -> f64 {
+        match self {
+            DataKind::Ascii => 5.0,
+            DataKind::Binary => 2.0,
+            DataKind::Incompressible => 1.0,
+        }
+    }
+}
+
+/// Generates `n` bytes of the given kind, deterministically from `seed`.
+pub fn generate(kind: DataKind, n: usize, seed: u64) -> Vec<u8> {
+    match kind {
+        DataKind::Ascii => ascii(n, seed),
+        DataKind::Binary => binary(n, seed),
+        DataKind::Incompressible => incompressible(n, seed),
+    }
+}
+
+/// Fully random bytes: gzip cannot compress this (ratio ≤ 1).
+pub fn incompressible(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1C0D_E5EED);
+    let mut v = vec![0u8; n];
+    rng.fill(&mut v[..]);
+    v
+}
+
+/// ASCII with gzip-6 ratio ≈ 5. The stream mimics a numeric data file:
+/// repetitive field structure with a controlled dose of random digits.
+pub fn ascii(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5C1_1234);
+    let mut out = Vec::with_capacity(n + 32);
+    while out.len() < n {
+        // One "record": a line of fixed-format fields where only a few
+        // digits per field are random (≈14 bits of entropy in 15 bytes);
+        // the padding and shared formatting amortize to ≈ ratio 5.
+        for _ in 0..4 {
+            let d0 = rng.gen_range(1..=9u8);
+            let frac: u32 = rng.gen_range(0..100);
+            let exp = rng.gen_range(0..=9u8);
+            let sign = if rng.gen_bool(0.5) { '+' } else { '-' };
+            out.extend_from_slice(
+                format!("  {d0}.{frac:02}00000E{sign}0{exp}").as_bytes(),
+            );
+        }
+        out.push(b'\n');
+    }
+    out.truncate(n);
+    out
+}
+
+/// Binary with gzip-6 ratio ≈ 2: interleaves random machine-word-like
+/// groups with repetitive structure, like an executable image.
+pub fn binary(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB17A_5678);
+    let mut out = Vec::with_capacity(n + 64);
+    // A small pool of "instruction templates" reused throughout.
+    let templates: Vec<[u8; 8]> = (0..32)
+        .map(|_| {
+            let mut t = [0u8; 8];
+            rng.fill(&mut t);
+            t
+        })
+        .collect();
+    while out.len() < n {
+        if rng.gen_bool(0.42) {
+            // Fresh random word: incompressible content.
+            let mut w = [0u8; 8];
+            rng.fill(&mut w);
+            out.extend_from_slice(&w);
+        } else {
+            // Re-used template word: compressible content.
+            let t = templates[rng.gen_range(0..templates.len())];
+            out.extend_from_slice(&t);
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gzip6_ratio(data: &[u8]) -> f64 {
+        let mut c = Vec::new();
+        adoc_codec::deflate::deflate(data, 6, &mut c);
+        data.len() as f64 / c.len() as f64
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        for kind in DataKind::ALL {
+            assert_eq!(generate(kind, 10_000, 7), generate(kind, 10_000, 7));
+            assert_ne!(generate(kind, 10_000, 7), generate(kind, 10_000, 8), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn exact_sizes() {
+        for kind in DataKind::ALL {
+            for n in [0usize, 1, 13, 4096, 100_001] {
+                assert_eq!(generate(kind, n, 1).len(), n, "{kind:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_is_printable() {
+        let data = ascii(50_000, 3);
+        assert!(data.iter().all(|&b| b == b'\n' || (0x20..0x7f).contains(&b)));
+    }
+
+    #[test]
+    fn ascii_ratio_calibrated_near_5() {
+        let r = gzip6_ratio(&ascii(1 << 20, 11));
+        assert!((3.8..6.5).contains(&r), "ASCII gzip-6 ratio {r:.2}, want ≈5");
+    }
+
+    #[test]
+    fn binary_ratio_calibrated_near_2() {
+        let r = gzip6_ratio(&binary(1 << 20, 12));
+        assert!((1.6..2.6).contains(&r), "binary gzip-6 ratio {r:.2}, want ≈2");
+    }
+
+    #[test]
+    fn incompressible_does_not_compress() {
+        let r = gzip6_ratio(&incompressible(1 << 20, 13));
+        assert!(r <= 1.01, "incompressible ratio {r:.3}");
+    }
+
+    #[test]
+    fn ratio_ordering_matches_paper() {
+        let a = gzip6_ratio(&ascii(1 << 19, 21));
+        let b = gzip6_ratio(&binary(1 << 19, 21));
+        let i = gzip6_ratio(&incompressible(1 << 19, 21));
+        assert!(a > b && b > i, "ratios not ordered: {a:.2} {b:.2} {i:.2}");
+    }
+}

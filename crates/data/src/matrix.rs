@@ -1,0 +1,196 @@
+//! Matrices for the NetSolve experiments (paper §6.2).
+//!
+//! Two kinds, exactly as the paper defines them:
+//!
+//! * **sparse** — "matrix full of zero", still shipped densely (that is
+//!   why compression wins so big);
+//! * **dense** — "13 significant digits … and an exponent between 1e-20
+//!   and 1e+20", the worst realistic case.
+//!
+//! Wire encodings: ASCII scientific notation (13 significant digits — the
+//! format whose ≈2.6× compressibility reproduces the paper's dense-matrix
+//! speedups) and raw little-endian f64.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A square row-major f64 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows = number of columns.
+    pub n: usize,
+    /// Row-major values, `n * n` of them.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// The all-zero "sparse" matrix of the paper.
+    pub fn sparse(n: usize) -> Matrix {
+        Matrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// The paper's dense matrix: 13 significant digits, exponent in
+    /// `[-20, 20]`, random sign.
+    pub fn dense(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15E_CAFE);
+        let data = (0..n * n)
+            .map(|_| {
+                let mantissa: f64 = rng.gen_range(1.0..10.0);
+                let exp: i32 = rng.gen_range(-20..=20);
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                sign * mantissa * 10f64.powi(exp)
+            })
+            .collect();
+        Matrix { n, data }
+    }
+
+    /// Identity matrix (tests).
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::sparse(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut f64 {
+        &mut self.data[row * self.n + col]
+    }
+
+    /// Maximum absolute element difference (test tolerance checks).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Serializes values in the NetSolve-era ASCII format: 13 significant
+/// digits of scientific notation, one value per field.
+pub fn values_to_ascii(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 21);
+    for v in values {
+        out.extend_from_slice(format!("{v:.12e} ").as_bytes());
+    }
+    out
+}
+
+/// Parses [`values_to_ascii`] output.
+pub fn values_from_ascii(data: &[u8], expected: usize) -> Result<Vec<f64>, String> {
+    let text = std::str::from_utf8(data).map_err(|e| e.to_string())?;
+    let vals: Result<Vec<f64>, _> = text.split_whitespace().map(str::parse::<f64>).collect();
+    let vals = vals.map_err(|e| e.to_string())?;
+    if vals.len() != expected {
+        return Err(format!("expected {expected} values, got {}", vals.len()));
+    }
+    Ok(vals)
+}
+
+/// Serializes values as raw little-endian f64.
+pub fn values_to_binary(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parses [`values_to_binary`] output.
+pub fn values_from_binary(data: &[u8], expected: usize) -> Result<Vec<f64>, String> {
+    if data.len() != expected * 8 {
+        return Err(format!("expected {} bytes, got {}", expected * 8, data.len()));
+    }
+    Ok(data
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_is_all_zero() {
+        let m = Matrix::sparse(64);
+        assert_eq!(m.data.len(), 64 * 64);
+        assert!(m.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dense_values_in_spec_range() {
+        let m = Matrix::dense(50, 3);
+        for &v in &m.data {
+            let a = v.abs();
+            assert!((1e-20..1e21).contains(&a), "value {v} outside paper range");
+        }
+        // Deterministic per seed.
+        assert_eq!(Matrix::dense(50, 3), Matrix::dense(50, 3));
+        assert_ne!(Matrix::dense(50, 3), Matrix::dense(50, 4));
+    }
+
+    #[test]
+    fn ascii_roundtrip_preserves_13_digits() {
+        let m = Matrix::dense(20, 5);
+        let wire = values_to_ascii(&m.data);
+        let back = values_from_ascii(&wire, m.data.len()).unwrap();
+        for (a, b) in m.data.iter().zip(&back) {
+            let rel = ((a - b) / a).abs();
+            assert!(rel < 1e-12, "{a} vs {b} rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let m = Matrix::dense(20, 6);
+        let wire = values_to_binary(&m.data);
+        let back = values_from_binary(&wire, m.data.len()).unwrap();
+        assert_eq!(back, m.data);
+    }
+
+    #[test]
+    fn ascii_dense_compresses_about_2_6x() {
+        // The property behind Fig. 9's dense-matrix speedup.
+        let m = Matrix::dense(128, 7);
+        let wire = values_to_ascii(&m.data);
+        let mut c = Vec::new();
+        adoc_codec::deflate::deflate(&wire, 6, &mut c);
+        let ratio = wire.len() as f64 / c.len() as f64;
+        assert!((1.8..3.4).contains(&ratio), "dense ASCII gzip-6 ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn ascii_sparse_compresses_enormously() {
+        let m = Matrix::sparse(128);
+        let wire = values_to_ascii(&m.data);
+        let mut c = Vec::new();
+        adoc_codec::deflate::deflate(&wire, 6, &mut c);
+        let ratio = wire.len() as f64 / c.len() as f64;
+        assert!(ratio > 50.0, "sparse ASCII gzip-6 ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(values_from_ascii(b"1.0 banana", 2).is_err());
+        assert!(values_from_ascii(b"1.0 2.0 3.0", 2).is_err());
+        assert!(values_from_binary(&[0u8; 9], 1).is_err());
+    }
+
+    #[test]
+    fn identity_multiplicative_property_setup() {
+        let m = Matrix::identity(8);
+        assert_eq!(m.at(3, 3), 1.0);
+        assert_eq!(m.at(3, 4), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Message-size axes for the bandwidth figures.
+//!
+//! The paper sweeps 1 B – 32 MB on a log scale. Full-paper-scale sweeps
+//! over slow simulated WANs take real wall-clock minutes, so the harness
+//! supports a cap.
+
+/// Log-spaced sizes from 1 byte up to `max` (powers of 4, always
+/// including the 512 KB compression threshold's neighborhood and `max`
+/// itself).
+pub fn sizes_up_to(max: usize) -> Vec<usize> {
+    assert!(max >= 1);
+    let mut v = Vec::new();
+    let mut s = 1usize;
+    while s <= max {
+        v.push(s);
+        s = s.saturating_mul(4);
+    }
+    // The interesting region around the 512 KB probe threshold.
+    for extra in [256 * 1024, 512 * 1024, 768 * 1024] {
+        if extra <= max {
+            v.push(extra);
+        }
+    }
+    if *v.last().expect("non-empty") != max {
+        v.push(max);
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// The paper's full sweep: 1 B – 32 MB.
+pub fn paper_sizes() -> Vec<usize> {
+    sizes_up_to(32 << 20)
+}
+
+/// Matrix sizes for the NetSolve figures (paper: up to 2048; the harness
+/// default stops earlier to keep dgemm wall time sane).
+pub fn matrix_sizes(max_n: usize) -> Vec<usize> {
+    [128usize, 256, 384, 512, 768, 1024, 1536, 2048]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_sorted_unique_and_bounded() {
+        for max in [1usize, 100, 512 * 1024, 32 << 20] {
+            let v = sizes_up_to(max);
+            assert!(!v.is_empty());
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "not strictly sorted for {max}");
+            assert_eq!(*v.last().unwrap(), max);
+            assert_eq!(v[0], 1);
+        }
+    }
+
+    #[test]
+    fn paper_sweep_includes_probe_threshold() {
+        let v = paper_sizes();
+        assert!(v.contains(&(512 * 1024)));
+        assert!(v.contains(&(32 << 20)));
+    }
+
+    #[test]
+    fn matrix_sizes_respect_cap() {
+        assert_eq!(matrix_sizes(512), vec![128, 256, 384, 512]);
+        assert_eq!(matrix_sizes(2048).last(), Some(&2048));
+    }
+}

@@ -1,0 +1,357 @@
+//! # adoc-ibp — an Internet-Backplane-Protocol-style depot over AdOC
+//!
+//! The paper's §4.2 footnote reports AdOC running inside IBP, a storage
+//! service whose data handlers drive many transfers from many threads at
+//! once — the library's thread-safety evidence. Its conclusion also names
+//! an "IBP data mover" as deployed future work. This crate rebuilds that
+//! substrate: a depot storing named byte extents, served over AdOC
+//! connections, exercised concurrently.
+//!
+//! ```
+//! use adoc_ibp::{Depot, IbpClient};
+//! use adoc_sim::pipe::duplex_pipe;
+//!
+//! let depot = Depot::start(adoc::AdocConfig::default());
+//! let (a, b) = duplex_pipe(1 << 20);
+//! let (ar, aw) = a.split();
+//! let (br, bw) = b.split();
+//! depot.serve(Box::new(br), Box::new(bw));
+//!
+//! let mut client = IbpClient::connect(ar, aw);
+//! client.store("extent-1", b"replicated bytes").unwrap();
+//! assert_eq!(client.retrieve("extent-1").unwrap(), b"replicated bytes");
+//! ```
+
+
+#![warn(missing_docs)]
+use adoc::{AdocConfig, AdocSocket};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+/// Wire opcodes.
+const OP_STORE: u8 = 1;
+const OP_RETRIEVE: u8 = 2;
+const OP_DELETE: u8 = 3;
+const OP_LIST: u8 = 4;
+
+const STATUS_OK: u8 = 0;
+const STATUS_MISSING: u8 = 1;
+const STATUS_BAD_REQUEST: u8 = 2;
+
+type Store = Arc<Mutex<HashMap<String, Arc<Vec<u8>>>>>;
+type BoxedConn = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+
+/// A running depot: storage plus an accept loop.
+pub struct Depot {
+    submit: Sender<BoxedConn>,
+    store: Store,
+}
+
+impl Depot {
+    /// Starts a depot whose connections speak AdOC with `cfg`.
+    pub fn start(cfg: AdocConfig) -> Depot {
+        let (tx, rx) = channel::<BoxedConn>();
+        let store: Store = Arc::new(Mutex::new(HashMap::new()));
+        let store2 = store.clone();
+        std::thread::spawn(move || {
+            for (r, w) in rx {
+                let store = store2.clone();
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let sock = AdocSocket::with_config(r, w, cfg);
+                    let _ = serve_connection(sock, &store);
+                });
+            }
+        });
+        Depot { submit: tx, store }
+    }
+
+    /// Hands the depot the server side of a fresh connection.
+    pub fn serve(&self, reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) {
+        let _ = self.submit.send((reader, writer));
+    }
+
+    /// Number of stored extents (diagnostics).
+    pub fn extent_count(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Total stored payload bytes (diagnostics).
+    pub fn stored_bytes(&self) -> u64 {
+        self.store.lock().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+fn serve_connection(
+    mut sock: AdocSocket<Box<dyn Read + Send>, Box<dyn Write + Send>>,
+    store: &Store,
+) -> io::Result<()> {
+    loop {
+        let Some(cmd) = read_message(&mut sock)? else {
+            return Ok(());
+        };
+        let reply = handle(&cmd, store);
+        let mut framed = Vec::with_capacity(8 + reply.len());
+        framed.extend_from_slice(&(reply.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&reply);
+        sock.write(&framed)?;
+    }
+}
+
+/// Reads one length-delimited command (None at EOF).
+fn read_message(
+    sock: &mut AdocSocket<Box<dyn Read + Send>, Box<dyn Write + Send>>,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < 8 {
+        let n = sock.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        filled += n;
+    }
+    let len = u64::from_le_bytes(len_buf) as usize;
+    let mut msg = vec![0u8; len];
+    sock.read_exact(&mut msg)?;
+    Ok(Some(msg))
+}
+
+fn handle(cmd: &[u8], store: &Store) -> Vec<u8> {
+    let Some((&op, rest)) = cmd.split_first() else {
+        return vec![STATUS_BAD_REQUEST];
+    };
+    let parse_key = |bytes: &[u8]| -> Option<(String, usize)> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let klen = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        if bytes.len() < 2 + klen {
+            return None;
+        }
+        let key = String::from_utf8(bytes[2..2 + klen].to_vec()).ok()?;
+        Some((key, 2 + klen))
+    };
+
+    match op {
+        OP_STORE => {
+            let Some((key, off)) = parse_key(rest) else {
+                return vec![STATUS_BAD_REQUEST];
+            };
+            store.lock().insert(key, Arc::new(rest[off..].to_vec()));
+            vec![STATUS_OK]
+        }
+        OP_RETRIEVE => {
+            let Some((key, _)) = parse_key(rest) else {
+                return vec![STATUS_BAD_REQUEST];
+            };
+            match store.lock().get(&key).cloned() {
+                Some(data) => {
+                    let mut out = Vec::with_capacity(1 + data.len());
+                    out.push(STATUS_OK);
+                    out.extend_from_slice(&data);
+                    out
+                }
+                None => vec![STATUS_MISSING],
+            }
+        }
+        OP_DELETE => {
+            let Some((key, _)) = parse_key(rest) else {
+                return vec![STATUS_BAD_REQUEST];
+            };
+            match store.lock().remove(&key) {
+                Some(_) => vec![STATUS_OK],
+                None => vec![STATUS_MISSING],
+            }
+        }
+        OP_LIST => {
+            let keys: Vec<String> = {
+                let g = store.lock();
+                let mut v: Vec<String> = g.keys().cloned().collect();
+                v.sort();
+                v
+            };
+            let mut out = vec![STATUS_OK];
+            out.extend_from_slice(keys.join("\n").as_bytes());
+            out
+        }
+        _ => vec![STATUS_BAD_REQUEST],
+    }
+}
+
+/// Client side of a depot connection.
+pub struct IbpClient {
+    sock: AdocSocket<Box<dyn Read + Send>, Box<dyn Write + Send>>,
+}
+
+impl IbpClient {
+    /// Wraps the client side of a connection with default AdOC settings.
+    pub fn connect(
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> IbpClient {
+        Self::connect_cfg(reader, writer, AdocConfig::default())
+    }
+
+    /// Wraps with an explicit AdOC configuration.
+    pub fn connect_cfg(
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+        cfg: AdocConfig,
+    ) -> IbpClient {
+        IbpClient { sock: AdocSocket::with_config(Box::new(reader), Box::new(writer), cfg) }
+    }
+
+    fn rpc(&mut self, cmd: Vec<u8>) -> io::Result<Vec<u8>> {
+        let mut framed = Vec::with_capacity(8 + cmd.len());
+        framed.extend_from_slice(&(cmd.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&cmd);
+        self.sock.write(&framed)?;
+        // Response: symmetric u64-length-prefixed framing.
+        let mut len_buf = [0u8; 8];
+        self.sock.read_exact(&mut len_buf)?;
+        let len = u64::from_le_bytes(len_buf) as usize;
+        let mut reply = vec![0u8; len];
+        self.sock.read_exact(&mut reply)?;
+        Ok(reply)
+    }
+
+    fn keyed(op: u8, key: &str) -> Vec<u8> {
+        let mut cmd = Vec::with_capacity(3 + key.len());
+        cmd.push(op);
+        cmd.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        cmd.extend_from_slice(key.as_bytes());
+        cmd
+    }
+
+    /// Stores `data` under `key` (overwrites).
+    pub fn store(&mut self, key: &str, data: &[u8]) -> io::Result<()> {
+        let mut cmd = Self::keyed(OP_STORE, key);
+        cmd.extend_from_slice(data);
+        match self.rpc(cmd)?.first() {
+            Some(&STATUS_OK) => Ok(()),
+            other => Err(io::Error::other(format!("store failed: {other:?}"))),
+        }
+    }
+
+    /// Retrieves the extent stored under `key`.
+    pub fn retrieve(&mut self, key: &str) -> io::Result<Vec<u8>> {
+        let reply = self.rpc(Self::keyed(OP_RETRIEVE, key))?;
+        match reply.split_first() {
+            Some((&STATUS_OK, data)) => Ok(data.to_vec()),
+            Some((&STATUS_MISSING, _)) => {
+                Err(io::Error::new(io::ErrorKind::NotFound, format!("no extent '{key}'")))
+            }
+            other => Err(io::Error::other(format!("retrieve failed: {other:?}"))),
+        }
+    }
+
+    /// Deletes the extent under `key`.
+    pub fn delete(&mut self, key: &str) -> io::Result<()> {
+        match self.rpc(Self::keyed(OP_DELETE, key))?.first() {
+            Some(&STATUS_OK) => Ok(()),
+            Some(&STATUS_MISSING) => {
+                Err(io::Error::new(io::ErrorKind::NotFound, format!("no extent '{key}'")))
+            }
+            other => Err(io::Error::other(format!("delete failed: {other:?}"))),
+        }
+    }
+
+    /// Lists stored keys.
+    pub fn list(&mut self) -> io::Result<Vec<String>> {
+        let reply = self.rpc(vec![OP_LIST])?;
+        match reply.split_first() {
+            Some((&STATUS_OK, data)) => {
+                let text = String::from_utf8_lossy(data);
+                Ok(text.split('\n').filter(|s| !s.is_empty()).map(str::to_string).collect())
+            }
+            other => Err(io::Error::other(format!("list failed: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adoc_sim::pipe::duplex_pipe;
+
+    fn client_for(depot: &Depot) -> IbpClient {
+        let (a, b) = duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        depot.serve(Box::new(br), Box::new(bw));
+        IbpClient::connect(ar, aw)
+    }
+
+    #[test]
+    fn store_retrieve_delete_list() {
+        let depot = Depot::start(AdocConfig::default());
+        let mut c = client_for(&depot);
+        c.store("alpha", b"one").unwrap();
+        c.store("beta", b"two").unwrap();
+        assert_eq!(c.retrieve("alpha").unwrap(), b"one");
+        assert_eq!(c.list().unwrap(), vec!["alpha".to_string(), "beta".to_string()]);
+        c.delete("alpha").unwrap();
+        assert!(c.retrieve("alpha").is_err());
+        assert_eq!(depot.extent_count(), 1);
+    }
+
+    #[test]
+    fn large_extents_roundtrip() {
+        let depot = Depot::start(AdocConfig::default());
+        let mut c = client_for(&depot);
+        let big: Vec<u8> = b"extent data block ".repeat(100_000); // 1.8 MB
+        c.store("big", &big).unwrap();
+        assert_eq!(c.retrieve("big").unwrap(), big);
+        assert_eq!(depot.stored_bytes(), big.len() as u64);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let depot = Depot::start(AdocConfig::default());
+        let mut c = client_for(&depot);
+        c.store("k", b"v1").unwrap();
+        c.store("k", b"v2").unwrap();
+        assert_eq!(c.retrieve("k").unwrap(), b"v2");
+        assert_eq!(depot.extent_count(), 1);
+    }
+
+    #[test]
+    fn missing_keys_are_not_found() {
+        let depot = Depot::start(AdocConfig::default());
+        let mut c = client_for(&depot);
+        assert_eq!(c.retrieve("ghost").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(c.delete("ghost").unwrap_err().kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn many_threads_many_connections() {
+        // The paper's thread-safety scenario: multiple data handlers
+        // working a depot simultaneously, each over its own AdOC
+        // connection.
+        let depot = Arc::new(Depot::start(AdocConfig::default()));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let depot = depot.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = client_for(&depot);
+                for i in 0..10 {
+                    let key = format!("t{t}-e{i}");
+                    let data = vec![(t * 16 + i) as u8; 10_000 + i * 997];
+                    c.store(&key, &data).unwrap();
+                    assert_eq!(c.retrieve(&key).unwrap(), data, "{key}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(depot.extent_count(), 80);
+    }
+}

@@ -1,0 +1,122 @@
+//! The NetSolve agent: servers register their services with it; clients
+//! ask it for the best-suited server (paper §6.2: "When a client requests
+//! a service it asks the agent to find the best suited server").
+
+use crate::transport::Conn;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+/// A registered server as the agent tracks it.
+#[derive(Clone)]
+pub struct ServerHandle {
+    /// Server name (diagnostics).
+    pub name: Arc<str>,
+    /// Channel delivering new connections to the server's accept loop.
+    submit: Sender<Conn>,
+    /// Number of requests currently being served.
+    load: Arc<AtomicUsize>,
+}
+
+impl ServerHandle {
+    pub(crate) fn new(name: &str, submit: Sender<Conn>, load: Arc<AtomicUsize>) -> Self {
+        ServerHandle { name: name.into(), submit, load }
+    }
+
+    /// Hands the server one end of a fresh connection.
+    pub fn connect(&self, server_side: Conn) -> io::Result<()> {
+        self.submit
+            .send(server_side)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "server stopped"))
+    }
+
+    /// Requests currently in flight on this server.
+    pub fn load(&self) -> usize {
+        self.load.load(Ordering::Relaxed)
+    }
+}
+
+/// In-process service registry with least-loaded selection.
+#[derive(Default)]
+pub struct Agent {
+    table: Mutex<HashMap<String, Vec<ServerHandle>>>,
+}
+
+impl Agent {
+    /// Creates an empty agent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `handle` as a provider of each named service.
+    pub fn register(&self, services: &[&str], handle: ServerHandle) {
+        let mut t = self.table.lock();
+        for s in services {
+            t.entry((*s).to_string()).or_default().push(handle.clone());
+        }
+    }
+
+    /// Picks the least-loaded provider of `service`.
+    pub fn lookup(&self, service: &str) -> Option<ServerHandle> {
+        let t = self.table.lock();
+        t.get(service)?.iter().min_by_key(|h| h.load()).cloned()
+    }
+
+    /// All providers of a service (diagnostics).
+    pub fn providers(&self, service: &str) -> usize {
+        self.table.lock().get(service).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn dummy_handle(name: &str, load: usize) -> ServerHandle {
+        let (tx, _rx) = channel();
+        let l = Arc::new(AtomicUsize::new(load));
+        ServerHandle::new(name, tx, l)
+    }
+
+    #[test]
+    fn lookup_prefers_least_loaded() {
+        let agent = Agent::new();
+        agent.register(&["dgemm"], dummy_handle("busy", 5));
+        agent.register(&["dgemm"], dummy_handle("idle", 0));
+        agent.register(&["dgemm"], dummy_handle("mid", 2));
+        let h = agent.lookup("dgemm").unwrap();
+        assert_eq!(&*h.name, "idle");
+        assert_eq!(agent.providers("dgemm"), 3);
+    }
+
+    #[test]
+    fn unknown_service_is_none() {
+        let agent = Agent::new();
+        assert!(agent.lookup("nope").is_none());
+        assert_eq!(agent.providers("nope"), 0);
+    }
+
+    #[test]
+    fn one_server_many_services() {
+        let agent = Agent::new();
+        agent.register(&["dgemm", "ping"], dummy_handle("multi", 0));
+        assert!(agent.lookup("dgemm").is_some());
+        assert!(agent.lookup("ping").is_some());
+    }
+
+    #[test]
+    fn connect_to_stopped_server_fails() {
+        let h = {
+            let (tx, rx) = channel();
+            drop(rx);
+            ServerHandle::new("gone", tx, Arc::new(AtomicUsize::new(0)))
+        };
+        let (a, _b) = adoc_sim::pipe::duplex_pipe(64);
+        let (r, w) = a.split();
+        assert!(h.connect(Conn::new(r, w)).is_err());
+    }
+}

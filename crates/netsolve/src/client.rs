@@ -1,0 +1,183 @@
+//! The GridRPC client: looks a service up at the agent, connects to the
+//! chosen server across the (simulated) network, and executes the request
+//! as a normal RPC.
+
+use crate::agent::Agent;
+use crate::proto::{self, DgemmRequest, MatrixEncoding, Request, Response};
+use crate::transport::{Conn, TransportMode};
+use adoc_data::Matrix;
+use adoc_sim::link::{duplex, LinkCfg};
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Creates the two ends of a fresh client↔server connection.
+pub type LinkFactory = Arc<dyn Fn() -> (Conn, Conn) + Send + Sync>;
+
+/// A link factory over the simulation substrate with a fixed profile.
+pub fn sim_link_factory(cfg: LinkCfg) -> LinkFactory {
+    Arc::new(move || {
+        let (a, b) = duplex(cfg.clone());
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        (Conn::new(ar, aw), Conn::new(br, bw))
+    })
+}
+
+/// A link factory over plain fast pipes (tests).
+pub fn pipe_link_factory() -> LinkFactory {
+    Arc::new(|| {
+        let (a, b) = adoc_sim::pipe::duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        (Conn::new(ar, aw), Conn::new(br, bw))
+    })
+}
+
+/// Timing/volume metrics for one RPC.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcMetrics {
+    /// End-to-end request time (send + compute + receive).
+    pub elapsed: Duration,
+    /// Bytes the client put on the wire.
+    pub sent_wire: u64,
+    /// Size of the encoded request body.
+    pub request_bytes: usize,
+    /// Size of the response body.
+    pub response_bytes: usize,
+}
+
+/// A NetSolve client bound to an agent, a network, and a transport mode.
+pub struct Client {
+    agent: Arc<Agent>,
+    mode: TransportMode,
+    links: LinkFactory,
+}
+
+impl Client {
+    /// Creates a client.
+    pub fn new(agent: Arc<Agent>, mode: TransportMode, links: LinkFactory) -> Self {
+        Client { agent, mode, links }
+    }
+
+    /// Generic RPC: submit `body` to `service`, returning the response
+    /// body and metrics.
+    pub fn call(&self, service: &str, body: Vec<u8>) -> io::Result<(Vec<u8>, RpcMetrics)> {
+        let handle = self.agent.lookup(service).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("no server offers '{service}'"))
+        })?;
+
+        let (client_side, server_side) = (self.links)();
+        handle.connect(server_side)?;
+        let mut transport = self.mode.wrap(client_side);
+
+        let request = Request { service: service.to_string(), body }.encode();
+        let request_bytes = request.len();
+        let start = Instant::now();
+        let sent_wire = transport.send(&request)?;
+        let raw = transport
+            .recv()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        let elapsed = start.elapsed();
+
+        match Response::decode(&raw)? {
+            Response::Ok(body) => Ok((
+                body,
+                RpcMetrics {
+                    elapsed,
+                    sent_wire,
+                    request_bytes,
+                    response_bytes: raw.len() - 1,
+                },
+            )),
+            Response::Err(msg) => Err(io::Error::other(format!("remote failure: {msg}"))),
+        }
+    }
+
+    /// The paper's workload: C = A × B on the chosen server.
+    pub fn dgemm(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        encoding: MatrixEncoding,
+    ) -> io::Result<(Matrix, RpcMetrics)> {
+        assert_eq!(a.n, b.n);
+        let body = DgemmRequest { n: a.n as u32, encoding, a: a.clone(), b: b.clone() }.encode();
+        let (resp, metrics) = self.call("dgemm", body)?;
+        let c = proto::decode_dgemm_result(&resp, a.n, encoding)?;
+        Ok((c, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{DgemmService, EchoService, Server};
+    use adoc::AdocConfig;
+
+    fn setup(mode: TransportMode) -> Client {
+        let agent = Arc::new(Agent::new());
+        let server = Server::new("compute-1", mode.clone())
+            .with_service("dgemm", Arc::new(DgemmService { threads: 2 }))
+            .with_service("echo", Arc::new(EchoService));
+        let names = server.service_names();
+        let handle = server.start();
+        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        Client::new(agent, mode, pipe_link_factory())
+    }
+
+    #[test]
+    fn echo_rpc() {
+        let client = setup(TransportMode::Raw);
+        let (resp, m) = client.call("echo", b"grid rpc".to_vec()).unwrap();
+        assert_eq!(resp, b"grid rpc");
+        assert!(m.sent_wire > 0);
+    }
+
+    #[test]
+    fn dgemm_rpc_matches_local_compute_raw_and_adoc() {
+        for mode in [TransportMode::Raw, TransportMode::Adoc(AdocConfig::default())] {
+            let client = setup(mode);
+            let a = Matrix::dense(40, 11);
+            let b = Matrix::dense(40, 12);
+            let (c, _) = client.dgemm(&a, &b, MatrixEncoding::Binary).unwrap();
+            let local = crate::dgemm::dgemm(&a, &b, 1);
+            assert_eq!(c.max_abs_diff(&local), 0.0);
+        }
+    }
+
+    #[test]
+    fn dgemm_ascii_encoding_is_close() {
+        let client = setup(TransportMode::Raw);
+        let a = Matrix::dense(24, 21);
+        let b = Matrix::identity(24);
+        let (c, _) = client.dgemm(&a, &b, MatrixEncoding::Ascii).unwrap();
+        // A × I = A up to the 13-digit wire rounding.
+        for (x, y) in c.data.iter().zip(&a.data) {
+            assert!(((x - y) / y).abs() < 1e-11, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn missing_service_is_not_found() {
+        let client = setup(TransportMode::Raw);
+        let err = client.call("fft", vec![]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn sparse_dgemm_over_adoc_compresses() {
+        let mode = TransportMode::Adoc(AdocConfig::default().with_levels(1, 10));
+        let client = setup(mode);
+        let a = Matrix::sparse(150); // 180 KB of zeros in binary
+        let b = Matrix::sparse(150);
+        let (c, m) = client.dgemm(&a, &b, MatrixEncoding::Ascii).unwrap();
+        assert!(c.data.iter().all(|&v| v == 0.0));
+        assert!(
+            m.sent_wire < m.request_bytes as u64 / 10,
+            "sparse request should compress hugely: wire {} vs raw {}",
+            m.sent_wire,
+            m.request_bytes
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The `dgemm` service kernel: C = A × B on square f64 matrices.
+//!
+//! The paper's NetSolve experiment (§6.2) submits dgemm requests whose
+//! total time is transfer + compute; the compute side here is a blocked,
+//! multi-threaded matrix multiply — real work, so Figures 8–9 keep their
+//! time composition.
+
+use adoc_data::Matrix;
+
+/// Rows of C computed per cache block in the k dimension.
+const K_BLOCK: usize = 64;
+
+/// Multiplies `a × b` using `threads` worker threads.
+///
+/// Uses the i-k-j loop order (streaming rows of B) with k-blocking —
+/// cache-friendly without needing transposition.
+pub fn dgemm(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.n, b.n, "dgemm requires equal dimensions");
+    let n = a.n;
+    let mut c = Matrix::sparse(n);
+    if n == 0 {
+        return c;
+    }
+    let threads = threads.clamp(1, n);
+
+    // Split C's rows across threads; each worker owns a disjoint slice.
+    let rows_per = n.div_ceil(threads);
+    let a_data = &a.data;
+    let b_data = &b.data;
+    std::thread::scope(|s| {
+        let mut rest: &mut [f64] = &mut c.data;
+        let mut row0 = 0usize;
+        let mut handles = Vec::new();
+        while !rest.is_empty() {
+            let take = (rows_per * n).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start_row = row0;
+            row0 += take / n;
+            handles.push(s.spawn(move || {
+                multiply_rows(a_data, b_data, chunk, start_row, n);
+            }));
+        }
+        for h in handles {
+            h.join().expect("dgemm worker panicked");
+        }
+    });
+    c
+}
+
+/// Computes `chunk` = rows `[start_row, start_row + chunk.len()/n)` of C.
+fn multiply_rows(a: &[f64], b: &[f64], chunk: &mut [f64], start_row: usize, n: usize) {
+    let rows = chunk.len() / n;
+    for k0 in (0..n).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(n);
+        for i in 0..rows {
+            let arow = &a[(start_row + i) * n..(start_row + i + 1) * n];
+            let crow = &mut chunk[i * n..(i + 1) * n];
+            for k in k0..k1 {
+                let aik = arow[k];
+                if aik == 0.0 {
+                    continue; // sparse (all-zero) matrices short-circuit
+                }
+                let brow = &b[k * n..(k + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Reference single-threaded naive multiply (tests).
+pub fn dgemm_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.n;
+    let mut c = Matrix::sparse(n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a.at(i, k) * b.at(k, j);
+            }
+            *c.at_mut(i, j) = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::dense(33, 1);
+        let i = Matrix::identity(33);
+        let c = dgemm(&a, &i, 4);
+        assert_eq!(c.max_abs_diff(&a), 0.0);
+        let c2 = dgemm(&i, &a, 4);
+        assert_eq!(c2.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        for n in [1usize, 7, 16, 65, 100] {
+            let a = Matrix::dense(n, 2);
+            let b = Matrix::dense(n, 3);
+            let fast = dgemm(&a, &b, 3);
+            let slow = dgemm_naive(&a, &b);
+            // Same operand order per output element would give exact
+            // equality; blocking reorders the k-sum, so allow relative fp
+            // noise against the largest magnitudes involved.
+            let scale = slow.data.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+            let diff = fast.max_abs_diff(&slow);
+            assert!(diff / scale < 1e-12, "n={n}: diff {diff:e} at scale {scale:e}");
+        }
+    }
+
+    #[test]
+    fn sparse_times_anything_is_zero() {
+        let z = Matrix::sparse(50);
+        let d = Matrix::dense(50, 4);
+        assert!(dgemm(&z, &d, 2).data.iter().all(|&v| v == 0.0));
+        assert!(dgemm(&d, &z, 2).data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let a = Matrix::dense(48, 5);
+        let b = Matrix::dense(48, 6);
+        let one = dgemm(&a, &b, 1);
+        for t in [2usize, 3, 7, 48, 100] {
+            let many = dgemm(&a, &b, t);
+            assert_eq!(one.max_abs_diff(&many), 0.0, "threads={t} changed results");
+        }
+    }
+
+    #[test]
+    fn zero_sized_matrix() {
+        let z = Matrix::sparse(0);
+        let c = dgemm(&z, &z, 4);
+        assert_eq!(c.n, 0);
+        assert!(c.data.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! The GridRPC application protocol: request/response encoding for
+//! services, little-endian and length-delimited throughout.
+
+use adoc_data::matrix::{self, Matrix};
+use std::io;
+
+/// How matrix payloads are serialized on the wire.
+///
+/// The paper's dense-matrix results (2.6× with compression over the
+/// Internet) indicate a digit-oriented encoding; `Ascii` reproduces that.
+/// `Binary` ships raw little-endian f64 for comparison/ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixEncoding {
+    /// 13-significant-digit scientific notation (NetSolve-era default).
+    Ascii,
+    /// Raw little-endian f64.
+    Binary,
+}
+
+impl MatrixEncoding {
+    fn to_byte(self) -> u8 {
+        match self {
+            MatrixEncoding::Ascii => 0,
+            MatrixEncoding::Binary => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> io::Result<Self> {
+        match b {
+            0 => Ok(MatrixEncoding::Ascii),
+            1 => Ok(MatrixEncoding::Binary),
+            other => Err(bad_data(format!("unknown matrix encoding {other}"))),
+        }
+    }
+
+    /// Serializes matrix values.
+    pub fn encode(&self, values: &[f64]) -> Vec<u8> {
+        match self {
+            MatrixEncoding::Ascii => matrix::values_to_ascii(values),
+            MatrixEncoding::Binary => matrix::values_to_binary(values),
+        }
+    }
+
+    /// Deserializes matrix values.
+    pub fn decode(&self, bytes: &[u8], expected: usize) -> io::Result<Vec<f64>> {
+        match self {
+            MatrixEncoding::Ascii => matrix::values_from_ascii(bytes, expected).map_err(bad_data),
+            MatrixEncoding::Binary => matrix::values_from_binary(bytes, expected).map_err(bad_data),
+        }
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A generic service request: a name plus an opaque body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Service name (e.g. `"dgemm"`).
+    pub service: String,
+    /// Service-specific payload.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let name = self.service.as_bytes();
+        let mut out = Vec::with_capacity(2 + name.len() + self.body.len());
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(bytes: &[u8]) -> io::Result<Request> {
+        if bytes.len() < 2 {
+            return Err(bad_data("request too short"));
+        }
+        let name_len = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+        if bytes.len() < 2 + name_len {
+            return Err(bad_data("request name truncated"));
+        }
+        let service = std::str::from_utf8(&bytes[2..2 + name_len])
+            .map_err(|e| bad_data(e.to_string()))?
+            .to_string();
+        Ok(Request { service, body: bytes[2 + name_len..].to_vec() })
+    }
+}
+
+/// A service response: success payload or an error string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The service's result payload.
+    Ok(Vec<u8>),
+    /// Service-side failure description.
+    Err(String),
+}
+
+impl Response {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(body) => {
+                let mut out = Vec::with_capacity(1 + body.len());
+                out.push(0);
+                out.extend_from_slice(body);
+                out
+            }
+            Response::Err(msg) => {
+                let mut out = Vec::with_capacity(1 + msg.len());
+                out.push(1);
+                out.extend_from_slice(msg.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(bytes: &[u8]) -> io::Result<Response> {
+        match bytes.first() {
+            Some(0) => Ok(Response::Ok(bytes[1..].to_vec())),
+            Some(1) => Ok(Response::Err(
+                String::from_utf8_lossy(&bytes[1..]).into_owned(),
+            )),
+            Some(other) => Err(bad_data(format!("unknown response tag {other}"))),
+            None => Err(bad_data("empty response")),
+        }
+    }
+}
+
+/// dgemm request body: two n×n matrices and their encoding.
+#[derive(Debug, Clone)]
+pub struct DgemmRequest {
+    /// Matrix dimension.
+    pub n: u32,
+    /// Payload encoding.
+    pub encoding: MatrixEncoding,
+    /// Operand A.
+    pub a: Matrix,
+    /// Operand B.
+    pub b: Matrix,
+}
+
+impl DgemmRequest {
+    /// Encodes the body (wrapped in a [`Request`] by the client).
+    pub fn encode(&self) -> Vec<u8> {
+        let a_bytes = self.encoding.encode(&self.a.data);
+        let b_bytes = self.encoding.encode(&self.b.data);
+        let mut out = Vec::with_capacity(13 + a_bytes.len() + b_bytes.len());
+        out.push(self.encoding.to_byte());
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&(a_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&a_bytes);
+        out.extend_from_slice(&b_bytes);
+        out
+    }
+
+    /// Decodes a body produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> io::Result<DgemmRequest> {
+        if bytes.len() < 13 {
+            return Err(bad_data("dgemm request too short"));
+        }
+        let encoding = MatrixEncoding::from_byte(bytes[0])?;
+        let n = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+        let a_len = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes")) as usize;
+        if bytes.len() < 13 + a_len {
+            return Err(bad_data("dgemm operand A truncated"));
+        }
+        let elems = (n as usize) * (n as usize);
+        let a = encoding.decode(&bytes[13..13 + a_len], elems)?;
+        let b = encoding.decode(&bytes[13 + a_len..], elems)?;
+        Ok(DgemmRequest {
+            n,
+            encoding,
+            a: Matrix { n: n as usize, data: a },
+            b: Matrix { n: n as usize, data: b },
+        })
+    }
+}
+
+/// Encodes a dgemm result matrix for the response.
+pub fn encode_dgemm_result(c: &Matrix, encoding: MatrixEncoding) -> Vec<u8> {
+    encoding.encode(&c.data)
+}
+
+/// Decodes a dgemm result.
+pub fn decode_dgemm_result(bytes: &[u8], n: usize, encoding: MatrixEncoding) -> io::Result<Matrix> {
+    let data = encoding.decode(bytes, n * n)?;
+    Ok(Matrix { n, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request { service: "dgemm".into(), body: vec![1, 2, 3, 4] };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn request_with_empty_body() {
+        let r = Request { service: "ping".into(), body: vec![] };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[5, 0, b'a']).is_err()); // name longer than data
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let ok = Response::Ok(vec![9; 100]);
+        assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+        let err = Response::Err("no such service".into());
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+        assert!(Response::decode(&[7]).is_err());
+        assert!(Response::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn dgemm_request_roundtrip_both_encodings() {
+        for encoding in [MatrixEncoding::Ascii, MatrixEncoding::Binary] {
+            let req = DgemmRequest {
+                n: 12,
+                encoding,
+                a: Matrix::dense(12, 1),
+                b: Matrix::dense(12, 2),
+            };
+            let dec = DgemmRequest::decode(&req.encode()).unwrap();
+            assert_eq!(dec.n, 12);
+            assert_eq!(dec.encoding, encoding);
+            match encoding {
+                MatrixEncoding::Binary => {
+                    assert_eq!(dec.a.data, req.a.data);
+                    assert_eq!(dec.b.data, req.b.data);
+                }
+                MatrixEncoding::Ascii => {
+                    assert!(dec.a.max_abs_diff(&req.a) / 1e20 < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dgemm_result_roundtrip() {
+        let c = Matrix::dense(9, 7);
+        for encoding in [MatrixEncoding::Ascii, MatrixEncoding::Binary] {
+            let bytes = encode_dgemm_result(&c, encoding);
+            let back = decode_dgemm_result(&bytes, 9, encoding).unwrap();
+            match encoding {
+                MatrixEncoding::Binary => assert_eq!(back.data, c.data),
+                MatrixEncoding::Ascii => {
+                    for (x, y) in back.data.iter().zip(&c.data) {
+                        assert!(((x - y) / y).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dgemm_truncations_rejected() {
+        let req = DgemmRequest {
+            n: 4,
+            encoding: MatrixEncoding::Binary,
+            a: Matrix::dense(4, 1),
+            b: Matrix::dense(4, 2),
+        };
+        let enc = req.encode();
+        assert!(DgemmRequest::decode(&enc[..10]).is_err());
+        assert!(DgemmRequest::decode(&enc[..enc.len() - 4]).is_err());
+    }
+}

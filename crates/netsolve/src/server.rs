@@ -1,0 +1,188 @@
+//! NetSolve computational servers: an accept loop + one handler thread
+//! per connection, dispatching requests to registered services.
+
+use crate::agent::ServerHandle;
+use crate::dgemm::dgemm;
+use crate::proto::{self, DgemmRequest, Request, Response};
+use crate::transport::{Conn, TransportMode};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+/// A computational service.
+pub trait Service: Send + Sync {
+    /// Handles one request body, returning the response body.
+    fn call(&self, body: &[u8]) -> io::Result<Vec<u8>>;
+}
+
+/// The paper's workload: matrix multiplication.
+pub struct DgemmService {
+    /// Worker threads per request.
+    pub threads: usize,
+}
+
+impl Service for DgemmService {
+    fn call(&self, body: &[u8]) -> io::Result<Vec<u8>> {
+        let req = DgemmRequest::decode(body)?;
+        let c = dgemm(&req.a, &req.b, self.threads);
+        Ok(proto::encode_dgemm_result(&c, req.encoding))
+    }
+}
+
+/// Trivial echo service (diagnostics and tests).
+pub struct EchoService;
+
+impl Service for EchoService {
+    fn call(&self, body: &[u8]) -> io::Result<Vec<u8>> {
+        Ok(body.to_vec())
+    }
+}
+
+/// Builder for a server process.
+pub struct Server {
+    name: String,
+    mode: TransportMode,
+    services: HashMap<String, Arc<dyn Service>>,
+}
+
+impl Server {
+    /// Creates a server speaking the given transport.
+    pub fn new(name: &str, mode: TransportMode) -> Self {
+        Server { name: name.to_string(), mode, services: HashMap::new() }
+    }
+
+    /// Adds a service.
+    pub fn with_service(mut self, name: &str, svc: Arc<dyn Service>) -> Self {
+        self.services.insert(name.to_string(), svc);
+        self
+    }
+
+    /// Names of registered services.
+    pub fn service_names(&self) -> Vec<String> {
+        self.services.keys().cloned().collect()
+    }
+
+    /// Starts the accept loop and returns the handle to register with an
+    /// agent. The server runs until every clone of the handle is dropped.
+    pub fn start(self) -> ServerHandle {
+        let (tx, rx) = channel::<Conn>();
+        let load = Arc::new(AtomicUsize::new(0));
+        let handle = ServerHandle::new(&self.name, tx, load.clone());
+        let services = Arc::new(self.services);
+        let mode = self.mode;
+        std::thread::spawn(move || {
+            // Accept loop: one handler thread per incoming connection.
+            for conn in rx {
+                let services = services.clone();
+                let mode = mode.clone();
+                let load = load.clone();
+                load.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(conn, &mode, &services);
+                    load.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+        });
+        handle
+    }
+}
+
+fn handle_connection(
+    conn: Conn,
+    mode: &TransportMode,
+    services: &HashMap<String, Arc<dyn Service>>,
+) -> io::Result<()> {
+    let mut transport = mode.wrap(conn);
+    while let Some(msg) = transport.recv()? {
+        let response = match Request::decode(&msg) {
+            Ok(req) => match services.get(&req.service) {
+                Some(svc) => match svc.call(&req.body) {
+                    Ok(body) => Response::Ok(body),
+                    Err(e) => Response::Err(format!("service error: {e}")),
+                },
+                None => Response::Err(format!("unknown service '{}'", req.service)),
+            },
+            Err(e) => Response::Err(format!("malformed request: {e}")),
+        };
+        transport.send(&response.encode())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Request;
+    use adoc_sim::pipe::duplex_pipe;
+
+    fn conn_pair() -> (Conn, Conn) {
+        let (a, b) = duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        (Conn::new(ar, aw), Conn::new(br, bw))
+    }
+
+    #[test]
+    fn echo_service_roundtrip() {
+        let handle = Server::new("s1", TransportMode::Raw)
+            .with_service("echo", Arc::new(EchoService))
+            .start();
+        let (client_side, server_side) = conn_pair();
+        handle.connect(server_side).unwrap();
+        let mut t = TransportMode::Raw.wrap(client_side);
+        t.send(&Request { service: "echo".into(), body: b"hi there".to_vec() }.encode())
+            .unwrap();
+        let resp = Response::decode(&t.recv().unwrap().unwrap()).unwrap();
+        assert_eq!(resp, Response::Ok(b"hi there".to_vec()));
+    }
+
+    #[test]
+    fn unknown_service_reports_error() {
+        let handle = Server::new("s2", TransportMode::Raw).start();
+        let (client_side, server_side) = conn_pair();
+        handle.connect(server_side).unwrap();
+        let mut t = TransportMode::Raw.wrap(client_side);
+        t.send(&Request { service: "nope".into(), body: vec![] }.encode()).unwrap();
+        match Response::decode(&t.recv().unwrap().unwrap()).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("unknown service")),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_requests_per_connection() {
+        let handle = Server::new("s3", TransportMode::Raw)
+            .with_service("echo", Arc::new(EchoService))
+            .start();
+        let (client_side, server_side) = conn_pair();
+        handle.connect(server_side).unwrap();
+        let mut t = TransportMode::Raw.wrap(client_side);
+        for i in 0..10u8 {
+            t.send(&Request { service: "echo".into(), body: vec![i; 10] }.encode()).unwrap();
+            let resp = Response::decode(&t.recv().unwrap().unwrap()).unwrap();
+            assert_eq!(resp, Response::Ok(vec![i; 10]));
+        }
+    }
+
+    #[test]
+    fn malformed_request_does_not_kill_connection() {
+        let handle = Server::new("s4", TransportMode::Raw)
+            .with_service("echo", Arc::new(EchoService))
+            .start();
+        let (client_side, server_side) = conn_pair();
+        handle.connect(server_side).unwrap();
+        let mut t = TransportMode::Raw.wrap(client_side);
+        t.send(&[0xFF]).unwrap(); // not a valid Request
+        match Response::decode(&t.recv().unwrap().unwrap()).unwrap() {
+            Response::Err(msg) => assert!(msg.contains("malformed")),
+            other => panic!("{other:?}"),
+        }
+        // The connection still works.
+        t.send(&Request { service: "echo".into(), body: b"still alive".to_vec() }.encode())
+            .unwrap();
+        let resp = Response::decode(&t.recv().unwrap().unwrap()).unwrap();
+        assert_eq!(resp, Response::Ok(b"still alive".to_vec()));
+    }
+}

@@ -1,0 +1,248 @@
+//! Pluggable communication layer.
+//!
+//! The paper's integration swapped `read`/`write` for
+//! `adoc_read`/`adoc_write` inside NetSolve's `communicator.c` and nothing
+//! else; this module is that file. [`Transport`] is the seam: the raw
+//! variant uses plain stream I/O, the AdOC variant routes the same framed
+//! messages through an [`AdocSocket`].
+
+use adoc::{AdocConfig, AdocSocket};
+use std::io::{self, Read, Write};
+
+/// A bidirectional connection as the middleware sees it.
+pub struct Conn {
+    /// Receiving half.
+    pub reader: Box<dyn Read + Send>,
+    /// Sending half.
+    pub writer: Box<dyn Write + Send>,
+}
+
+impl Conn {
+    /// Wraps any owned stream halves.
+    pub fn new(reader: impl Read + Send + 'static, writer: impl Write + Send + 'static) -> Self {
+        Conn { reader: Box::new(reader), writer: Box::new(writer) }
+    }
+}
+
+/// Which communication layer a deployment uses.
+#[derive(Clone, Default)]
+pub enum TransportMode {
+    /// Plain read/write (stock NetSolve).
+    #[default]
+    Raw,
+    /// AdOC with the given configuration (NetSolve+AdOC).
+    Adoc(AdocConfig),
+}
+
+impl std::fmt::Debug for TransportMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportMode::Raw => write!(f, "Raw"),
+            TransportMode::Adoc(_) => write!(f, "Adoc"),
+        }
+    }
+}
+
+impl TransportMode {
+    /// Human-readable label for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportMode::Raw => "NetSolve",
+            TransportMode::Adoc(_) => "NetSolve+AdOC",
+        }
+    }
+
+    /// Wraps a connection in this mode's transport.
+    pub fn wrap(&self, conn: Conn) -> Box<dyn Transport> {
+        match self {
+            TransportMode::Raw => Box::new(RawTransport { reader: conn.reader, writer: conn.writer }),
+            TransportMode::Adoc(cfg) => Box::new(AdocTransport {
+                sock: AdocSocket::with_config(conn.reader, conn.writer, cfg.clone()),
+            }),
+        }
+    }
+}
+
+/// Message-oriented view of a connection: one `send` pairs with one
+/// `recv` on the peer.
+pub trait Transport: Send {
+    /// Sends one length-prefixed message; returns bytes put on the wire.
+    fn send(&mut self, msg: &[u8]) -> io::Result<u64>;
+    /// Receives one message (None at end of stream).
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// Stock NetSolve: plain stream I/O with a u64 length prefix.
+pub struct RawTransport {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Transport for RawTransport {
+    fn send(&mut self, msg: &[u8]) -> io::Result<u64> {
+        self.writer.write_all(&(msg.len() as u64).to_le_bytes())?;
+        self.writer.write_all(msg)?;
+        self.writer.flush()?;
+        Ok(8 + msg.len() as u64)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut len_buf = [0u8; 8];
+        // Distinguish clean EOF from a torn header.
+        match self.reader.read(&mut len_buf[..1])? {
+            0 => return Ok(None),
+            _ => self.reader.read_exact(&mut len_buf[1..])?,
+        }
+        let len = u64::from_le_bytes(len_buf);
+        let mut msg = vec![0u8; usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "message too large")
+        })?];
+        self.reader.read_exact(&mut msg)?;
+        Ok(Some(msg))
+    }
+}
+
+/// NetSolve+AdOC: the identical framing, but each read/write call is the
+/// AdOC one.
+pub struct AdocTransport {
+    sock: AdocSocket<Box<dyn Read + Send>, Box<dyn Write + Send>>,
+}
+
+impl AdocTransport {
+    /// Access to AdOC statistics (probe outcomes, level histogram …).
+    pub fn stats(&self) -> &adoc::TransferStats {
+        self.sock.stats()
+    }
+}
+
+impl Transport for AdocTransport {
+    fn send(&mut self, msg: &[u8]) -> io::Result<u64> {
+        // One logical message = one adoc_write: the length prefix rides in
+        // front of the payload, exactly as the raw variant frames it.
+        let mut framed = Vec::with_capacity(8 + msg.len());
+        framed.extend_from_slice(&(msg.len() as u64).to_le_bytes());
+        framed.extend_from_slice(msg);
+        let report = self.sock.write(&framed)?;
+        Ok(report.wire)
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut len_buf = [0u8; 8];
+        match self.sock.read(&mut len_buf)? {
+            0 => return Ok(None),
+            n if n == len_buf.len() => {}
+            n => {
+                // Partial first read: finish the prefix.
+                let mut filled = n;
+                while filled < 8 {
+                    let m = self.sock.read(&mut len_buf[filled..])?;
+                    if m == 0 {
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                    filled += m;
+                }
+            }
+        }
+        let len = u64::from_le_bytes(len_buf);
+        let mut msg = vec![
+            0u8;
+            usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message too large"))?
+        ];
+        self.sock.read_exact(&mut msg)?;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adoc_sim::pipe::duplex_pipe;
+    use std::thread;
+
+    fn conn_pair() -> (Conn, Conn) {
+        let (a, b) = duplex_pipe(1 << 20);
+        let (ar, aw) = a.split();
+        let (br, bw) = b.split();
+        (Conn::new(ar, aw), Conn::new(br, bw))
+    }
+
+    fn roundtrip(mode_a: &TransportMode, mode_b: &TransportMode, msgs: Vec<Vec<u8>>) {
+        let (ca, cb) = conn_pair();
+        let mut ta = mode_a.wrap(ca);
+        let mut tb = mode_b.wrap(cb);
+        let expect = msgs.clone();
+        let t = thread::spawn(move || {
+            for m in &msgs {
+                ta.send(m).unwrap();
+            }
+            ta
+        });
+        for m in &expect {
+            let got = tb.recv().unwrap().expect("message expected");
+            assert_eq!(&got, m);
+        }
+        t.join().unwrap();
+    }
+
+    fn sample_msgs() -> Vec<Vec<u8>> {
+        vec![
+            b"".to_vec(),
+            b"short".to_vec(),
+            b"medium message with some repetition repetition repetition".to_vec(),
+            vec![7u8; 1 << 20],
+        ]
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        roundtrip(&TransportMode::Raw, &TransportMode::Raw, sample_msgs());
+    }
+
+    #[test]
+    fn adoc_roundtrip() {
+        let m = TransportMode::Adoc(AdocConfig::default());
+        roundtrip(&m, &m, sample_msgs());
+    }
+
+    #[test]
+    fn adoc_forced_compression_roundtrip() {
+        let m = TransportMode::Adoc(AdocConfig::default().with_levels(1, 10));
+        roundtrip(&m, &m, vec![vec![b'z'; 3 << 20]]);
+    }
+
+    #[test]
+    fn recv_none_at_eof() {
+        let (ca, cb) = conn_pair();
+        let ta = TransportMode::Raw.wrap(ca);
+        let mut tb = TransportMode::Raw.wrap(cb);
+        drop(ta);
+        assert!(tb.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn adoc_recv_none_at_eof() {
+        let (ca, cb) = conn_pair();
+        let ta = TransportMode::Adoc(AdocConfig::default()).wrap(ca);
+        let mut tb = TransportMode::Adoc(AdocConfig::default()).wrap(cb);
+        drop(ta);
+        assert!(tb.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn adoc_transport_compresses_large_payloads() {
+        let (ca, cb) = conn_pair();
+        let mode = TransportMode::Adoc(AdocConfig::default().with_levels(1, 10));
+        let mut ta = mode.wrap(ca);
+        let mut tb = mode.wrap(cb);
+        let msg = b"compressible compressible ".repeat(60_000);
+        let expect = msg.clone();
+        let t = thread::spawn(move || {
+            let wire = ta.send(&msg).unwrap();
+            assert!(wire < msg.len() as u64 / 2, "wire {wire} vs raw {}", msg.len());
+        });
+        let got = tb.recv().unwrap().unwrap();
+        t.join().unwrap();
+        assert_eq!(got, expect);
+    }
+}

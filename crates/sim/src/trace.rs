@@ -1,0 +1,165 @@
+//! Time-varying link capacity: piecewise-constant bandwidth traces.
+//!
+//! Grids share networks with other users (paper §2); a trace lets the
+//! harness replay congestion events and watch the compression level adapt.
+
+/// Piecewise-constant bandwidth as a function of link-local time.
+///
+/// After the last segment the trace either holds its final rate or repeats
+/// from the start.
+#[derive(Debug, Clone)]
+pub struct BandwidthTrace {
+    /// `(duration_secs, bits_per_second)` segments.
+    segments: Vec<(f64, f64)>,
+    repeat: bool,
+    total: f64,
+}
+
+impl BandwidthTrace {
+    /// A constant-rate "trace".
+    pub fn constant(bits_per_sec: f64) -> Self {
+        assert!(bits_per_sec > 0.0, "bandwidth must be positive");
+        BandwidthTrace { segments: vec![(f64::INFINITY, bits_per_sec)], repeat: false, total: f64::INFINITY }
+    }
+
+    /// A trace from explicit `(duration_secs, bits_per_sec)` segments that
+    /// holds the last rate forever.
+    pub fn piecewise(segments: Vec<(f64, f64)>) -> Self {
+        Self::build(segments, false)
+    }
+
+    /// A trace that repeats its segment list cyclically.
+    pub fn cyclic(segments: Vec<(f64, f64)>) -> Self {
+        Self::build(segments, true)
+    }
+
+    fn build(segments: Vec<(f64, f64)>, repeat: bool) -> Self {
+        assert!(!segments.is_empty(), "trace needs at least one segment");
+        for &(d, r) in &segments {
+            assert!(d > 0.0, "segment duration must be positive");
+            assert!(r > 0.0, "segment rate must be positive");
+        }
+        let total = segments.iter().map(|s| s.0).sum();
+        BandwidthTrace { segments, repeat, total }
+    }
+
+    /// Bandwidth (bits/s) at link-local time `t` seconds.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let mut t = self.local_time(t);
+        for &(d, r) in &self.segments {
+            if t < d {
+                return r;
+            }
+            t -= d;
+        }
+        self.segments.last().expect("non-empty").1
+    }
+
+    fn local_time(&self, t: f64) -> f64 {
+        if self.repeat && self.total.is_finite() && t >= self.total {
+            t % self.total
+        } else {
+            t
+        }
+    }
+
+    /// Seconds needed to serialize `bytes` starting at link-local time
+    /// `start` seconds, integrating across segment boundaries.
+    pub fn serialize_secs(&self, start: f64, bytes: usize) -> f64 {
+        let mut remaining_bits = bytes as f64 * 8.0;
+        let mut t = start;
+        let mut total = 0.0;
+        // Walk segments; bounded iterations guard against pathological
+        // zero-progress loops from float underflow.
+        for _ in 0..1_000_000 {
+            if remaining_bits <= 0.0 {
+                break;
+            }
+            let rate = self.rate_at(t);
+            let seg_left = self.time_left_in_segment(t);
+            let can_send = rate * seg_left;
+            if can_send >= remaining_bits || seg_left.is_infinite() {
+                total += remaining_bits / rate;
+                remaining_bits = 0.0;
+            } else {
+                total += seg_left;
+                t += seg_left;
+                remaining_bits -= can_send;
+            }
+        }
+        total
+    }
+
+    fn time_left_in_segment(&self, t: f64) -> f64 {
+        let mut local = self.local_time(t);
+        for &(d, _) in &self.segments {
+            if local < d {
+                return d - local;
+            }
+            local -= d;
+        }
+        f64::INFINITY // holding the last rate
+    }
+}
+
+/// Converts a megabit-per-second figure into bits/s (the paper quotes
+/// networks as "100 Mbit", "Gbit", …).
+pub fn mbit(m: f64) -> f64 {
+    m * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_serialization() {
+        let t = BandwidthTrace::constant(mbit(100.0));
+        // 1 MB at 100 Mbit/s = 0.08 s.
+        let secs = t.serialize_secs(0.0, 1_000_000);
+        assert!((secs - 0.08).abs() < 1e-9, "{secs}");
+        assert_eq!(t.rate_at(12345.0), mbit(100.0));
+    }
+
+    #[test]
+    fn piecewise_rates() {
+        let t = BandwidthTrace::piecewise(vec![(1.0, mbit(10.0)), (2.0, mbit(100.0))]);
+        assert_eq!(t.rate_at(0.5), mbit(10.0));
+        assert_eq!(t.rate_at(1.5), mbit(100.0));
+        assert_eq!(t.rate_at(99.0), mbit(100.0)); // holds last
+    }
+
+    #[test]
+    fn serialization_across_boundary() {
+        // 1 s at 8 Mbit/s (1 MB/s), then 8 Mbit → 80 Mbit/s (10 MB/s).
+        let t = BandwidthTrace::piecewise(vec![(1.0, 8e6), (1.0, 80e6)]);
+        // 2 MB starting at t=0: 1 MB in the first second, 1 MB at 10 MB/s
+        // = 0.1 s → 1.1 s total.
+        let secs = t.serialize_secs(0.0, 2_000_000);
+        assert!((secs - 1.1).abs() < 1e-9, "{secs}");
+    }
+
+    #[test]
+    fn cyclic_trace_wraps() {
+        let t = BandwidthTrace::cyclic(vec![(1.0, 8e6), (1.0, 80e6)]);
+        assert_eq!(t.rate_at(0.5), 8e6);
+        assert_eq!(t.rate_at(1.5), 80e6);
+        assert_eq!(t.rate_at(2.5), 8e6); // wrapped
+        assert_eq!(t.rate_at(3.5), 80e6);
+    }
+
+    #[test]
+    fn serialization_starting_mid_trace() {
+        let t = BandwidthTrace::piecewise(vec![(1.0, 8e6), (1.0, 80e6)]);
+        // Starting at t=0.9: 0.1 s left at 1 MB/s = 100 KB, then fast.
+        let secs = t.serialize_secs(0.9, 200_000);
+        let expect = 0.1 + 100_000.0 / 10_000_000.0;
+        assert!((secs - expect).abs() < 1e-9, "{secs} vs {expect}");
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let t = BandwidthTrace::constant(mbit(1.0));
+        assert_eq!(t.serialize_secs(5.0, 0), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The IBP-style data mover (paper §4.2 footnote and future work):
+//! eight data-handler threads store and retrieve extents through one
+//! depot concurrently, every transfer running over its own AdOC
+//! connection.
+//!
+//! Run with: `cargo run --release -p adoc-examples --bin ibp_depot`
+
+use adoc::AdocConfig;
+use adoc_data::{generate, DataKind};
+use adoc_ibp::{Depot, IbpClient};
+use adoc_sim::pipe::duplex_pipe;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+fn connect(depot: &Depot) -> IbpClient {
+    let (a, b) = duplex_pipe(1 << 20);
+    let (ar, aw) = a.split();
+    let (br, bw) = b.split();
+    depot.serve(Box::new(br), Box::new(bw));
+    IbpClient::connect(ar, aw)
+}
+
+fn main() {
+    let depot = Arc::new(Depot::start(AdocConfig::default()));
+    let handlers = 8;
+    let extents_per_handler = 12;
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for h in 0..handlers {
+        let depot = depot.clone();
+        threads.push(thread::spawn(move || {
+            let mut client = connect(&depot);
+            let mut moved = 0u64;
+            for e in 0..extents_per_handler {
+                let key = format!("handler{h}/extent{e}");
+                let kind = match e % 3 {
+                    0 => DataKind::Ascii,
+                    1 => DataKind::Binary,
+                    _ => DataKind::Incompressible,
+                };
+                let data = generate(kind, 256 * 1024 + e * 4096, (h * 100 + e) as u64);
+                client.store(&key, &data).expect("store");
+                let back = client.retrieve(&key).expect("retrieve");
+                assert_eq!(back, data, "{key} corrupted");
+                moved += 2 * data.len() as u64;
+            }
+            moved
+        }));
+    }
+    let moved: u64 = threads.into_iter().map(|t| t.join().expect("handler panicked")).sum();
+    let secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "{handlers} concurrent handlers moved {:.1} MB through the depot in {secs:.2} s",
+        moved as f64 / 1e6
+    );
+    println!(
+        "depot now holds {} extents, {:.1} MB",
+        depot.extent_count(),
+        depot.stored_bytes() as f64 / 1e6
+    );
+    println!("no corruption, no deadlock — the §4.2 thread-safety claim, demonstrated");
+}

@@ -1,0 +1,51 @@
+//! The paper's §6.2 experiment in miniature: NetSolve `dgemm` requests
+//! over a simulated 100 Mbit LAN, dense and sparse matrices, with and
+//! without AdOC in the communicator.
+//!
+//! Run with: `cargo run --release -p adoc-examples --bin netsolve_dgemm [n]`
+
+use adoc::AdocConfig;
+use adoc_data::Matrix;
+use adoc_sim::netprofiles::NetProfile;
+use netsolve::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    println!("NetSolve dgemm on a simulated {} — matrices {n}×{n}\n", NetProfile::Lan100.name());
+
+    for mode in [TransportMode::Raw, TransportMode::Adoc(AdocConfig::default())] {
+        // Fresh agent + server per mode, as the paper rebuilt NetSolve.
+        let agent = Arc::new(Agent::new());
+        let server = Server::new("compute-1", mode.clone())
+            .with_service("dgemm", Arc::new(DgemmService { threads: 4 }));
+        let names = server.service_names();
+        let handle = server.start();
+        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        let client = Client::new(
+            agent,
+            mode.clone(),
+            sim_link_factory(NetProfile::Lan100.link_cfg()),
+        );
+
+        println!("== {} ==", mode.name());
+        for (label, a, b) in [
+            ("sparse", Matrix::sparse(n), Matrix::sparse(n)),
+            ("dense ", Matrix::dense(n, 1), Matrix::dense(n, 2)),
+        ] {
+            let (c, m) = client.dgemm(&a, &b, MatrixEncoding::Ascii).expect("rpc failed");
+            // Sanity: sparse × sparse = zero.
+            if label.trim() == "sparse" {
+                assert!(c.data.iter().all(|&v| v == 0.0));
+            }
+            println!(
+                "  {label} matrix: {:7.3} s   (request {:8} B, wire {:8} B)",
+                m.elapsed.as_secs_f64(),
+                m.request_bytes,
+                m.sent_wire
+            );
+        }
+        println!();
+    }
+    println!("Expect: sparse matrices much faster with AdOC (the paper saw 5.6× at n=2048 on a LAN),\ndense slightly faster, and no case slower.");
+}

@@ -1,0 +1,52 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Cross-process lock serializing timing-sensitive tests: cargo runs each
+/// test binary as its own process, so an in-process mutex cannot stop the
+/// link-shaping spin loops of two binaries from fighting over the CPU.
+///
+/// Implemented as an exclusive-create lock file with staleness stealing
+/// (a killed test must not wedge the suite).
+pub struct TimingGuard {
+    path: PathBuf,
+}
+
+impl TimingGuard {
+    /// Blocks until the global timing lock is held.
+    pub fn acquire() -> TimingGuard {
+        let path = std::env::temp_dir().join("adoc-timing-tests.lock");
+        let start = Instant::now();
+        loop {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => return TimingGuard { path },
+                Err(_) => {
+                    // Steal locks older than 120 s (crashed holder).
+                    if let Ok(meta) = std::fs::metadata(&path) {
+                        let age = meta
+                            .modified()
+                            .ok()
+                            .and_then(|m| SystemTime::now().duration_since(m).ok())
+                            .unwrap_or(Duration::ZERO);
+                        if age > Duration::from_secs(120) {
+                            let _ = std::fs::remove_file(&path);
+                            continue;
+                        }
+                    }
+                    assert!(
+                        start.elapsed() < Duration::from_secs(600),
+                        "timing lock wedged for 10 minutes"
+                    );
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TimingGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}

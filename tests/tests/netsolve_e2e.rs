@@ -1,0 +1,133 @@
+//! End-to-end middleware tests: the full agent → server → client loop
+//! over simulated networks, checking both correctness and the paper's
+//! "AdOC never loses" property at middleware level.
+
+use adoc::AdocConfig;
+use adoc_data::Matrix;
+use adoc_sim::netprofiles::NetProfile;
+use netsolve::prelude::*;
+use std::sync::Arc;
+
+fn deploy(mode: TransportMode, servers: usize) -> Client {
+    let agent = Arc::new(Agent::new());
+    for i in 0..servers {
+        let server = Server::new(&format!("compute-{i}"), mode.clone())
+            .with_service("dgemm", Arc::new(DgemmService { threads: 2 }))
+            .with_service("echo", Arc::new(EchoService));
+        let names = server.service_names();
+        let handle = server.start();
+        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+    }
+    Client::new(agent, mode, pipe_link_factory())
+}
+
+#[test]
+fn dgemm_correct_over_both_transports_and_encodings() {
+    let a = Matrix::dense(48, 1);
+    let b = Matrix::dense(48, 2);
+    let reference = netsolve::dgemm::dgemm(&a, &b, 1);
+    for mode in [TransportMode::Raw, TransportMode::Adoc(AdocConfig::default())] {
+        let client = deploy(mode.clone(), 1);
+        for encoding in [MatrixEncoding::Binary, MatrixEncoding::Ascii] {
+            let (c, _) = client.dgemm(&a, &b, encoding).expect("rpc");
+            let scale = reference.data.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!(
+                c.max_abs_diff(&reference) / scale < 1e-10,
+                "{}/{:?} diverged",
+                mode.name(),
+                encoding
+            );
+        }
+    }
+}
+
+#[test]
+fn agent_balances_across_servers() {
+    let client = deploy(TransportMode::Raw, 3);
+    // Sequential requests release their server before the next lookup, so
+    // the point here is correctness with multiple providers.
+    for _ in 0..6 {
+        let (resp, _) = client.call("echo", b"balance".to_vec()).unwrap();
+        assert_eq!(resp, b"balance");
+    }
+}
+
+#[test]
+fn adoc_transport_never_slower_than_raw_on_slow_network_with_sparse() {
+    // The paper's headline middleware claim, checked at small scale over
+    // the Internet profile.
+    let n = 128;
+    let link = NetProfile::Internet.link_cfg();
+    let run = |mode: TransportMode| {
+        let agent = Arc::new(Agent::new());
+        let server = Server::new("s", mode.clone())
+            .with_service("dgemm", Arc::new(DgemmService { threads: 2 }));
+        let names = server.service_names();
+        let handle = server.start();
+        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        let client = Client::new(agent, mode, sim_link_factory(link.clone()));
+        let a = Matrix::sparse(n);
+        let b = Matrix::sparse(n);
+        let (_, m) = client.dgemm(&a, &b, MatrixEncoding::Ascii).unwrap();
+        m.elapsed.as_secs_f64()
+    };
+    let raw = run(TransportMode::Raw);
+    let adoc = run(TransportMode::Adoc(AdocConfig::default()));
+    assert!(
+        adoc < raw,
+        "sparse dgemm over Internet: AdOC {adoc:.2}s must beat raw {raw:.2}s"
+    );
+}
+
+#[test]
+fn concurrent_clients_share_one_server() {
+    let agent = Arc::new(Agent::new());
+    let server = Server::new("shared", TransportMode::Raw)
+        .with_service("echo", Arc::new(EchoService));
+    let names = server.service_names();
+    let handle = server.start();
+    agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+
+    let mut threads = Vec::new();
+    for i in 0..6 {
+        let agent = agent.clone();
+        threads.push(std::thread::spawn(move || {
+            let client = Client::new(agent, TransportMode::Raw, pipe_link_factory());
+            let msg = format!("client {i}").into_bytes();
+            for _ in 0..20 {
+                let (resp, _) = client.call("echo", msg.clone()).unwrap();
+                assert_eq!(resp, msg);
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn large_sparse_request_compresses_enormously() {
+    let client = deploy(TransportMode::Adoc(AdocConfig::default().with_levels(1, 10)), 1);
+    let a = Matrix::sparse(256); // ~1.2 MB ASCII each matrix
+    let (_, m) = client.dgemm(&a, &a, MatrixEncoding::Ascii).unwrap();
+    assert!(
+        (m.sent_wire as f64) < m.request_bytes as f64 / 20.0,
+        "wire {} vs request {}",
+        m.sent_wire,
+        m.request_bytes
+    );
+}
+
+#[test]
+fn error_paths_surface_cleanly() {
+    let client = deploy(TransportMode::Raw, 1);
+    // Unknown service at the agent.
+    assert_eq!(
+        client.call("lu_factor", vec![]).unwrap_err().kind(),
+        std::io::ErrorKind::NotFound
+    );
+    // Malformed dgemm body reaches the service and comes back as an error
+    // response, not a hang.
+    let err = client.call("dgemm", vec![1, 2, 3]).unwrap_err();
+    assert!(err.to_string().contains("remote failure"), "{err}");
+}

@@ -1,0 +1,190 @@
+//! The paper's API contract (§4.1): AdOC "respects the read/write UNIX
+//! system call semantics". These tests pin that contract down.
+
+use adoc::{AdocConfig, AdocSocket};
+use adoc_sim::pipe::{duplex_pipe, PipeReader, PipeWriter};
+use std::thread;
+
+type Sock = AdocSocket<PipeReader, PipeWriter>;
+
+fn pair() -> (Sock, Sock) {
+    pair_cfg(AdocConfig::default())
+}
+
+fn pair_cfg(cfg: AdocConfig) -> (Sock, Sock) {
+    let (a, b) = duplex_pipe(1 << 20);
+    let (ar, aw) = a.split();
+    let (br, bw) = b.split();
+    (
+        AdocSocket::with_config(ar, aw, cfg.clone()),
+        AdocSocket::with_config(br, bw, cfg),
+    )
+}
+
+fn payload(n: usize, seed: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n);
+    let mut x = seed | 1;
+    while v.len() < n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if x % 3 == 0 {
+            v.extend_from_slice(b"posix semantics payload ");
+        } else {
+            v.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    v.truncate(n);
+    v
+}
+
+#[test]
+fn write_returns_nbytes_on_success() {
+    let (mut tx, mut rx) = pair();
+    let data = payload(10_000, 1);
+    let report = tx.write(&data).unwrap();
+    assert_eq!(report.raw as usize, data.len());
+    let mut sink = vec![0u8; data.len()];
+    rx.read_exact(&mut sink).unwrap();
+}
+
+#[test]
+fn reads_can_be_arbitrarily_fragmented() {
+    // One 1 MB write, consumed through reads of prime-ish sizes.
+    let (mut tx, mut rx) = pair();
+    let data = payload(1 << 20, 2);
+    let expect = data.clone();
+    let t = thread::spawn(move || {
+        tx.write(&data).unwrap();
+        tx
+    });
+    let mut got = Vec::new();
+    let sizes = [1usize, 7, 4096, 65_537, 13, 100_003, 524_288];
+    let mut i = 0;
+    while got.len() < expect.len() {
+        let want = sizes[i % sizes.len()].min(expect.len() - got.len());
+        let mut buf = vec![0u8; want];
+        let n = rx.read(&mut buf).unwrap();
+        assert!(n > 0, "premature EOF");
+        assert!(n <= want);
+        got.extend_from_slice(&buf[..n]);
+        i += 1;
+    }
+    t.join().unwrap();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn many_small_writes_one_big_read_loop() {
+    let (mut tx, mut rx) = pair();
+    let chunks: Vec<Vec<u8>> = (0..100).map(|i| payload(500 + i * 13, i as u64)).collect();
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let expect: Vec<u8> = chunks.concat();
+    let t = thread::spawn(move || {
+        for c in &chunks {
+            tx.write(c).unwrap();
+        }
+        tx
+    });
+    // POSIX read never merges across what the sender framed, but a read
+    // loop reassembles the byte stream exactly.
+    let mut got = Vec::new();
+    let mut buf = vec![0u8; 64 << 10];
+    while got.len() < total {
+        let n = rx.read(&mut buf).unwrap();
+        assert!(n > 0);
+        got.extend_from_slice(&buf[..n]);
+    }
+    t.join().unwrap();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn eof_is_sticky_zero() {
+    let (tx, mut rx) = pair();
+    drop(tx);
+    let mut buf = [0u8; 16];
+    assert_eq!(rx.read(&mut buf).unwrap(), 0);
+    assert_eq!(rx.read(&mut buf).unwrap(), 0, "EOF must persist");
+}
+
+#[test]
+fn data_before_close_is_still_readable() {
+    let (mut tx, mut rx) = pair();
+    let data = payload(900_000, 5); // adaptive path
+    let expect = data.clone();
+    tx.write(&data).unwrap();
+    drop(tx); // half-close after a full message
+    let mut got = Vec::new();
+    let mut buf = vec![0u8; 32 << 10];
+    loop {
+        let n = rx.read(&mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        got.extend_from_slice(&buf[..n]);
+    }
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn broken_pipe_surfaces_as_error() {
+    let (mut tx, rx) = pair();
+    drop(rx);
+    let data = payload(2 << 20, 6);
+    assert!(tx.write(&data).is_err(), "writing into a closed peer must fail");
+}
+
+#[test]
+fn zero_byte_write_is_silent() {
+    let (mut tx, mut rx) = pair();
+    tx.write(b"").unwrap();
+    tx.write(b"after-empty").unwrap();
+    let mut buf = [0u8; 32];
+    // The empty message is consumed invisibly; the next read returns the
+    // real payload.
+    let n = rx.read(&mut buf).unwrap();
+    if n == 0 {
+        // empty message surfaced as a 0-byte read; the next one must carry
+        // the data.
+        let n2 = rx.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n2], b"after-empty");
+    } else {
+        assert_eq!(&buf[..n], b"after-empty");
+    }
+}
+
+#[test]
+fn mixed_level_writes_share_one_stream() {
+    let (mut tx, mut rx) = pair();
+    let a = payload(700_000, 7);
+    let b = payload(600_000, 8);
+    let c = payload(1000, 9);
+    let (ea, eb, ec) = (a.clone(), b.clone(), c.clone());
+    let t = thread::spawn(move || {
+        tx.write_levels(&a, 0, 0).unwrap(); // disabled
+        tx.write_levels(&b, 1, 10).unwrap(); // forced
+        tx.write(&c).unwrap(); // small/direct
+        tx
+    });
+    for expect in [ea, eb, ec] {
+        let mut buf = vec![0u8; expect.len()];
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, expect);
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn close_releases_partial_read_buffers() {
+    let (mut tx, mut rx) = pair_cfg(AdocConfig::default());
+    let data = payload(800_000, 10);
+    let t = thread::spawn(move || {
+        tx.write(&data).unwrap();
+        tx
+    });
+    // Read only part of the message, then close with data still buffered
+    // (the §4.1 adoc_close scenario).
+    let mut head = vec![0u8; 100_000];
+    rx.read_exact(&mut head).unwrap();
+    t.join().unwrap();
+    rx.close().unwrap();
+}
