@@ -79,7 +79,12 @@ fn bench_queue_ops(c: &mut Criterion) {
         b.iter(|| {
             let q = PacketQueue::new(2048);
             for i in 0..1024u32 {
-                q.push(Packet { bytes: vec![0u8; 64], level: 0, raw_share: i }).unwrap();
+                q.push(Packet {
+                    bytes: vec![0u8; 64],
+                    level: 0,
+                    raw_share: i,
+                })
+                .unwrap();
             }
             q.close();
             let mut n = 0;

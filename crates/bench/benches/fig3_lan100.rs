@@ -5,7 +5,9 @@
 use adoc_bench::runner::{echo_adoc, echo_posix, Method};
 use adoc_data::{generate, DataKind};
 use adoc_sim::netprofiles::NetProfile;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,9 +28,11 @@ fn bench_fig3(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("adoc_ascii", size), &ascii, |b, p| {
             b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
         });
-        g.bench_with_input(BenchmarkId::new("adoc_incompressible", size), &incompressible, |b, p| {
-            b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("adoc_incompressible", size),
+            &incompressible,
+            |b, p| b.iter(|| echo_adoc(&link, p, 1, &Method::Adoc)),
+        );
     }
     g.finish();
 }

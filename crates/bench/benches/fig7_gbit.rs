@@ -4,7 +4,9 @@
 use adoc_bench::runner::{echo_adoc, echo_posix, Method};
 use adoc_data::{generate, DataKind};
 use adoc_sim::netprofiles::NetProfile;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput,
+};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 const SIZE: usize = 1 << 20;
 
 fn bench_compress(c: &mut Criterion) {
-    let corpora = [("hb", harwell_boeing(SIZE, 1)), ("tar", bin_tarball(SIZE, 2))];
+    let corpora = [
+        ("hb", harwell_boeing(SIZE, 1)),
+        ("tar", bin_tarball(SIZE, 2)),
+    ];
     let mut g = c.benchmark_group("table1/compress");
     g.throughput(Throughput::Bytes(SIZE as u64));
     g.sample_size(10);
@@ -20,16 +23,21 @@ fn bench_compress(c: &mut Criterion) {
             })
         });
         for level in [1u8, 3, 6, 9] {
-            g.bench_with_input(BenchmarkId::new(format!("gzip{level}"), name), data, |b, d| {
-                b.iter(|| adoc_codec::gzip::gzip_compress(d, level))
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("gzip{level}"), name),
+                data,
+                |b, d| b.iter(|| adoc_codec::gzip::gzip_compress(d, level)),
+            );
         }
     }
     g.finish();
 }
 
 fn bench_decompress(c: &mut Criterion) {
-    let corpora = [("hb", harwell_boeing(SIZE, 1)), ("tar", bin_tarball(SIZE, 2))];
+    let corpora = [
+        ("hb", harwell_boeing(SIZE, 1)),
+        ("tar", bin_tarball(SIZE, 2)),
+    ];
     let mut g = c.benchmark_group("table1/decompress");
     g.throughput(Throughput::Bytes(SIZE as u64));
     g.sample_size(10);
@@ -48,9 +56,11 @@ fn bench_decompress(c: &mut Criterion) {
         });
         for level in [1u8, 6, 9] {
             let gz = adoc_codec::gzip::gzip_compress(data, level);
-            g.bench_with_input(BenchmarkId::new(format!("gzip{level}"), name), &gz, |b, comp| {
-                b.iter(|| adoc_codec::gzip::gzip_decompress(comp, SIZE).unwrap())
-            });
+            g.bench_with_input(
+                BenchmarkId::new(format!("gzip{level}"), name),
+                &gz,
+                |b, comp| b.iter(|| adoc_codec::gzip::gzip_decompress(comp, SIZE).unwrap()),
+            );
         }
     }
     g.finish();

@@ -19,11 +19,9 @@ fn bench_table2(c: &mut Criterion) {
             ("adoc", Method::Adoc),
             ("adoc_forced", Method::AdocLevels(1, 10)),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, profile.name()),
-                &link,
-                |b, l| b.iter(|| pingpong_latency(l, &method, 1)),
-            );
+            g.bench_with_input(BenchmarkId::new(label, profile.name()), &link, |b, l| {
+                b.iter(|| pingpong_latency(l, &method, 1))
+            });
         }
     }
     g.finish();

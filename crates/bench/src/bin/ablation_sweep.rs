@@ -20,7 +20,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// One-way AdOC transfer time with given sender/receiver configs.
-fn transfer_secs(link: &LinkCfg, data: &Arc<Vec<u8>>, tx_cfg: AdocConfig, rx_cfg: AdocConfig) -> (f64, adoc::TransferStats) {
+fn transfer_secs(
+    link: &LinkCfg,
+    data: &Arc<Vec<u8>>,
+    tx_cfg: AdocConfig,
+    rx_cfg: AdocConfig,
+) -> (f64, adoc::TransferStats) {
     let (a, b) = duplex(link.clone());
     let (ar, aw) = a.split();
     let (br, bw) = b.split();
@@ -38,7 +43,9 @@ fn transfer_secs(link: &LinkCfg, data: &Arc<Vec<u8>>, tx_cfg: AdocConfig, rx_cfg
 }
 
 fn ablation_buffer_size() {
-    println!("== Ablation 1: compression-buffer size vs ratio loss (paper §3.2: 200 KB ⇒ < 6 %) ==\n");
+    println!(
+        "== Ablation 1: compression-buffer size vs ratio loss (paper §3.2: 200 KB ⇒ < 6 %) ==\n"
+    );
     let data = corpus::harwell_boeing(4 << 20, 9);
     let whole = {
         let mut c = Vec::new();
@@ -46,7 +53,16 @@ fn ablation_buffer_size() {
         c.len()
     };
     let mut t = Table::new(&["buffer", "compressed B", "ratio", "loss vs whole-file"]);
-    for buf in [8 << 10, 32 << 10, 64 << 10, 128 << 10, 200 << 10, 512 << 10, 1 << 20, 4 << 20] {
+    for buf in [
+        8 << 10,
+        32 << 10,
+        64 << 10,
+        128 << 10,
+        200 << 10,
+        512 << 10,
+        1 << 20,
+        4 << 20,
+    ] {
         let mut total = 0usize;
         for chunk in data.chunks(buf) {
             let mut c = Vec::new();
@@ -100,8 +116,10 @@ fn ablation_divergence_guard() {
     let slow_rx = AdocConfig::default().with_throttle(Arc::new(SleepThrottle::new(40.0)));
     let mut t = Table::new(&["guard", "time (s)", "reverts", "max level used"]);
     for (name, margin) in [("on (paper)", 1.10f64), ("off", f64::INFINITY)] {
-        let mut tx_cfg = AdocConfig::default();
-        tx_cfg.divergence_margin = margin;
+        let tx_cfg = AdocConfig {
+            divergence_margin: margin,
+            ..AdocConfig::default()
+        };
         let (secs, stats) = transfer_secs(&link, &data, tx_cfg, slow_rx.clone());
         t.row(vec![
             name.to_string(),
@@ -130,8 +148,7 @@ fn ablation_ratio_guard() {
     for (name, guard) in [("on (paper, 1.05)", 1.05f64), ("off (0.0)", 0.0)] {
         // Adaptive levels (the guard pins to the *minimum*, which forcing
         // would defeat) on a slow codec host.
-        let mut tx_cfg =
-            AdocConfig::default().with_throttle(Arc::new(SleepThrottle::new(8.0)));
+        let mut tx_cfg = AdocConfig::default().with_throttle(Arc::new(SleepThrottle::new(8.0)));
         // Adaptive path for any size, but no probe bytes: studies the
         // guard in isolation.
         tx_cfg.probe_threshold = 0;
@@ -155,9 +172,15 @@ fn ablation_fast_threshold() {
     let link = LinkCfg::new(mbit(1000.0), Duration::from_micros(15));
     let data = Arc::new(generate(DataKind::Ascii, 8 << 20, 20));
     let mut t = Table::new(&["fast_bps threshold", "time (s)", "fast-path", "max level"]);
-    for (name, thr) in [("100 Mbit", 100e6), ("500 Mbit (paper)", 500e6), ("10 Gbit", 10e9)] {
-        let mut tx_cfg = AdocConfig::default();
-        tx_cfg.fast_bps = thr;
+    for (name, thr) in [
+        ("100 Mbit", 100e6),
+        ("500 Mbit (paper)", 500e6),
+        ("10 Gbit", 10e9),
+    ] {
+        let tx_cfg = AdocConfig {
+            fast_bps: thr,
+            ..AdocConfig::default()
+        };
         let (secs, stats) = transfer_secs(&link, &data, tx_cfg, AdocConfig::default());
         t.row(vec![
             name.to_string(),

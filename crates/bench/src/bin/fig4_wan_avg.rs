@@ -14,7 +14,9 @@ fn main() {
     // The paper's WAN is shared and jittery; Fig. 4 exists to show how
     // noisy averages are. Add jitter so the average/best distinction has
     // teeth.
-    let link = profile.link_cfg().with_jitter(Duration::from_millis(4), 0xF16_4);
+    let link = profile
+        .link_cfg()
+        .with_jitter(Duration::from_millis(4), 0xF164);
     let sizes = default_sizes_for(profile, cli.max_size);
     println!(
         "Figure 4 — bandwidth on {} (AVERAGE of {} runs, jittered link; paper used 40 runs)\n",

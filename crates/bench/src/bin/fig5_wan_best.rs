@@ -10,7 +10,9 @@ use std::time::Duration;
 fn main() {
     let cli = Cli::parse(2 << 20, 3, 0);
     let profile = NetProfile::Renater;
-    let link = profile.link_cfg().with_jitter(Duration::from_millis(4), 0xF16_5);
+    let link = profile
+        .link_cfg()
+        .with_jitter(Duration::from_millis(4), 0xF165);
     let sizes = default_sizes_for(profile, cli.max_size);
     println!(
         "Figure 5 — bandwidth on {} (BEST of {} runs; paper used 40)\n",

@@ -6,10 +6,10 @@
 //!
 //! `cargo run --release -p adoc-bench --bin fig6_internet [--max-size BYTES] [--reps N] [--csv]`
 
+use adoc::{AdocConfig, SleepThrottle};
 use adoc_bench::figures::{default_sizes_for, Cli, Summary};
 use adoc_bench::runner::{echo_adoc_asym, echo_posix, Method};
 use adoc_bench::table::{fmt_mbits, Table};
-use adoc::{AdocConfig, SleepThrottle};
 use adoc_data::{generate, DataKind};
 use adoc_sim::netprofiles::NetProfile;
 use std::sync::Arc;

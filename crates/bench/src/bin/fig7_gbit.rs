@@ -11,7 +11,11 @@ fn main() {
     let cli = Cli::parse(16 << 20, 3, 0);
     let profile = NetProfile::Gbit;
     let sizes = default_sizes_for(profile, cli.max_size);
-    println!("Figure 7 — bandwidth on a {} (best of {} runs)\n", profile.name(), cli.reps);
+    println!(
+        "Figure 7 — bandwidth on a {} (best of {} runs)\n",
+        profile.name(),
+        cli.reps
+    );
     let t = bandwidth_figure(&profile.link_cfg(), &sizes, cli.reps, Summary::Best);
     cli.print(&t);
     println!(

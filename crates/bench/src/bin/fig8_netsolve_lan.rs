@@ -11,7 +11,10 @@ use adoc_sim::netprofiles::NetProfile;
 fn main() {
     let cli = Cli::parse(0, 1, 1024);
     let profile = NetProfile::Lan100;
-    println!("Figure 8 — NetSolve dgemm timings on a {} (ASCII matrix wire format)\n", profile.name());
+    println!(
+        "Figure 8 — NetSolve dgemm timings on a {} (ASCII matrix wire format)\n",
+        profile.name()
+    );
     let t = netsolve_figure(&profile.link_cfg(), cli.max_n, 4);
     cli.print(&t);
     println!(

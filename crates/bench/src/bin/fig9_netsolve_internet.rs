@@ -10,7 +10,10 @@ use adoc_sim::netprofiles::NetProfile;
 fn main() {
     let cli = Cli::parse(0, 1, 768);
     let profile = NetProfile::Internet;
-    println!("Figure 9 — NetSolve dgemm timings over {} (ASCII matrix wire format)\n", profile.name());
+    println!(
+        "Figure 9 — NetSolve dgemm timings over {} (ASCII matrix wire format)\n",
+        profile.name()
+    );
     let t = netsolve_figure(&profile.link_cfg(), cli.max_n, 4);
     cli.print(&t);
     println!(

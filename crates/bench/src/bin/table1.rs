@@ -10,7 +10,12 @@ use adoc_bench::table::Table;
 use adoc_data::corpus::{bin_tarball, harwell_boeing};
 use std::time::Instant;
 
-fn measure(data: &[u8], level_label: &str, compress: impl Fn(&[u8]) -> Vec<u8>, decompress: impl Fn(&[u8], usize) -> Vec<u8>) -> (String, f64, f64, f64) {
+fn measure(
+    data: &[u8],
+    level_label: &str,
+    compress: impl Fn(&[u8]) -> Vec<u8>,
+    decompress: impl Fn(&[u8], usize) -> Vec<u8>,
+) -> (String, f64, f64, f64) {
     // Warm once, then time.
     let _warm = compress(data);
     let t0 = Instant::now();
@@ -54,7 +59,10 @@ fn rows_for(data: &[u8]) -> Vec<(String, f64, f64, f64)> {
 fn main() {
     let cli = Cli::parse(4 << 20, 1, 0);
     let size = cli.max_size;
-    println!("Table 1 — compression timings on bench files (size {} KB each)\n", size >> 10);
+    println!(
+        "Table 1 — compression timings on bench files (size {} KB each)\n",
+        size >> 10
+    );
 
     let corpora = [
         ("oilpann.hb (synthetic HB)", harwell_boeing(size, 1)),

@@ -17,7 +17,12 @@ fn main() {
          Gbit 0.030/0.045/1.6)\n",
         cli.reps
     );
-    let mut t = Table::new(&["network", "POSIX (ms)", "AdOC (ms)", "AdOC forced compression (ms)"]);
+    let mut t = Table::new(&[
+        "network",
+        "POSIX (ms)",
+        "AdOC (ms)",
+        "AdOC forced compression (ms)",
+    ]);
     for profile in NetProfile::ALL {
         let link = profile.link_cfg();
         let posix = pingpong_latency(&link, &Method::Posix, cli.reps).best() * 1e3;

@@ -46,9 +46,10 @@ impl Cli {
         while i < args.len() {
             match args[i].as_str() {
                 "--max-size" => {
-                    cli.max_size = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(
-                        || panic!("--max-size needs a byte count"),
-                    );
+                    cli.max_size = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--max-size needs a byte count"));
                     i += 1;
                 }
                 "--reps" => {
@@ -66,7 +67,9 @@ impl Cli {
                     i += 1;
                 }
                 "--csv" => cli.csv = true,
-                other => panic!("unknown flag {other} (supported: --max-size --reps --csv --max-n)"),
+                other => {
+                    panic!("unknown flag {other} (supported: --max-size --reps --csv --max-n)")
+                }
             }
             i += 1;
         }
@@ -133,7 +136,10 @@ pub fn netsolve_point(
         .with_service("dgemm", Arc::new(DgemmService { threads }));
     let names = server.service_names();
     let handle = server.start();
-    agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+    agent.register(
+        &names.iter().map(String::as_str).collect::<Vec<_>>(),
+        handle,
+    );
     let client = Client::new(agent, mode.clone(), sim_link_factory(link.clone()));
 
     let (a, b) = if sparse {
@@ -141,7 +147,9 @@ pub fn netsolve_point(
     } else {
         (Matrix::dense(n, 77), Matrix::dense(n, 78))
     };
-    let (_c, m) = client.dgemm(&a, &b, MatrixEncoding::Ascii).expect("dgemm rpc");
+    let (_c, m) = client
+        .dgemm(&a, &b, MatrixEncoding::Ascii)
+        .expect("dgemm rpc");
     m.elapsed.as_secs_f64()
 }
 

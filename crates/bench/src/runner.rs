@@ -30,7 +30,6 @@ impl Method {
             Method::AdocLevels(min, max) => format!("AdOC[{min},{max}]"),
         }
     }
-
 }
 
 /// Result of an echo measurement series.
@@ -75,7 +74,10 @@ pub fn echo_posix(link: &LinkCfg, payload: &Arc<Vec<u8>>, reps: usize) -> EchoOu
         echo.join().unwrap();
         debug_assert_eq!(&back, &**payload);
     }
-    EchoOutcome { samples, size: payload.len() }
+    EchoOutcome {
+        samples,
+        size: payload.len(),
+    }
 }
 
 type AdocLinkSocket = AdocSocket<LinkReader, LinkWriter>;
@@ -148,7 +150,10 @@ pub fn echo_adoc_asym(
         echo.join().unwrap();
         debug_assert_eq!(&back, &**payload);
     }
-    EchoOutcome { samples, size: payload.len() }
+    EchoOutcome {
+        samples,
+        size: payload.len(),
+    }
 }
 
 /// Table 2's measurement: a minimal ping-pong (1 byte — a genuinely empty

@@ -19,7 +19,11 @@ pub struct BitWriter<'a> {
 impl<'a> BitWriter<'a> {
     /// Starts writing at the current end of `out`.
     pub fn new(out: &'a mut Vec<u8>) -> Self {
-        BitWriter { out, acc: 0, nbits: 0 }
+        BitWriter {
+            out,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Appends the `n` low bits of `value` (n ≤ 32).
@@ -79,7 +83,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Ensures at least `n` bits are in the accumulator (zero-padding past

@@ -75,7 +75,11 @@ fn crc_tables() -> &'static CrcTables {
         for i in 0..256u32 {
             let mut c = i;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             t[0][i as usize] = c;
         }
@@ -182,12 +186,17 @@ mod tests {
         assert_eq!(Crc32::oneshot(b"a"), 0xE8B7_BE43);
         assert_eq!(Crc32::oneshot(b"abc"), 0x3524_41C2);
         assert_eq!(Crc32::oneshot(b"123456789"), 0xCBF4_3926);
-        assert_eq!(Crc32::oneshot(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            Crc32::oneshot(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
     fn crc32_incremental_matches_oneshot() {
-        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2_654_435_761)) as u8).collect();
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761)) as u8)
+            .collect();
         let mut inc = Crc32::new();
         for chunk in data.chunks(313) {
             inc.update(chunk);

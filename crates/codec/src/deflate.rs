@@ -84,7 +84,10 @@ struct BlockFreqs {
 
 impl BlockFreqs {
     fn count(tokens: &[Token]) -> Self {
-        let mut f = BlockFreqs { litlen: [0; NUM_LITLEN], dist: [0; NUM_DIST] };
+        let mut f = BlockFreqs {
+            litlen: [0; NUM_LITLEN],
+            dist: [0; NUM_DIST],
+        };
         for t in tokens {
             match t.as_match() {
                 Some((len, dist)) => {
@@ -265,7 +268,16 @@ fn plan_dynamic(freqs: &BlockFreqs) -> DynamicPlan {
         }
     }
 
-    DynamicPlan { lit_lengths, dist_lengths, hlit, hdist, hclen, clen_lengths, ops, header_bits }
+    DynamicPlan {
+        lit_lengths,
+        dist_lengths,
+        hlit,
+        hdist,
+        hclen,
+        clen_lengths,
+        ops,
+        header_bits,
+    }
 }
 
 fn write_tokens(
@@ -363,9 +375,8 @@ mod tests {
 
     fn roundtrip(data: &[u8], level: u8) -> Vec<u8> {
         let comp = deflate_to_vec(data, level);
-        let dec = inflate_to_vec(&comp, data.len()).unwrap_or_else(|e| {
-            panic!("level {level}, len {}: inflate failed: {e}", data.len())
-        });
+        let dec = inflate_to_vec(&comp, data.len())
+            .unwrap_or_else(|e| panic!("level {level}, len {}: inflate failed: {e}", data.len()));
         assert_eq!(dec, data, "level {level} roundtrip mismatch");
         comp
     }
@@ -394,7 +405,10 @@ mod tests {
         let c9 = roundtrip(&data, 9).len();
         assert!(c1 < data.len() / 2, "level 1 got {} of {}", c1, data.len());
         assert!(c6 <= c1, "level 6 ({c6}) worse than level 1 ({c1})");
-        assert!(c9 <= c6 + c6 / 50, "level 9 ({c9}) much worse than level 6 ({c6})");
+        assert!(
+            c9 <= c6 + c6 / 50,
+            "level 9 ({c9}) much worse than level 6 ({c6})"
+        );
     }
 
     #[test]
@@ -408,7 +422,11 @@ mod tests {
             .collect();
         let comp = roundtrip(&data, 6);
         // Stored-block fallback bounds expansion to ~0.1%.
-        assert!(comp.len() < data.len() + data.len() / 500 + 64, "expanded to {}", comp.len());
+        assert!(
+            comp.len() < data.len() + data.len() / 500 + 64,
+            "expanded to {}",
+            comp.len()
+        );
     }
 
     #[test]

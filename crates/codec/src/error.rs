@@ -38,13 +38,19 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
             CodecError::BadDistance { dist, have } => {
-                write!(f, "back-reference distance {dist} exceeds produced output {have}")
+                write!(
+                    f,
+                    "back-reference distance {dist} exceeds produced output {have}"
+                )
             }
             CodecError::OutputLimitExceeded { limit } => {
                 write!(f, "decoded output exceeds limit of {limit} bytes")
             }
             CodecError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             CodecError::BadContainer(what) => write!(f, "bad container: {what}"),
         }

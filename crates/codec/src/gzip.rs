@@ -24,6 +24,7 @@ pub fn gzip_compress(data: &[u8], level: u8) -> Vec<u8> {
     out.push(CM_DEFLATE);
     out.push(0); // FLG: no name/comment/extra
     out.extend_from_slice(&0u32.to_le_bytes()); // MTIME unknown
+
     // XFL: 2 = max compression, 4 = fastest (RFC 1952).
     out.push(match level {
         9 => 2,
@@ -47,7 +48,9 @@ pub fn gzip_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
         return Err(CodecError::BadContainer("gzip: bad magic"));
     }
     if stream[2] != CM_DEFLATE {
-        return Err(CodecError::BadContainer("gzip: compression method is not deflate"));
+        return Err(CodecError::BadContainer(
+            "gzip: compression method is not deflate",
+        ));
     }
     let flg = stream[3];
     let mut pos = 10usize;
@@ -84,7 +87,10 @@ pub fn gzip_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
     let expected_crc = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
     let actual_crc = Crc32::oneshot(&out);
     if expected_crc != actual_crc {
-        return Err(CodecError::ChecksumMismatch { expected: expected_crc, actual: actual_crc });
+        return Err(CodecError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
     }
     let expected_isize = u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]);
     if expected_isize != out.len() as u32 {
@@ -102,7 +108,11 @@ mod tests {
         let data = b"gzip container roundtrip, compressible text text text. ".repeat(64);
         for level in 0..=9 {
             let g = gzip_compress(&data, level);
-            assert_eq!(gzip_decompress(&g, data.len()).unwrap(), data, "level {level}");
+            assert_eq!(
+                gzip_decompress(&g, data.len()).unwrap(),
+                data,
+                "level {level}"
+            );
         }
     }
 
@@ -123,7 +133,10 @@ mod tests {
         let mut g = gzip_compress(b"check me check me check me", 6);
         let n = g.len();
         g[n - 6] ^= 0x01; // flip a CRC byte
-        assert!(matches!(gzip_decompress(&g, 1024), Err(CodecError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            gzip_decompress(&g, 1024),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -155,7 +168,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut g = gzip_compress(b"x", 1);
         g[0] = 0x1e;
-        assert!(matches!(gzip_decompress(&g, 16), Err(CodecError::BadContainer(_))));
+        assert!(matches!(
+            gzip_decompress(&g, 16),
+            Err(CodecError::BadContainer(_))
+        ));
     }
 
     #[test]

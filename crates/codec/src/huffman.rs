@@ -148,7 +148,10 @@ impl HuffEncoder {
             .zip(lengths)
             .map(|(&c, &l)| if l == 0 { 0 } else { reverse_bits(c, l) })
             .collect();
-        HuffEncoder { codes, lengths: lengths.to_vec() }
+        HuffEncoder {
+            codes,
+            lengths: lengths.to_vec(),
+        }
     }
 
     /// Emits `sym` through the writer.
@@ -293,7 +296,10 @@ mod tests {
         // → codes 010,011,100,101,110,00,1110,1111.
         let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
         let codes = canonical_codes(&lengths);
-        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+        assert_eq!(
+            codes,
+            vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]
+        );
     }
 
     #[test]
@@ -304,7 +310,7 @@ mod tests {
         let dec = HuffDecoder::from_lengths(&lengths, false).unwrap();
 
         let symbols: Vec<usize> = (0..freqs.len())
-            .flat_map(|s| std::iter::repeat(s).take(freqs[s] as usize))
+            .flat_map(|s| std::iter::repeat_n(s, freqs[s] as usize))
             .collect();
         let mut buf = Vec::new();
         {

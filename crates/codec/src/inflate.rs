@@ -31,7 +31,11 @@ pub fn inflate(data: &[u8], out: &mut Vec<u8>, max_out: usize) -> Result<usize> 
 
 /// Like [`inflate`] but runs off an existing bit reader and returns the
 /// number of bytes produced.
-pub fn inflate_from_reader(r: &mut BitReader<'_>, out: &mut Vec<u8>, max_out: usize) -> Result<usize> {
+pub fn inflate_from_reader(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    max_out: usize,
+) -> Result<usize> {
     let base = out.len();
     loop {
         let last = r.read_bits(1)? == 1;
@@ -55,7 +59,12 @@ pub fn inflate_from_reader(r: &mut BitReader<'_>, out: &mut Vec<u8>, max_out: us
     Ok(out.len() - base)
 }
 
-fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>, base: usize, max_out: usize) -> Result<()> {
+fn inflate_stored(
+    r: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    base: usize,
+    max_out: usize,
+) -> Result<()> {
     r.align_byte();
     let len = r.read_bits(16)? as u16;
     let nlen = r.read_bits(16)? as u16;
@@ -106,21 +115,21 @@ fn read_dynamic_header(r: &mut BitReader<'_>) -> Result<(HuffDecoder, Option<Huf
                 if lengths.len() + n > total {
                     return Err(CodecError::Corrupt("code-length repeat overruns header"));
                 }
-                lengths.extend(std::iter::repeat(prev).take(n));
+                lengths.extend(std::iter::repeat_n(prev, n));
             }
             17 => {
                 let n = 3 + r.read_bits(3)? as usize;
                 if lengths.len() + n > total {
                     return Err(CodecError::Corrupt("zero-run overruns header"));
                 }
-                lengths.extend(std::iter::repeat(0u8).take(n));
+                lengths.extend(std::iter::repeat_n(0u8, n));
             }
             18 => {
                 let n = 11 + r.read_bits(7)? as usize;
                 if lengths.len() + n > total {
                     return Err(CodecError::Corrupt("zero-run overruns header"));
                 }
-                lengths.extend(std::iter::repeat(0u8).take(n));
+                lengths.extend(std::iter::repeat_n(0u8, n));
             }
             _ => unreachable!("code-length alphabet has 19 symbols"),
         }
@@ -169,7 +178,9 @@ fn inflate_huffman(
                     LENGTH_BASE[idx] as usize + r.read_bits(u32::from(LENGTH_EXTRA[idx]))? as usize;
 
                 let dsym = dist_dec
-                    .ok_or(CodecError::Corrupt("length code in block with no distance tree"))?
+                    .ok_or(CodecError::Corrupt(
+                        "length code in block with no distance tree",
+                    ))?
                     .decode(r)?;
                 if dsym >= NUM_DIST {
                     return Err(CodecError::Corrupt("distance code 30/31 in stream"));
@@ -179,7 +190,10 @@ fn inflate_huffman(
 
                 let produced = out.len() - base;
                 if dist > produced {
-                    return Err(CodecError::BadDistance { dist, have: produced });
+                    return Err(CodecError::BadDistance {
+                        dist,
+                        have: produced,
+                    });
                 }
                 if produced + len > max_out {
                     return Err(CodecError::OutputLimitExceeded { limit: max_out });

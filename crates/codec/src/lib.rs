@@ -28,7 +28,6 @@
 //! assert_eq!(restored, data);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod bitio;
 pub mod checksum;

@@ -42,7 +42,10 @@ impl Token {
     #[inline]
     pub fn as_match(self) -> Option<(usize, usize)> {
         if self.0 & 0x8000_0000 != 0 {
-            Some(((((self.0 >> 16) & 0xFF) as usize) + MIN_MATCH, ((self.0 & 0xFFFF) as usize) + 1))
+            Some((
+                (((self.0 >> 16) & 0xFF) as usize) + MIN_MATCH,
+                ((self.0 & 0xFFFF) as usize) + 1,
+            ))
         } else {
             None
         }
@@ -94,11 +97,23 @@ impl MatchParams {
     }
 
     fn fast(good: usize, lazy: usize, nice: usize, chain: usize) -> Self {
-        MatchParams { good_length: good, max_lazy: lazy, nice_length: nice, max_chain: chain, lazy: false }
+        MatchParams {
+            good_length: good,
+            max_lazy: lazy,
+            nice_length: nice,
+            max_chain: chain,
+            lazy: false,
+        }
     }
 
     fn slow(good: usize, lazy: usize, nice: usize, chain: usize) -> Self {
-        MatchParams { good_length: good, max_lazy: lazy, nice_length: nice, max_chain: chain, lazy: true }
+        MatchParams {
+            good_length: good,
+            max_lazy: lazy,
+            nice_length: nice,
+            max_chain: chain,
+            lazy: true,
+        }
     }
 }
 
@@ -116,7 +131,10 @@ struct Chains {
 
 impl Chains {
     fn new(len: usize) -> Self {
-        Chains { head: vec![NIL; HASH_SIZE], prev: vec![NIL; len] }
+        Chains {
+            head: vec![NIL; HASH_SIZE],
+            prev: vec![NIL; len],
+        }
     }
 
     #[inline]
@@ -235,7 +253,13 @@ pub fn tokenize(data: &[u8], params: &MatchParams, mut sink: impl FnMut(Token)) 
 
 /// Inserts all not-yet-indexed positions below `upto` into the chains.
 #[inline]
-fn index_upto(chains: &mut Chains, data: &[u8], inserted: &mut usize, upto: usize, insert_end: usize) {
+fn index_upto(
+    chains: &mut Chains,
+    data: &[u8],
+    inserted: &mut usize,
+    upto: usize,
+    insert_end: usize,
+) {
     let stop = upto.min(insert_end);
     while *inserted < stop {
         chains.insert(data, *inserted);
@@ -342,7 +366,11 @@ mod tests {
                 out.push(b);
             } else {
                 let (len, dist) = t.as_match().unwrap();
-                assert!(dist <= out.len(), "distance {dist} > produced {}", out.len());
+                assert!(
+                    dist <= out.len(),
+                    "distance {dist} > produced {}",
+                    out.len()
+                );
                 let start = out.len() - dist;
                 for k in 0..len {
                     let b = out[start + k];
@@ -413,14 +441,23 @@ mod tests {
         let mut state = 0x9E3779B9u64;
         let data: Vec<u8> = (0..8192)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 56) as u8
             })
             .collect();
         let toks = collect(&data, 6);
         assert_eq!(expand(&toks), data);
-        let match_bytes: usize = toks.iter().filter_map(|t| t.as_match()).map(|(l, _)| l).sum();
-        assert!(match_bytes < data.len() / 10, "unexpected matches in noise: {match_bytes}");
+        let match_bytes: usize = toks
+            .iter()
+            .filter_map(|t| t.as_match())
+            .map(|(l, _)| l)
+            .sum();
+        assert!(
+            match_bytes < data.len() / 10,
+            "unexpected matches in noise: {match_bytes}"
+        );
     }
 
     #[test]

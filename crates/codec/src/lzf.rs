@@ -144,17 +144,19 @@ pub fn decompress(input: &[u8], out: &mut Vec<u8>, max_out: usize) -> Result<()>
             let dist = off + 1;
             let produced = out.len() - base;
             if dist > produced {
-                return Err(CodecError::BadDistance { dist, have: produced });
+                return Err(CodecError::BadDistance {
+                    dist,
+                    have: produced,
+                });
             }
             if produced + len > max_out {
                 return Err(CodecError::OutputLimitExceeded { limit: max_out });
             }
             // Overlapping copy: must go byte-by-byte when dist < len.
-            let mut src = out.len() - dist;
-            for _ in 0..len {
+            let start = out.len() - dist;
+            for src in start..start + len {
                 let b = out[src];
                 out.push(b);
-                src += 1;
             }
         }
     }
@@ -186,7 +188,12 @@ mod tests {
     fn repetitive_input_compresses() {
         let data = b"abcabcabcabcabcabcabcabcabcabcabcabc".repeat(100);
         let comp = roundtrip(&data);
-        assert!(comp.len() < data.len() / 4, "{} vs {}", comp.len(), data.len());
+        assert!(
+            comp.len() < data.len() / 4,
+            "{} vs {}",
+            comp.len(),
+            data.len()
+        );
     }
 
     #[test]
@@ -244,8 +251,7 @@ mod tests {
         for cut in [1, comp.len() / 2, comp.len() - 1] {
             let mut out = Vec::new();
             assert!(
-                decompress(&comp[..cut], &mut out, data.len()).is_err()
-                    || out.len() < data.len(),
+                decompress(&comp[..cut], &mut out, data.len()).is_err() || out.len() < data.len(),
                 "cut {cut} silently produced full output"
             );
         }

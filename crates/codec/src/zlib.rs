@@ -41,7 +41,9 @@ pub fn zlib_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
     let cmf = stream[0];
     let flg = stream[1];
     if cmf & 0x0F != 8 {
-        return Err(CodecError::BadContainer("zlib: compression method is not deflate"));
+        return Err(CodecError::BadContainer(
+            "zlib: compression method is not deflate",
+        ));
     }
     if (cmf >> 4) > 7 {
         return Err(CodecError::BadContainer("zlib: window size exceeds 32 KiB"));
@@ -50,7 +52,9 @@ pub fn zlib_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
         return Err(CodecError::BadContainer("zlib: FCHECK failed"));
     }
     if flg & 0x20 != 0 {
-        return Err(CodecError::BadContainer("zlib: preset dictionaries unsupported"));
+        return Err(CodecError::BadContainer(
+            "zlib: preset dictionaries unsupported",
+        ));
     }
 
     let body = &stream[2..stream.len() - 4];
@@ -84,7 +88,11 @@ mod tests {
     fn header_check_bits_valid() {
         for level in 0..=9 {
             let z = zlib_compress(b"x", level);
-            assert_eq!(((u16::from(z[0]) << 8) | u16::from(z[1])) % 31, 0, "level {level}");
+            assert_eq!(
+                ((u16::from(z[0]) << 8) | u16::from(z[1])) % 31,
+                0,
+                "level {level}"
+            );
             assert_eq!(z[0], 0x78);
         }
     }
@@ -114,10 +122,14 @@ mod tests {
     fn bad_method_rejected() {
         let mut z = zlib_compress(b"x", 6);
         z[0] = 0x79; // CM = 9
+
         // Fix FCHECK so we specifically hit the method test.
         let rem = ((u16::from(z[0]) << 8) | u16::from(z[1] & 0xE0)) % 31;
         z[1] = (z[1] & 0xE0) + if rem == 0 { 0 } else { (31 - rem) as u8 };
-        assert!(matches!(zlib_decompress(&z, 16), Err(CodecError::BadContainer(_))));
+        assert!(matches!(
+            zlib_decompress(&z, 16),
+            Err(CodecError::BadContainer(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,9 @@ fn roundtrip(data: &[u8], level: u8) {
 #[test]
 fn match_at_exactly_max_distance() {
     // A 24-byte pattern repeated exactly MAX_DIST apart, noise between.
-    let pattern: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+    let pattern: Vec<u8> = (0..24u8)
+        .map(|i| i.wrapping_mul(37).wrapping_add(11))
+        .collect();
     let mut data = pattern.clone();
     let mut x = 1u64;
     while data.len() < MAX_DIST {
@@ -34,7 +36,7 @@ fn match_at_exactly_max_distance() {
 fn match_just_beyond_max_distance_still_correct() {
     let pattern = b"0123456789abcdefghijklmnop".to_vec();
     let mut data = pattern.clone();
-    data.extend(std::iter::repeat(0xEEu8).take(MAX_DIST + 1 - pattern.len()));
+    data.extend(std::iter::repeat_n(0xEEu8, MAX_DIST + 1 - pattern.len()));
     data.extend_from_slice(&pattern);
     roundtrip(&data, 9);
 }
@@ -65,7 +67,7 @@ fn maximal_literal_alphabet_forces_wide_dynamic_header() {
     let mut data = Vec::new();
     for b in 0..=255u8 {
         let reps = 1 + (usize::from(b) * 7) % 97;
-        data.extend(std::iter::repeat(b).take(reps));
+        data.extend(std::iter::repeat_n(b, reps));
     }
     // Scatter so matches don't swallow the alphabet.
     let mut scrambled = Vec::with_capacity(data.len());
@@ -120,10 +122,12 @@ fn alternating_compressible_incompressible_segments() {
     let mut x = 3u64;
     for seg in 0..32 {
         if seg % 2 == 0 {
-            data.extend(std::iter::repeat(b'c').take(40_000));
+            data.extend(std::iter::repeat_n(b'c', 40_000));
         } else {
             for _ in 0..40_000 / 8 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 data.extend_from_slice(&x.to_le_bytes());
             }
         }
@@ -137,6 +141,7 @@ fn alternating_compressible_incompressible_segments() {
 fn zlib_fdict_flag_rejected() {
     let mut z = adoc_codec::zlib::zlib_compress(b"data", 6);
     z[1] |= 0x20; // FDICT
+
     // Fix FCHECK.
     let rem = ((u16::from(z[0]) << 8) | u16::from(z[1] & 0xE0)) % 31;
     z[1] = (z[1] & 0xE0) | if rem == 0 { 0 } else { (31 - rem) as u8 };

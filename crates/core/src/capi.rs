@@ -87,11 +87,12 @@ fn registry() -> &'static Registry {
 static NEXT_FD: AtomicI32 = AtomicI32::new(3); // 0/1/2 are taken, as ever
 
 fn lookup(d: i32) -> io::Result<Arc<Mutex<Box<dyn AdocStreamObj>>>> {
-    registry()
-        .lock()
-        .get(&d)
-        .cloned()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("bad AdOC descriptor {d}")))
+    registry().lock().get(&d).cloned().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("bad AdOC descriptor {d}"),
+        )
+    })
 }
 
 /// Registers a reader/writer pair and returns its descriptor (the Rust
@@ -112,7 +113,9 @@ where
 {
     let sock = AdocSocket::with_config(reader, writer, cfg);
     let d = NEXT_FD.fetch_add(1, Ordering::Relaxed);
-    registry().lock().insert(d, Arc::new(Mutex::new(Box::new(sock))));
+    registry()
+        .lock()
+        .insert(d, Arc::new(Mutex::new(Box::new(sock))));
     d
 }
 
@@ -193,10 +196,12 @@ pub fn adoc_receive_file(d: i32, file: &mut File) -> io::Result<u64> {
 /// `adoc_close`: frees the descriptor's internal buffers and drops the
 /// underlying streams.
 pub fn adoc_close(d: i32) -> io::Result<()> {
-    let entry = registry()
-        .lock()
-        .remove(&d)
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("bad AdOC descriptor {d}")))?;
+    let entry = registry().lock().remove(&d).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("bad AdOC descriptor {d}"),
+        )
+    })?;
     let result = entry.lock().close();
     result
 }
@@ -284,7 +289,10 @@ mod tests {
         let t = thread::spawn(move || {
             let mut slen = 0i64;
             adoc_write_levels(tx, &data2, Some(&mut slen), 1, 10).unwrap();
-            assert!((slen as usize) < data2.len(), "forced compression must shrink");
+            assert!(
+                (slen as usize) < data2.len(),
+                "forced compression must shrink"
+            );
             adoc_close(tx).unwrap();
         });
         let mut buf = vec![0u8; data.len()];

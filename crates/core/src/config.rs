@@ -132,12 +132,18 @@ impl AdocConfig {
     /// Panics if the configuration is inconsistent.
     pub fn validate(&self) {
         assert!(self.min_level <= self.max_level, "min_level > max_level");
-        assert!(self.max_level <= adoc_codec::ADOC_MAX_LEVEL, "max_level out of range");
+        assert!(
+            self.max_level <= adoc_codec::ADOC_MAX_LEVEL,
+            "max_level out of range"
+        );
         assert!(self.buffer_size > 0 && self.packet_size > 0);
         assert!(self.packet_size <= self.buffer_size);
         assert!(self.probe_size <= self.probe_threshold);
         assert!(self.low_water < self.mid_water && self.mid_water < self.high_water);
-        assert!(self.queue_cap > self.high_water, "queue must hold more than high_water packets");
+        assert!(
+            self.queue_cap > self.high_water,
+            "queue must hold more than high_water packets"
+        );
         assert!(
             self.ratio_guard == 0.0 || self.ratio_guard >= 1.0,
             "ratio_guard must be 0 (disabled) or >= 1"
@@ -167,8 +173,12 @@ mod tests {
 
     #[test]
     fn forced_and_disabled_flags() {
-        assert!(AdocConfig::default().with_levels(1, 10).compression_forced());
-        assert!(AdocConfig::default().with_levels(0, 0).compression_disabled());
+        assert!(AdocConfig::default()
+            .with_levels(1, 10)
+            .compression_forced());
+        assert!(AdocConfig::default()
+            .with_levels(0, 0)
+            .compression_disabled());
     }
 
     #[test]

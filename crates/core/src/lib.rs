@@ -50,7 +50,6 @@
 //! assert_eq!(&buf, b"data to ship");
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod adapt;
 pub mod bw;

@@ -48,7 +48,11 @@ impl PacketQueue {
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
         PacketQueue {
-            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false, poisoned: false }),
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+                poisoned: false,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap,
@@ -126,7 +130,11 @@ mod tests {
     use std::thread;
 
     fn pkt(tag: u8) -> Packet {
-        Packet { bytes: vec![tag; 4], level: 0, raw_share: 4 }
+        Packet {
+            bytes: vec![tag; 4],
+            level: 0,
+            raw_share: 4,
+        }
     }
 
     #[test]
@@ -196,8 +204,12 @@ mod tests {
         let qp = q.clone();
         let producer = thread::spawn(move || {
             for i in 0..10_000u32 {
-                qp.push(Packet { bytes: i.to_le_bytes().to_vec(), level: 0, raw_share: 4 })
-                    .unwrap();
+                qp.push(Packet {
+                    bytes: i.to_le_bytes().to_vec(),
+                    level: 0,
+                    raw_share: 4,
+                })
+                .unwrap();
             }
             qp.close();
         });

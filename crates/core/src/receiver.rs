@@ -61,7 +61,10 @@ where
 {
     let probe_len = u64::from(wire::read_u32(reader)?);
     if probe_len > raw_len {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "probe longer than message"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "probe longer than message",
+        ));
     }
     copy_exact(reader, sink, probe_len, cfg.packet_size)?;
 
@@ -114,7 +117,10 @@ fn reception_thread<R: Read>(
         if u64::from(fh.payload_len) > 2 * u64::from(fh.raw_len).max(cfg.buffer_size as u64) + 1024
         {
             queue.close();
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame payload too large"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame payload too large",
+            ));
         }
         let payload = match wire::read_exact_vec(reader, fh.payload_len as usize) {
             Ok(p) => p,
@@ -124,7 +130,11 @@ fn reception_thread<R: Read>(
             }
         };
         collected += u64::from(fh.raw_len);
-        let pkt = Packet { bytes: payload, level: fh.level, raw_share: fh.raw_len };
+        let pkt = Packet {
+            bytes: payload,
+            level: fh.level,
+            raw_share: fh.raw_len,
+        };
         if queue.push(pkt).is_err() {
             // Decoder failed; its error wins.
             return Ok(());
@@ -208,7 +218,7 @@ mod tests {
         let mut x = 99u64;
         while v.len() < n {
             x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-            if x % 4 != 0 {
+            if !x.is_multiple_of(4) {
                 v.extend_from_slice(b"some structured text content ");
             } else {
                 v.extend_from_slice(&x.to_le_bytes());
@@ -284,8 +294,10 @@ mod tests {
 
     #[test]
     fn oversized_message_header_rejected() {
-        let mut cfg = AdocConfig::default();
-        cfg.max_message = 1000;
+        let cfg = AdocConfig {
+            max_message: 1000,
+            ..AdocConfig::default()
+        };
         let hdr = wire::encode_msg_header(MsgKind::Direct, 10_000);
         let mut c = Cursor::new(hdr.to_vec());
         let mut out = Vec::new();
@@ -305,7 +317,10 @@ mod tests {
         let mut c = Cursor::new(wire);
         let mut out = Vec::new();
         let res = receive_message(&mut c, &mut out, &AdocConfig::default());
-        assert!(res.is_err(), "corruption must be detected by decode or length checks");
+        assert!(
+            res.is_err(),
+            "corruption must be detected by decode or length checks"
+        );
     }
 
     #[test]

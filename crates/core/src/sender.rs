@@ -140,7 +140,11 @@ where
             while remaining > 0 {
                 let want = (cfg.buffer_size as u64).min(remaining) as usize;
                 source.read_exact(&mut buf[..want])?;
-                let fh = FrameHeader { level: 0, raw_len: want as u32, payload_len: want as u32 };
+                let fh = FrameHeader {
+                    level: 0,
+                    raw_len: want as u32,
+                    payload_len: want as u32,
+                };
                 writer.write_all(&fh.encode())?;
                 writer.write_all(&buf[..want])?;
                 out.wire_bytes += (wire::FRAME_HEADER_LEN + want) as u64;
@@ -265,7 +269,11 @@ fn compression_thread<S: Read>(
         let mut pushed = 0u32;
         for chunk in frame.chunks(cfg.packet_size) {
             let raw_share = ((want as u64 * chunk.len() as u64) / total as u64) as u32;
-            let pkt = Packet { bytes: chunk.to_vec(), level, raw_share };
+            let pkt = Packet {
+                bytes: chunk.to_vec(),
+                level,
+                raw_share,
+            };
             if queue.push(pkt).is_err() {
                 // Consumer failed; its error is authoritative.
                 return Ok(CompOutcome {
@@ -374,7 +382,10 @@ mod tests {
         let (wire, out) = send_to_vec(&data, &cfg);
         assert!(out.probe_bps.is_none());
         assert!(!out.fast_path);
-        assert!(wire.len() < data.len(), "forced compression must shrink text");
+        assert!(
+            wire.len() < data.len(),
+            "forced compression must shrink text"
+        );
         let compressed_buffers: u64 = out.buffers_at_level[1..].iter().sum();
         assert!(compressed_buffers > 0);
     }
@@ -429,12 +440,15 @@ mod tests {
             }
         }
         let cfg = AdocConfig::default().with_levels(1, 10); // skip probe
+
         // Incompressible payload so the wire size exceeds the allowance.
         let data: Vec<u8> = {
             let mut x = 1u64;
             (0..4 << 20)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (x >> 40) as u8
                 })
                 .collect()
@@ -464,8 +478,10 @@ mod tests {
         let mut v = Vec::with_capacity(n);
         let mut x = 7u64;
         while v.len() < n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if x % 3 == 0 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if x.is_multiple_of(3) {
                 v.extend_from_slice(b"repetitive segment ");
             } else {
                 v.extend_from_slice(&x.to_le_bytes());

@@ -106,7 +106,12 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
 
     fn merge(&mut self, out: SendOutcome, raw: u64) -> SendReport {
         out.merge_into(&mut self.stats, raw);
-        SendReport { raw, wire: out.wire_bytes, probe_bps: out.probe_bps, fast_path: out.fast_path }
+        SendReport {
+            raw,
+            wire: out.wire_bytes,
+            probe_bps: out.probe_bps,
+            fast_path: out.fast_path,
+        }
     }
 
     /// Receives into `out` with POSIX `read` semantics (the paper's
@@ -120,9 +125,8 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
         if self.leftover_len() == 0 {
             self.leftover.clear();
             self.leftover_pos = 0;
-            match receive_message(&mut self.reader, &mut self.leftover, &self.cfg)? {
-                None => return Ok(0),
-                Some(_) => {}
+            if receive_message(&mut self.reader, &mut self.leftover, &self.cfg)?.is_none() {
+                return Ok(0);
             }
             if self.leftover.is_empty() {
                 // Zero-length message: by POSIX semantics deliver 0 bytes
@@ -170,7 +174,12 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
     }
 
     /// `adoc_send_file_levels`: level-bounded variant.
-    pub fn send_file_levels(&mut self, file: &mut File, min: u8, max: u8) -> io::Result<SendReport> {
+    pub fn send_file_levels(
+        &mut self,
+        file: &mut File,
+        min: u8,
+        max: u8,
+    ) -> io::Result<SendReport> {
         let cfg = self.cfg.clone().with_levels(min, max);
         cfg.validate();
         self.send_file_with(file, &cfg)
@@ -257,7 +266,10 @@ mod tests {
     use adoc_sim::pipe::duplex_pipe;
     use std::thread;
 
-    fn pair() -> (AdocSocket<adoc_sim::pipe::PipeReader, adoc_sim::pipe::PipeWriter>, AdocSocket<adoc_sim::pipe::PipeReader, adoc_sim::pipe::PipeWriter>) {
+    fn pair() -> (
+        AdocSocket<adoc_sim::pipe::PipeReader, adoc_sim::pipe::PipeWriter>,
+        AdocSocket<adoc_sim::pipe::PipeReader, adoc_sim::pipe::PipeWriter>,
+    ) {
         let (a, b) = duplex_pipe(1 << 20);
         let (ar, aw) = a.split();
         let (br, bw) = b.split();
@@ -269,7 +281,7 @@ mod tests {
         let mut x = 5u64;
         while v.len() < n {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 v.extend_from_slice(b"window pane window pane ");
             } else {
                 v.extend_from_slice(&x.to_le_bytes());
@@ -362,7 +374,10 @@ mod tests {
             let mut tx = tx;
             // Disabled: wire ≈ raw + header.
             let r0 = tx.write_levels(&data2, 0, 0).unwrap();
-            assert_eq!(r0.wire, data2.len() as u64 + crate::wire::MSG_HEADER_LEN as u64);
+            assert_eq!(
+                r0.wire,
+                data2.len() as u64 + crate::wire::MSG_HEADER_LEN as u64
+            );
             // Forced: text-heavy payload must shrink.
             let r1 = tx.write_levels(&data2, 1, 10).unwrap();
             assert!(r1.wire < r0.wire);
@@ -437,7 +452,6 @@ mod tests {
 mod io_trait_tests {
     use super::*;
     use adoc_sim::pipe::duplex_pipe;
-    use std::io::{Read as _, Write as _};
     use std::thread;
 
     #[test]

@@ -90,7 +90,10 @@ impl TransferStats {
 
     /// The highest level any buffer used.
     pub fn max_level_used(&self) -> u8 {
-        (0..11u8).rev().find(|&l| self.buffers_at_level[l as usize] > 0).unwrap_or(0)
+        (0..11u8)
+            .rev()
+            .find(|&l| self.buffers_at_level[l as usize] > 0)
+            .unwrap_or(0)
     }
 
     /// Total compression buffers across all levels.

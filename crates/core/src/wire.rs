@@ -126,7 +126,11 @@ impl FrameHeader {
                 "raw frame with mismatched lengths",
             ));
         }
-        Ok(FrameHeader { level, raw_len, payload_len })
+        Ok(FrameHeader {
+            level,
+            raw_len,
+            payload_len,
+        })
     }
 }
 
@@ -193,21 +197,33 @@ mod tests {
 
     #[test]
     fn frame_header_roundtrip() {
-        let fh = FrameHeader { level: 7, raw_len: 204_800, payload_len: 31_337 };
+        let fh = FrameHeader {
+            level: 7,
+            raw_len: 204_800,
+            payload_len: 31_337,
+        };
         let mut c = Cursor::new(fh.encode().to_vec());
         assert_eq!(FrameHeader::read(&mut c, 10).unwrap(), fh);
     }
 
     #[test]
     fn frame_level_out_of_range() {
-        let fh = FrameHeader { level: 11, raw_len: 10, payload_len: 10 };
+        let fh = FrameHeader {
+            level: 11,
+            raw_len: 10,
+            payload_len: 10,
+        };
         let mut c = Cursor::new(fh.encode().to_vec());
         assert!(FrameHeader::read(&mut c, 10).is_err());
     }
 
     #[test]
     fn raw_frame_length_mismatch_rejected() {
-        let fh = FrameHeader { level: 0, raw_len: 10, payload_len: 9 };
+        let fh = FrameHeader {
+            level: 0,
+            raw_len: 10,
+            payload_len: 9,
+        };
         let mut c = Cursor::new(fh.encode().to_vec());
         assert!(FrameHeader::read(&mut c, 10).is_err());
     }

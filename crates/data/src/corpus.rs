@@ -23,8 +23,12 @@ pub fn harwell_boeing(target_bytes: usize, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x11B0_E111);
     let mut out = Vec::with_capacity(target_bytes + 128);
 
-    out.extend_from_slice(b"oilpan-like sparse matrix (synthetic, AdOC reproduction)        synth001\n");
-    out.extend_from_slice(b"        rsa                                                             \n");
+    out.extend_from_slice(
+        b"oilpan-like sparse matrix (synthetic, AdOC reproduction)        synth001\n",
+    );
+    out.extend_from_slice(
+        b"        rsa                                                             \n",
+    );
 
     // Column-pointer card images: monotone integers, 8 per line, width 10.
     let mut col_ptr = 1u64;
@@ -58,9 +62,7 @@ pub fn harwell_boeing(target_bytes: usize, seed: u64) -> Vec<u8> {
             let mrest = rng.gen_range(0..1000u32);
             let exp = rng.gen_range(0..=6u8);
             let sign = if rng.gen_bool(0.2) { '-' } else { ' ' };
-            out.extend_from_slice(
-                format!("  {sign}{m1}.{mrest:03}000000000E+0{exp}").as_bytes(),
-            );
+            out.extend_from_slice(format!("  {sign}{m1}.{mrest:03}000000000E+0{exp}").as_bytes());
         }
         out.push(b'\n');
     }
@@ -85,7 +87,9 @@ pub fn bin_tarball(target_bytes: usize, seed: u64) -> Vec<u8> {
             (0..len).map(|_| rng.gen()).collect()
         })
         .collect();
-    let syllables = ["lib", "get", "set", "init", "str", "mem", "sys", "net", "buf", "ctl"];
+    let syllables = [
+        "lib", "get", "set", "init", "str", "mem", "sys", "net", "buf", "ctl",
+    ];
 
     while out.len() < target_bytes {
         // tar-like header: name + mode/uid fields + zero fill to 512.
@@ -129,7 +133,7 @@ pub fn bin_tarball(target_bytes: usize, seed: u64) -> Vec<u8> {
             out.push(0);
         }
         if rng.gen_bool(0.25) {
-            out.extend(std::iter::repeat(0u8).take(512));
+            out.extend(std::iter::repeat_n(0u8, 512));
         }
     }
     out.truncate(target_bytes);
@@ -189,6 +193,8 @@ mod tests {
     #[test]
     fn hb_is_ascii() {
         let data = harwell_boeing(100_000, 1);
-        assert!(data.iter().all(|&b| b == b'\n' || (0x20..0x7f).contains(&b)));
+        assert!(data
+            .iter()
+            .all(|&b| b == b'\n' || (0x20..0x7f).contains(&b)));
     }
 }

@@ -73,9 +73,7 @@ pub fn ascii(n: usize, seed: u64) -> Vec<u8> {
             let frac: u32 = rng.gen_range(0..100);
             let exp = rng.gen_range(0..=9u8);
             let sign = if rng.gen_bool(0.5) { '+' } else { '-' };
-            out.extend_from_slice(
-                format!("  {d0}.{frac:02}00000E{sign}0{exp}").as_bytes(),
-            );
+            out.extend_from_slice(format!("  {d0}.{frac:02}00000E{sign}0{exp}").as_bytes());
         }
         out.push(b'\n');
     }
@@ -126,7 +124,11 @@ mod tests {
     fn deterministic_given_seed() {
         for kind in DataKind::ALL {
             assert_eq!(generate(kind, 10_000, 7), generate(kind, 10_000, 7));
-            assert_ne!(generate(kind, 10_000, 7), generate(kind, 10_000, 8), "{kind:?}");
+            assert_ne!(
+                generate(kind, 10_000, 7),
+                generate(kind, 10_000, 8),
+                "{kind:?}"
+            );
         }
     }
 
@@ -142,19 +144,27 @@ mod tests {
     #[test]
     fn ascii_is_printable() {
         let data = ascii(50_000, 3);
-        assert!(data.iter().all(|&b| b == b'\n' || (0x20..0x7f).contains(&b)));
+        assert!(data
+            .iter()
+            .all(|&b| b == b'\n' || (0x20..0x7f).contains(&b)));
     }
 
     #[test]
     fn ascii_ratio_calibrated_near_5() {
         let r = gzip6_ratio(&ascii(1 << 20, 11));
-        assert!((3.8..6.5).contains(&r), "ASCII gzip-6 ratio {r:.2}, want ≈5");
+        assert!(
+            (3.8..6.5).contains(&r),
+            "ASCII gzip-6 ratio {r:.2}, want ≈5"
+        );
     }
 
     #[test]
     fn binary_ratio_calibrated_near_2() {
         let r = gzip6_ratio(&binary(1 << 20, 12));
-        assert!((1.6..2.6).contains(&r), "binary gzip-6 ratio {r:.2}, want ≈2");
+        assert!(
+            (1.6..2.6).contains(&r),
+            "binary gzip-6 ratio {r:.2}, want ≈2"
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@
 //!   binary wire encodings (Figs. 8–9);
 //! * [`sweep`] — message-size axes matching the figures' log-scale sweeps.
 
-
 #![warn(missing_docs)]
 pub mod corpus;
 pub mod gen;

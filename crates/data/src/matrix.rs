@@ -26,7 +26,10 @@ pub struct Matrix {
 impl Matrix {
     /// The all-zero "sparse" matrix of the paper.
     pub fn sparse(n: usize) -> Matrix {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// The paper's dense matrix: 13 significant digits, exponent in
@@ -109,7 +112,11 @@ pub fn values_to_binary(values: &[f64]) -> Vec<u8> {
 /// Parses [`values_to_binary`] output.
 pub fn values_from_binary(data: &[u8], expected: usize) -> Result<Vec<f64>, String> {
     if data.len() != expected * 8 {
-        return Err(format!("expected {} bytes, got {}", expected * 8, data.len()));
+        return Err(format!(
+            "expected {} bytes, got {}",
+            expected * 8,
+            data.len()
+        ));
     }
     Ok(data
         .chunks_exact(8)
@@ -167,7 +174,10 @@ mod tests {
         let mut c = Vec::new();
         adoc_codec::deflate::deflate(&wire, 6, &mut c);
         let ratio = wire.len() as f64 / c.len() as f64;
-        assert!((1.8..3.4).contains(&ratio), "dense ASCII gzip-6 ratio {ratio:.2}");
+        assert!(
+            (1.8..3.4).contains(&ratio),
+            "dense ASCII gzip-6 ratio {ratio:.2}"
+        );
     }
 
     #[test]

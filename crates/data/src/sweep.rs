@@ -52,7 +52,10 @@ mod tests {
         for max in [1usize, 100, 512 * 1024, 32 << 20] {
             let v = sizes_up_to(max);
             assert!(!v.is_empty());
-            assert!(v.windows(2).all(|w| w[0] < w[1]), "not strictly sorted for {max}");
+            assert!(
+                v.windows(2).all(|w| w[0] < w[1]),
+                "not strictly sorted for {max}"
+            );
             assert_eq!(*v.last().unwrap(), max);
             assert_eq!(v[0], 1);
         }

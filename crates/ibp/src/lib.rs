@@ -22,7 +22,6 @@
 //! assert_eq!(client.retrieve("extent-1").unwrap(), b"replicated bytes");
 //! ```
 
-
 #![warn(missing_docs)]
 use adoc::{AdocConfig, AdocSocket};
 use parking_lot::Mutex;
@@ -205,7 +204,9 @@ impl IbpClient {
         writer: impl Write + Send + 'static,
         cfg: AdocConfig,
     ) -> IbpClient {
-        IbpClient { sock: AdocSocket::with_config(Box::new(reader), Box::new(writer), cfg) }
+        IbpClient {
+            sock: AdocSocket::with_config(Box::new(reader), Box::new(writer), cfg),
+        }
     }
 
     fn rpc(&mut self, cmd: Vec<u8>) -> io::Result<Vec<u8>> {
@@ -245,9 +246,10 @@ impl IbpClient {
         let reply = self.rpc(Self::keyed(OP_RETRIEVE, key))?;
         match reply.split_first() {
             Some((&STATUS_OK, data)) => Ok(data.to_vec()),
-            Some((&STATUS_MISSING, _)) => {
-                Err(io::Error::new(io::ErrorKind::NotFound, format!("no extent '{key}'")))
-            }
+            Some((&STATUS_MISSING, _)) => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no extent '{key}'"),
+            )),
             other => Err(io::Error::other(format!("retrieve failed: {other:?}"))),
         }
     }
@@ -256,9 +258,10 @@ impl IbpClient {
     pub fn delete(&mut self, key: &str) -> io::Result<()> {
         match self.rpc(Self::keyed(OP_DELETE, key))?.first() {
             Some(&STATUS_OK) => Ok(()),
-            Some(&STATUS_MISSING) => {
-                Err(io::Error::new(io::ErrorKind::NotFound, format!("no extent '{key}'")))
-            }
+            Some(&STATUS_MISSING) => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no extent '{key}'"),
+            )),
             other => Err(io::Error::other(format!("delete failed: {other:?}"))),
         }
     }
@@ -269,7 +272,11 @@ impl IbpClient {
         match reply.split_first() {
             Some((&STATUS_OK, data)) => {
                 let text = String::from_utf8_lossy(data);
-                Ok(text.split('\n').filter(|s| !s.is_empty()).map(str::to_string).collect())
+                Ok(text
+                    .split('\n')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect())
             }
             other => Err(io::Error::other(format!("list failed: {other:?}"))),
         }
@@ -296,7 +303,10 @@ mod tests {
         c.store("alpha", b"one").unwrap();
         c.store("beta", b"two").unwrap();
         assert_eq!(c.retrieve("alpha").unwrap(), b"one");
-        assert_eq!(c.list().unwrap(), vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(
+            c.list().unwrap(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
         c.delete("alpha").unwrap();
         assert!(c.retrieve("alpha").is_err());
         assert_eq!(depot.extent_count(), 1);
@@ -326,8 +336,14 @@ mod tests {
     fn missing_keys_are_not_found() {
         let depot = Depot::start(AdocConfig::default());
         let mut c = client_for(&depot);
-        assert_eq!(c.retrieve("ghost").unwrap_err().kind(), io::ErrorKind::NotFound);
-        assert_eq!(c.delete("ghost").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(
+            c.retrieve("ghost").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(
+            c.delete("ghost").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
     }
 
     #[test]

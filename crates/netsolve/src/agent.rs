@@ -23,7 +23,11 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     pub(crate) fn new(name: &str, submit: Sender<Conn>, load: Arc<AtomicUsize>) -> Self {
-        ServerHandle { name: name.into(), submit, load }
+        ServerHandle {
+            name: name.into(),
+            submit,
+            load,
+        }
     }
 
     /// Hands the server one end of a fresh connection.

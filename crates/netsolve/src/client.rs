@@ -64,14 +64,21 @@ impl Client {
     /// body and metrics.
     pub fn call(&self, service: &str, body: Vec<u8>) -> io::Result<(Vec<u8>, RpcMetrics)> {
         let handle = self.agent.lookup(service).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::NotFound, format!("no server offers '{service}'"))
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no server offers '{service}'"),
+            )
         })?;
 
         let (client_side, server_side) = (self.links)();
         handle.connect(server_side)?;
         let mut transport = self.mode.wrap(client_side);
 
-        let request = Request { service: service.to_string(), body }.encode();
+        let request = Request {
+            service: service.to_string(),
+            body,
+        }
+        .encode();
         let request_bytes = request.len();
         let start = Instant::now();
         let sent_wire = transport.send(&request)?;
@@ -102,7 +109,13 @@ impl Client {
         encoding: MatrixEncoding,
     ) -> io::Result<(Matrix, RpcMetrics)> {
         assert_eq!(a.n, b.n);
-        let body = DgemmRequest { n: a.n as u32, encoding, a: a.clone(), b: b.clone() }.encode();
+        let body = DgemmRequest {
+            n: a.n as u32,
+            encoding,
+            a: a.clone(),
+            b: b.clone(),
+        }
+        .encode();
         let (resp, metrics) = self.call("dgemm", body)?;
         let c = proto::decode_dgemm_result(&resp, a.n, encoding)?;
         Ok((c, metrics))
@@ -122,7 +135,10 @@ mod tests {
             .with_service("echo", Arc::new(EchoService));
         let names = server.service_names();
         let handle = server.start();
-        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        agent.register(
+            &names.iter().map(String::as_str).collect::<Vec<_>>(),
+            handle,
+        );
         Client::new(agent, mode, pipe_link_factory())
     }
 
@@ -136,7 +152,10 @@ mod tests {
 
     #[test]
     fn dgemm_rpc_matches_local_compute_raw_and_adoc() {
-        for mode in [TransportMode::Raw, TransportMode::Adoc(AdocConfig::default())] {
+        for mode in [
+            TransportMode::Raw,
+            TransportMode::Adoc(AdocConfig::default()),
+        ] {
             let client = setup(mode);
             let a = Matrix::dense(40, 11);
             let b = Matrix::dense(40, 12);

@@ -110,9 +110,16 @@ mod tests {
             // Same operand order per output element would give exact
             // equality; blocking reorders the k-sum, so allow relative fp
             // noise against the largest magnitudes involved.
-            let scale = slow.data.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+            let scale = slow
+                .data
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
+                .max(1.0);
             let diff = fast.max_abs_diff(&slow);
-            assert!(diff / scale < 1e-12, "n={n}: diff {diff:e} at scale {scale:e}");
+            assert!(
+                diff / scale < 1e-12,
+                "n={n}: diff {diff:e} at scale {scale:e}"
+            );
         }
     }
 

@@ -33,7 +33,6 @@
 //! assert_eq!(c.max_abs_diff(&a), 0.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod agent;
 pub mod client;

@@ -86,7 +86,10 @@ impl Request {
         let service = std::str::from_utf8(&bytes[2..2 + name_len])
             .map_err(|e| bad_data(e.to_string()))?
             .to_string();
-        Ok(Request { service, body: bytes[2 + name_len..].to_vec() })
+        Ok(Request {
+            service,
+            body: bytes[2 + name_len..].to_vec(),
+        })
     }
 }
 
@@ -175,8 +178,14 @@ impl DgemmRequest {
         Ok(DgemmRequest {
             n,
             encoding,
-            a: Matrix { n: n as usize, data: a },
-            b: Matrix { n: n as usize, data: b },
+            a: Matrix {
+                n: n as usize,
+                data: a,
+            },
+            b: Matrix {
+                n: n as usize,
+                data: b,
+            },
         })
     }
 }
@@ -198,13 +207,19 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let r = Request { service: "dgemm".into(), body: vec![1, 2, 3, 4] };
+        let r = Request {
+            service: "dgemm".into(),
+            body: vec![1, 2, 3, 4],
+        };
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
     }
 
     #[test]
     fn request_with_empty_body() {
-        let r = Request { service: "ping".into(), body: vec![] };
+        let r = Request {
+            service: "ping".into(),
+            body: vec![],
+        };
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
     }
 

@@ -50,7 +50,11 @@ pub struct Server {
 impl Server {
     /// Creates a server speaking the given transport.
     pub fn new(name: &str, mode: TransportMode) -> Self {
-        Server { name: name.to_string(), mode, services: HashMap::new() }
+        Server {
+            name: name.to_string(),
+            mode,
+            services: HashMap::new(),
+        }
     }
 
     /// Adds a service.
@@ -132,8 +136,14 @@ mod tests {
         let (client_side, server_side) = conn_pair();
         handle.connect(server_side).unwrap();
         let mut t = TransportMode::Raw.wrap(client_side);
-        t.send(&Request { service: "echo".into(), body: b"hi there".to_vec() }.encode())
-            .unwrap();
+        t.send(
+            &Request {
+                service: "echo".into(),
+                body: b"hi there".to_vec(),
+            }
+            .encode(),
+        )
+        .unwrap();
         let resp = Response::decode(&t.recv().unwrap().unwrap()).unwrap();
         assert_eq!(resp, Response::Ok(b"hi there".to_vec()));
     }
@@ -144,7 +154,14 @@ mod tests {
         let (client_side, server_side) = conn_pair();
         handle.connect(server_side).unwrap();
         let mut t = TransportMode::Raw.wrap(client_side);
-        t.send(&Request { service: "nope".into(), body: vec![] }.encode()).unwrap();
+        t.send(
+            &Request {
+                service: "nope".into(),
+                body: vec![],
+            }
+            .encode(),
+        )
+        .unwrap();
         match Response::decode(&t.recv().unwrap().unwrap()).unwrap() {
             Response::Err(msg) => assert!(msg.contains("unknown service")),
             other => panic!("expected error, got {other:?}"),
@@ -160,7 +177,14 @@ mod tests {
         handle.connect(server_side).unwrap();
         let mut t = TransportMode::Raw.wrap(client_side);
         for i in 0..10u8 {
-            t.send(&Request { service: "echo".into(), body: vec![i; 10] }.encode()).unwrap();
+            t.send(
+                &Request {
+                    service: "echo".into(),
+                    body: vec![i; 10],
+                }
+                .encode(),
+            )
+            .unwrap();
             let resp = Response::decode(&t.recv().unwrap().unwrap()).unwrap();
             assert_eq!(resp, Response::Ok(vec![i; 10]));
         }
@@ -180,8 +204,14 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // The connection still works.
-        t.send(&Request { service: "echo".into(), body: b"still alive".to_vec() }.encode())
-            .unwrap();
+        t.send(
+            &Request {
+                service: "echo".into(),
+                body: b"still alive".to_vec(),
+            }
+            .encode(),
+        )
+        .unwrap();
         let resp = Response::decode(&t.recv().unwrap().unwrap()).unwrap();
         assert_eq!(resp, Response::Ok(b"still alive".to_vec()));
     }

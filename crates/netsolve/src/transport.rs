@@ -20,7 +20,10 @@ pub struct Conn {
 impl Conn {
     /// Wraps any owned stream halves.
     pub fn new(reader: impl Read + Send + 'static, writer: impl Write + Send + 'static) -> Self {
-        Conn { reader: Box::new(reader), writer: Box::new(writer) }
+        Conn {
+            reader: Box::new(reader),
+            writer: Box::new(writer),
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl TransportMode {
     /// Wraps a connection in this mode's transport.
     pub fn wrap(&self, conn: Conn) -> Box<dyn Transport> {
         match self {
-            TransportMode::Raw => Box::new(RawTransport { reader: conn.reader, writer: conn.writer }),
+            TransportMode::Raw => Box::new(RawTransport {
+                reader: conn.reader,
+                writer: conn.writer,
+            }),
             TransportMode::Adoc(cfg) => Box::new(AdocTransport {
                 sock: AdocSocket::with_config(conn.reader, conn.writer, cfg.clone()),
             }),
@@ -94,9 +100,12 @@ impl Transport for RawTransport {
             _ => self.reader.read_exact(&mut len_buf[1..])?,
         }
         let len = u64::from_le_bytes(len_buf);
-        let mut msg = vec![0u8; usize::try_from(len).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidData, "message too large")
-        })?];
+        let mut msg = vec![
+            0u8;
+            usize::try_from(len).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "message too large")
+            })?
+        ];
         self.reader.read_exact(&mut msg)?;
         Ok(Some(msg))
     }
@@ -144,11 +153,12 @@ impl Transport for AdocTransport {
             }
         }
         let len = u64::from_le_bytes(len_buf);
-        let mut msg = vec![
-            0u8;
-            usize::try_from(len)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message too large"))?
-        ];
+        let mut msg =
+            vec![
+                0u8;
+                usize::try_from(len)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message too large"))?
+            ];
         self.sock.read_exact(&mut msg)?;
         Ok(Some(msg))
     }
@@ -239,7 +249,11 @@ mod tests {
         let expect = msg.clone();
         let t = thread::spawn(move || {
             let wire = ta.send(&msg).unwrap();
-            assert!(wire < msg.len() as u64 / 2, "wire {wire} vs raw {}", msg.len());
+            assert!(
+                wire < msg.len() as u64 / 2,
+                "wire {wire} vs raw {}",
+                msg.len()
+            );
         });
         let got = tb.recv().unwrap().unwrap();
         t.join().unwrap();

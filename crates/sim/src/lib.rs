@@ -30,7 +30,6 @@
 //! assert_eq!(got, "over the simulated LAN");
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod link;
 pub mod netprofiles;

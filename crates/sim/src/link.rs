@@ -129,7 +129,10 @@ struct Chan {
 
 impl Chan {
     fn new(cfg: LinkCfg) -> Arc<Self> {
-        assert!(cfg.mtu > 0 && cfg.rcv_window >= cfg.mtu, "rcv_window must hold at least one MTU");
+        assert!(
+            cfg.mtu > 0 && cfg.rcv_window >= cfg.mtu,
+            "rcv_window must hold at least one MTU"
+        );
         let now = Instant::now();
         Arc::new(Chan {
             inner: Mutex::new(ChanInner {
@@ -200,7 +203,10 @@ impl LinkWriter {
         // Receiver-window backpressure.
         loop {
             if g.read_closed {
-                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "link reader closed"));
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "link reader closed",
+                ));
             }
             if g.queued_bytes + chunk.len() <= chan.cfg.rcv_window {
                 break;
@@ -223,14 +229,20 @@ impl LinkWriter {
         deliver_at = deliver_at.max(g.last_deliver);
         g.last_deliver = deliver_at;
 
-        g.queue.push_back(Segment { deliver_at, data: chunk.to_vec(), offset: 0 });
+        g.queue.push_back(Segment {
+            deliver_at,
+            data: chunk.to_vec(),
+            offset: 0,
+        });
         g.queued_bytes += chunk.len();
         g.tx_bytes += chunk.len() as u64;
 
         // Burst credit: block (outside the lock) until at most `sndbuf`
         // bytes are still being serialized.
         let credit = chan.cfg.trace.serialize_secs(t_local, chan.cfg.sndbuf);
-        let unblock_at = g.wire_clock.checked_sub(Duration::from_secs_f64(credit.min(3600.0)));
+        let unblock_at = g
+            .wire_clock
+            .checked_sub(Duration::from_secs_f64(credit.min(3600.0)));
         drop(g);
         chan.not_empty.notify_one();
         if let Some(deadline) = unblock_at {
@@ -273,7 +285,9 @@ impl Read for LinkReader {
             // Copy every segment that has already "arrived".
             let mut n = 0usize;
             while n < out.len() {
-                let Some(front) = g.queue.front_mut() else { break };
+                let Some(front) = g.queue.front_mut() else {
+                    break;
+                };
                 if front.deliver_at > now {
                     break;
                 }
@@ -382,7 +396,10 @@ pub fn duplex(cfg: LinkCfg) -> (SimSocket, SimSocket) {
 pub fn duplex_asymmetric(a_to_b: LinkCfg, b_to_a: LinkCfg) -> (SimSocket, SimSocket) {
     let (w_ab, r_ab) = one_direction(a_to_b);
     let (w_ba, r_ba) = one_direction(b_to_a);
-    (SimSocket { rx: r_ba, tx: w_ab }, SimSocket { rx: r_ab, tx: w_ba })
+    (
+        SimSocket { rx: r_ba, tx: w_ab },
+        SimSocket { rx: r_ab, tx: w_ba },
+    )
 }
 
 #[cfg(test)]
@@ -428,8 +445,14 @@ mod tests {
         let elapsed = start.elapsed();
         t.join().unwrap();
         assert_eq!(got.len(), 500_000);
-        assert!(elapsed >= Duration::from_millis(350), "too fast: {elapsed:?}");
-        assert!(elapsed <= Duration::from_millis(900), "too slow: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(350),
+            "too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed <= Duration::from_millis(900),
+            "too slow: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -442,8 +465,14 @@ mod tests {
         a.write_all(&vec![0u8; 256 * 1024]).unwrap();
         let elapsed = start.elapsed();
         // (256-64) KiB at 1 MB/s ≈ 0.197 s.
-        assert!(elapsed >= Duration::from_millis(120), "probe saw no pacing: {elapsed:?}");
-        assert!(elapsed <= Duration::from_millis(400), "pacing too slow: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(120),
+            "probe saw no pacing: {elapsed:?}"
+        );
+        assert!(
+            elapsed <= Duration::from_millis(400),
+            "pacing too slow: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -455,8 +484,14 @@ mod tests {
         let mut buf = [0u8; 1];
         b.read_exact(&mut buf).unwrap();
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(39), "arrived early: {elapsed:?}");
-        assert!(elapsed <= Duration::from_millis(120), "arrived late: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(39),
+            "arrived early: {elapsed:?}"
+        );
+        assert!(
+            elapsed <= Duration::from_millis(120),
+            "arrived late: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -509,7 +544,9 @@ mod tests {
         // transfer must take at least 0.15 s (slow phase) and well under
         // the 0.4 s an all-slow link would need.
         let trace = BandwidthTrace::piecewise(vec![(0.2, 8e6), (1000.0, 80e6)]);
-        let cfg = LinkCfg::new(8e6, Duration::ZERO).with_trace(trace).with_sndbuf(16 * 1024);
+        let cfg = LinkCfg::new(8e6, Duration::ZERO)
+            .with_trace(trace)
+            .with_sndbuf(16 * 1024);
         let (mut a, mut b) = duplex(cfg);
         let start = Instant::now();
         let t = thread::spawn(move || {

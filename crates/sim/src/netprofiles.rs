@@ -23,8 +23,12 @@ pub enum NetProfile {
 
 impl NetProfile {
     /// All four profiles in paper order.
-    pub const ALL: [NetProfile; 4] =
-        [NetProfile::Lan100, NetProfile::Renater, NetProfile::Internet, NetProfile::Gbit];
+    pub const ALL: [NetProfile; 4] = [
+        NetProfile::Lan100,
+        NetProfile::Renater,
+        NetProfile::Internet,
+        NetProfile::Gbit,
+    ];
 
     /// Human-readable name matching the paper's figure captions.
     pub fn name(self) -> &'static str {

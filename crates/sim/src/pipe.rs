@@ -41,7 +41,12 @@ pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (PipeWriter { shared: shared.clone() }, PipeReader { shared })
+    (
+        PipeWriter {
+            shared: shared.clone(),
+        },
+        PipeReader { shared },
+    )
 }
 
 /// Write end of a [`pipe`].
@@ -62,7 +67,10 @@ impl Write for PipeWriter {
         let mut st = self.shared.state.lock();
         loop {
             if st.read_closed {
-                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader closed"));
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "pipe reader closed",
+                ));
             }
             let space = st.capacity - st.buf.len();
             if space > 0 {
@@ -143,7 +151,10 @@ impl Drop for PipeReader {
 pub fn duplex_pipe(capacity: usize) -> (PipeDuplex, PipeDuplex) {
     let (w_ab, r_ab) = pipe(capacity);
     let (w_ba, r_ba) = pipe(capacity);
-    (PipeDuplex { r: r_ba, w: w_ab }, PipeDuplex { r: r_ab, w: w_ba })
+    (
+        PipeDuplex { r: r_ba, w: w_ab },
+        PipeDuplex { r: r_ab, w: w_ba },
+    )
 }
 
 /// One endpoint of [`duplex_pipe`].

@@ -19,7 +19,11 @@ impl BandwidthTrace {
     /// A constant-rate "trace".
     pub fn constant(bits_per_sec: f64) -> Self {
         assert!(bits_per_sec > 0.0, "bandwidth must be positive");
-        BandwidthTrace { segments: vec![(f64::INFINITY, bits_per_sec)], repeat: false, total: f64::INFINITY }
+        BandwidthTrace {
+            segments: vec![(f64::INFINITY, bits_per_sec)],
+            repeat: false,
+            total: f64::INFINITY,
+        }
     }
 
     /// A trace from explicit `(duration_secs, bits_per_sec)` segments that
@@ -40,7 +44,11 @@ impl BandwidthTrace {
             assert!(r > 0.0, "segment rate must be positive");
         }
         let total = segments.iter().map(|s| s.0).sum();
-        BandwidthTrace { segments, repeat, total }
+        BandwidthTrace {
+            segments,
+            repeat,
+            total,
+        }
     }
 
     /// Bandwidth (bits/s) at link-local time `t` seconds.

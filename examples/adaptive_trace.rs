@@ -5,7 +5,7 @@
 //! shows AdOC climbing the gzip ladder while the link is slow and backing
 //! off when it recovers (the paper's §2 motivation).
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin adaptive_trace`
+//! Run with: `cargo run --release -p adoc-examples --example adaptive_trace`
 
 use adoc::AdocSocket;
 use adoc_data::{generate, DataKind};

@@ -2,7 +2,7 @@
 //! `adoc_receive_file` versus a plain copy, on the paper's Renater
 //! profile (≈12 Mbit, 9.2 ms RTT).
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin file_transfer_wan [size_mb]`
+//! Run with: `cargo run --release -p adoc-examples --example file_transfer_wan [size_mb]`
 
 use adoc::AdocSocket;
 use adoc_data::corpus::harwell_boeing;
@@ -15,7 +15,10 @@ use std::thread;
 use std::time::Instant;
 
 fn main() {
-    let size_mb: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let size_mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let size = size_mb << 20;
 
     // A Harwell-Boeing-style sparse matrix file, as in the paper's
@@ -25,7 +28,11 @@ fn main() {
     let src_path = dir.join("oilpan-like.hb");
     let dst_path = dir.join("received.hb");
     std::fs::write(&src_path, harwell_boeing(size, 99)).expect("write corpus");
-    println!("corpus: {} ({} MB, HB-format ASCII)", src_path.display(), size_mb);
+    println!(
+        "corpus: {} ({} MB, HB-format ASCII)",
+        src_path.display(),
+        size_mb
+    );
 
     // --- plain copy over the WAN ---
     let (mut ptx, mut prx) = duplex(NetProfile::Renater.link_cfg());

@@ -4,7 +4,7 @@
 //! is an independent AdOC connection, so compression adapts per stream
 //! while the stripes share the physical path.
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin gridftp_mover [stripes] [size_mb]`
+//! Run with: `cargo run --release -p adoc-examples --example gridftp_mover [stripes] [size_mb]`
 
 use adoc::AdocSocket;
 use adoc_data::corpus::harwell_boeing;
@@ -29,11 +29,7 @@ fn striped_transfer(data: &[u8], stripes: usize, per_stream: LinkCfg) -> f64 {
             let mut rx = AdocSocket::new(br, bw);
 
             // This stripe's bytes: blocks stripe, stripe+stripes, …
-            let blocks: Vec<&[u8]> = data
-                .chunks(BLOCK)
-                .skip(stripe)
-                .step_by(stripes)
-                .collect();
+            let blocks: Vec<&[u8]> = data.chunks(BLOCK).skip(stripe).step_by(stripes).collect();
             let stripe_data: Vec<u8> = blocks.concat();
             let expected = stripe_data.len();
 
@@ -60,8 +56,14 @@ fn striped_transfer(data: &[u8], stripes: usize, per_stream: LinkCfg) -> f64 {
 }
 
 fn main() {
-    let stripes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let size_mb: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let stripes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let size_mb: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let size = size_mb << 20;
 
     // A 40 Mbit shared path: each stripe gets an equal share, as parallel
@@ -80,7 +82,10 @@ fn main() {
         mbits_per_sec(size, single)
     );
 
-    let share_cfg = LinkCfg::new(mbit(total_capacity / stripes as f64), Duration::from_millis(5));
+    let share_cfg = LinkCfg::new(
+        mbit(total_capacity / stripes as f64),
+        Duration::from_millis(5),
+    );
     let striped = striped_transfer(&data, stripes, share_cfg);
     println!(
         "{stripes} stripes: {striped:6.2} s  ({:5.1} Mbit/s application-level)",

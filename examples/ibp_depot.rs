@@ -3,7 +3,7 @@
 //! depot concurrently, every transfer running over its own AdOC
 //! connection.
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin ibp_depot`
+//! Run with: `cargo run --release -p adoc-examples --example ibp_depot`
 
 use adoc::AdocConfig;
 use adoc_data::{generate, DataKind};
@@ -49,7 +49,10 @@ fn main() {
             moved
         }));
     }
-    let moved: u64 = threads.into_iter().map(|t| t.join().expect("handler panicked")).sum();
+    let moved: u64 = threads
+        .into_iter()
+        .map(|t| t.join().expect("handler panicked"))
+        .sum();
     let secs = start.elapsed().as_secs_f64();
 
     println!(

@@ -2,7 +2,7 @@
 //! over a simulated 100 Mbit LAN, dense and sparse matrices, with and
 //! without AdOC in the communicator.
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin netsolve_dgemm [n]`
+//! Run with: `cargo run --release -p adoc-examples --example netsolve_dgemm [n]`
 
 use adoc::AdocConfig;
 use adoc_data::Matrix;
@@ -11,17 +11,29 @@ use netsolve::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
-    println!("NetSolve dgemm on a simulated {} — matrices {n}×{n}\n", NetProfile::Lan100.name());
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    println!(
+        "NetSolve dgemm on a simulated {} — matrices {n}×{n}\n",
+        NetProfile::Lan100.name()
+    );
 
-    for mode in [TransportMode::Raw, TransportMode::Adoc(AdocConfig::default())] {
+    for mode in [
+        TransportMode::Raw,
+        TransportMode::Adoc(AdocConfig::default()),
+    ] {
         // Fresh agent + server per mode, as the paper rebuilt NetSolve.
         let agent = Arc::new(Agent::new());
         let server = Server::new("compute-1", mode.clone())
             .with_service("dgemm", Arc::new(DgemmService { threads: 4 }));
         let names = server.service_names();
         let handle = server.start();
-        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        agent.register(
+            &names.iter().map(String::as_str).collect::<Vec<_>>(),
+            handle,
+        );
         let client = Client::new(
             agent,
             mode.clone(),
@@ -33,7 +45,9 @@ fn main() {
             ("sparse", Matrix::sparse(n), Matrix::sparse(n)),
             ("dense ", Matrix::dense(n, 1), Matrix::dense(n, 2)),
         ] {
-            let (c, m) = client.dgemm(&a, &b, MatrixEncoding::Ascii).expect("rpc failed");
+            let (c, m) = client
+                .dgemm(&a, &b, MatrixEncoding::Ascii)
+                .expect("rpc failed");
             // Sanity: sparse × sparse = zero.
             if label.trim() == "sparse" {
                 assert!(c.data.iter().all(|&v| v == 0.0));

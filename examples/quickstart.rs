@@ -4,7 +4,7 @@
 //! [`adoc::AdocSocket`], `write` messages, `read` them back, inspect what
 //! the adaptation did.
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin quickstart`
+//! Run with: `cargo run --release -p adoc-examples --example quickstart`
 
 use adoc::AdocSocket;
 use adoc_data::{generate, DataKind};
@@ -40,7 +40,11 @@ fn main() {
         println!(
             "probe:    measured {:.0} Mbit/s → {}",
             bps / 1e6,
-            if report.fast_path { "too fast, compression disabled" } else { "adaptive compression" }
+            if report.fast_path {
+                "too fast, compression disabled"
+            } else {
+                "adaptive compression"
+            }
         );
     }
     println!("--- connection stats ---\n{}", tx.stats());

@@ -3,7 +3,7 @@
 //! AdOC ships the data uncompressed — the paper's Gbit LAN behaviour
 //! (Fig. 7), on real sockets rather than the simulator.
 //!
-//! Run with: `cargo run --release -p adoc-examples --bin tcp_transfer`
+//! Run with: `cargo run --release -p adoc-examples --example tcp_transfer`
 
 use adoc::AdocSocket;
 use adoc_data::{generate, DataKind};
@@ -37,13 +37,21 @@ fn main() {
     let received = server.join().unwrap();
     assert_eq!(received, payload, "loopback transfer must be lossless");
 
-    println!("sent 8 MB over 127.0.0.1 in {:.3} s ({:.0} Mbit/s)", secs, 8.0 * 8.0 / secs);
+    println!(
+        "sent 8 MB over 127.0.0.1 in {:.3} s ({:.0} Mbit/s)",
+        secs,
+        8.0 * 8.0 / secs
+    );
     match report.probe_bps {
         Some(bps) => println!(
             "probe measured {:.0} Mbit/s → fast_path = {} (compression {})",
             bps / 1e6,
             report.fast_path,
-            if report.fast_path { "disabled — loopback is too fast to beat" } else { "enabled" }
+            if report.fast_path {
+                "disabled — loopback is too fast to beat"
+            } else {
+                "enabled"
+            }
         ),
         None => println!("no probe ran"),
     }

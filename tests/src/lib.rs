@@ -19,7 +19,11 @@ impl TimingGuard {
         let path = std::env::temp_dir().join("adoc-timing-tests.lock");
         let start = Instant::now();
         loop {
-            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
                 Ok(_) => return TimingGuard { path },
                 Err(_) => {
                     // Steal locks older than 120 s (crashed holder).

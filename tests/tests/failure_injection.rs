@@ -73,7 +73,7 @@ fn peer_vanishing_mid_receive_unblocks_with_error() {
     let (a, b) = duplex_pipe(1 << 20);
     let (ar, aw) = a.split();
     let (br, bw) = b.split();
-    let mut tx = AdocSocket::new(ar, aw);
+    let tx = AdocSocket::new(ar, aw);
     let mut rx = AdocSocket::new(br, bw);
 
     let t = thread::spawn(move || {

@@ -16,7 +16,10 @@ fn deploy(mode: TransportMode, servers: usize) -> Client {
             .with_service("echo", Arc::new(EchoService));
         let names = server.service_names();
         let handle = server.start();
-        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        agent.register(
+            &names.iter().map(String::as_str).collect::<Vec<_>>(),
+            handle,
+        );
     }
     Client::new(agent, mode, pipe_link_factory())
 }
@@ -26,7 +29,10 @@ fn dgemm_correct_over_both_transports_and_encodings() {
     let a = Matrix::dense(48, 1);
     let b = Matrix::dense(48, 2);
     let reference = netsolve::dgemm::dgemm(&a, &b, 1);
-    for mode in [TransportMode::Raw, TransportMode::Adoc(AdocConfig::default())] {
+    for mode in [
+        TransportMode::Raw,
+        TransportMode::Adoc(AdocConfig::default()),
+    ] {
         let client = deploy(mode.clone(), 1);
         for encoding in [MatrixEncoding::Binary, MatrixEncoding::Ascii] {
             let (c, _) = client.dgemm(&a, &b, encoding).expect("rpc");
@@ -64,7 +70,10 @@ fn adoc_transport_never_slower_than_raw_on_slow_network_with_sparse() {
             .with_service("dgemm", Arc::new(DgemmService { threads: 2 }));
         let names = server.service_names();
         let handle = server.start();
-        agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+        agent.register(
+            &names.iter().map(String::as_str).collect::<Vec<_>>(),
+            handle,
+        );
         let client = Client::new(agent, mode, sim_link_factory(link.clone()));
         let a = Matrix::sparse(n);
         let b = Matrix::sparse(n);
@@ -82,11 +91,14 @@ fn adoc_transport_never_slower_than_raw_on_slow_network_with_sparse() {
 #[test]
 fn concurrent_clients_share_one_server() {
     let agent = Arc::new(Agent::new());
-    let server = Server::new("shared", TransportMode::Raw)
-        .with_service("echo", Arc::new(EchoService));
+    let server =
+        Server::new("shared", TransportMode::Raw).with_service("echo", Arc::new(EchoService));
     let names = server.service_names();
     let handle = server.start();
-    agent.register(&names.iter().map(String::as_str).collect::<Vec<_>>(), handle);
+    agent.register(
+        &names.iter().map(String::as_str).collect::<Vec<_>>(),
+        handle,
+    );
 
     let mut threads = Vec::new();
     for i in 0..6 {
@@ -107,7 +119,10 @@ fn concurrent_clients_share_one_server() {
 
 #[test]
 fn large_sparse_request_compresses_enormously() {
-    let client = deploy(TransportMode::Adoc(AdocConfig::default().with_levels(1, 10)), 1);
+    let client = deploy(
+        TransportMode::Adoc(AdocConfig::default().with_levels(1, 10)),
+        1,
+    );
     let a = Matrix::sparse(256); // ~1.2 MB ASCII each matrix
     let (_, m) = client.dgemm(&a, &a, MatrixEncoding::Ascii).unwrap();
     assert!(

@@ -25,8 +25,10 @@ fn payload(n: usize, seed: u64) -> Vec<u8> {
     let mut v = Vec::with_capacity(n);
     let mut x = seed | 1;
     while v.len() < n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        if x % 3 == 0 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if x.is_multiple_of(3) {
             v.extend_from_slice(b"posix semantics payload ");
         } else {
             v.extend_from_slice(&x.to_le_bytes());
@@ -130,7 +132,10 @@ fn broken_pipe_surfaces_as_error() {
     let (mut tx, rx) = pair();
     drop(rx);
     let data = payload(2 << 20, 6);
-    assert!(tx.write(&data).is_err(), "writing into a closed peer must fail");
+    assert!(
+        tx.write(&data).is_err(),
+        "writing into a closed peer must fail"
+    );
 }
 
 #[test]

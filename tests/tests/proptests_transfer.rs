@@ -23,12 +23,11 @@ fn pair(cfg: AdocConfig) -> (Sock, Sock) {
 fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
         proptest::collection::vec(any::<u8>(), 0..2048),
-        (proptest::collection::vec(any::<u8>(), 1..128), 1..4096usize)
-            .prop_map(|(unit, reps)| {
-                let mut v = unit.repeat(reps);
-                v.truncate(900_000);
-                v
-            }),
+        (proptest::collection::vec(any::<u8>(), 1..128), 1..4096usize).prop_map(|(unit, reps)| {
+            let mut v = unit.repeat(reps);
+            v.truncate(900_000);
+            v
+        }),
     ]
 }
 

@@ -61,7 +61,10 @@ fn forced_compression_over_loopback() {
     let expect = data.clone();
     let t = thread::spawn(move || {
         let report = tx.write_levels(&data, 1, 10).unwrap();
-        assert!(report.wire < data.len() as u64, "forced compression must shrink ASCII");
+        assert!(
+            report.wire < data.len() as u64,
+            "forced compression must shrink ASCII"
+        );
         tx
     });
     let mut buf = vec![0u8; expect.len()];
