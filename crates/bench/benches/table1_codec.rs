@@ -28,6 +28,21 @@ fn bench_compress(c: &mut Criterion) {
                 data,
                 |b, d| b.iter(|| adoc_codec::gzip::gzip_compress(d, level)),
             );
+            // The streaming form the adaptive pipeline actually runs:
+            // encoder state and output buffer reused across buffers.
+            g.bench_with_input(
+                BenchmarkId::new(format!("gzip{level}_stream"), name),
+                data,
+                |b, d| {
+                    let mut enc = adoc_codec::DeflateEncoder::new();
+                    let mut out = Vec::new();
+                    b.iter(|| {
+                        out.clear();
+                        adoc_codec::gzip::gzip_compress_with(&mut enc, d, level, &mut out);
+                        out.len()
+                    })
+                },
+            );
         }
     }
     g.finish();

@@ -63,10 +63,12 @@ fn ablation_buffer_size() {
         1 << 20,
         4 << 20,
     ] {
+        let mut codec = adoc_codec::Codec::new();
+        let mut c = Vec::new();
         let mut total = 0usize;
         for chunk in data.chunks(buf) {
-            let mut c = Vec::new();
-            adoc_codec::compress_at(7, chunk, &mut c);
+            c.clear();
+            codec.compress_at(7, chunk, &mut c);
             total += c.len();
         }
         let loss = (total as f64 / whole as f64 - 1.0) * 100.0;

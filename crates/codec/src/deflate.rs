@@ -4,7 +4,7 @@
 
 use crate::bitio::BitWriter;
 use crate::huffman::{limited_code_lengths, HuffEncoder};
-use crate::lz77::{self, MatchParams, Token};
+use crate::lz77::{Lz77Encoder, MatchParams, Token};
 use crate::tables::*;
 
 /// Maximum tokens per block: bounds the frequency-table skew on big inputs
@@ -14,39 +14,65 @@ const TOKENS_PER_BLOCK: usize = 64 * 1024;
 /// Maximum payload of one stored block (16-bit LEN field).
 const STORED_MAX: usize = 65_535;
 
+/// Reusable DEFLATE compressor state: the LZ77 dictionary and the token
+/// staging buffer persist across calls, so compressing a stream of
+/// buffers (the AdOC hot path) allocates nothing after warm-up.
+#[derive(Default)]
+pub struct DeflateEncoder {
+    lz: Lz77Encoder,
+    tokens: Vec<Token>,
+}
+
+impl DeflateEncoder {
+    /// Creates an encoder; heavy state is built lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses `data` as a raw DEFLATE stream appended to `out`,
+    /// reusing this encoder's dictionary and token storage.
+    ///
+    /// `level` 0 emits stored (uncompressed) blocks; 1–9 mirror zlib's
+    /// effort/ratio trade-off via [`MatchParams::for_level`].
+    pub fn deflate(&mut self, data: &[u8], level: u8, out: &mut Vec<u8>) {
+        if level == 0 {
+            deflate_stored(data, out);
+            return;
+        }
+        let params = MatchParams::for_level(level);
+
+        let mut w = BitWriter::new(out);
+        let tokens = &mut self.tokens;
+        tokens.clear();
+        let mut block_start = 0usize; // raw offset where the pending block began
+        let mut raw_pos = 0usize; // raw bytes covered by tokens so far
+
+        // Emit blocks as the tokenizer streams tokens; the final block is
+        // flagged after tokenization completes.
+        self.lz.tokenize(data, &params, |tok| {
+            raw_pos += match tok.as_match() {
+                Some((len, _)) => len,
+                None => 1,
+            };
+            tokens.push(tok);
+            if tokens.len() >= TOKENS_PER_BLOCK {
+                emit_block(&mut w, tokens, &data[block_start..raw_pos], false);
+                tokens.clear();
+                block_start = raw_pos;
+            }
+        });
+        debug_assert_eq!(raw_pos, data.len());
+        emit_block(&mut w, tokens, &data[block_start..], true);
+        w.finish();
+    }
+}
+
 /// Compresses `data` as a raw DEFLATE stream appended to `out`.
 ///
-/// `level` 0 emits stored (uncompressed) blocks; 1–9 mirror zlib's
-/// effort/ratio trade-off via [`MatchParams::for_level`].
+/// One-shot convenience over [`DeflateEncoder::deflate`]: allocates fresh
+/// encoder state per call. Streaming callers should hold an encoder.
 pub fn deflate(data: &[u8], level: u8, out: &mut Vec<u8>) {
-    if level == 0 {
-        deflate_stored(data, out);
-        return;
-    }
-    let params = MatchParams::for_level(level);
-
-    let mut w = BitWriter::new(out);
-    let mut tokens: Vec<Token> = Vec::with_capacity(TOKENS_PER_BLOCK);
-    let mut block_start = 0usize; // raw offset where the pending block began
-    let mut raw_pos = 0usize; // raw bytes covered by tokens so far
-
-    // Emit blocks as the tokenizer streams tokens; the final block is
-    // flagged after tokenization completes.
-    lz77::tokenize(data, &params, |tok| {
-        raw_pos += match tok.as_match() {
-            Some((len, _)) => len,
-            None => 1,
-        };
-        tokens.push(tok);
-        if tokens.len() >= TOKENS_PER_BLOCK {
-            emit_block(&mut w, &tokens, &data[block_start..raw_pos], false);
-            tokens.clear();
-            block_start = raw_pos;
-        }
-    });
-    debug_assert_eq!(raw_pos, data.len());
-    emit_block(&mut w, &tokens, &data[block_start..], true);
-    w.finish();
+    DeflateEncoder::new().deflate(data, level, out);
 }
 
 /// Emits `data` as a sequence of stored blocks (deflate "level 0").
@@ -461,6 +487,29 @@ mod tests {
         let data: Vec<u8> = (0..=255u8).collect::<Vec<_>>().repeat(64);
         for level in [1u8, 4, 9] {
             roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn reused_encoder_is_byte_identical_to_one_shot() {
+        let mut enc = DeflateEncoder::new();
+        let inputs: Vec<Vec<u8>> = vec![
+            include_str!("deflate.rs").as_bytes().repeat(2),
+            vec![0u8; 70_000],
+            (0..50_000u32).map(|i| (i * 31 % 253) as u8).collect(),
+            Vec::new(),
+        ];
+        for (k, data) in inputs.iter().enumerate() {
+            for level in [0u8, 1, 6, 9] {
+                let mut reused = Vec::new();
+                enc.deflate(data, level, &mut reused);
+                assert_eq!(
+                    reused,
+                    deflate_to_vec(data, level),
+                    "input {k} level {level}"
+                );
+                assert_eq!(inflate_to_vec(&reused, data.len()).unwrap(), *data);
+            }
         }
     }
 

@@ -2,7 +2,6 @@
 //! with `gzip 1` … `gzip 9`.
 
 use crate::checksum::Crc32;
-use crate::deflate::deflate;
 use crate::error::{CodecError, Result};
 use crate::inflate::inflate;
 
@@ -17,9 +16,15 @@ const FEXTRA: u8 = 0x04;
 const FNAME: u8 = 0x08;
 const FCOMMENT: u8 = 0x10;
 
-/// Compresses `data` into a gzip member at the given deflate level (0–9).
-pub fn gzip_compress(data: &[u8], level: u8) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+/// Compresses `data` into a gzip member appended to `out`, reusing the
+/// caller's [`DeflateEncoder`] state — the allocation-free streaming form
+/// of [`gzip_compress`].
+pub fn gzip_compress_with(
+    enc: &mut crate::deflate::DeflateEncoder,
+    data: &[u8],
+    level: u8,
+    out: &mut Vec<u8>,
+) {
     out.extend_from_slice(&MAGIC);
     out.push(CM_DEFLATE);
     out.push(0); // FLG: no name/comment/extra
@@ -32,9 +37,20 @@ pub fn gzip_compress(data: &[u8], level: u8) -> Vec<u8> {
         _ => 0,
     });
     out.push(OS_UNKNOWN);
-    deflate(data, level, &mut out);
+    enc.deflate(data, level, out);
     out.extend_from_slice(&Crc32::oneshot(data).to_le_bytes());
     out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+}
+
+/// Compresses `data` into a gzip member at the given deflate level (0–9).
+pub fn gzip_compress(data: &[u8], level: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    gzip_compress_with(
+        &mut crate::deflate::DeflateEncoder::new(),
+        data,
+        level,
+        &mut out,
+    );
     out
 }
 

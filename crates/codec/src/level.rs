@@ -7,6 +7,7 @@
 //! Every level is a strictly-costlier, usually-tighter codec than the one
 //! below it, which is the monotonicity the adaptation algorithm relies on.
 
+use crate::deflate::DeflateEncoder;
 use crate::error::{CodecError, Result};
 use crate::{lzf, zlib};
 
@@ -38,17 +39,43 @@ pub fn algo_for_level(level: u8) -> Algo {
     }
 }
 
-/// Compresses `input` at an AdOC level, appending to `out`.
-pub fn compress_at(level: u8, input: &[u8], out: &mut Vec<u8>) {
-    match algo_for_level(level) {
-        Algo::Store => out.extend_from_slice(input),
-        Algo::Lzf => lzf::compress(input, out),
-        Algo::Deflate(l) => out.extend_from_slice(&zlib::zlib_compress(input, l)),
+/// Reusable per-connection codec state: the DEFLATE dictionary and token
+/// staging persist across buffers, so the steady-state compression of a
+/// long transfer allocates nothing (the paper's C library got this for
+/// free from zlib's `deflateReset`).
+#[derive(Default)]
+pub struct Codec {
+    deflate: DeflateEncoder,
+}
+
+impl Codec {
+    /// Creates codec state; heavy tables are built lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
+
+    /// Compresses `input` at an AdOC level, appending to `out`, reusing
+    /// this codec's encoder state.
+    pub fn compress_at(&mut self, level: u8, input: &[u8], out: &mut Vec<u8>) {
+        match algo_for_level(level) {
+            Algo::Store => out.extend_from_slice(input),
+            Algo::Lzf => lzf::compress(input, out),
+            Algo::Deflate(l) => zlib::zlib_compress_with(&mut self.deflate, input, l, out),
+        }
+    }
+}
+
+/// Compresses `input` at an AdOC level, appending to `out`.
+///
+/// One-shot convenience over [`Codec::compress_at`]: allocates fresh
+/// encoder state per call. Streaming callers should hold a [`Codec`].
+pub fn compress_at(level: u8, input: &[u8], out: &mut Vec<u8>) {
+    Codec::new().compress_at(level, input, out);
 }
 
 /// Decompresses a payload produced by [`compress_at`] at the same level.
 /// `raw_len` is the exact expected decoded size (AdOC frames carry it).
+/// Decoded bytes are appended to `out` directly — no intermediate vector.
 pub fn decompress_at(level: u8, input: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<()> {
     let before = out.len();
     match algo_for_level(level) {
@@ -59,10 +86,7 @@ pub fn decompress_at(level: u8, input: &[u8], raw_len: usize, out: &mut Vec<u8>)
             out.extend_from_slice(input);
         }
         Algo::Lzf => lzf::decompress(input, out, raw_len)?,
-        Algo::Deflate(_) => {
-            let decoded = zlib::zlib_decompress(input, raw_len)?;
-            out.extend_from_slice(&decoded);
-        }
+        Algo::Deflate(_) => zlib::zlib_decompress_into(input, raw_len, out)?,
     }
     if out.len() - before != raw_len {
         return Err(CodecError::Corrupt(
@@ -148,5 +172,23 @@ mod tests {
     #[should_panic(expected = "AdOC level")]
     fn out_of_range_level_panics() {
         compress_at(11, b"x", &mut Vec::new());
+    }
+
+    #[test]
+    fn reused_codec_is_byte_identical_to_one_shot() {
+        let mut codec = Codec::new();
+        let data = sample();
+        for round in 0..3 {
+            for level in ADOC_MIN_LEVEL..=ADOC_MAX_LEVEL {
+                let mut reused = Vec::new();
+                codec.compress_at(level, &data, &mut reused);
+                let mut fresh = Vec::new();
+                compress_at(level, &data, &mut fresh);
+                assert_eq!(reused, fresh, "round {round} level {level}");
+                let mut out = Vec::new();
+                decompress_at(level, &reused, data.len(), &mut out).unwrap();
+                assert_eq!(out, data);
+            }
+        }
     }
 }

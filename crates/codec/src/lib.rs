@@ -42,5 +42,7 @@ pub mod lzf;
 pub mod tables;
 pub mod zlib;
 
+pub use deflate::DeflateEncoder;
 pub use error::{CodecError, Result};
-pub use level::{compress_at, decompress_at, Algo, ADOC_MAX_LEVEL, ADOC_MIN_LEVEL};
+pub use level::{compress_at, decompress_at, Algo, Codec, ADOC_MAX_LEVEL, ADOC_MIN_LEVEL};
+pub use lz77::Lz77Encoder;

@@ -31,11 +31,21 @@ impl Token {
     }
 
     /// A back-reference token (`len` in 3..=258, `dist` in 1..=32768).
+    ///
+    /// Panics on out-of-range values in all build profiles: a masked
+    /// distance would silently alias to a different (valid-looking)
+    /// position and corrupt the stream.
     #[inline]
     pub fn reference(len: usize, dist: usize) -> Self {
-        debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
-        debug_assert!((1..=MAX_DIST).contains(&dist));
-        Token(0x8000_0000 | (((len - MIN_MATCH) as u32) << 16) | ((dist - 1) as u32 & 0xFFFF))
+        assert!(
+            (MIN_MATCH..=MAX_MATCH).contains(&len),
+            "match length {len} outside {MIN_MATCH}..={MAX_MATCH}"
+        );
+        assert!(
+            (1..=MAX_DIST).contains(&dist),
+            "match distance {dist} outside 1..={MAX_DIST}"
+        );
+        Token(0x8000_0000 | (((len - MIN_MATCH) as u32) << 16) | ((dist - 1) as u32))
     }
 
     /// `(length, distance)` if this token is a back-reference.
@@ -123,31 +133,112 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-/// Hash-chain dictionary over the input buffer.
-struct Chains {
+/// Reusable hash-chain dictionary: the 32K-entry head table and the
+/// per-position chain links persist across buffers, so tokenizing a
+/// stream of 200 KB buffers costs no allocation and no table wipe after
+/// the first call.
+///
+/// Staleness is handled by generation stamping instead of clearing:
+/// positions are stored as `base + i`, and `base` jumps past every
+/// previously stored value when a new buffer [`begin`](Self::begin)s.
+/// A head or chain entry below the current `base` belongs to an earlier
+/// buffer and reads as [`NIL`]. Only when `base` would overflow `u32`
+/// (once per ~4 GB tokenized) is the head table actually wiped.
+pub struct Lz77Encoder {
     head: Vec<u32>,
     prev: Vec<u32>,
+    /// Stored value representing position 0 of the current buffer (≥ 1,
+    /// so 0 is always "never written").
+    base: u32,
+    /// Length of the current (or last) buffer, advanced into `base` on
+    /// the next `begin`.
+    len: usize,
 }
 
-impl Chains {
-    fn new(len: usize) -> Self {
-        Chains {
-            head: vec![NIL; HASH_SIZE],
-            prev: vec![NIL; len],
+impl Default for Lz77Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lz77Encoder {
+    /// Creates an encoder with an empty dictionary. The head table is
+    /// allocated once here; `prev` grows to the largest buffer seen.
+    pub fn new() -> Self {
+        Lz77Encoder {
+            head: vec![0; HASH_SIZE],
+            prev: Vec::new(),
+            base: 1,
+            len: 0,
         }
+    }
+
+    /// Starts a new buffer of `len` bytes: invalidates every stored
+    /// position in O(1) (amortised) and sizes `prev`.
+    fn begin(&mut self, len: usize) {
+        if self.prev.len() < len {
+            self.prev.resize(len, 0);
+        }
+        let next = u64::from(self.base) + self.len as u64;
+        if next + len as u64 >= u64::from(u32::MAX) {
+            self.head.fill(0);
+            self.base = 1;
+        } else {
+            self.base = next as u32;
+        }
+        self.len = len;
     }
 
     #[inline]
     fn insert(&mut self, data: &[u8], i: usize) {
         let h = hash3(data, i);
         self.prev[i] = self.head[h];
-        self.head[h] = i as u32;
+        self.head[h] = self.base + i as u32;
     }
 
-    /// Most recent prior position hashing like `i`, if any.
+    /// Most recent prior position hashing like `i`, or [`NIL`].
     #[inline]
     fn candidates(&self, data: &[u8], i: usize) -> u32 {
-        self.head[hash3(data, i)]
+        self.decode(self.head[hash3(data, i)])
+    }
+
+    /// Next older position on `c`'s chain, or [`NIL`].
+    #[inline]
+    fn chain_prev(&self, c: usize) -> u32 {
+        self.decode(self.prev[c])
+    }
+
+    #[inline]
+    fn decode(&self, stored: u32) -> u32 {
+        if stored >= self.base {
+            stored - self.base
+        } else {
+            NIL
+        }
+    }
+
+    /// Tokenizes `data`, invoking `sink` for each token in order, reusing
+    /// this encoder's dictionary storage. The concatenated expansion of
+    /// the tokens equals `data` exactly.
+    pub fn tokenize(&mut self, data: &[u8], params: &MatchParams, mut sink: impl FnMut(Token)) {
+        let n = data.len();
+        if n < MIN_MATCH + 1 {
+            for &b in data {
+                sink(Token::literal(b));
+            }
+            return;
+        }
+
+        self.begin(n);
+        // Every position in [0, insert_end) may enter the dictionary,
+        // exactly once, strictly before any later position is matched.
+        let insert_end = n - MIN_MATCH + 1;
+
+        if params.lazy {
+            tokenize_lazy(data, params, self, insert_end, &mut sink);
+        } else {
+            tokenize_greedy(data, params, self, insert_end, &mut sink);
+        }
     }
 }
 
@@ -174,7 +265,7 @@ fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
 /// links. Returns `(len, dist)` with `len >= MIN_MATCH`, or `None`.
 fn best_match(
     data: &[u8],
-    chains: &Chains,
+    chains: &Lz77Encoder,
     i: usize,
     params: &MatchParams,
     prev_len: usize,
@@ -211,7 +302,7 @@ fn best_match(
                 }
             }
         }
-        cand = chains.prev[c];
+        cand = chains.chain_prev(c);
         depth -= 1;
     }
 
@@ -230,31 +321,17 @@ fn best_match(
 /// Tokenizes `data` with the given effort parameters, invoking `sink` for
 /// each token in order. The concatenated expansion of the tokens equals
 /// `data` exactly.
-pub fn tokenize(data: &[u8], params: &MatchParams, mut sink: impl FnMut(Token)) {
-    let n = data.len();
-    if n < MIN_MATCH + 1 {
-        for &b in data {
-            sink(Token::literal(b));
-        }
-        return;
-    }
-
-    let mut chains = Chains::new(n);
-    // Every position in [0, insert_end) may enter the dictionary, exactly
-    // once, strictly before any later position is matched.
-    let insert_end = n - MIN_MATCH + 1;
-
-    if params.lazy {
-        tokenize_lazy(data, params, &mut chains, insert_end, &mut sink);
-    } else {
-        tokenize_greedy(data, params, &mut chains, insert_end, &mut sink);
-    }
+///
+/// One-shot convenience over [`Lz77Encoder::tokenize`]: allocates fresh
+/// dictionary state per call. Streaming callers should hold an encoder.
+pub fn tokenize(data: &[u8], params: &MatchParams, sink: impl FnMut(Token)) {
+    Lz77Encoder::new().tokenize(data, params, sink);
 }
 
 /// Inserts all not-yet-indexed positions below `upto` into the chains.
 #[inline]
 fn index_upto(
-    chains: &mut Chains,
+    chains: &mut Lz77Encoder,
     data: &[u8],
     inserted: &mut usize,
     upto: usize,
@@ -270,7 +347,7 @@ fn index_upto(
 fn tokenize_greedy(
     data: &[u8],
     params: &MatchParams,
-    chains: &mut Chains,
+    chains: &mut Lz77Encoder,
     insert_end: usize,
     sink: &mut impl FnMut(Token),
 ) {
@@ -300,7 +377,7 @@ fn tokenize_greedy(
 fn tokenize_lazy(
     data: &[u8],
     params: &MatchParams,
-    chains: &mut Chains,
+    chains: &mut Lz77Encoder,
     insert_end: usize,
     sink: &mut impl FnMut(Token),
 ) {
@@ -511,5 +588,67 @@ mod tests {
     #[should_panic(expected = "deflate level")]
     fn level_zero_params_panic() {
         let _ = MatchParams::for_level(0);
+    }
+
+    #[test]
+    fn reference_accepts_the_32768_distance_boundary() {
+        // The maximum legal distance must encode and decode exactly; the
+        // old `& 0xFFFF` masking made 32769 alias to distance 1.
+        let t = Token::reference(MIN_MATCH, MAX_DIST);
+        assert_eq!(t.as_match(), Some((MIN_MATCH, MAX_DIST)));
+    }
+
+    #[test]
+    #[should_panic(expected = "match distance 32769")]
+    fn reference_rejects_distance_beyond_window() {
+        let _ = Token::reference(MIN_MATCH, MAX_DIST + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "match length 259")]
+    fn reference_rejects_overlong_match() {
+        let _ = Token::reference(MAX_MATCH + 1, 1);
+    }
+
+    #[test]
+    fn reused_encoder_matches_fresh_encoder_output() {
+        // Tokenizing a sequence of buffers through one encoder must give
+        // exactly what fresh per-buffer encoders give: no match may cross
+        // a buffer boundary via stale dictionary entries.
+        let buffers: Vec<Vec<u8>> = vec![
+            b"shared prefix shared prefix shared prefix".to_vec(),
+            b"shared prefix shared prefix shared prefix".to_vec(), // same bytes again
+            (0..5000u32).map(|i| (i % 7) as u8).collect(),
+            b"tiny".to_vec(),
+            vec![],
+            b"shared prefix once more".to_vec(),
+        ];
+        let mut enc = Lz77Encoder::new();
+        for (k, buf) in buffers.iter().enumerate() {
+            for level in [1u8, 6, 9] {
+                let params = MatchParams::for_level(level);
+                let mut reused = Vec::new();
+                enc.tokenize(buf, &params, |t| reused.push(t));
+                let mut fresh = Vec::new();
+                tokenize(buf, &params, |t| fresh.push(t));
+                assert_eq!(reused, fresh, "buffer {k}, level {level}");
+                assert_eq!(expand(&reused), *buf, "buffer {k}, level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_generation_wrap_resets_cleanly() {
+        // Force the base counter to the wrap threshold and check the wipe
+        // path produces correct tokens afterwards.
+        let mut enc = Lz77Encoder::new();
+        enc.base = u32::MAX - 100;
+        enc.len = 200;
+        let data = b"wrap wrap wrap wrap wrap wrap wrap wrap".to_vec();
+        let params = MatchParams::for_level(6);
+        let mut toks = Vec::new();
+        enc.tokenize(&data, &params, |t| toks.push(t));
+        assert_eq!(expand(&toks), data);
+        assert_eq!(enc.base, 1, "wrap must reset the generation base");
     }
 }

@@ -2,13 +2,14 @@
 //! Adler-32 trailer.
 
 use crate::checksum::Adler32;
-use crate::deflate::deflate;
+use crate::deflate::DeflateEncoder;
 use crate::error::{CodecError, Result};
 use crate::inflate::inflate;
 
-/// Compresses `data` into a zlib stream at the given deflate level (0–9).
-pub fn zlib_compress(data: &[u8], level: u8) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+/// Compresses `data` into a zlib stream appended to `out`, reusing the
+/// caller's [`DeflateEncoder`] state — the allocation-free streaming form
+/// of [`zlib_compress`].
+pub fn zlib_compress_with(enc: &mut DeflateEncoder, data: &[u8], level: u8, out: &mut Vec<u8>) {
     // CMF: CM=8 (deflate), CINFO=7 (32 KiB window).
     let cmf: u8 = 0x78;
     // FLEVEL advertises the effort tier (decoder-irrelevant, but emitted
@@ -27,14 +28,21 @@ pub fn zlib_compress(data: &[u8], level: u8) -> Vec<u8> {
     }
     out.push(cmf);
     out.push(flg);
-    deflate(data, level, &mut out);
+    enc.deflate(data, level, out);
     out.extend_from_slice(&Adler32::oneshot(data).to_be_bytes());
+}
+
+/// Compresses `data` into a zlib stream at the given deflate level (0–9).
+pub fn zlib_compress(data: &[u8], level: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    zlib_compress_with(&mut DeflateEncoder::new(), data, level, &mut out);
     out
 }
 
-/// Decompresses a zlib stream, verifying header and Adler-32 trailer.
-/// `max_out` caps the decoded size.
-pub fn zlib_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
+/// Decompresses a zlib stream, appending the decoded bytes to `out` —
+/// no intermediate vector. `max_out` caps the decoded size; the header
+/// and Adler-32 trailer are verified.
+pub fn zlib_decompress_into(stream: &[u8], max_out: usize, out: &mut Vec<u8>) -> Result<()> {
     if stream.len() < 6 {
         return Err(CodecError::UnexpectedEof);
     }
@@ -58,15 +66,23 @@ pub fn zlib_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
     }
 
     let body = &stream[2..stream.len() - 4];
-    let mut out = Vec::new();
-    inflate(body, &mut out, max_out)?;
+    let before = out.len();
+    inflate(body, out, max_out)?;
 
     let trailer = &stream[stream.len() - 4..];
     let expected = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
-    let actual = Adler32::oneshot(&out);
+    let actual = Adler32::oneshot(&out[before..]);
     if expected != actual {
         return Err(CodecError::ChecksumMismatch { expected, actual });
     }
+    Ok(())
+}
+
+/// Decompresses a zlib stream, verifying header and Adler-32 trailer.
+/// `max_out` caps the decoded size.
+pub fn zlib_decompress(stream: &[u8], max_out: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    zlib_decompress_into(stream, max_out, &mut out)?;
     Ok(out)
 }
 

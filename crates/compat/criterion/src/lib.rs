@@ -1,0 +1,539 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the subset of the criterion API the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! throughput / sample-size / measurement-time / sampling-mode knobs,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter` — with a
+//! simple mean-of-samples measurement loop instead of criterion's
+//! statistical machinery.
+//!
+//! Command-line flags understood (criterion-compatible where it
+//! matters for CI):
+//!
+//! * `--test` — run every benchmark body exactly once and report
+//!   nothing but pass/fail; this is what the CI bench-smoke job uses.
+//! * `--quick` — cap measurement at one sample after warm-up.
+//! * a bare positional argument — substring filter on benchmark ids.
+//! * `--bench` (always appended by `cargo bench`) and unknown flags
+//!   are ignored.
+
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::hint::black_box;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark, accumulated for the JSON report.
+#[derive(Clone, Debug)]
+pub struct JsonRecord {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: u128,
+    /// Number of measured iterations behind the mean.
+    pub samples: u32,
+    /// Bytes processed per iteration, when declared via [`Throughput`].
+    pub throughput_bytes: Option<u64>,
+}
+
+impl JsonRecord {
+    /// MiB/s implied by `throughput_bytes` and `mean_ns`, if both known.
+    pub fn mib_per_s(&self) -> Option<f64> {
+        let b = self.throughput_bytes?;
+        if self.mean_ns == 0 {
+            return None;
+        }
+        Some(b as f64 / (self.mean_ns as f64 / 1e9) / (1024.0 * 1024.0))
+    }
+}
+
+/// Results gathered across every group in this process, in run order.
+static JSON_RECORDS: Mutex<Vec<JsonRecord>> = Mutex::new(Vec::new());
+
+fn push_json_record(rec: JsonRecord) {
+    JSON_RECORDS.lock().expect("bench report lock").push(rec);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the accumulated results as JSON to the path named by the
+/// `ADOC_BENCH_JSON` environment variable, if set. Called automatically
+/// at the end of [`criterion_main!`]; a no-op otherwise.
+///
+/// The schema is intentionally flat so baselines diff cleanly:
+///
+/// ```json
+/// { "schema": "adoc-bench-v1",
+///   "results": [ { "id": "...", "mean_ns": 1, "samples": 1,
+///                  "throughput_bytes": 1, "mib_per_s": 1.0 } ] }
+/// ```
+pub fn flush_json_report() {
+    let Ok(path) = std::env::var("ADOC_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let records = JSON_RECORDS.lock().expect("bench report lock");
+    let mut body = String::from("{\n  \"schema\": \"adoc-bench-v1\",\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let tp = match r.throughput_bytes {
+            Some(b) => format!(", \"throughput_bytes\": {b}"),
+            None => String::new(),
+        };
+        let rate = match r.mib_per_s() {
+            Some(m) => format!(", \"mib_per_s\": {m:.2}"),
+            None => String::new(),
+        };
+        body.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"mean_ns\": {}, \"samples\": {}{tp}{rate} }}{sep}\n",
+            json_escape(&r.id),
+            r.mean_ns,
+            r.samples,
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("ADOC_BENCH_JSON: cannot write {path}: {e}");
+    }
+}
+
+/// How many bytes/elements one iteration processes, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Sampling strategy knob (accepted for API compatibility; the shim's
+/// measurement loop behaves the same under every mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion's default auto-selection.
+    Auto,
+    /// Equal iterations per sample.
+    Flat,
+    /// Linearly growing iterations per sample.
+    Linear,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for groups benchmarking one function.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Things usable as a benchmark id: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement timer handed to each benchmark closure.
+pub struct Bencher<'a> {
+    plan: &'a Plan,
+    reported: bool,
+    id: String,
+    throughput: Option<Throughput>,
+}
+
+impl Bencher<'_> {
+    /// Times repeated calls of `routine` and prints a one-line report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.reported = true;
+        if self.plan.test_once {
+            let t = Instant::now();
+            black_box(routine());
+            push_json_record(JsonRecord {
+                id: self.id.clone(),
+                mean_ns: t.elapsed().as_nanos(),
+                samples: 1,
+                throughput_bytes: match self.throughput {
+                    Some(Throughput::Bytes(b)) => Some(b),
+                    _ => None,
+                },
+            });
+            println!("test {} ... ok", self.id);
+            return;
+        }
+        // Warm-up call: page in code/data and give a duration estimate.
+        let warm = Instant::now();
+        black_box(routine());
+        let estimate = warm.elapsed();
+
+        let samples = if self.plan.quick {
+            1
+        } else {
+            self.plan.sample_size.max(1)
+        };
+        let budget = self.plan.measurement_time;
+        let mut total = Duration::ZERO;
+        let mut n: u32 = 0;
+        let started = Instant::now();
+        while n < samples as u32 {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            n += 1;
+            // A slow benchmark stops at the time budget instead of the
+            // sample target (mirrors criterion's warning-and-truncate).
+            if started.elapsed() >= budget && n > 0 {
+                break;
+            }
+        }
+        let mean = total / n.max(1);
+        push_json_record(JsonRecord {
+            id: self.id.clone(),
+            mean_ns: mean.as_nanos(),
+            samples: n,
+            throughput_bytes: match self.throughput {
+                Some(Throughput::Bytes(b)) => Some(b),
+                _ => None,
+            },
+        });
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(b) => format!(
+                " thrpt: {:>10.2} MiB/s",
+                b as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(e) => {
+                format!(
+                    " thrpt: {:>10.2} Kelem/s",
+                    e as f64 / mean.as_secs_f64() / 1000.0
+                )
+            }
+        });
+        println!(
+            "{:<48} time: [{} (est {}) x {}]{}",
+            self.id,
+            fmt_duration(mean),
+            fmt_duration(estimate),
+            n,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Plan {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_once: bool,
+    quick: bool,
+}
+
+/// The benchmark manager: entry point created by `criterion_group!`.
+pub struct Criterion {
+    plan: Plan,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            plan: Plan {
+                sample_size: 10,
+                measurement_time: Duration::from_secs(3),
+                test_once: false,
+                quick: false,
+            },
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` configured from the process's CLI args
+    /// (`--test`, `--quick`, a substring filter; other flags ignored).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.plan.test_once = true,
+                "--quick" => c.plan.quick = true,
+                // Appended by some cargo invocations; takes no value.
+                "--bench" => {}
+                a if a.starts_with('-') => {
+                    // Real-criterion options we don't model. Only flags
+                    // known to take a value swallow the next token;
+                    // boolean flags (e.g. `--noplot`, `--verbose`) must
+                    // not eat a following filter argument.
+                    const VALUE_FLAGS: &[&str] = &[
+                        "--sample-size",
+                        "--measurement-time",
+                        "--warm-up-time",
+                        "--nresamples",
+                        "--noise-threshold",
+                        "--confidence-level",
+                        "--significance-level",
+                        "--save-baseline",
+                        "--baseline",
+                        "--baseline-lenient",
+                        "--load-baseline",
+                        "--output-format",
+                        "--color",
+                        "--profile-time",
+                    ];
+                    if VALUE_FLAGS.contains(&a) {
+                        args.next();
+                    }
+                }
+                a => c.filter = Some(a.to_owned()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            plan: self.plan.clone(),
+            filter: self.filter.clone(),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_benchmark_id();
+        if self
+            .filter
+            .as_ref()
+            .is_none_or(|pat| id.contains(pat.as_str()))
+        {
+            run_one(&self.plan, id, None, &mut f);
+        }
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    plan: &Plan,
+    id: String,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        plan,
+        reported: false,
+        id,
+        throughput,
+    };
+    f(&mut b);
+    if !b.reported && plan.test_once {
+        println!("test {} ... ok (no iter)", b.id);
+    }
+}
+
+/// A group of benchmarks sharing configuration and an id prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    plan: Plan,
+    filter: Option<String>,
+    throughput: Option<Throughput>,
+    // Lifetime kept so the API matches criterion's borrow of Criterion.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets how many measured samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.plan.sample_size = n;
+        self
+    }
+
+    /// Sets the soft time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.plan.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim measures identically
+    /// under every mode.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        if self
+            .filter
+            .as_ref()
+            .is_none_or(|pat| full.contains(pat.as_str()))
+        {
+            run_one(&self.plan, full, self.throughput, &mut f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the `main` for a criterion bench executable.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::flush_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.plan.test_once = true;
+        let mut hits = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(1024));
+            g.sample_size(3);
+            g.measurement_time(Duration::from_millis(10));
+            g.sampling_mode(SamplingMode::Flat);
+            g.bench_with_input(BenchmarkId::new("f", 1), &7u32, |b, &x| {
+                b.iter(|| {
+                    hits += 1;
+                    x * 2
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(hits, 1, "--test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default();
+        c.plan.test_once = true;
+        c.filter = Some("nomatch".into());
+        let mut hits = 0;
+        c.bench_function("other", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lzf", "hb").to_string(), "lzf/hb");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -3,8 +3,15 @@
 //! the wire, how many *raw* (pre-compression) bytes that packet
 //! represented and how long the write took. The compression thread
 //! consults these rates when updating the level.
+//!
+//! The monitor sits on the per-packet hot path, so it avoids locks
+//! entirely: each level owns a cache-line-padded seqlock cell the single
+//! writer (the emission thread) updates wait-free, and readers (the
+//! compression thread's level updates) retry the rare torn read. The old
+//! design took a `Mutex` per packet — contended between exactly the two
+//! threads whose overlap is the whole point of the paper.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of tracked levels (AdOC 0..=10).
@@ -41,10 +48,51 @@ impl DecayingRate {
     }
 }
 
-/// Shared monitor: one decaying rate per compression level.
+/// One level's rate, published through a seqlock: `seq` is odd while a
+/// write is in flight, and bumped to the next even value after. Padded to
+/// its own cache line so recording at one level never false-shares with
+/// reads of another.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct RateCell {
+    seq: AtomicU32,
+    bytes_bits: AtomicU64,
+    secs_bits: AtomicU64,
+}
+
+impl RateCell {
+    /// Single-writer update (the emission thread). Wait-free.
+    fn write(&self, rate: DecayingRate) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+        self.bytes_bits
+            .store(rate.bytes.to_bits(), Ordering::Release);
+        self.secs_bits.store(rate.secs.to_bits(), Ordering::Release);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Consistent snapshot; retries while a write is in flight.
+    fn read(&self) -> DecayingRate {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            let bytes = f64::from_bits(self.bytes_bits.load(Ordering::Acquire));
+            let secs = f64::from_bits(self.secs_bits.load(Ordering::Acquire));
+            let s2 = self.seq.load(Ordering::Acquire);
+            if s1 == s2 && s1.is_multiple_of(2) {
+                return DecayingRate { bytes, secs };
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Shared monitor: one decaying rate per compression level, plus a raw-
+/// byte total that must reconcile with
+/// [`crate::stats::TransferStats::raw_bytes`] for adaptive traffic.
 #[derive(Debug, Default)]
 pub struct BandwidthMonitor {
-    rates: Mutex<[DecayingRate; LEVELS]>,
+    cells: [RateCell; LEVELS],
+    total_raw: AtomicU64,
 }
 
 impl BandwidthMonitor {
@@ -54,24 +102,34 @@ impl BandwidthMonitor {
     }
 
     /// Records a packet send: `raw_bytes` of pre-compression payload left
-    /// the host in `elapsed`.
+    /// the host in `elapsed`. Intended for a single writer (the emission
+    /// thread); concurrent writers never corrupt memory but may overwrite
+    /// each other's samples.
     pub fn record(&self, level: u8, raw_bytes: u64, elapsed: Duration) {
-        let mut g = self.rates.lock();
-        g[level as usize].add(raw_bytes, elapsed.as_secs_f64());
+        let cell = &self.cells[level as usize];
+        let mut rate = cell.read();
+        rate.add(raw_bytes, elapsed.as_secs_f64());
+        cell.write(rate);
+        self.total_raw.fetch_add(raw_bytes, Ordering::Relaxed);
     }
 
     /// Visible bandwidth at `level` in raw bits/s, if observed recently.
     pub fn visible(&self, level: u8) -> Option<f64> {
-        self.rates.lock()[level as usize].rate()
+        self.cells[level as usize].read().rate()
     }
 
     /// The level `< limit` with the highest recorded visible bandwidth,
     /// if any level below `limit` has been observed.
     pub fn best_below(&self, limit: u8) -> Option<(u8, f64)> {
-        let g = self.rates.lock();
         (0..limit)
-            .filter_map(|l| g[l as usize].rate().map(|r| (l, r)))
+            .filter_map(|l| self.cells[l as usize].read().rate().map(|r| (l, r)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Sum of every `raw_bytes` ever recorded: the exact amount of
+    /// application data whose emission this monitor observed.
+    pub fn total_raw_bytes(&self) -> u64 {
+        self.total_raw.load(Ordering::Relaxed)
     }
 }
 
@@ -86,6 +144,7 @@ mod tests {
             assert!(m.visible(l).is_none());
         }
         assert!(m.best_below(10).is_none());
+        assert_eq!(m.total_raw_bytes(), 0);
     }
 
     #[test]
@@ -96,6 +155,7 @@ mod tests {
         let r = m.visible(3).unwrap();
         assert!((r - 80e6).abs() / 80e6 < 1e-6, "{r}");
         assert!(m.visible(2).is_none());
+        assert_eq!(m.total_raw_bytes(), 1_000_000);
     }
 
     #[test]
@@ -133,5 +193,49 @@ mod tests {
         let m = BandwidthMonitor::new();
         m.record(4, 10, Duration::from_nanos(10));
         assert!(m.visible(4).is_none());
+    }
+
+    #[test]
+    fn total_accumulates_across_levels() {
+        let m = BandwidthMonitor::new();
+        m.record(0, 100, Duration::from_millis(1));
+        m.record(7, 200, Duration::from_millis(1));
+        m.record(10, 300, Duration::from_millis(1));
+        assert_eq!(m.total_raw_bytes(), 600);
+    }
+
+    #[test]
+    fn concurrent_reads_never_tear() {
+        // A writer hammers one level while readers assert that every
+        // observed snapshot is internally consistent (a torn read would
+        // produce a wild rate).
+        let m = std::sync::Arc::new(BandwidthMonitor::new());
+        let w = {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50_000 {
+                    m.record(5, 8_192, Duration::from_micros(100));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    let expect = 8_192.0 * 8.0 / 1e-4; // every sample's rate
+                    for _ in 0..20_000 {
+                        if let Some(r) = m.visible(5) {
+                            let rel = (r - expect).abs() / expect;
+                            assert!(rel < 1e-6, "torn rate {r}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        w.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(m.total_raw_bytes(), 50_000 * 8_192);
     }
 }

@@ -1,6 +1,7 @@
 //! Every constant the paper fixes, as a tunable (the ablation benches
 //! sweep them).
 
+use crate::pool::BufferPool;
 use crate::throttle::{NoThrottle, Throttle};
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,6 +62,10 @@ pub struct AdocConfig {
     /// CPU-speed model charged per unit of (de)compression work
     /// (simulation hook; defaults to none).
     pub throttle: Arc<dyn Throttle>,
+    /// Frame-buffer slab shared by every clone of this config (clones
+    /// share the underlying free list): the send and receive hot paths
+    /// draw all their buffers from here instead of the allocator.
+    pub pool: BufferPool,
 }
 
 impl std::fmt::Debug for AdocConfig {
@@ -98,6 +103,7 @@ impl Default for AdocConfig {
             divergence_margin: 1.10,
             max_message: 1 << 40,
             throttle: Arc::new(NoThrottle),
+            pool: BufferPool::default(),
         }
     }
 }

@@ -55,6 +55,7 @@ pub mod adapt;
 pub mod bw;
 pub mod capi;
 pub mod config;
+pub mod pool;
 pub mod queue;
 pub mod receiver;
 pub mod sender;
@@ -68,6 +69,7 @@ pub use capi::{
     adoc_send_file_levels, adoc_write, adoc_write_levels,
 };
 pub use config::AdocConfig;
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use socket::{AdocSocket, SendReport};
 pub use stats::TransferStats;
 pub use throttle::{NoThrottle, SleepThrottle, Throttle};

@@ -1,0 +1,320 @@
+//! Slab buffer pool for the adaptive hot path.
+//!
+//! Every frame the sender emits and every payload the receiver ingests
+//! lives in a [`PooledBuf`] checked out of a shared [`BufferPool`]. When
+//! the last reference drops — after the socket write, or after
+//! decompression — the underlying allocation returns to the pool instead
+//! of the allocator, so a steady-state transfer performs **zero
+//! per-packet heap allocations**: the whole point of compressing *during*
+//! emission (paper §3) is that the CPU spent must undercut the bandwidth
+//! saved, and allocator churn was pure overhead the original C library
+//! (writing straight from zlib's internal buffers) never paid.
+//!
+//! Aliasing is impossible by construction: a buffer re-enters the free
+//! list only from `PooledBuf::drop`, and shared views
+//! ([`crate::queue::Packet`]) hold the buffer via `Arc`, so the last view
+//! must be gone first. [`PoolStats::outstanding`] exposes the live-buffer
+//! gauge the tests assert on.
+
+use parking_lot::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default bound on idle buffers kept by [`BufferPool::new`]; more than a
+/// full emission pipeline ever holds, small enough that an idle
+/// connection pins only a few MB.
+pub const DEFAULT_MAX_IDLE: usize = 32;
+
+/// Counters describing pool behaviour since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from the free list (no allocation).
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers returned to the free list on drop.
+    pub returns: u64,
+    /// Buffers currently checked out (hits + misses − drops).
+    pub outstanding: i64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    outstanding: AtomicI64,
+}
+
+struct PoolShared {
+    free: Mutex<Vec<Vec<u8>>>,
+    counters: Counters,
+    max_idle: usize,
+}
+
+/// A shared, bounded free list of byte buffers. Cloning is cheap (one
+/// `Arc`) and clones feed the same slab, so every send/receive on a
+/// connection — and every connection cloned from one config — reuses the
+/// same storage.
+#[derive(Clone)]
+pub struct BufferPool {
+    shared: Arc<PoolShared>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_IDLE)
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BufferPool")
+            .field("idle", &self.shared.free.lock().len())
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `max_idle` free buffers.
+    pub fn new(max_idle: usize) -> Self {
+        BufferPool {
+            shared: Arc::new(PoolShared {
+                free: Mutex::new(Vec::new()),
+                counters: Counters::default(),
+                max_idle,
+            }),
+        }
+    }
+
+    /// Checks out an empty buffer with at least `capacity` bytes
+    /// reserved. Served from the free list when possible.
+    ///
+    /// A checkout counts as a hit only when a free buffer already has
+    /// the capacity (one slab serves several buffer sizes — probe,
+    /// payload, frame — so the list is searched, not just popped);
+    /// growing a too-small recycled buffer reallocates and is counted
+    /// as a miss, keeping the miss counter an honest allocation count.
+    pub fn get(&self, capacity: usize) -> PooledBuf {
+        let recycled = {
+            let mut free = self.shared.free.lock();
+            // Best fit: the smallest sufficient buffer, so a small
+            // checkout never steals the one large buffer a later large
+            // checkout needs (the slab serves several size classes and
+            // the classes must stay stable across a transfer).
+            let mut best: Option<(usize, usize)> = None;
+            for (i, v) in free.iter().enumerate() {
+                let cap = v.capacity();
+                if cap >= capacity && best.is_none_or(|(_, c)| cap < c) {
+                    best = Some((i, cap));
+                }
+            }
+            match best {
+                Some((i, _)) => Some(free.swap_remove(i)),
+                None => free.pop(),
+            }
+        };
+        let c = &self.shared.counters;
+        c.outstanding.fetch_add(1, Ordering::Relaxed);
+        let vec = match recycled {
+            Some(v) if v.capacity() >= capacity => {
+                c.hits.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(v.is_empty(), "free-list buffer must come back cleared");
+                v
+            }
+            Some(mut v) => {
+                c.misses.fetch_add(1, Ordering::Relaxed);
+                v.reserve(capacity);
+                v
+            }
+            None => {
+                c.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        };
+        PooledBuf {
+            vec,
+            home: Some(Arc::clone(&self.shared)),
+        }
+    }
+
+    /// Counters since creation (monotonic except `outstanding`).
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            returns: c.returns.load(Ordering::Relaxed),
+            outstanding: c.outstanding.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of idle buffers currently in the free list.
+    pub fn idle(&self) -> usize {
+        self.shared.free.lock().len()
+    }
+}
+
+/// An owned byte buffer that returns its allocation to the originating
+/// [`BufferPool`] on drop. Dereferences to `Vec<u8>`.
+pub struct PooledBuf {
+    vec: Vec<u8>,
+    /// `None` for detached buffers (constructed from a plain `Vec`,
+    /// e.g. in tests): dropped normally instead of pooled.
+    home: Option<Arc<PoolShared>>,
+}
+
+impl PooledBuf {
+    /// Wraps a plain vector without pool affiliation; dropping it frees
+    /// the memory normally.
+    pub fn detached(vec: Vec<u8>) -> Self {
+        PooledBuf { vec, home: None }
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.vec
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.vec.len())
+            .field("capacity", &self.vec.capacity())
+            .field("pooled", &self.home.is_some())
+            .finish()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let Some(shared) = self.home.take() else {
+            return;
+        };
+        shared.counters.outstanding.fetch_sub(1, Ordering::Relaxed);
+        let mut free = shared.free.lock();
+        if free.len() < shared.max_idle {
+            let mut vec = std::mem::take(&mut self.vec);
+            vec.clear();
+            free.push(vec);
+            drop(free);
+            shared.counters.returns.fetch_add(1, Ordering::Relaxed);
+        }
+        // Else: free list full, the allocation is released normally.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_checkout_misses_then_hits() {
+        let pool = BufferPool::new(8);
+        {
+            let mut b = pool.get(100);
+            b.extend_from_slice(&[1, 2, 3]);
+        }
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().returns, 1);
+        let b = pool.get(10);
+        assert_eq!(pool.stats().hits, 1);
+        assert!(b.is_empty(), "recycled buffer must be cleared");
+        assert!(b.capacity() >= 10);
+    }
+
+    #[test]
+    fn outstanding_tracks_live_buffers() {
+        let pool = BufferPool::new(8);
+        let a = pool.get(1);
+        let b = pool.get(1);
+        assert_eq!(pool.stats().outstanding, 2);
+        drop(a);
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(b);
+        assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn idle_list_is_bounded() {
+        let pool = BufferPool::new(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.get(64)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2, "free list must cap at max_idle");
+        assert_eq!(pool.stats().returns, 2);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn checkout_prefers_a_buffer_that_already_fits() {
+        let pool = BufferPool::new(8);
+        // Seed the free list with one small and one large buffer.
+        {
+            let small = pool.get(64);
+            let mut large = pool.get(4096);
+            large.reserve(4096);
+            drop(small);
+            drop(large);
+        }
+        // A large request must find the large buffer (a hit), not grow
+        // the small one.
+        let b = pool.get(4096);
+        assert!(b.capacity() >= 4096);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 2, "only the seeding allocated");
+    }
+
+    #[test]
+    fn growing_a_too_small_recycled_buffer_counts_as_miss() {
+        let pool = BufferPool::new(8);
+        drop(pool.get(16)); // free list now holds one 16-byte buffer
+        let b = pool.get(1 << 20); // must reallocate
+        assert!(b.capacity() >= 1 << 20);
+        assert_eq!(pool.stats().hits, 0);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn detached_buffers_skip_the_pool() {
+        let pool = BufferPool::new(8);
+        let before = pool.stats();
+        drop(PooledBuf::detached(vec![9u8; 32]));
+        assert_eq!(pool.stats(), before);
+    }
+
+    #[test]
+    fn clones_share_the_slab() {
+        let pool = BufferPool::new(8);
+        drop(pool.get(1));
+        let clone = pool.clone();
+        drop(clone.get(1));
+        assert_eq!(pool.stats().misses, 1, "clone must reuse the free list");
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn steady_state_needs_no_allocation() {
+        let pool = BufferPool::new(4);
+        for round in 0..100 {
+            let a = pool.get(1024);
+            let b = pool.get(1024);
+            drop((a, b));
+            if round > 0 {
+                assert_eq!(pool.stats().misses, 2, "round {round} allocated");
+            }
+        }
+    }
+}

@@ -3,20 +3,84 @@
 //! crucially — the *sensor* of the adaptation loop: its length and growth
 //! drive the compression level (§3.3).
 
+use crate::pool::PooledBuf;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// One queue entry: up to `packet_size` wire-ready bytes.
+/// One queue entry: up to `packet_size` wire-ready bytes, borrowed as an
+/// `(offset, len)` view into a shared pooled frame buffer.
+///
+/// Several packets of one frame share the same [`PooledBuf`]; when the
+/// emission thread drops the last of them (after its socket write), the
+/// frame buffer returns to the pool. No per-packet copy, no per-packet
+/// allocation.
 #[derive(Debug)]
 pub struct Packet {
-    /// Bytes to put on the socket (frame header included in the first
-    /// packet of each buffer).
-    pub bytes: Vec<u8>,
+    /// The whole frame (header + payload) this packet views into.
+    frame: Arc<PooledBuf>,
+    /// Start of this packet's bytes within `frame`.
+    offset: usize,
+    /// Number of wire bytes in this packet.
+    len: usize,
     /// The AdOC level this packet's buffer was compressed at.
     pub level: u8,
     /// Share of the buffer's *raw* size this packet represents (for
     /// visible-bandwidth accounting).
     pub raw_share: u32,
+}
+
+impl Packet {
+    /// A packet viewing `frame[offset..offset + len]`.
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn view(
+        frame: Arc<PooledBuf>,
+        offset: usize,
+        len: usize,
+        level: u8,
+        raw_share: u32,
+    ) -> Packet {
+        assert!(offset + len <= frame.len(), "packet view out of bounds");
+        Packet {
+            frame,
+            offset,
+            len,
+            level,
+            raw_share,
+        }
+    }
+
+    /// A packet owning `bytes` outright (detached from any pool) — used
+    /// by tests and micro-benchmarks; the transfer paths use [`Packet::view`].
+    pub fn from_vec(bytes: Vec<u8>, level: u8, raw_share: u32) -> Packet {
+        let len = bytes.len();
+        Packet::view(
+            Arc::new(PooledBuf::detached(bytes)),
+            0,
+            len,
+            level,
+            raw_share,
+        )
+    }
+
+    /// The wire bytes of this packet.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.frame[self.offset..self.offset + self.len]
+    }
+
+    /// Number of wire bytes in this packet.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when this packet carries no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 #[derive(Debug)]
@@ -130,11 +194,7 @@ mod tests {
     use std::thread;
 
     fn pkt(tag: u8) -> Packet {
-        Packet {
-            bytes: vec![tag; 4],
-            level: 0,
-            raw_share: 4,
-        }
+        Packet::from_vec(vec![tag; 4], 0, 4)
     }
 
     #[test]
@@ -145,7 +205,7 @@ mod tests {
         }
         assert_eq!(q.len(), 5);
         for i in 0..5 {
-            assert_eq!(q.pop().unwrap().bytes[0], i);
+            assert_eq!(q.pop().unwrap().bytes()[0], i);
         }
         q.close();
         assert!(q.pop().is_none());
@@ -160,17 +220,17 @@ mod tests {
         let t = thread::spawn(move || q2.push(pkt(2)));
         thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(q.len(), 2, "producer must be blocked at capacity");
-        assert_eq!(q.pop().unwrap().bytes[0], 0);
+        assert_eq!(q.pop().unwrap().bytes()[0], 0);
         t.join().unwrap().unwrap();
-        assert_eq!(q.pop().unwrap().bytes[0], 1);
-        assert_eq!(q.pop().unwrap().bytes[0], 2);
+        assert_eq!(q.pop().unwrap().bytes()[0], 1);
+        assert_eq!(q.pop().unwrap().bytes()[0], 2);
     }
 
     #[test]
     fn pop_blocks_until_push() {
         let q = Arc::new(PacketQueue::new(4));
         let q2 = q.clone();
-        let t = thread::spawn(move || q2.pop().map(|p| p.bytes[0]));
+        let t = thread::spawn(move || q2.pop().map(|p| p.bytes()[0]));
         thread::sleep(std::time::Duration::from_millis(20));
         q.push(pkt(9)).unwrap();
         assert_eq!(t.join().unwrap(), Some(9));
@@ -182,7 +242,7 @@ mod tests {
         q.push(pkt(1)).unwrap();
         q.close();
         assert!(q.push(pkt(2)).is_err());
-        assert_eq!(q.pop().unwrap().bytes[0], 1);
+        assert_eq!(q.pop().unwrap().bytes()[0], 1);
         assert!(q.pop().is_none());
     }
 
@@ -204,18 +264,14 @@ mod tests {
         let qp = q.clone();
         let producer = thread::spawn(move || {
             for i in 0..10_000u32 {
-                qp.push(Packet {
-                    bytes: i.to_le_bytes().to_vec(),
-                    level: 0,
-                    raw_share: 4,
-                })
-                .unwrap();
+                qp.push(Packet::from_vec(i.to_le_bytes().to_vec(), 0, 4))
+                    .unwrap();
             }
             qp.close();
         });
         let mut expect = 0u32;
         while let Some(p) = q.pop() {
-            let v = u32::from_le_bytes(p.bytes[..4].try_into().unwrap());
+            let v = u32::from_le_bytes(p.bytes()[..4].try_into().unwrap());
             assert_eq!(v, expect);
             expect += 1;
         }

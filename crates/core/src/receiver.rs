@@ -4,9 +4,11 @@
 //! application sink.
 
 use crate::config::AdocConfig;
+use crate::pool::BufferPool;
 use crate::queue::{Packet, PacketQueue};
 use crate::wire::{self, FrameHeader, MsgKind};
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Frames buffered between the reception and decompression threads. Kept
@@ -39,7 +41,7 @@ where
 
     match kind {
         MsgKind::Direct => {
-            copy_exact(reader, sink, raw_len, cfg.buffer_size)?;
+            copy_exact(reader, sink, raw_len, cfg.buffer_size, &cfg.pool)?;
             Ok(Some(raw_len))
         }
         MsgKind::Adaptive => {
@@ -66,7 +68,7 @@ where
             "probe longer than message",
         ));
     }
-    copy_exact(reader, sink, probe_len, cfg.packet_size)?;
+    copy_exact(reader, sink, probe_len, cfg.packet_size, &cfg.pool)?;
 
     let remaining = raw_len - probe_len;
     if remaining == 0 {
@@ -122,19 +124,31 @@ fn reception_thread<R: Read>(
                 "frame payload too large",
             ));
         }
-        let payload = match wire::read_exact_vec(reader, fh.payload_len as usize) {
-            Ok(p) => p,
+        // Pooled payload buffer, filled through `Take` so the reserved
+        // capacity is never zeroed first; it returns to the slab once
+        // the decompression thread drops the packet.
+        let mut payload = cfg.pool.get(fh.payload_len as usize);
+        match reader
+            .by_ref()
+            .take(u64::from(fh.payload_len))
+            .read_to_end(&mut payload)
+        {
+            Ok(n) if n == fh.payload_len as usize => {}
+            Ok(_) => {
+                queue.close();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "frame payload truncated",
+                ));
+            }
             Err(e) => {
                 queue.close();
                 return Err(e);
             }
-        };
+        }
         collected += u64::from(fh.raw_len);
-        let pkt = Packet {
-            bytes: payload,
-            level: fh.level,
-            raw_share: fh.raw_len,
-        };
+        let len = payload.len();
+        let pkt = Packet::view(Arc::new(payload), 0, len, fh.level, fh.raw_len);
         if queue.push(pkt).is_err() {
             // Decoder failed; its error wins.
             return Ok(());
@@ -151,12 +165,15 @@ fn decompression_thread<K: Write>(
     cfg: &AdocConfig,
 ) -> io::Result<()> {
     let mut produced = 0u64;
-    let mut scratch: Vec<u8> = Vec::with_capacity(cfg.buffer_size);
+    // Decode scratch: pooled, reused across every frame of the message,
+    // and decompress_at appends into it directly (no intermediate vector
+    // inside the codec either).
+    let mut scratch = cfg.pool.get(cfg.buffer_size);
     while let Some(pkt) = queue.pop() {
         let raw_len = pkt.raw_share as usize;
         scratch.clear();
         let t0 = Instant::now();
-        if let Err(e) = adoc_codec::decompress_at(pkt.level, &pkt.bytes, raw_len, &mut scratch) {
+        if let Err(e) = adoc_codec::decompress_at(pkt.level, pkt.bytes(), raw_len, &mut scratch) {
             queue.poison();
             return Err(io::Error::new(io::ErrorKind::InvalidData, e));
         }
@@ -181,11 +198,14 @@ fn copy_exact<R: Read, W: Write>(
     sink: &mut W,
     len: u64,
     chunk: usize,
+    pool: &BufferPool,
 ) -> io::Result<()> {
     if len == 0 {
         return Ok(());
     }
-    let mut buf = vec![0u8; chunk.max(1).min(len.try_into().unwrap_or(usize::MAX))];
+    let size = chunk.max(1).min(len.try_into().unwrap_or(usize::MAX));
+    let mut buf = pool.get(size);
+    buf.resize(size, 0);
     let mut left = len;
     while left > 0 {
         let want = (buf.len() as u64).min(left) as usize;

@@ -6,10 +6,12 @@
 use crate::adapt::LevelController;
 use crate::bw::BandwidthMonitor;
 use crate::config::AdocConfig;
+use crate::pool::BufferPool;
 use crate::queue::{Packet, PacketQueue};
 use crate::stats::TransferStats;
 use crate::wire::{self, FrameHeader, MsgKind};
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What one message send did (merged into [`TransferStats`]).
@@ -31,6 +33,11 @@ pub struct SendOutcome {
     pub divergence_reverts: u64,
     /// Ratio-guard trips during this message.
     pub ratio_trips: u64,
+    /// Raw bytes whose emission the [`BandwidthMonitor`] observed. For a
+    /// forced-compression message (no probe, no fast path) this equals
+    /// the message's raw length exactly — the invariant the divergence
+    /// guard depends on.
+    pub bw_raw_bytes: u64,
 }
 
 impl SendOutcome {
@@ -91,7 +98,7 @@ fn send_direct<W: Write, S: Read>(
     cfg: &AdocConfig,
 ) -> io::Result<SendOutcome> {
     writer.write_all(&wire::encode_msg_header(MsgKind::Direct, raw_len))?;
-    let copied = copy_exact(source, writer, raw_len, cfg.buffer_size)?;
+    let copied = copy_exact(source, writer, raw_len, cfg.buffer_size, &cfg.pool)?;
     debug_assert_eq!(copied, raw_len);
     writer.flush()?;
     Ok(SendOutcome {
@@ -125,7 +132,7 @@ where
     out.wire_bytes += 4;
     if probe_len > 0 {
         let t0 = Instant::now();
-        copy_exact(source, writer, probe_len, cfg.packet_size)?;
+        copy_exact(source, writer, probe_len, cfg.packet_size, &cfg.pool)?;
         writer.flush()?;
         let secs = t0.elapsed().as_secs_f64().max(1e-9);
         let bps = probe_len as f64 * 8.0 / secs;
@@ -133,21 +140,29 @@ where
         out.wire_bytes += probe_len;
 
         if bps > cfg.fast_bps {
-            // Too fast to compress: ship the rest as raw frames.
+            // Too fast to compress: ship the rest as raw frames. Each
+            // frame is assembled (header in place, payload read straight
+            // in behind it) in a pooled buffer and put on the wire with a
+            // single write; the buffer returns to the pool at the end of
+            // the iteration, so a multi-buffer send touches the allocator
+            // at most once.
             out.fast_path = true;
             let mut remaining = raw_len - probe_len;
-            let mut buf = vec![0u8; cfg.buffer_size];
+            let mut frame = cfg.pool.get(wire::FRAME_HEADER_LEN + cfg.buffer_size);
             while remaining > 0 {
                 let want = (cfg.buffer_size as u64).min(remaining) as usize;
-                source.read_exact(&mut buf[..want])?;
+                // Same-size resize is a no-op, so the zero-fill happens
+                // once per message, not once per frame.
+                frame.resize(wire::FRAME_HEADER_LEN + want, 0);
+                source.read_exact(&mut frame[wire::FRAME_HEADER_LEN..])?;
                 let fh = FrameHeader {
                     level: 0,
                     raw_len: want as u32,
                     payload_len: want as u32,
                 };
-                writer.write_all(&fh.encode())?;
-                writer.write_all(&buf[..want])?;
-                out.wire_bytes += (wire::FRAME_HEADER_LEN + want) as u64;
+                frame[..wire::FRAME_HEADER_LEN].copy_from_slice(&fh.encode());
+                writer.write_all(&frame)?;
+                out.wire_bytes += frame.len() as u64;
                 out.buffers_at_level[0] += 1;
                 out.level_events.push((Instant::now(), 0));
                 remaining -= want as u64;
@@ -176,6 +191,7 @@ where
     let wire = emit?;
     let comp = comp?;
     out.wire_bytes += wire;
+    out.bw_raw_bytes = bw.total_raw_bytes();
     out.buffers_at_level
         .iter_mut()
         .zip(comp.buffers_at_level)
@@ -203,16 +219,31 @@ fn compression_thread<S: Read>(
     cfg: &AdocConfig,
 ) -> io::Result<CompOutcome> {
     let mut ctrl = LevelController::new(cfg);
-    let mut buf = vec![0u8; cfg.buffer_size];
-    let mut payload = Vec::with_capacity(cfg.buffer_size + 64);
+    let mut codec = adoc_codec::Codec::new();
     let mut buffers_at_level = [0u64; 11];
     let mut level_events: Vec<(Instant, u8)> = Vec::new();
 
     while remaining > 0 {
         let want = (cfg.buffer_size as u64).min(remaining) as usize;
-        if let Err(e) = source.read_exact(&mut buf[..want]) {
-            queue.close();
-            return Err(e);
+        // The raw bytes are read straight into frame position — header
+        // space first, payload appended behind it via `Take`, which
+        // fills the reserved spare capacity without a zeroing pass — so
+        // a level-0 buffer is already a complete frame with no copy.
+        let mut raw = cfg.pool.get(wire::FRAME_HEADER_LEN + want);
+        raw.resize(wire::FRAME_HEADER_LEN, 0);
+        match source.by_ref().take(want as u64).read_to_end(&mut raw) {
+            Ok(n) if n == want => {}
+            Ok(_) => {
+                queue.close();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "source ended before the promised message length",
+                ));
+            }
+            Err(e) => {
+                queue.close();
+                return Err(e);
+            }
         }
 
         // §3.2: the level is updated before each new buffer.
@@ -224,56 +255,63 @@ fn compression_thread<S: Read>(
         if level > 0 && ctrl.is_suspicious() {
             let check = (4 * cfg.packet_size).min(want);
             let t0 = Instant::now();
-            payload.clear();
-            adoc_codec::compress_at(level, &buf[..check], &mut payload);
+            let mut probe = cfg.pool.get(check + 64);
+            codec.compress_at(
+                level,
+                &raw[wire::FRAME_HEADER_LEN..wire::FRAME_HEADER_LEN + check],
+                &mut probe,
+            );
             cfg.throttle.charge(t0.elapsed());
-            let check_ratio = check as f64 / payload.len() as f64;
+            let check_ratio = check as f64 / probe.len() as f64;
             ctrl.report_ratio(check_ratio, cfg);
             if cfg.ratio_guard > 0.0 && check_ratio < cfg.ratio_guard {
                 level = 0; // still incompressible: ship the buffer raw
             }
         }
 
-        if level == 0 {
-            payload.clear();
-            payload.extend_from_slice(&buf[..want]);
-        } else {
+        // `frame` ends up holding header + payload; at level 0 that is
+        // the raw buffer itself (zero copies), otherwise a second pooled
+        // buffer the codec encoded into (the only data movement is the
+        // compression itself).
+        let mut frame = raw;
+        if level > 0 {
             let t0 = Instant::now();
-            payload.clear();
-            adoc_codec::compress_at(level, &buf[..want], &mut payload);
+            let mut enc = cfg.pool.get(wire::FRAME_HEADER_LEN + want / 2 + 64);
+            enc.resize(wire::FRAME_HEADER_LEN, 0);
+            codec.compress_at(level, &frame[wire::FRAME_HEADER_LEN..], &mut enc);
             cfg.throttle.charge(t0.elapsed());
 
-            let ratio = want as f64 / payload.len() as f64;
+            let ratio = want as f64 / (enc.len() - wire::FRAME_HEADER_LEN) as f64;
             ctrl.report_ratio(ratio, cfg);
             if cfg.ratio_guard > 0.0 && ratio < cfg.ratio_guard {
-                // Abandon the compressed form; this buffer goes out raw.
-                payload.clear();
-                payload.extend_from_slice(&buf[..want]);
+                // Abandon the compressed form; the raw frame goes out and
+                // `enc` returns to the pool.
                 level = 0;
+            } else {
+                frame = enc; // the raw buffer returns to the pool
             }
         }
         buffers_at_level[level as usize] += 1;
         level_events.push((Instant::now(), level));
 
-        // Frame = header + payload, split into queue packets.
         let fh = FrameHeader {
             level,
             raw_len: want as u32,
-            payload_len: payload.len() as u32,
+            payload_len: (frame.len() - wire::FRAME_HEADER_LEN) as u32,
         };
-        let mut frame = Vec::with_capacity(wire::FRAME_HEADER_LEN + payload.len());
-        frame.extend_from_slice(&fh.encode());
-        frame.extend_from_slice(&payload);
+        frame[..wire::FRAME_HEADER_LEN].copy_from_slice(&fh.encode());
 
+        // Split the frame into shared `(offset, len)` packet views — no
+        // per-packet copy; the buffer returns to the pool when the
+        // emission thread drops the last view.
         let total = frame.len();
+        let frame = Arc::new(frame);
         let mut pushed = 0u32;
-        for chunk in frame.chunks(cfg.packet_size) {
-            let raw_share = ((want as u64 * chunk.len() as u64) / total as u64) as u32;
-            let pkt = Packet {
-                bytes: chunk.to_vec(),
-                level,
-                raw_share,
-            };
+        let mut offset = 0usize;
+        while offset < total {
+            let end = (offset + cfg.packet_size).min(total);
+            let share = raw_share(want, offset, end, total);
+            let pkt = Packet::view(Arc::clone(&frame), offset, end - offset, level, share);
             if queue.push(pkt).is_err() {
                 // Consumer failed; its error is authoritative.
                 return Ok(CompOutcome {
@@ -284,6 +322,7 @@ fn compression_thread<S: Read>(
                 });
             }
             pushed += 1;
+            offset = end;
         }
         ctrl.packets_pushed(pushed);
         remaining -= want as u64;
@@ -297,6 +336,20 @@ fn compression_thread<S: Read>(
     })
 }
 
+/// Raw-size share of the packet covering `offset..end` of a `total`-byte
+/// frame that carries `want` raw bytes.
+///
+/// Cumulative proportional rounding: each packet gets the difference of
+/// two running floor divisions, so per-frame shares always sum to exactly
+/// `want` — the last packet absorbs the remainder that plain
+/// `want * len / total` truncation used to drop, which systematically
+/// understated the visible bandwidth the divergence guard compares.
+fn raw_share(want: usize, offset: usize, end: usize, total: usize) -> u32 {
+    let w = want as u64;
+    let t = total as u64;
+    (w * end as u64 / t - w * offset as u64 / t) as u32
+}
+
 fn emission_thread<W: Write>(
     writer: &mut W,
     queue: &PacketQueue,
@@ -305,24 +358,28 @@ fn emission_thread<W: Write>(
     let mut wire_bytes = 0u64;
     while let Some(pkt) = queue.pop() {
         let t0 = Instant::now();
-        if let Err(e) = writer.write_all(&pkt.bytes) {
+        if let Err(e) = writer.write_all(pkt.bytes()) {
             queue.poison();
             return Err(e);
         }
         bw.record(pkt.level, u64::from(pkt.raw_share), t0.elapsed());
-        wire_bytes += pkt.bytes.len() as u64;
+        wire_bytes += pkt.len() as u64;
     }
     Ok(wire_bytes)
 }
 
-/// Copies exactly `len` bytes from `source` to `writer` in bounded chunks.
+/// Copies exactly `len` bytes from `source` to `writer` in bounded chunks
+/// drawn from the pool.
 fn copy_exact<S: Read, W: Write>(
     source: &mut S,
     writer: &mut W,
     len: u64,
     chunk: usize,
+    pool: &BufferPool,
 ) -> io::Result<u64> {
-    let mut buf = vec![0u8; chunk.min(len.try_into().unwrap_or(usize::MAX)).max(1)];
+    let size = chunk.min(len.try_into().unwrap_or(usize::MAX)).max(1);
+    let mut buf = pool.get(size);
+    buf.resize(size, 0);
     let mut left = len;
     while left > 0 {
         let want = (buf.len() as u64).min(left) as usize;
@@ -457,6 +514,91 @@ mod tests {
         let mut src = &data[..];
         let err = send_message(&mut sink, &mut src, data.len() as u64, &cfg).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn raw_shares_sum_exactly_to_frame_raw_size() {
+        // The old `want * chunk / total` truncation dropped up to one
+        // byte per packet; cumulative rounding must never lose any.
+        for (want, total, packet) in [
+            (204_800usize, 204_809usize, 8_192usize), // raw frame, header remainder
+            (204_800, 31_337, 8_192),                 // compressed frame
+            (204_800, 204_809, 8_191),                // packet not dividing total
+            (1, 10, 8_192),                           // tiny frame, single packet
+            (65_536, 9 + 65_536, 7),                  // pathological small packets
+            (3, 12, 5),
+        ] {
+            let mut sum = 0u64;
+            let mut offset = 0usize;
+            while offset < total {
+                let end = (offset + packet).min(total);
+                sum += u64::from(raw_share(want, offset, end, total));
+                offset = end;
+            }
+            assert_eq!(
+                sum, want as u64,
+                "shares must sum to want for ({want}, {total}, {packet})"
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_monitor_total_matches_stats_raw_bytes() {
+        // Forced compression: no probe, no fast path — every raw byte of
+        // the message flows through the queue, so the monitor's total
+        // must reconcile exactly with TransferStats.
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let data = adoc_data_stub(1_500_000);
+        let (_wire, out) = send_to_vec(&data, &cfg);
+        let mut stats = TransferStats::new();
+        out.merge_into(&mut stats, data.len() as u64);
+        assert_eq!(out.bw_raw_bytes, data.len() as u64);
+        assert_eq!(out.bw_raw_bytes, stats.raw_bytes);
+    }
+
+    #[test]
+    fn steady_state_send_hits_the_pool() {
+        // First message warms the pool; the second must perform zero
+        // allocations (every checkout is a hit) and no buffer may remain
+        // outstanding once both sends complete.
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let data = adoc_data_stub(2 << 20);
+        let (_w, _o) = send_to_vec(&data, &cfg);
+        let after_first = cfg.pool.stats();
+        assert_eq!(after_first.outstanding, 0, "buffers leaked from send");
+        let (_w, _o) = send_to_vec(&data, &cfg);
+        let after_second = cfg.pool.stats();
+        // Zero new allocations in the common schedule; tolerate at most
+        // two if the second send happens to keep more frames in flight
+        // at once than the first ever did (the bound is the concurrent
+        // buffer population, never the packet or frame count).
+        assert!(
+            after_second.misses <= after_first.misses + 2,
+            "steady-state send allocated: {} -> {} misses",
+            after_first.misses,
+            after_second.misses
+        );
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(after_second.outstanding, 0);
+    }
+
+    #[test]
+    fn fast_path_reuses_one_pooled_buffer() {
+        // Vec sink → probe classifies the link fast → raw frames. The
+        // frame buffer must cycle through the pool, not the allocator.
+        let cfg = AdocConfig::default();
+        let data = vec![7u8; 4 << 20]; // ~19 fast-path frames
+        let (_wire, out) = send_to_vec(&data, &cfg);
+        assert!(out.fast_path);
+        let s = cfg.pool.stats();
+        assert_eq!(s.outstanding, 0);
+        assert!(
+            s.misses <= 2,
+            "fast path allocated {} buffers for {} frames",
+            s.misses,
+            out.buffers_at_level[0]
+        );
+        assert!(out.buffers_at_level[0] >= 15);
     }
 
     #[test]

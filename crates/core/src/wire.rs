@@ -134,13 +134,6 @@ impl FrameHeader {
     }
 }
 
-/// Reads exactly `len` bytes into a fresh buffer.
-pub fn read_exact_vec(r: &mut impl Read, len: usize) -> io::Result<Vec<u8>> {
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    Ok(buf)
-}
-
 /// Writes a `u32` length prefix (probe segment).
 pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())

@@ -1,9 +1,12 @@
 //! Cross-crate property tests: any payload, any level bounds, any read
 //! fragmentation — the bytes must arrive intact, in order, exactly once.
 
+use adoc::receiver::receive_message;
+use adoc::sender::send_message;
 use adoc::{AdocConfig, AdocSocket};
 use adoc_sim::pipe::{duplex_pipe, PipeReader, PipeWriter};
 use proptest::prelude::*;
+use std::io::Cursor;
 use std::thread;
 
 type Sock = AdocSocket<PipeReader, PipeWriter>;
@@ -128,6 +131,48 @@ proptest! {
         prop_assert!(
             report.wire <= n as u64 + slack,
             "wire {} for raw {} exceeds slack {}", report.wire, n, slack
+        );
+    }
+
+    #[test]
+    fn pathological_packet_and_buffer_sizes_roundtrip(
+        // Deliberately outside AdocConfig::validate's envelope: packets
+        // smaller than a frame header, packets larger than a whole frame,
+        // buffers that are not a packet multiple. The framing must not
+        // care, and pooled frame buffers must never be observed aliased
+        // (delivery is byte-exact and every buffer returns to the slab).
+        packet_size in prop_oneof![
+            Just(1usize),            // smaller than FRAME_HEADER_LEN (9)
+            4usize..9,               // still smaller than a frame header
+            10usize..100,            // tiny but legal-ish
+            (1usize << 20)..(2 << 20), // larger than any whole frame
+        ],
+        buffer_size in prop_oneof![
+            1usize..30,              // degenerate single/few-byte buffers
+            1000usize..40_000,       // not a packet multiple in general
+        ],
+        (min, max) in (1u8..=10, 1u8..=10).prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) }),
+        data in proptest::collection::vec(any::<u8>(), 0..60_000),
+    ) {
+        let mut cfg = AdocConfig::default().with_levels(min, max);
+        cfg.packet_size = packet_size;
+        cfg.buffer_size = buffer_size;
+
+        let mut wire = Vec::new();
+        let mut src = &data[..];
+        send_message(&mut wire, &mut src, data.len() as u64, &cfg).unwrap();
+        prop_assert_eq!(
+            cfg.pool.stats().outstanding, 0,
+            "sender leaked pooled buffers"
+        );
+
+        let mut out = Vec::new();
+        let got = receive_message(&mut Cursor::new(wire), &mut out, &cfg).unwrap();
+        prop_assert_eq!(got, Some(data.len() as u64));
+        prop_assert_eq!(out, data, "delivery must be byte-exact");
+        prop_assert_eq!(
+            cfg.pool.stats().outstanding, 0,
+            "receiver leaked pooled buffers"
         );
     }
 }
