@@ -1,8 +1,12 @@
 //! Criterion companion to **Figure 3**: echo bandwidth on the 100 Mbit
 //! LAN profile at three representative sizes (the full sweep lives in the
-//! `fig3_lan100` binary).
+//! `fig3_lan100` binary), plus the multi-stream scenario axis: a stream
+//! sweep (`streams = 1, 2, 4`) with compression throttled to be the
+//! bottleneck, where aggregate throughput should scale with the stream
+//! count.
 
-use adoc_bench::runner::{echo_adoc, echo_posix, Method};
+use adoc::{AdocConfig, SleepThrottle};
+use adoc_bench::runner::{echo_adoc, echo_posix, striped_oneway, Method};
 use adoc_data::{generate, DataKind};
 use adoc_sim::netprofiles::NetProfile;
 use criterion::{
@@ -37,5 +41,33 @@ fn bench_fig3(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig3);
+fn bench_stream_sweep(c: &mut Criterion) {
+    // One 100 Mbit link *per stream* and a 4× CPU throttle on the
+    // sender: single-stream transfers are compression-bound, so striping
+    // adds both compression threads and line rate. One-way transfers;
+    // throughput is size / time.
+    let link = NetProfile::Lan100.link_cfg();
+    let mut g = c.benchmark_group("fig3_lan100_streams");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(8));
+
+    let size = 4 << 20;
+    let ascii = Arc::new(generate(DataKind::Ascii, size, 5));
+    let throttled = AdocConfig::default()
+        .with_levels(6, 6)
+        .with_throttle(Arc::new(SleepThrottle::new(4.0)));
+    let plain = AdocConfig::default();
+    for streams in [1usize, 2, 4] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("throttled_ascii_4MiB", streams),
+            &ascii,
+            |b, p| b.iter(|| striped_oneway(&link, p, streams, 1, &throttled, &plain)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_stream_sweep);
 criterion_main!(benches);

@@ -13,5 +13,7 @@ pub mod figures;
 pub mod runner;
 pub mod table;
 
-pub use runner::{echo_adoc, echo_posix, pingpong_latency, EchoOutcome, Method};
+pub use runner::{
+    echo_adoc, echo_posix, pingpong_latency, stream_group_pair, striped_oneway, EchoOutcome, Method,
+};
 pub use table::{fmt_mbits, Table};

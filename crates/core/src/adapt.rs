@@ -67,8 +67,15 @@ pub struct LevelController {
     last_len: Option<usize>,
     /// Until when each level is forbidden by the divergence guard.
     forbidden_until: [Option<Instant>; 11],
-    /// Packets remaining at the minimum level after a ratio-guard trip.
+    /// Wire packets remaining at the minimum level after a ratio-guard
+    /// trip (§5: the next 10 *packets*, not buffers).
     penalty_packets: u32,
+    /// True only while the *current* buffer's level was pinned by the
+    /// penalty: [`Self::packets_pushed`] drains the window only then, so
+    /// the packets of the buffer that tripped the guard (pushed after
+    /// `report_ratio` but chosen before it) never consume the penalty
+    /// they just started.
+    penalty_draining: bool,
     /// After a trip, buffers are pre-checked cheaply (paper: the per-
     /// packet ratio check aborts compression early) until one passes.
     suspicious: bool,
@@ -86,6 +93,7 @@ impl LevelController {
             last_len: None,
             forbidden_until: [None; 11],
             penalty_packets: 0,
+            penalty_draining: false,
             suspicious: false,
             divergence_reverts: 0,
             ratio_trips: 0,
@@ -103,12 +111,19 @@ impl LevelController {
         let now = Instant::now();
 
         // Incompressible-data penalty takes precedence (§5): minimum level
-        // until the penalty packets have been sent.
+        // until the penalty packets have been sent. `last_len` is cleared
+        // (not updated) for the window's duration: queue lengths observed
+        // while pinned reflect raw-speed emission, and comparing the
+        // first post-penalty length against them would fabricate a large
+        // delta that yanks the level around. The first free buffer
+        // restarts with delta = 0 instead.
         if self.penalty_packets > 0 {
-            self.last_len = Some(queue_len);
+            self.last_len = None;
+            self.penalty_draining = true;
             self.level = cfg.min_level;
             return self.level;
         }
+        self.penalty_draining = false;
 
         let delta = match self.last_len {
             Some(prev) => queue_len as isize - prev as isize,
@@ -163,6 +178,9 @@ impl LevelController {
         if ratio < cfg.ratio_guard {
             if self.level > cfg.min_level {
                 self.penalty_packets = cfg.ratio_penalty_packets;
+                // The buffer that tripped was chosen *before* the trip;
+                // its packets must not drain the window it just opened.
+                self.penalty_draining = false;
                 self.ratio_trips += 1;
             }
             self.suspicious = true;
@@ -178,9 +196,13 @@ impl LevelController {
         self.suspicious
     }
 
-    /// Notes that `n` packets were pushed (drains the penalty window).
+    /// Notes that `n` wire packets were pushed for the current buffer.
+    /// Drains the penalty window only when that buffer was itself pinned
+    /// by the penalty (§5 counts the 10 packets that *follow* the trip).
     pub fn packets_pushed(&mut self, n: u32) {
-        self.penalty_packets = self.penalty_packets.saturating_sub(n);
+        if self.penalty_draining {
+            self.penalty_packets = self.penalty_packets.saturating_sub(n);
+        }
     }
 }
 
@@ -312,6 +334,72 @@ mod tests {
         let l = c.next_level(30, &bw, &cfg);
         // Penalty over: the controller resumes normal adaptation.
         assert!(l <= 2, "fresh climb from min level, got {l}");
+    }
+
+    #[test]
+    fn tripping_buffers_own_packets_do_not_drain_penalty() {
+        // Regression: the buffer that trips the guard reports its ratio
+        // *after* its level was chosen, then pushes its own packets. With
+        // the default 200 KB buffer / 8 KB packet geometry that is 25
+        // packets — more than the whole 10-packet penalty — so draining
+        // on those pushes silently cancelled the penalty before it ever
+        // pinned a buffer.
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 6;
+        c.report_ratio(0.5, &cfg); // trip during buffer k
+        c.packets_pushed(25); // buffer k's own packets hit the queue
+        assert_eq!(
+            c.next_level(25, &bw, &cfg),
+            cfg.min_level,
+            "the buffer after the trip must still be pinned"
+        );
+    }
+
+    #[test]
+    fn penalty_counts_post_trip_wire_packets() {
+        // With 4-packet buffers the 10-packet window must pin exactly
+        // ceil(10 / 4) = 3 subsequent buffers.
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 6;
+        c.report_ratio(0.5, &cfg);
+        c.packets_pushed(4); // tripping buffer: must not drain
+        let mut pinned = 0;
+        for _ in 0..6 {
+            let l = c.next_level(25, &bw, &cfg);
+            if l == cfg.min_level && c.penalty_packets > 0 || c.penalty_draining {
+                pinned += 1;
+            }
+            if !c.penalty_draining {
+                break;
+            }
+            c.packets_pushed(4);
+        }
+        assert_eq!(pinned, 3, "10 packets at 4 per buffer pin 3 buffers");
+    }
+
+    #[test]
+    fn post_penalty_delta_starts_fresh() {
+        // Regression: queue lengths recorded while the penalty pinned the
+        // level must not seed the first post-penalty delta. Here the
+        // queue was short (5) during the window and long (25) after; a
+        // stale delta of +20 in the mid..high band would jump the level
+        // by 2 immediately.
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 6;
+        c.report_ratio(0.5, &cfg);
+        assert_eq!(c.next_level(5, &bw, &cfg), cfg.min_level);
+        c.packets_pushed(cfg.ratio_penalty_packets); // window fully drained
+        let l = c.next_level(25, &bw, &cfg);
+        assert_eq!(
+            l, cfg.min_level,
+            "first free buffer must see delta 0, not a stale jump"
+        );
     }
 
     #[test]

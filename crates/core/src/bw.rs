@@ -131,6 +131,24 @@ impl BandwidthMonitor {
     pub fn total_raw_bytes(&self) -> u64 {
         self.total_raw.load(Ordering::Relaxed)
     }
+
+    /// Aggregate visible bandwidth at `level` across a stream group's
+    /// per-stream monitors: parallel streams move raw data concurrently,
+    /// so group throughput is the *sum* of the per-stream rates that have
+    /// been observed.
+    pub fn aggregate_visible(monitors: &[BandwidthMonitor], level: u8) -> Option<f64> {
+        let rates: Vec<f64> = monitors.iter().filter_map(|m| m.visible(level)).collect();
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates.iter().sum())
+        }
+    }
+
+    /// Raw bytes observed by every monitor of a stream group combined.
+    pub fn aggregate_total_raw_bytes(monitors: &[BandwidthMonitor]) -> u64 {
+        monitors.iter().map(|m| m.total_raw_bytes()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +211,23 @@ mod tests {
         let m = BandwidthMonitor::new();
         m.record(4, 10, Duration::from_nanos(10));
         assert!(m.visible(4).is_none());
+    }
+
+    #[test]
+    fn aggregate_sums_across_stream_monitors() {
+        let a = BandwidthMonitor::new();
+        let b = BandwidthMonitor::new();
+        let c = BandwidthMonitor::new();
+        a.record(3, 1_000_000, Duration::from_millis(100)); // 80 Mbit
+        b.record(3, 500_000, Duration::from_millis(100)); // 40 Mbit
+        let group = [a, b, c];
+        let agg = BandwidthMonitor::aggregate_visible(&group, 3).unwrap();
+        assert!((agg - 120e6).abs() / 120e6 < 1e-6, "{agg}");
+        assert!(BandwidthMonitor::aggregate_visible(&group, 5).is_none());
+        assert_eq!(
+            BandwidthMonitor::aggregate_total_raw_bytes(&group),
+            1_500_000
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! can drive different descriptors concurrently.
 
 use crate::config::AdocConfig;
-use crate::socket::{AdocSocket, SendReport};
+use crate::socket::{AdocSocket, AdocStreamGroup, SendReport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::File;
@@ -47,6 +47,36 @@ impl<R: Read + Send, W: Write + Send> AdocStreamObj for AdocSocket<R, W> {
 
     fn receive_file(&mut self, f: &mut dyn WriteSend) -> io::Result<u64> {
         AdocSocket::receive_file(self, &mut WriteShim(f))
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        self.close_mut()
+    }
+
+    fn min_level(&self) -> u8 {
+        self.config().min_level
+    }
+
+    fn max_level(&self) -> u8 {
+        self.config().max_level
+    }
+}
+
+impl<R: Read + Send, W: Write + Send> AdocStreamObj for AdocStreamGroup<R, W> {
+    fn write_levels(&mut self, data: &[u8], min: u8, max: u8) -> io::Result<SendReport> {
+        AdocStreamGroup::write_levels(self, data, min, max)
+    }
+
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        AdocStreamGroup::read(self, out)
+    }
+
+    fn send_file_levels(&mut self, f: &mut File, min: u8, max: u8) -> io::Result<SendReport> {
+        AdocStreamGroup::send_file_levels(self, f, min, max)
+    }
+
+    fn receive_file(&mut self, f: &mut dyn WriteSend) -> io::Result<u64> {
+        AdocStreamGroup::receive_file(self, &mut WriteShim(f))
     }
 
     fn close(&mut self) -> io::Result<()> {
@@ -117,6 +147,23 @@ where
         .lock()
         .insert(d, Arc::new(Mutex::new(Box::new(sock))));
     d
+}
+
+/// Registers a striped stream group as one descriptor: the paper's API
+/// with multi-stream transport underneath. For `pairs.len() >= 2` the
+/// construction performs the group handshake (both endpoints must build
+/// their group concurrently).
+pub fn adoc_register_group<R, W>(pairs: Vec<(R, W)>, cfg: AdocConfig) -> io::Result<i32>
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let group = AdocStreamGroup::from_pairs(pairs, cfg)?;
+    let d = NEXT_FD.fetch_add(1, Ordering::Relaxed);
+    registry()
+        .lock()
+        .insert(d, Arc::new(Mutex::new(Box::new(group))));
+    Ok(d)
 }
 
 /// `ssize_t adoc_write(int d, void *buf, size_t nbytes, ssize_t *slen)`:
@@ -279,6 +326,44 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn group_descriptors_stripe_transparently() {
+        // The paper's descriptor API over a 2-stream group: both
+        // handshakes run concurrently, then plain adoc_write/adoc_read.
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for _ in 0..2 {
+            let (a, b) = duplex_pipe(1 << 20);
+            left.push(a.split());
+            right.push(b.split());
+        }
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let cfg2 = cfg.clone();
+        let (tx, rx) = thread::scope(|s| {
+            let l = s.spawn(move || adoc_register_group(left, cfg2).unwrap());
+            let r = adoc_register_group(right, cfg).unwrap();
+            (l.join().unwrap(), r)
+        });
+        let data = b"striped descriptor payload ".repeat(40_000); // ~1 MB
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            let mut slen = 0i64;
+            adoc_write(tx, &data2, Some(&mut slen)).unwrap();
+            assert!(slen > 0);
+            adoc_close(tx).unwrap();
+        });
+        let mut buf = vec![0u8; data.len()];
+        let mut total = 0;
+        while total < data.len() {
+            let n = adoc_read(rx, &mut buf[total..]).unwrap();
+            assert!(n > 0);
+            total += n;
+        }
+        t.join().unwrap();
+        assert_eq!(buf, data);
+        adoc_close(rx).unwrap();
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct AdocConfig {
     /// Upper bound accepted for a peer's message size (protects the
     /// receiver from corrupt headers).
     pub max_message: u64,
+    /// Parallel TCP streams one logical connection stripes over (1 =
+    /// the paper's single-socket pipeline and its exact v1 wire format;
+    /// ≥ 2 = one compression thread, emission queue and level controller
+    /// *per stream*, v2 framing, negotiated at connect time — see
+    /// [`crate::wire`]).
+    pub streams: usize,
     /// CPU-speed model charged per unit of (de)compression work
     /// (simulation hook; defaults to none).
     pub throttle: Arc<dyn Throttle>,
@@ -79,6 +85,7 @@ impl std::fmt::Debug for AdocConfig {
             .field("probe_size", &self.probe_size)
             .field("fast_bps", &self.fast_bps)
             .field("queue_cap", &self.queue_cap)
+            .field("streams", &self.streams)
             .finish_non_exhaustive()
     }
 }
@@ -102,6 +109,7 @@ impl Default for AdocConfig {
             forbid_duration: Duration::from_secs(1),
             divergence_margin: 1.10,
             max_message: 1 << 40,
+            streams: 1,
             throttle: Arc::new(NoThrottle),
             pool: BufferPool::default(),
         }
@@ -120,6 +128,13 @@ impl AdocConfig {
     /// Installs a CPU-speed model (heterogeneous-host experiments).
     pub fn with_throttle(mut self, t: Arc<dyn Throttle>) -> Self {
         self.throttle = t;
+        self
+    }
+
+    /// Sets the number of parallel streams (1..=255) a connection built
+    /// from this config stripes over.
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
         self
     }
 
@@ -153,6 +168,10 @@ impl AdocConfig {
         assert!(
             self.ratio_guard == 0.0 || self.ratio_guard >= 1.0,
             "ratio_guard must be 0 (disabled) or >= 1"
+        );
+        assert!(
+            self.streams >= 1 && self.streams <= 255,
+            "streams must be in 1..=255 (stream ids are u8)"
         );
     }
 }
@@ -191,5 +210,18 @@ mod tests {
     #[should_panic(expected = "min_level > max_level")]
     fn invalid_levels_rejected() {
         AdocConfig::default().with_levels(5, 2).validate();
+    }
+
+    #[test]
+    fn stream_counts_validate() {
+        assert_eq!(AdocConfig::default().streams, 1, "default stays v1");
+        AdocConfig::default().with_streams(4).validate();
+        AdocConfig::default().with_streams(255).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "streams must be in 1..=255")]
+    fn zero_streams_rejected() {
+        AdocConfig::default().with_streams(0).validate();
     }
 }

@@ -1,0 +1,93 @@
+//! Structured AdOC errors.
+//!
+//! The transfer paths speak `io::Result` end to end (they wrap sockets),
+//! so these errors travel inside [`std::io::Error`] as the custom payload;
+//! [`AdocError::from_io`] recovers the typed form on the far side of any
+//! `?`-chain.
+
+use std::fmt;
+use std::io;
+
+/// Errors AdOC raises itself (as opposed to forwarding from the
+/// underlying socket or codec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdocError {
+    /// A compression buffer's raw or encoded size exceeds what the u32
+    /// frame-header length fields can carry (≥ 4 GiB). Raised by the
+    /// sender *before* encoding instead of silently truncating on the
+    /// wire. Shrink `AdocConfig::buffer_size`.
+    FrameTooLarge {
+        /// The offending length in bytes.
+        len: u64,
+    },
+    /// The two endpoints of a stream group announced different stream
+    /// counts during the connect handshake.
+    StreamCountMismatch {
+        /// Stream count this endpoint announced.
+        ours: u8,
+        /// Stream count the peer announced.
+        theirs: u8,
+    },
+}
+
+impl fmt::Display for AdocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdocError::FrameTooLarge { len } => write!(
+                f,
+                "frame of {len} bytes exceeds the u32 wire limit ({} bytes); \
+                 reduce AdocConfig::buffer_size",
+                crate::wire::MAX_FRAME_LEN
+            ),
+            AdocError::StreamCountMismatch { ours, theirs } => write!(
+                f,
+                "stream-group negotiation failed: we announced {ours} streams, peer announced {theirs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdocError {}
+
+impl From<AdocError> for io::Error {
+    fn from(e: AdocError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, e)
+    }
+}
+
+impl AdocError {
+    /// Recovers an [`AdocError`] carried inside an [`io::Error`], if any.
+    pub fn from_io(e: &io::Error) -> Option<&AdocError> {
+        e.get_ref()?.downcast_ref::<AdocError>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_io_error() {
+        let e: io::Error = AdocError::FrameTooLarge { len: 5 << 30 }.into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+        match AdocError::from_io(&e) {
+            Some(AdocError::FrameTooLarge { len }) => assert_eq!(*len, 5 << 30),
+            other => panic!("lost the typed error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_io_errors_are_not_misidentified() {
+        let plain = io::Error::new(io::ErrorKind::InvalidInput, "something else");
+        assert!(AdocError::from_io(&plain).is_none());
+    }
+
+    #[test]
+    fn display_mentions_the_limit() {
+        let msg = AdocError::FrameTooLarge { len: 1 << 33 }.to_string();
+        assert!(msg.contains("4294967295"), "{msg}");
+        let msg = AdocError::StreamCountMismatch { ours: 4, theirs: 2 }.to_string();
+        assert!(msg.contains('4') && msg.contains('2'), "{msg}");
+    }
+}

@@ -28,9 +28,13 @@
 //! ## Two APIs
 //!
 //! * [`AdocSocket`] — idiomatic: wraps any `Read`/`Write` pair.
+//!   [`AdocStreamGroup`] stripes one logical connection over `N`
+//!   parallel streams (per-stream compression pipelines and congestion
+//!   windows; in-order reassembly via sequence numbers — see [`wire`]).
 //! * [`capi`] — the paper's seven functions over integer descriptors
 //!   (`adoc_write`, `adoc_read`, `adoc_send_file`, …), thread-safe via a
-//!   locked global registry like the C library's static table.
+//!   locked global registry like the C library's static table;
+//!   [`adoc_register_group`] puts a stream group behind a descriptor.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@ pub mod adapt;
 pub mod bw;
 pub mod capi;
 pub mod config;
+pub mod error;
 pub mod pool;
 pub mod queue;
 pub mod receiver;
@@ -65,13 +70,14 @@ pub mod throttle;
 pub mod wire;
 
 pub use capi::{
-    adoc_close, adoc_read, adoc_receive_file, adoc_register, adoc_register_cfg, adoc_send_file,
-    adoc_send_file_levels, adoc_write, adoc_write_levels,
+    adoc_close, adoc_read, adoc_receive_file, adoc_register, adoc_register_cfg,
+    adoc_register_group, adoc_send_file, adoc_send_file_levels, adoc_write, adoc_write_levels,
 };
 pub use config::AdocConfig;
+pub use error::AdocError;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
-pub use socket::{AdocSocket, SendReport};
-pub use stats::TransferStats;
+pub use socket::{AdocSocket, AdocStreamGroup, SendReport};
+pub use stats::{StreamSendStats, TransferStats};
 pub use throttle::{NoThrottle, SleepThrottle, Throttle};
 
 /// Lowest compression level (no compression).

@@ -2,6 +2,22 @@
 //! compression thread (producer) and the emission thread (consumer), and —
 //! crucially — the *sensor* of the adaptation loop: its length and growth
 //! drive the compression level (§3.3).
+//!
+//! [`BoundedQueue`] is the generic bounded blocking channel; the striped
+//! sender also uses it to hand raw frames to per-stream pipelines.
+//! Shutdown is two-sided and panic-safe:
+//!
+//! * the **producer** calls [`BoundedQueue::close`] (or holds a
+//!   [`CloseOnDrop`] guard): consumers drain what remains, then see
+//!   `None`; further pushes fail with [`PushError::Closed`];
+//! * the **consumer** calls [`BoundedQueue::poison`] (or holds a
+//!   [`PoisonOnDrop`] guard) on failure: queued items are dropped and a
+//!   producer blocked in `push` on a full queue wakes immediately with
+//!   [`PushError::Closed`] instead of deadlocking on a peer that will
+//!   never pop again.
+//!
+//! Both `close` and `poison` wake *all* waiters on *both* condvars; both
+//! are idempotent, so the drop guards can fire after an explicit call.
 
 use crate::pool::PooledBuf;
 use parking_lot::{Condvar, Mutex};
@@ -84,21 +100,26 @@ impl Packet {
 }
 
 #[derive(Debug)]
-struct QueueInner {
-    items: VecDeque<Packet>,
+struct QueueInner<T> {
+    items: VecDeque<T>,
     closed: bool,
     /// Set by the consumer on I/O failure so the producer stops promptly.
     poisoned: bool,
 }
 
-/// Bounded MPSC-ish FIFO (one producer, one consumer in AdOC).
+/// Bounded MPSC-ish blocking FIFO (one producer, one consumer per queue
+/// in AdOC; a striped sender runs one queue per stream).
 #[derive(Debug)]
-pub struct PacketQueue {
-    inner: Mutex<QueueInner>,
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     cap: usize,
 }
+
+/// The packet FIFO between one compression thread and one emission
+/// thread.
+pub type PacketQueue = BoundedQueue<Packet>;
 
 /// Why a blocking push did not enqueue.
 #[derive(Debug, PartialEq, Eq)]
@@ -107,11 +128,11 @@ pub enum PushError {
     Closed,
 }
 
-impl PacketQueue {
-    /// Creates a queue bounded at `cap` packets.
+impl<T> BoundedQueue<T> {
+    /// Creates a queue bounded at `cap` items.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
-        PacketQueue {
+        BoundedQueue {
             inner: Mutex::new(QueueInner {
                 items: VecDeque::new(),
                 closed: false,
@@ -123,8 +144,9 @@ impl PacketQueue {
         }
     }
 
-    /// Blocking push; fails if the consumer has gone away.
-    pub fn push(&self, p: Packet) -> Result<(), PushError> {
+    /// Blocking push; fails once the queue is closed or the consumer has
+    /// gone away (poisoned) — including while blocked waiting for space.
+    pub fn push(&self, p: T) -> Result<(), PushError> {
         let mut g = self.inner.lock();
         loop {
             if g.poisoned || g.closed {
@@ -140,8 +162,9 @@ impl PacketQueue {
         }
     }
 
-    /// Blocking pop; `None` once the queue is closed and drained.
-    pub fn pop(&self) -> Option<Packet> {
+    /// Blocking pop; `None` once the queue is closed and drained, or
+    /// poisoned.
+    pub fn pop(&self) -> Option<T> {
         let mut g = self.inner.lock();
         loop {
             if let Some(p) = g.items.pop_front() {
@@ -156,17 +179,24 @@ impl PacketQueue {
         }
     }
 
-    /// Current number of queued packets — the adaptation signal.
+    /// Current number of queued items — the adaptation signal.
     pub fn len(&self) -> usize {
         self.inner.lock().items.len()
     }
 
-    /// True when no packets are queued.
+    /// True when no items are queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// True once the consumer reported failure via [`Self::poison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+
     /// Producer signals end of stream; the consumer drains what remains.
+    /// Wakes every waiter on both sides (a producer blocked in [`Self::push`]
+    /// on a full queue returns [`PushError::Closed`]). Idempotent.
     pub fn close(&self) {
         let mut g = self.inner.lock();
         g.closed = true;
@@ -176,7 +206,7 @@ impl PacketQueue {
     }
 
     /// Consumer signals failure; pending and future pushes fail fast and
-    /// queued packets are dropped.
+    /// queued items are dropped. Idempotent.
     pub fn poison(&self) {
         let mut g = self.inner.lock();
         g.poisoned = true;
@@ -184,6 +214,44 @@ impl PacketQueue {
         drop(g);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Guard that [`Self::close`]s this queue when dropped — hold it in
+    /// the producer thread so *every* exit (early return, `?`, panic)
+    /// releases a consumer blocked in `pop`.
+    pub fn close_on_drop(&self) -> CloseOnDrop<'_, T> {
+        CloseOnDrop { q: self }
+    }
+
+    /// Guard that [`Self::poison`]s this queue when dropped — hold it in
+    /// the consumer thread so *every* exit (early return, `?`, panic)
+    /// releases a producer blocked in `push` on a full queue.
+    pub fn poison_on_drop(&self) -> PoisonOnDrop<'_, T> {
+        PoisonOnDrop { q: self }
+    }
+}
+
+/// See [`BoundedQueue::close_on_drop`].
+#[must_use = "the guard closes the queue when dropped"]
+pub struct CloseOnDrop<'a, T> {
+    q: &'a BoundedQueue<T>,
+}
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.q.close();
+    }
+}
+
+/// See [`BoundedQueue::poison_on_drop`].
+#[must_use = "the guard poisons the queue when dropped"]
+pub struct PoisonOnDrop<'a, T> {
+    q: &'a BoundedQueue<T>,
+}
+
+impl<T> Drop for PoisonOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.q.poison();
     }
 }
 
@@ -247,6 +315,23 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_producer_blocked_on_full_queue() {
+        // The shutdown-path regression: a producer stuck in `push`
+        // because the queue is full must wake with an error when the
+        // queue is closed, not sleep forever on `not_full`.
+        let q = Arc::new(PacketQueue::new(1));
+        q.push(pkt(0)).unwrap();
+        let q2 = q.clone();
+        let t = thread::spawn(move || q2.push(pkt(1)));
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(PushError::Closed));
+        // The item queued before close still drains.
+        assert_eq!(q.pop().unwrap().bytes()[0], 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn poison_unblocks_producer() {
         let q = Arc::new(PacketQueue::new(1));
         q.push(pkt(0)).unwrap();
@@ -256,6 +341,54 @@ mod tests {
         q.poison();
         assert_eq!(t.join().unwrap(), Err(PushError::Closed));
         assert!(q.pop().is_none(), "poisoned queue drops queued packets");
+        assert!(q.is_poisoned());
+    }
+
+    #[test]
+    fn guards_fire_on_panic() {
+        // A consumer that panics mid-message must still poison the queue
+        // (unblocking the producer); same for a panicking producer and
+        // close. This is what keeps a dying emission thread from
+        // stranding the compression thread forever.
+        let q = Arc::new(PacketQueue::new(1));
+        let qc = q.clone();
+        let consumer = thread::spawn(move || {
+            let _guard = qc.poison_on_drop();
+            let _ = qc.pop();
+            panic!("simulated consumer death");
+        });
+        q.push(pkt(0)).unwrap();
+        // Producer keeps pushing until the guard-driven poison errors it
+        // out; without the guard this loop would block forever.
+        loop {
+            if q.push(pkt(1)).is_err() {
+                break;
+            }
+        }
+        assert!(consumer.join().is_err(), "consumer must have panicked");
+        assert!(q.is_poisoned());
+
+        let q = Arc::new(PacketQueue::new(1));
+        let qp = q.clone();
+        let producer = thread::spawn(move || {
+            let _guard = qp.close_on_drop();
+            qp.push(pkt(7)).unwrap();
+            panic!("simulated producer death");
+        });
+        assert_eq!(q.pop().unwrap().bytes()[0], 7);
+        assert!(q.pop().is_none(), "close guard must end the stream");
+        assert!(producer.join().is_err(), "producer must have panicked");
+    }
+
+    #[test]
+    fn generic_queue_carries_arbitrary_items() {
+        let q: BoundedQueue<(u64, Vec<u8>)> = BoundedQueue::new(2);
+        q.push((1, vec![1])).unwrap();
+        q.push((2, vec![2, 2])).unwrap();
+        assert_eq!(q.pop().unwrap().0, 1);
+        q.close();
+        assert_eq!(q.pop().unwrap().0, 2);
+        assert!(q.pop().is_none());
     }
 
     #[test]

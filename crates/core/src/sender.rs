@@ -2,17 +2,34 @@
 //! the FIFO queue, an emission thread draining it onto the socket, plus
 //! the §5 heuristics — direct path, 256 KB probe, fast-network bypass,
 //! divergence and ratio guards.
+//!
+//! [`send_message`] drives the paper's single-stream pipeline (v1 wire
+//! format). [`send_message_multi`] stripes one logical message over `N`
+//! parallel streams: a dispatcher reads 200 KB buffers in order and
+//! round-robins frame `s` onto stream `s % N`, where each stream runs its
+//! **own** compression thread, emission queue, [`LevelController`] and
+//! [`BandwidthMonitor`] — so both the compression CPU and the congestion
+//! windows scale with the stream count. Frames carry v2 headers (stream
+//! id + global sequence number) and every stream ends the message with a
+//! FIN marker; the receiver reassembles by sequence number. All pipelines
+//! draw their buffers from the one shared [`BufferPool`] in the config.
 
 use crate::adapt::LevelController;
 use crate::bw::BandwidthMonitor;
 use crate::config::AdocConfig;
-use crate::pool::BufferPool;
-use crate::queue::{Packet, PacketQueue};
-use crate::stats::TransferStats;
-use crate::wire::{self, FrameHeader, MsgKind};
+use crate::error::AdocError;
+use crate::pool::{BufferPool, PooledBuf};
+use crate::queue::{BoundedQueue, Packet, PacketQueue};
+use crate::stats::{StreamSendStats, TransferStats};
+use crate::wire::{self, FrameHeader, FrameHeaderV2, MsgKind};
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Raw frames buffered between the striped dispatcher and each stream's
+/// compression thread. Small: the dispatcher reads ahead just enough to
+/// keep every compression thread busy.
+const RAW_QUEUE_FRAMES: usize = 2;
 
 /// What one message send did (merged into [`TransferStats`]).
 #[derive(Debug, Clone, Default)]
@@ -33,11 +50,14 @@ pub struct SendOutcome {
     pub divergence_reverts: u64,
     /// Ratio-guard trips during this message.
     pub ratio_trips: u64,
-    /// Raw bytes whose emission the [`BandwidthMonitor`] observed. For a
-    /// forced-compression message (no probe, no fast path) this equals
-    /// the message's raw length exactly — the invariant the divergence
-    /// guard depends on.
+    /// Raw bytes whose emission the [`BandwidthMonitor`]s observed
+    /// (summed over streams). For a forced-compression message (no probe,
+    /// no fast path) this equals the message's raw length exactly — the
+    /// invariant the divergence guard depends on.
     pub bw_raw_bytes: u64,
+    /// Per-stream accounting for striped sends; empty for single-stream
+    /// messages (stream 0 then carries everything).
+    pub per_stream: Vec<StreamSendStats>,
 }
 
 impl SendOutcome {
@@ -65,6 +85,7 @@ impl SendOutcome {
         );
         stats.divergence_reverts += self.divergence_reverts;
         stats.ratio_trips += self.ratio_trips;
+        stats.merge_per_stream(&self.per_stream);
     }
 }
 
@@ -89,6 +110,38 @@ where
     send_adaptive(writer, source, raw_len, cfg)
 }
 
+/// Sends one message striped over a group of parallel streams
+/// (`writers[0]` is the primary stream; see the module docs). With one
+/// writer this is exactly [`send_message`] — byte-identical v1 wire
+/// format.
+pub fn send_message_multi<W, S>(
+    writers: &mut [W],
+    source: &mut S,
+    raw_len: u64,
+    cfg: &AdocConfig,
+) -> io::Result<SendOutcome>
+where
+    W: Write + Send,
+    S: Read + Send,
+{
+    assert!(
+        !writers.is_empty(),
+        "a stream group needs at least 1 stream"
+    );
+    assert!(writers.len() <= 255, "stream ids are u8");
+    if writers.len() == 1 {
+        return send_message(&mut writers[0], source, raw_len, cfg);
+    }
+    // Small and disabled-compression messages take the direct path on the
+    // primary stream alone: striping tiny messages buys nothing.
+    let direct = cfg.compression_disabled()
+        || (!cfg.compression_forced() && raw_len < cfg.probe_threshold as u64);
+    if direct {
+        return send_direct(&mut writers[0], source, raw_len, cfg);
+    }
+    send_adaptive_striped(writers, source, raw_len, cfg)
+}
+
 /// §5 "Small messages": header + raw bytes, no threads, latency identical
 /// to plain write.
 fn send_direct<W: Write, S: Read>(
@@ -108,6 +161,16 @@ fn send_direct<W: Write, S: Read>(
     })
 }
 
+/// Next frame's raw size, checked against the u32 wire limit (a silent
+/// `as u32` truncation here used to corrupt ≥ 4 GiB buffers).
+fn next_frame_size(buffer_size: usize, remaining: u64) -> io::Result<usize> {
+    let want = (buffer_size as u64).min(remaining);
+    if want > wire::MAX_FRAME_LEN {
+        return Err(AdocError::FrameTooLarge { len: want }.into());
+    }
+    Ok(want as usize)
+}
+
 fn send_adaptive<W, S>(
     writer: &mut W,
     source: &mut S,
@@ -123,53 +186,38 @@ where
     out.wire_bytes += wire::MSG_HEADER_LEN as u64;
 
     // Probe (§5 "Fast Networks") — skipped when compression is forced.
-    let probe_len = if cfg.compression_forced() {
-        0u64
-    } else {
-        (cfg.probe_size as u64).min(raw_len)
-    };
-    wire::write_u32(writer, probe_len as u32)?;
-    out.wire_bytes += 4;
-    if probe_len > 0 {
-        let t0 = Instant::now();
-        copy_exact(source, writer, probe_len, cfg.packet_size, &cfg.pool)?;
-        writer.flush()?;
-        let secs = t0.elapsed().as_secs_f64().max(1e-9);
-        let bps = probe_len as f64 * 8.0 / secs;
-        out.probe_bps = Some(bps);
-        out.wire_bytes += probe_len;
-
-        if bps > cfg.fast_bps {
-            // Too fast to compress: ship the rest as raw frames. Each
-            // frame is assembled (header in place, payload read straight
-            // in behind it) in a pooled buffer and put on the wire with a
-            // single write; the buffer returns to the pool at the end of
-            // the iteration, so a multi-buffer send touches the allocator
-            // at most once.
-            out.fast_path = true;
-            let mut remaining = raw_len - probe_len;
-            let mut frame = cfg.pool.get(wire::FRAME_HEADER_LEN + cfg.buffer_size);
-            while remaining > 0 {
-                let want = (cfg.buffer_size as u64).min(remaining) as usize;
-                // Same-size resize is a no-op, so the zero-fill happens
-                // once per message, not once per frame.
-                frame.resize(wire::FRAME_HEADER_LEN + want, 0);
-                source.read_exact(&mut frame[wire::FRAME_HEADER_LEN..])?;
-                let fh = FrameHeader {
-                    level: 0,
-                    raw_len: want as u32,
-                    payload_len: want as u32,
-                };
-                frame[..wire::FRAME_HEADER_LEN].copy_from_slice(&fh.encode());
-                writer.write_all(&frame)?;
-                out.wire_bytes += frame.len() as u64;
-                out.buffers_at_level[0] += 1;
-                out.level_events.push((Instant::now(), 0));
-                remaining -= want as u64;
-            }
-            writer.flush()?;
-            return Ok(out);
+    let probe_len = write_probe(writer, source, raw_len, cfg, &mut out)?;
+    if out.fast_path {
+        // Too fast to compress: ship the rest as raw v1 frames. Each
+        // frame is assembled (header in place, payload read straight in
+        // behind it) in a pooled buffer and put on the wire with a single
+        // write; the buffer returns to the pool at the end of the
+        // iteration, so a multi-buffer send touches the allocator at most
+        // once.
+        let mut remaining = raw_len - probe_len;
+        let mut frame = cfg
+            .pool
+            .get(wire::FRAME_HEADER_LEN + cfg.buffer_size.min(wire::MAX_FRAME_LEN as usize));
+        while remaining > 0 {
+            let want = next_frame_size(cfg.buffer_size, remaining)?;
+            // Same-size resize is a no-op, so the zero-fill happens
+            // once per message, not once per frame.
+            frame.resize(wire::FRAME_HEADER_LEN + want, 0);
+            source.read_exact(&mut frame[wire::FRAME_HEADER_LEN..])?;
+            let fh = FrameHeader {
+                level: 0,
+                raw_len: want as u32,
+                payload_len: want as u32,
+            };
+            frame[..wire::FRAME_HEADER_LEN].copy_from_slice(&fh.encode());
+            writer.write_all(&frame)?;
+            out.wire_bytes += frame.len() as u64;
+            out.buffers_at_level[0] += 1;
+            out.level_events.push((Instant::now(), 0));
+            remaining -= want as u64;
         }
+        writer.flush()?;
+        return Ok(out);
     }
 
     // Full adaptive machinery: compression thread + emission thread
@@ -183,8 +231,11 @@ where
         let emit = s.spawn(|| emission_thread(writer, &queue, &bw));
         (comp.join(), emit.join())
     });
-    let comp = comp_res.expect("compression thread panicked");
-    let emit = emit_res.expect("emission thread panicked");
+    // A panicking thread has already released its peer through the queue
+    // guards; surface the panic as an error instead of aborting the
+    // caller.
+    let emit = emit_res.map_err(|_| io::Error::other("emission thread panicked"))?;
+    let comp = comp_res.map_err(|_| io::Error::other("compression thread panicked"))?;
 
     // An emission failure poisons the queue, which surfaces in the
     // compression thread as Closed; prefer the emission (I/O) error.
@@ -203,12 +254,344 @@ where
     Ok(out)
 }
 
-/// Per-message results the compression thread reports back.
+/// Writes the probe prefix (primary stream), measuring link speed and
+/// setting `out.fast_path` when the link outruns `cfg.fast_bps`. Returns
+/// the probe length.
+fn write_probe<W: Write, S: Read>(
+    writer: &mut W,
+    source: &mut S,
+    raw_len: u64,
+    cfg: &AdocConfig,
+    out: &mut SendOutcome,
+) -> io::Result<u64> {
+    let probe_len = if cfg.compression_forced() {
+        0u64
+    } else {
+        (cfg.probe_size as u64).min(raw_len)
+    };
+    wire::write_u32(writer, probe_len as u32)?;
+    out.wire_bytes += 4;
+    if probe_len > 0 {
+        let t0 = Instant::now();
+        copy_exact(source, writer, probe_len, cfg.packet_size, &cfg.pool)?;
+        writer.flush()?;
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let bps = probe_len as f64 * 8.0 / secs;
+        out.probe_bps = Some(bps);
+        out.wire_bytes += probe_len;
+        out.fast_path = bps > cfg.fast_bps;
+    }
+    Ok(probe_len)
+}
+
+/// One raw compression buffer travelling from the striped dispatcher to a
+/// stream's compression thread.
+struct RawFrame {
+    /// Global in-message frame sequence number.
+    seq: u64,
+    /// Raw payload bytes in `buf` (after the reserved header prefix).
+    want: usize,
+    /// Pooled buffer: `FRAME_HEADER_V2_LEN` reserved bytes, then payload.
+    buf: PooledBuf,
+}
+
+fn send_adaptive_striped<W, S>(
+    writers: &mut [W],
+    source: &mut S,
+    raw_len: u64,
+    cfg: &AdocConfig,
+) -> io::Result<SendOutcome>
+where
+    W: Write + Send,
+    S: Read + Send,
+{
+    let n = writers.len();
+    let mut out = SendOutcome::default();
+    writers[0].write_all(&wire::encode_msg_header(MsgKind::Adaptive, raw_len))?;
+    out.wire_bytes += wire::MSG_HEADER_LEN as u64;
+    let probe_len = write_probe(&mut writers[0], source, raw_len, cfg, &mut out)?;
+    let remaining = raw_len - probe_len;
+    if remaining == 0 {
+        writers[0].flush()?;
+        return Ok(out);
+    }
+
+    if out.fast_path {
+        // Raw v2 frames on the primary stream (compression is not the
+        // bottleneck, so striping buys nothing), FIN on every stream so
+        // the receiver's per-stream readers unblock.
+        let mut left = remaining;
+        let mut seq = 0u64;
+        let mut frame = cfg
+            .pool
+            .get(wire::FRAME_HEADER_V2_LEN + cfg.buffer_size.min(wire::MAX_FRAME_LEN as usize));
+        while left > 0 {
+            let want = next_frame_size(cfg.buffer_size, left)?;
+            frame.resize(wire::FRAME_HEADER_V2_LEN + want, 0);
+            source.read_exact(&mut frame[wire::FRAME_HEADER_V2_LEN..])?;
+            let fh = FrameHeaderV2 {
+                level: 0,
+                stream: 0,
+                seq,
+                raw_len: want as u32,
+                payload_len: want as u32,
+            };
+            frame[..wire::FRAME_HEADER_V2_LEN].copy_from_slice(&fh.encode());
+            writers[0].write_all(&frame)?;
+            out.wire_bytes += frame.len() as u64;
+            out.buffers_at_level[0] += 1;
+            out.level_events.push((Instant::now(), 0));
+            seq += 1;
+            left -= want as u64;
+        }
+        let frames_on_primary = seq;
+        let primary_frame_bytes = remaining + frames_on_primary * wire::FRAME_HEADER_V2_LEN as u64;
+        for (i, w) in writers.iter_mut().enumerate() {
+            let frames = if i == 0 { frames_on_primary } else { 0 };
+            w.write_all(&FrameHeaderV2::fin(i as u8, frames).encode())?;
+            w.flush()?;
+            out.wire_bytes += wire::FRAME_HEADER_V2_LEN as u64;
+            out.per_stream.push(StreamSendStats {
+                stream: i as u8,
+                wire_bytes: wire::FRAME_HEADER_V2_LEN as u64
+                    + if i == 0 { primary_frame_bytes } else { 0 },
+                raw_bytes: if i == 0 { remaining } else { 0 },
+                frames,
+            });
+        }
+        return Ok(out);
+    }
+
+    // Per-stream pipelines around the shared pool: dispatcher (this
+    // thread) → raw queue → compression thread → packet queue → emission
+    // thread → writer i.
+    let raw_queues: Vec<BoundedQueue<RawFrame>> = (0..n)
+        .map(|_| BoundedQueue::new(RAW_QUEUE_FRAMES))
+        .collect();
+    let pkt_queues: Vec<PacketQueue> = (0..n).map(|_| PacketQueue::new(cfg.queue_cap)).collect();
+    let monitors: Vec<BandwidthMonitor> = (0..n).map(|_| BandwidthMonitor::new()).collect();
+
+    let (disp_res, comp_res, emit_res) = std::thread::scope(|s| {
+        let mut comp_handles = Vec::with_capacity(n);
+        let mut emit_handles = Vec::with_capacity(n);
+        for (i, w) in writers.iter_mut().enumerate() {
+            let (rq, pq, bw) = (&raw_queues[i], &pkt_queues[i], &monitors[i]);
+            comp_handles.push(s.spawn(move || stream_compression_thread(i as u8, rq, pq, bw, cfg)));
+            emit_handles.push(s.spawn(move || emission_thread(w, pq, bw)));
+        }
+
+        // Dispatcher: read buffers in order, stripe frame s onto stream
+        // s % n. The guards close every raw queue on *any* exit — error,
+        // panic or success — so no compression thread is ever stranded,
+        // and a panicking source surfaces as io::Error like every other
+        // pipeline stage.
+        let _closers: Vec<_> = raw_queues.iter().map(|q| q.close_on_drop()).collect();
+        let disp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> io::Result<()> {
+            let mut left = remaining;
+            let mut seq = 0u64;
+            while left > 0 {
+                let want = next_frame_size(cfg.buffer_size, left)?;
+                let mut buf = cfg.pool.get(wire::FRAME_HEADER_V2_LEN + want);
+                buf.resize(wire::FRAME_HEADER_V2_LEN, 0);
+                match source.by_ref().take(want as u64).read_to_end(&mut buf) {
+                    Ok(got) if got == want => {}
+                    Ok(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "source ended before the promised message length",
+                        ));
+                    }
+                    Err(e) => return Err(e),
+                }
+                let target = (seq % n as u64) as usize;
+                if raw_queues[target]
+                    .push(RawFrame { seq, want, buf })
+                    .is_err()
+                {
+                    // That stream's pipeline failed; its error is
+                    // authoritative.
+                    return Ok(());
+                }
+                seq += 1;
+                left -= want as u64;
+            }
+            Ok(())
+        }))
+        .unwrap_or_else(|_| Err(io::Error::other("dispatcher stage panicked")));
+        drop(_closers);
+        (
+            disp,
+            comp_handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Vec<_>>(),
+            emit_handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Vec<_>>(),
+        )
+    });
+
+    // Error priority mirrors the single-stream path: emission (socket)
+    // errors first, then compression, then the dispatcher's read error.
+    let mut stream_wire = vec![0u64; n];
+    let mut first_err: Option<io::Error> = None;
+    for (i, res) in emit_res.into_iter().enumerate() {
+        match res.map_err(|_| io::Error::other("emission thread panicked")) {
+            Ok(Ok(bytes)) => stream_wire[i] = bytes,
+            Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    let mut comps = Vec::with_capacity(n);
+    for res in comp_res {
+        match res.map_err(|_| io::Error::other("compression thread panicked")) {
+            Ok(Ok(c)) => comps.push(c),
+            Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    disp_res?;
+    for w in writers.iter_mut() {
+        w.flush()?;
+    }
+
+    out.bw_raw_bytes = BandwidthMonitor::aggregate_total_raw_bytes(&monitors);
+    for (i, comp) in comps.into_iter().enumerate() {
+        out.wire_bytes += stream_wire[i];
+        out.buffers_at_level
+            .iter_mut()
+            .zip(comp.buffers_at_level)
+            .for_each(|(d, s)| *d += s);
+        out.level_events.extend(comp.level_events);
+        out.divergence_reverts += comp.divergence_reverts;
+        out.ratio_trips += comp.ratio_trips;
+        out.per_stream.push(StreamSendStats {
+            stream: i as u8,
+            wire_bytes: stream_wire[i],
+            raw_bytes: monitors[i].total_raw_bytes(),
+            frames: comp.frames,
+        });
+    }
+    // Interleaved pipelines report out of order; the connection timeline
+    // must stay chronological.
+    out.level_events.sort_by_key(|&(t, _)| t);
+    Ok(out)
+}
+
+/// Per-message results a compression thread reports back.
 struct CompOutcome {
     buffers_at_level: [u64; 11],
     level_events: Vec<(Instant, u8)>,
     divergence_reverts: u64,
     ratio_trips: u64,
+    /// Data frames fully handed to the emission queue.
+    frames: u64,
+}
+
+impl CompOutcome {
+    fn new() -> Self {
+        CompOutcome {
+            buffers_at_level: [0u64; 11],
+            level_events: Vec::new(),
+            divergence_reverts: 0,
+            ratio_trips: 0,
+            frames: 0,
+        }
+    }
+
+    fn finish(mut self, ctrl: &LevelController) -> Self {
+        self.divergence_reverts = ctrl.divergence_reverts;
+        self.ratio_trips = ctrl.ratio_trips;
+        self
+    }
+}
+
+/// The §5 ratio-guard stage shared by both pipelines: picks the level for
+/// a raw buffer (suspicious pre-check + full compression + ratio report)
+/// and returns the wire-ready frame body with `header_len` reserved bytes
+/// at the front, plus the level it ended up encoded at.
+fn encode_frame_payload(
+    raw: PooledBuf,
+    want: usize,
+    header_len: usize,
+    mut level: u8,
+    ctrl: &mut LevelController,
+    codec: &mut adoc_codec::Codec,
+    cfg: &AdocConfig,
+) -> io::Result<(PooledBuf, u8)> {
+    // §5 "Compressed and random data", early abort: while the stream
+    // looks incompressible, test a small prefix before paying for a
+    // full-buffer compression.
+    if level > 0 && ctrl.is_suspicious() {
+        let check = (4 * cfg.packet_size).min(want);
+        let t0 = Instant::now();
+        let mut probe = cfg.pool.get(check + 64);
+        codec.compress_at(level, &raw[header_len..header_len + check], &mut probe);
+        cfg.throttle.charge(t0.elapsed());
+        let check_ratio = check as f64 / probe.len() as f64;
+        ctrl.report_ratio(check_ratio, cfg);
+        if cfg.ratio_guard > 0.0 && check_ratio < cfg.ratio_guard {
+            level = 0; // still incompressible: ship the buffer raw
+        }
+    }
+
+    // `frame` ends up holding header + payload; at level 0 that is the
+    // raw buffer itself (zero copies), otherwise a second pooled buffer
+    // the codec encoded into (the only data movement is the compression
+    // itself).
+    let mut frame = raw;
+    if level > 0 {
+        let t0 = Instant::now();
+        let mut enc = cfg.pool.get(header_len + want / 2 + 64);
+        enc.resize(header_len, 0);
+        codec.compress_at(level, &frame[header_len..], &mut enc);
+        cfg.throttle.charge(t0.elapsed());
+
+        let ratio = want as f64 / (enc.len() - header_len) as f64;
+        ctrl.report_ratio(ratio, cfg);
+        if cfg.ratio_guard > 0.0 && ratio < cfg.ratio_guard {
+            // Abandon the compressed form; the raw frame goes out and
+            // `enc` returns to the pool.
+            level = 0;
+        } else {
+            frame = enc; // the raw buffer returns to the pool
+        }
+    }
+    let payload_len = (frame.len() - header_len) as u64;
+    if payload_len > wire::MAX_FRAME_LEN {
+        return Err(AdocError::FrameTooLarge { len: payload_len }.into());
+    }
+    Ok((frame, level))
+}
+
+/// Splits a wire-ready frame into shared `(offset, len)` packet views and
+/// pushes them — no per-packet copy; the buffer returns to the pool when
+/// the emission thread drops the last view. Returns the packets pushed,
+/// or `Err(())` when the consumer went away.
+fn push_frame_packets(
+    queue: &PacketQueue,
+    frame: PooledBuf,
+    want: usize,
+    level: u8,
+    packet_size: usize,
+) -> Result<u32, ()> {
+    let total = frame.len();
+    let frame = Arc::new(frame);
+    let mut pushed = 0u32;
+    let mut offset = 0usize;
+    while offset < total {
+        let end = (offset + packet_size).min(total);
+        let share = raw_share(want, offset, end, total);
+        let pkt = Packet::view(Arc::clone(&frame), offset, end - offset, level, share);
+        if queue.push(pkt).is_err() {
+            return Err(());
+        }
+        pushed += 1;
+        offset = end;
+    }
+    Ok(pushed)
 }
 
 fn compression_thread<S: Read>(
@@ -218,13 +601,16 @@ fn compression_thread<S: Read>(
     bw: &BandwidthMonitor,
     cfg: &AdocConfig,
 ) -> io::Result<CompOutcome> {
+    // Every exit — success, error, panic — ends the stream for the
+    // emission thread; without this a dying producer strands the consumer
+    // in `pop` forever.
+    let _close = queue.close_on_drop();
     let mut ctrl = LevelController::new(cfg);
     let mut codec = adoc_codec::Codec::new();
-    let mut buffers_at_level = [0u64; 11];
-    let mut level_events: Vec<(Instant, u8)> = Vec::new();
+    let mut out = CompOutcome::new();
 
     while remaining > 0 {
-        let want = (cfg.buffer_size as u64).min(remaining) as usize;
+        let want = next_frame_size(cfg.buffer_size, remaining)?;
         // The raw bytes are read straight into frame position — header
         // space first, payload appended behind it via `Take`, which
         // fills the reserved spare capacity without a zeroing pass — so
@@ -234,65 +620,27 @@ fn compression_thread<S: Read>(
         match source.by_ref().take(want as u64).read_to_end(&mut raw) {
             Ok(n) if n == want => {}
             Ok(_) => {
-                queue.close();
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "source ended before the promised message length",
                 ));
             }
-            Err(e) => {
-                queue.close();
-                return Err(e);
-            }
+            Err(e) => return Err(e),
         }
 
         // §3.2: the level is updated before each new buffer.
-        let mut level = ctrl.next_level(queue.len(), bw, cfg);
-
-        // §5 "Compressed and random data", early abort: while the stream
-        // looks incompressible, test a small prefix before paying for a
-        // full-buffer compression.
-        if level > 0 && ctrl.is_suspicious() {
-            let check = (4 * cfg.packet_size).min(want);
-            let t0 = Instant::now();
-            let mut probe = cfg.pool.get(check + 64);
-            codec.compress_at(
-                level,
-                &raw[wire::FRAME_HEADER_LEN..wire::FRAME_HEADER_LEN + check],
-                &mut probe,
-            );
-            cfg.throttle.charge(t0.elapsed());
-            let check_ratio = check as f64 / probe.len() as f64;
-            ctrl.report_ratio(check_ratio, cfg);
-            if cfg.ratio_guard > 0.0 && check_ratio < cfg.ratio_guard {
-                level = 0; // still incompressible: ship the buffer raw
-            }
-        }
-
-        // `frame` ends up holding header + payload; at level 0 that is
-        // the raw buffer itself (zero copies), otherwise a second pooled
-        // buffer the codec encoded into (the only data movement is the
-        // compression itself).
-        let mut frame = raw;
-        if level > 0 {
-            let t0 = Instant::now();
-            let mut enc = cfg.pool.get(wire::FRAME_HEADER_LEN + want / 2 + 64);
-            enc.resize(wire::FRAME_HEADER_LEN, 0);
-            codec.compress_at(level, &frame[wire::FRAME_HEADER_LEN..], &mut enc);
-            cfg.throttle.charge(t0.elapsed());
-
-            let ratio = want as f64 / (enc.len() - wire::FRAME_HEADER_LEN) as f64;
-            ctrl.report_ratio(ratio, cfg);
-            if cfg.ratio_guard > 0.0 && ratio < cfg.ratio_guard {
-                // Abandon the compressed form; the raw frame goes out and
-                // `enc` returns to the pool.
-                level = 0;
-            } else {
-                frame = enc; // the raw buffer returns to the pool
-            }
-        }
-        buffers_at_level[level as usize] += 1;
-        level_events.push((Instant::now(), level));
+        let level = ctrl.next_level(queue.len(), bw, cfg);
+        let (mut frame, level) = encode_frame_payload(
+            raw,
+            want,
+            wire::FRAME_HEADER_LEN,
+            level,
+            &mut ctrl,
+            &mut codec,
+            cfg,
+        )?;
+        out.buffers_at_level[level as usize] += 1;
+        out.level_events.push((Instant::now(), level));
 
         let fh = FrameHeader {
             level,
@@ -301,39 +649,74 @@ fn compression_thread<S: Read>(
         };
         frame[..wire::FRAME_HEADER_LEN].copy_from_slice(&fh.encode());
 
-        // Split the frame into shared `(offset, len)` packet views — no
-        // per-packet copy; the buffer returns to the pool when the
-        // emission thread drops the last view.
-        let total = frame.len();
-        let frame = Arc::new(frame);
-        let mut pushed = 0u32;
-        let mut offset = 0usize;
-        while offset < total {
-            let end = (offset + cfg.packet_size).min(total);
-            let share = raw_share(want, offset, end, total);
-            let pkt = Packet::view(Arc::clone(&frame), offset, end - offset, level, share);
-            if queue.push(pkt).is_err() {
-                // Consumer failed; its error is authoritative.
-                return Ok(CompOutcome {
-                    buffers_at_level,
-                    level_events,
-                    divergence_reverts: ctrl.divergence_reverts,
-                    ratio_trips: ctrl.ratio_trips,
-                });
-            }
-            pushed += 1;
-            offset = end;
+        match push_frame_packets(queue, frame, want, level, cfg.packet_size) {
+            Ok(pushed) => ctrl.packets_pushed(pushed),
+            // Consumer failed; its error is authoritative.
+            Err(()) => return Ok(out.finish(&ctrl)),
         }
-        ctrl.packets_pushed(pushed);
+        out.frames += 1;
         remaining -= want as u64;
     }
-    queue.close();
-    Ok(CompOutcome {
-        buffers_at_level,
-        level_events,
-        divergence_reverts: ctrl.divergence_reverts,
-        ratio_trips: ctrl.ratio_trips,
-    })
+    Ok(out.finish(&ctrl))
+}
+
+/// One stream's compression thread in a striped send: same adaptation
+/// loop as [`compression_thread`], but fed pre-read buffers by the
+/// dispatcher and emitting v2 frame headers.
+fn stream_compression_thread(
+    stream_id: u8,
+    raw_queue: &BoundedQueue<RawFrame>,
+    queue: &PacketQueue,
+    bw: &BandwidthMonitor,
+    cfg: &AdocConfig,
+) -> io::Result<CompOutcome> {
+    // Panic-safe shutdown on both sides: a dying compression thread must
+    // release the dispatcher (blocked pushing raw frames) *and* the
+    // emission thread (blocked popping packets).
+    let _poison_raw = raw_queue.poison_on_drop();
+    let _close = queue.close_on_drop();
+    let mut ctrl = LevelController::new(cfg);
+    let mut codec = adoc_codec::Codec::new();
+    let mut out = CompOutcome::new();
+
+    while let Some(RawFrame { seq, want, buf }) = raw_queue.pop() {
+        let level = ctrl.next_level(queue.len(), bw, cfg);
+        let (mut frame, level) = encode_frame_payload(
+            buf,
+            want,
+            wire::FRAME_HEADER_V2_LEN,
+            level,
+            &mut ctrl,
+            &mut codec,
+            cfg,
+        )?;
+        out.buffers_at_level[level as usize] += 1;
+        out.level_events.push((Instant::now(), level));
+
+        let fh = FrameHeaderV2 {
+            level,
+            stream: stream_id,
+            seq,
+            raw_len: want as u32,
+            payload_len: (frame.len() - wire::FRAME_HEADER_V2_LEN) as u32,
+        };
+        frame[..wire::FRAME_HEADER_V2_LEN].copy_from_slice(&fh.encode());
+
+        match push_frame_packets(queue, frame, want, level, cfg.packet_size) {
+            Ok(pushed) => ctrl.packets_pushed(pushed),
+            Err(()) => return Ok(out.finish(&ctrl)),
+        }
+        out.frames += 1;
+    }
+
+    // End of message on this stream: the FIN marker records how many data
+    // frames the receiver must have seen.
+    let fin = FrameHeaderV2::fin(stream_id, out.frames);
+    let mut fbuf = cfg.pool.get(wire::FRAME_HEADER_V2_LEN);
+    fbuf.extend_from_slice(&fin.encode());
+    let len = fbuf.len();
+    let _ = queue.push(Packet::view(Arc::new(fbuf), 0, len, 0, 0));
+    Ok(out.finish(&ctrl))
 }
 
 /// Raw-size share of the packet covering `offset..end` of a `total`-byte
@@ -355,14 +738,17 @@ fn emission_thread<W: Write>(
     queue: &PacketQueue,
     bw: &BandwidthMonitor,
 ) -> io::Result<u64> {
+    // Any exit — socket error, panic — must unblock a producer waiting
+    // for queue space; poisoning after a clean drain is a no-op for the
+    // already-finished producer.
+    let _poison = queue.poison_on_drop();
     let mut wire_bytes = 0u64;
     while let Some(pkt) = queue.pop() {
         let t0 = Instant::now();
-        if let Err(e) = writer.write_all(pkt.bytes()) {
-            queue.poison();
-            return Err(e);
+        writer.write_all(pkt.bytes())?;
+        if pkt.raw_share > 0 {
+            bw.record(pkt.level, u64::from(pkt.raw_share), t0.elapsed());
         }
-        bw.record(pkt.level, u64::from(pkt.raw_share), t0.elapsed());
         wire_bytes += pkt.len() as u64;
     }
     Ok(wire_bytes)
@@ -480,6 +866,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_frame_is_a_typed_error_not_a_truncation() {
+        // A 5 GiB buffer_size would truncate `raw_len as u32` on the
+        // wire; the sender must refuse with FrameTooLarge *before*
+        // reading or allocating anything frame-sized.
+        struct EndlessZeros;
+        impl Read for EndlessZeros {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(0);
+                Ok(buf.len())
+            }
+        }
+        let mut cfg = AdocConfig::default().with_levels(1, 10); // no probe
+        cfg.buffer_size = 5 << 30;
+        cfg.packet_size = 8 << 10;
+        let raw_len = 5u64 << 30;
+        let mut wire = Vec::new();
+        let err = send_message(&mut wire, &mut EndlessZeros, raw_len, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        match AdocError::from_io(&err) {
+            Some(AdocError::FrameTooLarge { len }) => assert_eq!(*len, raw_len),
+            other => panic!("expected FrameTooLarge, got {other:?} ({err})"),
+        }
+        // Nothing frame-sized was buffered before the refusal.
+        assert!(wire.len() < 64, "wire got {} bytes", wire.len());
+    }
+
+    #[test]
     fn emission_failure_surfaces_as_error() {
         struct FailAfter {
             n: usize,
@@ -514,6 +927,36 @@ mod tests {
         let mut src = &data[..];
         let err = send_message(&mut sink, &mut src, data.len() as u64, &cfg).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn panicking_throttle_does_not_hang_the_send() {
+        // Regression for the shutdown path: a panic inside the
+        // compression thread used to leave the emission thread blocked in
+        // `pop` forever (thread::scope then never unwinds). The queue
+        // guards must close the stream and the send must return an error.
+        struct PanicThrottle;
+        impl crate::throttle::Throttle for PanicThrottle {
+            fn charge(&self, _elapsed: std::time::Duration) {
+                panic!("simulated codec-thread death");
+            }
+        }
+        let cfg = AdocConfig::default()
+            .with_levels(1, 10)
+            .with_throttle(std::sync::Arc::new(PanicThrottle));
+        let data = b"compressible text ".repeat(60_000);
+
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let mut wire = Vec::new();
+            let mut src = &data[..];
+            let res = send_message(&mut wire, &mut src, data.len() as u64, &cfg);
+            let _ = done_tx.send(res.is_err());
+        });
+        match done_rx.recv_timeout(std::time::Duration::from_secs(10)) {
+            Ok(errored) => assert!(errored, "a panicked pipeline must report an error"),
+            Err(_) => panic!("send_message deadlocked after a compression-thread panic"),
+        }
     }
 
     #[test]
@@ -554,6 +997,89 @@ mod tests {
         out.merge_into(&mut stats, data.len() as u64);
         assert_eq!(out.bw_raw_bytes, data.len() as u64);
         assert_eq!(out.bw_raw_bytes, stats.raw_bytes);
+    }
+
+    #[test]
+    fn striped_send_accounts_every_stream() {
+        // 4 sinks, forced compression: every stream must carry frames,
+        // the per-stream raw bytes must sum to the message, and frame
+        // counts must match the round-robin striping.
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let data = adoc_data_stub(2 << 20); // 11 buffers at 200 KB
+        let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); 4];
+        let mut src = &data[..];
+        let out = send_message_multi(&mut sinks, &mut src, data.len() as u64, &cfg).unwrap();
+        assert_eq!(out.per_stream.len(), 4);
+        let frames: u64 = out.per_stream.iter().map(|s| s.frames).sum();
+        assert_eq!(frames, data.len().div_ceil(cfg.buffer_size) as u64);
+        let raw: u64 = out.per_stream.iter().map(|s| s.raw_bytes).sum();
+        assert_eq!(raw, data.len() as u64);
+        assert_eq!(out.bw_raw_bytes, data.len() as u64);
+        // Round-robin: stream frame counts differ by at most one.
+        let min = out.per_stream.iter().map(|s| s.frames).min().unwrap();
+        let max = out.per_stream.iter().map(|s| s.frames).max().unwrap();
+        assert!(max - min <= 1, "striping must be balanced: {out:?}");
+        let wire_sum: u64 = out.per_stream.iter().map(|s| s.wire_bytes).sum();
+        // Header + probe-length field live on stream 0 but are counted
+        // message-wide.
+        assert_eq!(out.wire_bytes, wire_sum + wire::MSG_HEADER_LEN as u64 + 4);
+        assert_eq!(cfg.pool.stats().outstanding, 0, "leaked pooled buffers");
+    }
+
+    #[test]
+    fn striped_fast_path_populates_per_stream() {
+        // Vec sinks → instant probe → fast path on the primary stream;
+        // accounting must still cover every stream (FIN-only secondaries).
+        let cfg = AdocConfig::default();
+        let data = vec![7u8; 2 << 20];
+        let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        let mut src = &data[..];
+        let out = send_message_multi(&mut sinks, &mut src, data.len() as u64, &cfg).unwrap();
+        assert!(out.fast_path);
+        assert_eq!(out.per_stream.len(), 3);
+        let probe = cfg.probe_size as u64;
+        assert_eq!(out.per_stream[0].raw_bytes, data.len() as u64 - probe);
+        assert_eq!(out.per_stream[1].frames, 0);
+        assert_eq!(out.per_stream[2].frames, 0);
+        let wire_sum: u64 = out.per_stream.iter().map(|s| s.wire_bytes).sum();
+        assert_eq!(
+            out.wire_bytes,
+            wire_sum + wire::MSG_HEADER_LEN as u64 + 4 + probe,
+            "per-stream wire bytes + message-wide header/probe must reconcile"
+        );
+        for (i, s) in out.per_stream.iter().enumerate() {
+            assert_eq!(
+                s.wire_bytes,
+                sinks[i].len() as u64
+                    - if i == 0 {
+                        wire::MSG_HEADER_LEN as u64 + 4 + probe
+                    } else {
+                        0
+                    }
+            );
+        }
+    }
+
+    #[test]
+    fn striped_send_with_one_stream_is_v1_byte_identical() {
+        // A pinned level (min == max) makes the adaptive frame stream
+        // deterministic, so the two wire captures must match byte for
+        // byte; the direct path is deterministic by construction.
+        for data in [
+            adoc_data_stub(10_000),  // direct
+            adoc_data_stub(1 << 20), // adaptive
+        ] {
+            for cfg in [
+                AdocConfig::default().with_levels(0, 0),
+                AdocConfig::default().with_levels(4, 4),
+            ] {
+                let (v1, _) = send_to_vec(&data, &cfg);
+                let mut group = vec![Vec::new()];
+                let mut src = &data[..];
+                send_message_multi(&mut group, &mut src, data.len() as u64, &cfg).unwrap();
+                assert_eq!(group[0], v1, "streams == 1 must stay v1");
+            }
+        }
     }
 
     #[test]
@@ -611,6 +1137,19 @@ mod tests {
             let data = adoc_data_stub(700_000);
             let (wire, out) = send_to_vec(&data, &cfg);
             assert_eq!(out.wire_bytes, wire.len() as u64, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn striped_wire_byte_accounting_is_exact() {
+        for streams in [2usize, 3, 4] {
+            let cfg = AdocConfig::default().with_levels(1, 10);
+            let data = adoc_data_stub(1_300_000);
+            let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); streams];
+            let mut src = &data[..];
+            let out = send_message_multi(&mut sinks, &mut src, data.len() as u64, &cfg).unwrap();
+            let on_wire: u64 = sinks.iter().map(|s| s.len() as u64).sum();
+            assert_eq!(out.wire_bytes, on_wire, "streams = {streams}");
         }
     }
 

@@ -1,13 +1,19 @@
-//! The idiomatic connection type: [`AdocSocket`] wraps a reader/writer
+//! The idiomatic connection types: [`AdocSocket`] wraps a reader/writer
 //! pair (TCP halves, simulated link halves, pipes …) and exposes the
-//! paper's seven operations with Rust types.
+//! paper's seven operations with Rust types; [`AdocStreamGroup`] does the
+//! same over `N` parallel streams, striping every large message across
+//! per-stream compression pipelines (see [`crate::sender`]) and
+//! reassembling in order on the receive side.
 
 use crate::config::AdocConfig;
-use crate::receiver::receive_message;
-use crate::sender::{send_message, SendOutcome};
+use crate::error::AdocError;
+use crate::receiver::{receive_message, receive_message_multi};
+use crate::sender::{send_message, send_message_multi, SendOutcome};
 use crate::stats::TransferStats;
+use crate::wire::GroupHello;
 use std::fs::File;
 use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 
 /// What one send did, mirroring the paper's `slen` out-parameter
 /// (`raw / wire` is the achieved compression ratio).
@@ -260,6 +266,380 @@ impl<R: Read + Send, W: Write + Send> Write for AdocSocket<R, W> {
     }
 }
 
+/// One logical AdOC connection striped over `N` parallel streams
+/// (`streams[0]` is the primary). With `N == 1` the wire format is
+/// byte-identical v1 ([`AdocSocket`] compatible); with `N >= 2` each
+/// stream runs its own compression pipeline on send and its own
+/// reception thread on receive, and the group negotiates the stream
+/// count once at construction (see [`crate::wire`]'s negotiation rule).
+///
+/// ```
+/// use adoc::{AdocConfig, AdocStreamGroup};
+/// use adoc_sim::pipe::duplex_pipe;
+///
+/// let n = 2;
+/// let (mut left, mut right) = (Vec::new(), Vec::new());
+/// for _ in 0..n {
+///     let (a, b) = duplex_pipe(1 << 20);
+///     left.push(a.split());
+///     right.push(b.split());
+/// }
+/// let cfg = AdocConfig::default().with_streams(n);
+/// let (tx, rx) = std::thread::scope(|s| {
+///     let t = s.spawn(|| AdocStreamGroup::from_pairs(left, cfg.clone()).unwrap());
+///     let rx = AdocStreamGroup::from_pairs(right, cfg.clone()).unwrap();
+///     (t.join().unwrap(), rx)
+/// });
+/// let (mut tx, mut rx) = (tx, rx);
+/// tx.write(b"striped hello").unwrap();
+/// let mut buf = [0u8; 13];
+/// rx.read_exact(&mut buf).unwrap();
+/// assert_eq!(&buf, b"striped hello");
+/// ```
+pub struct AdocStreamGroup<R: Read + Send, W: Write + Send> {
+    readers: Vec<R>,
+    writers: Vec<W>,
+    cfg: AdocConfig,
+    leftover: Vec<u8>,
+    leftover_pos: usize,
+    stats: TransferStats,
+}
+
+impl<R: Read + Send, W: Write + Send> std::fmt::Debug for AdocStreamGroup<R, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdocStreamGroup")
+            .field("streams", &self.readers.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
+    /// Builds a group over already-connected stream pairs (index 0 is the
+    /// primary). `cfg.streams` is set to `pairs.len()`. For `N >= 2` this
+    /// performs the group handshake: it announces a [`GroupHello`] on
+    /// every stream, then reads and validates the peer's — both sides of
+    /// a connection must construct their group concurrently (as
+    /// [`Self::connect`]/[`Self::accept`] do).
+    pub fn from_pairs(pairs: Vec<(R, W)>, cfg: AdocConfig) -> io::Result<Self> {
+        assert!(!pairs.is_empty(), "a stream group needs at least 1 stream");
+        let cfg = cfg.with_streams(pairs.len());
+        cfg.validate();
+        let n = pairs.len();
+        let (mut readers, mut writers): (Vec<R>, Vec<W>) = pairs.into_iter().unzip();
+        if n > 1 {
+            // Initiator-style handshake: announce on every stream, then
+            // validate the peer's announcements.
+            for (i, w) in writers.iter_mut().enumerate() {
+                w.write_all(
+                    &GroupHello {
+                        streams: n as u8,
+                        stream_id: i as u8,
+                    }
+                    .encode(),
+                )?;
+                w.flush()?;
+            }
+            for (i, r) in readers.iter_mut().enumerate() {
+                let hello = GroupHello::read(r)?;
+                if hello.streams as usize != n {
+                    return Err(AdocError::StreamCountMismatch {
+                        ours: n as u8,
+                        theirs: hello.streams,
+                    }
+                    .into());
+                }
+                if hello.stream_id as usize != i {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "peer stream {} answered on local stream {i}",
+                            hello.stream_id
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(AdocStreamGroup {
+            readers,
+            writers,
+            cfg,
+            leftover: Vec::new(),
+            leftover_pos: 0,
+            stats: TransferStats::new(),
+        })
+    }
+
+    /// Number of streams in this group.
+    pub fn streams(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Connection configuration.
+    pub fn config(&self) -> &AdocConfig {
+        &self.cfg
+    }
+
+    /// Cumulative transfer statistics (including
+    /// [`TransferStats::per_stream`] totals for striped messages).
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// Sends `data` as one message striped across the group.
+    pub fn write(&mut self, data: &[u8]) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone();
+        self.send_with(data, &cfg)
+    }
+
+    /// [`Self::write`] with level bounds for this call only.
+    pub fn write_levels(&mut self, data: &[u8], min: u8, max: u8) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone().with_levels(min, max);
+        cfg.validate();
+        self.send_with(data, &cfg)
+    }
+
+    fn send_with(&mut self, data: &[u8], cfg: &AdocConfig) -> io::Result<SendReport> {
+        let mut src = data;
+        let out = send_message_multi(&mut self.writers, &mut src, data.len() as u64, cfg)?;
+        Ok(self.merge(out, data.len() as u64))
+    }
+
+    fn merge(&mut self, out: SendOutcome, raw: u64) -> SendReport {
+        out.merge_into(&mut self.stats, raw);
+        SendReport {
+            raw,
+            wire: out.wire_bytes,
+            probe_bps: out.probe_bps,
+            fast_path: out.fast_path,
+        }
+    }
+
+    /// Receives with POSIX `read` semantics (short reads at message
+    /// boundaries, `Ok(0)` only at end of stream).
+    pub fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        if self.leftover_len() == 0 {
+            self.leftover.clear();
+            self.leftover_pos = 0;
+            if receive_message_multi(&mut self.readers, &mut self.leftover, &self.cfg)?.is_none() {
+                return Ok(0);
+            }
+            if self.leftover.is_empty() {
+                return Ok(0);
+            }
+        }
+        let avail = self.leftover_len();
+        let n = avail.min(out.len());
+        out[..n].copy_from_slice(&self.leftover[self.leftover_pos..self.leftover_pos + n]);
+        self.leftover_pos += n;
+        if self.leftover_len() == 0 {
+            self.leftover.clear();
+            self.leftover_pos = 0;
+        }
+        Ok(n)
+    }
+
+    /// Reads exactly `out.len()` bytes across message boundaries.
+    pub fn read_exact(&mut self, out: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < out.len() {
+            let n = self.read(&mut out[filled..])?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid read_exact",
+                ));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+
+    fn leftover_len(&self) -> usize {
+        self.leftover.len() - self.leftover_pos
+    }
+
+    /// Streams exactly `len` bytes from any reader as one striped
+    /// message.
+    pub fn send_reader(
+        &mut self,
+        source: &mut (impl Read + Send),
+        len: u64,
+        cfg: &AdocConfig,
+    ) -> io::Result<SendReport> {
+        let out = send_message_multi(&mut self.writers, source, len, cfg)?;
+        Ok(self.merge(out, len))
+    }
+
+    /// `adoc_send_file` over the group.
+    pub fn send_file(&mut self, file: &mut File) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone();
+        let len = file.metadata()?.len();
+        self.send_reader(file, len, &cfg)
+    }
+
+    /// Level-bounded file send over the group.
+    pub fn send_file_levels(
+        &mut self,
+        file: &mut File,
+        min: u8,
+        max: u8,
+    ) -> io::Result<SendReport> {
+        let cfg = self.cfg.clone().with_levels(min, max);
+        cfg.validate();
+        let len = file.metadata()?.len();
+        self.send_reader(file, len, &cfg)
+    }
+
+    /// Drains any partially-read message, then receives exactly one
+    /// message into `sink`. Returns the number of bytes stored.
+    pub fn receive_file(&mut self, sink: &mut (impl Write + Send)) -> io::Result<u64> {
+        let mut total = 0u64;
+        if self.leftover_len() > 0 {
+            sink.write_all(&self.leftover[self.leftover_pos..])?;
+            total += self.leftover_len() as u64;
+            self.leftover.clear();
+            self.leftover_pos = 0;
+        }
+        match receive_message_multi(&mut self.readers, sink, &self.cfg)? {
+            Some(n) => Ok(total + n),
+            None if total > 0 => Ok(total),
+            None => Ok(0),
+        }
+    }
+
+    /// Flushes every stream and frees the partial-read buffers. The
+    /// underlying streams close on drop.
+    pub fn close(mut self) -> io::Result<()> {
+        self.close_mut()
+    }
+
+    /// In-place close used by the descriptor registry.
+    pub(crate) fn close_mut(&mut self) -> io::Result<()> {
+        self.leftover = Vec::new();
+        self.leftover_pos = 0;
+        for w in &mut self.writers {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the group, returning the underlying stream pairs.
+    pub fn into_pairs(self) -> Vec<(R, W)> {
+        self.readers.into_iter().zip(self.writers).collect()
+    }
+}
+
+impl AdocStreamGroup<TcpStream, TcpStream> {
+    /// Dials `cfg.streams` TCP connections to `addr` and forms a group
+    /// (connection `i` carries stream `i`). The peer must
+    /// [`Self::accept`] the same number of connections.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: AdocConfig) -> io::Result<Self> {
+        cfg.validate();
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let mut pairs = Vec::with_capacity(cfg.streams);
+        for _ in 0..cfg.streams {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true).ok();
+            pairs.push((s.try_clone()?, s));
+        }
+        Self::from_pairs(pairs, cfg)
+    }
+
+    /// Accepts `cfg.streams` TCP connections from `listener` and forms a
+    /// group. Connections may arrive in any order: each incoming hello
+    /// names its stream id, and the acceptor re-orders accordingly before
+    /// answering — the acceptor half of the negotiation rule.
+    pub fn accept(listener: &TcpListener, cfg: AdocConfig) -> io::Result<Self> {
+        cfg.validate();
+        let n = cfg.streams;
+        if n == 1 {
+            let (s, _) = listener.accept()?;
+            s.set_nodelay(true).ok();
+            return Self::from_pairs(vec![(s.try_clone()?, s)], cfg);
+        }
+        // Accept every connection before reading any hello: the peer
+        // only starts its handshake once all of its dials succeeded, and
+        // blocking on a hello mid-accept would deadlock stream counts
+        // beyond the listener backlog.
+        let mut incoming = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, _) = listener.accept()?;
+            s.set_nodelay(true).ok();
+            incoming.push(s);
+        }
+        let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        for mut s in incoming {
+            let hello = GroupHello::read(&mut s)?;
+            if hello.streams as usize != n {
+                return Err(AdocError::StreamCountMismatch {
+                    ours: n as u8,
+                    theirs: hello.streams,
+                }
+                .into());
+            }
+            let id = hello.stream_id as usize;
+            if id >= n || slots[id].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("invalid or duplicate stream id {id} in group handshake"),
+                ));
+            }
+            slots[id] = Some(s);
+        }
+        let mut readers = Vec::with_capacity(n);
+        let mut writers = Vec::with_capacity(n);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let mut s = slot.expect("all slots filled");
+            s.write_all(
+                &GroupHello {
+                    streams: n as u8,
+                    stream_id: i as u8,
+                }
+                .encode(),
+            )?;
+            s.flush()?;
+            readers.push(s.try_clone()?);
+            writers.push(s);
+        }
+        Ok(AdocStreamGroup {
+            readers,
+            writers,
+            cfg,
+            leftover: Vec::new(),
+            leftover_pos: 0,
+            stats: TransferStats::new(),
+        })
+    }
+}
+
+/// `std::io::Read` for drop-in use, like [`AdocSocket`].
+impl<R: Read + Send, W: Write + Send> Read for AdocStreamGroup<R, W> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        AdocStreamGroup::read(self, buf)
+    }
+}
+
+/// `std::io::Write`: each call sends one striped AdOC message.
+impl<R: Read + Send, W: Write + Send> Write for AdocStreamGroup<R, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        AdocStreamGroup::write(self, buf).map(|r| r.raw as usize)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        for w in &mut self.writers {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +825,186 @@ mod tests {
     fn close_flushes() {
         let (tx, _rx) = pair();
         tx.close().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod group_tests {
+    use super::*;
+    use adoc_sim::pipe::{duplex_pipe, PipeReader, PipeWriter};
+    use std::thread;
+
+    type Group = AdocStreamGroup<PipeReader, PipeWriter>;
+
+    /// Builds both ends of an n-stream group over sim pipes, running the
+    /// two handshakes concurrently as real endpoints would.
+    fn group_pair(n: usize, cfg: &AdocConfig) -> (Group, Group) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for _ in 0..n {
+            let (a, b) = duplex_pipe(1 << 20);
+            left.push(a.split());
+            right.push(b.split());
+        }
+        let cfg_l = cfg.clone();
+        let cfg_r = cfg.clone();
+        thread::scope(|s| {
+            let l = s.spawn(move || AdocStreamGroup::from_pairs(left, cfg_l).unwrap());
+            let r = AdocStreamGroup::from_pairs(right, cfg_r).unwrap();
+            (l.join().unwrap(), r)
+        })
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = 5u64;
+        while v.len() < n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x.is_multiple_of(2) {
+                v.extend_from_slice(b"window pane window pane ");
+            } else {
+                v.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        v.truncate(n);
+        v
+    }
+
+    #[test]
+    fn single_stream_group_needs_no_handshake() {
+        // n == 1: construction is sequential (no hello on the wire), and
+        // the stream is v1-interoperable with a plain AdocSocket peer.
+        let (a, b) = duplex_pipe(1 << 20);
+        let mut tx = AdocStreamGroup::from_pairs(vec![a.split()], AdocConfig::default()).unwrap();
+        let (br, bw) = b.split();
+        let mut rx = AdocSocket::new(br, bw);
+        tx.write(b"v1 compatible").unwrap();
+        let mut buf = [0u8; 13];
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"v1 compatible");
+    }
+
+    #[test]
+    fn striped_group_roundtrip_with_stats() {
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let (tx, mut rx) = group_pair(4, &cfg);
+        let data = payload(2 << 20);
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            let rep = tx.write(&data2).unwrap();
+            assert_eq!(rep.raw, data2.len() as u64);
+            tx
+        });
+        let mut got = vec![0u8; data.len()];
+        rx.read_exact(&mut got).unwrap();
+        let tx = t.join().unwrap();
+        assert_eq!(got, data);
+        assert_eq!(tx.stats().per_stream.len(), 4);
+        let frames: u64 = tx.stats().per_stream.iter().map(|s| s.frames).sum();
+        assert!(frames > 0, "striped message must report per-stream frames");
+        assert_eq!(
+            tx.stats()
+                .per_stream
+                .iter()
+                .map(|s| s.raw_bytes)
+                .sum::<u64>(),
+            data.len() as u64
+        );
+    }
+
+    #[test]
+    fn group_handles_message_sequences_and_partial_reads() {
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let (tx, mut rx) = group_pair(2, &cfg);
+        let msgs: Vec<Vec<u8>> = (0..3).map(|i| payload(700_000 + i * 13_331)).collect();
+        let msgs2 = msgs.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            for m in &msgs2 {
+                tx.write(m).unwrap();
+            }
+            tx
+        });
+        for m in &msgs {
+            // Read each message in two unequal chunks across the
+            // boundary machinery.
+            let cut = m.len() / 3;
+            let mut head = vec![0u8; cut];
+            rx.read_exact(&mut head).unwrap();
+            let mut tail = vec![0u8; m.len() - cut];
+            rx.read_exact(&mut tail).unwrap();
+            assert_eq!(&head[..], &m[..cut]);
+            assert_eq!(&tail[..], &m[cut..]);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn small_messages_stay_direct_on_primary() {
+        let cfg = AdocConfig::default();
+        let (tx, mut rx) = group_pair(3, &cfg);
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            tx.write(b"tiny").unwrap();
+            assert_eq!(tx.stats().direct_messages, 1);
+            tx
+        });
+        let mut buf = [0u8; 4];
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tiny");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn stream_count_mismatch_is_a_typed_error() {
+        // A peer announcing 3 streams on a group we built with 2: the
+        // handshake must fail with the typed mismatch. The peer side is
+        // scripted by hand so the test is free of construction races.
+        use crate::wire::GroupHello;
+        use std::io::Write as _;
+        let (a0, mut b0) = duplex_pipe(1 << 20);
+        let (a1, mut b1) = duplex_pipe(1 << 20);
+        for (i, peer) in [&mut b0, &mut b1].into_iter().enumerate() {
+            peer.write_all(
+                &GroupHello {
+                    streams: 3,
+                    stream_id: i as u8,
+                }
+                .encode(),
+            )
+            .unwrap();
+        }
+        let _keep = (b0, b1); // keep peer ends open
+        let two = vec![a0.split(), a1.split()];
+        let err = AdocStreamGroup::from_pairs(two, AdocConfig::default()).unwrap_err();
+        match AdocError::from_io(&err) {
+            Some(AdocError::StreamCountMismatch { ours: 2, theirs: 3 }) => {}
+            other => panic!("expected StreamCountMismatch, got {other:?} ({err})"),
+        }
+    }
+
+    #[test]
+    fn group_receive_file_drains_leftover() {
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let (tx, mut rx) = group_pair(2, &cfg);
+        let data = payload(800_000);
+        let data2 = data.clone();
+        let t = thread::spawn(move || {
+            let mut tx = tx;
+            tx.write(&data2).unwrap();
+            tx.write(b"trailer").unwrap();
+            tx
+        });
+        let mut head = vec![0u8; 100_000];
+        rx.read_exact(&mut head).unwrap();
+        let mut rest: Vec<u8> = Vec::new();
+        let n = rx.receive_file(&mut rest).unwrap();
+        t.join().unwrap();
+        assert_eq!(head, data[..100_000]);
+        assert_eq!(n as usize, data.len() - 100_000 + 7);
+        assert_eq!(&rest[..data.len() - 100_000], &data[100_000..]);
+        assert_eq!(&rest[data.len() - 100_000..], b"trailer");
     }
 }
 

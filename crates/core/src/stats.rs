@@ -10,6 +10,24 @@ use std::time::Instant;
 /// buffers; the cap only matters for very long-lived connections).
 const TIMELINE_CAP: usize = 100_000;
 
+/// What one stream of a striped message carried (reported per message in
+/// [`crate::sender::SendOutcome::per_stream`], accumulated per connection
+/// in [`TransferStats::per_stream`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSendStats {
+    /// Stream index within the group (0 = primary).
+    pub stream: u8,
+    /// Bytes this stream put on its socket (frame headers included;
+    /// message headers and probes are counted message-wide, not here).
+    pub wire_bytes: u64,
+    /// Raw (pre-compression) bytes this stream carried — observed by its
+    /// bandwidth monitor on adaptive pipelines, counted directly on the
+    /// fast path (which has no monitor).
+    pub raw_bytes: u64,
+    /// Data frames this stream carried.
+    pub frames: u64,
+}
+
 /// Cumulative statistics for one AdOC connection.
 #[derive(Debug, Clone)]
 pub struct TransferStats {
@@ -33,6 +51,9 @@ pub struct TransferStats {
     pub ratio_trips: u64,
     /// `(seconds_since_connection, level)` per compression buffer.
     pub level_timeline: Vec<(f64, u8)>,
+    /// Cumulative per-stream totals for striped transfers (indexed by
+    /// stream id; empty on single-stream connections).
+    pub per_stream: Vec<StreamSendStats>,
     epoch: Instant,
 }
 
@@ -49,6 +70,7 @@ impl Default for TransferStats {
             divergence_reverts: 0,
             ratio_trips: 0,
             level_timeline: Vec::new(),
+            per_stream: Vec::new(),
             epoch: Instant::now(),
         }
     }
@@ -100,6 +122,30 @@ impl TransferStats {
     pub fn total_buffers(&self) -> u64 {
         self.buffers_at_level.iter().sum()
     }
+
+    /// Folds one message's per-stream accounting into the connection
+    /// totals (no-op for single-stream messages).
+    pub fn merge_per_stream(&mut self, per_message: &[StreamSendStats]) {
+        for s in per_message {
+            let idx = s.stream as usize;
+            if self.per_stream.len() <= idx {
+                self.per_stream.resize(
+                    idx + 1,
+                    StreamSendStats {
+                        stream: 0,
+                        ..StreamSendStats::default()
+                    },
+                );
+                for (i, slot) in self.per_stream.iter_mut().enumerate() {
+                    slot.stream = i as u8;
+                }
+            }
+            let t = &mut self.per_stream[idx];
+            t.wire_bytes += s.wire_bytes;
+            t.raw_bytes += s.raw_bytes;
+            t.frames += s.frames;
+        }
+    }
 }
 
 impl std::fmt::Display for TransferStats {
@@ -122,6 +168,17 @@ impl std::fmt::Display for TransferStats {
         for (lvl, &n) in self.buffers_at_level.iter().enumerate() {
             if n > 0 {
                 write!(f, " L{lvl}:{n}")?;
+            }
+        }
+        if !self.per_stream.is_empty() {
+            writeln!(f)?;
+            write!(f, "streams:")?;
+            for s in &self.per_stream {
+                write!(
+                    f,
+                    " [{}: {} frames, {} raw B, {} wire B]",
+                    s.stream, s.frames, s.raw_bytes, s.wire_bytes
+                )?;
             }
         }
         Ok(())
@@ -153,6 +210,44 @@ mod tests {
         assert_eq!(s.compression_ratio(), 1.0);
         assert_eq!(s.max_level_used(), 0);
         let _ = format!("{s}");
+    }
+
+    #[test]
+    fn per_stream_totals_accumulate_and_backfill() {
+        let mut s = TransferStats::new();
+        // First message used streams 0 and 2 (sparse indices backfill).
+        s.merge_per_stream(&[
+            StreamSendStats {
+                stream: 0,
+                wire_bytes: 100,
+                raw_bytes: 150,
+                frames: 2,
+            },
+            StreamSendStats {
+                stream: 2,
+                wire_bytes: 50,
+                raw_bytes: 60,
+                frames: 1,
+            },
+        ]);
+        s.merge_per_stream(&[StreamSendStats {
+            stream: 2,
+            wire_bytes: 10,
+            raw_bytes: 20,
+            frames: 1,
+        }]);
+        assert_eq!(s.per_stream.len(), 3);
+        assert_eq!(s.per_stream[0].wire_bytes, 100);
+        assert_eq!(
+            s.per_stream[1],
+            StreamSendStats {
+                stream: 1,
+                ..StreamSendStats::default()
+            }
+        );
+        assert_eq!(s.per_stream[2].wire_bytes, 60);
+        assert_eq!(s.per_stream[2].frames, 2);
+        assert!(format!("{s}").contains("streams:"));
     }
 
     #[test]

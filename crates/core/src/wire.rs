@@ -1,5 +1,7 @@
 //! AdOC wire protocol (little-endian throughout).
 //!
+//! # v1 — single stream (`streams == 1`, the paper's format)
+//!
 //! ```text
 //! Message      := MsgHeader Body
 //! MsgHeader    := magic:u8 = 0xAD   kind:u8   raw_len:u64
@@ -12,16 +14,70 @@
 //! `Direct` carries small messages (< 512 KB) and messages sent with
 //! compression disabled; `Adaptive` carries the probe prefix plus one
 //! frame per 200 KB compression buffer.
+//!
+//! # v2 — striped stream groups (`streams >= 2`)
+//!
+//! One logical connection fans out over `N` parallel streams. Stream 0 is
+//! the **primary**: message headers, probes and direct bodies travel on
+//! it exactly as in v1. Adaptive frames may travel on *any* stream and
+//! carry a v2 header so the receiver can reassemble them in order:
+//!
+//! ```text
+//! FrameV2 := level:u8  stream:u8  seq:u64  raw_len:u32  payload_len:u32  payload
+//! FinV2   := level:u8 = 0xFF  stream:u8  seq:u64 = frames sent on this
+//!            stream  raw_len:u32 = 0  payload_len:u32 = 0
+//! ```
+//!
+//! `seq` numbers frames of one message globally from 0 (the sender
+//! stripes frame `s` onto stream `s % N`); the receiver delivers frames
+//! in ascending `seq` regardless of arrival stream. Every stream ends
+//! each adaptive message with a `FinV2` marker — including streams that
+//! carried no data frames — so per-stream readers know when the message
+//! is over. Fast-path (probe-measured fast network) raw frames use the
+//! same v2 framing on the primary stream.
+//!
+//! # Negotiation rule
+//!
+//! The stream count is negotiated **once, at connection-group setup**,
+//! never per message:
+//!
+//! * `streams == 1`: nothing is added to the wire. The byte stream is
+//!   exactly v1 — a v2-capable endpoint talking on one stream is
+//!   indistinguishable from (and interoperable with) a v1 endpoint.
+//! * `streams >= 2`: each endpoint sends a 5-byte [`GroupHello`] on every
+//!   stream (`magic 0xAD, 'G', version = 2, streams, stream_id`) and
+//!   reads its peer's hello from every stream before any message flows.
+//!   Both sides must announce the **same stream count**; a mismatch (or a
+//!   v1 peer's message header arriving where a hello was expected) is an
+//!   `InvalidData` error, not a silent renegotiation.
 
 use std::io::{self, Read, Write};
 
 /// Message header magic byte.
 pub const MAGIC: u8 = 0xAD;
 
+/// Second magic byte of a stream-group hello (`'G'`).
+pub const GROUP_MAGIC: u8 = b'G';
+
+/// Wire-format version announced in a [`GroupHello`].
+pub const GROUP_VERSION: u8 = 2;
+
 /// Size of an encoded message header.
 pub const MSG_HEADER_LEN: usize = 10;
 /// Size of an encoded frame header.
 pub const FRAME_HEADER_LEN: usize = 9;
+/// Size of an encoded v2 frame header.
+pub const FRAME_HEADER_V2_LEN: usize = 18;
+/// Size of an encoded stream-group hello.
+pub const GROUP_HELLO_LEN: usize = 5;
+
+/// Level byte marking a v2 end-of-message frame on one stream.
+pub const LEVEL_FIN: u8 = 0xFF;
+
+/// Largest raw (and encoded) frame size the u32 header fields can carry.
+/// The sender refuses larger buffers with
+/// [`crate::error::AdocError::FrameTooLarge`] instead of truncating.
+pub const MAX_FRAME_LEN: u64 = u32::MAX as u64;
 
 /// How a message's body is encoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +190,144 @@ impl FrameHeader {
     }
 }
 
+/// One compression buffer on a striped (v2) connection: a [`FrameHeader`]
+/// plus the stream it travelled on and its global in-message sequence
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeaderV2 {
+    /// AdOC level of the payload (0 = raw, [`LEVEL_FIN`] = end marker).
+    pub level: u8,
+    /// Stream the frame was emitted on (0-based).
+    pub stream: u8,
+    /// Global frame sequence number within the message, from 0.
+    pub seq: u64,
+    /// Decoded size of this frame.
+    pub raw_len: u32,
+    /// Encoded (on-wire) payload size.
+    pub payload_len: u32,
+}
+
+impl FrameHeaderV2 {
+    /// The end-of-message marker for `stream`, recording how many data
+    /// frames that stream carried.
+    pub fn fin(stream: u8, frames_sent: u64) -> FrameHeaderV2 {
+        FrameHeaderV2 {
+            level: LEVEL_FIN,
+            stream,
+            seq: frames_sent,
+            raw_len: 0,
+            payload_len: 0,
+        }
+    }
+
+    /// True when this header marks end-of-message on its stream.
+    pub fn is_fin(&self) -> bool {
+        self.level == LEVEL_FIN
+    }
+
+    /// Encodes into an 18-byte array.
+    pub fn encode(&self) -> [u8; FRAME_HEADER_V2_LEN] {
+        let mut h = [0u8; FRAME_HEADER_V2_LEN];
+        h[0] = self.level;
+        h[1] = self.stream;
+        h[2..10].copy_from_slice(&self.seq.to_le_bytes());
+        h[10..14].copy_from_slice(&self.raw_len.to_le_bytes());
+        h[14..18].copy_from_slice(&self.payload_len.to_le_bytes());
+        h
+    }
+
+    /// Reads and validates a v2 frame header.
+    pub fn read(r: &mut impl Read, max_level: u8) -> io::Result<FrameHeaderV2> {
+        let mut h = [0u8; FRAME_HEADER_V2_LEN];
+        r.read_exact(&mut h)?;
+        let level = h[0];
+        if level != LEVEL_FIN && level > max_level {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame level {level} exceeds protocol maximum {max_level}"),
+            ));
+        }
+        let stream = h[1];
+        let seq = u64::from_le_bytes(h[2..10].try_into().expect("8 bytes"));
+        let raw_len = u32::from_le_bytes(h[10..14].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(h[14..18].try_into().expect("4 bytes"));
+        if level == LEVEL_FIN && (raw_len != 0 || payload_len != 0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "FIN frame with non-empty payload",
+            ));
+        }
+        if level == 0 && raw_len != payload_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "raw frame with mismatched lengths",
+            ));
+        }
+        Ok(FrameHeaderV2 {
+            level,
+            stream,
+            seq,
+            raw_len,
+            payload_len,
+        })
+    }
+}
+
+/// The per-stream negotiation record exchanged when a stream group forms
+/// (see the module docs' negotiation rule). Never sent when
+/// `streams == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupHello {
+    /// Total streams in the group the sender is announcing.
+    pub streams: u8,
+    /// Which stream of the group this hello travels on (0-based).
+    pub stream_id: u8,
+}
+
+impl GroupHello {
+    /// Encodes into a 5-byte array.
+    pub fn encode(&self) -> [u8; GROUP_HELLO_LEN] {
+        [
+            MAGIC,
+            GROUP_MAGIC,
+            GROUP_VERSION,
+            self.streams,
+            self.stream_id,
+        ]
+    }
+
+    /// Reads and validates a hello.
+    pub fn read(r: &mut impl Read) -> io::Result<GroupHello> {
+        let mut h = [0u8; GROUP_HELLO_LEN];
+        r.read_exact(&mut h)?;
+        if h[0] != MAGIC || h[1] != GROUP_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "expected stream-group hello, got {:#04x} {:#04x} (v1 peer on a multi-stream group?)",
+                    h[0], h[1]
+                ),
+            ));
+        }
+        if h[2] != GROUP_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported stream-group version {}", h[2]),
+            ));
+        }
+        if h[3] == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream-group hello announcing zero streams",
+            ));
+        }
+        Ok(GroupHello {
+            streams: h[3],
+            stream_id: h[4],
+        })
+    }
+}
+
 /// Writes a `u32` length prefix (probe segment).
 pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -219,5 +413,89 @@ mod tests {
         };
         let mut c = Cursor::new(fh.encode().to_vec());
         assert!(FrameHeader::read(&mut c, 10).is_err());
+    }
+
+    #[test]
+    fn frame_v2_roundtrip() {
+        let fh = FrameHeaderV2 {
+            level: 9,
+            stream: 3,
+            seq: u64::MAX / 3,
+            raw_len: 204_800,
+            payload_len: 55_555,
+        };
+        let mut c = Cursor::new(fh.encode().to_vec());
+        assert_eq!(FrameHeaderV2::read(&mut c, 10).unwrap(), fh);
+    }
+
+    #[test]
+    fn frame_v2_fin_roundtrip() {
+        let fin = FrameHeaderV2::fin(2, 41);
+        assert!(fin.is_fin());
+        let mut c = Cursor::new(fin.encode().to_vec());
+        let got = FrameHeaderV2::read(&mut c, 10).unwrap();
+        assert_eq!(got, fin);
+        assert_eq!(got.seq, 41);
+    }
+
+    #[test]
+    fn frame_v2_rejects_bad_level_and_nonempty_fin() {
+        let mut bad_level = FrameHeaderV2 {
+            level: 11,
+            stream: 0,
+            seq: 0,
+            raw_len: 1,
+            payload_len: 1,
+        }
+        .encode();
+        assert!(FrameHeaderV2::read(&mut Cursor::new(bad_level.to_vec()), 10).is_err());
+        // A FIN whose length fields are non-zero is corrupt.
+        bad_level[0] = LEVEL_FIN;
+        assert!(FrameHeaderV2::read(&mut Cursor::new(bad_level.to_vec()), 10).is_err());
+    }
+
+    #[test]
+    fn frame_v2_raw_length_mismatch_rejected() {
+        let fh = FrameHeaderV2 {
+            level: 0,
+            stream: 1,
+            seq: 7,
+            raw_len: 10,
+            payload_len: 9,
+        };
+        let mut c = Cursor::new(fh.encode().to_vec());
+        assert!(FrameHeaderV2::read(&mut c, 10).is_err());
+    }
+
+    #[test]
+    fn group_hello_roundtrip() {
+        let h = GroupHello {
+            streams: 4,
+            stream_id: 2,
+        };
+        let mut c = Cursor::new(h.encode().to_vec());
+        assert_eq!(GroupHello::read(&mut c).unwrap(), h);
+    }
+
+    #[test]
+    fn group_hello_rejects_v1_traffic_and_bad_version() {
+        // A v1 message header where a hello is expected must error, not
+        // be misparsed.
+        let msg = encode_msg_header(MsgKind::Direct, 99);
+        assert!(GroupHello::read(&mut Cursor::new(msg.to_vec())).is_err());
+        let mut bad = GroupHello {
+            streams: 2,
+            stream_id: 0,
+        }
+        .encode();
+        bad[2] = 3; // future version
+        assert!(GroupHello::read(&mut Cursor::new(bad.to_vec())).is_err());
+        let mut zero = GroupHello {
+            streams: 2,
+            stream_id: 0,
+        }
+        .encode();
+        zero[3] = 0;
+        assert!(GroupHello::read(&mut Cursor::new(zero.to_vec())).is_err());
     }
 }

@@ -142,3 +142,110 @@ fn garbage_streams_error_quickly() {
         assert!(res.is_err(), "seed {seed} decoded garbage");
     }
 }
+
+/// Runs `f` on a watchdog: the test fails (rather than hanging CI
+/// forever) if the operation deadlocks.
+fn must_finish_within(secs: u64, what: &str, f: impl FnOnce() -> bool + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
+        Ok(errored) => assert!(errored, "{what}: expected an error"),
+        Err(_) => panic!("{what}: deadlocked"),
+    }
+}
+
+#[test]
+fn emission_death_with_full_queue_unblocks_producer() {
+    // The queue-shutdown regression: the compression thread sits blocked
+    // in `Queue::push` on a full queue while the emission thread dies on
+    // a socket error. The queue teardown must wake the producer with an
+    // error — historically this path could strand the producer forever.
+    struct StallThenFail {
+        wrote: usize,
+    }
+    impl std::io::Write for StallThenFail {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            // Accept a couple of packets, then stall long enough for the
+            // producer to fill the queue, then die.
+            if self.wrote < 2 {
+                self.wrote += 1;
+                return Ok(buf.len());
+            }
+            thread::sleep(std::time::Duration::from_millis(200));
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "socket died mid-send",
+            ))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    must_finish_within(20, "send over a dying socket", || {
+        let mut cfg = AdocConfig::default().with_levels(1, 10);
+        cfg.buffer_size = 16 << 10;
+        cfg.packet_size = 4 << 10;
+        cfg.queue_cap = 8; // fills fast: the producer will block in push
+        let data = generate(DataKind::Incompressible, 2 << 20, 0xDEAD);
+        let mut sink = StallThenFail { wrote: 0 };
+        let mut src = &data[..];
+        adoc::sender::send_message(&mut sink, &mut src, data.len() as u64, &cfg).is_err()
+    });
+}
+
+#[test]
+fn panicking_decoder_thread_does_not_hang_receive() {
+    // Shutdown-path regression on the receive side: a panic in the
+    // decompression thread used to leave the reception thread blocked in
+    // `Queue::push` (16-frame queue) with thread::scope never unwinding.
+    // The queue drop-guards must poison the queue so receive returns an
+    // error instead.
+    struct PanicThrottle;
+    impl adoc::Throttle for PanicThrottle {
+        fn charge(&self, _elapsed: std::time::Duration) {
+            panic!("simulated decoder death");
+        }
+    }
+    // > 16 frames so the reception thread actually fills the queue.
+    let mut tx_cfg = AdocConfig::default().with_levels(2, 10);
+    tx_cfg.buffer_size = 32 << 10;
+    let data = payload(2 << 20);
+    let mut wire = Vec::new();
+    let mut src = &data[..];
+    adoc::sender::send_message(&mut wire, &mut src, data.len() as u64, &tx_cfg).unwrap();
+
+    must_finish_within(20, "receive with a panicking decoder", move || {
+        let rx_cfg = AdocConfig::default().with_throttle(std::sync::Arc::new(PanicThrottle));
+        let mut c = std::io::Cursor::new(wire);
+        let mut out = std::io::sink();
+        adoc::receiver::receive_message(&mut c, &mut out, &rx_cfg).is_err()
+    });
+}
+
+#[test]
+fn striped_receiver_vanishing_fails_all_streams() {
+    // Multi-stream flavour of the vanishing peer: all three stream pipes
+    // die while a striped send is in flight; the sender must error out
+    // of every per-stream pipeline and return.
+    must_finish_within(20, "striped send into dead pipes", || {
+        let mut writers = Vec::new();
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let (w, r) = pipe(8 << 10);
+            writers.push(w);
+            readers.push(r);
+        }
+        let killer = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(50));
+            drop(readers);
+        });
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let data = generate(DataKind::Ascii, 8 << 20, 0xF00D);
+        let mut src = &data[..];
+        let res = adoc::sender::send_message_multi(&mut writers, &mut src, data.len() as u64, &cfg);
+        killer.join().unwrap();
+        res.is_err()
+    });
+}
