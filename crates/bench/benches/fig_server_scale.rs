@@ -1,0 +1,121 @@
+//! Server scalability: aggregate throughput of the `adoc-server` core as
+//! concurrent clients grow (1 / 8 / 32 / 64).
+//!
+//! Each client gets its own 50 Mbit shaped link into the shared server
+//! (per-client line rate, shared pool, shared fair-share scheduler),
+//! sends one 1 MiB message and reads the echo. Sessions are
+//! link-bound — wire time dwarfs per-client CPU — so the aggregate must
+//! grow as clients overlap their waits, independent of core count
+//! (CI runners are often single-core; a compression-bound fleet would
+//! measure the codec, not the daemon). Two budget settings bracket the
+//! scheduler's role:
+//!
+//! * `generous` (2 GiB/s): the scheduler is fully engaged (every wire
+//!   byte passes admission) but never binding — aggregate throughput
+//!   must rise monotonically from 1 → 8 → 32 clients;
+//! * `capped` (64 Mbit/s aggregate): the fair-share budget *is* the
+//!   bottleneck, so aggregate throughput plateaus near the budget no
+//!   matter how many clients pile on — the no-starvation half of the
+//!   scheduler's contract, measured.
+//!
+//! Compression-on serving at scale (mixed v1/v2 clients, adaptive
+//! levels) is covered end-to-end by the `server_stress` integration
+//! tests and `adoc-loadgen`; this sweep isolates the daemon's
+//! concurrency and scheduling.
+
+use adoc::{AdocConfig, AdocSocket};
+use adoc_data::{generate, DataKind};
+use adoc_server::{Server, ServerConfig};
+use adoc_sim::link::{duplex, LinkCfg};
+use adoc_sim::mbit;
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, SamplingMode, Throughput,
+};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn per_client_link() -> LinkCfg {
+    LinkCfg::new(mbit(50.0), Duration::from_millis(1))
+}
+
+/// One full fleet round: `clients` concurrent echo sessions of one
+/// `payload`-sized message each, against a fresh server core.
+fn fleet_round(clients: usize, payload: &Arc<Vec<u8>>, budget_bytes_per_sec: Option<f64>) {
+    // Transfer-daemon configuration: compression disabled on both sides
+    // keeps each session wait-dominated (see the module docs); every
+    // byte still flows through the pooled direct path and the
+    // scheduler's admission.
+    let plain = AdocConfig::default().with_levels(0, 0);
+    let server = Server::new(ServerConfig {
+        adoc: plain.clone(),
+        budget_bytes_per_sec,
+        max_conns: clients + 8,
+        ..ServerConfig::default()
+    })
+    .expect("valid server config");
+
+    thread::scope(|s| {
+        for c in 0..clients {
+            let server = Arc::clone(&server);
+            let payload = Arc::clone(payload);
+            let cfg = plain.clone();
+            s.spawn(move || {
+                let (client_end, server_end) = duplex(per_client_link());
+                let (sr, sw) = server_end.split();
+                let serving = thread::spawn(move || {
+                    server
+                        .serve_stream(sr, sw, &format!("bench-client-{c}"))
+                        .expect("serve")
+                });
+                let (cr, cw) = client_end.split();
+                let mut conn = AdocSocket::with_config(cr, cw, cfg).expect("client cfg");
+                conn.write(&payload).expect("send");
+                let mut back = vec![0u8; payload.len()];
+                conn.read_exact(&mut back).expect("echo");
+                assert_eq!(back, **payload, "echo must be byte-exact");
+                drop(conn);
+                assert_eq!(serving.join().expect("server thread"), 1);
+            });
+        }
+    });
+    assert_eq!(
+        server.pool().stats().outstanding,
+        0,
+        "no pooled buffer may leak"
+    );
+}
+
+fn bench_server_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_server_scale");
+    g.sample_size(10);
+    g.sampling_mode(SamplingMode::Flat);
+    g.measurement_time(Duration::from_secs(12));
+
+    let size = 1 << 20;
+    let payload = Arc::new(generate(DataKind::Ascii, size, 42));
+    for clients in [1usize, 8, 32, 64] {
+        // Echo: every payload byte crosses the server twice.
+        g.throughput(Throughput::Bytes((2 * size * clients) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("echo_ascii_1MiB", clients),
+            &payload,
+            |b, p| b.iter(|| fleet_round(clients, p, Some(2.0 * 1024.0 * 1024.0 * 1024.0))),
+        );
+    }
+
+    // The fairness cap: 64 Mbit/s aggregate shared by every client. More
+    // clients must NOT mean more aggregate throughput here.
+    for clients in [1usize, 8] {
+        g.throughput(Throughput::Bytes((2 * size * clients) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("echo_capped_64mbit", clients),
+            &payload,
+            |b, p| b.iter(|| fleet_round(clients, p, Some(64e6 / 8.0))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_server_scale);
+criterion_main!(benches);

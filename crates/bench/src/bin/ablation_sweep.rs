@@ -29,8 +29,8 @@ fn transfer_secs(
     let (a, b) = duplex(link.clone());
     let (ar, aw) = a.split();
     let (br, bw) = b.split();
-    let mut tx = AdocSocket::with_config(ar, aw, tx_cfg);
-    let mut rx = AdocSocket::with_config(br, bw, rx_cfg);
+    let mut tx = AdocSocket::with_config(ar, aw, tx_cfg).expect("valid sweep config");
+    let mut rx = AdocSocket::with_config(br, bw, rx_cfg).expect("valid sweep config");
     let n = data.len();
     let receiver = thread::spawn(move || {
         let mut buf = vec![0u8; n];

@@ -91,8 +91,8 @@ fn adoc_pair_asym(
     let (ar, aw) = a.split();
     let (br, bw) = b.split();
     (
-        AdocSocket::with_config(ar, aw, local.clone()),
-        AdocSocket::with_config(br, bw, remote.clone()),
+        AdocSocket::with_config(ar, aw, local.clone()).expect("valid bench config"),
+        AdocSocket::with_config(br, bw, remote.clone()).expect("valid bench config"),
     )
 }
 

@@ -160,6 +160,26 @@ impl Condvar {
         }
     }
 
+    /// Waits until notified or `timeout` elapses, whichever comes first.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard surrendered during wait");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();

@@ -133,20 +133,23 @@ where
     W: Write + Send + 'static,
 {
     adoc_register_cfg(reader, writer, AdocConfig::default())
+        .expect("the default AdocConfig is always valid")
 }
 
-/// [`adoc_register`] with an explicit configuration.
-pub fn adoc_register_cfg<R, W>(reader: R, writer: W, cfg: AdocConfig) -> i32
+/// [`adoc_register`] with an explicit configuration. Fails with a typed
+/// [`crate::AdocError::InvalidConfig`] when the configuration is
+/// inconsistent.
+pub fn adoc_register_cfg<R, W>(reader: R, writer: W, cfg: AdocConfig) -> io::Result<i32>
 where
     R: Read + Send + 'static,
     W: Write + Send + 'static,
 {
-    let sock = AdocSocket::with_config(reader, writer, cfg);
+    let sock = AdocSocket::with_config(reader, writer, cfg)?;
     let d = NEXT_FD.fetch_add(1, Ordering::Relaxed);
     registry()
         .lock()
         .insert(d, Arc::new(Mutex::new(Box::new(sock))));
-    d
+    Ok(d)
 }
 
 /// Registers a striped stream group as one descriptor: the paper's API

@@ -1,6 +1,7 @@
 //! Every constant the paper fixes, as a tunable (the ablation benches
 //! sweep them).
 
+use crate::error::AdocError;
 use crate::pool::BufferPool;
 use crate::throttle::{NoThrottle, Throttle};
 use std::sync::Arc;
@@ -65,6 +66,12 @@ pub struct AdocConfig {
     /// *per stream*, v2 framing, negotiated at connect time — see
     /// [`crate::wire`]).
     pub streams: usize,
+    /// How long [`crate::AdocStreamGroup::accept`] (and the server
+    /// daemon) waits for a connected peer's `GroupHello` before failing
+    /// the accept with [`AdocError::HelloTimeout`]. Without this bound a
+    /// client that dies between `connect` and its hello wedges the
+    /// accept loop forever.
+    pub hello_timeout: Duration,
     /// CPU-speed model charged per unit of (de)compression work
     /// (simulation hook; defaults to none).
     pub throttle: Arc<dyn Throttle>,
@@ -110,6 +117,7 @@ impl Default for AdocConfig {
             divergence_margin: 1.10,
             max_message: 1 << 40,
             streams: 1,
+            hello_timeout: Duration::from_secs(10),
             throttle: Arc::new(NoThrottle),
             pool: BufferPool::default(),
         }
@@ -138,6 +146,13 @@ impl AdocConfig {
         self
     }
 
+    /// Sets the stream-group hello timeout (see
+    /// [`AdocConfig::hello_timeout`]).
+    pub fn with_hello_timeout(mut self, timeout: Duration) -> Self {
+        self.hello_timeout = timeout;
+        self
+    }
+
     /// True when the caller forces compression on (paper: `min` set above
     /// `ADOC_MIN_LEVEL`).
     pub fn compression_forced(&self) -> bool {
@@ -150,29 +165,87 @@ impl AdocConfig {
         self.max_level == 0
     }
 
-    /// Panics if the configuration is inconsistent.
-    pub fn validate(&self) {
-        assert!(self.min_level <= self.max_level, "min_level > max_level");
-        assert!(
-            self.max_level <= adoc_codec::ADOC_MAX_LEVEL,
-            "max_level out of range"
-        );
-        assert!(self.buffer_size > 0 && self.packet_size > 0);
-        assert!(self.packet_size <= self.buffer_size);
-        assert!(self.probe_size <= self.probe_threshold);
-        assert!(self.low_water < self.mid_water && self.mid_water < self.high_water);
-        assert!(
-            self.queue_cap > self.high_water,
-            "queue must hold more than high_water packets"
-        );
-        assert!(
-            self.ratio_guard == 0.0 || self.ratio_guard >= 1.0,
-            "ratio_guard must be 0 (disabled) or >= 1"
-        );
-        assert!(
-            self.streams >= 1 && self.streams <= 255,
-            "streams must be in 1..=255 (stream ids are u8)"
-        );
+    /// Checks the configuration for consistency, returning a typed
+    /// [`AdocError::InvalidConfig`] naming the violated rule.
+    ///
+    /// Called by every construction path ([`crate::AdocSocket`],
+    /// [`crate::AdocStreamGroup`], `adoc_register_cfg`, the server
+    /// daemon), so a nonsensical config — zero streams, a zero-capacity
+    /// queue, a packet smaller than a frame header — surfaces as an
+    /// error at the API boundary instead of a panic (or a hang) deep
+    /// inside the pipeline threads.
+    pub fn validate(&self) -> Result<(), AdocError> {
+        fn bad(reason: impl Into<String>) -> Result<(), AdocError> {
+            Err(AdocError::InvalidConfig {
+                reason: reason.into(),
+            })
+        }
+        if self.min_level > self.max_level {
+            return bad(format!(
+                "min_level {} > max_level {}",
+                self.min_level, self.max_level
+            ));
+        }
+        if self.max_level > adoc_codec::ADOC_MAX_LEVEL {
+            return bad(format!(
+                "max_level {} out of range (max {})",
+                self.max_level,
+                adoc_codec::ADOC_MAX_LEVEL
+            ));
+        }
+        if self.packet_size < crate::wire::FRAME_HEADER_LEN {
+            return bad(format!(
+                "packet_size {} smaller than a frame header ({} bytes)",
+                self.packet_size,
+                crate::wire::FRAME_HEADER_LEN
+            ));
+        }
+        if self.buffer_size == 0 {
+            return bad("buffer_size must be > 0");
+        }
+        if self.packet_size > self.buffer_size {
+            return bad(format!(
+                "packet_size {} exceeds buffer_size {}",
+                self.packet_size, self.buffer_size
+            ));
+        }
+        if self.probe_size > self.probe_threshold {
+            return bad(format!(
+                "probe_size {} exceeds probe_threshold {}",
+                self.probe_size, self.probe_threshold
+            ));
+        }
+        if !(self.low_water < self.mid_water && self.mid_water < self.high_water) {
+            return bad(format!(
+                "watermarks must be strictly increasing: {} / {} / {}",
+                self.low_water, self.mid_water, self.high_water
+            ));
+        }
+        if self.queue_cap <= self.high_water {
+            return bad(format!(
+                "queue_cap {} must exceed high_water {} (and be non-zero)",
+                self.queue_cap, self.high_water
+            ));
+        }
+        if !(self.ratio_guard == 0.0 || self.ratio_guard >= 1.0) {
+            return bad(format!(
+                "ratio_guard {} must be 0 (disabled) or >= 1",
+                self.ratio_guard
+            ));
+        }
+        if self.streams < 1 || self.streams > 255 {
+            return bad(format!(
+                "streams {} must be in 1..=255 (stream ids are u8)",
+                self.streams
+            ));
+        }
+        if self.hello_timeout.is_zero() {
+            // `set_read_timeout(Some(ZERO))` is an error by std's
+            // contract, so a zero timeout would fail at accept time with
+            // an opaque InvalidInput instead of here.
+            return bad("hello_timeout must be > 0 (there is no 'no timeout' setting)");
+        }
+        Ok(())
     }
 }
 
@@ -183,7 +256,7 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let c = AdocConfig::default();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.buffer_size, 200 * 1024);
         assert_eq!(c.packet_size, 8 * 1024);
         assert_eq!(c.probe_threshold, 512 * 1024);
@@ -206,22 +279,87 @@ mod tests {
             .compression_disabled());
     }
 
+    /// The reason string of the typed error `cfg` fails with.
+    fn reason(cfg: &AdocConfig) -> String {
+        match cfg.validate().unwrap_err() {
+            crate::error::AdocError::InvalidConfig { reason } => reason,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
     #[test]
-    #[should_panic(expected = "min_level > max_level")]
     fn invalid_levels_rejected() {
-        AdocConfig::default().with_levels(5, 2).validate();
+        let cfg = AdocConfig::default().with_levels(5, 2);
+        assert!(reason(&cfg).contains("min_level 5 > max_level 2"));
     }
 
     #[test]
     fn stream_counts_validate() {
         assert_eq!(AdocConfig::default().streams, 1, "default stays v1");
-        AdocConfig::default().with_streams(4).validate();
-        AdocConfig::default().with_streams(255).validate();
+        AdocConfig::default().with_streams(4).validate().unwrap();
+        AdocConfig::default().with_streams(255).validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "streams must be in 1..=255")]
     fn zero_streams_rejected() {
-        AdocConfig::default().with_streams(0).validate();
+        let cfg = AdocConfig::default().with_streams(0);
+        assert!(reason(&cfg).contains("streams 0 must be in 1..=255"));
+    }
+
+    #[test]
+    fn pipeline_panicking_configs_are_typed_errors() {
+        // Each of these used to survive construction and panic (or hang)
+        // only once the pipeline threads touched the bad field.
+        let tiny_packet = AdocConfig {
+            packet_size: crate::wire::FRAME_HEADER_LEN - 1,
+            ..AdocConfig::default()
+        };
+        assert!(reason(&tiny_packet).contains("smaller than a frame header"));
+
+        let zero_packet = AdocConfig {
+            packet_size: 0,
+            ..AdocConfig::default()
+        };
+        assert!(reason(&zero_packet).contains("smaller than a frame header"));
+
+        let zero_buffer = AdocConfig {
+            buffer_size: 0,
+            ..AdocConfig::default()
+        };
+        assert!(zero_buffer.validate().is_err());
+
+        let zero_queue = AdocConfig {
+            queue_cap: 0,
+            ..AdocConfig::default()
+        };
+        assert!(reason(&zero_queue).contains("queue_cap 0 must exceed"));
+
+        let shallow_queue = AdocConfig {
+            queue_cap: AdocConfig::default().high_water,
+            ..AdocConfig::default()
+        };
+        assert!(reason(&shallow_queue).contains("must exceed high_water"));
+
+        let bad_guard = AdocConfig {
+            ratio_guard: 0.5,
+            ..AdocConfig::default()
+        };
+        assert!(reason(&bad_guard).contains("ratio_guard"));
+    }
+
+    #[test]
+    fn minimum_legal_packet_size_passes() {
+        let cfg = AdocConfig {
+            packet_size: crate::wire::FRAME_HEADER_LEN,
+            ..AdocConfig::default()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn hello_timeout_is_tunable() {
+        let cfg = AdocConfig::default().with_hello_timeout(Duration::from_millis(250));
+        assert_eq!(cfg.hello_timeout, Duration::from_millis(250));
+        cfg.validate().unwrap();
     }
 }

@@ -29,6 +29,22 @@ pub enum AdocError {
         /// Stream count the peer announced.
         theirs: u8,
     },
+    /// An [`crate::AdocConfig`] failed validation at construction —
+    /// raised by the socket/group/server constructors instead of letting
+    /// a nonsensical field (zero streams, zero-capacity queue, packet
+    /// smaller than a frame header…) panic deep inside the pipeline.
+    InvalidConfig {
+        /// Which configuration rule was violated.
+        reason: String,
+    },
+    /// A stream-group peer connected but never sent its `GroupHello`
+    /// within [`crate::AdocConfig::hello_timeout`]. Raised by
+    /// [`crate::AdocStreamGroup::accept`] (and the server daemon) so a
+    /// half-dead client cannot wedge the accept path forever.
+    HelloTimeout {
+        /// The timeout that elapsed.
+        timeout: std::time::Duration,
+    },
 }
 
 impl fmt::Display for AdocError {
@@ -44,6 +60,13 @@ impl fmt::Display for AdocError {
                 f,
                 "stream-group negotiation failed: we announced {ours} streams, peer announced {theirs}"
             ),
+            AdocError::InvalidConfig { reason } => {
+                write!(f, "invalid AdocConfig: {reason}")
+            }
+            AdocError::HelloTimeout { timeout } => write!(
+                f,
+                "peer connected but sent no stream-group hello within {timeout:?}"
+            ),
         }
     }
 }
@@ -52,7 +75,11 @@ impl std::error::Error for AdocError {}
 
 impl From<AdocError> for io::Error {
     fn from(e: AdocError) -> io::Error {
-        io::Error::new(io::ErrorKind::InvalidInput, e)
+        let kind = match &e {
+            AdocError::HelloTimeout { .. } => io::ErrorKind::TimedOut,
+            _ => io::ErrorKind::InvalidInput,
+        };
+        io::Error::new(kind, e)
     }
 }
 
@@ -60,6 +87,21 @@ impl AdocError {
     /// Recovers an [`AdocError`] carried inside an [`io::Error`], if any.
     pub fn from_io(e: &io::Error) -> Option<&AdocError> {
         e.get_ref()?.downcast_ref::<AdocError>()
+    }
+
+    /// Classifies an I/O error from a timed hello read: timeouts become
+    /// the typed [`AdocError::HelloTimeout`], everything else passes
+    /// through. The single place the mapping lives — the library
+    /// acceptor and the server daemon both use it.
+    pub fn map_hello_timeout(e: io::Error, timeout: std::time::Duration) -> io::Error {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            AdocError::HelloTimeout { timeout }.into()
+        } else {
+            e
+        }
     }
 }
 
@@ -89,5 +131,38 @@ mod tests {
         assert!(msg.contains("4294967295"), "{msg}");
         let msg = AdocError::StreamCountMismatch { ours: 4, theirs: 2 }.to_string();
         assert!(msg.contains('4') && msg.contains('2'), "{msg}");
+        let msg = AdocError::InvalidConfig {
+            reason: "streams must be in 1..=255".into(),
+        }
+        .to_string();
+        assert!(msg.contains("streams"), "{msg}");
+    }
+
+    #[test]
+    fn hello_timeout_maps_to_timed_out() {
+        let e: io::Error = AdocError::HelloTimeout {
+            timeout: std::time::Duration::from_millis(250),
+        }
+        .into();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        match AdocError::from_io(&e) {
+            Some(AdocError::HelloTimeout { timeout }) => {
+                assert_eq!(*timeout, std::time::Duration::from_millis(250));
+            }
+            other => panic!("lost the typed error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_roundtrips() {
+        let e: io::Error = AdocError::InvalidConfig {
+            reason: "queue_cap must exceed high_water".into(),
+        }
+        .into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(
+            AdocError::from_io(&e),
+            Some(AdocError::InvalidConfig { .. })
+        ));
     }
 }

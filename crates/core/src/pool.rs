@@ -15,10 +15,18 @@
 //! ([`crate::queue::Packet`]) hold the buffer via `Arc`, so the last view
 //! must be gone first. [`PoolStats::outstanding`] exposes the live-buffer
 //! gauge the tests assert on.
+//!
+//! For long-lived multi-connection processes (the `adoc-server` daemon)
+//! the pool's idle cap is **reconfigurable at runtime**
+//! ([`BufferPool::set_max_idle`]) and every buffer released past the cap
+//! is counted in [`PoolStats::evicted`], so a burst of large transfers
+//! cannot pin peak memory forever and the shrink-back is observable.
+//! [`PoolStats::peak_outstanding`] records the high-water mark of live
+//! buffers — the number the stress tests bound.
 
 use parking_lot::Mutex;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default bound on idle buffers kept by [`BufferPool::new`]; more than a
@@ -35,8 +43,15 @@ pub struct PoolStats {
     pub misses: u64,
     /// Buffers returned to the free list on drop.
     pub returns: u64,
+    /// Buffers released to the allocator instead of the free list —
+    /// either because the list was at its idle cap when they came back,
+    /// or because [`BufferPool::set_max_idle`] trimmed the list.
+    pub evicted: u64,
     /// Buffers currently checked out (hits + misses − drops).
     pub outstanding: i64,
+    /// Highest `outstanding` ever observed — the pool's memory
+    /// high-water mark in buffers.
+    pub peak_outstanding: i64,
 }
 
 #[derive(Default)]
@@ -44,13 +59,15 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     returns: AtomicU64,
+    evicted: AtomicU64,
     outstanding: AtomicI64,
+    peak_outstanding: AtomicI64,
 }
 
 struct PoolShared {
     free: Mutex<Vec<Vec<u8>>>,
     counters: Counters,
-    max_idle: usize,
+    max_idle: AtomicUsize,
 }
 
 /// A shared, bounded free list of byte buffers. Cloning is cheap (one
@@ -73,6 +90,7 @@ impl std::fmt::Debug for BufferPool {
         let s = self.stats();
         f.debug_struct("BufferPool")
             .field("idle", &self.shared.free.lock().len())
+            .field("max_idle", &self.max_idle())
             .field("stats", &s)
             .finish()
     }
@@ -85,7 +103,7 @@ impl BufferPool {
             shared: Arc::new(PoolShared {
                 free: Mutex::new(Vec::new()),
                 counters: Counters::default(),
-                max_idle,
+                max_idle: AtomicUsize::new(max_idle),
             }),
         }
     }
@@ -118,7 +136,8 @@ impl BufferPool {
             }
         };
         let c = &self.shared.counters;
-        c.outstanding.fetch_add(1, Ordering::Relaxed);
+        let now = c.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        c.peak_outstanding.fetch_max(now, Ordering::Relaxed);
         let vec = match recycled {
             Some(v) if v.capacity() >= capacity => {
                 c.hits.fetch_add(1, Ordering::Relaxed);
@@ -148,13 +167,47 @@ impl BufferPool {
             hits: c.hits.load(Ordering::Relaxed),
             misses: c.misses.load(Ordering::Relaxed),
             returns: c.returns.load(Ordering::Relaxed),
+            evicted: c.evicted.load(Ordering::Relaxed),
             outstanding: c.outstanding.load(Ordering::Relaxed),
+            peak_outstanding: c.peak_outstanding.load(Ordering::Relaxed),
         }
     }
 
     /// Number of idle buffers currently in the free list.
     pub fn idle(&self) -> usize {
         self.shared.free.lock().len()
+    }
+
+    /// Current idle-buffer cap.
+    pub fn max_idle(&self) -> usize {
+        self.shared.max_idle.load(Ordering::Relaxed)
+    }
+
+    /// Changes the idle-buffer cap at runtime, immediately releasing any
+    /// free buffers beyond the new cap (counted in
+    /// [`PoolStats::evicted`]). Lowering the cap is how a long-lived
+    /// daemon sheds the memory of a past burst; outstanding buffers are
+    /// unaffected.
+    pub fn set_max_idle(&self, max_idle: usize) {
+        self.shared.max_idle.store(max_idle, Ordering::Relaxed);
+        let excess: Vec<Vec<u8>> = {
+            let mut free = self.shared.free.lock();
+            if free.len() <= max_idle {
+                return;
+            }
+            free.split_off(max_idle)
+        };
+        self.shared
+            .counters
+            .evicted
+            .fetch_add(excess.len() as u64, Ordering::Relaxed);
+        // Allocations are released outside the lock.
+        drop(excess);
+    }
+
+    /// Total bytes currently pinned by idle free-list buffers.
+    pub fn idle_bytes(&self) -> usize {
+        self.shared.free.lock().iter().map(|v| v.capacity()).sum()
     }
 }
 
@@ -205,14 +258,22 @@ impl Drop for PooledBuf {
         };
         shared.counters.outstanding.fetch_sub(1, Ordering::Relaxed);
         let mut free = shared.free.lock();
-        if free.len() < shared.max_idle {
+        // The cap is read under the free-list lock — the synchronization
+        // point `set_max_idle`'s trim uses — so a concurrent cap change
+        // can never be overshot by drops that loaded a stale cap.
+        let max_idle = shared.max_idle.load(Ordering::Relaxed);
+        if free.len() < max_idle {
             let mut vec = std::mem::take(&mut self.vec);
             vec.clear();
             free.push(vec);
             drop(free);
             shared.counters.returns.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Free list full: the allocation is released normally, and
+            // the release is observable as an eviction.
+            drop(free);
+            shared.counters.evicted.fetch_add(1, Ordering::Relaxed);
         }
-        // Else: free list full, the allocation is released normally.
     }
 }
 
@@ -246,16 +307,51 @@ mod tests {
         drop(b);
         assert_eq!(pool.stats().outstanding, 0);
         assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().peak_outstanding, 2);
     }
 
     #[test]
-    fn idle_list_is_bounded() {
+    fn idle_list_is_bounded_and_overflow_counts_as_eviction() {
         let pool = BufferPool::new(2);
         let bufs: Vec<_> = (0..5).map(|_| pool.get(64)).collect();
         drop(bufs);
         assert_eq!(pool.idle(), 2, "free list must cap at max_idle");
         assert_eq!(pool.stats().returns, 2);
+        assert_eq!(pool.stats().evicted, 3, "overflow drops are evictions");
         assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.stats().peak_outstanding, 5);
+    }
+
+    #[test]
+    fn set_max_idle_trims_immediately() {
+        let pool = BufferPool::new(8);
+        let bufs: Vec<_> = (0..6).map(|_| pool.get(1 << 10)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 6);
+        let pinned = pool.idle_bytes();
+        assert!(pinned >= 6 << 10);
+        pool.set_max_idle(2);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.max_idle(), 2);
+        assert_eq!(pool.stats().evicted, 4);
+        assert!(pool.idle_bytes() < pinned);
+        // Raising the cap later lets returns flow again.
+        pool.set_max_idle(8);
+        let live = [pool.get(16), pool.get(16), pool.get(16)];
+        drop(live);
+        assert_eq!(pool.idle(), 3, "all three must return under the new cap");
+    }
+
+    #[test]
+    fn zero_cap_pool_pools_nothing() {
+        let pool = BufferPool::new(0);
+        drop(pool.get(128));
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.stats().returns, 0);
+        assert_eq!(pool.stats().evicted, 1);
+        // Still works, just allocates every time.
+        drop(pool.get(128));
+        assert_eq!(pool.stats().misses, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! buffering unboundedly.
 
 use crate::config::AdocConfig;
-use crate::pool::{BufferPool, PooledBuf};
+use crate::pool::PooledBuf;
 use crate::queue::{Packet, PacketQueue};
 use crate::wire::{self, FrameHeader, FrameHeaderV2, MsgKind};
 use parking_lot::{Condvar, Mutex};
@@ -58,7 +58,7 @@ where
 
     match kind {
         MsgKind::Direct => {
-            copy_exact(reader, sink, raw_len, cfg.buffer_size, &cfg.pool)?;
+            copy_exact(reader, sink, raw_len, cfg.buffer_size, cfg)?;
             Ok(Some(raw_len))
         }
         MsgKind::Adaptive => {
@@ -97,7 +97,7 @@ where
     }
     match kind {
         MsgKind::Direct => {
-            copy_exact(&mut readers[0], sink, raw_len, cfg.buffer_size, &cfg.pool)?;
+            copy_exact(&mut readers[0], sink, raw_len, cfg.buffer_size, cfg)?;
             Ok(Some(raw_len))
         }
         MsgKind::Adaptive => {
@@ -155,7 +155,7 @@ fn read_probe_prefix<R: Read, K: Write>(
             "probe longer than message",
         ));
     }
-    copy_exact(reader, sink, probe_len, cfg.packet_size, &cfg.pool)?;
+    copy_exact(reader, sink, probe_len, cfg.packet_size, cfg)?;
     Ok(probe_len)
 }
 
@@ -181,7 +181,7 @@ fn reception_thread<R: Read>(
         // Pooled payload buffer, filled through `Take` so the reserved
         // capacity is never zeroed first; it returns to the slab once
         // the decompression thread drops the packet.
-        let payload = read_payload(reader, fh.payload_len, &cfg.pool)?;
+        let payload = read_payload(reader, fh.payload_len, cfg)?;
         collected += u64::from(fh.raw_len);
         let len = payload.len();
         let pkt = Packet::view(Arc::new(payload), 0, len, fh.level, fh.raw_len);
@@ -206,13 +206,16 @@ fn check_payload_bound(raw_len: u32, payload_len: u32, cfg: &AdocConfig) -> io::
     Ok(())
 }
 
-/// Reads exactly `payload_len` bytes into a pooled buffer.
+/// Reads exactly `payload_len` bytes into a pooled buffer, acquiring
+/// wire budget first — inbound pacing: a throttled reader drains the
+/// socket at its share, and TCP backpressure slows the greedy sender.
 fn read_payload<R: Read>(
     reader: &mut R,
     payload_len: u32,
-    pool: &BufferPool,
+    cfg: &AdocConfig,
 ) -> io::Result<PooledBuf> {
-    let mut payload = pool.get(payload_len as usize);
+    cfg.throttle.acquire_wire(payload_len as usize);
+    let mut payload = cfg.pool.get(payload_len as usize);
     match reader
         .by_ref()
         .take(u64::from(payload_len))
@@ -520,7 +523,7 @@ fn stream_reception_thread<R: Read>(
             return Ok(());
         }
         check_payload_bound(fh.raw_len, fh.payload_len, cfg)?;
-        let payload = read_payload(reader, fh.payload_len, &cfg.pool)?;
+        let payload = read_payload(reader, fh.payload_len, cfg)?;
         frames_seen += 1;
         let frame = RecvFrame {
             level: fh.level,
@@ -591,17 +594,18 @@ fn copy_exact<R: Read, W: Write>(
     sink: &mut W,
     len: u64,
     chunk: usize,
-    pool: &BufferPool,
+    cfg: &AdocConfig,
 ) -> io::Result<()> {
     if len == 0 {
         return Ok(());
     }
     let size = chunk.max(1).min(len.try_into().unwrap_or(usize::MAX));
-    let mut buf = pool.get(size);
+    let mut buf = cfg.pool.get(size);
     buf.resize(size, 0);
     let mut left = len;
     while left > 0 {
         let want = (buf.len() as u64).min(left) as usize;
+        cfg.throttle.acquire_wire(want);
         reader.read_exact(&mut buf[..want])?;
         sink.write_all(&buf[..want])?;
         left -= want as u64;

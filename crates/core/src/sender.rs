@@ -18,7 +18,7 @@ use crate::adapt::LevelController;
 use crate::bw::BandwidthMonitor;
 use crate::config::AdocConfig;
 use crate::error::AdocError;
-use crate::pool::{BufferPool, PooledBuf};
+use crate::pool::PooledBuf;
 use crate::queue::{BoundedQueue, Packet, PacketQueue};
 use crate::stats::{StreamSendStats, TransferStats};
 use crate::wire::{self, FrameHeader, FrameHeaderV2, MsgKind};
@@ -58,6 +58,10 @@ pub struct SendOutcome {
     /// Per-stream accounting for striped sends; empty for single-stream
     /// messages (stream 0 then carries everything).
     pub per_stream: Vec<StreamSendStats>,
+    /// Visible bandwidth per level at the end of this message, in raw
+    /// bits/s (0.0 = level unobserved; striped sends report the sum over
+    /// streams). Feeds [`TransferStats::level_bps`].
+    pub level_bps: [f64; 11],
 }
 
 impl SendOutcome {
@@ -86,6 +90,7 @@ impl SendOutcome {
         stats.divergence_reverts += self.divergence_reverts;
         stats.ratio_trips += self.ratio_trips;
         stats.merge_per_stream(&self.per_stream);
+        stats.merge_level_bps(&self.level_bps);
     }
 }
 
@@ -151,7 +156,7 @@ fn send_direct<W: Write, S: Read>(
     cfg: &AdocConfig,
 ) -> io::Result<SendOutcome> {
     writer.write_all(&wire::encode_msg_header(MsgKind::Direct, raw_len))?;
-    let copied = copy_exact(source, writer, raw_len, cfg.buffer_size, &cfg.pool)?;
+    let copied = copy_exact(source, writer, raw_len, cfg.buffer_size, cfg)?;
     debug_assert_eq!(copied, raw_len);
     writer.flush()?;
     Ok(SendOutcome {
@@ -210,6 +215,7 @@ where
                 payload_len: want as u32,
             };
             frame[..wire::FRAME_HEADER_LEN].copy_from_slice(&fh.encode());
+            cfg.throttle.acquire_wire(frame.len());
             writer.write_all(&frame)?;
             out.wire_bytes += frame.len() as u64;
             out.buffers_at_level[0] += 1;
@@ -228,7 +234,7 @@ where
 
     let (comp_res, emit_res) = std::thread::scope(|s| {
         let comp = s.spawn(|| compression_thread(source, remaining, &queue, &bw, cfg));
-        let emit = s.spawn(|| emission_thread(writer, &queue, &bw));
+        let emit = s.spawn(|| emission_thread(writer, &queue, &bw, &*cfg.throttle));
         (comp.join(), emit.join())
     });
     // A panicking thread has already released its peer through the queue
@@ -243,6 +249,11 @@ where
     let comp = comp?;
     out.wire_bytes += wire;
     out.bw_raw_bytes = bw.total_raw_bytes();
+    for level in 0..=10u8 {
+        if let Some(bps) = bw.visible(level) {
+            out.level_bps[level as usize] = bps;
+        }
+    }
     out.buffers_at_level
         .iter_mut()
         .zip(comp.buffers_at_level)
@@ -273,7 +284,7 @@ fn write_probe<W: Write, S: Read>(
     out.wire_bytes += 4;
     if probe_len > 0 {
         let t0 = Instant::now();
-        copy_exact(source, writer, probe_len, cfg.packet_size, &cfg.pool)?;
+        copy_exact(source, writer, probe_len, cfg.packet_size, cfg)?;
         writer.flush()?;
         let secs = t0.elapsed().as_secs_f64().max(1e-9);
         let bps = probe_len as f64 * 8.0 / secs;
@@ -337,6 +348,7 @@ where
                 payload_len: want as u32,
             };
             frame[..wire::FRAME_HEADER_V2_LEN].copy_from_slice(&fh.encode());
+            cfg.throttle.acquire_wire(frame.len());
             writers[0].write_all(&frame)?;
             out.wire_bytes += frame.len() as u64;
             out.buffers_at_level[0] += 1;
@@ -377,7 +389,7 @@ where
         for (i, w) in writers.iter_mut().enumerate() {
             let (rq, pq, bw) = (&raw_queues[i], &pkt_queues[i], &monitors[i]);
             comp_handles.push(s.spawn(move || stream_compression_thread(i as u8, rq, pq, bw, cfg)));
-            emit_handles.push(s.spawn(move || emission_thread(w, pq, bw)));
+            emit_handles.push(s.spawn(move || emission_thread(w, pq, bw, &*cfg.throttle)));
         }
 
         // Dispatcher: read buffers in order, stripe frame s onto stream
@@ -458,6 +470,11 @@ where
     }
 
     out.bw_raw_bytes = BandwidthMonitor::aggregate_total_raw_bytes(&monitors);
+    for level in 0..=10u8 {
+        if let Some(bps) = BandwidthMonitor::aggregate_visible(&monitors, level) {
+            out.level_bps[level as usize] = bps;
+        }
+    }
     for (i, comp) in comps.into_iter().enumerate() {
         out.wire_bytes += stream_wire[i];
         out.buffers_at_level
@@ -737,6 +754,7 @@ fn emission_thread<W: Write>(
     writer: &mut W,
     queue: &PacketQueue,
     bw: &BandwidthMonitor,
+    throttle: &dyn crate::throttle::Throttle,
 ) -> io::Result<u64> {
     // Any exit — socket error, panic — must unblock a producer waiting
     // for queue space; poisoning after a clean drain is a no-op for the
@@ -744,7 +762,12 @@ fn emission_thread<W: Write>(
     let _poison = queue.poison_on_drop();
     let mut wire_bytes = 0u64;
     while let Some(pkt) = queue.pop() {
+        // Admission is timed *inside* the bandwidth window on purpose: a
+        // scheduler-paced connection must see its share as its visible
+        // bandwidth, so the level adapts to the share like it would to a
+        // congested link.
         let t0 = Instant::now();
+        throttle.acquire_wire(pkt.len());
         writer.write_all(pkt.bytes())?;
         if pkt.raw_share > 0 {
             bw.record(pkt.level, u64::from(pkt.raw_share), t0.elapsed());
@@ -755,21 +778,22 @@ fn emission_thread<W: Write>(
 }
 
 /// Copies exactly `len` bytes from `source` to `writer` in bounded chunks
-/// drawn from the pool.
+/// drawn from the pool, acquiring wire budget per chunk.
 fn copy_exact<S: Read, W: Write>(
     source: &mut S,
     writer: &mut W,
     len: u64,
     chunk: usize,
-    pool: &BufferPool,
+    cfg: &AdocConfig,
 ) -> io::Result<u64> {
     let size = chunk.min(len.try_into().unwrap_or(usize::MAX)).max(1);
-    let mut buf = pool.get(size);
+    let mut buf = cfg.pool.get(size);
     buf.resize(size, 0);
     let mut left = len;
     while left > 0 {
         let want = (buf.len() as u64).min(left) as usize;
         source.read_exact(&mut buf[..want])?;
+        cfg.throttle.acquire_wire(want);
         writer.write_all(&buf[..want])?;
         left -= want as u64;
     }
@@ -1125,6 +1149,86 @@ mod tests {
             out.buffers_at_level[0]
         );
         assert!(out.buffers_at_level[0] >= 15);
+    }
+
+    #[test]
+    fn every_payload_byte_passes_wire_admission() {
+        // The fair-share scheduler's contract: everything except the
+        // fixed message header (and the probe-length field) flows
+        // through Throttle::acquire_wire. A recording throttle must see
+        // exactly wire_bytes minus those fixed fields.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct Recorder(AtomicU64);
+        impl crate::throttle::Throttle for Recorder {
+            fn charge(&self, _e: std::time::Duration) {}
+            fn acquire_wire(&self, bytes: usize) {
+                self.0.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+        }
+        // Direct path: admission covers wire minus the 10-byte header.
+        let rec = std::sync::Arc::new(Recorder::default());
+        let cfg = AdocConfig::default().with_throttle(rec.clone());
+        let data = adoc_data_stub(100_000);
+        let (_wire, out) = send_to_vec(&data, &cfg);
+        assert!(out.direct);
+        assert_eq!(
+            rec.0.load(Ordering::Relaxed),
+            out.wire_bytes - wire::MSG_HEADER_LEN as u64
+        );
+        // Adaptive forced path: every emitted packet is admitted.
+        let rec = std::sync::Arc::new(Recorder::default());
+        let cfg = AdocConfig::default()
+            .with_levels(1, 10)
+            .with_throttle(rec.clone());
+        let data = adoc_data_stub(1_200_000);
+        let (_wire, out) = send_to_vec(&data, &cfg);
+        assert!(!out.direct && !out.fast_path);
+        assert_eq!(
+            rec.0.load(Ordering::Relaxed),
+            out.wire_bytes - wire::MSG_HEADER_LEN as u64 - 4
+        );
+    }
+
+    #[test]
+    fn adaptive_send_snapshots_per_level_bandwidth() {
+        // A paced sink: an instant Vec sink can finish so fast (release
+        // builds) that no level accumulates the monitor's minimum
+        // observation time, making the snapshot legitimately empty.
+        struct PacedSink(Vec<u8>);
+        impl Write for PacedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+                self.0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let data = adoc_data_stub(2 << 20);
+        let mut sink = PacedSink(Vec::new());
+        let mut src = &data[..];
+        let out = send_message(&mut sink, &mut src, data.len() as u64, &cfg).unwrap();
+        let observed: Vec<u8> = (0..11u8)
+            .filter(|&l| out.level_bps[l as usize] > 0.0)
+            .collect();
+        assert!(
+            !observed.is_empty(),
+            "an adaptive message must observe at least one level's bandwidth"
+        );
+        for &l in &observed {
+            assert!(
+                out.buffers_at_level[l as usize] > 0 || out.level_bps[l as usize] > 0.0,
+                "level {l} reported without traffic"
+            );
+        }
+        let mut stats = TransferStats::new();
+        out.merge_into(&mut stats, data.len() as u64);
+        for l in 0..11 {
+            assert_eq!(stats.level_bps[l], out.level_bps[l]);
+        }
     }
 
     #[test]

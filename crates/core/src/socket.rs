@@ -62,19 +62,23 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
     /// Wraps a reader/writer pair with the default (paper) configuration.
     pub fn new(reader: R, writer: W) -> Self {
         Self::with_config(reader, writer, AdocConfig::default())
+            .expect("the default AdocConfig is always valid")
     }
 
-    /// Wraps with an explicit configuration.
-    pub fn with_config(reader: R, writer: W, cfg: AdocConfig) -> Self {
-        cfg.validate();
-        AdocSocket {
+    /// Wraps with an explicit configuration. Fails with a typed
+    /// [`AdocError::InvalidConfig`] (inside the `io::Error`) when the
+    /// configuration is inconsistent, instead of letting the bad field
+    /// panic or hang inside the pipeline threads later.
+    pub fn with_config(reader: R, writer: W, cfg: AdocConfig) -> io::Result<Self> {
+        cfg.validate()?;
+        Ok(AdocSocket {
             reader,
             writer,
             cfg,
             leftover: Vec::new(),
             leftover_pos: 0,
             stats: TransferStats::new(),
-        }
+        })
     }
 
     /// Connection configuration.
@@ -100,7 +104,7 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
     /// it.
     pub fn write_levels(&mut self, data: &[u8], min: u8, max: u8) -> io::Result<SendReport> {
         let cfg = self.cfg.clone().with_levels(min, max);
-        cfg.validate();
+        cfg.validate()?;
         self.send_with(data, &cfg)
     }
 
@@ -187,7 +191,7 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
         max: u8,
     ) -> io::Result<SendReport> {
         let cfg = self.cfg.clone().with_levels(min, max);
-        cfg.validate();
+        cfg.validate()?;
         self.send_file_with(file, &cfg)
     }
 
@@ -322,9 +326,20 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
     /// a connection must construct their group concurrently (as
     /// [`Self::connect`]/[`Self::accept`] do).
     pub fn from_pairs(pairs: Vec<(R, W)>, cfg: AdocConfig) -> io::Result<Self> {
+        Self::from_pairs_with_token(pairs, cfg, 0)
+    }
+
+    /// [`Self::from_pairs`] announcing `token` in each hello (0 =
+    /// untokened version-2 hellos). [`Self::connect`] passes a fresh
+    /// token so a multi-client acceptor can tell concurrent dials apart.
+    pub(crate) fn from_pairs_with_token(
+        pairs: Vec<(R, W)>,
+        cfg: AdocConfig,
+        token: u64,
+    ) -> io::Result<Self> {
         assert!(!pairs.is_empty(), "a stream group needs at least 1 stream");
         let cfg = cfg.with_streams(pairs.len());
-        cfg.validate();
+        cfg.validate()?;
         let n = pairs.len();
         let (mut readers, mut writers): (Vec<R>, Vec<W>) = pairs.into_iter().unzip();
         if n > 1 {
@@ -335,6 +350,7 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
                     &GroupHello {
                         streams: n as u8,
                         stream_id: i as u8,
+                        token,
                     }
                     .encode(),
                 )?;
@@ -370,6 +386,26 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
         })
     }
 
+    /// Builds a group over stream pairs whose handshake the caller has
+    /// **already performed** (index `i` carries stream `i`). No hellos
+    /// are written or read — this is the constructor a multi-client
+    /// acceptor uses after matching interleaved connections into groups
+    /// itself (see the `adoc-server` daemon).
+    pub fn from_negotiated(pairs: Vec<(R, W)>, cfg: AdocConfig) -> io::Result<Self> {
+        assert!(!pairs.is_empty(), "a stream group needs at least 1 stream");
+        let cfg = cfg.with_streams(pairs.len());
+        cfg.validate()?;
+        let (readers, writers): (Vec<R>, Vec<W>) = pairs.into_iter().unzip();
+        Ok(AdocStreamGroup {
+            readers,
+            writers,
+            cfg,
+            leftover: Vec::new(),
+            leftover_pos: 0,
+            stats: TransferStats::new(),
+        })
+    }
+
     /// Number of streams in this group.
     pub fn streams(&self) -> usize {
         self.readers.len()
@@ -395,7 +431,7 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
     /// [`Self::write`] with level bounds for this call only.
     pub fn write_levels(&mut self, data: &[u8], min: u8, max: u8) -> io::Result<SendReport> {
         let cfg = self.cfg.clone().with_levels(min, max);
-        cfg.validate();
+        cfg.validate()?;
         self.send_with(data, &cfg)
     }
 
@@ -489,7 +525,7 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
         max: u8,
     ) -> io::Result<SendReport> {
         let cfg = self.cfg.clone().with_levels(min, max);
-        cfg.validate();
+        cfg.validate()?;
         let len = file.metadata()?.len();
         self.send_reader(file, len, &cfg)
     }
@@ -533,12 +569,33 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
     }
 }
 
+/// A process-unique nonzero group token for [`AdocStreamGroup::connect`]:
+/// a counter mixed with wall-clock nanoseconds, so tokens from distinct
+/// processes dialling the same server virtually never collide.
+pub(crate) fn fresh_group_token() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    (nanos
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(c.wrapping_mul(0xD1B5_4A32_D192_ED03)))
+    .max(1)
+}
+
 impl AdocStreamGroup<TcpStream, TcpStream> {
     /// Dials `cfg.streams` TCP connections to `addr` and forms a group
-    /// (connection `i` carries stream `i`). The peer must
-    /// [`Self::accept`] the same number of connections.
+    /// (connection `i` carries stream `i`), announcing a fresh group
+    /// token in every hello so a multi-client acceptor can match the
+    /// connections even when other dials interleave. The peer must
+    /// [`Self::accept`] the same number of connections (or be an
+    /// `adoc-server` daemon).
     pub fn connect(addr: impl ToSocketAddrs, cfg: AdocConfig) -> io::Result<Self> {
-        cfg.validate();
+        cfg.validate()?;
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -549,15 +606,23 @@ impl AdocStreamGroup<TcpStream, TcpStream> {
             s.set_nodelay(true).ok();
             pairs.push((s.try_clone()?, s));
         }
-        Self::from_pairs(pairs, cfg)
+        Self::from_pairs_with_token(pairs, cfg, fresh_group_token())
     }
 
     /// Accepts `cfg.streams` TCP connections from `listener` and forms a
     /// group. Connections may arrive in any order: each incoming hello
     /// names its stream id, and the acceptor re-orders accordingly before
     /// answering — the acceptor half of the negotiation rule.
+    ///
+    /// [`AdocConfig::hello_timeout`] bounds both halves of the
+    /// handshake: once the *first* connection arrives, the remaining
+    /// dials must land within the timeout, and each connected peer must
+    /// deliver its hello within the timeout — either failure surfaces as
+    /// a typed [`AdocError::HelloTimeout`] instead of wedging the accept
+    /// loop forever (a client may die between its dials just as easily
+    /// as between connecting and its hello).
     pub fn accept(listener: &TcpListener, cfg: AdocConfig) -> io::Result<Self> {
-        cfg.validate();
+        cfg.validate()?;
         let n = cfg.streams;
         if n == 1 {
             let (s, _) = listener.accept()?;
@@ -567,16 +632,48 @@ impl AdocStreamGroup<TcpStream, TcpStream> {
         // Accept every connection before reading any hello: the peer
         // only starts its handshake once all of its dials succeeded, and
         // blocking on a hello mid-accept would deadlock stream counts
-        // beyond the listener backlog.
+        // beyond the listener backlog. Waiting for the first connection
+        // blocks indefinitely (nothing has gone wrong while nobody is
+        // dialling); after that the rest of the group must arrive within
+        // the hello timeout.
         let mut incoming = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (s, _) = listener.accept()?;
-            s.set_nodelay(true).ok();
-            incoming.push(s);
-        }
+        let (first, _) = listener.accept()?;
+        first.set_nodelay(true).ok();
+        incoming.push(first);
+        let deadline = std::time::Instant::now() + cfg.hello_timeout;
+        listener.set_nonblocking(true)?;
+        let collect = (|| -> io::Result<()> {
+            while incoming.len() < n {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        s.set_nodelay(true).ok();
+                        incoming.push(s);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if std::time::Instant::now() >= deadline {
+                            return Err(AdocError::HelloTimeout {
+                                timeout: cfg.hello_timeout,
+                            }
+                            .into());
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })();
+        // Restore the listener before reporting, so a failed accept does
+        // not leave it nonblocking for the caller's next use.
+        listener.set_nonblocking(false)?;
+        collect?;
         let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         for mut s in incoming {
-            let hello = GroupHello::read(&mut s)?;
+            s.set_read_timeout(Some(cfg.hello_timeout))?;
+            let hello = GroupHello::read(&mut s)
+                .map_err(|e| AdocError::map_hello_timeout(e, cfg.hello_timeout))?;
+            // Message reads after the handshake block indefinitely again.
+            s.set_read_timeout(None)?;
             if hello.streams as usize != n {
                 return Err(AdocError::StreamCountMismatch {
                     ours: n as u8,
@@ -597,13 +694,7 @@ impl AdocStreamGroup<TcpStream, TcpStream> {
         let mut writers = Vec::with_capacity(n);
         for (i, slot) in slots.into_iter().enumerate() {
             let mut s = slot.expect("all slots filled");
-            s.write_all(
-                &GroupHello {
-                    streams: n as u8,
-                    stream_id: i as u8,
-                }
-                .encode(),
-            )?;
+            s.write_all(&GroupHello::new(n as u8, i as u8).encode())?;
             s.flush()?;
             readers.push(s.try_clone()?);
             writers.push(s);
@@ -966,14 +1057,8 @@ mod group_tests {
         let (a0, mut b0) = duplex_pipe(1 << 20);
         let (a1, mut b1) = duplex_pipe(1 << 20);
         for (i, peer) in [&mut b0, &mut b1].into_iter().enumerate() {
-            peer.write_all(
-                &GroupHello {
-                    streams: 3,
-                    stream_id: i as u8,
-                }
-                .encode(),
-            )
-            .unwrap();
+            peer.write_all(&GroupHello::new(3, i as u8).encode())
+                .unwrap();
         }
         let _keep = (b0, b1); // keep peer ends open
         let two = vec![a0.split(), a1.split()];
@@ -982,6 +1067,65 @@ mod group_tests {
             Some(AdocError::StreamCountMismatch { ours: 2, theirs: 3 }) => {}
             other => panic!("expected StreamCountMismatch, got {other:?} ({err})"),
         }
+    }
+
+    #[test]
+    fn from_negotiated_skips_the_handshake() {
+        // A caller that matched streams itself (the server daemon) can
+        // build both ends with no hello bytes on the wire at all.
+        let cfg = AdocConfig::default().with_levels(1, 10);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for _ in 0..3 {
+            let (a, b) = duplex_pipe(1 << 20);
+            left.push(a.split());
+            right.push(b.split());
+        }
+        let mut tx = AdocStreamGroup::from_negotiated(left, cfg.clone()).unwrap();
+        let mut rx = AdocStreamGroup::from_negotiated(right, cfg).unwrap();
+        assert_eq!(tx.streams(), 3);
+        let data = payload(900_000);
+        let expect = data.clone();
+        let t = thread::spawn(move || {
+            tx.write(&data).unwrap();
+            tx
+        });
+        let mut got = vec![0u8; expect.len()];
+        rx.read_exact(&mut got).unwrap();
+        t.join().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tokened_and_untokened_hellos_interoperate() {
+        // One side announces with a group token (as connect() does), the
+        // other without (plain from_pairs): the handshake still
+        // validates on streams and ids, ignoring the token.
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for _ in 0..2 {
+            let (a, b) = duplex_pipe(1 << 20);
+            left.push(a.split());
+            right.push(b.split());
+        }
+        let cfg = AdocConfig::default();
+        let cfg_r = cfg.clone();
+        let (mut tx, mut rx) = thread::scope(|s| {
+            let l = s.spawn(move || {
+                AdocStreamGroup::from_pairs_with_token(
+                    left,
+                    cfg,
+                    crate::socket::fresh_group_token(),
+                )
+                .unwrap()
+            });
+            let r = AdocStreamGroup::from_pairs(right, cfg_r).unwrap();
+            (l.join().unwrap(), r)
+        });
+        tx.write(b"tokened hello interop").unwrap();
+        let mut buf = [0u8; 21];
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tokened hello interop");
     }
 
     #[test]

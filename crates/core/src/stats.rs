@@ -54,6 +54,12 @@ pub struct TransferStats {
     /// Cumulative per-stream totals for striped transfers (indexed by
     /// stream id; empty on single-stream connections).
     pub per_stream: Vec<StreamSendStats>,
+    /// Last observed visible bandwidth per compression level in raw
+    /// bits/s (0.0 = that level has never been measured on this
+    /// connection). Snapshotted from the per-message
+    /// [`crate::bw::BandwidthMonitor`]s — the per-level view a server's
+    /// metrics endpoint exports.
+    pub level_bps: [f64; 11],
     epoch: Instant,
 }
 
@@ -71,6 +77,7 @@ impl Default for TransferStats {
             ratio_trips: 0,
             level_timeline: Vec::new(),
             per_stream: Vec::new(),
+            level_bps: [0.0; 11],
             epoch: Instant::now(),
         }
     }
@@ -121,6 +128,17 @@ impl TransferStats {
     /// Total compression buffers across all levels.
     pub fn total_buffers(&self) -> u64 {
         self.buffers_at_level.iter().sum()
+    }
+
+    /// Overwrites the per-level bandwidth snapshot with any level a
+    /// message actually observed (levels the message never used keep
+    /// their previous estimate).
+    pub fn merge_level_bps(&mut self, per_message: &[f64; 11]) {
+        for (slot, &bps) in self.level_bps.iter_mut().zip(per_message) {
+            if bps > 0.0 {
+                *slot = bps;
+            }
+        }
     }
 
     /// Folds one message's per-stream accounting into the connection
@@ -248,6 +266,21 @@ mod tests {
         assert_eq!(s.per_stream[2].wire_bytes, 60);
         assert_eq!(s.per_stream[2].frames, 2);
         assert!(format!("{s}").contains("streams:"));
+    }
+
+    #[test]
+    fn level_bps_snapshot_keeps_stale_levels() {
+        let mut s = TransferStats::new();
+        let mut msg1 = [0.0f64; 11];
+        msg1[3] = 80e6;
+        msg1[5] = 40e6;
+        s.merge_level_bps(&msg1);
+        let mut msg2 = [0.0f64; 11];
+        msg2[5] = 55e6; // level 5 re-measured, level 3 untouched
+        s.merge_level_bps(&msg2);
+        assert_eq!(s.level_bps[3], 80e6);
+        assert_eq!(s.level_bps[5], 55e6);
+        assert_eq!(s.level_bps[0], 0.0);
     }
 
     #[test]

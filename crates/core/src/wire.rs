@@ -44,12 +44,28 @@
 //! * `streams == 1`: nothing is added to the wire. The byte stream is
 //!   exactly v1 — a v2-capable endpoint talking on one stream is
 //!   indistinguishable from (and interoperable with) a v1 endpoint.
-//! * `streams >= 2`: each endpoint sends a 5-byte [`GroupHello`] on every
-//!   stream (`magic 0xAD, 'G', version = 2, streams, stream_id`) and
-//!   reads its peer's hello from every stream before any message flows.
-//!   Both sides must announce the **same stream count**; a mismatch (or a
-//!   v1 peer's message header arriving where a hello was expected) is an
-//!   `InvalidData` error, not a silent renegotiation.
+//! * `streams >= 2`: each endpoint sends a [`GroupHello`] on every
+//!   stream and reads its peer's hello from every stream before any
+//!   message flows. Both sides must announce the **same stream count**;
+//!   a mismatch (or a v1 peer's message header arriving where a hello
+//!   was expected) is an `InvalidData` error, not a silent
+//!   renegotiation.
+//!
+//!   Two hello encodings exist:
+//!
+//!   * version 2 — 5 bytes: `magic 0xAD, 'G', 2, streams, stream_id`;
+//!   * version 3 — 13 bytes: the same followed by a little-endian
+//!     `token: u64`. The token names the *group* the stream belongs to,
+//!     so a multi-client daemon can reassemble groups whose connections
+//!     interleave in its accept queue (every client on `127.0.0.1`
+//!     shares a peer address — without the token, two concurrent
+//!     2-stream dials are indistinguishable). `token == 0` is reserved
+//!     to mean "untokened" and is what a version-2 hello decodes to.
+//!
+//!   Readers accept both versions; [`crate::AdocStreamGroup::connect`]
+//!   sends version 3 with a fresh nonzero token, symmetric
+//!   `from_pairs` construction (where grouping is already decided by
+//!   the caller) stays on version 2.
 
 use std::io::{self, Read, Write};
 
@@ -59,8 +75,12 @@ pub const MAGIC: u8 = 0xAD;
 /// Second magic byte of a stream-group hello (`'G'`).
 pub const GROUP_MAGIC: u8 = b'G';
 
-/// Wire-format version announced in a [`GroupHello`].
+/// Wire-format version of an untokened [`GroupHello`].
 pub const GROUP_VERSION: u8 = 2;
+
+/// Wire-format version of a tokened [`GroupHello`] (adds a `u64` group
+/// token after the version-2 fields).
+pub const GROUP_VERSION_TOKENED: u8 = 3;
 
 /// Size of an encoded message header.
 pub const MSG_HEADER_LEN: usize = 10;
@@ -68,8 +88,10 @@ pub const MSG_HEADER_LEN: usize = 10;
 pub const FRAME_HEADER_LEN: usize = 9;
 /// Size of an encoded v2 frame header.
 pub const FRAME_HEADER_V2_LEN: usize = 18;
-/// Size of an encoded stream-group hello.
+/// Size of an encoded untokened (version 2) stream-group hello.
 pub const GROUP_HELLO_LEN: usize = 5;
+/// Size of an encoded tokened (version 3) stream-group hello.
+pub const GROUP_HELLO_TOKENED_LEN: usize = GROUP_HELLO_LEN + 8;
 
 /// Level byte marking a v2 end-of-message frame on one stream.
 pub const LEVEL_FIN: u8 = 0xFF;
@@ -282,21 +304,38 @@ pub struct GroupHello {
     pub streams: u8,
     /// Which stream of the group this hello travels on (0-based).
     pub stream_id: u8,
+    /// Group token naming which dial this stream belongs to (0 =
+    /// untokened / version-2 hello). A multi-client acceptor groups
+    /// streams by token; point-to-point construction ignores it.
+    pub token: u64,
 }
 
 impl GroupHello {
-    /// Encodes into a 5-byte array.
-    pub fn encode(&self) -> [u8; GROUP_HELLO_LEN] {
-        [
-            MAGIC,
-            GROUP_MAGIC,
-            GROUP_VERSION,
-            self.streams,
-            self.stream_id,
-        ]
+    /// An untokened hello (encodes as version 2).
+    pub fn new(streams: u8, stream_id: u8) -> GroupHello {
+        GroupHello {
+            streams,
+            stream_id,
+            token: 0,
+        }
     }
 
-    /// Reads and validates a hello.
+    /// Encodes as version 2 (5 bytes, `token == 0`) or version 3
+    /// (13 bytes) depending on the token.
+    pub fn encode(&self) -> Vec<u8> {
+        let version = if self.token == 0 {
+            GROUP_VERSION
+        } else {
+            GROUP_VERSION_TOKENED
+        };
+        let mut out = vec![MAGIC, GROUP_MAGIC, version, self.streams, self.stream_id];
+        if self.token != 0 {
+            out.extend_from_slice(&self.token.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reads and validates a hello of either version.
     pub fn read(r: &mut impl Read) -> io::Result<GroupHello> {
         let mut h = [0u8; GROUP_HELLO_LEN];
         r.read_exact(&mut h)?;
@@ -309,12 +348,20 @@ impl GroupHello {
                 ),
             ));
         }
-        if h[2] != GROUP_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported stream-group version {}", h[2]),
-            ));
-        }
+        let token = match h[2] {
+            GROUP_VERSION => 0,
+            GROUP_VERSION_TOKENED => {
+                let mut t = [0u8; 8];
+                r.read_exact(&mut t)?;
+                u64::from_le_bytes(t)
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported stream-group version {other}"),
+                ));
+            }
+        };
         if h[3] == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -324,6 +371,7 @@ impl GroupHello {
         Ok(GroupHello {
             streams: h[3],
             stream_id: h[4],
+            token,
         })
     }
 }
@@ -469,12 +517,39 @@ mod tests {
 
     #[test]
     fn group_hello_roundtrip() {
-        let h = GroupHello {
-            streams: 4,
-            stream_id: 2,
-        };
-        let mut c = Cursor::new(h.encode().to_vec());
+        let h = GroupHello::new(4, 2);
+        let enc = h.encode();
+        assert_eq!(enc.len(), GROUP_HELLO_LEN, "untokened hello stays v2");
+        assert_eq!(enc[2], GROUP_VERSION);
+        let mut c = Cursor::new(enc);
         assert_eq!(GroupHello::read(&mut c).unwrap(), h);
+    }
+
+    #[test]
+    fn tokened_group_hello_roundtrip() {
+        let h = GroupHello {
+            streams: 8,
+            stream_id: 5,
+            token: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let enc = h.encode();
+        assert_eq!(enc.len(), GROUP_HELLO_TOKENED_LEN);
+        assert_eq!(enc[2], GROUP_VERSION_TOKENED);
+        let mut c = Cursor::new(enc);
+        assert_eq!(GroupHello::read(&mut c).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated_tokened_hello_is_error() {
+        let h = GroupHello {
+            streams: 2,
+            stream_id: 0,
+            token: 42,
+        };
+        let enc = h.encode();
+        // Cut inside the token field: the reader must not misparse.
+        let mut c = Cursor::new(enc[..GROUP_HELLO_LEN + 3].to_vec());
+        assert!(GroupHello::read(&mut c).is_err());
     }
 
     #[test]
@@ -483,19 +558,20 @@ mod tests {
         // be misparsed.
         let msg = encode_msg_header(MsgKind::Direct, 99);
         assert!(GroupHello::read(&mut Cursor::new(msg.to_vec())).is_err());
-        let mut bad = GroupHello {
-            streams: 2,
-            stream_id: 0,
-        }
-        .encode();
-        bad[2] = 3; // future version
-        assert!(GroupHello::read(&mut Cursor::new(bad.to_vec())).is_err());
-        let mut zero = GroupHello {
-            streams: 2,
-            stream_id: 0,
-        }
-        .encode();
+        let mut bad = GroupHello::new(2, 0).encode();
+        bad[2] = 4; // future version
+        assert!(GroupHello::read(&mut Cursor::new(bad)).is_err());
+        let mut zero = GroupHello::new(2, 0).encode();
         zero[3] = 0;
-        assert!(GroupHello::read(&mut Cursor::new(zero.to_vec())).is_err());
+        assert!(GroupHello::read(&mut Cursor::new(zero)).is_err());
+        // Zero streams is rejected in the tokened form too.
+        let mut zero3 = GroupHello {
+            streams: 2,
+            stream_id: 0,
+            token: 7,
+        }
+        .encode();
+        zero3[3] = 0;
+        assert!(GroupHello::read(&mut Cursor::new(zero3)).is_err());
     }
 }

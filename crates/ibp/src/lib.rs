@@ -60,7 +60,9 @@ impl Depot {
                 let store = store2.clone();
                 let cfg = cfg.clone();
                 std::thread::spawn(move || {
-                    let sock = AdocSocket::with_config(r, w, cfg);
+                    let Ok(sock) = AdocSocket::with_config(r, w, cfg) else {
+                        return; // invalid config: refuse the connection
+                    };
                     let _ = serve_connection(sock, &store);
                 });
             }
@@ -205,7 +207,12 @@ impl IbpClient {
         cfg: AdocConfig,
     ) -> IbpClient {
         IbpClient {
-            sock: AdocSocket::with_config(Box::new(reader), Box::new(writer), cfg),
+            sock: AdocSocket::with_config(
+                Box::new(reader) as Box<dyn Read + Send>,
+                Box::new(writer) as Box<dyn Write + Send>,
+                cfg,
+            )
+            .expect("IbpClient requires a valid AdocConfig"),
         }
     }
 

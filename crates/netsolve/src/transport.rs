@@ -63,7 +63,8 @@ impl TransportMode {
                 writer: conn.writer,
             }),
             TransportMode::Adoc(cfg) => Box::new(AdocTransport {
-                sock: AdocSocket::with_config(conn.reader, conn.writer, cfg.clone()),
+                sock: AdocSocket::with_config(conn.reader, conn.writer, cfg.clone())
+                    .expect("TransportMode::Adoc carries a valid AdocConfig"),
             }),
         }
     }

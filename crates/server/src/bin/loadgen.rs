@@ -1,0 +1,462 @@
+//! `adoc-loadgen` — drives N concurrent AdOC clients against a server.
+//!
+//! ```text
+//! adoc-loadgen [--connect ADDR] [--clients N] [--messages M] [--size B]
+//!              [--streams CSV] [--kind ascii|binary|incompressible|mixed]
+//!              [--levels MIN,MAX] [--mode echo|sink] [--budget-mbit F]
+//!              [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]
+//! ```
+//!
+//! Three ways to find a server:
+//!
+//! * `--connect ADDR` — loopback/remote TCP against a running
+//!   `adoc-serverd`;
+//! * default — spawn an in-process daemon on an ephemeral loopback port,
+//!   run the clients over real TCP, then drain it and report its
+//!   metrics;
+//! * `--sim PROFILE` — run each client over its own `adoc-sim` shaped
+//!   link straight into the server core (no TCP), reproducing the
+//!   paper's network profiles.
+//!
+//! Every echo is verified byte-exact (sink mode verifies the length +
+//! FNV-1a ack); any mismatch fails the process.
+
+use adoc::{AdocConfig, AdocSocket, AdocStreamGroup};
+use adoc_data::{generate, DataKind};
+use adoc_server::{daemon, fnv1a64, sink_ack, ServeMode, Server, ServerConfig};
+use adoc_sim::link::duplex;
+use adoc_sim::netprofiles::NetProfile;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adoc-loadgen [--connect ADDR] [--clients N] [--messages M] [--size B]\n\
+         \u{20}                   [--streams CSV] [--kind ascii|binary|incompressible|mixed]\n\
+         \u{20}                   [--levels MIN,MAX] [--mode echo|sink] [--budget-mbit F]\n\
+         \u{20}                   [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        eprintln!("missing value for {flag}");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {v:?} for {flag}");
+        usage();
+    })
+}
+
+#[derive(Clone)]
+struct Plan {
+    clients: usize,
+    messages: usize,
+    size: usize,
+    streams: Vec<usize>,
+    kinds: Vec<DataKind>,
+    levels: Option<(u8, u8)>,
+    mode: ServeMode,
+}
+
+#[derive(Debug)]
+struct ClientResult {
+    raw_bytes: u64,
+    secs: f64,
+}
+
+/// One client's whole session: `messages` send+verify round trips.
+fn run_client_on(
+    conn: &mut dyn ClientConn,
+    plan: &Plan,
+    payload: &[u8],
+) -> Result<ClientResult, String> {
+    let start = Instant::now();
+    let mut raw = 0u64;
+    for m in 0..plan.messages {
+        conn.send(payload).map_err(|e| format!("send {m}: {e}"))?;
+        match plan.mode {
+            ServeMode::Echo => {
+                let mut back = vec![0u8; payload.len()];
+                conn.read_exact(&mut back)
+                    .map_err(|e| format!("echo read {m}: {e}"))?;
+                if back != payload {
+                    return Err(format!("echo {m} was not byte-exact"));
+                }
+                raw += 2 * payload.len() as u64;
+            }
+            ServeMode::Sink => {
+                let mut ack = [0u8; 16];
+                conn.read_exact(&mut ack)
+                    .map_err(|e| format!("ack read {m}: {e}"))?;
+                if ack != sink_ack(payload.len() as u64, fnv1a64(payload)) {
+                    return Err(format!("ack {m} mismatched (len or checksum)"));
+                }
+                raw += payload.len() as u64;
+            }
+        }
+    }
+    Ok(ClientResult {
+        raw_bytes: raw,
+        secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Object-safe client connection (plain socket or stream group).
+trait ClientConn {
+    fn send(&mut self, data: &[u8]) -> std::io::Result<()>;
+    fn read_exact(&mut self, out: &mut [u8]) -> std::io::Result<()>;
+}
+
+impl<R: Read + Send, W: Write + Send> ClientConn for AdocSocket<R, W> {
+    fn send(&mut self, data: &[u8]) -> std::io::Result<()> {
+        AdocSocket::write(self, data).map(|_| ())
+    }
+    fn read_exact(&mut self, out: &mut [u8]) -> std::io::Result<()> {
+        AdocSocket::read_exact(self, out)
+    }
+}
+
+impl<R: Read + Send, W: Write + Send> ClientConn for AdocStreamGroup<R, W> {
+    fn send(&mut self, data: &[u8]) -> std::io::Result<()> {
+        AdocStreamGroup::write(self, data).map(|_| ())
+    }
+    fn read_exact(&mut self, out: &mut [u8]) -> std::io::Result<()> {
+        AdocStreamGroup::read_exact(self, out)
+    }
+}
+
+fn client_cfg(plan: &Plan) -> AdocConfig {
+    match plan.levels {
+        Some((min, max)) => AdocConfig::default().with_levels(min, max),
+        None => AdocConfig::default(),
+    }
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut sim: Option<NetProfile> = None;
+    let mut budget_mbit: Option<f64> = None;
+    let mut json: Option<String> = None;
+    let mut quick = false;
+    let mut plan = Plan {
+        clients: 8,
+        messages: 4,
+        size: 1 << 20,
+        streams: vec![1],
+        kinds: vec![DataKind::Ascii, DataKind::Binary, DataKind::Incompressible],
+        levels: None,
+        mode: ServeMode::Echo,
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = Some(parse(&mut args, "--connect")),
+            "--clients" => plan.clients = parse(&mut args, "--clients"),
+            "--messages" => plan.messages = parse(&mut args, "--messages"),
+            "--size" => plan.size = parse(&mut args, "--size"),
+            "--streams" => {
+                let csv: String = parse(&mut args, "--streams");
+                plan.streams = csv
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if plan.streams.is_empty() {
+                    usage();
+                }
+            }
+            "--kind" => {
+                plan.kinds = match parse::<String>(&mut args, "--kind").as_str() {
+                    "ascii" => vec![DataKind::Ascii],
+                    "binary" => vec![DataKind::Binary],
+                    "incompressible" => vec![DataKind::Incompressible],
+                    "mixed" => vec![DataKind::Ascii, DataKind::Binary, DataKind::Incompressible],
+                    other => {
+                        eprintln!("unknown kind {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--levels" => {
+                let csv: String = parse(&mut args, "--levels");
+                let parts: Vec<&str> = csv.split(',').collect();
+                if parts.len() != 2 {
+                    usage();
+                }
+                plan.levels = Some((
+                    parts[0].trim().parse().unwrap_or_else(|_| usage()),
+                    parts[1].trim().parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--mode" => {
+                plan.mode = match parse::<String>(&mut args, "--mode").as_str() {
+                    "echo" => ServeMode::Echo,
+                    "sink" => ServeMode::Sink,
+                    _ => usage(),
+                }
+            }
+            "--budget-mbit" => budget_mbit = Some(parse(&mut args, "--budget-mbit")),
+            "--sim" => {
+                sim = Some(match parse::<String>(&mut args, "--sim").as_str() {
+                    "lan100" => NetProfile::Lan100,
+                    "renater" => NetProfile::Renater,
+                    "internet" => NetProfile::Internet,
+                    "gbit" => NetProfile::Gbit,
+                    other => {
+                        eprintln!("unknown profile {other:?}");
+                        usage();
+                    }
+                })
+            }
+            "--quick" => quick = true,
+            "--json" => json = Some(parse(&mut args, "--json")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if quick {
+        plan.clients = plan.clients.min(6);
+        plan.messages = plan.messages.min(2);
+        plan.size = plan.size.min(192 << 10);
+    }
+    // Reject flag combinations that would silently measure a different
+    // configuration than the one requested.
+    if sim.is_some() && plan.streams.iter().any(|&s| s != 1) {
+        eprintln!(
+            "adoc-loadgen: --sim drives v1 (single-stream) connections only; \
+             stream groups need the TCP path. Drop --streams or --sim."
+        );
+        std::process::exit(2);
+    }
+    if sim.is_some() && connect.is_some() {
+        eprintln!("adoc-loadgen: --sim and --connect are mutually exclusive");
+        std::process::exit(2);
+    }
+    if connect.is_some() && budget_mbit.is_some() {
+        eprintln!(
+            "adoc-loadgen: --budget-mbit only configures a spawned in-process \
+             daemon; an external server's budget is set on adoc-serverd"
+        );
+        std::process::exit(2);
+    }
+
+    let result = if let Some(profile) = sim {
+        run_sim(&plan, profile, budget_mbit)
+    } else {
+        run_tcp(&plan, connect, budget_mbit)
+    };
+
+    match result {
+        Ok(Outcome {
+            total_raw,
+            wall,
+            client_secs,
+            server_metrics,
+        }) => {
+            let mib = total_raw as f64 / wall / (1024.0 * 1024.0);
+            let fastest = client_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let slowest = client_secs.iter().cloned().fold(0.0, f64::max);
+            println!(
+                "adoc-loadgen: {} clients x {} messages x {} B: {:.1} MiB moved in {:.3}s = {:.2} MiB/s aggregate (client {:.3}s..{:.3}s)",
+                plan.clients,
+                plan.messages,
+                plan.size,
+                total_raw as f64 / (1024.0 * 1024.0),
+                wall,
+                mib,
+                fastest,
+                slowest
+            );
+            if let Some(m) = &server_metrics {
+                println!("{m}");
+            }
+            if let Some(path) = json {
+                let doc = format!(
+                    "{{\n  \"schema\": \"adoc-loadgen-v1\",\n  \"results\": [\n    {{ \"id\": \"loadgen/{}/clients={}\", \"mean_ns\": {}, \"samples\": 1, \"throughput_bytes\": {}, \"mib_per_s\": {:.2} }}\n  ]\n}}\n",
+                    match plan.mode {
+                        ServeMode::Echo => "echo",
+                        ServeMode::Sink => "sink",
+                    },
+                    plan.clients,
+                    (wall * 1e9) as u128,
+                    total_raw,
+                    mib
+                );
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("adoc-loadgen: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("adoc-loadgen: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// What a whole run produced.
+struct Outcome {
+    total_raw: u64,
+    wall: f64,
+    client_secs: Vec<f64>,
+    server_metrics: Option<String>,
+}
+
+impl Outcome {
+    fn collect(
+        results: Vec<Result<ClientResult, String>>,
+        wall: f64,
+        server_metrics: Option<String>,
+    ) -> Result<Outcome, String> {
+        let mut total_raw = 0u64;
+        let mut client_secs = Vec::with_capacity(results.len());
+        for r in results {
+            let r = r?;
+            total_raw += r.raw_bytes;
+            client_secs.push(r.secs);
+        }
+        Ok(Outcome {
+            total_raw,
+            wall,
+            client_secs,
+            server_metrics,
+        })
+    }
+}
+
+/// Runs the plan over TCP; spawns an in-process daemon unless `connect`
+/// names an external server.
+fn run_tcp(
+    plan: &Plan,
+    connect: Option<String>,
+    budget_mbit: Option<f64>,
+) -> Result<Outcome, String> {
+    let (addr, handle) = match connect {
+        Some(addr) => (addr, None),
+        None => {
+            let server = Server::new(ServerConfig {
+                mode: plan.mode,
+                budget_bytes_per_sec: budget_mbit.map(|m| m * 1e6 / 8.0),
+                max_conns: (plan.clients * 2).max(64),
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("server config: {e}"))?;
+            let handle =
+                daemon::spawn(server, "127.0.0.1:0").map_err(|e| format!("spawn daemon: {e}"))?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let wall_start = Instant::now();
+    let results: Vec<Result<ClientResult, String>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(plan.clients);
+        for c in 0..plan.clients {
+            let addr = addr.clone();
+            handles.push(s.spawn(move || {
+                let payload = generate(
+                    plan.kinds[c % plan.kinds.len()],
+                    plan.size,
+                    (c as u64 + 1) * 7,
+                );
+                let streams = plan.streams[c % plan.streams.len()];
+                let cfg = client_cfg(plan);
+                if streams == 1 {
+                    let sock = TcpStream::connect(&addr)
+                        .map_err(|e| format!("client {c} connect: {e}"))?;
+                    sock.set_nodelay(true).ok();
+                    let r = sock
+                        .try_clone()
+                        .map_err(|e| format!("client {c} clone: {e}"))?;
+                    let mut conn = AdocSocket::with_config(r, sock, cfg)
+                        .map_err(|e| format!("client {c} cfg: {e}"))?;
+                    run_client_on(&mut conn, plan, &payload)
+                } else {
+                    let mut conn = AdocStreamGroup::connect(&addr, cfg.with_streams(streams))
+                        .map_err(|e| format!("client {c} group connect: {e}"))?;
+                    run_client_on(&mut conn, plan, &payload)
+                }
+                .map_err(|e| format!("client {c}: {e}"))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let metrics = match handle {
+        Some(h) => {
+            let server = Arc::clone(h.server());
+            h.shutdown().map_err(|e| format!("drain: {e}"))?;
+            let pool = server.pool().stats();
+            if pool.outstanding != 0 {
+                return Err(format!(
+                    "pool leak after drain: {} buffers outstanding",
+                    pool.outstanding
+                ));
+            }
+            Some(server.metrics_json())
+        }
+        None => None,
+    };
+    Outcome::collect(results, wall, metrics)
+}
+
+/// Runs the plan over per-client `adoc-sim` shaped links straight into
+/// the server core (v1 connections; stream groups need the TCP path).
+fn run_sim(plan: &Plan, profile: NetProfile, budget_mbit: Option<f64>) -> Result<Outcome, String> {
+    let server = Server::new(ServerConfig {
+        mode: plan.mode,
+        budget_bytes_per_sec: budget_mbit.map(|m| m * 1e6 / 8.0),
+        max_conns: (plan.clients * 2).max(64),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("server config: {e}"))?;
+
+    let wall_start = Instant::now();
+    let results: Vec<Result<ClientResult, String>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(plan.clients);
+        for c in 0..plan.clients {
+            let server = Arc::clone(&server);
+            handles.push(s.spawn(move || {
+                let payload = generate(
+                    plan.kinds[c % plan.kinds.len()],
+                    plan.size,
+                    (c as u64 + 1) * 7,
+                );
+                let (client_end, server_end) = duplex(profile.link_cfg());
+                let (sr, sw) = server_end.split();
+                let serving = std::thread::spawn(move || {
+                    let _ = server.serve_stream(sr, sw, &format!("sim-client-{c}"));
+                });
+                let (cr, cw) = client_end.split();
+                let mut conn = AdocSocket::with_config(cr, cw, client_cfg(plan))
+                    .map_err(|e| format!("client {c} cfg: {e}"))?;
+                let out = run_client_on(&mut conn, plan, &payload)
+                    .map_err(|e| format!("client {c}: {e}"))?;
+                drop(conn); // EOF to the server side
+                serving.join().map_err(|_| "server thread panicked")?;
+                Ok(out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let pool = server.pool().stats();
+    if pool.outstanding != 0 {
+        return Err(format!(
+            "pool leak: {} buffers outstanding",
+            pool.outstanding
+        ));
+    }
+    let metrics = Some(server.metrics_json());
+    Outcome::collect(results, wall, metrics)
+}

@@ -1,0 +1,155 @@
+//! `adoc-serverd` — the AdOC transfer daemon.
+//!
+//! ```text
+//! adoc-serverd [--listen ADDR] [--max-conns N] [--budget-mbit F]
+//!              [--mode echo|sink] [--hello-timeout-ms N]
+//!              [--drain-deadline-ms N] [--pool-idle N]
+//!              [--metrics-every-secs N] [--port-file PATH]
+//! ```
+//!
+//! The daemon serves until its **stdin** closes or a `drain` line
+//! arrives, then drains gracefully (in-flight messages finish) and
+//! prints a final metrics document on stdout. A `metrics` line on stdin
+//! prints a snapshot on demand. CI bounds a run with
+//! `sleep 30 | adoc-serverd …` (stdin EOF after 30 s ⇒ graceful exit).
+
+use adoc_server::{daemon, ServeMode, Server, ServerConfig};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adoc-serverd [--listen ADDR] [--max-conns N] [--budget-mbit F]\n\
+         \u{20}                   [--mode echo|sink] [--hello-timeout-ms N]\n\
+         \u{20}                   [--drain-deadline-ms N] [--pool-idle N]\n\
+         \u{20}                   [--metrics-every-secs N] [--port-file PATH]\n\
+         stdin: 'metrics' prints a snapshot, 'drain' or EOF shuts down gracefully"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        eprintln!("missing value for {flag}");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {v:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut metrics_every: u64 = 0;
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = parse(&mut args, "--listen"),
+            "--max-conns" => cfg.max_conns = parse(&mut args, "--max-conns"),
+            "--budget-mbit" => {
+                let mbit: f64 = parse(&mut args, "--budget-mbit");
+                cfg.budget_bytes_per_sec = Some(mbit * 1e6 / 8.0);
+            }
+            "--mode" => {
+                cfg.mode = match parse::<String>(&mut args, "--mode").as_str() {
+                    "echo" => ServeMode::Echo,
+                    "sink" => ServeMode::Sink,
+                    other => {
+                        eprintln!("unknown mode {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--hello-timeout-ms" => {
+                cfg.adoc.hello_timeout =
+                    Duration::from_millis(parse(&mut args, "--hello-timeout-ms"));
+            }
+            "--drain-deadline-ms" => {
+                cfg.drain_deadline = Duration::from_millis(parse(&mut args, "--drain-deadline-ms"));
+            }
+            "--pool-idle" => cfg.pool_max_idle = Some(parse(&mut args, "--pool-idle")),
+            "--metrics-every-secs" => metrics_every = parse(&mut args, "--metrics-every-secs"),
+            "--port-file" => port_file = Some(parse(&mut args, "--port-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("adoc-serverd: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let handle = match daemon::spawn(server, &listen) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("adoc-serverd: cannot listen on {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("adoc-serverd: listening on {}", handle.addr());
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, handle.addr().port().to_string()) {
+            eprintln!("adoc-serverd: cannot write port file {path}: {e}");
+        }
+    }
+
+    // Optional periodic metrics on stderr (stdout stays machine-clean).
+    // The interval is slept in short slices so a drain is noticed within
+    // ~250 ms instead of up to a full interval.
+    let periodic = (metrics_every > 0).then(|| {
+        let server = std::sync::Arc::clone(handle.server());
+        std::thread::spawn(move || {
+            let slice = Duration::from_millis(250);
+            'outer: loop {
+                let mut slept = Duration::ZERO;
+                while slept < Duration::from_secs(metrics_every) {
+                    if server.is_draining() {
+                        break 'outer;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if server.is_draining() {
+                    break;
+                }
+                eprintln!("{}", server.metrics_json());
+            }
+        })
+    });
+
+    // Control loop: serve until stdin EOF or an explicit drain command.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line.as_deref().map(str::trim) {
+            Ok("metrics") => println!("{}", handle.metrics_json()),
+            Ok("drain") | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    eprintln!("adoc-serverd: draining…");
+    let server = std::sync::Arc::clone(handle.server());
+    match handle.shutdown() {
+        Ok(()) => {
+            println!("{}", server.metrics_json());
+            eprintln!("adoc-serverd: drained cleanly");
+        }
+        Err(e) => {
+            eprintln!("adoc-serverd: shutdown error: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(t) = periodic {
+        let _ = t.join();
+    }
+}

@@ -1,0 +1,463 @@
+//! The TCP front end: accept loop, protocol sniffing, stream-group
+//! matching, admission control, and graceful shutdown.
+//!
+//! ## Accepting mixed clients
+//!
+//! Every accepted socket is sniffed under the hello timeout. The first
+//! two bytes decide the protocol:
+//!
+//! * `0xAD 'G'` — a stream of a v2 group. The full [`GroupHello`] is
+//!   read and the socket parks in [`PendingGroups`] keyed by
+//!   `(peer IP, stream count, group token)`; the connection that
+//!   completes its group replies the acceptor hellos and serves the
+//!   whole group. Tokens make concurrent dials from one host (every
+//!   loadgen client on `127.0.0.1`) unambiguous; partial groups expire
+//!   after the hello timeout. **Untokened (version-2) multi-stream
+//!   hellos are rejected**: without a token, two same-sized groups
+//!   dialled concurrently from one IP would be indistinguishable and
+//!   the daemon could cross-weave streams belonging to different
+//!   clients — dial with [`adoc::AdocStreamGroup::connect`], which
+//!   always announces a token. (The point-to-point
+//!   `AdocStreamGroup::accept` still accepts untokened hellos: a single
+//!   dedicated listener has no grouping ambiguity.)
+//! * `0xAD <kind>` — a plain v1 connection; the two sniffed bytes are
+//!   replayed in front of the socket and the message loop starts.
+//! * anything else — a protocol error: the socket is dropped and
+//!   counted as a handshake failure.
+//!
+//! A client that connects and never sends its hello (the classic
+//! wedge-the-accept-loop failure) times out, is counted, and the loop
+//! moves on.
+//!
+//! ## Admission and shutdown
+//!
+//! While `live + parked >= max_conns` the loop simply stops calling
+//! `accept` — excess dials queue in the kernel backlog (backpressure)
+//! instead of spawning unbounded threads. [`DaemonHandle::shutdown`]
+//! starts the server drain, stops the accept loop, expires parked
+//! sockets, and joins every serving thread.
+
+use crate::conn::{serve_messages, ConnCtl, GuardedReader, GuardedWriter, RegistryGuard};
+use crate::registry::ConnOutcome;
+use crate::Server;
+use adoc::wire::{GroupHello, GROUP_MAGIC, MAGIC};
+use adoc::{AdocError, AdocStreamGroup};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often the accept loop polls for shutdown / expired groups when
+/// idle or at the admission cap.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+type GroupKey = (IpAddr, u8, u64);
+
+struct Pending {
+    slots: Vec<Option<TcpStream>>,
+    have: usize,
+    deadline: Instant,
+}
+
+/// Parking lot for streams of v2 groups whose siblings have not all
+/// arrived yet (see the module docs).
+#[derive(Default)]
+pub struct PendingGroups {
+    inner: Mutex<HashMap<GroupKey, Pending>>,
+}
+
+/// What placing one stream into [`PendingGroups`] produced.
+enum Placed {
+    /// Group complete: every stream, in id order.
+    Complete(Vec<TcpStream>),
+    /// Stream parked; siblings still missing.
+    Parked,
+    /// Duplicate or out-of-range stream id — protocol error.
+    Invalid,
+}
+
+impl PendingGroups {
+    fn place(&self, key: GroupKey, stream_id: u8, stream: TcpStream, deadline: Instant) -> Placed {
+        let n = key.1 as usize;
+        if stream_id as usize >= n {
+            return Placed::Invalid;
+        }
+        let mut g = self.inner.lock();
+        let entry = g.entry(key).or_insert_with(|| Pending {
+            slots: (0..n).map(|_| None).collect(),
+            have: 0,
+            deadline,
+        });
+        if entry.slots[stream_id as usize].is_some() {
+            return Placed::Invalid;
+        }
+        entry.slots[stream_id as usize] = Some(stream);
+        entry.have += 1;
+        if entry.have == n {
+            let done = g.remove(&key).expect("entry just inserted");
+            Placed::Complete(
+                done.slots
+                    .into_iter()
+                    .map(|s| s.expect("all slots filled"))
+                    .collect(),
+            )
+        } else {
+            Placed::Parked
+        }
+    }
+
+    /// Drops every parked stream of groups past their deadline; returns
+    /// how many sockets were discarded.
+    fn prune_expired(&self, now: Instant) -> usize {
+        let mut g = self.inner.lock();
+        let expired: Vec<GroupKey> = g
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut dropped = 0;
+        for k in expired {
+            if let Some(p) = g.remove(&k) {
+                dropped += p.have;
+            }
+        }
+        dropped
+    }
+
+    /// Number of currently parked sockets.
+    pub fn parked(&self) -> usize {
+        self.inner.lock().values().map(|p| p.have).sum()
+    }
+
+    /// Discards everything (shutdown); returns the number of sockets
+    /// dropped.
+    fn clear(&self) -> usize {
+        let mut g = self.inner.lock();
+        let dropped = g.values().map(|p| p.have).sum();
+        g.clear();
+        dropped
+    }
+}
+
+/// A running TCP daemon; dropping the handle without calling
+/// [`DaemonHandle::shutdown`] aborts ungracefully (threads detach).
+pub struct DaemonHandle {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pending: Arc<PendingGroups>,
+}
+
+impl std::fmt::Debug for DaemonHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonHandle")
+            .field("addr", &self.addr)
+            .field("live", &self.server.registry().live_count())
+            .finish()
+    }
+}
+
+impl DaemonHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server core behind this daemon.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Current metrics snapshot.
+    pub fn metrics_json(&self) -> String {
+        self.server.metrics_json()
+    }
+
+    /// Graceful drain shutdown: stop accepting, expire parked handshake
+    /// sockets, let in-flight messages finish (bounded by the drain
+    /// deadline), join every thread. A panicked thread is reported as an
+    /// error but never short-circuits the remaining cleanup — every
+    /// other thread is still joined first.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.server.begin_drain();
+        self.stop.store(true, Ordering::Relaxed);
+        let mut first_err: Option<io::Error> = None;
+        if let Some(t) = self.accept_thread.take() {
+            if t.join().is_err() {
+                first_err = Some(io::Error::other("accept thread panicked"));
+            }
+        }
+        for _ in 0..self.pending.clear() {
+            self.server.registry().count_handshake_failure();
+        }
+        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
+        for t in threads {
+            if t.join().is_err() {
+                first_err =
+                    first_err.or_else(|| Some(io::Error::other("a serving thread panicked")));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Binds `listen` and spawns the accept loop for `server`. Returns a
+/// handle carrying the bound address.
+pub fn spawn(server: Arc<Server>, listen: impl ToSocketAddrs) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let pending = Arc::new(PendingGroups::default());
+
+    let accept_thread = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let conn_threads = Arc::clone(&conn_threads);
+        let pending = Arc::clone(&pending);
+        thread::Builder::new()
+            .name("adoc-accept".into())
+            .spawn(move || accept_loop(server, listener, stop, conn_threads, pending))?
+    };
+
+    Ok(DaemonHandle {
+        server,
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        conn_threads,
+        pending,
+    })
+}
+
+fn accept_loop(
+    server: Arc<Server>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pending: Arc<PendingGroups>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        // Expired partial groups (a client that dialled some streams and
+        // died) must not pin admission slots.
+        for _ in 0..pending.prune_expired(Instant::now()) {
+            server.registry().count_handshake_failure();
+        }
+        // Opportunistically reap finished serving threads so a long-
+        // lived daemon's thread list stays O(live connections). Finished
+        // handles are *joined* (a no-op wait), so a thread that panicked
+        // before shutdown is still reported instead of silently
+        // detached.
+        let running_threads = {
+            let mut g = conn_threads.lock();
+            let mut i = 0;
+            while i < g.len() {
+                if g[i].is_finished() {
+                    if g.swap_remove(i).join().is_err() {
+                        eprintln!("adoc-server: a serving thread panicked");
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            g.len()
+        };
+
+        // Admission control: at the cap we simply stop accepting; the
+        // kernel backlog backpressures the dialers. The count must cover
+        // *threads*, not just registered connections — a socket spends
+        // up to hello_timeout in its sniffing thread before it reaches
+        // the registry, and a dial burst would otherwise spawn
+        // unboundedly. Parked group streams have no thread of their own,
+        // so they are added on top; a serving thread whose connection is
+        // registered is intentionally counted once (as its thread).
+        let occupied = running_threads + pending.parked();
+        if occupied >= server.config().max_conns {
+            thread::sleep(ACCEPT_POLL);
+            continue;
+        }
+
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let conn_server = Arc::clone(&server);
+                let conn_pending = Arc::clone(&pending);
+                let handle = thread::Builder::new()
+                    .name(format!("adoc-conn-{peer}"))
+                    .spawn(move || handle_connection(conn_server, conn_pending, stream, peer));
+                match handle {
+                    Ok(h) => conn_threads.lock().push(h),
+                    Err(e) => {
+                        // Thread spawn failed (resource exhaustion):
+                        // refuse the connection.
+                        eprintln!("adoc-server: cannot spawn serving thread: {e}");
+                        server.registry().count_handshake_failure();
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) => {
+                eprintln!("adoc-server: accept failed: {e}");
+                thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes under the already-armed socket
+/// timeout, mapping timeouts to the typed hello-timeout error.
+fn read_exact_hello(stream: &mut TcpStream, buf: &mut [u8], timeout: Duration) -> io::Result<()> {
+    stream
+        .read_exact(buf)
+        .map_err(|e| AdocError::map_hello_timeout(e, timeout))
+}
+
+fn handle_connection(
+    server: Arc<Server>,
+    pending: Arc<PendingGroups>,
+    mut stream: TcpStream,
+    peer: SocketAddr,
+) {
+    stream.set_nodelay(true).ok();
+    let hello_timeout = server.config().adoc.hello_timeout;
+    if stream.set_read_timeout(Some(hello_timeout)).is_err() {
+        server.registry().count_handshake_failure();
+        return;
+    }
+
+    // Sniff: both protocols start with the AdOC magic byte.
+    let mut sniff = [0u8; 2];
+    if read_exact_hello(&mut stream, &mut sniff, hello_timeout).is_err() || sniff[0] != MAGIC {
+        server.registry().count_handshake_failure();
+        return;
+    }
+
+    if sniff[1] == GROUP_MAGIC {
+        handle_group_stream(server, pending, stream, peer, sniff, hello_timeout);
+    } else if sniff[1] <= 1 {
+        // A v1 message header (kind byte 0 = direct, 1 = adaptive).
+        serve_v1(server, stream, peer, sniff.to_vec());
+    } else {
+        server.registry().count_handshake_failure();
+    }
+}
+
+fn serve_v1(server: Arc<Server>, stream: TcpStream, peer: SocketAddr, prefix: Vec<u8>) {
+    // Short read AND write timeouts are the drain wrappers' polling
+    // granularity: a client that stops reading its echo would otherwise
+    // block the reply in write_all past any drain deadline.
+    let poll = server.config().drain_poll;
+    if stream.set_read_timeout(Some(poll)).is_err() || stream.set_write_timeout(Some(poll)).is_err()
+    {
+        server.registry().count_handshake_failure();
+        return;
+    }
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => {
+            server.registry().count_handshake_failure();
+            return;
+        }
+    };
+    let id = server.registry().register(peer.to_string());
+    let _ghostbuster = RegistryGuard::new(&server, id);
+    let cfg = server.conn_config(id, 1);
+    server.registry().activate(id, 1);
+    let ctl = ConnCtl::new(server.drain_state());
+    let guarded_r = GuardedReader::new(reader, prefix, Arc::clone(&ctl), true);
+    let guarded_w = GuardedWriter::new(stream, Arc::clone(&ctl));
+    match adoc::AdocSocket::with_config(guarded_r, guarded_w, cfg) {
+        Ok(mut sock) => {
+            let _ = serve_messages(&server, id, &mut sock, &ctl);
+        }
+        Err(_) => server.registry().remove(id, ConnOutcome::Failed),
+    }
+}
+
+fn handle_group_stream(
+    server: Arc<Server>,
+    pending: Arc<PendingGroups>,
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    sniff: [u8; 2],
+    hello_timeout: Duration,
+) {
+    // Re-attach the sniffed bytes and parse the full hello.
+    let hello = {
+        let mut chained = io::Read::chain(&sniff[..], &mut stream);
+        match GroupHello::read(&mut chained) {
+            Ok(h) => h,
+            Err(e) => {
+                let _ = e;
+                server.registry().count_handshake_failure();
+                return;
+            }
+        }
+    };
+    let n = hello.streams as usize;
+    if n < 2 {
+        // A 1-stream client never sends a hello; announcing 1 here is a
+        // protocol violation.
+        server.registry().count_handshake_failure();
+        return;
+    }
+    if hello.token == 0 {
+        // Untokened multi-stream dials are ambiguous under concurrency
+        // (see the module docs): refuse rather than risk cross-weaving
+        // two clients' streams into one group.
+        server.registry().count_handshake_failure();
+        return;
+    }
+    let key: GroupKey = (peer.ip(), hello.streams, hello.token);
+    let deadline = Instant::now() + hello_timeout;
+    let streams = match pending.place(key, hello.stream_id, stream, deadline) {
+        Placed::Parked => return, // a sibling's thread will finish the job
+        Placed::Invalid => {
+            server.registry().count_handshake_failure();
+            return;
+        }
+        Placed::Complete(streams) => streams,
+    };
+
+    // Whole group assembled: answer the acceptor hellos in id order,
+    // then serve it as one connection.
+    let mut pairs = Vec::with_capacity(n);
+    let id = server.registry().register(format!("{peer} x{n}"));
+    let _ghostbuster = RegistryGuard::new(&server, id);
+    let ctl = ConnCtl::new(server.drain_state());
+    let poll = server.config().drain_poll;
+    for (i, mut s) in streams.into_iter().enumerate() {
+        let ok = io::Write::write_all(&mut s, &GroupHello::new(n as u8, i as u8).encode()).is_ok()
+            && io::Write::flush(&mut s).is_ok()
+            && s.set_read_timeout(Some(poll)).is_ok()
+            && s.set_write_timeout(Some(poll)).is_ok();
+        let reader = if ok { s.try_clone().ok() } else { None };
+        match reader {
+            Some(r) => pairs.push((
+                GuardedReader::new(r, Vec::new(), Arc::clone(&ctl), i == 0),
+                GuardedWriter::new(s, Arc::clone(&ctl)),
+            )),
+            None => {
+                server.registry().fail_handshake(id);
+                return;
+            }
+        }
+    }
+    let cfg = server.conn_config(id, n);
+    server.registry().activate(id, n);
+    match AdocStreamGroup::from_negotiated(pairs, cfg) {
+        Ok(mut group) => {
+            let _ = serve_messages(&server, id, &mut group, &ctl);
+        }
+        Err(_) => server.registry().remove(id, ConnOutcome::Failed),
+    }
+}

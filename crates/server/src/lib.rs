@@ -1,0 +1,336 @@
+//! # adoc-server — a concurrent multi-client adaptive transfer daemon
+//!
+//! The paper positions AdOC as a drop-in library for data-transfer
+//! *middleware* (NetSolve, IBP, GridFTP). This crate supplies the
+//! long-lived service those middlewares imply: a thread-per-connection
+//! daemon that multiplexes many simultaneous AdOC clients — plain v1
+//! single-socket connections and v2 striped [`adoc::AdocStreamGroup`]s
+//! alike — through the existing pooled adaptive pipeline, under a
+//! **policy layer** the transport itself stays ignorant of:
+//!
+//! * a [`registry::ConnRegistry`] tracking every connection's lifecycle
+//!   and per-connection transfer statistics;
+//! * a [`sched::FairScheduler`] enforcing a global wire-bandwidth budget
+//!   as per-connection token buckets (plugged in through
+//!   [`adoc::Throttle::acquire_wire`]), so one greedy client is paced to
+//!   its fair share instead of starving the rest;
+//! * one shared [`adoc::BufferPool`] with a bounded idle cap, keeping
+//!   steady-state memory O(active connections) rather than O(history);
+//! * **admission control** (a max-connections gate that pauses `accept`
+//!   — backpressure through the listen backlog, not unbounded threads);
+//! * **graceful drain**: stop accepting, let every in-flight message
+//!   finish, then exit — with a hard deadline so a stalled peer cannot
+//!   hold shutdown hostage;
+//! * an on-demand [`Server::metrics_json`] snapshot of all of the above.
+//!
+//! Two binaries ship with the crate: `adoc-serverd` (the daemon) and
+//! `adoc-loadgen` (a load generator driving N concurrent clients over
+//! loopback TCP or simulated links).
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod daemon;
+pub mod metrics;
+pub mod registry;
+pub mod sched;
+
+pub use conn::{fnv1a64, sink_ack, ServeMode};
+pub use daemon::{DaemonHandle, PendingGroups};
+pub use registry::{ConnOutcome, ConnRegistry, ConnSnapshot, ConnState, RegistryTotals};
+pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler};
+
+use adoc::{AdocConfig, AdocSocket, BufferPool};
+use conn::{ConnCtl, DrainState, GuardedReader, RegistryGuard};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Base AdOC configuration for every connection. Its `pool` is the
+    /// daemon-wide shared slab; its `throttle` (if any) is chained
+    /// *behind* the fair-share scheduler as a CPU model.
+    pub adoc: AdocConfig,
+    /// Admission cap: the accept loop pauses (backpressuring into the
+    /// listen backlog) while this many connections are live.
+    pub max_conns: usize,
+    /// Aggregate wire budget in bytes/second shared fairly across
+    /// connections (`None` = unlimited; the scheduler still runs, only
+    /// counting bytes).
+    pub budget_bytes_per_sec: Option<f64>,
+    /// What to do with received messages.
+    pub mode: ServeMode,
+    /// Socket read-timeout granularity: how often blocked reads wake to
+    /// check the drain state.
+    pub drain_poll: Duration,
+    /// Once draining, how long in-flight messages get before their
+    /// connections are cut mid-frame.
+    pub drain_deadline: Duration,
+    /// Idle-buffer cap applied to the shared pool (`None` keeps the
+    /// pool's own cap).
+    pub pool_max_idle: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            adoc: AdocConfig::default(),
+            max_conns: 256,
+            budget_bytes_per_sec: None,
+            mode: ServeMode::Echo,
+            drain_poll: Duration::from_millis(100),
+            drain_deadline: Duration::from_secs(30),
+            pool_max_idle: Some(64),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("max_conns", &self.max_conns)
+            .field("budget_bytes_per_sec", &self.budget_bytes_per_sec)
+            .field("mode", &self.mode)
+            .field("drain_poll", &self.drain_poll)
+            .field("drain_deadline", &self.drain_deadline)
+            .field("pool_max_idle", &self.pool_max_idle)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The daemon core: registry + scheduler + shared pool + drain state.
+/// Transport-agnostic — the TCP front end lives in [`daemon`], and
+/// [`Server::serve_stream`] drives any `Read`/`Write` pair (the bench
+/// harness runs it over simulated links).
+pub struct Server {
+    cfg: ServerConfig,
+    registry: ConnRegistry,
+    sched: FairScheduler,
+    drain: Arc<DrainState>,
+    started_at: Instant,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("cfg", &self.cfg)
+            .field("live", &self.registry.live_count())
+            .field("draining", &self.is_draining())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Builds a server, validating the embedded AdOC configuration and
+    /// applying the pool idle cap.
+    pub fn new(cfg: ServerConfig) -> io::Result<Arc<Server>> {
+        cfg.adoc.validate()?;
+        if cfg.max_conns == 0 {
+            return Err(adoc::AdocError::InvalidConfig {
+                reason: "max_conns must be >= 1".into(),
+            }
+            .into());
+        }
+        if cfg.drain_poll.is_zero() {
+            // Zero would make every set_read_timeout/set_write_timeout
+            // call fail at serve time (std rejects Some(ZERO)).
+            return Err(adoc::AdocError::InvalidConfig {
+                reason: "drain_poll must be > 0".into(),
+            }
+            .into());
+        }
+        if let Some(cap) = cfg.pool_max_idle {
+            cfg.adoc.pool.set_max_idle(cap);
+        }
+        let sched = FairScheduler::new(cfg.budget_bytes_per_sec);
+        Ok(Arc::new(Server {
+            cfg,
+            registry: ConnRegistry::new(),
+            sched,
+            drain: Arc::new(DrainState::default()),
+            started_at: Instant::now(),
+        }))
+    }
+
+    /// Server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The connection registry.
+    pub fn registry(&self) -> &ConnRegistry {
+        &self.registry
+    }
+
+    /// The fair-share scheduler.
+    pub fn scheduler(&self) -> &FairScheduler {
+        &self.sched
+    }
+
+    /// The daemon-wide shared buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.cfg.adoc.pool
+    }
+
+    /// What the server does with received messages.
+    pub fn mode(&self) -> ServeMode {
+        self.cfg.mode
+    }
+
+    /// Seconds since the server was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started_at.elapsed().as_secs_f64()
+    }
+
+    /// Starts a graceful drain: live connections finish their in-flight
+    /// message (bounded by the drain deadline) and no new messages are
+    /// served. The TCP front end additionally stops accepting.
+    pub fn begin_drain(&self) {
+        *self.drain.deadline.lock() = Some(Instant::now() + self.cfg.drain_deadline);
+        self.drain
+            .draining
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.registry.mark_all_draining();
+    }
+
+    /// True once a drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.drain.is_draining()
+    }
+
+    pub(crate) fn drain_state(&self) -> Arc<DrainState> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Builds the per-connection AdOC config: shared pool, scheduler
+    /// throttle (chained over the base config's CPU throttle), stream
+    /// count.
+    pub(crate) fn conn_config(&self, id: registry::ConnId, streams: usize) -> AdocConfig {
+        let base = self.cfg.adoc.clone();
+        let throttle = self.sched.register(id).with_cpu(Arc::clone(&base.throttle));
+        base.with_throttle(Arc::new(throttle)).with_streams(streams)
+    }
+
+    /// Serves one already-connected v1 client over any `Read`/`Write`
+    /// pair (the transport-agnostic entry the bench harness uses with
+    /// simulated links; the TCP daemon adds sniffing, timeouts and
+    /// grouping on top). Blocks until the client closes, the server
+    /// drains at a message boundary, or an error occurs; returns the
+    /// number of messages served.
+    pub fn serve_stream<R, W>(&self, reader: R, writer: W, peer: &str) -> io::Result<u64>
+    where
+        R: Read + Send,
+        W: Write + Send,
+    {
+        let id = self.registry.register(peer);
+        let _ghostbuster = RegistryGuard::new(self, id);
+        let cfg = self.conn_config(id, 1);
+        self.registry.activate(id, 1);
+        let ctl = ConnCtl::new(self.drain_state());
+        let guarded = GuardedReader::new(reader, Vec::new(), Arc::clone(&ctl), true);
+        let mut sock = match AdocSocket::with_config(guarded, writer, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                self.registry.remove(id, ConnOutcome::Failed);
+                return Err(e);
+            }
+        };
+        conn::serve_messages(self, id, &mut sock, &ctl)
+    }
+
+    /// On-demand JSON snapshot of registry, scheduler, and pool state.
+    pub fn metrics_json(&self) -> String {
+        metrics::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adoc_sim::pipe::duplex_pipe;
+    use std::thread;
+
+    #[test]
+    fn serve_stream_echoes_until_eof() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        let (client_end, server_end) = duplex_pipe(1 << 20);
+        let (sr, sw) = server_end.split();
+        let s2 = Arc::clone(&server);
+        let serving = thread::spawn(move || s2.serve_stream(sr, sw, "pipe-client"));
+
+        let (cr, cw) = client_end.split();
+        let mut client = AdocSocket::new(cr, cw);
+        for len in [10usize, 100_000, 700_000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            client.write(&msg).unwrap();
+            let mut back = vec![0u8; len];
+            client.read_exact(&mut back).unwrap();
+            assert_eq!(back, msg, "echo must be byte-exact at {len}");
+        }
+        drop(client);
+        let served = serving.join().unwrap().unwrap();
+        assert_eq!(served, 3);
+        assert_eq!(server.registry().totals().completed, 1);
+        assert_eq!(server.registry().totals().messages, 3);
+        assert_eq!(server.registry().live_count(), 0);
+        assert_eq!(server.scheduler().active(), 0, "throttle must deregister");
+        assert_eq!(server.pool().stats().outstanding, 0);
+    }
+
+    #[test]
+    fn sink_mode_acks_with_checksum() {
+        let server = Server::new(ServerConfig {
+            mode: ServeMode::Sink,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (client_end, server_end) = duplex_pipe(1 << 20);
+        let (sr, sw) = server_end.split();
+        let s2 = Arc::clone(&server);
+        let serving = thread::spawn(move || s2.serve_stream(sr, sw, "pipe-client"));
+
+        let (cr, cw) = client_end.split();
+        let mut client = AdocSocket::new(cr, cw);
+        let msg = b"sinked payload ".repeat(1000);
+        client.write(&msg).unwrap();
+        let mut ack = [0u8; 16];
+        client.read_exact(&mut ack).unwrap();
+        assert_eq!(ack, sink_ack(msg.len() as u64, fnv1a64(&msg)));
+        drop(client);
+        serving.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn invalid_server_config_is_a_typed_error() {
+        let cfg = ServerConfig {
+            adoc: AdocConfig::default().with_streams(0),
+            ..ServerConfig::default()
+        };
+        let err = match Server::new(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("zero streams must be rejected"),
+        };
+        assert!(matches!(
+            adoc::AdocError::from_io(&err),
+            Some(adoc::AdocError::InvalidConfig { .. })
+        ));
+        let err = Server::new(ServerConfig {
+            max_conns: 0,
+            ..ServerConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("max_conns"));
+    }
+
+    #[test]
+    fn pool_idle_cap_is_applied() {
+        let cfg = ServerConfig {
+            pool_max_idle: Some(7),
+            ..ServerConfig::default()
+        };
+        let server = Server::new(cfg).unwrap();
+        assert_eq!(server.pool().max_idle(), 7);
+    }
+}

@@ -1,0 +1,177 @@
+//! On-demand metrics: one JSON document describing the whole daemon —
+//! registry, scheduler buckets, shared pool — without serde (the
+//! workspace builds offline) and without touching any connection's hot
+//! path (everything reads registry snapshots).
+//!
+//! Schema (`adoc-server-metrics-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "adoc-server-metrics-v1",
+//!   "uptime_secs": 1.0, "draining": false, "mode": "echo",
+//!   "budget_bytes_per_sec": 1000000.0,
+//!   "totals": { "accepted": 1, "completed": 1, "failed": 0,
+//!               "handshake_failures": 0, "messages": 1,
+//!               "raw_bytes": 1, "reply_wire_bytes": 1 },
+//!   "pool": { "hits": 1, "misses": 1, "returns": 1, "evicted": 0,
+//!             "outstanding": 0, "peak_outstanding": 2, "idle": 2,
+//!             "max_idle": 64, "idle_bytes": 4096 },
+//!   "connections": [ { "id": 1, "peer": "…", "state": "active",
+//!                      "streams": 1, "messages": 1, "raw_bytes": 1,
+//!                      "reply_wire_bytes": 1, "age_secs": 1.0,
+//!                      "sched_admitted": 1,
+//!                      "level_bps": { "3": 1.0 } } ]
+//! }
+//! ```
+
+use crate::Server;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the metrics document for `server`.
+pub(crate) fn render(server: &Server) -> String {
+    let totals = server.registry().totals();
+    let pool = server.pool().stats();
+    let buckets: HashMap<u64, u64> = server
+        .scheduler()
+        .snapshot()
+        .into_iter()
+        .map(|b| (b.conn, b.admitted))
+        .collect();
+
+    let mut out = String::from("{\n  \"schema\": \"adoc-server-metrics-v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"uptime_secs\": {:.3}, \"draining\": {}, \"mode\": \"{}\",",
+        server.uptime_secs(),
+        server.is_draining(),
+        match server.mode() {
+            crate::ServeMode::Echo => "echo",
+            crate::ServeMode::Sink => "sink",
+        }
+    );
+    match server.scheduler().budget() {
+        Some(b) => {
+            let _ = writeln!(out, "  \"budget_bytes_per_sec\": {b:.1},");
+        }
+        None => out.push_str("  \"budget_bytes_per_sec\": null,\n"),
+    }
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{ \"accepted\": {}, \"completed\": {}, \"failed\": {}, \
+         \"handshake_failures\": {}, \"messages\": {}, \"raw_bytes\": {}, \"reply_wire_bytes\": {} }},",
+        totals.accepted,
+        totals.completed,
+        totals.failed,
+        totals.handshake_failures,
+        totals.messages,
+        totals.raw_bytes,
+        totals.reply_wire_bytes,
+    );
+    let _ = writeln!(
+        out,
+        "  \"pool\": {{ \"hits\": {}, \"misses\": {}, \"returns\": {}, \"evicted\": {}, \
+         \"outstanding\": {}, \"peak_outstanding\": {}, \"idle\": {}, \"max_idle\": {}, \
+         \"idle_bytes\": {} }},",
+        pool.hits,
+        pool.misses,
+        pool.returns,
+        pool.evicted,
+        pool.outstanding,
+        pool.peak_outstanding,
+        server.pool().idle(),
+        server.pool().max_idle(),
+        server.pool().idle_bytes(),
+    );
+    out.push_str("  \"connections\": [\n");
+    let conns = server.registry().snapshot();
+    for (i, c) in conns.iter().enumerate() {
+        let mut levels = String::new();
+        let mut first = true;
+        for (level, &bps) in c.level_bps.iter().enumerate() {
+            if bps > 0.0 {
+                let _ = write!(
+                    levels,
+                    "{}\"{}\": {:.0}",
+                    if first { "" } else { ", " },
+                    level,
+                    bps
+                );
+                first = false;
+            }
+        }
+        let sep = if i + 1 == conns.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{ \"id\": {}, \"peer\": \"{}\", \"state\": \"{}\", \"streams\": {}, \
+             \"messages\": {}, \"raw_bytes\": {}, \"reply_wire_bytes\": {}, \"age_secs\": {:.3}, \
+             \"sched_admitted\": {}, \"level_bps\": {{ {} }} }}{}",
+            c.id,
+            json_escape(&c.peer),
+            c.state.name(),
+            c.streams,
+            c.messages,
+            c.raw_bytes,
+            c.reply_wire_bytes,
+            c.age_secs,
+            buckets.get(&c.id).copied().unwrap_or(0),
+            levels,
+            sep,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Server, ServerConfig};
+
+    #[test]
+    fn metrics_document_has_every_section() {
+        let server = Server::new(ServerConfig {
+            budget_bytes_per_sec: Some(5e6),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let id = server.registry().register("127.0.0.1:9\"quote");
+        server.registry().activate(id, 2);
+        let doc = server.metrics_json();
+        for needle in [
+            "\"schema\": \"adoc-server-metrics-v1\"",
+            "\"budget_bytes_per_sec\": 5000000.0",
+            "\"totals\":",
+            "\"pool\":",
+            "\"peak_outstanding\"",
+            "\"evicted\"",
+            "\"connections\": [",
+            "\"state\": \"active\"",
+            "\\\"quote", // escaping
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_renders_null() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        assert!(server
+            .metrics_json()
+            .contains("\"budget_bytes_per_sec\": null"));
+    }
+}

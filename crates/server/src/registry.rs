@@ -1,0 +1,326 @@
+//! The connection registry: who is connected, in what lifecycle state,
+//! and what their transfers have done so far.
+//!
+//! Serving threads own their sockets; the registry holds compact
+//! *snapshots* they push after every message, so the metrics endpoint
+//! can render the whole daemon without touching any connection's hot
+//! path. Closed connections fold into lifetime totals instead of
+//! accumulating entries.
+
+use adoc::TransferStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Identifier of one registered connection (a v2 stream group counts as
+/// one connection no matter how many sockets it stripes over).
+pub type ConnId = u64;
+
+/// Lifecycle of a registered connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Accepted, protocol not yet sniffed / group not yet complete.
+    Handshaking,
+    /// Serving messages.
+    Active,
+    /// Server is draining: the connection finishes its in-flight
+    /// message, then closes.
+    Draining,
+}
+
+impl ConnState {
+    /// Lower-case name for metrics output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnState::Handshaking => "handshaking",
+            ConnState::Active => "active",
+            ConnState::Draining => "draining",
+        }
+    }
+}
+
+/// How a connection left the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnOutcome {
+    /// Clean end of stream after serving zero or more messages.
+    Completed,
+    /// An I/O or protocol error ended the connection.
+    Failed,
+}
+
+/// Compact, copyable view of one live connection.
+#[derive(Debug, Clone)]
+pub struct ConnSnapshot {
+    /// Registry id.
+    pub id: ConnId,
+    /// Peer address (or transport label for non-TCP harnesses).
+    pub peer: String,
+    /// Streams in the connection's group (1 = plain v1 socket).
+    pub streams: usize,
+    /// Lifecycle state.
+    pub state: ConnState,
+    /// Messages served so far.
+    pub messages: u64,
+    /// Raw payload bytes received from the client.
+    pub raw_bytes: u64,
+    /// Wire bytes of the server's replies (echo/ack direction — the
+    /// receive path does not expose the client's wire volume).
+    pub reply_wire_bytes: u64,
+    /// Last observed per-level visible bandwidth of the server's own
+    /// sends (echo direction), bits/s; 0 = level unobserved.
+    pub level_bps: [f64; 11],
+    /// Seconds since the connection was registered.
+    pub age_secs: f64,
+}
+
+/// Monotonic lifetime counters across all connections ever seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryTotals {
+    /// Connections that reached `Active`.
+    pub accepted: u64,
+    /// Connections that ended cleanly.
+    pub completed: u64,
+    /// Connections that ended in an error.
+    pub failed: u64,
+    /// Sockets dropped during handshake (bad magic, timeout, partial
+    /// group that expired…).
+    pub handshake_failures: u64,
+    /// Messages served across all completed and live connections.
+    pub messages: u64,
+    /// Raw bytes received across all completed and live connections.
+    pub raw_bytes: u64,
+    /// Wire bytes of server replies across all completed and live
+    /// connections.
+    pub reply_wire_bytes: u64,
+}
+
+struct Entry {
+    peer: String,
+    streams: usize,
+    state: ConnState,
+    messages: u64,
+    raw_bytes: u64,
+    reply_wire_bytes: u64,
+    level_bps: [f64; 11],
+    registered_at: Instant,
+}
+
+/// Thread-safe connection registry (see the module docs).
+pub struct ConnRegistry {
+    next_id: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    live: HashMap<ConnId, Entry>,
+    totals: RegistryTotals,
+}
+
+impl Default for ConnRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConnRegistry {
+    /// An empty registry.
+    pub fn new() -> ConnRegistry {
+        ConnRegistry {
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(Inner {
+                live: HashMap::new(),
+                totals: RegistryTotals::default(),
+            }),
+        }
+    }
+
+    /// Registers a connection in the [`ConnState::Handshaking`] state and
+    /// returns its id.
+    pub fn register(&self, peer: impl Into<String>) -> ConnId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.inner.lock();
+        g.live.insert(
+            id,
+            Entry {
+                peer: peer.into(),
+                streams: 1,
+                state: ConnState::Handshaking,
+                messages: 0,
+                raw_bytes: 0,
+                reply_wire_bytes: 0,
+                level_bps: [0.0; 11],
+                registered_at: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Marks `id` active with its negotiated stream count (counted in
+    /// [`RegistryTotals::accepted`]).
+    pub fn activate(&self, id: ConnId, streams: usize) {
+        let mut g = self.inner.lock();
+        if let Some(e) = g.live.get_mut(&id) {
+            e.state = ConnState::Active;
+            e.streams = streams;
+            g.totals.accepted += 1;
+        }
+    }
+
+    /// Moves every live connection to [`ConnState::Draining`].
+    pub fn mark_all_draining(&self) {
+        let mut g = self.inner.lock();
+        for e in g.live.values_mut() {
+            if e.state == ConnState::Active {
+                e.state = ConnState::Draining;
+            }
+        }
+    }
+
+    /// Pushes a post-message stats snapshot for `id`: `recv_raw` is the
+    /// received message's payload size, `reply_wire` the wire volume of
+    /// the server's reply (the serving socket only tracks its own
+    /// sends, so the client's wire volume is not available here), and
+    /// `stats` the serving socket's cumulative view.
+    pub fn update(&self, id: ConnId, recv_raw: u64, reply_wire: u64, stats: &TransferStats) {
+        let mut g = self.inner.lock();
+        g.totals.messages += 1;
+        g.totals.raw_bytes += recv_raw;
+        g.totals.reply_wire_bytes += reply_wire;
+        if let Some(e) = g.live.get_mut(&id) {
+            e.messages += 1;
+            e.raw_bytes += recv_raw;
+            e.reply_wire_bytes += reply_wire;
+            e.level_bps = stats.level_bps;
+        }
+    }
+
+    /// Removes `id`, folding it into the lifetime totals.
+    pub fn remove(&self, id: ConnId, outcome: ConnOutcome) {
+        let mut g = self.inner.lock();
+        if g.live.remove(&id).is_some() {
+            match outcome {
+                ConnOutcome::Completed => g.totals.completed += 1,
+                ConnOutcome::Failed => g.totals.failed += 1,
+            }
+        }
+    }
+
+    /// Removes a connection that never finished its handshake.
+    pub fn fail_handshake(&self, id: ConnId) {
+        let mut g = self.inner.lock();
+        if g.live.remove(&id).is_some() {
+            g.totals.handshake_failures += 1;
+        }
+    }
+
+    /// Counts a handshake failure for a socket that was never registered
+    /// (e.g. a parked stream of an expired partial group).
+    pub fn count_handshake_failure(&self) {
+        self.inner.lock().totals.handshake_failures += 1;
+    }
+
+    /// Number of live (handshaking + active + draining) connections.
+    pub fn live_count(&self) -> usize {
+        self.inner.lock().live.len()
+    }
+
+    /// Lifetime totals so far.
+    pub fn totals(&self) -> RegistryTotals {
+        self.inner.lock().totals
+    }
+
+    /// Snapshots every live connection, sorted by id.
+    pub fn snapshot(&self) -> Vec<ConnSnapshot> {
+        let g = self.inner.lock();
+        let mut out: Vec<ConnSnapshot> = g
+            .live
+            .iter()
+            .map(|(&id, e)| ConnSnapshot {
+                id,
+                peer: e.peer.clone(),
+                streams: e.streams,
+                state: e.state,
+                messages: e.messages,
+                raw_bytes: e.raw_bytes,
+                reply_wire_bytes: e.reply_wire_bytes,
+                level_bps: e.level_bps,
+                age_secs: e.registered_at.elapsed().as_secs_f64(),
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counts_fold_into_totals() {
+        let reg = ConnRegistry::new();
+        let a = reg.register("127.0.0.1:1111");
+        let b = reg.register("127.0.0.1:2222");
+        assert_eq!(reg.live_count(), 2);
+        reg.activate(a, 1);
+        reg.activate(b, 4);
+        assert_eq!(reg.totals().accepted, 2);
+
+        let stats = TransferStats::new();
+        reg.update(a, 1000, 400, &stats);
+        reg.update(a, 500, 200, &stats);
+        reg.update(b, 9, 9, &stats);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].messages, 2);
+        assert_eq!(snap[0].raw_bytes, 1500);
+        assert_eq!(snap[0].reply_wire_bytes, 600);
+        assert_eq!(snap[1].streams, 4);
+
+        reg.remove(a, ConnOutcome::Completed);
+        reg.remove(b, ConnOutcome::Failed);
+        assert_eq!(reg.live_count(), 0);
+        let t = reg.totals();
+        assert_eq!((t.completed, t.failed), (1, 1));
+        assert_eq!(t.messages, 3);
+        assert_eq!(t.raw_bytes, 1509);
+        assert_eq!(t.reply_wire_bytes, 609);
+    }
+
+    #[test]
+    fn handshake_failures_never_count_as_accepted() {
+        let reg = ConnRegistry::new();
+        let id = reg.register("127.0.0.1:3333");
+        reg.fail_handshake(id);
+        reg.count_handshake_failure(); // an unregistered parked stream
+        let t = reg.totals();
+        assert_eq!(t.accepted, 0);
+        assert_eq!(t.handshake_failures, 2);
+        assert_eq!(reg.live_count(), 0);
+    }
+
+    #[test]
+    fn draining_marks_only_active_connections() {
+        let reg = ConnRegistry::new();
+        let hs = reg.register("p1");
+        let act = reg.register("p2");
+        reg.activate(act, 2);
+        reg.mark_all_draining();
+        let snap = reg.snapshot();
+        let find = |id| snap.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(find(hs).state, ConnState::Handshaking);
+        assert_eq!(find(act).state, ConnState::Draining);
+    }
+
+    #[test]
+    fn double_remove_is_benign() {
+        let reg = ConnRegistry::new();
+        let id = reg.register("p");
+        reg.activate(id, 1);
+        reg.remove(id, ConnOutcome::Completed);
+        reg.remove(id, ConnOutcome::Failed);
+        let t = reg.totals();
+        assert_eq!((t.completed, t.failed), (1, 0));
+    }
+}

@@ -1,0 +1,387 @@
+//! Global fair-share bandwidth scheduling.
+//!
+//! One [`FairScheduler`] guards the daemon's aggregate wire budget. Each
+//! connection registers a token bucket; buckets refill continuously at
+//! `budget / active_connections`, so a greedy client is paced down to its
+//! share while the others keep theirs — the policy layer the middleware
+//! papers argue should sit *above* the transport, plugged in through the
+//! transport's own seam: [`adoc::Throttle::acquire_wire`].
+//!
+//! The model is debt-based: an admission always succeeds once the bucket
+//! is positive and then deducts the full byte count, letting the balance
+//! go negative. A connection that just moved a 200 KB frame therefore
+//! waits until its share has paid the debt off — large writes are paced
+//! exactly like many small ones, with no risk of a request larger than
+//! the burst capacity starving forever.
+
+use adoc::Throttle;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-connection token-bucket burst ceiling, in seconds of that
+/// connection's fair share: an idle connection can save up this much
+/// share and then burst it, which keeps short interactive messages snappy
+/// without letting long-idle connections bank unbounded credit.
+const BURST_SECS: f64 = 0.25;
+
+/// Minimum burst in bytes, so tiny shares still admit whole packets
+/// without pathological wakeup counts.
+const MIN_BURST: f64 = 64.0 * 1024.0;
+
+#[derive(Debug)]
+struct Bucket {
+    /// Token balance in bytes; may be negative (debt) after a large
+    /// admission.
+    tokens: f64,
+    /// Wire bytes ever admitted for this connection (observability).
+    admitted: u64,
+    /// When this bucket's balance was last advanced. Per-bucket so an
+    /// admission refills only its own bucket — O(1) per packet — while
+    /// the fair share still derives from the live connection count.
+    last_refill: Instant,
+}
+
+#[derive(Debug)]
+struct State {
+    buckets: HashMap<u64, Bucket>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Aggregate budget in bytes/second; `None` = unlimited (admission
+    /// returns immediately, buckets only count bytes).
+    budget: Option<f64>,
+    state: Mutex<State>,
+    refilled: Condvar,
+}
+
+/// Shared fair-share scheduler: cheap to clone, one per server.
+#[derive(Clone, Debug)]
+pub struct FairScheduler {
+    inner: Arc<Inner>,
+}
+
+/// A live admission snapshot for one connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSnapshot {
+    /// Connection id the bucket belongs to.
+    pub conn: u64,
+    /// Current token balance in bytes (negative = paying off debt).
+    pub tokens: f64,
+    /// Total wire bytes admitted so far.
+    pub admitted: u64,
+}
+
+impl FairScheduler {
+    /// Creates a scheduler with the given aggregate budget in
+    /// bytes/second (`None` = unlimited).
+    pub fn new(budget_bytes_per_sec: Option<f64>) -> FairScheduler {
+        if let Some(b) = budget_bytes_per_sec {
+            assert!(b > 0.0, "a bandwidth budget must be positive");
+        }
+        FairScheduler {
+            inner: Arc::new(Inner {
+                budget: budget_bytes_per_sec,
+                state: Mutex::new(State {
+                    buckets: HashMap::new(),
+                }),
+                refilled: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Aggregate budget in bytes/second, if limited.
+    pub fn budget(&self) -> Option<f64> {
+        self.inner.budget
+    }
+
+    /// Registers connection `conn` and returns the [`Throttle`] handle
+    /// that paces it. Dropping the handle deregisters the connection
+    /// (its unused share flows back to the others on the next refill).
+    pub fn register(&self, conn: u64) -> ConnThrottle {
+        let mut st = self.inner.state.lock();
+        let burst = self.burst_for(st.buckets.len() + 1);
+        st.buckets.insert(
+            conn,
+            Bucket {
+                tokens: burst,
+                admitted: 0,
+                last_refill: Instant::now(),
+            },
+        );
+        ConnThrottle {
+            sched: self.clone(),
+            conn,
+            cpu: None,
+        }
+    }
+
+    /// Active (registered) connection count.
+    pub fn active(&self) -> usize {
+        self.inner.state.lock().buckets.len()
+    }
+
+    /// Snapshots every live bucket, sorted by connection id.
+    pub fn snapshot(&self) -> Vec<BucketSnapshot> {
+        let mut st = self.inner.state.lock();
+        let active = st.buckets.len();
+        let now = Instant::now();
+        let mut out: Vec<BucketSnapshot> = st
+            .buckets
+            .iter_mut()
+            .map(|(&conn, b)| {
+                self.refill_bucket(b, active, now);
+                BucketSnapshot {
+                    conn,
+                    tokens: b.tokens,
+                    admitted: b.admitted,
+                }
+            })
+            .collect();
+        out.sort_by_key(|s| s.conn);
+        out
+    }
+
+    fn burst_for(&self, active: usize) -> f64 {
+        match self.inner.budget {
+            Some(budget) => (budget / active.max(1) as f64 * BURST_SECS).max(MIN_BURST),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Advances one bucket by its elapsed fair share (`budget / active`
+    /// since the bucket's own last refill). Caller holds the state lock.
+    fn refill_bucket(&self, b: &mut Bucket, active: usize, now: Instant) {
+        let Some(budget) = self.inner.budget else {
+            b.last_refill = now;
+            return;
+        };
+        let dt = now.duration_since(b.last_refill).as_secs_f64();
+        b.last_refill = now;
+        if dt <= 0.0 {
+            return;
+        }
+        let share = budget / active.max(1) as f64;
+        let cap = self.burst_for(active);
+        b.tokens = (b.tokens + share * dt).min(cap);
+    }
+
+    fn acquire(&self, conn: u64, bytes: usize) {
+        let mut st = self.inner.state.lock();
+        loop {
+            let active = st.buckets.len().max(1);
+            let now = Instant::now();
+            let Some(b) = st.buckets.get_mut(&conn) else {
+                // Deregistered while a pipeline thread was still
+                // flushing: admit unpaced, the connection is on its way
+                // out anyway.
+                return;
+            };
+            self.refill_bucket(b, active, now);
+            if b.tokens > 0.0 {
+                b.tokens -= bytes as f64;
+                b.admitted += bytes as u64;
+                return;
+            }
+            let Some(budget) = self.inner.budget else {
+                b.tokens -= bytes as f64;
+                b.admitted += bytes as u64;
+                return;
+            };
+            // Sleep roughly until this connection's share pays the debt
+            // off, re-checking periodically in case the active count (and
+            // with it the share) changed.
+            let share = budget / active as f64;
+            let wait = ((-b.tokens + 1.0) / share).clamp(0.0005, 0.05);
+            self.inner
+                .refilled
+                .wait_for(&mut st, Duration::from_secs_f64(wait));
+        }
+    }
+
+    fn deregister(&self, conn: u64) {
+        let mut st = self.inner.state.lock();
+        st.buckets.remove(&conn);
+        drop(st);
+        // Shares just grew for everyone else; let waiters re-evaluate.
+        self.inner.refilled.notify_all();
+    }
+}
+
+/// The per-connection [`Throttle`] a [`FairScheduler`] hands out:
+/// `acquire_wire` blocks until the connection's token bucket admits the
+/// bytes; `charge` forwards to an optional inner CPU-model throttle.
+pub struct ConnThrottle {
+    sched: FairScheduler,
+    conn: u64,
+    cpu: Option<Arc<dyn Throttle>>,
+}
+
+impl std::fmt::Debug for ConnThrottle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnThrottle")
+            .field("conn", &self.conn)
+            .field("chained_cpu", &self.cpu.is_some())
+            .finish()
+    }
+}
+
+impl ConnThrottle {
+    /// Chains an inner CPU-speed throttle (e.g. a simulation
+    /// [`adoc::SleepThrottle`]) behind the bandwidth pacing.
+    pub fn with_cpu(mut self, cpu: Arc<dyn Throttle>) -> ConnThrottle {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// The connection id this throttle paces.
+    pub fn conn(&self) -> u64 {
+        self.conn
+    }
+}
+
+impl Throttle for ConnThrottle {
+    fn charge(&self, elapsed: Duration) {
+        if let Some(cpu) = &self.cpu {
+            cpu.charge(elapsed);
+        }
+    }
+
+    fn acquire_wire(&self, bytes: usize) {
+        self.sched.acquire(self.conn, bytes);
+        if let Some(cpu) = &self.cpu {
+            cpu.acquire_wire(bytes);
+        }
+    }
+}
+
+impl Drop for ConnThrottle {
+    fn drop(&mut self) {
+        self.sched.deregister(self.conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unlimited_budget_admits_instantly() {
+        let sched = FairScheduler::new(None);
+        let t = sched.register(1);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            t.acquire_wire(1 << 20);
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+        let snap = sched.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].admitted, 1000 << 20);
+    }
+
+    #[test]
+    fn budget_paces_a_single_connection() {
+        // 10 MB/s budget, ~2.6 MB of traffic beyond the initial burst:
+        // must take noticeably long but not unboundedly so.
+        let sched = FairScheduler::new(Some(10e6));
+        let t = sched.register(7);
+        let start = Instant::now();
+        let mut sent = 0usize;
+        while sent < 3_300_000 {
+            t.acquire_wire(64 << 10);
+            sent += 64 << 10;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        // Burst covers 2.5 MB (0.25 s of 10 MB/s); the remaining ~0.8 MB
+        // must be paced at ~10 MB/s → ≥ 50 ms even on a fast machine.
+        assert!(secs > 0.05, "pacing too weak: {secs:.3}s");
+        assert!(secs < 2.0, "pacing far too strong: {secs:.3}s");
+    }
+
+    #[test]
+    fn greedy_connection_cannot_starve_its_peer() {
+        // Two connections, one pushes 4x more traffic. Under a shared
+        // budget both must finish, and the greedy one must take roughly
+        // 4x longer once bursts wash out.
+        let sched = FairScheduler::new(Some(20e6));
+        let greedy = sched.register(1);
+        let modest = sched.register(2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (b1, b2) = (barrier.clone(), barrier);
+        let g = thread::spawn(move || {
+            b1.wait();
+            let start = Instant::now();
+            let mut sent = 0usize;
+            while sent < 12_000_000 {
+                greedy.acquire_wire(128 << 10);
+                sent += 128 << 10;
+            }
+            start.elapsed().as_secs_f64()
+        });
+        let m = thread::spawn(move || {
+            b2.wait();
+            let start = Instant::now();
+            let mut sent = 0usize;
+            while sent < 3_000_000 {
+                modest.acquire_wire(128 << 10);
+                sent += 128 << 10;
+            }
+            start.elapsed().as_secs_f64()
+        });
+        let (greedy_secs, modest_secs) = (g.join().unwrap(), m.join().unwrap());
+        // The modest connection's 3 MB at a fair 10 MB/s share finishes
+        // in well under the greedy connection's 12 MB.
+        assert!(
+            modest_secs < greedy_secs,
+            "fair share must protect the modest client: modest {modest_secs:.3}s vs greedy {greedy_secs:.3}s"
+        );
+        assert!(
+            greedy_secs > 0.4,
+            "12 MB over a 10 MB/s fair share cannot take {greedy_secs:.3}s"
+        );
+    }
+
+    #[test]
+    fn deregistration_returns_the_share() {
+        let sched = FairScheduler::new(Some(1e6));
+        let a = sched.register(1);
+        let b = sched.register(2);
+        assert_eq!(sched.active(), 2);
+        drop(a);
+        assert_eq!(sched.active(), 1);
+        drop(b);
+        assert_eq!(sched.active(), 0);
+        assert!(sched.snapshot().is_empty());
+    }
+
+    #[test]
+    fn acquire_after_deregistration_is_a_noop() {
+        let sched = FairScheduler::new(Some(1.0)); // absurdly tight
+        let t = sched.register(9);
+        sched.deregister(9);
+        let start = Instant::now();
+        t.acquire_wire(10 << 20); // must not block on a 1 B/s budget
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn cpu_throttle_chains_behind_pacing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct Count(AtomicU64);
+        impl Throttle for Count {
+            fn charge(&self, _e: Duration) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Count::default());
+        let sched = FairScheduler::new(None);
+        let t = sched.register(3).with_cpu(counter.clone());
+        t.charge(Duration::from_millis(1));
+        t.charge(Duration::from_millis(1));
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+    }
+}

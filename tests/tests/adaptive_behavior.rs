@@ -41,8 +41,8 @@ fn adoc_pair_cfg(cfg_link: LinkCfg, tx_cfg: AdocConfig, rx_cfg: AdocConfig) -> (
     let (ar, aw) = a.split();
     let (br, bw) = b.split();
     (
-        AdocSocket::with_config(ar, aw, tx_cfg),
-        AdocSocket::with_config(br, bw, rx_cfg),
+        AdocSocket::with_config(ar, aw, tx_cfg).unwrap(),
+        AdocSocket::with_config(br, bw, rx_cfg).unwrap(),
     )
 }
 
@@ -217,32 +217,40 @@ fn slow_receiver_divergence_converges_to_low_levels() {
     let _guard = timing_lock();
     // Paper §5 "Compression level divergence": a receiver that
     // decompresses far slower than the sender compresses must drive the
-    // level down (ultimately to no compression), not up.
-    let link = LinkCfg::new(adoc_sim::mbit(400.0), Duration::from_micros(200));
-    let rx_cfg = AdocConfig::default().with_throttle(Arc::new(SleepThrottle::new(60.0)));
-    let (mut tx, mut rx) = adoc_pair_cfg(link, AdocConfig::default(), rx_cfg);
-    let data = generate(DataKind::Ascii, 6 << 20, 48);
-    let n = data.len();
-    let receiver = thread::spawn(move || {
-        let mut buf = vec![0u8; n];
-        rx.read_exact(&mut buf).unwrap();
+    // level down (ultimately to no compression), not up. A timing
+    // property, so retried like the other wall-clock assertions in this
+    // file (a contended host can blur the visible-bandwidth contrast
+    // the guard keys on).
+    retry_timing(3, || {
+        let link = LinkCfg::new(adoc_sim::mbit(400.0), Duration::from_micros(200));
+        let rx_cfg = AdocConfig::default().with_throttle(Arc::new(SleepThrottle::new(60.0)));
+        let (mut tx, mut rx) = adoc_pair_cfg(link, AdocConfig::default(), rx_cfg);
+        let data = generate(DataKind::Ascii, 6 << 20, 48);
+        let n = data.len();
+        let receiver = thread::spawn(move || {
+            let mut buf = vec![0u8; n];
+            rx.read_exact(&mut buf).unwrap();
+        });
+        tx.write(&data).unwrap();
+        receiver.join().unwrap();
+        let stats = tx.stats().clone();
+        // The tail of the timeline must sit at low levels.
+        let tail: Vec<u8> = stats
+            .level_timeline
+            .iter()
+            .rev()
+            .take(5)
+            .map(|&(_, l)| l)
+            .collect();
+        let tail_max = tail.iter().copied().max().unwrap_or(0);
+        if tail_max <= 2 || stats.divergence_reverts > 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "level did not converge down under a slow receiver: tail {tail:?}\n{stats}"
+            ))
+        }
     });
-    tx.write(&data).unwrap();
-    receiver.join().unwrap();
-    let stats = tx.stats().clone();
-    // The tail of the timeline must sit at low levels.
-    let tail: Vec<u8> = stats
-        .level_timeline
-        .iter()
-        .rev()
-        .take(5)
-        .map(|&(_, l)| l)
-        .collect();
-    let tail_max = tail.iter().copied().max().unwrap_or(0);
-    assert!(
-        tail_max <= 2 || stats.divergence_reverts > 0,
-        "level did not converge down under a slow receiver: tail {tail:?}\n{stats}"
-    );
 }
 
 #[test]

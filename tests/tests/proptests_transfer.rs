@@ -16,8 +16,8 @@ fn pair(cfg: AdocConfig) -> (Sock, Sock) {
     let (ar, aw) = a.split();
     let (br, bw) = b.split();
     (
-        AdocSocket::with_config(ar, aw, cfg.clone()),
-        AdocSocket::with_config(br, bw, cfg),
+        AdocSocket::with_config(ar, aw, cfg.clone()).unwrap(),
+        AdocSocket::with_config(br, bw, cfg).unwrap(),
     )
 }
 

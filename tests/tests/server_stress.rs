@@ -1,0 +1,492 @@
+//! `adoc-server` end-to-end: a real TCP daemon under concurrent
+//! multi-client load — mixed v1/v2 clients, pathological geometries,
+//! byte-exact delivery, zero leaked pool buffers, bounded pool
+//! high-water mark, clean drain shutdown — plus the handshake-failure
+//! regressions (mid-hello disconnect, partial groups, the
+//! `AdocStreamGroup::accept` hello timeout) and admission backpressure.
+
+use adoc::{AdocConfig, AdocError, AdocSocket, AdocStreamGroup};
+use adoc_data::{generate, DataKind};
+use adoc_server::{daemon, DaemonHandle, ServeMode, Server, ServerConfig};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn spawn_server(cfg: ServerConfig) -> DaemonHandle {
+    let server = Server::new(cfg).expect("server config");
+    daemon::spawn(server, "127.0.0.1:0").expect("bind daemon")
+}
+
+/// One client session: connect (1 stream = v1 socket, else a v2 group),
+/// echo `messages` payloads byte-exactly, close.
+fn run_echo_client(
+    addr: SocketAddr,
+    streams: usize,
+    cfg: AdocConfig,
+    payload: &[u8],
+    messages: usize,
+) {
+    fn drive(conn: &mut (impl std::io::Read + std::io::Write), payload: &[u8], messages: usize) {
+        for m in 0..messages {
+            conn.write_all(payload).expect("send");
+            let mut back = vec![0u8; payload.len()];
+            conn.read_exact(&mut back).expect("echo read");
+            assert_eq!(back, payload, "echo {m} must be byte-exact");
+        }
+    }
+    if streams == 1 {
+        let sock = TcpStream::connect(addr).expect("connect");
+        sock.set_nodelay(true).ok();
+        let r = sock.try_clone().expect("clone");
+        let mut conn = AdocSocket::with_config(r, sock, cfg).expect("client cfg");
+        drive(&mut conn, payload, messages);
+    } else {
+        let mut conn =
+            AdocStreamGroup::connect(addr, cfg.with_streams(streams)).expect("group connect");
+        drive(&mut conn, payload, messages);
+    }
+}
+
+#[test]
+fn sixty_four_concurrent_mixed_clients_with_clean_drain() {
+    // ≥ 64 clients × streams {1, 2, 4} × data kinds {ascii, binary,
+    // incompressible} × pathological client geometries, all at once.
+    const CLIENTS: usize = 66;
+    let handle = spawn_server(ServerConfig {
+        max_conns: CLIENTS + 16,
+        pool_max_idle: Some(48),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    thread::scope(|s| {
+        for c in 0..CLIENTS {
+            s.spawn(move || {
+                let streams = [1usize, 2, 4][c % 3];
+                let kind = [DataKind::Ascii, DataKind::Binary, DataKind::Incompressible][c % 3];
+                // In-envelope but deliberately ugly geometries: packets
+                // barely above a frame header, buffers that are not
+                // packet multiples, a queue barely above high_water.
+                let mut cfg = AdocConfig::default().with_levels(1, 10);
+                match c % 4 {
+                    0 => {}
+                    1 => {
+                        cfg.packet_size = 9 + (c % 23);
+                        cfg.buffer_size = 10_007; // prime, not a multiple
+                    }
+                    2 => {
+                        cfg.packet_size = 8 << 10;
+                        cfg.buffer_size = (8 << 10) * 3 + 17;
+                        cfg.queue_cap = cfg.high_water + 1;
+                    }
+                    _ => {
+                        cfg.packet_size = 1 << 16;
+                        cfg.buffer_size = 1 << 16; // packet == whole frame
+                    }
+                }
+                cfg.validate().expect("stress geometries stay in-envelope");
+                let payload = generate(kind, 100_000 + c * 1_337, c as u64 + 1);
+                run_echo_client(addr, streams, cfg, &payload, 2);
+            });
+        }
+    });
+
+    // Every client done: drain and audit the daemon.
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain shutdown");
+    let totals = server.registry().totals();
+    assert_eq!(totals.accepted, CLIENTS as u64);
+    assert_eq!(
+        totals.completed, CLIENTS as u64,
+        "every client must end cleanly"
+    );
+    assert_eq!(totals.failed, 0);
+    assert_eq!(totals.messages, 2 * CLIENTS as u64);
+    assert_eq!(server.registry().live_count(), 0);
+    assert_eq!(server.scheduler().active(), 0, "all buckets deregistered");
+
+    let pool = server.pool().stats();
+    assert_eq!(pool.outstanding, 0, "leaked pool buffers");
+    assert!(pool.peak_outstanding > 0);
+    // The high-water mark must be bounded by the live pipeline
+    // population (a few buffers per connection), not by message or
+    // history counts.
+    assert!(
+        pool.peak_outstanding <= 8 * CLIENTS as i64,
+        "pool high-water {} exceeds O(connections)",
+        pool.peak_outstanding
+    );
+    assert!(
+        server.pool().idle() <= 48,
+        "idle buffers exceed the configured cap"
+    );
+}
+
+#[test]
+fn mid_hello_disconnect_does_not_wedge_the_daemon() {
+    let handle = spawn_server(ServerConfig {
+        adoc: AdocConfig::default().with_hello_timeout(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Client 1: sends 3 bytes of a group hello, then vanishes.
+    let mut half_dead = TcpStream::connect(addr).expect("connect");
+    half_dead
+        .write_all(&[0xAD, b'G', 2])
+        .expect("partial hello");
+
+    // Client 2: connects and never sends anything at all.
+    let silent = TcpStream::connect(addr).expect("connect");
+
+    // A well-formed client arriving *after* the rogues must be served
+    // promptly — the accept loop may not be wedged.
+    let payload = generate(DataKind::Ascii, 300_000, 9);
+    let start = Instant::now();
+    run_echo_client(
+        addr,
+        2,
+        AdocConfig::default().with_levels(1, 10),
+        &payload,
+        1,
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "daemon was wedged by mid-hello clients"
+    );
+
+    drop(half_dead);
+    drop(silent);
+    // Give the hello timeouts time to fire, then audit.
+    thread::sleep(Duration::from_millis(600));
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    let totals = server.registry().totals();
+    assert_eq!(totals.completed, 1);
+    assert!(
+        totals.handshake_failures >= 2,
+        "both rogue sockets must be counted: {totals:?}"
+    );
+}
+
+#[test]
+fn partial_group_expires_and_later_groups_still_form() {
+    let handle = spawn_server(ServerConfig {
+        adoc: AdocConfig::default().with_hello_timeout(Duration::from_millis(250)),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // A client dials 1 stream of an announced 4-stream group and dies.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        // Tokened hello: streams = 4, stream_id = 0, token = 99.
+        let mut hello = vec![0xAD, b'G', 3, 4, 0];
+        hello.extend_from_slice(&99u64.to_le_bytes());
+        s.write_all(&hello).expect("hello");
+        // Dropped here: the group can never complete.
+    }
+    thread::sleep(Duration::from_millis(700)); // expiry fires
+
+    // A fresh, complete 4-stream group must still be served.
+    let payload = generate(DataKind::Binary, 600_000, 5);
+    run_echo_client(
+        addr,
+        4,
+        AdocConfig::default().with_levels(1, 10),
+        &payload,
+        1,
+    );
+
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    let totals = server.registry().totals();
+    assert_eq!(totals.completed, 1);
+    assert!(totals.handshake_failures >= 1, "expired stream not counted");
+}
+
+#[test]
+fn concurrent_same_size_groups_never_cross_pair() {
+    // Two clients dialling 2-stream groups at the same time from the
+    // same IP: without group tokens the daemon could stitch stream 0 of
+    // one client to stream 1 of the other. Payload echoes prove the
+    // pairing stayed straight.
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.addr();
+    thread::scope(|s| {
+        for c in 0..6 {
+            s.spawn(move || {
+                let payload = generate(DataKind::Ascii, 400_000 + c * 31, c as u64 + 11);
+                run_echo_client(
+                    addr,
+                    2,
+                    AdocConfig::default().with_levels(1, 10),
+                    &payload,
+                    2,
+                );
+            });
+        }
+    });
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    assert_eq!(server.registry().totals().completed, 6);
+    assert_eq!(server.registry().totals().failed, 0);
+}
+
+#[test]
+fn accept_hello_timeout_is_typed_and_bounded() {
+    // The core-level regression: AdocStreamGroup::accept with a client
+    // that connects its sockets but never sends hellos must fail with
+    // the typed HelloTimeout, not hang forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let cfg = AdocConfig::default()
+        .with_streams(2)
+        .with_hello_timeout(Duration::from_millis(200));
+
+    let rogue = thread::spawn(move || {
+        let a = TcpStream::connect(addr).expect("dial 1");
+        let b = TcpStream::connect(addr).expect("dial 2");
+        // Hold the sockets open, silently, past the timeout.
+        thread::sleep(Duration::from_millis(900));
+        drop((a, b));
+    });
+
+    let start = Instant::now();
+    let err = AdocStreamGroup::accept(&listener, cfg).expect_err("must time out");
+    let elapsed = start.elapsed();
+    match AdocError::from_io(&err) {
+        Some(AdocError::HelloTimeout { timeout }) => {
+            assert_eq!(*timeout, Duration::from_millis(200));
+        }
+        other => panic!("expected HelloTimeout, got {other:?} ({err})"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "accept took {elapsed:?} despite a 200 ms hello timeout"
+    );
+    rogue.join().unwrap();
+}
+
+#[test]
+fn drain_finishes_in_flight_messages_then_refuses_new_work() {
+    let handle = spawn_server(ServerConfig {
+        drain_deadline: Duration::from_secs(20),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // A client with a large in-flight message when the drain begins.
+    let payload = generate(DataKind::Ascii, 6 << 20, 3);
+    let in_flight = {
+        let payload = payload.clone();
+        thread::spawn(move || {
+            let sock = TcpStream::connect(addr).expect("connect");
+            let r = sock.try_clone().expect("clone");
+            let mut conn =
+                AdocSocket::with_config(r, sock, AdocConfig::default().with_levels(1, 10))
+                    .expect("cfg");
+            conn.write(&payload).expect("send");
+            let mut back = vec![0u8; payload.len()];
+            conn.read_exact(&mut back)
+                .expect("echo must complete across the drain");
+            assert_eq!(back, payload);
+        })
+    };
+    // Let the transfer get going, then drain concurrently.
+    thread::sleep(Duration::from_millis(50));
+    let server = Arc::clone(handle.server());
+    let drainer = thread::spawn(move || handle.shutdown().expect("drain"));
+    in_flight.join().expect("in-flight echo failed");
+    drainer.join().unwrap();
+
+    assert!(server.is_draining());
+    assert_eq!(server.registry().totals().completed, 1);
+    // The daemon is gone: new dials must not be served (connection may
+    // be accepted by a dead backlog but any I/O fails or EOFs).
+    let probe = TcpStream::connect(addr);
+    if let Ok(sock) = probe {
+        sock.set_read_timeout(Some(Duration::from_millis(500))).ok();
+        let r = sock.try_clone().expect("clone");
+        let mut conn = AdocSocket::new(r, sock);
+        assert!(
+            conn.write(b"hello?").is_err() || {
+                let mut b = [0u8; 6];
+                conn.read_exact(&mut b).is_err()
+            },
+            "a drained daemon must not echo new traffic"
+        );
+    }
+    assert_eq!(server.pool().stats().outstanding, 0);
+}
+
+#[test]
+fn drain_deadline_cuts_a_client_that_stops_reading_its_echo() {
+    // The reply-side stall: the client uploads a message and then never
+    // reads the echo, so the server's reply backs up in the TCP buffers
+    // and its write blocks. Shutdown must still complete once the drain
+    // deadline passes — the guarded writer cuts the stalled reply.
+    let handle = spawn_server(ServerConfig {
+        adoc: AdocConfig::default().with_levels(0, 0),
+        drain_deadline: Duration::from_millis(800),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let payload = generate(DataKind::Incompressible, 8 << 20, 17);
+    let sock = TcpStream::connect(addr).expect("connect");
+    let r = sock.try_clone().expect("clone");
+    let mut conn =
+        AdocSocket::with_config(r, sock, AdocConfig::default().with_levels(0, 0)).expect("cfg");
+    conn.write(&payload).expect("upload");
+    // Deliberately never read the echo; give the server a moment to
+    // wedge its reply into the full socket buffers.
+    thread::sleep(Duration::from_millis(300));
+
+    let server = Arc::clone(handle.server());
+    let start = Instant::now();
+    handle
+        .shutdown()
+        .expect("drain must not hang on a stalled reader");
+    assert!(
+        start.elapsed() < Duration::from_secs(15),
+        "shutdown took {:?} despite a 800 ms drain deadline",
+        start.elapsed()
+    );
+    drop(conn);
+    let totals = server.registry().totals();
+    assert_eq!(
+        totals.failed, 1,
+        "the cut connection must be recorded as failed: {totals:?}"
+    );
+    assert_eq!(server.pool().stats().outstanding, 0, "leaked pool buffers");
+}
+
+#[test]
+fn accept_times_out_when_a_client_dials_too_few_streams() {
+    // The dial-phase half of the hello-timeout regression: a 2-stream
+    // accept whose client dials only one connection (and never more)
+    // must fail with the typed HelloTimeout, not block in accept().
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let cfg = AdocConfig::default()
+        .with_streams(2)
+        .with_hello_timeout(Duration::from_millis(200));
+
+    let rogue = thread::spawn(move || {
+        let only = TcpStream::connect(addr).expect("dial 1");
+        thread::sleep(Duration::from_millis(900));
+        drop(only);
+    });
+
+    let start = Instant::now();
+    let err = AdocStreamGroup::accept(&listener, cfg).expect_err("must time out");
+    assert!(
+        matches!(
+            AdocError::from_io(&err),
+            Some(AdocError::HelloTimeout { .. })
+        ),
+        "expected HelloTimeout, got {err}"
+    );
+    assert!(start.elapsed() < Duration::from_secs(5));
+    rogue.join().unwrap();
+
+    // The listener must be restored to blocking mode: a subsequent
+    // 1-stream accept still works.
+    let client = thread::spawn(move || TcpStream::connect(addr).expect("dial"));
+    let (s, _) = listener.accept().expect("listener must be blocking again");
+    drop((s, client.join().unwrap()));
+}
+
+#[test]
+fn admission_cap_backpressures_instead_of_failing() {
+    // max_conns = 1: the second client queues in the backlog until the
+    // first finishes; both are eventually served, nothing errors.
+    let handle = spawn_server(ServerConfig {
+        max_conns: 1,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let payload = Arc::new(generate(DataKind::Binary, 200_000, 7));
+    thread::scope(|s| {
+        for _ in 0..2 {
+            let payload = Arc::clone(&payload);
+            s.spawn(move || {
+                run_echo_client(addr, 1, AdocConfig::default(), &payload, 1);
+            });
+        }
+    });
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    let totals = server.registry().totals();
+    assert_eq!(
+        totals.completed, 2,
+        "both clients served, one after the other"
+    );
+    assert_eq!(totals.failed, 0);
+}
+
+#[test]
+fn sink_mode_over_tcp_checks_integrity() {
+    let handle = spawn_server(ServerConfig {
+        mode: ServeMode::Sink,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let payload = generate(DataKind::Incompressible, 750_000, 13);
+    let sock = TcpStream::connect(addr).expect("connect");
+    let r = sock.try_clone().expect("clone");
+    let mut conn =
+        AdocSocket::with_config(r, sock, AdocConfig::default().with_levels(1, 10)).expect("cfg");
+    conn.write(&payload).expect("send");
+    let mut ack = [0u8; 16];
+    conn.read_exact(&mut ack).expect("ack");
+    assert_eq!(
+        ack,
+        adoc_server::sink_ack(payload.len() as u64, adoc_server::fnv1a64(&payload))
+    );
+    drop(conn);
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    assert_eq!(server.registry().totals().completed, 1);
+}
+
+#[test]
+fn fair_share_budget_keeps_both_clients_moving() {
+    // Two clients under a tight shared budget: both must complete (no
+    // starvation) and the run must take at least the budget-implied
+    // time (the cap is real).
+    let handle = spawn_server(ServerConfig {
+        budget_bytes_per_sec: Some(4.0 * 1024.0 * 1024.0),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let payload = Arc::new(generate(DataKind::Incompressible, 2 << 20, 21));
+    let start = Instant::now();
+    thread::scope(|s| {
+        for _ in 0..2 {
+            let payload = Arc::clone(&payload);
+            s.spawn(move || {
+                // Incompressible + disabled compression: the wire volume
+                // is the payload volume, so the budget math is exact.
+                run_echo_client(
+                    addr,
+                    1,
+                    AdocConfig::default().with_levels(0, 0),
+                    &payload,
+                    1,
+                );
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    // ≥ 8 MiB of server wire traffic (2 clients × 2 MiB in + 2 MiB out)
+    // through a 4 MiB/s budget, minus up to ~2.5 MiB of initial burst
+    // credit: anything under a second means the cap did nothing.
+    assert!(secs > 1.0, "budget not enforced: finished in {secs:.3}s");
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    assert_eq!(server.registry().totals().completed, 2, "no client starved");
+}

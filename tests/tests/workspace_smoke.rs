@@ -18,8 +18,8 @@ fn every_level_roundtrips_over_the_pipe() {
         let (a, b) = duplex_pipe(1 << 20);
         let (ar, aw) = a.split();
         let (br, bw) = b.split();
-        let mut tx = AdocSocket::with_config(ar, aw, AdocConfig::default());
-        let mut rx = AdocSocket::with_config(br, bw, AdocConfig::default());
+        let mut tx = AdocSocket::with_config(ar, aw, AdocConfig::default()).unwrap();
+        let mut rx = AdocSocket::with_config(br, bw, AdocConfig::default()).unwrap();
 
         let payload = data.clone();
         let sender = thread::spawn(move || tx.write_levels(&payload, level, level).unwrap());
