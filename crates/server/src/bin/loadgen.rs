@@ -1,11 +1,20 @@
 //! `adoc-loadgen` — drives N concurrent AdOC clients against a server.
 //!
 //! ```text
-//! adoc-loadgen [--connect ADDR] [--clients N] [--messages M] [--size B]
+//! adoc-loadgen [--connect ADDR] [--clients N] [--idle-clients N]
+//!              [--messages M] [--size B]
 //!              [--streams CSV] [--kind ascii|binary|incompressible|mixed]
 //!              [--levels MIN,MAX] [--mode echo|sink] [--budget-mbit F]
+//!              [--default-tier control|paid|bulk]
 //!              [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]
 //! ```
+//!
+//! `--idle-clients N` holds N extra connections open (each does one
+//! tiny echo to register, then sits idle) while the busy clients
+//! transfer — the skewed-load shape that separates a work-conserving
+//! scheduler (busy clients run the whole `--budget-mbit`) from a fixed
+//! fair-share one (pinned at `budget / (busy + idle)`). Idle traffic is
+//! excluded from the reported aggregate.
 //!
 //! Three ways to find a server:
 //!
@@ -23,7 +32,7 @@
 
 use adoc::{AdocConfig, AdocSocket, AdocStreamGroup};
 use adoc_data::{generate, DataKind};
-use adoc_server::{daemon, fnv1a64, sink_ack, ServeMode, Server, ServerConfig};
+use adoc_server::{daemon, fnv1a64, sink_ack, ServeMode, Server, ServerConfig, Tier};
 use adoc_sim::link::duplex;
 use adoc_sim::netprofiles::NetProfile;
 use std::io::{Read, Write};
@@ -33,10 +42,14 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: adoc-loadgen [--connect ADDR] [--clients N] [--messages M] [--size B]\n\
+        "usage: adoc-loadgen [--connect ADDR] [--clients N] [--idle-clients N]\n\
+         \u{20}                   [--messages M] [--size B]\n\
          \u{20}                   [--streams CSV] [--kind ascii|binary|incompressible|mixed]\n\
          \u{20}                   [--levels MIN,MAX] [--mode echo|sink] [--budget-mbit F]\n\
-         \u{20}                   [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]"
+         \u{20}                   [--default-tier control|paid|bulk]\n\
+         \u{20}                   [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]\n\
+         --idle-clients holds N extra registered-but-idle connections open\n\
+         (skewed load: a work-conserving budget still runs at full rate)"
     );
     std::process::exit(2);
 }
@@ -55,12 +68,17 @@ fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &s
 #[derive(Clone)]
 struct Plan {
     clients: usize,
+    /// Extra connections that register, then hold idle while the busy
+    /// clients run (skewed-load shape).
+    idle_clients: usize,
     messages: usize,
     size: usize,
     streams: Vec<usize>,
     kinds: Vec<DataKind>,
     levels: Option<(u8, u8)>,
     mode: ServeMode,
+    /// Tier a spawned in-process daemon assigns to every connection.
+    default_tier: Tier,
 }
 
 #[derive(Debug)]
@@ -145,12 +163,14 @@ fn main() {
     let mut quick = false;
     let mut plan = Plan {
         clients: 8,
+        idle_clients: 0,
         messages: 4,
         size: 1 << 20,
         streams: vec![1],
         kinds: vec![DataKind::Ascii, DataKind::Binary, DataKind::Incompressible],
         levels: None,
         mode: ServeMode::Echo,
+        default_tier: Tier::Bulk,
     };
 
     let mut args = std::env::args().skip(1);
@@ -158,6 +178,8 @@ fn main() {
         match arg.as_str() {
             "--connect" => connect = Some(parse(&mut args, "--connect")),
             "--clients" => plan.clients = parse(&mut args, "--clients"),
+            "--idle-clients" => plan.idle_clients = parse(&mut args, "--idle-clients"),
+            "--default-tier" => plan.default_tier = parse(&mut args, "--default-tier"),
             "--messages" => plan.messages = parse(&mut args, "--messages"),
             "--size" => plan.size = parse(&mut args, "--size"),
             "--streams" => {
@@ -200,7 +222,14 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--budget-mbit" => budget_mbit = Some(parse(&mut args, "--budget-mbit")),
+            "--budget-mbit" => {
+                let mbit: f64 = parse(&mut args, "--budget-mbit");
+                if !(mbit > 0.0 && mbit.is_finite()) {
+                    eprintln!("--budget-mbit wants a positive finite Mbit/s, got {mbit}");
+                    usage();
+                }
+                budget_mbit = Some(mbit);
+            }
             "--sim" => {
                 sim = Some(match parse::<String>(&mut args, "--sim").as_str() {
                     "lan100" => NetProfile::Lan100,
@@ -240,6 +269,10 @@ fn main() {
         eprintln!("adoc-loadgen: --sim and --connect are mutually exclusive");
         std::process::exit(2);
     }
+    if sim.is_some() && plan.idle_clients > 0 {
+        eprintln!("adoc-loadgen: --idle-clients needs the TCP path; drop --sim");
+        std::process::exit(2);
+    }
     if connect.is_some() && budget_mbit.is_some() {
         eprintln!(
             "adoc-loadgen: --budget-mbit only configures a spawned in-process \
@@ -265,8 +298,13 @@ fn main() {
             let fastest = client_secs.iter().cloned().fold(f64::INFINITY, f64::min);
             let slowest = client_secs.iter().cloned().fold(0.0, f64::max);
             println!(
-                "adoc-loadgen: {} clients x {} messages x {} B: {:.1} MiB moved in {:.3}s = {:.2} MiB/s aggregate (client {:.3}s..{:.3}s)",
+                "adoc-loadgen: {} clients{} x {} messages x {} B: {:.1} MiB moved in {:.3}s = {:.2} MiB/s aggregate (client {:.3}s..{:.3}s)",
                 plan.clients,
+                if plan.idle_clients > 0 {
+                    format!(" (+{} idle)", plan.idle_clients)
+                } else {
+                    String::new()
+                },
                 plan.messages,
                 plan.size,
                 total_raw as f64 / (1024.0 * 1024.0),
@@ -346,7 +384,8 @@ fn run_tcp(
             let server = Server::new(ServerConfig {
                 mode: plan.mode,
                 budget_bytes_per_sec: budget_mbit.map(|m| m * 1e6 / 8.0),
-                max_conns: (plan.clients * 2).max(64),
+                max_conns: ((plan.clients + plan.idle_clients) * 2).max(64),
+                default_tier: plan.default_tier,
                 ..ServerConfig::default()
             })
             .map_err(|e| format!("server config: {e}"))?;
@@ -356,8 +395,61 @@ fn run_tcp(
         }
     };
 
-    let wall_start = Instant::now();
+    // Skewed load: the idle clients connect and do one tiny echo first
+    // (so the daemon registers them with the scheduler), then hold
+    // their connections open — but idle — for the whole busy phase. The
+    // wall clock starts only once every idle connection is in place.
+    // The release flag is set through a drop guard so a panicking busy
+    // client cannot leave the idle spinners (and the whole process)
+    // hanging.
+    struct SetOnDrop<'a>(&'a std::sync::atomic::AtomicBool);
+    impl Drop for SetOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    let idle_ready = std::sync::Barrier::new(plan.idle_clients + 1);
+    let busy_done = std::sync::atomic::AtomicBool::new(false);
+    let mut wall = 0.0;
     let results: Vec<Result<ClientResult, String>> = std::thread::scope(|s| {
+        let mut idle_handles = Vec::with_capacity(plan.idle_clients);
+        for c in 0..plan.idle_clients {
+            let addr = addr.clone();
+            let (idle_ready, busy_done) = (&idle_ready, &busy_done);
+            idle_handles.push(s.spawn(move || {
+                let run = || -> Result<(), String> {
+                    let tiny = Plan {
+                        clients: 1,
+                        idle_clients: 0,
+                        messages: 1,
+                        size: 1024,
+                        ..plan.clone()
+                    };
+                    let payload = generate(DataKind::Ascii, tiny.size, c as u64 + 9001);
+                    let sock = TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                    sock.set_nodelay(true).ok();
+                    let r = sock.try_clone().map_err(|e| format!("clone: {e}"))?;
+                    let mut conn = AdocSocket::with_config(r, sock, client_cfg(&tiny))
+                        .map_err(|e| format!("cfg: {e}"))?;
+                    run_client_on(&mut conn, &tiny, &payload)?;
+                    idle_ready.wait();
+                    while !busy_done.load(std::sync::atomic::Ordering::Relaxed) {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Ok(())
+                };
+                let out = run();
+                if out.is_err() {
+                    // Do not leave the main thread stuck at the barrier.
+                    idle_ready.wait();
+                }
+                out.map_err(|e| format!("idle client {c}: {e}"))
+            }));
+        }
+        idle_ready.wait();
+        let release_idles = SetOnDrop(&busy_done);
+
+        let wall_start = Instant::now();
         let mut handles = Vec::with_capacity(plan.clients);
         for c in 0..plan.clients {
             let addr = addr.clone();
@@ -387,9 +479,19 @@ fn run_tcp(
                 .map_err(|e| format!("client {c}: {e}"))
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let mut results: Vec<Result<ClientResult, String>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        wall = wall_start.elapsed().as_secs_f64();
+        drop(release_idles); // busy phase over: release the idle holders
+                             // Idle sessions must end cleanly too, but contribute no bytes
+                             // or client timings to the aggregate.
+        for h in idle_handles {
+            if let Err(e) = h.join().unwrap() {
+                results.push(Err(e));
+            }
+        }
+        results
     });
-    let wall = wall_start.elapsed().as_secs_f64();
 
     let metrics = match handle {
         Some(h) => {
@@ -416,6 +518,7 @@ fn run_sim(plan: &Plan, profile: NetProfile, budget_mbit: Option<f64>) -> Result
         mode: plan.mode,
         budget_bytes_per_sec: budget_mbit.map(|m| m * 1e6 / 8.0),
         max_conns: (plan.clients * 2).max(64),
+        default_tier: plan.default_tier,
         ..ServerConfig::default()
     })
     .map_err(|e| format!("server config: {e}"))?;

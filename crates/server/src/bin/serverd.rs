@@ -4,16 +4,26 @@
 //! adoc-serverd [--listen ADDR] [--max-conns N] [--budget-mbit F]
 //!              [--mode echo|sink] [--hello-timeout-ms N]
 //!              [--drain-deadline-ms N] [--pool-idle N]
+//!              [--default-tier control|paid|bulk]
+//!              [--tier-peer PREFIX=TIER]...
 //!              [--metrics-every-secs N] [--port-file PATH]
 //! ```
+//!
+//! The wire budget is shared by a **work-conserving weighted
+//! scheduler**: share idle connections leave unused flows to backlogged
+//! ones, and `--default-tier` / `--tier-peer` set the weights
+//! (`control` = 4×, `paid` = 2×, `bulk` = 1×). `--tier-peer` matches
+//! peer-address prefixes, first match wins, and may repeat:
+//! `--tier-peer 10.0.7.=paid --tier-peer 10.0.8.=control`.
 //!
 //! The daemon serves until its **stdin** closes or a `drain` line
 //! arrives, then drains gracefully (in-flight messages finish) and
 //! prints a final metrics document on stdout. A `metrics` line on stdin
-//! prints a snapshot on demand. CI bounds a run with
+//! prints a snapshot on demand; `budget <mbit>` (or `budget off`)
+//! retunes the aggregate budget live. CI bounds a run with
 //! `sleep 30 | adoc-serverd …` (stdin EOF after 30 s ⇒ graceful exit).
 
-use adoc_server::{daemon, ServeMode, Server, ServerConfig};
+use adoc_server::{daemon, ServeMode, Server, ServerConfig, Tier};
 use std::io::BufRead;
 use std::time::Duration;
 
@@ -22,8 +32,14 @@ fn usage() -> ! {
         "usage: adoc-serverd [--listen ADDR] [--max-conns N] [--budget-mbit F]\n\
          \u{20}                   [--mode echo|sink] [--hello-timeout-ms N]\n\
          \u{20}                   [--drain-deadline-ms N] [--pool-idle N]\n\
+         \u{20}                   [--default-tier control|paid|bulk]\n\
+         \u{20}                   [--tier-peer PREFIX=TIER]...\n\
          \u{20}                   [--metrics-every-secs N] [--port-file PATH]\n\
-         stdin: 'metrics' prints a snapshot, 'drain' or EOF shuts down gracefully"
+         the budget is work-conserving weighted fair: tiers weigh control=4x,\n\
+         paid=2x, bulk=1x; --tier-peer assigns a tier by peer-address prefix\n\
+         (first match wins) and may be repeated\n\
+         stdin: 'metrics' prints a snapshot, 'budget <mbit>|off' retunes the\n\
+         budget live, 'drain' or EOF shuts down gracefully"
     );
     std::process::exit(2);
 }
@@ -52,6 +68,10 @@ fn main() {
             "--max-conns" => cfg.max_conns = parse(&mut args, "--max-conns"),
             "--budget-mbit" => {
                 let mbit: f64 = parse(&mut args, "--budget-mbit");
+                if !(mbit > 0.0 && mbit.is_finite()) {
+                    eprintln!("--budget-mbit wants a positive finite Mbit/s, got {mbit}");
+                    usage();
+                }
                 cfg.budget_bytes_per_sec = Some(mbit * 1e6 / 8.0);
             }
             "--mode" => {
@@ -72,6 +92,19 @@ fn main() {
                 cfg.drain_deadline = Duration::from_millis(parse(&mut args, "--drain-deadline-ms"));
             }
             "--pool-idle" => cfg.pool_max_idle = Some(parse(&mut args, "--pool-idle")),
+            "--default-tier" => cfg.default_tier = parse(&mut args, "--default-tier"),
+            "--tier-peer" => {
+                let spec: String = parse::<String>(&mut args, "--tier-peer");
+                let Some((prefix, tier)) = spec.split_once('=') else {
+                    eprintln!("--tier-peer wants PREFIX=TIER, got {spec:?}");
+                    usage();
+                };
+                let Ok(tier) = tier.parse::<Tier>() else {
+                    eprintln!("bad tier in {spec:?}");
+                    usage();
+                };
+                cfg.tier_overrides.push((prefix.to_string(), tier));
+            }
             "--metrics-every-secs" => metrics_every = parse(&mut args, "--metrics-every-secs"),
             "--port-file" => port_file = Some(parse(&mut args, "--port-file")),
             "--help" | "-h" => usage(),
@@ -133,6 +166,23 @@ fn main() {
         match line.as_deref().map(str::trim) {
             Ok("metrics") => println!("{}", handle.metrics_json()),
             Ok("drain") | Err(_) => break,
+            Ok(cmd) if cmd.starts_with("budget ") => {
+                // Live budget retuning: 'budget 64' caps at 64 Mbit/s,
+                // 'budget off' lifts the cap. Waiters re-pace at once.
+                let arg = cmd["budget ".len()..].trim();
+                let budget = if arg == "off" {
+                    Some(None)
+                } else {
+                    arg.parse::<f64>()
+                        .ok()
+                        .filter(|m| *m > 0.0 && m.is_finite())
+                        .map(|m| Some(m * 1e6 / 8.0))
+                };
+                match budget {
+                    Some(b) => handle.server().scheduler().set_budget(b),
+                    None => eprintln!("adoc-serverd: bad budget {arg:?} (Mbit/s or 'off')"),
+                }
+            }
             Ok(_) => {}
         }
     }

@@ -368,9 +368,10 @@ fn serve_v1(server: Arc<Server>, stream: TcpStream, peer: SocketAddr, prefix: Ve
             return;
         }
     };
-    let id = server.registry().register(peer.to_string());
+    let peer_label = peer.to_string();
+    let id = server.registry().register(peer_label.clone());
     let _ghostbuster = RegistryGuard::new(&server, id);
-    let cfg = server.conn_config(id, 1);
+    let cfg = server.conn_config(id, 1, &peer_label);
     server.registry().activate(id, 1);
     let ctl = ConnCtl::new(server.drain_state());
     let guarded_r = GuardedReader::new(reader, prefix, Arc::clone(&ctl), true);
@@ -431,7 +432,8 @@ fn handle_group_stream(
     // Whole group assembled: answer the acceptor hellos in id order,
     // then serve it as one connection.
     let mut pairs = Vec::with_capacity(n);
-    let id = server.registry().register(format!("{peer} x{n}"));
+    let peer_label = format!("{peer} x{n}");
+    let id = server.registry().register(peer_label.clone());
     let _ghostbuster = RegistryGuard::new(&server, id);
     let ctl = ConnCtl::new(server.drain_state());
     let poll = server.config().drain_poll;
@@ -452,7 +454,7 @@ fn handle_group_stream(
             }
         }
     }
-    let cfg = server.conn_config(id, n);
+    let cfg = server.conn_config(id, n, &peer_label);
     server.registry().activate(id, n);
     match AdocStreamGroup::from_negotiated(pairs, cfg) {
         Ok(mut group) => {

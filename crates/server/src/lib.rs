@@ -38,7 +38,7 @@ pub mod sched;
 pub use conn::{fnv1a64, sink_ack, ServeMode};
 pub use daemon::{DaemonHandle, PendingGroups};
 pub use registry::{ConnOutcome, ConnRegistry, ConnSnapshot, ConnState, RegistryTotals};
-pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler};
+pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler, Tier};
 
 use adoc::{AdocConfig, AdocSocket, BufferPool};
 use conn::{ConnCtl, DrainState, GuardedReader, RegistryGuard};
@@ -71,6 +71,13 @@ pub struct ServerConfig {
     /// Idle-buffer cap applied to the shared pool (`None` keeps the
     /// pool's own cap).
     pub pool_max_idle: Option<usize>,
+    /// Scheduling tier assigned to connections no override matches.
+    pub default_tier: Tier,
+    /// Peer-prefix tier overrides, first match wins: a connection whose
+    /// peer label starts with the prefix is registered at that tier
+    /// (e.g. `("10.0.7.", Tier::Paid)`, or a harness label prefix for
+    /// [`Server::serve_stream`]).
+    pub tier_overrides: Vec<(String, Tier)>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +90,8 @@ impl Default for ServerConfig {
             drain_poll: Duration::from_millis(100),
             drain_deadline: Duration::from_secs(30),
             pool_max_idle: Some(64),
+            default_tier: Tier::Bulk,
+            tier_overrides: Vec::new(),
         }
     }
 }
@@ -96,6 +105,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("drain_poll", &self.drain_poll)
             .field("drain_deadline", &self.drain_deadline)
             .field("pool_max_idle", &self.pool_max_idle)
+            .field("default_tier", &self.default_tier)
+            .field("tier_overrides", &self.tier_overrides)
             .finish_non_exhaustive()
     }
 }
@@ -204,12 +215,31 @@ impl Server {
         Arc::clone(&self.drain)
     }
 
+    /// Scheduling tier for a connection labelled `peer`: the first
+    /// matching peer-prefix override, else the default tier.
+    pub fn tier_for(&self, peer: &str) -> Tier {
+        self.cfg
+            .tier_overrides
+            .iter()
+            .find(|(prefix, _)| peer.starts_with(prefix.as_str()))
+            .map(|&(_, tier)| tier)
+            .unwrap_or(self.cfg.default_tier)
+    }
+
     /// Builds the per-connection AdOC config: shared pool, scheduler
-    /// throttle (chained over the base config's CPU throttle), stream
-    /// count.
-    pub(crate) fn conn_config(&self, id: registry::ConnId, streams: usize) -> AdocConfig {
+    /// throttle at the peer's tier (chained over the base config's CPU
+    /// throttle), stream count.
+    pub(crate) fn conn_config(
+        &self,
+        id: registry::ConnId,
+        streams: usize,
+        peer: &str,
+    ) -> AdocConfig {
         let base = self.cfg.adoc.clone();
-        let throttle = self.sched.register(id).with_cpu(Arc::clone(&base.throttle));
+        let throttle = self
+            .sched
+            .register_with(id, self.tier_for(peer), 1.0)
+            .with_cpu(Arc::clone(&base.throttle));
         base.with_throttle(Arc::new(throttle)).with_streams(streams)
     }
 
@@ -226,7 +256,7 @@ impl Server {
     {
         let id = self.registry.register(peer);
         let _ghostbuster = RegistryGuard::new(self, id);
-        let cfg = self.conn_config(id, 1);
+        let cfg = self.conn_config(id, 1, peer);
         self.registry.activate(id, 1);
         let ctl = ConnCtl::new(self.drain_state());
         let guarded = GuardedReader::new(reader, Vec::new(), Arc::clone(&ctl), true);

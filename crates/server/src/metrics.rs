@@ -10,6 +10,7 @@
 //!   "schema": "adoc-server-metrics-v1",
 //!   "uptime_secs": 1.0, "draining": false, "mode": "echo",
 //!   "budget_bytes_per_sec": 1000000.0,
+//!   "sched": { "work_conserving": true, "drain_admitted": 0 },
 //!   "totals": { "accepted": 1, "completed": 1, "failed": 0,
 //!               "handshake_failures": 0, "messages": 1,
 //!               "raw_bytes": 1, "reply_wire_bytes": 1 },
@@ -19,11 +20,17 @@
 //!   "connections": [ { "id": 1, "peer": "…", "state": "active",
 //!                      "streams": 1, "messages": 1, "raw_bytes": 1,
 //!                      "reply_wire_bytes": 1, "age_secs": 1.0,
-//!                      "sched_admitted": 1,
+//!                      "sched_admitted": 1, "sched_tier": "bulk",
+//!                      "sched_weight": 1.0,
 //!                      "level_bps": { "3": 1.0 } } ]
 //! }
 //! ```
+//!
+//! The scheduler fields come from [`crate::FairScheduler::snapshot`],
+//! which is read-only and never takes the pacing mutex — a metrics
+//! poll cannot stall admissions or mutate pacing state.
 
+use crate::sched::BucketSnapshot;
 use crate::Server;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -47,12 +54,13 @@ fn json_escape(s: &str) -> String {
 pub(crate) fn render(server: &Server) -> String {
     let totals = server.registry().totals();
     let pool = server.pool().stats();
-    let buckets: HashMap<u64, u64> = server
+    let buckets: HashMap<u64, BucketSnapshot> = server
         .scheduler()
         .snapshot()
         .into_iter()
-        .map(|b| (b.conn, b.admitted))
+        .map(|b| (b.conn, b))
         .collect();
+    let drain = server.scheduler().drain_snapshot();
 
     let mut out = String::from("{\n  \"schema\": \"adoc-server-metrics-v1\",\n");
     let _ = writeln!(
@@ -71,6 +79,11 @@ pub(crate) fn render(server: &Server) -> String {
         }
         None => out.push_str("  \"budget_bytes_per_sec\": null,\n"),
     }
+    let _ = writeln!(
+        out,
+        "  \"sched\": {{ \"work_conserving\": true, \"drain_admitted\": {} }},",
+        drain.admitted,
+    );
     let _ = writeln!(
         out,
         "  \"totals\": {{ \"accepted\": {}, \"completed\": {}, \"failed\": {}, \
@@ -116,11 +129,13 @@ pub(crate) fn render(server: &Server) -> String {
             }
         }
         let sep = if i + 1 == conns.len() { "" } else { "," };
+        let bucket = buckets.get(&c.id);
         let _ = writeln!(
             out,
             "    {{ \"id\": {}, \"peer\": \"{}\", \"state\": \"{}\", \"streams\": {}, \
              \"messages\": {}, \"raw_bytes\": {}, \"reply_wire_bytes\": {}, \"age_secs\": {:.3}, \
-             \"sched_admitted\": {}, \"level_bps\": {{ {} }} }}{}",
+             \"sched_admitted\": {}, \"sched_tier\": \"{}\", \"sched_weight\": {:.2}, \
+             \"level_bps\": {{ {} }} }}{}",
             c.id,
             json_escape(&c.peer),
             c.state.name(),
@@ -129,7 +144,9 @@ pub(crate) fn render(server: &Server) -> String {
             c.raw_bytes,
             c.reply_wire_bytes,
             c.age_secs,
-            buckets.get(&c.id).copied().unwrap_or(0),
+            bucket.map_or(0, |b| b.admitted),
+            bucket.map_or(crate::Tier::Bulk, |b| b.tier),
+            bucket.map_or(1.0, |b| b.weight),
             levels,
             sep,
         );
@@ -155,16 +172,40 @@ mod tests {
         for needle in [
             "\"schema\": \"adoc-server-metrics-v1\"",
             "\"budget_bytes_per_sec\": 5000000.0",
+            "\"sched\": { \"work_conserving\": true, \"drain_admitted\": 0 }",
             "\"totals\":",
             "\"pool\":",
             "\"peak_outstanding\"",
             "\"evicted\"",
             "\"connections\": [",
             "\"state\": \"active\"",
+            "\"sched_tier\": \"bulk\"",
+            "\"sched_weight\": 1.00",
             "\\\"quote", // escaping
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
+    }
+
+    #[test]
+    fn tier_overrides_show_up_in_metrics() {
+        use crate::Tier;
+        let server = Server::new(ServerConfig {
+            budget_bytes_per_sec: Some(1e9),
+            tier_overrides: vec![("vip-".into(), Tier::Control)],
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let id = server.registry().register("vip-7");
+        let cfg = server.conn_config(id, 1, "vip-7");
+        server.registry().activate(id, 1);
+        let doc = server.metrics_json();
+        assert!(
+            doc.contains("\"sched_tier\": \"control\""),
+            "tier override missing in:\n{doc}"
+        );
+        assert!(doc.contains("\"sched_weight\": 4.00"), "{doc}");
+        drop(cfg);
     }
 
     #[test]

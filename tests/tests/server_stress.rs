@@ -454,6 +454,130 @@ fn sink_mode_over_tcp_checks_integrity() {
 }
 
 #[test]
+fn skewed_load_runs_the_whole_budget() {
+    // Work conservation end-to-end over real TCP: 7 clients connect,
+    // register with the scheduler (one tiny echo each), then sit idle
+    // while 1 busy client pushes 4 MiB through an 8 MB/s budget
+    // (8 MiB of wire for the echo). A work-conserving scheduler hands
+    // the idle share to the busy client => ~1s; the old fixed
+    // budget/active refill pinned this at ~1 MB/s => ~8s.
+    const IDLE: usize = 7;
+    let plain = AdocConfig::default().with_levels(0, 0);
+    let handle = spawn_server(ServerConfig {
+        adoc: plain.clone(),
+        budget_bytes_per_sec: Some(8e6),
+        max_conns: IDLE + 8,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Releases the idle spinners even if the busy client panics, so a
+    // scheduler regression fails the test instead of hanging the scope.
+    struct SetOnDrop<'a>(&'a std::sync::atomic::AtomicBool);
+    impl Drop for SetOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    let ready = std::sync::Barrier::new(IDLE + 1);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let busy_secs = thread::scope(|s| {
+        for c in 0..IDLE {
+            let (ready, done, cfg) = (&ready, &done, plain.clone());
+            s.spawn(move || {
+                let sock = TcpStream::connect(addr).expect("idle connect");
+                sock.set_nodelay(true).ok();
+                let r = sock.try_clone().expect("clone");
+                let mut conn = AdocSocket::with_config(r, sock, cfg).expect("idle cfg");
+                let tiny = generate(DataKind::Ascii, 1024, c as u64 + 71);
+                conn.write(&tiny).expect("idle send");
+                let mut back = vec![0u8; tiny.len()];
+                conn.read_exact(&mut back).expect("idle echo");
+                ready.wait();
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                drop(conn);
+            });
+        }
+        ready.wait();
+        let _release_idles = SetOnDrop(&done);
+        let payload = generate(DataKind::Incompressible, 4 << 20, 29);
+        let start = Instant::now();
+        run_echo_client(addr, 1, plain.clone(), &payload, 1);
+        start.elapsed().as_secs_f64()
+    });
+    assert!(
+        busy_secs < 4.0,
+        "idle share not redistributed: 8 MiB of wire took {busy_secs:.3}s at 8 MB/s aggregate"
+    );
+    assert!(
+        busy_secs > 0.5,
+        "budget not enforced under skew: {busy_secs:.3}s"
+    );
+    let server = Arc::clone(handle.server());
+    handle.shutdown().expect("drain");
+    assert_eq!(server.registry().totals().completed, (IDLE + 1) as u64);
+    assert_eq!(server.registry().totals().failed, 0);
+}
+
+#[test]
+fn tier_overrides_split_the_budget_by_weight() {
+    // A Control-tier (4x) and a Bulk-tier client both saturate an
+    // 8 MB/s budget through the transport-agnostic serve_stream path
+    // (tier resolution by peer-label prefix). The control client must
+    // finish well ahead; both must complete (weighted max-min, not
+    // strict priority).
+    use adoc_server::Tier;
+    let plain = AdocConfig::default().with_levels(0, 0);
+    let server = adoc_server::Server::new(ServerConfig {
+        adoc: plain.clone(),
+        budget_bytes_per_sec: Some(8e6),
+        tier_overrides: vec![("vip-".into(), Tier::Control)],
+        ..ServerConfig::default()
+    })
+    .expect("server config");
+
+    let echo_session = |peer: &'static str, seed: u64| {
+        let server = Arc::clone(&server);
+        let cfg = plain.clone();
+        thread::spawn(move || {
+            let payload = generate(DataKind::Incompressible, 3 << 20, seed);
+            let (client_end, server_end) = adoc_sim::pipe::duplex_pipe(1 << 20);
+            let (sr, sw) = server_end.split();
+            let s2 = Arc::clone(&server);
+            let serving = thread::spawn(move || s2.serve_stream(sr, sw, peer).expect("serve"));
+            let (cr, cw) = client_end.split();
+            let mut conn = AdocSocket::with_config(cr, cw, cfg).expect("client cfg");
+            let start = Instant::now();
+            conn.write(&payload).expect("send");
+            let mut back = vec![0u8; payload.len()];
+            conn.read_exact(&mut back).expect("echo");
+            assert_eq!(back, payload);
+            let secs = start.elapsed().as_secs_f64();
+            drop(conn);
+            serving.join().expect("server thread");
+            secs
+        })
+    };
+    let control = echo_session("vip-alpha", 31);
+    let bulk = echo_session("bulk-beta", 32);
+    let control_secs = control.join().expect("control client");
+    let bulk_secs = bulk.join().expect("bulk client");
+    assert!(
+        bulk_secs > control_secs,
+        "the 4x-weight client must finish first: control {control_secs:.3}s vs bulk {bulk_secs:.3}s"
+    );
+    assert!(
+        bulk_secs < 8.0,
+        "bulk tier must not starve: {bulk_secs:.3}s for 6 MiB of wire at 8 MB/s"
+    );
+    assert_eq!(server.registry().totals().completed, 2);
+    assert_eq!(server.pool().stats().outstanding, 0);
+}
+
+#[test]
 fn fair_share_budget_keeps_both_clients_moving() {
     // Two clients under a tight shared budget: both must complete (no
     // starvation) and the run must take at least the budget-implied
