@@ -57,18 +57,26 @@ fn per_client_link() -> LinkCfg {
 
 /// One full fleet round: `clients` concurrent echo sessions of one
 /// `payload`-sized message each, against a fresh server core.
-fn fleet_round(clients: usize, payload: &Arc<Vec<u8>>, budget_bytes_per_sec: Option<f64>) {
+fn fleet_round(
+    clients: usize,
+    payload: &Arc<Vec<u8>>,
+    budget_bytes_per_sec: Option<f64>,
+    instrument: bool,
+) {
     // Transfer-daemon configuration: compression disabled on both sides
     // keeps each session wait-dominated (see the module docs); every
     // byte still flows through the pooled direct path and the
     // scheduler's admission.
     let plain = AdocConfig::default().with_levels(0, 0);
-    let server = Server::new(ServerConfig {
-        adoc: plain.clone(),
-        budget_bytes_per_sec,
-        max_conns: clients + 8,
-        ..ServerConfig::default()
-    })
+    let server = Server::new(
+        ServerConfig::builder()
+            .adoc(plain.clone())
+            .budget(budget_bytes_per_sec)
+            .max_conns(clients + 8)
+            .instrument(instrument)
+            .build()
+            .expect("valid server config"),
+    )
     .expect("valid server config");
 
     thread::scope(|s| {
@@ -138,12 +146,14 @@ fn echo_once(server: &Arc<Server>, peer: &str, cfg: &AdocConfig, payload: &[u8])
 /// measurement: the busy client must run at ~the whole budget.
 fn skewed_round(idle: usize, payload: &Arc<Vec<u8>>, budget_bytes_per_sec: f64) {
     let plain = AdocConfig::default().with_levels(0, 0);
-    let server = Server::new(ServerConfig {
-        adoc: plain.clone(),
-        budget_bytes_per_sec: Some(budget_bytes_per_sec),
-        max_conns: idle + 8,
-        ..ServerConfig::default()
-    })
+    let server = Server::new(
+        ServerConfig::builder()
+            .adoc(plain.clone())
+            .budget(Some(budget_bytes_per_sec))
+            .max_conns(idle + 8)
+            .build()
+            .expect("valid server config"),
+    )
     .expect("valid server config");
 
     let ready = Barrier::new(idle + 1);
@@ -184,13 +194,15 @@ fn skewed_round(idle: usize, payload: &Arc<Vec<u8>>, budget_bytes_per_sec: f64) 
 /// favours the paid client.
 fn tiered_round(payload: &Arc<Vec<u8>>, budget_bytes_per_sec: f64) {
     let plain = AdocConfig::default().with_levels(0, 0);
-    let server = Server::new(ServerConfig {
-        adoc: plain.clone(),
-        budget_bytes_per_sec: Some(budget_bytes_per_sec),
-        max_conns: 8,
-        tier_overrides: vec![("paid-".into(), Tier::Paid)],
-        ..ServerConfig::default()
-    })
+    let server = Server::new(
+        ServerConfig::builder()
+            .adoc(plain.clone())
+            .budget(Some(budget_bytes_per_sec))
+            .max_conns(8)
+            .tier_override("paid-", Tier::Paid)
+            .build()
+            .expect("valid server config"),
+    )
     .expect("valid server config");
     thread::scope(|s| {
         for peer in ["paid-client", "bulk-client"] {
@@ -212,14 +224,27 @@ fn bench_server_scale(c: &mut Criterion) {
     let size = 1 << 20;
     let payload = Arc::new(generate(DataKind::Ascii, size, 42));
     for clients in [1usize, 8, 32, 64] {
-        // Echo: every payload byte crosses the server twice.
+        // Echo: every payload byte crosses the server twice. The server
+        // runs fully instrumented (MetricsSubscriber + EventLog
+        // attached) — the production default.
         g.throughput(Throughput::Bytes((2 * size * clients) as u64));
         g.bench_with_input(
             BenchmarkId::new("echo_ascii_1MiB", clients),
             &payload,
-            |b, p| b.iter(|| fleet_round(clients, p, Some(2.0 * 1024.0 * 1024.0 * 1024.0))),
+            |b, p| b.iter(|| fleet_round(clients, p, Some(2.0 * 1024.0 * 1024.0 * 1024.0), true)),
         );
     }
+
+    // The price of observation: the same 32-client round with the event
+    // bus bare (no subscribers — emission is one branch). Comparing
+    // against echo_ascii_1MiB/32 pins the instrumentation overhead; the
+    // acceptance bar is < 3%.
+    g.throughput(Throughput::Bytes((2 * size * 32) as u64));
+    g.bench_with_input(
+        BenchmarkId::new("echo_ascii_1MiB_bare", 32),
+        &payload,
+        |b, p| b.iter(|| fleet_round(32, p, Some(2.0 * 1024.0 * 1024.0 * 1024.0), false)),
+    );
 
     // The fairness cap: 64 Mbit/s aggregate shared by every client. More
     // clients must NOT mean more aggregate throughput here.
@@ -228,7 +253,7 @@ fn bench_server_scale(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("echo_capped_64mbit", clients),
             &payload,
-            |b, p| b.iter(|| fleet_round(clients, p, Some(64e6 / 8.0))),
+            |b, p| b.iter(|| fleet_round(clients, p, Some(64e6 / 8.0), true)),
         );
     }
 

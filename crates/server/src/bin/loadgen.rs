@@ -381,14 +381,14 @@ fn run_tcp(
     let (addr, handle) = match connect {
         Some(addr) => (addr, None),
         None => {
-            let server = Server::new(ServerConfig {
-                mode: plan.mode,
-                budget_bytes_per_sec: budget_mbit.map(|m| m * 1e6 / 8.0),
-                max_conns: ((plan.clients + plan.idle_clients) * 2).max(64),
-                default_tier: plan.default_tier,
-                ..ServerConfig::default()
-            })
-            .map_err(|e| format!("server config: {e}"))?;
+            let cfg = ServerConfig::builder()
+                .mode(plan.mode)
+                .budget(budget_mbit.map(|m| m * 1e6 / 8.0))
+                .max_conns(((plan.clients + plan.idle_clients) * 2).max(64))
+                .default_tier(plan.default_tier)
+                .build()
+                .map_err(|e| format!("server config: {e}"))?;
+            let server = Server::new(cfg).map_err(|e| format!("server config: {e}"))?;
             let handle =
                 daemon::spawn(server, "127.0.0.1:0").map_err(|e| format!("spawn daemon: {e}"))?;
             (handle.addr().to_string(), Some(handle))
@@ -514,14 +514,14 @@ fn run_tcp(
 /// Runs the plan over per-client `adoc-sim` shaped links straight into
 /// the server core (v1 connections; stream groups need the TCP path).
 fn run_sim(plan: &Plan, profile: NetProfile, budget_mbit: Option<f64>) -> Result<Outcome, String> {
-    let server = Server::new(ServerConfig {
-        mode: plan.mode,
-        budget_bytes_per_sec: budget_mbit.map(|m| m * 1e6 / 8.0),
-        max_conns: (plan.clients * 2).max(64),
-        default_tier: plan.default_tier,
-        ..ServerConfig::default()
-    })
-    .map_err(|e| format!("server config: {e}"))?;
+    let cfg = ServerConfig::builder()
+        .mode(plan.mode)
+        .budget(budget_mbit.map(|m| m * 1e6 / 8.0))
+        .max_conns((plan.clients * 2).max(64))
+        .default_tier(plan.default_tier)
+        .build()
+        .map_err(|e| format!("server config: {e}"))?;
+    let server = Server::new(cfg).map_err(|e| format!("server config: {e}"))?;
 
     let wall_start = Instant::now();
     let results: Vec<Result<ClientResult, String>> = std::thread::scope(|s| {

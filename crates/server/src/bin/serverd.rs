@@ -7,6 +7,7 @@
 //!              [--default-tier control|paid|bulk]
 //!              [--tier-peer PREFIX=TIER]...
 //!              [--metrics-every-secs N] [--port-file PATH]
+//!              [--metrics-addr ADDR] [--metrics-port-file PATH]
 //! ```
 //!
 //! The wire budget is shared by a **work-conserving weighted
@@ -16,15 +17,26 @@
 //! peer-address prefixes, first match wins, and may repeat:
 //! `--tier-peer 10.0.7.=paid --tier-peer 10.0.8.=control`.
 //!
-//! The daemon serves until its **stdin** closes or a `drain` line
-//! arrives, then drains gracefully (in-flight messages finish) and
-//! prints a final metrics document on stdout. A `metrics` line on stdin
-//! prints a snapshot on demand; `budget <mbit>` (or `budget off`)
-//! retunes the aggregate budget live. CI bounds a run with
-//! `sleep 30 | adoc-serverd …` (stdin EOF after 30 s ⇒ graceful exit).
+//! Two control transports front the same [`adoc_server::Control`]
+//! surface:
+//!
+//! * **stdin** — one command per line: `metrics` (add `v1` for the
+//!   deprecated schema), `budget <mbit>|off`, `help`, and `drain`;
+//!   unknown lines answer `err …` on stdout. EOF also drains, so CI
+//!   bounds a run with `sleep 30 | adoc-serverd …`.
+//! * **HTTP** (`--metrics-addr`) — `GET /metrics`,
+//!   `GET /events?since=seq`, `POST /control/drain`,
+//!   `POST /control/budget`; `--metrics-port-file` writes the bound
+//!   port (useful with port 0).
+//!
+//! The daemon serves until a drain arrives on either transport, then
+//! drains gracefully (in-flight messages finish) and prints a final
+//! metrics document on stdout.
 
-use adoc_server::{daemon, ServeMode, Server, ServerConfig, Tier};
+use adoc_server::Server;
+use adoc_server::{daemon, parse_command, Command, Control, ServeMode, ServerConfig, Tier};
 use std::io::BufRead;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -35,11 +47,15 @@ fn usage() -> ! {
          \u{20}                   [--default-tier control|paid|bulk]\n\
          \u{20}                   [--tier-peer PREFIX=TIER]...\n\
          \u{20}                   [--metrics-every-secs N] [--port-file PATH]\n\
+         \u{20}                   [--metrics-addr ADDR] [--metrics-port-file PATH]\n\
          the budget is work-conserving weighted fair: tiers weigh control=4x,\n\
          paid=2x, bulk=1x; --tier-peer assigns a tier by peer-address prefix\n\
          (first match wins) and may be repeated\n\
-         stdin: 'metrics' prints a snapshot, 'budget <mbit>|off' retunes the\n\
-         budget live, 'drain' or EOF shuts down gracefully"
+         --metrics-addr serves GET /metrics, GET /events?since=seq,\n\
+         POST /control/drain and POST /control/budget over HTTP\n\
+         stdin: 'metrics [v1]' prints a snapshot, 'budget <mbit>|off' retunes\n\
+         the budget live, 'help' lists commands, 'drain' or EOF shuts down\n\
+         gracefully"
     );
     std::process::exit(2);
 }
@@ -57,42 +73,46 @@ fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &s
 
 fn main() {
     let mut listen = "127.0.0.1:0".to_string();
-    let mut cfg = ServerConfig::default();
+    let mut builder = ServerConfig::builder();
+    let mut adoc = adoc::AdocConfig::default();
     let mut metrics_every: u64 = 0;
     let mut port_file: Option<String> = None;
+    let mut metrics_port_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--listen" => listen = parse(&mut args, "--listen"),
-            "--max-conns" => cfg.max_conns = parse(&mut args, "--max-conns"),
+            "--max-conns" => builder = builder.max_conns(parse(&mut args, "--max-conns")),
             "--budget-mbit" => {
                 let mbit: f64 = parse(&mut args, "--budget-mbit");
                 if !(mbit > 0.0 && mbit.is_finite()) {
                     eprintln!("--budget-mbit wants a positive finite Mbit/s, got {mbit}");
                     usage();
                 }
-                cfg.budget_bytes_per_sec = Some(mbit * 1e6 / 8.0);
+                builder = builder.budget(Some(mbit * 1e6 / 8.0));
             }
             "--mode" => {
-                cfg.mode = match parse::<String>(&mut args, "--mode").as_str() {
+                builder = builder.mode(match parse::<String>(&mut args, "--mode").as_str() {
                     "echo" => ServeMode::Echo,
                     "sink" => ServeMode::Sink,
                     other => {
                         eprintln!("unknown mode {other:?}");
                         usage();
                     }
-                }
+                })
             }
             "--hello-timeout-ms" => {
-                cfg.adoc.hello_timeout =
-                    Duration::from_millis(parse(&mut args, "--hello-timeout-ms"));
+                adoc.hello_timeout = Duration::from_millis(parse(&mut args, "--hello-timeout-ms"));
             }
             "--drain-deadline-ms" => {
-                cfg.drain_deadline = Duration::from_millis(parse(&mut args, "--drain-deadline-ms"));
+                builder = builder.drain_deadline(Duration::from_millis(parse(
+                    &mut args,
+                    "--drain-deadline-ms",
+                )));
             }
-            "--pool-idle" => cfg.pool_max_idle = Some(parse(&mut args, "--pool-idle")),
-            "--default-tier" => cfg.default_tier = parse(&mut args, "--default-tier"),
+            "--pool-idle" => builder = builder.pool_max_idle(Some(parse(&mut args, "--pool-idle"))),
+            "--default-tier" => builder = builder.default_tier(parse(&mut args, "--default-tier")),
             "--tier-peer" => {
                 let spec: String = parse::<String>(&mut args, "--tier-peer");
                 let Some((prefix, tier)) = spec.split_once('=') else {
@@ -103,10 +123,16 @@ fn main() {
                     eprintln!("bad tier in {spec:?}");
                     usage();
                 };
-                cfg.tier_overrides.push((prefix.to_string(), tier));
+                builder = builder.tier_override(prefix, tier);
             }
             "--metrics-every-secs" => metrics_every = parse(&mut args, "--metrics-every-secs"),
             "--port-file" => port_file = Some(parse(&mut args, "--port-file")),
+            "--metrics-addr" => {
+                builder = builder.metrics_addr(parse::<String>(&mut args, "--metrics-addr"))
+            }
+            "--metrics-port-file" => {
+                metrics_port_file = Some(parse(&mut args, "--metrics-port-file"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -115,7 +141,15 @@ fn main() {
         }
     }
 
-    let server = match Server::new(cfg) {
+    let server = match builder.adoc(adoc).build().and_then(|cfg| {
+        Server::new(cfg).map_err(|e| {
+            adoc::AdocError::from_io(&e)
+                .cloned()
+                .unwrap_or(adoc::AdocError::InvalidConfig {
+                    reason: e.to_string(),
+                })
+        })
+    }) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("adoc-serverd: invalid configuration: {e}");
@@ -135,12 +169,20 @@ fn main() {
             eprintln!("adoc-serverd: cannot write port file {path}: {e}");
         }
     }
+    if let Some(maddr) = handle.metrics_addr() {
+        eprintln!("adoc-serverd: metrics on http://{maddr}/metrics");
+        if let Some(path) = metrics_port_file {
+            if let Err(e) = std::fs::write(&path, maddr.port().to_string()) {
+                eprintln!("adoc-serverd: cannot write metrics port file {path}: {e}");
+            }
+        }
+    }
 
     // Optional periodic metrics on stderr (stdout stays machine-clean).
     // The interval is slept in short slices so a drain is noticed within
     // ~250 ms instead of up to a full interval.
     let periodic = (metrics_every > 0).then(|| {
-        let server = std::sync::Arc::clone(handle.server());
+        let server = Arc::clone(handle.server());
         std::thread::spawn(move || {
             let slice = Duration::from_millis(250);
             'outer: loop {
@@ -160,35 +202,44 @@ fn main() {
         })
     });
 
-    // Control loop: serve until stdin EOF or an explicit drain command.
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line.as_deref().map(str::trim) {
-            Ok("metrics") => println!("{}", handle.metrics_json()),
-            Ok("drain") | Err(_) => break,
-            Ok(cmd) if cmd.starts_with("budget ") => {
-                // Live budget retuning: 'budget 64' caps at 64 Mbit/s,
-                // 'budget off' lifts the cap. Waiters re-pace at once.
-                let arg = cmd["budget ".len()..].trim();
-                let budget = if arg == "off" {
-                    Some(None)
-                } else {
-                    arg.parse::<f64>()
-                        .ok()
-                        .filter(|m| *m > 0.0 && m.is_finite())
-                        .map(|m| Some(m * 1e6 / 8.0))
-                };
-                match budget {
-                    Some(b) => handle.server().scheduler().set_budget(b),
-                    None => eprintln!("adoc-serverd: bad budget {arg:?} (Mbit/s or 'off')"),
+    // stdin is one thin adapter over the shared Control surface (the
+    // HTTP listener is the other). It runs on its own thread so the
+    // main thread can also notice a drain requested over HTTP; it is
+    // deliberately never joined — with no drain command it blocks in
+    // the stdin read forever, and the process exit reaps it.
+    {
+        let control = Control::new(Arc::clone(handle.server()));
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                match parse_command(&line) {
+                    Ok(None) => {}
+                    Ok(Some(Command::Drain)) => break,
+                    Ok(Some(cmd)) => {
+                        let reply = control.run(&cmd);
+                        if !reply.is_empty() {
+                            print!("{reply}");
+                            if !reply.ends_with('\n') {
+                                println!();
+                            }
+                        }
+                    }
+                    Err(e) => println!("err {e}"),
                 }
             }
-            Ok(_) => {}
-        }
+            // drain command, stdin EOF, or a read error: shut down.
+            control.drain();
+        });
+    }
+
+    // Serve until *any* transport requests a drain.
+    while !handle.server().is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
     }
 
     eprintln!("adoc-serverd: draining…");
-    let server = std::sync::Arc::clone(handle.server());
+    let server = Arc::clone(handle.server());
     match handle.shutdown() {
         Ok(()) => {
             println!("{}", server.metrics_json());

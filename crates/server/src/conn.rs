@@ -307,6 +307,10 @@ fn serve_loop(
 ) -> io::Result<u64> {
     let mut served = 0u64;
     let mut buf: Vec<u8> = Vec::new();
+    // Last compression level observed on this connection's send path;
+    // a change becomes an Event::LevelChange (the first observation is
+    // a baseline, not a change).
+    let mut last_level: Option<u8> = None;
     loop {
         if server.is_draining() {
             // Finish-in-flight already happened (the previous message
@@ -327,6 +331,24 @@ fn serve_loop(
         };
         served += 1;
         server.registry().update(id, n, report.wire, conn.stats());
+        server.events().emit(crate::Event::MessageServed {
+            conn: id,
+            raw_bytes: n,
+            reply_wire_bytes: report.wire,
+        });
+        if server.events().is_active() {
+            if let Some(&(_, level)) = conn.stats().level_timeline.last() {
+                if let Some(from) = last_level.filter(|&prev| prev != level) {
+                    server.events().emit(crate::Event::LevelChange {
+                        conn: id,
+                        from,
+                        to: level,
+                    });
+                }
+                last_level = Some(level);
+            }
+            server.note_pool_evictions();
+        }
     }
 }
 

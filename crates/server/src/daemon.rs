@@ -38,6 +38,9 @@
 //! sockets, and joins every serving thread.
 
 use crate::conn::{serve_messages, ConnCtl, GuardedReader, GuardedWriter, RegistryGuard};
+use crate::control::Control;
+use crate::event::Event;
+use crate::http::{self, HttpHandle};
 use crate::registry::ConnOutcome;
 use crate::Server;
 use adoc::wire::{GroupHello, GROUP_MAGIC, MAGIC};
@@ -152,6 +155,9 @@ pub struct DaemonHandle {
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     pending: Arc<PendingGroups>,
+    /// The embedded metrics/control HTTP listener, when the config
+    /// names a `metrics_addr`.
+    metrics: Option<HttpHandle>,
 }
 
 impl std::fmt::Debug for DaemonHandle {
@@ -179,6 +185,12 @@ impl DaemonHandle {
         self.server.metrics_json()
     }
 
+    /// The bound address of the metrics/control HTTP listener, if one
+    /// was configured (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|h| h.addr())
+    }
+
     /// Graceful drain shutdown: stop accepting, expire parked handshake
     /// sockets, let in-flight messages finish (bounded by the drain
     /// deadline), join every thread. A panicked thread is reported as an
@@ -203,6 +215,13 @@ impl DaemonHandle {
                     first_err.or_else(|| Some(io::Error::other("a serving thread panicked")));
             }
         }
+        // Every serving thread has been joined: the drain is complete.
+        // Emitted before the HTTP listener stops so a final /events
+        // scrape can still observe it.
+        self.server.events().emit(Event::DrainFinished);
+        if let Some(h) = self.metrics.take() {
+            h.shutdown();
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -216,6 +235,13 @@ pub fn spawn(server: Arc<Server>, listen: impl ToSocketAddrs) -> io::Result<Daem
     let listener = TcpListener::bind(listen)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let metrics = match &server.config().metrics_addr {
+        Some(maddr) => Some(http::spawn(
+            Control::new(Arc::clone(&server)),
+            maddr.as_str(),
+        )?),
+        None => None,
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let pending = Arc::new(PendingGroups::default());
@@ -237,6 +263,7 @@ pub fn spawn(server: Arc<Server>, listen: impl ToSocketAddrs) -> io::Result<Daem
         accept_thread: Some(accept_thread),
         conn_threads,
         pending,
+        metrics,
     })
 }
 

@@ -1,0 +1,826 @@
+//! The structured event subsystem: a typed vocabulary of everything the
+//! daemon does, producers that emit it from the registry, scheduler,
+//! serve loop, and TCP front end, and [`Subscriber`]s that consume it
+//! without ever touching a connection's hot path.
+//!
+//! ## Design (s2n-events style)
+//!
+//! Producers call [`EventBus::emit`] with a borrowed [`Event`] — an enum
+//! of small `Copy` payloads (the only non-`Copy` field is a borrowed
+//! `&str` peer label on the accept path), so **emitting allocates
+//! nothing**. The bus stamps the event with a sequence number and a
+//! timestamp from its monotonic [`EventClock`], then makes exactly one
+//! virtual call per attached subscriber ([`Subscriber::on_event`]). With
+//! no subscribers attached, `emit` is a branch on an empty slice; a
+//! subscriber that cares about one event type overrides that type's
+//! hook and inherits statically-dispatched no-ops for the rest.
+//!
+//! ## Fault isolation
+//!
+//! A subscriber is *user code running inside serving threads*. A panic
+//! in one must not take a connection (or the daemon) down, so the bus
+//! catches the unwind, marks the subscriber **poisoned**, and never
+//! dispatches to it again — the serve loop keeps running, minus one
+//! observer. [`EventBus::poisoned`] reports how many were detached.
+//!
+//! ## Ordering
+//!
+//! Sequence numbers are globally unique and assigned at emission.
+//! Events produced by one thread (one connection's lifecycle) are
+//! dispatched in order; events from different threads may reach a
+//! subscriber interleaved, but their sequence numbers still order them
+//! totally.
+//!
+//! ## Built-in subscribers
+//!
+//! * [`MetricsSubscriber`] — lock-free counters aggregated into the
+//!   `events` section of the v2 metrics document;
+//! * [`EventLog`] — a bounded ring buffer of rendered JSON event lines,
+//!   drainable via [`EventLog::json_lines_since`] (the HTTP listener's
+//!   `GET /events?since=seq`).
+
+use crate::registry::{ConnId, ConnOutcome};
+use crate::sched::Tier;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The single monotonic clock every timestamp in the daemon derives
+/// from: event times, `uptime_secs`, and per-connection ages all read
+/// this one origin, so one metrics document can never contain two
+/// timelines that disagree about "now".
+#[derive(Debug, Clone)]
+pub struct EventClock {
+    origin: Instant,
+}
+
+impl Default for EventClock {
+    fn default() -> Self {
+        EventClock::new()
+    }
+}
+
+impl EventClock {
+    /// A clock whose origin is now.
+    pub fn new() -> EventClock {
+        EventClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Monotonic time since the clock's origin.
+    pub fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// Everything the daemon reports about itself, as typed values. Borrowed
+/// string fields keep emission allocation-free; subscribers that need to
+/// retain them copy on their own side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Event<'a> {
+    /// A connection registered (TCP socket accepted and sniffed, or a
+    /// harness stream attached) and is handshaking.
+    ConnAccepted {
+        /// Registry id.
+        conn: ConnId,
+        /// Peer address or transport label.
+        peer: &'a str,
+    },
+    /// Handshake complete: the connection entered service with its
+    /// negotiated stream count.
+    ConnAdmitted {
+        /// Registry id.
+        conn: ConnId,
+        /// Streams in the connection's group (1 = plain v1).
+        streams: usize,
+    },
+    /// A connection left the registry.
+    ConnClosed {
+        /// Registry id.
+        conn: ConnId,
+        /// How it ended.
+        outcome: ConnOutcome,
+        /// Messages it served over its lifetime.
+        messages: u64,
+    },
+    /// A socket failed its handshake (bad magic, hello timeout, expired
+    /// partial group…).
+    HandshakeFailed {
+        /// Registry id, if the socket got far enough to register.
+        conn: Option<ConnId>,
+    },
+    /// The serve loop finished one message (received + replied).
+    MessageServed {
+        /// Registry id.
+        conn: ConnId,
+        /// Raw payload bytes of the received message.
+        raw_bytes: u64,
+        /// Wire bytes of the server's reply.
+        reply_wire_bytes: u64,
+    },
+    /// A scheduler admission had to block and has now been admitted;
+    /// `waited` is the episode's total blocked time.
+    SchedWait {
+        /// Connection the admission belongs to (0 = the drain bucket).
+        conn: ConnId,
+        /// The connection's priority tier.
+        tier: Tier,
+        /// How long the admission was blocked.
+        waited: Duration,
+    },
+    /// The scheduler distributed refill credit. Epochs observed within
+    /// one blocking admission are coalesced into a single event
+    /// (emitted after the pacing lock is released), so the hot path
+    /// never dispatches under the lock.
+    RefillEpoch {
+        /// Bytes of credit distributed.
+        credit: f64,
+    },
+    /// The adaptive controller moved a connection's compression level.
+    LevelChange {
+        /// Registry id.
+        conn: ConnId,
+        /// Previous observed level.
+        from: u8,
+        /// New observed level.
+        to: u8,
+    },
+    /// A graceful drain began.
+    DrainStarted,
+    /// The drain completed: every serving thread joined.
+    DrainFinished,
+    /// The shared buffer pool evicted idle buffers (cap pressure).
+    PoolEvict {
+        /// Buffers released to the allocator since the last event.
+        evicted: u64,
+    },
+    /// The aggregate wire budget was retuned at runtime.
+    BudgetChanged {
+        /// New budget (`None` = unlimited).
+        bytes_per_sec: Option<f64>,
+    },
+}
+
+impl Event<'_> {
+    /// Snake-case name of the event kind (the `"event"` field of a
+    /// rendered JSON line).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::ConnAccepted { .. } => "conn_accepted",
+            Event::ConnAdmitted { .. } => "conn_admitted",
+            Event::ConnClosed { .. } => "conn_closed",
+            Event::HandshakeFailed { .. } => "handshake_failed",
+            Event::MessageServed { .. } => "message_served",
+            Event::SchedWait { .. } => "sched_wait",
+            Event::RefillEpoch { .. } => "refill_epoch",
+            Event::LevelChange { .. } => "level_change",
+            Event::DrainStarted => "drain_started",
+            Event::DrainFinished => "drain_finished",
+            Event::PoolEvict { .. } => "pool_evict",
+            Event::BudgetChanged { .. } => "budget_changed",
+        }
+    }
+}
+
+/// Per-event envelope the bus stamps before dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMeta {
+    /// Globally unique, monotonically assigned sequence number
+    /// (starts at 1).
+    pub seq: u64,
+    /// Time of emission on the daemon's shared [`EventClock`].
+    pub t: Duration,
+}
+
+/// Consumer of daemon events. Every hook has a no-op default, so a
+/// subscriber implements only what it cares about; the bus makes one
+/// virtual call per event ([`Subscriber::on_event`]), whose default
+/// dispatches to the typed hooks below with static calls.
+#[allow(unused_variables)]
+pub trait Subscriber: Send + Sync {
+    /// Catch-all entry point — the one virtual call the bus makes.
+    /// Override this to observe every event in one place (what
+    /// [`EventLog`] does); otherwise the default routes to the typed
+    /// hooks.
+    fn on_event(&self, meta: &EventMeta, event: &Event<'_>) {
+        match *event {
+            Event::ConnAccepted { conn, peer } => self.on_conn_accepted(meta, conn, peer),
+            Event::ConnAdmitted { conn, streams } => self.on_conn_admitted(meta, conn, streams),
+            Event::ConnClosed {
+                conn,
+                outcome,
+                messages,
+            } => self.on_conn_closed(meta, conn, outcome, messages),
+            Event::HandshakeFailed { conn } => self.on_handshake_failed(meta, conn),
+            Event::MessageServed {
+                conn,
+                raw_bytes,
+                reply_wire_bytes,
+            } => self.on_message_served(meta, conn, raw_bytes, reply_wire_bytes),
+            Event::SchedWait { conn, tier, waited } => self.on_sched_wait(meta, conn, tier, waited),
+            Event::RefillEpoch { credit } => self.on_refill_epoch(meta, credit),
+            Event::LevelChange { conn, from, to } => self.on_level_change(meta, conn, from, to),
+            Event::DrainStarted => self.on_drain_started(meta),
+            Event::DrainFinished => self.on_drain_finished(meta),
+            Event::PoolEvict { evicted } => self.on_pool_evict(meta, evicted),
+            Event::BudgetChanged { bytes_per_sec } => self.on_budget_changed(meta, bytes_per_sec),
+        }
+    }
+
+    /// A connection registered.
+    fn on_conn_accepted(&self, meta: &EventMeta, conn: ConnId, peer: &str) {}
+    /// A connection entered service.
+    fn on_conn_admitted(&self, meta: &EventMeta, conn: ConnId, streams: usize) {}
+    /// A connection left the registry.
+    fn on_conn_closed(&self, meta: &EventMeta, conn: ConnId, outcome: ConnOutcome, messages: u64) {}
+    /// A handshake failed.
+    fn on_handshake_failed(&self, meta: &EventMeta, conn: Option<ConnId>) {}
+    /// One message was served.
+    fn on_message_served(&self, meta: &EventMeta, conn: ConnId, raw: u64, reply_wire: u64) {}
+    /// A blocked admission was admitted after `waited`.
+    fn on_sched_wait(&self, meta: &EventMeta, conn: ConnId, tier: Tier, waited: Duration) {}
+    /// Refill credit was distributed.
+    fn on_refill_epoch(&self, meta: &EventMeta, credit: f64) {}
+    /// A connection's compression level moved.
+    fn on_level_change(&self, meta: &EventMeta, conn: ConnId, from: u8, to: u8) {}
+    /// A drain began.
+    fn on_drain_started(&self, meta: &EventMeta) {}
+    /// The drain completed.
+    fn on_drain_finished(&self, meta: &EventMeta) {}
+    /// The pool evicted idle buffers.
+    fn on_pool_evict(&self, meta: &EventMeta, evicted: u64) {}
+    /// The budget was retuned.
+    fn on_budget_changed(&self, meta: &EventMeta, bytes_per_sec: Option<f64>) {}
+}
+
+struct SubscriberEntry {
+    sub: Arc<dyn Subscriber>,
+    /// Set once the subscriber panicked; it is never dispatched again.
+    poisoned: AtomicBool,
+}
+
+/// The daemon's event fan-out point (see the module docs). Fixed at
+/// server construction: subscribers attach through
+/// [`crate::ServerConfigBuilder::subscriber`], so the emit path reads a
+/// plain slice — no lock, no registration races.
+pub struct EventBus {
+    clock: EventClock,
+    seq: AtomicU64,
+    subscribers: Vec<SubscriberEntry>,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscribers.len())
+            .field("poisoned", &self.poisoned())
+            .field("last_seq", &self.last_seq())
+            .finish()
+    }
+}
+
+impl EventBus {
+    /// A bus dispatching to `subscribers`, timestamping on a fresh
+    /// clock.
+    pub fn new(subscribers: Vec<Arc<dyn Subscriber>>) -> EventBus {
+        EventBus {
+            clock: EventClock::new(),
+            seq: AtomicU64::new(0),
+            subscribers: subscribers
+                .into_iter()
+                .map(|sub| SubscriberEntry {
+                    sub,
+                    poisoned: AtomicBool::new(false),
+                })
+                .collect(),
+        }
+    }
+
+    /// A bus with no subscribers: emission is a single branch.
+    pub fn silent() -> EventBus {
+        EventBus::new(Vec::new())
+    }
+
+    /// The shared monotonic clock.
+    pub fn clock(&self) -> &EventClock {
+        &self.clock
+    }
+
+    /// Monotonic time since the bus (= the server) was created.
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// Sequence number of the most recently emitted event (0 = none
+    /// yet).
+    pub fn last_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// True when at least one subscriber is attached — producers with
+    /// non-trivial event *construction* cost (e.g. a pool-stats read)
+    /// can skip it entirely on a silent bus.
+    pub fn is_active(&self) -> bool {
+        !self.subscribers.is_empty()
+    }
+
+    /// Number of subscribers detached after panicking.
+    pub fn poisoned(&self) -> usize {
+        self.subscribers
+            .iter()
+            .filter(|e| e.poisoned.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Stamps `event` and dispatches it to every live subscriber. A
+    /// subscriber that panics is poisoned (detached) and the panic is
+    /// swallowed — observation must never take a serving thread down.
+    pub fn emit(&self, event: Event<'_>) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        let meta = EventMeta {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            t: self.clock.now(),
+        };
+        for entry in &self.subscribers {
+            if entry.poisoned.load(Ordering::Relaxed) {
+                continue;
+            }
+            let sub = &entry.sub;
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sub.on_event(&meta, &event)
+            }))
+            .is_err()
+            {
+                entry.poisoned.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "adoc-server: a subscriber panicked on {:?} and was detached",
+                    event.name()
+                );
+            }
+        }
+    }
+}
+
+/// Lifetime event counts aggregated by a [`MetricsSubscriber`] — the
+/// `events` section of the v2 metrics document.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventCounts {
+    /// `ConnAccepted` events.
+    pub conns_accepted: u64,
+    /// `ConnAdmitted` events.
+    pub conns_admitted: u64,
+    /// `ConnClosed` events.
+    pub conns_closed: u64,
+    /// `HandshakeFailed` events.
+    pub handshake_failures: u64,
+    /// `MessageServed` events.
+    pub messages_served: u64,
+    /// `SchedWait` events (blocked admissions).
+    pub sched_waits: u64,
+    /// Total time blocked admissions spent waiting, in seconds.
+    pub sched_wait_secs: f64,
+    /// `RefillEpoch` events (coalesced per admission episode).
+    pub refill_epochs: u64,
+    /// `LevelChange` events.
+    pub level_changes: u64,
+    /// `PoolEvict` events' evicted-buffer total.
+    pub pool_evictions: u64,
+    /// `BudgetChanged` events.
+    pub budget_changes: u64,
+    /// `DrainStarted` events (0 or 1 in a normal lifetime).
+    pub drains: u64,
+}
+
+/// The aggregating built-in subscriber: lock-free counters a metrics
+/// snapshot folds into the typed [`crate::metrics::MetricsDoc`]. Every
+/// hook is a handful of relaxed atomic adds — attaching it costs the
+/// hot path one virtual call and nothing else (the bench suite pins
+/// this at < 3% on `fig_server_scale`).
+#[derive(Debug, Default)]
+pub struct MetricsSubscriber {
+    conns_accepted: AtomicU64,
+    conns_admitted: AtomicU64,
+    conns_closed: AtomicU64,
+    handshake_failures: AtomicU64,
+    messages_served: AtomicU64,
+    sched_waits: AtomicU64,
+    sched_wait_nanos: AtomicU64,
+    refill_epochs: AtomicU64,
+    level_changes: AtomicU64,
+    pool_evictions: AtomicU64,
+    budget_changes: AtomicU64,
+    drains: AtomicU64,
+}
+
+impl MetricsSubscriber {
+    /// A fresh subscriber with all counters at zero.
+    pub fn new() -> MetricsSubscriber {
+        MetricsSubscriber::default()
+    }
+
+    /// Snapshot of every counter.
+    pub fn counts(&self) -> EventCounts {
+        EventCounts {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_admitted: self.conns_admitted.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            handshake_failures: self.handshake_failures.load(Ordering::Relaxed),
+            messages_served: self.messages_served.load(Ordering::Relaxed),
+            sched_waits: self.sched_waits.load(Ordering::Relaxed),
+            sched_wait_secs: self.sched_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            refill_epochs: self.refill_epochs.load(Ordering::Relaxed),
+            level_changes: self.level_changes.load(Ordering::Relaxed),
+            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
+            budget_changes: self.budget_changes.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Subscriber for MetricsSubscriber {
+    fn on_conn_accepted(&self, _m: &EventMeta, _conn: ConnId, _peer: &str) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_conn_admitted(&self, _m: &EventMeta, _conn: ConnId, _streams: usize) {
+        self.conns_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_conn_closed(&self, _m: &EventMeta, _conn: ConnId, _outcome: ConnOutcome, _msgs: u64) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_handshake_failed(&self, _m: &EventMeta, _conn: Option<ConnId>) {
+        self.handshake_failures.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_message_served(&self, _m: &EventMeta, _conn: ConnId, _raw: u64, _reply_wire: u64) {
+        self.messages_served.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_sched_wait(&self, _m: &EventMeta, _conn: ConnId, _tier: Tier, waited: Duration) {
+        self.sched_waits.fetch_add(1, Ordering::Relaxed);
+        self.sched_wait_nanos
+            .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+    fn on_refill_epoch(&self, _m: &EventMeta, _credit: f64) {
+        self.refill_epochs.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_level_change(&self, _m: &EventMeta, _conn: ConnId, _from: u8, _to: u8) {
+        self.level_changes.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_drain_started(&self, _m: &EventMeta) {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_pool_evict(&self, _m: &EventMeta, evicted: u64) {
+        self.pool_evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+    fn on_budget_changed(&self, _m: &EventMeta, _bytes_per_sec: Option<f64>) {
+        self.budget_changes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One retained event in an [`EventLog`]: the stamped envelope plus the
+/// pre-rendered JSON object line.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Sequence number (strictly increasing across the log).
+    pub seq: u64,
+    /// Emission time in seconds on the shared clock.
+    pub t_secs: f64,
+    /// The full JSON object line (includes `seq`, `t`, `event`, and the
+    /// event's own fields).
+    pub json: Arc<str>,
+}
+
+/// The bounded ring-buffer built-in subscriber: retains the last
+/// `capacity` events as rendered JSON lines. When full, the **oldest**
+/// record is overwritten — a burst never blocks a producer and never
+/// grows memory; [`EventLog::dropped`] counts what was overwritten.
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<EventRecord>>,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("len", &self.inner.lock().len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Configured retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out every retained record with `seq > since`, oldest
+    /// first.
+    pub fn records_since(&self, since: u64) -> Vec<EventRecord> {
+        let g = self.inner.lock();
+        g.iter().filter(|r| r.seq > since).cloned().collect()
+    }
+
+    /// Renders every retained record with `seq > since` as JSON lines
+    /// (one object per line, oldest first) — the payload of
+    /// `GET /events?since=seq`.
+    pub fn json_lines_since(&self, since: u64) -> String {
+        let records = self.records_since(since);
+        let mut out = String::with_capacity(records.len() * 96);
+        for r in records {
+            out.push_str(&r.json);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Subscriber for EventLog {
+    fn on_event(&self, meta: &EventMeta, event: &Event<'_>) {
+        let record = EventRecord {
+            seq: meta.seq,
+            t_secs: meta.t.as_secs_f64(),
+            json: render_json_line(meta, event).into(),
+        };
+        let mut g = self.inner.lock();
+        if g.len() >= self.capacity {
+            g.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.push_back(record);
+    }
+}
+
+/// Renders one stamped event as a single-line JSON object.
+pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"seq\": {}, \"t\": {:.6}, \"event\": \"{}\"",
+        meta.seq,
+        meta.t.as_secs_f64(),
+        event.name()
+    );
+    match *event {
+        Event::ConnAccepted { conn, peer } => {
+            let _ = write!(
+                out,
+                ", \"conn\": {conn}, \"peer\": \"{}\"",
+                json_escape(peer)
+            );
+        }
+        Event::ConnAdmitted { conn, streams } => {
+            let _ = write!(out, ", \"conn\": {conn}, \"streams\": {streams}");
+        }
+        Event::ConnClosed {
+            conn,
+            outcome,
+            messages,
+        } => {
+            let _ = write!(
+                out,
+                ", \"conn\": {conn}, \"outcome\": \"{}\", \"messages\": {messages}",
+                match outcome {
+                    ConnOutcome::Completed => "completed",
+                    ConnOutcome::Failed => "failed",
+                }
+            );
+        }
+        Event::HandshakeFailed { conn } => match conn {
+            Some(conn) => {
+                let _ = write!(out, ", \"conn\": {conn}");
+            }
+            None => out.push_str(", \"conn\": null"),
+        },
+        Event::MessageServed {
+            conn,
+            raw_bytes,
+            reply_wire_bytes,
+        } => {
+            let _ = write!(
+                out,
+                ", \"conn\": {conn}, \"raw_bytes\": {raw_bytes}, \"reply_wire_bytes\": {reply_wire_bytes}"
+            );
+        }
+        Event::SchedWait { conn, tier, waited } => {
+            let _ = write!(
+                out,
+                ", \"conn\": {conn}, \"tier\": \"{tier}\", \"waited_ms\": {:.3}",
+                waited.as_secs_f64() * 1e3
+            );
+        }
+        Event::RefillEpoch { credit } => {
+            let _ = write!(out, ", \"credit_bytes\": {credit:.0}");
+        }
+        Event::LevelChange { conn, from, to } => {
+            let _ = write!(out, ", \"conn\": {conn}, \"from\": {from}, \"to\": {to}");
+        }
+        Event::DrainStarted | Event::DrainFinished => {}
+        Event::PoolEvict { evicted } => {
+            let _ = write!(out, ", \"evicted\": {evicted}");
+        }
+        Event::BudgetChanged { bytes_per_sec } => match bytes_per_sec {
+            Some(b) => {
+                let _ = write!(out, ", \"bytes_per_sec\": {b:.1}");
+            }
+            None => out.push_str(", \"bytes_per_sec\": null"),
+        },
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every event name it sees.
+    #[derive(Default)]
+    struct Recorder {
+        seen: Mutex<Vec<(u64, &'static str)>>,
+    }
+
+    impl Subscriber for Recorder {
+        fn on_event(&self, meta: &EventMeta, event: &Event<'_>) {
+            self.seen.lock().push((meta.seq, event.name()));
+        }
+    }
+
+    #[test]
+    fn bus_stamps_increasing_seqs_and_dispatches() {
+        let rec = Arc::new(Recorder::default());
+        let bus = EventBus::new(vec![rec.clone()]);
+        bus.emit(Event::DrainStarted);
+        bus.emit(Event::ConnAccepted { conn: 7, peer: "p" });
+        bus.emit(Event::DrainFinished);
+        let seen = rec.seen.lock();
+        assert_eq!(
+            *seen,
+            vec![
+                (1, "drain_started"),
+                (2, "conn_accepted"),
+                (3, "drain_finished")
+            ]
+        );
+        assert_eq!(bus.last_seq(), 3);
+    }
+
+    #[test]
+    fn silent_bus_assigns_no_seqs() {
+        let bus = EventBus::silent();
+        bus.emit(Event::DrainStarted);
+        assert_eq!(bus.last_seq(), 0);
+    }
+
+    #[test]
+    fn panicking_subscriber_is_poisoned_and_detached() {
+        struct Bomb {
+            calls: AtomicU64,
+        }
+        impl Subscriber for Bomb {
+            fn on_event(&self, _m: &EventMeta, _e: &Event<'_>) {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                panic!("subscriber bug");
+            }
+        }
+        let bomb = Arc::new(Bomb {
+            calls: AtomicU64::new(0),
+        });
+        let rec = Arc::new(Recorder::default());
+        let bus = EventBus::new(vec![bomb.clone(), rec.clone()]);
+        // Quiet the default panic hook for the expected panic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        bus.emit(Event::DrainStarted);
+        bus.emit(Event::DrainFinished);
+        std::panic::set_hook(hook);
+        assert_eq!(bomb.calls.load(Ordering::Relaxed), 1, "detached after one");
+        assert_eq!(bus.poisoned(), 1);
+        // The healthy subscriber saw both events.
+        assert_eq!(rec.seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn metrics_subscriber_aggregates() {
+        let sub = MetricsSubscriber::new();
+        let bus = EventBus::new(vec![]);
+        let meta = EventMeta {
+            seq: 1,
+            t: Duration::from_millis(5),
+        };
+        drop(bus);
+        sub.on_event(
+            &meta,
+            &Event::MessageServed {
+                conn: 1,
+                raw_bytes: 10,
+                reply_wire_bytes: 4,
+            },
+        );
+        sub.on_event(
+            &meta,
+            &Event::SchedWait {
+                conn: 1,
+                tier: Tier::Bulk,
+                waited: Duration::from_millis(250),
+            },
+        );
+        sub.on_event(&meta, &Event::PoolEvict { evicted: 3 });
+        let c = sub.counts();
+        assert_eq!(c.messages_served, 1);
+        assert_eq!(c.sched_waits, 1);
+        assert!((c.sched_wait_secs - 0.25).abs() < 1e-6);
+        assert_eq!(c.pool_evictions, 3);
+    }
+
+    #[test]
+    fn event_log_overwrites_oldest_when_full() {
+        let log = EventLog::new(3);
+        let mk = |seq| EventMeta {
+            seq,
+            t: Duration::from_millis(seq),
+        };
+        for seq in 1..=8u64 {
+            log.on_event(&mk(seq), &Event::RefillEpoch { credit: seq as f64 });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 5);
+        let records = log.records_since(0);
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8],
+            "only the newest events survive a burst"
+        );
+        // since filters strictly.
+        assert_eq!(log.records_since(7).len(), 1);
+        assert_eq!(log.records_since(8).len(), 0);
+        let lines = log.json_lines_since(6);
+        assert_eq!(lines.lines().count(), 2);
+        assert!(lines.contains("\"event\": \"refill_epoch\""));
+    }
+
+    #[test]
+    fn json_lines_escape_peer_labels() {
+        let meta = EventMeta {
+            seq: 2,
+            t: Duration::from_secs(1),
+        };
+        let line = render_json_line(
+            &meta,
+            &Event::ConnAccepted {
+                conn: 4,
+                peer: "we\"ird\\peer",
+            },
+        );
+        assert!(line.contains("we\\\"ird\\\\peer"), "{line}");
+        assert!(line.starts_with("{\"seq\": 2"));
+        assert!(line.ends_with('}'));
+    }
+}

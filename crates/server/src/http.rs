@@ -1,0 +1,271 @@
+//! A minimal blocking HTTP/1.1 listener exposing the control surface.
+//!
+//! Deliberately tiny — `std::net::TcpListener`, one serving thread,
+//! requests handled serially — because its job is observability, not
+//! throughput: a scrape every few seconds from a curl or a collector.
+//! Routes:
+//!
+//! * `GET /metrics` — the v2 metrics document
+//!   (`?schema=v1` selects the deprecated v1 layout)
+//! * `GET /events?since=<seq>` — buffered events after `seq` as JSON
+//!   lines (`since` defaults to 0, i.e. everything still buffered)
+//! * `POST /control/drain` — begin a graceful drain
+//! * `POST /control/budget` — body `<mbit>` or `off`
+//!
+//! No framework, no keep-alive, no TLS: every response carries
+//! `Connection: close`. Malformed requests get a 400; unknown paths a
+//! 404; a GET on a control route a 405.
+
+use crate::control::{parse_command, Command, Control};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Accept-loop poll interval while idle; also the per-request socket
+/// read/write timeout (a stuck client cannot wedge the listener for
+/// longer than this).
+const HTTP_POLL: Duration = Duration::from_millis(50);
+
+/// Largest accepted request head + body; far above any legitimate
+/// control request.
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// A running HTTP control listener. Stop it with
+/// [`HttpHandle::shutdown`]; dropping the handle detaches the thread.
+pub struct HttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `listen` and serves the control surface for `control` until
+/// the returned handle is shut down.
+pub fn spawn(control: Control, listen: impl ToSocketAddrs) -> io::Result<HttpHandle> {
+    let listener = TcpListener::bind(listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("adoc-http".into())
+            .spawn(move || accept_loop(control, listener, stop))?
+    };
+    Ok(HttpHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(control: Control, listener: TcpListener, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serial on purpose: one scraper at a time is the
+                // designed load, and serial handling means a client
+                // can never observe a half-applied control command
+                // interleaved with its own.
+                if let Err(e) = serve_request(&control, stream) {
+                    if e.kind() != io::ErrorKind::WouldBlock && e.kind() != io::ErrorKind::TimedOut
+                    {
+                        eprintln!("adoc-server: http request failed: {e}");
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(HTTP_POLL),
+            Err(e) => {
+                eprintln!("adoc-server: http accept failed: {e}");
+                thread::sleep(HTTP_POLL);
+            }
+        }
+    }
+}
+
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: "200 OK",
+            content_type,
+            body,
+        }
+    }
+
+    fn error(status: &'static str, msg: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain",
+            body: format!("{msg}\n"),
+        }
+    }
+}
+
+fn serve_request(control: &Control, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(HTTP_POLL))?;
+    stream.set_write_timeout(Some(HTTP_POLL))?;
+    stream.set_nodelay(true).ok();
+
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES as u64);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
+        _ => {
+            return write_response(
+                &mut stream,
+                Response::error("400 Bad Request", "bad request"),
+            )
+        }
+    };
+
+    // Drain headers; all we need from them is the body length.
+    let mut content_length: usize = 0;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0).min(MAX_REQUEST_BYTES);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+
+    let resp = route(control, &method, path, query, body.trim());
+    write_response(&mut stream, resp)
+}
+
+fn route(control: &Control, method: &str, path: &str, query: &str, body: &str) -> Response {
+    match (method, path) {
+        ("GET", "/metrics") => {
+            let doc = match query_param(query, "schema") {
+                Some("v1") => control.metrics_json_v1(),
+                Some(other) => {
+                    return Response::error(
+                        "400 Bad Request",
+                        &format!("unknown metrics schema \"{other}\""),
+                    )
+                }
+                None => control.metrics_json(),
+            };
+            Response::ok("application/json", doc)
+        }
+        ("GET", "/events") => {
+            let since = match query_param(query, "since") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::error(
+                            "400 Bad Request",
+                            &format!("bad since \"{v}\" (want an event sequence number)"),
+                        )
+                    }
+                },
+                None => 0,
+            };
+            Response::ok("application/x-ndjson", control.events_json_lines(since))
+        }
+        ("POST", "/control/drain") => {
+            control.drain();
+            Response::ok("text/plain", "draining\n".into())
+        }
+        ("POST", "/control/budget") => match parse_command(&format!("budget {body}")) {
+            Ok(Some(Command::Budget(b))) => {
+                control.set_budget(b);
+                Response::ok("text/plain", "ok\n".into())
+            }
+            Ok(_) => Response::error("400 Bad Request", "empty budget body"),
+            Err(e) => Response::error("400 Bad Request", &e),
+        },
+        ("GET", "/control/drain" | "/control/budget") | ("POST", "/metrics" | "/events") => {
+            Response::error("405 Method Not Allowed", "method not allowed")
+        }
+        _ => Response::error("404 Not Found", "not found"),
+    }
+}
+
+/// Extracts a query parameter's raw value (no percent-decoding; the
+/// control surface's values never need it).
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| v)
+}
+
+fn write_response(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_params_are_extracted_by_name() {
+        assert_eq!(query_param("since=42", "since"), Some("42"));
+        assert_eq!(query_param("a=1&since=7&b=2", "since"), Some("7"));
+        assert_eq!(query_param("", "since"), None);
+        assert_eq!(query_param("since", "since"), None);
+        assert_eq!(query_param("schema=v1", "schema"), Some("v1"));
+    }
+}

@@ -21,7 +21,19 @@
 //! * **graceful drain**: stop accepting, let every in-flight message
 //!   finish, then exit — with a hard deadline so a stalled peer cannot
 //!   hold shutdown hostage;
-//! * an on-demand [`Server::metrics_json`] snapshot of all of the above.
+//! * a structured [`event`] subsystem: the registry, scheduler, serve
+//!   loop, and TCP front end emit a typed [`Event`] vocabulary through
+//!   an [`EventBus`] to attached [`Subscriber`]s — the built-in
+//!   [`MetricsSubscriber`] aggregates them into the typed
+//!   [`metrics::MetricsDoc`] (`adoc-server-metrics-v2`), the built-in
+//!   [`EventLog`] retains a bounded ring of JSON event lines, and user
+//!   subscribers attach through [`ServerConfigBuilder::subscriber`];
+//! * a [`Control`] surface (drain / budget retune / metrics snapshot)
+//!   reachable from serverd's stdin *and* over a minimal embedded HTTP
+//!   listener ([`ServerConfigBuilder::metrics_addr`]) serving
+//!   `GET /metrics`, `GET /events?since=seq`, `POST /control/drain`,
+//!   and `POST /control/budget` — scrapeable by standard tooling with
+//!   no sidecar.
 //!
 //! Two binaries ship with the crate: `adoc-serverd` (the daemon) and
 //! `adoc-loadgen` (a load generator driving N concurrent clients over
@@ -30,23 +42,35 @@
 #![warn(missing_docs)]
 
 pub mod conn;
+pub mod control;
 pub mod daemon;
+pub mod event;
+pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod sched;
 
 pub use conn::{fnv1a64, sink_ack, ServeMode};
+pub use control::{parse_command, Command, Control};
 pub use daemon::{DaemonHandle, PendingGroups};
+pub use event::{
+    Event, EventBus, EventClock, EventCounts, EventLog, EventMeta, MetricsSubscriber, Subscriber,
+};
+pub use http::HttpHandle;
+pub use metrics::MetricsDoc;
 pub use registry::{ConnOutcome, ConnRegistry, ConnSnapshot, ConnState, RegistryTotals};
 pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler, Tier};
 
-use adoc::{AdocConfig, AdocSocket, BufferPool};
+use adoc::{AdocConfig, AdocError, AdocSocket, BufferPool};
 use conn::{ConnCtl, DrainState, GuardedReader, RegistryGuard};
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Configuration of a [`Server`].
+/// Configuration of a [`Server`]. Build one with
+/// [`ServerConfig::builder`], which validates at `build()` time; the
+/// fields stay public for inspection.
 #[derive(Clone)]
 pub struct ServerConfig {
     /// Base AdOC configuration for every connection. Its `pool` is the
@@ -78,6 +102,19 @@ pub struct ServerConfig {
     /// (e.g. `("10.0.7.", Tier::Paid)`, or a harness label prefix for
     /// [`Server::serve_stream`]).
     pub tier_overrides: Vec<(String, Tier)>,
+    /// Listen address for the embedded metrics/control HTTP listener
+    /// (`None` = no listener). The TCP front end ([`daemon::spawn`])
+    /// binds it; a bare [`Server`] ignores it.
+    pub metrics_addr: Option<String>,
+    /// Retention capacity of the built-in [`EventLog`] ring buffer.
+    pub event_log_cap: usize,
+    /// Attach the built-in [`MetricsSubscriber`] and [`EventLog`]
+    /// (`false` runs the event bus bare — only explicitly added
+    /// subscribers see events; the bench suite uses this to price
+    /// instrumentation).
+    pub instrument: bool,
+    /// Additional user subscribers attached to the event bus.
+    pub subscribers: Vec<Arc<dyn Subscriber>>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +129,10 @@ impl Default for ServerConfig {
             pool_max_idle: Some(64),
             default_tier: Tier::Bulk,
             tier_overrides: Vec::new(),
+            metrics_addr: None,
+            event_log_cap: 1024,
+            instrument: true,
+            subscribers: Vec::new(),
         }
     }
 }
@@ -107,20 +148,178 @@ impl std::fmt::Debug for ServerConfig {
             .field("pool_max_idle", &self.pool_max_idle)
             .field("default_tier", &self.default_tier)
             .field("tier_overrides", &self.tier_overrides)
+            .field("metrics_addr", &self.metrics_addr)
+            .field("event_log_cap", &self.event_log_cap)
+            .field("instrument", &self.instrument)
+            .field("subscribers", &self.subscribers.len())
             .finish_non_exhaustive()
     }
 }
 
-/// The daemon core: registry + scheduler + shared pool + drain state.
-/// Transport-agnostic — the TCP front end lives in [`daemon`], and
-/// [`Server::serve_stream`] drives any `Read`/`Write` pair (the bench
-/// harness runs it over simulated links).
+impl ServerConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`ServerConfig`]:
+///
+/// ```
+/// use adoc_server::{ServerConfig, Tier};
+/// let cfg = ServerConfig::builder()
+///     .budget(Some(64e6 / 8.0))
+///     .default_tier(Tier::Paid)
+///     .metrics_addr("127.0.0.1:0")
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.budget_bytes_per_sec, Some(8e6));
+/// ```
+///
+/// [`ServerConfigBuilder::build`] validates everything
+/// [`Server::new`] would otherwise reject (and the budget/weight
+/// invariants the scheduler would otherwise assert), returning a typed
+/// [`AdocError::InvalidConfig`] instead of a panic or a late I/O error.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Base AdOC configuration for every connection.
+    pub fn adoc(mut self, adoc: AdocConfig) -> Self {
+        self.cfg.adoc = adoc;
+        self
+    }
+
+    /// Admission cap (must be ≥ 1).
+    pub fn max_conns(mut self, max_conns: usize) -> Self {
+        self.cfg.max_conns = max_conns;
+        self
+    }
+
+    /// Aggregate wire budget in bytes/second (`None` = unlimited).
+    pub fn budget(mut self, bytes_per_sec: Option<f64>) -> Self {
+        self.cfg.budget_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// What to do with received messages.
+    pub fn mode(mut self, mode: ServeMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Drain-poll granularity (must be > 0).
+    pub fn drain_poll(mut self, poll: Duration) -> Self {
+        self.cfg.drain_poll = poll;
+        self
+    }
+
+    /// Hard deadline for in-flight messages once draining.
+    pub fn drain_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.drain_deadline = deadline;
+        self
+    }
+
+    /// Idle-buffer cap applied to the shared pool.
+    pub fn pool_max_idle(mut self, cap: Option<usize>) -> Self {
+        self.cfg.pool_max_idle = cap;
+        self
+    }
+
+    /// Tier assigned to connections no override matches.
+    pub fn default_tier(mut self, tier: Tier) -> Self {
+        self.cfg.default_tier = tier;
+        self
+    }
+
+    /// Adds a peer-prefix tier override (first match wins).
+    pub fn tier_override(mut self, peer_prefix: impl Into<String>, tier: Tier) -> Self {
+        self.cfg.tier_overrides.push((peer_prefix.into(), tier));
+        self
+    }
+
+    /// Listen address for the embedded metrics/control HTTP listener.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Retention capacity of the built-in [`EventLog`] (must be ≥ 1).
+    pub fn event_log_cap(mut self, cap: usize) -> Self {
+        self.cfg.event_log_cap = cap;
+        self
+    }
+
+    /// Enables/disables the built-in metrics and event-log subscribers
+    /// (default on).
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.cfg.instrument = on;
+        self
+    }
+
+    /// Attaches a user [`Subscriber`] to the event bus.
+    pub fn subscriber(mut self, sub: Arc<dyn Subscriber>) -> Self {
+        self.cfg.subscribers.push(sub);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ServerConfig, AdocError> {
+        let cfg = self.cfg;
+        cfg.adoc.validate()?;
+        if cfg.max_conns == 0 {
+            return Err(AdocError::InvalidConfig {
+                reason: "max_conns must be >= 1".into(),
+            });
+        }
+        if cfg.drain_poll.is_zero() {
+            return Err(AdocError::InvalidConfig {
+                reason: "drain_poll must be > 0".into(),
+            });
+        }
+        if let Some(b) = cfg.budget_bytes_per_sec {
+            if !(b > 0.0 && b.is_finite()) {
+                return Err(AdocError::InvalidConfig {
+                    reason: format!("budget_bytes_per_sec must be positive and finite, got {b}"),
+                });
+            }
+        }
+        if cfg.event_log_cap == 0 {
+            return Err(AdocError::InvalidConfig {
+                reason: "event_log_cap must be >= 1".into(),
+            });
+        }
+        if let Some(addr) = &cfg.metrics_addr {
+            if addr.trim().is_empty() {
+                return Err(AdocError::InvalidConfig {
+                    reason: "metrics_addr must not be empty".into(),
+                });
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// The daemon core: registry + scheduler + shared pool + event bus +
+/// drain state. Transport-agnostic — the TCP front end lives in
+/// [`daemon`], and [`Server::serve_stream`] drives any `Read`/`Write`
+/// pair (the bench harness runs it over simulated links).
 pub struct Server {
     cfg: ServerConfig,
     registry: ConnRegistry,
     sched: FairScheduler,
     drain: Arc<DrainState>,
-    started_at: Instant,
+    bus: Arc<EventBus>,
+    metrics_sub: Arc<MetricsSubscriber>,
+    event_log: Arc<EventLog>,
+    /// Pool evictions already reported as [`Event::PoolEvict`] — the
+    /// pool counter is monotonic, so the delta since this watermark is
+    /// what a new event carries.
+    evictions_seen: AtomicU64,
 }
 
 impl std::fmt::Debug for Server {
@@ -135,33 +334,37 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Builds a server, validating the embedded AdOC configuration and
-    /// applying the pool idle cap.
+    /// applying the pool idle cap. Prefer constructing the config with
+    /// [`ServerConfig::builder`], which reports the same violations as
+    /// typed errors before this point.
     pub fn new(cfg: ServerConfig) -> io::Result<Arc<Server>> {
-        cfg.adoc.validate()?;
-        if cfg.max_conns == 0 {
-            return Err(adoc::AdocError::InvalidConfig {
-                reason: "max_conns must be >= 1".into(),
-            }
-            .into());
-        }
-        if cfg.drain_poll.is_zero() {
-            // Zero would make every set_read_timeout/set_write_timeout
-            // call fail at serve time (std rejects Some(ZERO)).
-            return Err(adoc::AdocError::InvalidConfig {
-                reason: "drain_poll must be > 0".into(),
-            }
-            .into());
-        }
+        // Re-validate here too: struct-literal construction is still
+        // possible (the fields are public), and the scheduler would
+        // otherwise panic on a bad budget.
+        let cfg = ServerConfigBuilder { cfg }.build()?;
         if let Some(cap) = cfg.pool_max_idle {
             cfg.adoc.pool.set_max_idle(cap);
         }
-        let sched = FairScheduler::new(cfg.budget_bytes_per_sec);
+        let metrics_sub = Arc::new(MetricsSubscriber::new());
+        let event_log = Arc::new(EventLog::new(cfg.event_log_cap));
+        let mut subs: Vec<Arc<dyn Subscriber>> = Vec::new();
+        if cfg.instrument {
+            subs.push(metrics_sub.clone());
+            subs.push(event_log.clone());
+        }
+        subs.extend(cfg.subscribers.iter().cloned());
+        let bus = Arc::new(EventBus::new(subs));
+        let registry = ConnRegistry::with_bus(Arc::clone(&bus));
+        let sched = FairScheduler::with_bus(cfg.budget_bytes_per_sec, Arc::clone(&bus));
         Ok(Arc::new(Server {
             cfg,
-            registry: ConnRegistry::new(),
+            registry,
             sched,
             drain: Arc::new(DrainState::default()),
-            started_at: Instant::now(),
+            bus,
+            metrics_sub,
+            event_log,
+            evictions_seen: AtomicU64::new(0),
         }))
     }
 
@@ -180,6 +383,25 @@ impl Server {
         &self.sched
     }
 
+    /// The event bus every producer in this server emits through. Its
+    /// [`EventClock`] is the single monotonic time source behind
+    /// [`Server::uptime_secs`], connection ages, and event timestamps.
+    pub fn events(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// The built-in bounded event log (empty if instrumentation is
+    /// off).
+    pub fn event_log(&self) -> &EventLog {
+        &self.event_log
+    }
+
+    /// Lifetime event counts from the built-in [`MetricsSubscriber`]
+    /// (all zero if instrumentation is off).
+    pub fn event_counts(&self) -> EventCounts {
+        self.metrics_sub.counts()
+    }
+
     /// The daemon-wide shared buffer pool.
     pub fn pool(&self) -> &BufferPool {
         &self.cfg.adoc.pool
@@ -190,20 +412,26 @@ impl Server {
         self.cfg.mode
     }
 
-    /// Seconds since the server was created.
+    /// Seconds since the server was created, on the event layer's
+    /// monotonic clock.
     pub fn uptime_secs(&self) -> f64 {
-        self.started_at.elapsed().as_secs_f64()
+        self.bus.now().as_secs_f64()
     }
 
     /// Starts a graceful drain: live connections finish their in-flight
     /// message (bounded by the drain deadline) and no new messages are
     /// served. The TCP front end additionally stops accepting.
+    /// Idempotent; [`Event::DrainStarted`] fires only on the first call.
     pub fn begin_drain(&self) {
         *self.drain.deadline.lock() = Some(Instant::now() + self.cfg.drain_deadline);
-        self.drain
+        let was_draining = self
+            .drain
             .draining
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+            .swap(true, std::sync::atomic::Ordering::Relaxed);
         self.registry.mark_all_draining();
+        if !was_draining {
+            self.bus.emit(Event::DrainStarted);
+        }
     }
 
     /// True once a drain has started.
@@ -213,6 +441,21 @@ impl Server {
 
     pub(crate) fn drain_state(&self) -> Arc<DrainState> {
         Arc::clone(&self.drain)
+    }
+
+    /// Emits [`Event::PoolEvict`] for evictions since the last check.
+    /// Skips the pool-stats read entirely when nothing subscribes.
+    pub(crate) fn note_pool_evictions(&self) {
+        if !self.bus.is_active() {
+            return;
+        }
+        let evicted = self.pool().stats().evicted;
+        let seen = self.evictions_seen.swap(evicted, Ordering::Relaxed);
+        if evicted > seen {
+            self.bus.emit(Event::PoolEvict {
+                evicted: evicted - seen,
+            });
+        }
     }
 
     /// Scheduling tier for a connection labelled `peer`: the first
@@ -270,9 +513,23 @@ impl Server {
         conn::serve_messages(self, id, &mut sock, &ctl)
     }
 
-    /// On-demand JSON snapshot of registry, scheduler, and pool state.
+    /// On-demand typed snapshot of registry, scheduler, pool, and
+    /// event state — the structured form behind both JSON renderings.
+    pub fn metrics_doc(&self) -> MetricsDoc {
+        MetricsDoc::collect(self)
+    }
+
+    /// On-demand JSON snapshot of registry, scheduler, pool, and event
+    /// state (schema `adoc-server-metrics-v2`). For the typed form,
+    /// use [`Server::metrics_doc`].
     pub fn metrics_json(&self) -> String {
-        metrics::render(self)
+        MetricsDoc::collect(self).to_json()
+    }
+
+    /// The deprecated v1-schema rendering of the same snapshot, for
+    /// consumers still pinned to `adoc-server-metrics-v1`.
+    pub fn metrics_json_v1(&self) -> String {
+        MetricsDoc::collect(self).to_json_v1()
     }
 }
 
@@ -307,15 +564,22 @@ mod tests {
         assert_eq!(server.registry().live_count(), 0);
         assert_eq!(server.scheduler().active(), 0, "throttle must deregister");
         assert_eq!(server.pool().stats().outstanding, 0);
+        // The built-in subscribers watched the whole lifecycle.
+        let counts = server.event_counts();
+        assert_eq!(counts.conns_accepted, 1);
+        assert_eq!(counts.conns_admitted, 1);
+        assert_eq!(counts.messages_served, 3);
+        assert_eq!(counts.conns_closed, 1);
+        assert!(server.event_log().len() >= 6);
     }
 
     #[test]
     fn sink_mode_acks_with_checksum() {
-        let server = Server::new(ServerConfig {
-            mode: ServeMode::Sink,
-            ..ServerConfig::default()
-        })
-        .unwrap();
+        let cfg = ServerConfig::builder()
+            .mode(ServeMode::Sink)
+            .build()
+            .unwrap();
+        let server = Server::new(cfg).unwrap();
         let (client_end, server_end) = duplex_pipe(1 << 20);
         let (sr, sw) = server_end.split();
         let s2 = Arc::clone(&server);
@@ -334,33 +598,98 @@ mod tests {
 
     #[test]
     fn invalid_server_config_is_a_typed_error() {
-        let cfg = ServerConfig {
-            adoc: AdocConfig::default().with_streams(0),
-            ..ServerConfig::default()
-        };
-        let err = match Server::new(cfg) {
-            Err(e) => e,
-            Ok(_) => panic!("zero streams must be rejected"),
-        };
-        assert!(matches!(
-            adoc::AdocError::from_io(&err),
-            Some(adoc::AdocError::InvalidConfig { .. })
-        ));
+        let err = ServerConfig::builder()
+            .adoc(AdocConfig::default().with_streams(0))
+            .build()
+            .expect_err("zero streams must be rejected");
+        assert!(matches!(err, AdocError::InvalidConfig { .. }));
+        let err = ServerConfig::builder().max_conns(0).build().unwrap_err();
+        assert!(err.to_string().contains("max_conns"));
+        let err = ServerConfig::builder()
+            .budget(Some(-2.0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("budget"));
+        let err = ServerConfig::builder()
+            .event_log_cap(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("event_log_cap"));
+        let err = ServerConfig::builder()
+            .drain_poll(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("drain_poll"));
+        // Struct-literal construction reports the same violations
+        // through Server::new.
         let err = Server::new(ServerConfig {
             max_conns: 0,
             ..ServerConfig::default()
         })
         .unwrap_err();
         assert!(err.to_string().contains("max_conns"));
+        assert!(matches!(
+            AdocError::from_io(&err),
+            Some(AdocError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
     fn pool_idle_cap_is_applied() {
-        let cfg = ServerConfig {
-            pool_max_idle: Some(7),
-            ..ServerConfig::default()
-        };
+        let cfg = ServerConfig::builder()
+            .pool_max_idle(Some(7))
+            .build()
+            .unwrap();
         let server = Server::new(cfg).unwrap();
         assert_eq!(server.pool().max_idle(), 7);
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let cfg = ServerConfig::builder()
+            .max_conns(3)
+            .budget(Some(1e6))
+            .mode(ServeMode::Sink)
+            .drain_poll(Duration::from_millis(5))
+            .drain_deadline(Duration::from_secs(2))
+            .pool_max_idle(None)
+            .default_tier(Tier::Paid)
+            .tier_override("vip-", Tier::Control)
+            .metrics_addr("127.0.0.1:0")
+            .event_log_cap(16)
+            .instrument(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_conns, 3);
+        assert_eq!(cfg.budget_bytes_per_sec, Some(1e6));
+        assert_eq!(cfg.mode, ServeMode::Sink);
+        assert_eq!(cfg.default_tier, Tier::Paid);
+        assert_eq!(
+            cfg.tier_overrides,
+            vec![("vip-".to_string(), Tier::Control)]
+        );
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.event_log_cap, 16);
+        assert!(!cfg.instrument);
+    }
+
+    #[test]
+    fn uninstrumented_server_emits_nothing() {
+        let cfg = ServerConfig::builder().instrument(false).build().unwrap();
+        let server = Server::new(cfg).unwrap();
+        let (client_end, server_end) = duplex_pipe(1 << 20);
+        let (sr, sw) = server_end.split();
+        let s2 = Arc::clone(&server);
+        let serving = thread::spawn(move || s2.serve_stream(sr, sw, "pipe-client"));
+        let (cr, cw) = client_end.split();
+        let mut client = AdocSocket::new(cr, cw);
+        client.write(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        client.read_exact(&mut back).unwrap();
+        drop(client);
+        serving.join().unwrap().unwrap();
+        assert_eq!(server.events().last_seq(), 0);
+        assert_eq!(server.event_counts(), EventCounts::default());
+        assert!(server.event_log().is_empty());
     }
 }

@@ -6,12 +6,23 @@
 //! can render the whole daemon without touching any connection's hot
 //! path. Closed connections fold into lifetime totals instead of
 //! accumulating entries.
+//!
+//! Lifecycle transitions are reported on the server's [`EventBus`]
+//! ([`Event::ConnAccepted`] / [`Event::ConnAdmitted`] /
+//! [`Event::ConnClosed`] / [`Event::HandshakeFailed`]), always *after*
+//! the registry lock is released — a subscriber that turns around and
+//! polls the registry can never deadlock. Timestamps come from the
+//! bus's [`crate::EventClock`], the daemon's single monotonic time
+//! source, so a connection's age and the document's uptime can never
+//! disagree about "now".
 
+use crate::event::{Event, EventBus};
 use adoc::TransferStats;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Identifier of one registered connection (a v2 stream group counts as
 /// one connection no matter how many sockets it stripes over).
@@ -103,12 +114,14 @@ struct Entry {
     raw_bytes: u64,
     reply_wire_bytes: u64,
     level_bps: [f64; 11],
-    registered_at: Instant,
+    /// Registration time on the bus's shared clock.
+    registered_at: Duration,
 }
 
 /// Thread-safe connection registry (see the module docs).
 pub struct ConnRegistry {
     next_id: AtomicU64,
+    bus: Arc<EventBus>,
     inner: Mutex<Inner>,
 }
 
@@ -124,10 +137,19 @@ impl Default for ConnRegistry {
 }
 
 impl ConnRegistry {
-    /// An empty registry.
+    /// An empty registry with its own silent event bus (standalone
+    /// use; a [`crate::Server`] shares its bus via
+    /// [`ConnRegistry::with_bus`]).
     pub fn new() -> ConnRegistry {
+        ConnRegistry::with_bus(Arc::new(EventBus::silent()))
+    }
+
+    /// An empty registry reporting lifecycle events (and reading its
+    /// clock) through `bus`.
+    pub fn with_bus(bus: Arc<EventBus>) -> ConnRegistry {
         ConnRegistry {
             next_id: AtomicU64::new(1),
+            bus,
             inner: Mutex::new(Inner {
                 live: HashMap::new(),
                 totals: RegistryTotals::default(),
@@ -139,20 +161,26 @@ impl ConnRegistry {
     /// returns its id.
     pub fn register(&self, peer: impl Into<String>) -> ConnId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let peer: String = peer.into();
         let mut g = self.inner.lock();
         g.live.insert(
             id,
             Entry {
-                peer: peer.into(),
+                peer: peer.clone(),
                 streams: 1,
                 state: ConnState::Handshaking,
                 messages: 0,
                 raw_bytes: 0,
                 reply_wire_bytes: 0,
                 level_bps: [0.0; 11],
-                registered_at: Instant::now(),
+                registered_at: self.bus.now(),
             },
         );
+        drop(g);
+        self.bus.emit(Event::ConnAccepted {
+            conn: id,
+            peer: &peer,
+        });
         id
     }
 
@@ -160,10 +188,16 @@ impl ConnRegistry {
     /// [`RegistryTotals::accepted`]).
     pub fn activate(&self, id: ConnId, streams: usize) {
         let mut g = self.inner.lock();
+        let mut admitted = false;
         if let Some(e) = g.live.get_mut(&id) {
             e.state = ConnState::Active;
             e.streams = streams;
             g.totals.accepted += 1;
+            admitted = true;
+        }
+        drop(g);
+        if admitted {
+            self.bus.emit(Event::ConnAdmitted { conn: id, streams });
         }
     }
 
@@ -198,11 +232,19 @@ impl ConnRegistry {
     /// Removes `id`, folding it into the lifetime totals.
     pub fn remove(&self, id: ConnId, outcome: ConnOutcome) {
         let mut g = self.inner.lock();
-        if g.live.remove(&id).is_some() {
+        let removed = g.live.remove(&id);
+        if let Some(e) = &removed {
             match outcome {
                 ConnOutcome::Completed => g.totals.completed += 1,
                 ConnOutcome::Failed => g.totals.failed += 1,
             }
+            let messages = e.messages;
+            drop(g);
+            self.bus.emit(Event::ConnClosed {
+                conn: id,
+                outcome,
+                messages,
+            });
         }
     }
 
@@ -211,6 +253,8 @@ impl ConnRegistry {
         let mut g = self.inner.lock();
         if g.live.remove(&id).is_some() {
             g.totals.handshake_failures += 1;
+            drop(g);
+            self.bus.emit(Event::HandshakeFailed { conn: Some(id) });
         }
     }
 
@@ -218,6 +262,7 @@ impl ConnRegistry {
     /// (e.g. a parked stream of an expired partial group).
     pub fn count_handshake_failure(&self) {
         self.inner.lock().totals.handshake_failures += 1;
+        self.bus.emit(Event::HandshakeFailed { conn: None });
     }
 
     /// Number of live (handshaking + active + draining) connections.
@@ -230,8 +275,17 @@ impl ConnRegistry {
         self.inner.lock().totals
     }
 
-    /// Snapshots every live connection, sorted by id.
+    /// Snapshots every live connection, sorted by id, with ages
+    /// computed against the shared clock's current time.
     pub fn snapshot(&self) -> Vec<ConnSnapshot> {
+        self.snapshot_at(self.bus.now())
+    }
+
+    /// Snapshots every live connection with ages computed against an
+    /// explicit `now` on the shared clock — the metrics collector reads
+    /// the clock once and passes the same instant here and to the
+    /// uptime field, so every age in one document shares one "now".
+    pub fn snapshot_at(&self, now: Duration) -> Vec<ConnSnapshot> {
         let g = self.inner.lock();
         let mut out: Vec<ConnSnapshot> = g
             .live
@@ -245,7 +299,7 @@ impl ConnRegistry {
                 raw_bytes: e.raw_bytes,
                 reply_wire_bytes: e.reply_wire_bytes,
                 level_bps: e.level_bps,
-                age_secs: e.registered_at.elapsed().as_secs_f64(),
+                age_secs: now.saturating_sub(e.registered_at).as_secs_f64(),
             })
             .collect();
         out.sort_by_key(|s| s.id);
@@ -322,5 +376,49 @@ mod tests {
         reg.remove(id, ConnOutcome::Failed);
         let t = reg.totals();
         assert_eq!((t.completed, t.failed), (1, 0));
+    }
+
+    #[test]
+    fn lifecycle_is_reported_on_the_bus() {
+        use crate::event::{EventMeta, Subscriber};
+        use parking_lot::Mutex as PMutex;
+
+        #[derive(Default)]
+        struct Names(PMutex<Vec<String>>);
+        impl Subscriber for Names {
+            fn on_event(&self, _m: &EventMeta, e: &Event<'_>) {
+                self.0.lock().push(e.name().to_string());
+            }
+        }
+        let rec = Arc::new(Names::default());
+        let bus = Arc::new(EventBus::new(vec![rec.clone()]));
+        let reg = ConnRegistry::with_bus(bus);
+        let id = reg.register("peer-a");
+        reg.activate(id, 2);
+        reg.remove(id, ConnOutcome::Completed);
+        reg.count_handshake_failure();
+        assert_eq!(
+            *rec.0.lock(),
+            vec![
+                "conn_accepted",
+                "conn_admitted",
+                "conn_closed",
+                "handshake_failed"
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_at_uses_one_shared_now() {
+        let reg = ConnRegistry::new();
+        reg.register("p1");
+        std::thread::sleep(Duration::from_millis(20));
+        reg.register("p2");
+        let now = Duration::from_secs(100);
+        let snap = reg.snapshot_at(now);
+        // Both ages are measured against the same instant; the earlier
+        // registration is strictly older.
+        assert!(snap[0].age_secs > snap[1].age_secs);
+        assert!(snap.iter().all(|s| s.age_secs > 99.0));
     }
 }

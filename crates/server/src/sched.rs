@@ -59,6 +59,7 @@
 //! bucket, so the aggregate cap holds end-to-end instead of drain
 //! traffic slipping through unpaced.
 
+use crate::event::{Event, EventBus};
 use adoc::Throttle;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -255,15 +256,16 @@ impl Pacing {
 
     /// Advances the refill epoch if it is stale, water-filling the
     /// elapsed budget across buckets (backlogged first, idle banks from
-    /// surplus). Returns true if credit was distributed.
-    fn refill(&mut self, now: Instant, force: bool) -> bool {
+    /// surplus). Returns the credit distributed (0.0 = the epoch did
+    /// not advance).
+    fn refill(&mut self, now: Instant, force: bool) -> f64 {
         let Some(budget) = self.budget else {
             self.last_refill = now;
-            return false;
+            return 0.0;
         };
         let dt = now.duration_since(self.last_refill).as_secs_f64();
         if dt <= 0.0 || (!force && dt < MIN_EPOCH_SECS) {
-            return false;
+            return 0.0;
         }
         self.last_refill = now;
         let credit = budget * dt;
@@ -285,7 +287,7 @@ impl Pacing {
             budget,
             total_weight,
         );
-        true
+        credit
     }
 
     fn phase_buckets(&mut self, pred: impl Fn(&Bucket) -> bool) -> Vec<&mut Bucket> {
@@ -370,6 +372,14 @@ struct Inner {
     /// admissions.
     directory: Mutex<HashMap<u64, Arc<ConnStats>>>,
     drain_stats: Arc<ConnStats>,
+    /// Lifetime wire bytes admitted across every bucket that ever
+    /// existed (per-bucket counters die with their registration) — the
+    /// numerator of the metrics document's utilization figure.
+    total_admitted: AtomicU64,
+    /// Where [`Event::SchedWait`] / [`Event::RefillEpoch`] /
+    /// [`Event::BudgetChanged`] go. Emission always happens *after* the
+    /// pacing lock is released.
+    bus: Arc<EventBus>,
 }
 
 /// Shared work-conserving scheduler: cheap to clone, one per server.
@@ -409,8 +419,15 @@ impl BucketSnapshot {
 
 impl FairScheduler {
     /// Creates a scheduler with the given aggregate budget in
-    /// bytes/second (`None` = unlimited).
+    /// bytes/second (`None` = unlimited) and a silent event bus.
     pub fn new(budget_bytes_per_sec: Option<f64>) -> FairScheduler {
+        FairScheduler::with_bus(budget_bytes_per_sec, Arc::new(EventBus::silent()))
+    }
+
+    /// Creates a scheduler reporting [`Event::SchedWait`],
+    /// [`Event::RefillEpoch`], and [`Event::BudgetChanged`] through
+    /// `bus`.
+    pub fn with_bus(budget_bytes_per_sec: Option<f64>, bus: Arc<EventBus>) -> FairScheduler {
         if let Some(b) = budget_bytes_per_sec {
             assert!(
                 b > 0.0 && b.is_finite(),
@@ -435,8 +452,16 @@ impl FairScheduler {
                 refilled: Condvar::new(),
                 directory: Mutex::new(HashMap::new()),
                 drain_stats,
+                total_admitted: AtomicU64::new(0),
+                bus,
             }),
         }
+    }
+
+    /// Lifetime wire bytes admitted across all connections (including
+    /// ones that have since deregistered, and drain-bucket traffic).
+    pub fn total_admitted(&self) -> u64 {
+        self.inner.total_admitted.load(Ordering::Relaxed)
     }
 
     fn budget_to_bits(budget: Option<f64>) -> u64 {
@@ -485,6 +510,9 @@ impl FairScheduler {
         );
         drop(p);
         self.inner.refilled.notify_all();
+        self.inner.bus.emit(Event::BudgetChanged {
+            bytes_per_sec: budget_bytes_per_sec,
+        });
     }
 
     /// Registers connection `conn` at the default tier and weight and
@@ -574,9 +602,18 @@ impl FairScheduler {
         // ago — the deadline *is* the event the waiter slept for, and
         // refusing it credit would only buy a MIN_SLEEP re-sleep.
         let mut deadline_wake = false;
+        // Refill credit distributed by this call and the instant it
+        // first blocked, both reported on the bus only once the pacing
+        // lock is dropped: a blocking episode coalesces to at most one
+        // RefillEpoch and one SchedWait, so the hot path never
+        // dispatches under the lock.
+        let mut episode_credit = 0.0f64;
+        let mut wait_start: Option<Instant> = None;
         loop {
             let now = Instant::now();
-            let refilled = p.refill(now, deadline_wake);
+            let credit = p.refill(now, deadline_wake);
+            episode_credit += credit;
+            let refilled = credit > 0.0;
             let Some(budget) = p.budget else {
                 // The budget was lifted (set_budget(None)) while we held
                 // or waited for the lock: admit, only counting bytes.
@@ -585,9 +622,15 @@ impl FairScheduler {
                     b.waiters -= 1;
                 }
                 b.stats.admitted.fetch_add(bytes as u64, Ordering::Relaxed);
+                let tier = b.stats.tier;
                 if waiting {
                     p.waiters -= 1;
                 }
+                drop(p);
+                self.inner
+                    .total_admitted
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                self.emit_episode(conn, tier, wait_start, episode_credit);
                 return;
             };
             let b = p.bucket_mut(conn);
@@ -595,6 +638,7 @@ impl FairScheduler {
                 b.tokens -= bytes as f64;
                 b.stats.store_tokens(b.tokens);
                 b.stats.admitted.fetch_add(bytes as u64, Ordering::Relaxed);
+                let tier = b.stats.tier;
                 if waiting {
                     b.waiters -= 1;
                     p.waiters -= 1;
@@ -607,6 +651,10 @@ impl FairScheduler {
                     // at their pessimistic deadline.
                     self.inner.refilled.notify_all();
                 }
+                self.inner
+                    .total_admitted
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                self.emit_episode(conn, tier, wait_start, episode_credit);
                 return;
             }
             // Block until this bucket's max-min share pays the debt off:
@@ -621,6 +669,7 @@ impl FairScheduler {
                 b.waiters += 1;
                 p.waiters += 1;
                 waiting = true;
+                wait_start = Some(now);
             }
             if refilled && p.waiters > 1 {
                 // The refill may have satisfied another waiter.
@@ -633,6 +682,24 @@ impl FairScheduler {
             // The bucket is re-resolved at the top of the loop: it may
             // have been deregistered while we slept, in which case the
             // drain bucket inherited our waiter count.
+        }
+    }
+
+    /// Reports one admission episode's coalesced events; called with
+    /// the pacing lock already released.
+    fn emit_episode(&self, conn: u64, tier: Tier, wait_start: Option<Instant>, credit: f64) {
+        if !self.inner.bus.is_active() {
+            return;
+        }
+        if credit > 0.0 {
+            self.inner.bus.emit(Event::RefillEpoch { credit });
+        }
+        if let Some(start) = wait_start {
+            self.inner.bus.emit(Event::SchedWait {
+                conn,
+                tier,
+                waited: start.elapsed(),
+            });
         }
     }
 
@@ -706,6 +773,10 @@ impl Throttle for ConnThrottle {
             // pacing mutex at all.
             self.stats
                 .admitted
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.sched
+                .inner
+                .total_admitted
                 .fetch_add(bytes as u64, Ordering::Relaxed);
         }
         if let Some(cpu) = &self.cpu {

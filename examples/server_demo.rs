@@ -18,12 +18,12 @@ use std::thread;
 fn main() -> std::io::Result<()> {
     // A daemon with a 200 Mbit/s aggregate fair-share budget and a
     // bounded pool, like a small production deployment would run.
-    let server = Server::new(ServerConfig {
-        budget_bytes_per_sec: Some(200e6 / 8.0),
-        max_conns: 32,
-        pool_max_idle: Some(32),
-        ..ServerConfig::default()
-    })?;
+    let cfg = ServerConfig::builder()
+        .budget(Some(200e6 / 8.0))
+        .max_conns(32)
+        .pool_max_idle(Some(32))
+        .build()?;
+    let server = Server::new(cfg)?;
     let handle = daemon::spawn(server, "127.0.0.1:0")?;
     let addr = handle.addr();
     println!("daemon listening on {addr}");

@@ -54,11 +54,13 @@ fn sixty_four_concurrent_mixed_clients_with_clean_drain() {
     // ≥ 64 clients × streams {1, 2, 4} × data kinds {ascii, binary,
     // incompressible} × pathological client geometries, all at once.
     const CLIENTS: usize = 66;
-    let handle = spawn_server(ServerConfig {
-        max_conns: CLIENTS + 16,
-        pool_max_idle: Some(48),
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .max_conns(CLIENTS + 16)
+            .pool_max_idle(Some(48))
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
 
     thread::scope(|s| {
@@ -126,10 +128,12 @@ fn sixty_four_concurrent_mixed_clients_with_clean_drain() {
 
 #[test]
 fn mid_hello_disconnect_does_not_wedge_the_daemon() {
-    let handle = spawn_server(ServerConfig {
-        adoc: AdocConfig::default().with_hello_timeout(Duration::from_millis(200)),
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .adoc(AdocConfig::default().with_hello_timeout(Duration::from_millis(200)))
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
 
     // Client 1: sends 3 bytes of a group hello, then vanishes.
@@ -173,10 +177,12 @@ fn mid_hello_disconnect_does_not_wedge_the_daemon() {
 
 #[test]
 fn partial_group_expires_and_later_groups_still_form() {
-    let handle = spawn_server(ServerConfig {
-        adoc: AdocConfig::default().with_hello_timeout(Duration::from_millis(250)),
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .adoc(AdocConfig::default().with_hello_timeout(Duration::from_millis(250)))
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
 
     // A client dials 1 stream of an announced 4-stream group and dies.
@@ -272,10 +278,12 @@ fn accept_hello_timeout_is_typed_and_bounded() {
 
 #[test]
 fn drain_finishes_in_flight_messages_then_refuses_new_work() {
-    let handle = spawn_server(ServerConfig {
-        drain_deadline: Duration::from_secs(20),
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .drain_deadline(Duration::from_secs(20))
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
 
     // A client with a large in-flight message when the drain begins.
@@ -328,11 +336,13 @@ fn drain_deadline_cuts_a_client_that_stops_reading_its_echo() {
     // reads the echo, so the server's reply backs up in the TCP buffers
     // and its write blocks. Shutdown must still complete once the drain
     // deadline passes — the guarded writer cuts the stalled reply.
-    let handle = spawn_server(ServerConfig {
-        adoc: AdocConfig::default().with_levels(0, 0),
-        drain_deadline: Duration::from_millis(800),
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .adoc(AdocConfig::default().with_levels(0, 0))
+            .drain_deadline(Duration::from_millis(800))
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
 
     let payload = generate(DataKind::Incompressible, 8 << 20, 17);
@@ -404,10 +414,12 @@ fn accept_times_out_when_a_client_dials_too_few_streams() {
 fn admission_cap_backpressures_instead_of_failing() {
     // max_conns = 1: the second client queues in the backlog until the
     // first finishes; both are eventually served, nothing errors.
-    let handle = spawn_server(ServerConfig {
-        max_conns: 1,
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .max_conns(1)
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
     let payload = Arc::new(generate(DataKind::Binary, 200_000, 7));
     thread::scope(|s| {
@@ -430,10 +442,12 @@ fn admission_cap_backpressures_instead_of_failing() {
 
 #[test]
 fn sink_mode_over_tcp_checks_integrity() {
-    let handle = spawn_server(ServerConfig {
-        mode: ServeMode::Sink,
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .mode(ServeMode::Sink)
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
     let payload = generate(DataKind::Incompressible, 750_000, 13);
     let sock = TcpStream::connect(addr).expect("connect");
@@ -463,12 +477,14 @@ fn skewed_load_runs_the_whole_budget() {
     // budget/active refill pinned this at ~1 MB/s => ~8s.
     const IDLE: usize = 7;
     let plain = AdocConfig::default().with_levels(0, 0);
-    let handle = spawn_server(ServerConfig {
-        adoc: plain.clone(),
-        budget_bytes_per_sec: Some(8e6),
-        max_conns: IDLE + 8,
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .adoc(plain.clone())
+            .budget(Some(8e6))
+            .max_conns(IDLE + 8)
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
 
     // Releases the idle spinners even if the busy client panics, so a
@@ -531,12 +547,14 @@ fn tier_overrides_split_the_budget_by_weight() {
     // strict priority).
     use adoc_server::Tier;
     let plain = AdocConfig::default().with_levels(0, 0);
-    let server = adoc_server::Server::new(ServerConfig {
-        adoc: plain.clone(),
-        budget_bytes_per_sec: Some(8e6),
-        tier_overrides: vec![("vip-".into(), Tier::Control)],
-        ..ServerConfig::default()
-    })
+    let server = adoc_server::Server::new(
+        ServerConfig::builder()
+            .adoc(plain.clone())
+            .budget(Some(8e6))
+            .tier_override("vip-", Tier::Control)
+            .build()
+            .expect("config"),
+    )
     .expect("server config");
 
     let echo_session = |peer: &'static str, seed: u64| {
@@ -582,10 +600,12 @@ fn fair_share_budget_keeps_both_clients_moving() {
     // Two clients under a tight shared budget: both must complete (no
     // starvation) and the run must take at least the budget-implied
     // time (the cap is real).
-    let handle = spawn_server(ServerConfig {
-        budget_bytes_per_sec: Some(4.0 * 1024.0 * 1024.0),
-        ..ServerConfig::default()
-    });
+    let handle = spawn_server(
+        ServerConfig::builder()
+            .budget(Some(4.0 * 1024.0 * 1024.0))
+            .build()
+            .expect("config"),
+    );
     let addr = handle.addr();
     let payload = Arc::new(generate(DataKind::Incompressible, 2 << 20, 21));
     let start = Instant::now();
