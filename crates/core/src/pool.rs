@@ -17,10 +17,14 @@
 //! gauge the tests assert on.
 //!
 //! For long-lived multi-connection processes (the `adoc-server` daemon)
-//! the pool's idle cap is **reconfigurable at runtime**
-//! ([`BufferPool::set_max_idle`]) and every buffer released past the cap
-//! is counted in [`PoolStats::evicted`], so a burst of large transfers
-//! cannot pin peak memory forever and the shrink-back is observable.
+//! the pool's idle caps are **reconfigurable at runtime** — a buffer
+//! *count* ([`BufferPool::set_max_idle`]) and, because one 8 MiB buffer
+//! pins as much memory as forty default-sized ones, a **byte budget**
+//! ([`BufferPool::set_max_idle_bytes`]) enforced with size-class-aware
+//! *largest-first* eviction: after a big-transfer burst the oversized
+//! buffers go back to the allocator first while the steady-state size
+//! classes stay warm. Every buffer released past either cap is counted
+//! in [`PoolStats::evicted`], so the shrink-back is observable.
 //! [`PoolStats::peak_outstanding`] records the high-water mark of live
 //! buffers — the number the stress tests bound.
 
@@ -68,6 +72,36 @@ struct PoolShared {
     free: Mutex<Vec<Vec<u8>>>,
     counters: Counters,
     max_idle: AtomicUsize,
+    /// Byte budget for the free list (`usize::MAX` = unbounded). Written
+    /// and enforced only under the `free` lock; the atomic lets readers
+    /// ([`BufferPool::max_idle_bytes`]) skip the lock.
+    max_idle_bytes: AtomicUsize,
+    /// Sum of `capacity()` across the free list, maintained under the
+    /// `free` lock so metrics scrapes read a gauge instead of walking
+    /// the list.
+    idle_bytes: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Evicts free buffers **largest first** until the free list fits the
+    /// byte budget. Must run under the `free` lock; returns the evicted
+    /// allocations so the caller releases them after unlocking.
+    fn trim_to_byte_budget(&self, free: &mut Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let budget = self.max_idle_bytes.load(Ordering::Relaxed);
+        let mut evicted = Vec::new();
+        while self.idle_bytes.load(Ordering::Relaxed) > budget && !free.is_empty() {
+            let largest = free
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, v)| v.capacity())
+                .map(|(i, _)| i)
+                .expect("non-empty free list");
+            let v = free.swap_remove(largest);
+            self.idle_bytes.fetch_sub(v.capacity(), Ordering::Relaxed);
+            evicted.push(v);
+        }
+        evicted
+    }
 }
 
 /// A shared, bounded free list of byte buffers. Cloning is cheap (one
@@ -104,6 +138,8 @@ impl BufferPool {
                 free: Mutex::new(Vec::new()),
                 counters: Counters::default(),
                 max_idle: AtomicUsize::new(max_idle),
+                max_idle_bytes: AtomicUsize::new(usize::MAX),
+                idle_bytes: AtomicUsize::new(0),
             }),
         }
     }
@@ -130,10 +166,16 @@ impl BufferPool {
                     best = Some((i, cap));
                 }
             }
-            match best {
+            let taken = match best {
                 Some((i, _)) => Some(free.swap_remove(i)),
                 None => free.pop(),
+            };
+            if let Some(v) = &taken {
+                self.shared
+                    .idle_bytes
+                    .fetch_sub(v.capacity(), Ordering::Relaxed);
             }
+            taken
         };
         let c = &self.shared.counters;
         let now = c.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
@@ -195,7 +237,10 @@ impl BufferPool {
             if free.len() <= max_idle {
                 return;
             }
-            free.split_off(max_idle)
+            let excess = free.split_off(max_idle);
+            let bytes: usize = excess.iter().map(|v| v.capacity()).sum();
+            self.shared.idle_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            excess
         };
         self.shared
             .counters
@@ -205,9 +250,38 @@ impl BufferPool {
         drop(excess);
     }
 
+    /// Current idle byte budget (`usize::MAX` = unbounded).
+    pub fn max_idle_bytes(&self) -> usize {
+        self.shared.max_idle_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the free list by **bytes** instead of buffer count,
+    /// immediately evicting idle buffers *largest first* until the list
+    /// fits (counted in [`PoolStats::evicted`]). The count cap still
+    /// applies independently; `usize::MAX` removes the byte bound. This
+    /// is the knob that keeps a long-lived daemon's memory flat after a
+    /// burst of big transfers: the burst's oversized buffers are exactly
+    /// the ones released first.
+    pub fn set_max_idle_bytes(&self, max_idle_bytes: usize) {
+        self.shared
+            .max_idle_bytes
+            .store(max_idle_bytes, Ordering::Relaxed);
+        let evicted = {
+            let mut free = self.shared.free.lock();
+            self.shared.trim_to_byte_budget(&mut free)
+        };
+        if !evicted.is_empty() {
+            self.shared
+                .counters
+                .evicted
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        }
+        drop(evicted);
+    }
+
     /// Total bytes currently pinned by idle free-list buffers.
     pub fn idle_bytes(&self) -> usize {
-        self.shared.free.lock().iter().map(|v| v.capacity()).sum()
+        self.shared.idle_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -258,16 +332,30 @@ impl Drop for PooledBuf {
         };
         shared.counters.outstanding.fetch_sub(1, Ordering::Relaxed);
         let mut free = shared.free.lock();
-        // The cap is read under the free-list lock — the synchronization
-        // point `set_max_idle`'s trim uses — so a concurrent cap change
-        // can never be overshot by drops that loaded a stale cap.
+        // The caps are read under the free-list lock — the
+        // synchronization point the trims use — so a concurrent cap
+        // change can never be overshot by drops that loaded a stale cap.
         let max_idle = shared.max_idle.load(Ordering::Relaxed);
         if free.len() < max_idle {
             let mut vec = std::mem::take(&mut self.vec);
             vec.clear();
+            shared
+                .idle_bytes
+                .fetch_add(vec.capacity(), Ordering::Relaxed);
             free.push(vec);
+            // Byte budget: evict largest-first until the list fits. The
+            // just-returned buffer participates — after a big-transfer
+            // burst it is usually the oversized one that must go.
+            let evicted = shared.trim_to_byte_budget(&mut free);
             drop(free);
             shared.counters.returns.fetch_add(1, Ordering::Relaxed);
+            if !evicted.is_empty() {
+                shared
+                    .counters
+                    .evicted
+                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            }
+            drop(evicted);
         } else {
             // Free list full: the allocation is released normally, and
             // the release is observable as an eviction.
@@ -399,6 +487,71 @@ mod tests {
         drop(clone.get(1));
         assert_eq!(pool.stats().misses, 1, "clone must reuse the free list");
         assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_largest_first_after_a_burst() {
+        let pool = BufferPool::new(16);
+        pool.set_max_idle_bytes(64 << 10);
+        // Steady-state size classes plus a big-transfer burst.
+        {
+            let small: Vec<_> = (0..4).map(|_| pool.get(8 << 10)).collect();
+            let big = pool.get(1 << 20);
+            let bigger = pool.get(4 << 20);
+            drop(small);
+            // The burst buffers return last — like a real transfer whose
+            // frames outlive the steady-state packets.
+            drop(big);
+            drop(bigger);
+        }
+        // Largest-first: both burst buffers are gone (each alone exceeds
+        // the 64 KiB budget), the 8 KiB classes all stayed warm.
+        assert!(pool.idle_bytes() <= 64 << 10, "{} bytes", pool.idle_bytes());
+        assert_eq!(pool.idle(), 4, "steady-state buffers must survive");
+        let caps: Vec<usize> = {
+            let mut caps: Vec<usize> = Vec::new();
+            for _ in 0..4 {
+                caps.push(pool.get(1).capacity());
+            }
+            caps
+        };
+        assert!(
+            caps.iter().all(|&c| c < 1 << 20),
+            "a burst buffer survived the budget: {caps:?}"
+        );
+        assert_eq!(pool.stats().evicted, 2, "exactly the two burst buffers");
+    }
+
+    #[test]
+    fn lowering_the_byte_budget_trims_immediately_largest_first() {
+        let pool = BufferPool::new(16);
+        // Held simultaneously so three distinct allocations exist.
+        let (a, b, c) = (pool.get(4 << 10), pool.get(64 << 10), pool.get(16 << 10));
+        drop((a, b, c));
+        let before = pool.idle_bytes();
+        assert!(before >= 84 << 10);
+        pool.set_max_idle_bytes(24 << 10);
+        assert_eq!(pool.max_idle_bytes(), 24 << 10);
+        // The 64 KiB buffer goes first; 4 + 16 KiB fit the budget.
+        assert_eq!(pool.idle(), 2);
+        assert!(pool.idle_bytes() <= 24 << 10);
+        assert_eq!(pool.stats().evicted, 1);
+        // Unbounding lets big buffers pool again.
+        pool.set_max_idle_bytes(usize::MAX);
+        drop(pool.get(1 << 20));
+        assert!(pool.idle_bytes() >= 1 << 20);
+    }
+
+    #[test]
+    fn idle_bytes_gauge_tracks_checkouts_and_returns() {
+        let pool = BufferPool::new(8);
+        assert_eq!(pool.idle_bytes(), 0);
+        let a = pool.get(10 << 10);
+        let cap = a.capacity();
+        drop(a);
+        assert_eq!(pool.idle_bytes(), cap);
+        let _again = pool.get(10 << 10);
+        assert_eq!(pool.idle_bytes(), 0, "checkout must release the gauge");
     }
 
     #[test]

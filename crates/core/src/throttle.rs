@@ -35,6 +35,19 @@ pub trait Throttle: Send + Sync {
         let _ = bytes;
     }
 
+    /// Nonblocking form of [`Throttle::acquire_wire`] for event-driven
+    /// transports (the server's reactor): either the bytes are admitted
+    /// now (`Ok`), or the caller gets a hint of how long until the
+    /// budget could plausibly admit them (`Err(retry_after)`) and must
+    /// **park** the connection instead of spinning. A parked caller may
+    /// also be woken early through an out-of-band signal (the
+    /// scheduler's parked-waker); the hint is a ceiling, not a schedule.
+    /// Default: always admits, matching the blocking default.
+    fn try_acquire_wire(&self, bytes: usize) -> Result<(), Duration> {
+        let _ = bytes;
+        Ok(())
+    }
+
     /// Advisory relative scheduling weight of this connection's wire
     /// traffic — the hint a policy layer (e.g. a weighted fair
     /// scheduler sitting on [`Throttle::acquire_wire`]) exposes back

@@ -4,6 +4,7 @@
 //! adoc-serverd [--listen ADDR] [--max-conns N] [--budget-mbit F]
 //!              [--mode echo|sink] [--hello-timeout-ms N]
 //!              [--drain-deadline-ms N] [--pool-idle N]
+//!              [--pool-idle-bytes B]
 //!              [--default-tier control|paid|bulk]
 //!              [--tier-peer PREFIX=TIER]...
 //!              [--metrics-every-secs N] [--port-file PATH]
@@ -44,6 +45,7 @@ fn usage() -> ! {
         "usage: adoc-serverd [--listen ADDR] [--max-conns N] [--budget-mbit F]\n\
          \u{20}                   [--mode echo|sink] [--hello-timeout-ms N]\n\
          \u{20}                   [--drain-deadline-ms N] [--pool-idle N]\n\
+         \u{20}                   [--pool-idle-bytes B]\n\
          \u{20}                   [--default-tier control|paid|bulk]\n\
          \u{20}                   [--tier-peer PREFIX=TIER]...\n\
          \u{20}                   [--metrics-every-secs N] [--port-file PATH]\n\
@@ -112,6 +114,9 @@ fn main() {
                 )));
             }
             "--pool-idle" => builder = builder.pool_max_idle(Some(parse(&mut args, "--pool-idle"))),
+            "--pool-idle-bytes" => {
+                builder = builder.pool_max_idle_bytes(Some(parse(&mut args, "--pool-idle-bytes")))
+            }
             "--default-tier" => builder = builder.default_tier(parse(&mut args, "--default-tier")),
             "--tier-peer" => {
                 let spec: String = parse::<String>(&mut args, "--tier-peer");
@@ -179,24 +184,13 @@ fn main() {
     }
 
     // Optional periodic metrics on stderr (stdout stays machine-clean).
-    // The interval is slept in short slices so a drain is noticed within
-    // ~250 ms instead of up to a full interval.
+    // The interval wait doubles as the drain watch: a drain wakes the
+    // condvar immediately instead of being noticed on the next poll.
     let periodic = (metrics_every > 0).then(|| {
         let server = Arc::clone(handle.server());
         std::thread::spawn(move || {
-            let slice = Duration::from_millis(250);
-            'outer: loop {
-                let mut slept = Duration::ZERO;
-                while slept < Duration::from_secs(metrics_every) {
-                    if server.is_draining() {
-                        break 'outer;
-                    }
-                    std::thread::sleep(slice);
-                    slept += slice;
-                }
-                if server.is_draining() {
-                    break;
-                }
+            let interval = Duration::from_secs(metrics_every);
+            while !server.wait_until_draining(Some(interval)) {
                 eprintln!("{}", server.metrics_json());
             }
         })
@@ -233,10 +227,9 @@ fn main() {
         });
     }
 
-    // Serve until *any* transport requests a drain.
-    while !handle.server().is_draining() {
-        std::thread::sleep(Duration::from_millis(100));
-    }
+    // Serve until *any* transport requests a drain. The condvar wait
+    // means zero wakeups while serving — no 100 ms poll loop.
+    handle.server().wait_until_draining(None);
 
     eprintln!("adoc-serverd: draining…");
     let server = Arc::clone(handle.server());

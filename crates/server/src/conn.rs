@@ -22,11 +22,11 @@
 use crate::registry::{ConnId, ConnOutcome};
 use crate::Server;
 use adoc::{AdocSocket, AdocStreamGroup, SendReport, TransferStats};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server-wide drain state shared with every [`GuardedReader`].
 #[derive(Debug, Default)]
@@ -34,6 +34,9 @@ pub(crate) struct DrainState {
     pub(crate) draining: AtomicBool,
     /// Hard deadline for in-flight frames once draining.
     pub(crate) deadline: Mutex<Option<Instant>>,
+    /// Notified (under the `deadline` mutex) when a drain begins, so
+    /// waiters block instead of polling `is_draining`.
+    notify: Condvar,
 }
 
 impl DrainState {
@@ -42,12 +45,43 @@ impl DrainState {
     }
 
     /// True once draining *and* past the hard deadline.
-    fn deadline_passed(&self) -> bool {
+    pub(crate) fn deadline_passed(&self) -> bool {
         self.is_draining()
             && self
                 .deadline
                 .lock()
                 .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Marks the drain begun with `deadline` as its hard cutoff and
+    /// wakes every [`DrainState::wait_draining`] sleeper. Returns
+    /// whether this call was the one that started the drain.
+    pub(crate) fn begin(&self, deadline: Instant) -> bool {
+        let mut g = self.deadline.lock();
+        *g = Some(deadline);
+        let was_draining = self.draining.swap(true, Ordering::Relaxed);
+        self.notify.notify_all();
+        drop(g);
+        !was_draining
+    }
+
+    /// Blocks until a drain begins, or until `timeout` elapses when one
+    /// is given. Returns whether the server is draining.
+    pub(crate) fn wait_draining(&self, timeout: Option<Duration>) -> bool {
+        let wake_at = timeout.map(|t| Instant::now() + t);
+        let mut g = self.deadline.lock();
+        while !self.is_draining() {
+            match wake_at {
+                Some(at) => {
+                    if Instant::now() >= at {
+                        return false;
+                    }
+                    self.notify.wait_until(&mut g, at);
+                }
+                None => self.notify.wait(&mut g),
+            }
+        }
+        true
     }
 }
 

@@ -1,13 +1,16 @@
-//! The TCP front end: accept loop, protocol sniffing, stream-group
+//! The TCP front end: accept loop, reactor hand-off, stream-group
 //! matching, admission control, and graceful shutdown.
 //!
 //! ## Accepting mixed clients
 //!
-//! Every accepted socket is sniffed under the hello timeout. The first
-//! two bytes decide the protocol:
+//! Every accepted socket is handed to the [`crate::reactor::Reactor`],
+//! which sniffs it under the hello timeout (a reactor timer, not a
+//! blocking read). The first two bytes decide the protocol:
 //!
-//! * `0xAD 'G'` — a stream of a v2 group. The full [`GroupHello`] is
-//!   read and the socket parks in [`PendingGroups`] keyed by
+//! * `0xAD 'G'` — a stream of a v2 group. The reactor flips the socket
+//!   back to blocking and hands it to a dedicated thread; the full
+//!   [`GroupHello`] is read and the socket parks in [`PendingGroups`]
+//!   keyed by
 //!   `(peer IP, stream count, group token)`; the connection that
 //!   completes its group replies the acceptor hellos and serves the
 //!   whole group. Tokens make concurrent dials from one host (every
@@ -20,34 +23,36 @@
 //!   always announces a token. (The point-to-point
 //!   `AdocStreamGroup::accept` still accepts untokened hellos: a single
 //!   dedicated listener has no grouping ambiguity.)
-//! * `0xAD <kind>` — a plain v1 connection; the two sniffed bytes are
-//!   replayed in front of the socket and the message loop starts.
+//! * `0xAD <kind>` — a plain v1 connection; it stays on the reactor as
+//!   a nonblocking state machine for its whole life.
 //! * anything else — a protocol error: the socket is dropped and
 //!   counted as a handshake failure.
 //!
 //! A client that connects and never sends its hello (the classic
-//! wedge-the-accept-loop failure) times out, is counted, and the loop
-//! moves on.
+//! wedge-the-accept-loop failure) times out on its reactor timer, is
+//! counted, and nothing else notices.
 //!
 //! ## Admission and shutdown
 //!
-//! While `live + parked >= max_conns` the loop simply stops calling
-//! `accept` — excess dials queue in the kernel backlog (backpressure)
-//! instead of spawning unbounded threads. [`DaemonHandle::shutdown`]
-//! starts the server drain, stops the accept loop, expires parked
-//! sockets, and joins every serving thread.
+//! While `reactor live + parked >= max_conns` the loop simply stops
+//! calling `accept` — excess dials queue in the kernel backlog
+//! (backpressure) instead of registering unboundedly.
+//! [`DaemonHandle::shutdown`] starts the server drain, stops the accept
+//! loop, expires parked sockets, and shuts the reactor down (which
+//! closes every connection, bounded by the drain deadline).
 
 use crate::conn::{serve_messages, ConnCtl, GuardedReader, GuardedWriter, RegistryGuard};
 use crate::control::Control;
 use crate::event::Event;
 use crate::http::{self, HttpHandle};
+use crate::reactor::{Reactor, ReactorHandle};
 use crate::registry::ConnOutcome;
 use crate::Server;
-use adoc::wire::{GroupHello, GROUP_MAGIC, MAGIC};
-use adoc::{AdocError, AdocStreamGroup};
+use adoc::wire::GroupHello;
+use adoc::AdocStreamGroup;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{self, Read};
+use std::io;
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -153,7 +158,7 @@ pub struct DaemonHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<ReactorHandle>,
     pending: Arc<PendingGroups>,
     /// The embedded metrics/control HTTP listener, when the config
     /// names a `metrics_addr`.
@@ -193,9 +198,8 @@ impl DaemonHandle {
 
     /// Graceful drain shutdown: stop accepting, expire parked handshake
     /// sockets, let in-flight messages finish (bounded by the drain
-    /// deadline), join every thread. A panicked thread is reported as an
-    /// error but never short-circuits the remaining cleanup — every
-    /// other thread is still joined first.
+    /// deadline), shut the reactor down. A panicked thread is reported
+    /// as an error but never short-circuits the remaining cleanup.
     pub fn shutdown(mut self) -> io::Result<()> {
         self.server.begin_drain();
         self.stop.store(true, Ordering::Relaxed);
@@ -208,16 +212,17 @@ impl DaemonHandle {
         for _ in 0..self.pending.clear() {
             self.server.registry().count_handshake_failure();
         }
-        let threads: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conn_threads.lock());
-        for t in threads {
-            if t.join().is_err() {
-                first_err =
-                    first_err.or_else(|| Some(io::Error::other("a serving thread panicked")));
+        // The reactor closes boundary connections immediately, cuts
+        // stragglers at the drain deadline, and joins its group threads
+        // before its own thread exits.
+        if let Some(reactor) = self.reactor.take() {
+            if let Err(e) = reactor.shutdown() {
+                first_err = first_err.or(Some(e));
             }
         }
-        // Every serving thread has been joined: the drain is complete.
-        // Emitted before the HTTP listener stops so a final /events
-        // scrape can still observe it.
+        // Every connection has closed: the drain is complete. Emitted
+        // before the HTTP listener stops so a final /events scrape can
+        // still observe it.
         self.server.events().emit(Event::DrainFinished);
         if let Some(h) = self.metrics.take() {
             h.shutdown();
@@ -243,17 +248,17 @@ pub fn spawn(server: Arc<Server>, listen: impl ToSocketAddrs) -> io::Result<Daem
         None => None,
     };
     let stop = Arc::new(AtomicBool::new(false));
-    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let pending = Arc::new(PendingGroups::default());
+    let reactor = Reactor::spawn(Arc::clone(&server), Arc::clone(&pending))?;
 
     let accept_thread = {
         let server = Arc::clone(&server);
         let stop = Arc::clone(&stop);
-        let conn_threads = Arc::clone(&conn_threads);
+        let injector = reactor.injector();
         let pending = Arc::clone(&pending);
         thread::Builder::new()
             .name("adoc-accept".into())
-            .spawn(move || accept_loop(server, listener, stop, conn_threads, pending))?
+            .spawn(move || accept_loop(server, listener, stop, injector, pending))?
     };
 
     Ok(DaemonHandle {
@@ -261,7 +266,7 @@ pub fn spawn(server: Arc<Server>, listen: impl ToSocketAddrs) -> io::Result<Daem
         addr,
         stop,
         accept_thread: Some(accept_thread),
-        conn_threads,
+        reactor: Some(reactor),
         pending,
         metrics,
     })
@@ -271,7 +276,7 @@ fn accept_loop(
     server: Arc<Server>,
     listener: TcpListener,
     stop: Arc<AtomicBool>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: ReactorHandle,
     pending: Arc<PendingGroups>,
 ) {
     while !stop.load(Ordering::Relaxed) {
@@ -280,57 +285,22 @@ fn accept_loop(
         for _ in 0..pending.prune_expired(Instant::now()) {
             server.registry().count_handshake_failure();
         }
-        // Opportunistically reap finished serving threads so a long-
-        // lived daemon's thread list stays O(live connections). Finished
-        // handles are *joined* (a no-op wait), so a thread that panicked
-        // before shutdown is still reported instead of silently
-        // detached.
-        let running_threads = {
-            let mut g = conn_threads.lock();
-            let mut i = 0;
-            while i < g.len() {
-                if g[i].is_finished() {
-                    if g.swap_remove(i).join().is_err() {
-                        eprintln!("adoc-server: a serving thread panicked");
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            g.len()
-        };
 
         // Admission control: at the cap we simply stop accepting; the
         // kernel backlog backpressures the dialers. The count must cover
-        // *threads*, not just registered connections — a socket spends
-        // up to hello_timeout in its sniffing thread before it reaches
-        // the registry, and a dial burst would otherwise spawn
-        // unboundedly. Parked group streams have no thread of their own,
-        // so they are added on top; a serving thread whose connection is
-        // registered is intentionally counted once (as its thread).
-        let occupied = running_threads + pending.parked();
+        // every socket the reactor owns, not just registered
+        // connections — a socket spends up to hello_timeout in its
+        // sniff state before it reaches the registry, and a dial burst
+        // would otherwise register unboundedly. Parked group streams
+        // have no reactor entry of their own, so they are added on top.
+        let occupied = reactor.live() + pending.parked();
         if occupied >= server.config().max_conns {
             thread::sleep(ACCEPT_POLL);
             continue;
         }
 
         match listener.accept() {
-            Ok((stream, peer)) => {
-                let conn_server = Arc::clone(&server);
-                let conn_pending = Arc::clone(&pending);
-                let handle = thread::Builder::new()
-                    .name(format!("adoc-conn-{peer}"))
-                    .spawn(move || handle_connection(conn_server, conn_pending, stream, peer));
-                match handle {
-                    Ok(h) => conn_threads.lock().push(h),
-                    Err(e) => {
-                        // Thread spawn failed (resource exhaustion):
-                        // refuse the connection.
-                        eprintln!("adoc-server: cannot spawn serving thread: {e}");
-                        server.registry().count_handshake_failure();
-                    }
-                }
-            }
+            Ok((stream, peer)) => reactor.register(stream, peer),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(e) => {
                 eprintln!("adoc-server: accept failed: {e}");
@@ -340,78 +310,7 @@ fn accept_loop(
     }
 }
 
-/// Reads exactly `buf.len()` bytes under the already-armed socket
-/// timeout, mapping timeouts to the typed hello-timeout error.
-fn read_exact_hello(stream: &mut TcpStream, buf: &mut [u8], timeout: Duration) -> io::Result<()> {
-    stream
-        .read_exact(buf)
-        .map_err(|e| AdocError::map_hello_timeout(e, timeout))
-}
-
-fn handle_connection(
-    server: Arc<Server>,
-    pending: Arc<PendingGroups>,
-    mut stream: TcpStream,
-    peer: SocketAddr,
-) {
-    stream.set_nodelay(true).ok();
-    let hello_timeout = server.config().adoc.hello_timeout;
-    if stream.set_read_timeout(Some(hello_timeout)).is_err() {
-        server.registry().count_handshake_failure();
-        return;
-    }
-
-    // Sniff: both protocols start with the AdOC magic byte.
-    let mut sniff = [0u8; 2];
-    if read_exact_hello(&mut stream, &mut sniff, hello_timeout).is_err() || sniff[0] != MAGIC {
-        server.registry().count_handshake_failure();
-        return;
-    }
-
-    if sniff[1] == GROUP_MAGIC {
-        handle_group_stream(server, pending, stream, peer, sniff, hello_timeout);
-    } else if sniff[1] <= 1 {
-        // A v1 message header (kind byte 0 = direct, 1 = adaptive).
-        serve_v1(server, stream, peer, sniff.to_vec());
-    } else {
-        server.registry().count_handshake_failure();
-    }
-}
-
-fn serve_v1(server: Arc<Server>, stream: TcpStream, peer: SocketAddr, prefix: Vec<u8>) {
-    // Short read AND write timeouts are the drain wrappers' polling
-    // granularity: a client that stops reading its echo would otherwise
-    // block the reply in write_all past any drain deadline.
-    let poll = server.config().drain_poll;
-    if stream.set_read_timeout(Some(poll)).is_err() || stream.set_write_timeout(Some(poll)).is_err()
-    {
-        server.registry().count_handshake_failure();
-        return;
-    }
-    let reader = match stream.try_clone() {
-        Ok(r) => r,
-        Err(_) => {
-            server.registry().count_handshake_failure();
-            return;
-        }
-    };
-    let peer_label = peer.to_string();
-    let id = server.registry().register(peer_label.clone());
-    let _ghostbuster = RegistryGuard::new(&server, id);
-    let cfg = server.conn_config(id, 1, &peer_label);
-    server.registry().activate(id, 1);
-    let ctl = ConnCtl::new(server.drain_state());
-    let guarded_r = GuardedReader::new(reader, prefix, Arc::clone(&ctl), true);
-    let guarded_w = GuardedWriter::new(stream, Arc::clone(&ctl));
-    match adoc::AdocSocket::with_config(guarded_r, guarded_w, cfg) {
-        Ok(mut sock) => {
-            let _ = serve_messages(&server, id, &mut sock, &ctl);
-        }
-        Err(_) => server.registry().remove(id, ConnOutcome::Failed),
-    }
-}
-
-fn handle_group_stream(
+pub(crate) fn handle_group_stream(
     server: Arc<Server>,
     pending: Arc<PendingGroups>,
     mut stream: TcpStream,

@@ -114,6 +114,14 @@ pub enum Event<'a> {
         /// Registry id, if the socket got far enough to register.
         conn: Option<ConnId>,
     },
+    /// A serving connection died from an internal fault rather than
+    /// peer behaviour — e.g. a codec worker job panicked or failed.
+    ConnError {
+        /// Registry id, if the connection had registered.
+        conn: Option<ConnId>,
+        /// Human-readable cause.
+        error: &'a str,
+    },
     /// The serve loop finished one message (received + replied).
     MessageServed {
         /// Registry id.
@@ -164,6 +172,22 @@ pub enum Event<'a> {
         /// New budget (`None` = unlimited).
         bytes_per_sec: Option<f64>,
     },
+    /// The reactor completed one poll-dispatch cycle. Emitted only for
+    /// ticks that dispatched at least one readiness event or completion
+    /// (idle wakeups are not reported), so an idle daemon stays silent.
+    ReactorTick {
+        /// Sockets whose readiness was dispatched this tick.
+        ready: usize,
+        /// Connections currently parked on a throttle refusal.
+        parked: usize,
+    },
+    /// A codec job was queued to the worker pool; `depth` is the queue
+    /// length after enqueue — sustained growth means compression has
+    /// become the bottleneck the paper says it must never be.
+    WorkerQueueDepth {
+        /// Jobs waiting (not yet picked up) after this enqueue.
+        depth: usize,
+    },
 }
 
 impl Event<'_> {
@@ -175,6 +199,7 @@ impl Event<'_> {
             Event::ConnAdmitted { .. } => "conn_admitted",
             Event::ConnClosed { .. } => "conn_closed",
             Event::HandshakeFailed { .. } => "handshake_failed",
+            Event::ConnError { .. } => "conn_error",
             Event::MessageServed { .. } => "message_served",
             Event::SchedWait { .. } => "sched_wait",
             Event::RefillEpoch { .. } => "refill_epoch",
@@ -183,6 +208,8 @@ impl Event<'_> {
             Event::DrainFinished => "drain_finished",
             Event::PoolEvict { .. } => "pool_evict",
             Event::BudgetChanged { .. } => "budget_changed",
+            Event::ReactorTick { .. } => "reactor_tick",
+            Event::WorkerQueueDepth { .. } => "worker_queue_depth",
         }
     }
 }
@@ -217,6 +244,7 @@ pub trait Subscriber: Send + Sync {
                 messages,
             } => self.on_conn_closed(meta, conn, outcome, messages),
             Event::HandshakeFailed { conn } => self.on_handshake_failed(meta, conn),
+            Event::ConnError { conn, error } => self.on_conn_error(meta, conn, error),
             Event::MessageServed {
                 conn,
                 raw_bytes,
@@ -229,6 +257,8 @@ pub trait Subscriber: Send + Sync {
             Event::DrainFinished => self.on_drain_finished(meta),
             Event::PoolEvict { evicted } => self.on_pool_evict(meta, evicted),
             Event::BudgetChanged { bytes_per_sec } => self.on_budget_changed(meta, bytes_per_sec),
+            Event::ReactorTick { ready, parked } => self.on_reactor_tick(meta, ready, parked),
+            Event::WorkerQueueDepth { depth } => self.on_worker_queue_depth(meta, depth),
         }
     }
 
@@ -240,6 +270,8 @@ pub trait Subscriber: Send + Sync {
     fn on_conn_closed(&self, meta: &EventMeta, conn: ConnId, outcome: ConnOutcome, messages: u64) {}
     /// A handshake failed.
     fn on_handshake_failed(&self, meta: &EventMeta, conn: Option<ConnId>) {}
+    /// A connection failed from an internal fault (worker panic…).
+    fn on_conn_error(&self, meta: &EventMeta, conn: Option<ConnId>, error: &str) {}
     /// One message was served.
     fn on_message_served(&self, meta: &EventMeta, conn: ConnId, raw: u64, reply_wire: u64) {}
     /// A blocked admission was admitted after `waited`.
@@ -256,6 +288,10 @@ pub trait Subscriber: Send + Sync {
     fn on_pool_evict(&self, meta: &EventMeta, evicted: u64) {}
     /// The budget was retuned.
     fn on_budget_changed(&self, meta: &EventMeta, bytes_per_sec: Option<f64>) {}
+    /// The reactor dispatched a non-idle poll cycle.
+    fn on_reactor_tick(&self, meta: &EventMeta, ready: usize, parked: usize) {}
+    /// A codec job entered the worker-pool queue.
+    fn on_worker_queue_depth(&self, meta: &EventMeta, depth: usize) {}
 }
 
 struct SubscriberEntry {
@@ -396,6 +432,12 @@ pub struct EventCounts {
     pub budget_changes: u64,
     /// `DrainStarted` events (0 or 1 in a normal lifetime).
     pub drains: u64,
+    /// `ReactorTick` events (non-idle poll cycles).
+    pub reactor_ticks: u64,
+    /// `WorkerQueueDepth` events (codec jobs enqueued).
+    pub worker_jobs: u64,
+    /// Deepest worker-pool queue observed at enqueue time.
+    pub worker_queue_peak: u64,
 }
 
 /// The aggregating built-in subscriber: lock-free counters a metrics
@@ -417,6 +459,9 @@ pub struct MetricsSubscriber {
     pool_evictions: AtomicU64,
     budget_changes: AtomicU64,
     drains: AtomicU64,
+    reactor_ticks: AtomicU64,
+    worker_jobs: AtomicU64,
+    worker_queue_peak: AtomicU64,
 }
 
 impl MetricsSubscriber {
@@ -440,6 +485,9 @@ impl MetricsSubscriber {
             pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
             budget_changes: self.budget_changes.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
+            reactor_ticks: self.reactor_ticks.load(Ordering::Relaxed),
+            worker_jobs: self.worker_jobs.load(Ordering::Relaxed),
+            worker_queue_peak: self.worker_queue_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -479,6 +527,14 @@ impl Subscriber for MetricsSubscriber {
     }
     fn on_budget_changed(&self, _m: &EventMeta, _bytes_per_sec: Option<f64>) {
         self.budget_changes.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_reactor_tick(&self, _m: &EventMeta, _ready: usize, _parked: usize) {
+        self.reactor_ticks.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_worker_queue_depth(&self, _m: &EventMeta, depth: usize) {
+        self.worker_jobs.fetch_add(1, Ordering::Relaxed);
+        self.worker_queue_peak
+            .fetch_max(depth as u64, Ordering::Relaxed);
     }
 }
 
@@ -623,6 +679,15 @@ pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
             }
             None => out.push_str(", \"conn\": null"),
         },
+        Event::ConnError { conn, error } => {
+            match conn {
+                Some(conn) => {
+                    let _ = write!(out, ", \"conn\": {conn}");
+                }
+                None => out.push_str(", \"conn\": null"),
+            }
+            let _ = write!(out, ", \"error\": \"{}\"", json_escape(error));
+        }
         Event::MessageServed {
             conn,
             raw_bytes,
@@ -656,6 +721,12 @@ pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
             }
             None => out.push_str(", \"bytes_per_sec\": null"),
         },
+        Event::ReactorTick { ready, parked } => {
+            let _ = write!(out, ", \"ready\": {ready}, \"parked\": {parked}");
+        }
+        Event::WorkerQueueDepth { depth } => {
+            let _ = write!(out, ", \"depth\": {depth}");
+        }
     }
     out.push('}');
     out
@@ -804,6 +875,48 @@ mod tests {
         let lines = log.json_lines_since(6);
         assert_eq!(lines.lines().count(), 2);
         assert!(lines.contains("\"event\": \"refill_epoch\""));
+    }
+
+    #[test]
+    fn reactor_and_worker_events_aggregate_and_render() {
+        let sub = MetricsSubscriber::new();
+        let meta = EventMeta {
+            seq: 1,
+            t: Duration::from_millis(2),
+        };
+        sub.on_event(
+            &meta,
+            &Event::ReactorTick {
+                ready: 5,
+                parked: 2,
+            },
+        );
+        sub.on_event(
+            &meta,
+            &Event::ReactorTick {
+                ready: 1,
+                parked: 0,
+            },
+        );
+        sub.on_event(&meta, &Event::WorkerQueueDepth { depth: 3 });
+        sub.on_event(&meta, &Event::WorkerQueueDepth { depth: 1 });
+        let c = sub.counts();
+        assert_eq!(c.reactor_ticks, 2);
+        assert_eq!(c.worker_jobs, 2);
+        assert_eq!(c.worker_queue_peak, 3, "peak holds the high-water mark");
+
+        let line = render_json_line(
+            &meta,
+            &Event::ReactorTick {
+                ready: 5,
+                parked: 2,
+            },
+        );
+        assert!(line.contains("\"event\": \"reactor_tick\""), "{line}");
+        assert!(line.contains("\"ready\": 5, \"parked\": 2"), "{line}");
+        let line = render_json_line(&meta, &Event::WorkerQueueDepth { depth: 3 });
+        assert!(line.contains("\"event\": \"worker_queue_depth\""), "{line}");
+        assert!(line.contains("\"depth\": 3"), "{line}");
     }
 
     #[test]

@@ -22,12 +22,20 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Accept-loop poll interval while idle; also the per-request socket
-/// read/write timeout (a stuck client cannot wedge the listener for
+/// read/write timeout (a *silent* client cannot wedge the listener for
 /// longer than this).
 const HTTP_POLL: Duration = Duration::from_millis(50);
+
+/// Hard wall-clock budget for reading one whole request. The socket
+/// timeout above only bounds each individual read — a client dripping
+/// one byte per poll interval would pass every per-read check while
+/// holding the serial listener for minutes. Every read also checks
+/// this total deadline, so the worst case a slow client can inflict is
+/// `REQUEST_DEADLINE + HTTP_POLL`.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Largest accepted request head + body; far above any legitimate
 /// control request.
@@ -132,12 +140,35 @@ impl Response {
     }
 }
 
+/// A read half that enforces the whole-request deadline on top of the
+/// per-read socket timeout.
+struct DeadlineReader {
+    inner: TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
 fn serve_request(control: &Control, mut stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(HTTP_POLL))?;
     stream.set_write_timeout(Some(HTTP_POLL))?;
     stream.set_nodelay(true).ok();
 
-    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES as u64);
+    let reader = DeadlineReader {
+        inner: stream.try_clone()?,
+        deadline: Instant::now() + REQUEST_DEADLINE,
+    };
+    let mut reader = BufReader::new(reader).take(MAX_REQUEST_BYTES as u64);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     let mut parts = request_line.split_whitespace();
@@ -259,6 +290,58 @@ fn write_response(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Server, ServerConfig};
+
+    #[test]
+    fn a_drip_feeding_client_cannot_wedge_the_listener() {
+        let server = Server::new(ServerConfig::builder().build().expect("config")).expect("server");
+        let handle = spawn(Control::new(server), "127.0.0.1:0").expect("listener");
+        let addr = handle.addr();
+
+        // Slowloris: connects first and drips one byte per ~25 ms —
+        // each individual read succeeds, so only the whole-request
+        // deadline can cut it loose.
+        let stop = Arc::new(AtomicBool::new(false));
+        let drip = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("drip connect");
+                while !stop.load(Ordering::Relaxed) {
+                    if s.write_all(b"G").is_err() {
+                        break; // listener cut us: mission accomplished
+                    }
+                    thread::sleep(Duration::from_millis(25));
+                }
+            })
+        };
+        thread::sleep(Duration::from_millis(200)); // drip holds the serial listener
+
+        // A well-behaved scrape queued behind the drip must still be
+        // answered once the deadline cuts the stalled request.
+        let t0 = Instant::now();
+        let mut scrape = TcpStream::connect(addr).expect("scrape connect");
+        scrape
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        scrape
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut resp = String::new();
+        scrape.read_to_string(&mut resp).expect("response");
+        assert!(
+            resp.starts_with("HTTP/1.1 200"),
+            "scrape failed: {resp:.60}"
+        );
+        assert!(
+            t0.elapsed() < REQUEST_DEADLINE + Duration::from_secs(5),
+            "scrape waited {:?} — the drip client wedged the listener",
+            t0.elapsed()
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        drip.join().expect("drip thread");
+        handle.shutdown();
+    }
 
     #[test]
     fn query_params_are_extracted_by_name() {

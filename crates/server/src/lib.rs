@@ -47,8 +47,11 @@ pub mod daemon;
 pub mod event;
 pub mod http;
 pub mod metrics;
+pub mod poll;
+pub mod reactor;
 pub mod registry;
 pub mod sched;
+pub mod workers;
 
 pub use conn::{fnv1a64, sink_ack, ServeMode};
 pub use control::{parse_command, Command, Control};
@@ -60,6 +63,7 @@ pub use http::HttpHandle;
 pub use metrics::MetricsDoc;
 pub use registry::{ConnOutcome, ConnRegistry, ConnSnapshot, ConnState, RegistryTotals};
 pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler, Tier};
+pub use workers::{WorkerGauges, WorkerPool, WorkerStats};
 
 use adoc::{AdocConfig, AdocError, AdocSocket, BufferPool};
 use conn::{ConnCtl, DrainState, GuardedReader, RegistryGuard};
@@ -95,6 +99,11 @@ pub struct ServerConfig {
     /// Idle-buffer cap applied to the shared pool (`None` keeps the
     /// pool's own cap).
     pub pool_max_idle: Option<usize>,
+    /// Idle-buffer **byte** budget applied to the shared pool: when the
+    /// total capacity of idle buffers exceeds it, the largest are
+    /// released first, so memory deflates after a big-transfer burst
+    /// instead of pinning history (`None` keeps the pool's own budget).
+    pub pool_max_idle_bytes: Option<usize>,
     /// Scheduling tier assigned to connections no override matches.
     pub default_tier: Tier,
     /// Peer-prefix tier overrides, first match wins: a connection whose
@@ -127,6 +136,7 @@ impl Default for ServerConfig {
             drain_poll: Duration::from_millis(100),
             drain_deadline: Duration::from_secs(30),
             pool_max_idle: Some(64),
+            pool_max_idle_bytes: Some(64 << 20),
             default_tier: Tier::Bulk,
             tier_overrides: Vec::new(),
             metrics_addr: None,
@@ -146,6 +156,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("drain_poll", &self.drain_poll)
             .field("drain_deadline", &self.drain_deadline)
             .field("pool_max_idle", &self.pool_max_idle)
+            .field("pool_max_idle_bytes", &self.pool_max_idle_bytes)
             .field("default_tier", &self.default_tier)
             .field("tier_overrides", &self.tier_overrides)
             .field("metrics_addr", &self.metrics_addr)
@@ -227,6 +238,13 @@ impl ServerConfigBuilder {
     /// Idle-buffer cap applied to the shared pool.
     pub fn pool_max_idle(mut self, cap: Option<usize>) -> Self {
         self.cfg.pool_max_idle = cap;
+        self
+    }
+
+    /// Idle-buffer byte budget applied to the shared pool
+    /// (largest-first eviction above it).
+    pub fn pool_max_idle_bytes(mut self, budget: Option<usize>) -> Self {
+        self.cfg.pool_max_idle_bytes = budget;
         self
     }
 
@@ -316,6 +334,9 @@ pub struct Server {
     bus: Arc<EventBus>,
     metrics_sub: Arc<MetricsSubscriber>,
     event_log: Arc<EventLog>,
+    /// Worker-pool gauges: the reactor's [`WorkerPool`] updates them
+    /// while it runs; the metrics document reads them unconditionally.
+    worker_gauges: Arc<WorkerGauges>,
     /// Pool evictions already reported as [`Event::PoolEvict`] — the
     /// pool counter is monotonic, so the delta since this watermark is
     /// what a new event carries.
@@ -345,6 +366,9 @@ impl Server {
         if let Some(cap) = cfg.pool_max_idle {
             cfg.adoc.pool.set_max_idle(cap);
         }
+        if let Some(budget) = cfg.pool_max_idle_bytes {
+            cfg.adoc.pool.set_max_idle_bytes(budget);
+        }
         let metrics_sub = Arc::new(MetricsSubscriber::new());
         let event_log = Arc::new(EventLog::new(cfg.event_log_cap));
         let mut subs: Vec<Arc<dyn Subscriber>> = Vec::new();
@@ -364,6 +388,7 @@ impl Server {
             bus,
             metrics_sub,
             event_log,
+            worker_gauges: Arc::new(WorkerGauges::default()),
             evictions_seen: AtomicU64::new(0),
         }))
     }
@@ -390,6 +415,12 @@ impl Server {
         &self.bus
     }
 
+    /// An owning handle on the event bus, for components that outlive a
+    /// borrow of the server (the reactor's worker pool).
+    pub(crate) fn events_shared(&self) -> Arc<EventBus> {
+        Arc::clone(&self.bus)
+    }
+
     /// The built-in bounded event log (empty if instrumentation is
     /// off).
     pub fn event_log(&self) -> &EventLog {
@@ -405,6 +436,18 @@ impl Server {
     /// The daemon-wide shared buffer pool.
     pub fn pool(&self) -> &BufferPool {
         &self.cfg.adoc.pool
+    }
+
+    /// The worker-pool gauge block (shared with the reactor's
+    /// [`WorkerPool`] while one runs).
+    pub fn worker_gauges(&self) -> &Arc<WorkerGauges> {
+        &self.worker_gauges
+    }
+
+    /// Snapshot of the codec worker pool (all zeros when no reactor is
+    /// running — e.g. a bare [`Server::serve_stream`] embedder).
+    pub fn worker_stats(&self) -> workers::WorkerStats {
+        self.worker_gauges.snapshot()
     }
 
     /// What the server does with received messages.
@@ -423,13 +466,9 @@ impl Server {
     /// served. The TCP front end additionally stops accepting.
     /// Idempotent; [`Event::DrainStarted`] fires only on the first call.
     pub fn begin_drain(&self) {
-        *self.drain.deadline.lock() = Some(Instant::now() + self.cfg.drain_deadline);
-        let was_draining = self
-            .drain
-            .draining
-            .swap(true, std::sync::atomic::Ordering::Relaxed);
+        let started = self.drain.begin(Instant::now() + self.cfg.drain_deadline);
         self.registry.mark_all_draining();
-        if !was_draining {
+        if started {
             self.bus.emit(Event::DrainStarted);
         }
     }
@@ -437,6 +476,13 @@ impl Server {
     /// True once a drain has started.
     pub fn is_draining(&self) -> bool {
         self.drain.is_draining()
+    }
+
+    /// Blocks (no polling — a condvar signalled by [`Server::begin_drain`])
+    /// until a drain begins, or until `timeout` elapses when one is
+    /// given. Returns whether the server is draining.
+    pub fn wait_until_draining(&self, timeout: Option<Duration>) -> bool {
+        self.drain.wait_draining(timeout)
     }
 
     pub(crate) fn drain_state(&self) -> Arc<DrainState> {
@@ -638,10 +684,12 @@ mod tests {
     fn pool_idle_cap_is_applied() {
         let cfg = ServerConfig::builder()
             .pool_max_idle(Some(7))
+            .pool_max_idle_bytes(Some(3 << 20))
             .build()
             .unwrap();
         let server = Server::new(cfg).unwrap();
         assert_eq!(server.pool().max_idle(), 7);
+        assert_eq!(server.pool().max_idle_bytes(), 3 << 20);
     }
 
     #[test]
@@ -653,6 +701,7 @@ mod tests {
             .drain_poll(Duration::from_millis(5))
             .drain_deadline(Duration::from_secs(2))
             .pool_max_idle(None)
+            .pool_max_idle_bytes(Some(8 << 20))
             .default_tier(Tier::Paid)
             .tier_override("vip-", Tier::Control)
             .metrics_addr("127.0.0.1:0")
@@ -661,6 +710,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(cfg.max_conns, 3);
+        assert_eq!(cfg.pool_max_idle_bytes, Some(8 << 20));
         assert_eq!(cfg.budget_bytes_per_sec, Some(1e6));
         assert_eq!(cfg.mode, ServeMode::Sink);
         assert_eq!(cfg.default_tier, Tier::Paid);

@@ -17,7 +17,8 @@
 //!   "uptime_secs": 1.0, "draining": false, "mode": "echo",
 //!   "budget_bytes_per_sec": 1000000.0,
 //!   "sched": { "work_conserving": true, "drain_admitted": 0,
-//!              "total_admitted": 123456, "utilization": 0.87 },
+//!              "total_admitted": 123456, "utilization": 0.87,
+//!              "parked_on_throttle": 0 },
 //!   "events": { "last_seq": 42, "log_len": 42, "log_dropped": 0,
 //!               "subscribers_poisoned": 0,
 //!               "counts": { "conns_accepted": 1, "conns_admitted": 1,
@@ -25,7 +26,11 @@
 //!                           "messages_served": 1, "sched_waits": 0,
 //!                           "sched_wait_secs": 0.0, "refill_epochs": 0,
 //!                           "level_changes": 0, "pool_evictions": 0,
-//!                           "budget_changes": 0, "drains": 0 } },
+//!                           "budget_changes": 0, "drains": 0,
+//!                           "reactor_ticks": 0, "worker_jobs": 0,
+//!                           "worker_queue_peak": 0 } },
+//!   "workers": { "threads": 1, "queued": 0, "in_flight": 0,
+//!                "completed": 0, "panics": 0, "queue_peak": 0 },
 //!   "totals": { "accepted": 1, "completed": 1, "failed": 0,
 //!               "handshake_failures": 0, "messages": 1,
 //!               "raw_bytes": 1, "reply_wire_bytes": 1 },
@@ -49,6 +54,7 @@
 use crate::event::{json_escape, EventCounts};
 use crate::registry::{ConnId, RegistryTotals};
 use crate::sched::{BucketSnapshot, Tier};
+use crate::workers::WorkerStats;
 use crate::{ServeMode, Server};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -67,6 +73,9 @@ pub struct SchedMetrics {
     /// `total_admitted / (budget × uptime)` — the fraction of the
     /// configured budget actually spent; `None` when unlimited.
     pub utilization: Option<f64>,
+    /// Connections currently parked in the reactor on a throttle
+    /// refusal (nonblocking admissions awaiting refill credit).
+    pub parked_on_throttle: usize,
 }
 
 /// Event-layer section of a metrics document.
@@ -157,6 +166,8 @@ pub struct MetricsDoc {
     pub sched: SchedMetrics,
     /// Event-layer section.
     pub events: EventsMetrics,
+    /// Codec worker-pool section (all zeros when no reactor runs).
+    pub workers: WorkerStats,
     /// Registry lifetime totals.
     pub totals: RegistryTotals,
     /// Shared-pool section.
@@ -220,7 +231,9 @@ impl MetricsDoc {
                 drain_admitted: server.scheduler().drain_snapshot().admitted,
                 total_admitted,
                 utilization,
+                parked_on_throttle: server.scheduler().parked(),
             },
+            workers: server.worker_stats(),
             events: EventsMetrics {
                 last_seq: server.events().last_seq(),
                 log_len: server.event_log().len(),
@@ -252,7 +265,7 @@ impl MetricsDoc {
         let _ = writeln!(
             out,
             "  \"sched\": {{ \"work_conserving\": {}, \"drain_admitted\": {}, \
-             \"total_admitted\": {}, \"utilization\": {} }},",
+             \"total_admitted\": {}, \"utilization\": {}, \"parked_on_throttle\": {} }},",
             self.sched.work_conserving,
             self.sched.drain_admitted,
             self.sched.total_admitted,
@@ -260,6 +273,7 @@ impl MetricsDoc {
                 Some(u) => format!("{u:.4}"),
                 None => "null".into(),
             },
+            self.sched.parked_on_throttle,
         );
         let c = &self.events.counts;
         let _ = writeln!(
@@ -277,7 +291,8 @@ impl MetricsDoc {
              \"conns_closed\": {}, \"handshake_failures\": {}, \"messages_served\": {}, \
              \"sched_waits\": {}, \"sched_wait_secs\": {:.6}, \"refill_epochs\": {}, \
              \"level_changes\": {}, \"pool_evictions\": {}, \"budget_changes\": {}, \
-             \"drains\": {} }} }},",
+             \"drains\": {}, \"reactor_ticks\": {}, \"worker_jobs\": {}, \
+             \"worker_queue_peak\": {} }} }},",
             c.conns_accepted,
             c.conns_admitted,
             c.conns_closed,
@@ -290,6 +305,16 @@ impl MetricsDoc {
             c.pool_evictions,
             c.budget_changes,
             c.drains,
+            c.reactor_ticks,
+            c.worker_jobs,
+            c.worker_queue_peak,
+        );
+        let w = &self.workers;
+        let _ = writeln!(
+            out,
+            "  \"workers\": {{ \"threads\": {}, \"queued\": {}, \"in_flight\": {}, \
+             \"completed\": {}, \"panics\": {}, \"queue_peak\": {} }},",
+            w.threads, w.queued, w.in_flight, w.completed, w.panics, w.queue_peak,
         );
         self.render_tail(&mut out);
         out
@@ -430,6 +455,10 @@ mod tests {
             "\"drain_admitted\": 0",
             "\"total_admitted\": 0",
             "\"utilization\": 0.0000",
+            "\"parked_on_throttle\": 0",
+            "\"workers\": { \"threads\": 0, \"queued\": 0, \"in_flight\": 0",
+            "\"reactor_ticks\": 0",
+            "\"worker_queue_peak\": 0",
             "\"events\":",
             "\"last_seq\":",
             "\"subscribers_poisoned\": 0",
@@ -475,6 +504,8 @@ mod tests {
             "v1 must not grow new sections:\n{doc}"
         );
         assert!(!doc.contains("total_admitted"), "{doc}");
+        assert!(!doc.contains("\"workers\""), "{doc}");
+        assert!(!doc.contains("parked_on_throttle"), "{doc}");
     }
 
     #[test]

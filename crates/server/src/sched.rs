@@ -188,6 +188,12 @@ struct Bucket {
     tokens: f64,
     /// Threads currently blocked in `acquire` on this bucket.
     waiters: usize,
+    /// When a nonblocking admission ([`FairScheduler`]'s `try_acquire`
+    /// path) was refused and the connection parked in its reactor —
+    /// `Some(instant)` makes the bucket backlogged exactly like a
+    /// blocked waiter, so refills keep crediting it while it sleeps off
+    /// the lock.
+    parked_since: Option<Instant>,
     /// Shared counters (also referenced by the directory and the
     /// connection's throttle handle).
     stats: Arc<ConnStats>,
@@ -196,6 +202,13 @@ struct Bucket {
 impl Bucket {
     fn weight(&self) -> f64 {
         self.stats.weight
+    }
+
+    /// True when an admission is pending on this bucket — blocked on the
+    /// condvar or parked in a reactor. Backlogged buckets get phase-1
+    /// refill credit and count toward the max-min share denominator.
+    fn backlogged(&self) -> bool {
+        self.waiters > 0 || self.parked_since.is_some()
     }
 }
 
@@ -214,6 +227,9 @@ struct Pacing {
     /// Total blocked threads across all buckets (incl. the drain
     /// bucket); refills only notify when this is non-zero.
     waiters: usize,
+    /// Buckets currently parked on a refused nonblocking admission;
+    /// refills only invoke the parked-waker when this is non-zero.
+    parked: usize,
 }
 
 impl Pacing {
@@ -226,7 +242,7 @@ impl Pacing {
     /// Sum of the weights of buckets with blocked waiters — the
     /// denominator for a waiter's max-min share prediction.
     fn backlogged_weight(&self) -> f64 {
-        let mut w = if self.drain.waiters > 0 {
+        let mut w = if self.drain.backlogged() {
             self.drain.weight()
         } else {
             0.0
@@ -234,7 +250,7 @@ impl Pacing {
         w += self
             .buckets
             .values()
-            .filter(|b| b.waiters > 0)
+            .filter(|b| b.backlogged())
             .map(Bucket::weight)
             .sum::<f64>();
         w
@@ -273,7 +289,7 @@ impl Pacing {
 
         // Phase 1: backlogged buckets split the whole epoch's credit.
         let surplus = Self::water_fill(
-            self.phase_buckets(|b| b.waiters > 0),
+            self.phase_buckets(|b| b.backlogged()),
             credit,
             budget,
             total_weight,
@@ -282,7 +298,7 @@ impl Pacing {
         // not hold. Credit beyond every cap evaporates (nobody may hoard
         // more than a burst).
         Self::water_fill(
-            self.phase_buckets(|b| b.waiters == 0),
+            self.phase_buckets(|b| !b.backlogged()),
             surplus,
             budget,
             total_weight,
@@ -355,7 +371,6 @@ impl Pacing {
     }
 }
 
-#[derive(Debug)]
 struct Inner {
     /// Lock-free mirror of `pacing.budget` (f64 bits, NaN = unlimited)
     /// so an unlimited scheduler's admissions and the metrics path's
@@ -380,6 +395,31 @@ struct Inner {
     /// [`Event::BudgetChanged`] go. Emission always happens *after* the
     /// pacing lock is released.
     bus: Arc<EventBus>,
+    /// Lock-free mirror of `pacing.parked` — the
+    /// `sched.parked_on_throttle` metrics gauge, and the fast check
+    /// that skips the waker lock when nothing is parked.
+    parked_count: AtomicU64,
+    /// Out-of-band wakeup for parked (reactor-driven) admissions:
+    /// invoked — after the pacing lock is released — whenever a refill,
+    /// deregistration, or budget change could admit a parked
+    /// connection earlier than its retry hint.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field(
+                "budget",
+                &f64::from_bits(self.budget_bits.load(Ordering::Relaxed)),
+            )
+            .field("parked", &self.parked_count.load(Ordering::Relaxed))
+            .field(
+                "total_admitted",
+                &self.total_admitted.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 /// Shared work-conserving scheduler: cheap to clone, one per server.
@@ -444,16 +484,20 @@ impl FairScheduler {
                     drain: Bucket {
                         tokens: MIN_BURST,
                         waiters: 0,
+                        parked_since: None,
                         stats: Arc::clone(&drain_stats),
                     },
                     last_refill: Instant::now(),
                     waiters: 0,
+                    parked: 0,
                 }),
                 refilled: Condvar::new(),
                 directory: Mutex::new(HashMap::new()),
                 drain_stats,
                 total_admitted: AtomicU64::new(0),
                 bus,
+                parked_count: AtomicU64::new(0),
+                waker: Mutex::new(None),
             }),
         }
     }
@@ -510,6 +554,7 @@ impl FairScheduler {
         );
         drop(p);
         self.inner.refilled.notify_all();
+        self.wake_parked();
         self.inner.bus.emit(Event::BudgetChanged {
             bytes_per_sec: budget_bytes_per_sec,
         });
@@ -548,6 +593,7 @@ impl FairScheduler {
             Bucket {
                 tokens,
                 waiters: 0,
+                parked_since: None,
                 stats: Arc::clone(&stats),
             },
         );
@@ -644,12 +690,16 @@ impl FairScheduler {
                     p.waiters -= 1;
                 }
                 let wake = refilled && p.waiters > 0;
+                let wake_parked = refilled && p.parked > 0;
                 drop(p);
                 if wake {
                     // The refill this admission performed may have paid
                     // off someone else's debt; wake them now instead of
                     // at their pessimistic deadline.
                     self.inner.refilled.notify_all();
+                }
+                if wake_parked {
+                    self.wake_parked();
                 }
                 self.inner
                     .total_admitted
@@ -685,6 +735,94 @@ impl FairScheduler {
         }
     }
 
+    /// Nonblocking admission for `conn`: either the bytes are admitted
+    /// and charged now (`Ok`), or the bucket is marked **parked** and
+    /// the caller gets the same debt-clearing prediction a blocking
+    /// waiter would sleep on (`Err(retry_after)`). A parked bucket is
+    /// backlogged for refill purposes — credit keeps flowing to it
+    /// while the connection sits in its reactor — and the registered
+    /// parked-waker fires on any event that could admit it early
+    /// (refills by other admissions, deregistrations, budget changes).
+    /// The eventual admission emits one [`Event::SchedWait`] covering
+    /// the whole parked episode, exactly like a blocking wait.
+    fn try_acquire_paced(&self, conn: u64, bytes: usize) -> Result<(), Duration> {
+        let mut p = self.inner.pacing.lock();
+        let now = Instant::now();
+        // A parked retry is the event the connection slept for: force
+        // the refill past MIN_EPOCH_SECS, mirroring a deadline wake.
+        let force = p.bucket_mut(conn).parked_since.is_some();
+        let credit = p.refill(now, force);
+        let refilled = credit > 0.0;
+        let budget = p.budget;
+        let b = p.bucket_mut(conn);
+        if budget.is_none() || b.tokens > 0.0 {
+            if budget.is_some() {
+                b.tokens -= bytes as f64;
+                b.stats.store_tokens(b.tokens);
+            }
+            b.stats.admitted.fetch_add(bytes as u64, Ordering::Relaxed);
+            let tier = b.stats.tier;
+            let parked_since = b.parked_since.take();
+            if parked_since.is_some() {
+                p.parked -= 1;
+                self.inner.parked_count.fetch_sub(1, Ordering::Relaxed);
+            }
+            let wake_waiters = refilled && p.waiters > 0;
+            let wake_parked = refilled && p.parked > 0;
+            drop(p);
+            if wake_waiters {
+                self.inner.refilled.notify_all();
+            }
+            if wake_parked {
+                self.wake_parked();
+            }
+            self.inner
+                .total_admitted
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.emit_episode(conn, tier, parked_since, credit);
+            return Ok(());
+        }
+        let budget = budget.expect("refused admission implies a budget");
+        let debt = -b.tokens;
+        let weight = b.weight();
+        if b.parked_since.is_none() {
+            b.parked_since = Some(now);
+            p.parked += 1;
+            self.inner.parked_count.fetch_add(1, Ordering::Relaxed);
+        }
+        let rate = budget * weight / p.backlogged_weight().max(weight);
+        let retry = ((debt + 1.0) / rate).max(MIN_SLEEP_SECS);
+        drop(p);
+        // No SchedWait yet — the episode ends when the retry admits.
+        self.emit_episode(conn, Tier::Bulk, None, credit);
+        Err(Duration::from_secs_f64(retry))
+    }
+
+    /// Registers the out-of-band wakeup for parked admissions (a
+    /// reactor's wake handle). Replaces any previous waker; one
+    /// scheduler drives one reactor.
+    pub fn set_parked_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        *self.inner.waker.lock() = Some(waker);
+    }
+
+    /// Connections currently parked on a refused nonblocking admission
+    /// — the `sched.parked_on_throttle` metrics gauge. Lock-free.
+    pub fn parked(&self) -> usize {
+        self.inner.parked_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// Invokes the parked-waker if any admission is parked. Must be
+    /// called with the pacing lock released.
+    fn wake_parked(&self) {
+        if self.inner.parked_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let waker = self.inner.waker.lock().clone();
+        if let Some(wake) = waker {
+            wake();
+        }
+    }
+
     /// Reports one admission episode's coalesced events; called with
     /// the pacing lock already released.
     fn emit_episode(&self, conn: u64, tier: Tier, wait_start: Option<Instant>, credit: f64) {
@@ -711,10 +849,17 @@ impl FairScheduler {
             // drain bucket when it wakes; hand the waiter count over so
             // the bookkeeping stays balanced.
             p.drain.waiters += removed.waiters;
+            // A parked admission dies with its connection (the reactor
+            // closes it; there is no thread to re-resolve).
+            if removed.parked_since.is_some() {
+                p.parked -= 1;
+                self.inner.parked_count.fetch_sub(1, Ordering::Relaxed);
+            }
         }
         drop(p);
         // Shares just grew for everyone else; let waiters re-evaluate.
         self.inner.refilled.notify_all();
+        self.wake_parked();
     }
 }
 
@@ -782,6 +927,29 @@ impl Throttle for ConnThrottle {
         if let Some(cpu) = &self.cpu {
             cpu.acquire_wire(bytes);
         }
+    }
+
+    fn try_acquire_wire(&self, bytes: usize) -> Result<(), Duration> {
+        // The parked_count check keeps a connection that parked under a
+        // since-lifted budget from leaking its parked mark: the retry
+        // after set_budget(None) must go through the pacing lock once
+        // to clear it. With nothing parked, unlimited stays lock-free.
+        if self.sched.budget().is_some() || self.sched.parked() > 0 {
+            self.sched.try_acquire_paced(self.conn, bytes)
+        } else {
+            self.stats
+                .admitted
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.sched
+                .inner
+                .total_admitted
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            Ok(())
+        }
+        // The chained CPU throttle is deliberately not consulted here:
+        // it models codec wall-time on the *blocking* path, and a
+        // refusal after the bucket charge would double-charge the bytes
+        // on retry.
     }
 
     fn wire_weight(&self) -> f64 {
@@ -1002,11 +1170,13 @@ mod tests {
         let mut bulk = Bucket {
             tokens: bulk_cap, // exactly at cap: pruned first
             waiters: 0,
+            parked_since: None,
             stats: ConnStats::new(1.0, Tier::Bulk, bulk_cap),
         };
         let mut control = Bucket {
             tokens: 400_000.0, // above bulk's cap, well below its own
             waiters: 0,
+            parked_since: None,
             stats: ConnStats::new(4.0, Tier::Control, 400_000.0),
         };
         assert!(control.tokens > bulk_cap && control.tokens < control_cap);
@@ -1123,6 +1293,113 @@ mod tests {
         assert_eq!(snap1[0].admitted, 100_000);
         assert_eq!(snap1[1].tier, Tier::Bulk);
         assert_eq!(snap1[1].weight, 1.0);
+    }
+
+    #[test]
+    fn try_acquire_admits_then_parks_with_a_sane_retry_hint() {
+        let sched = FairScheduler::new(Some(1e6)); // 1 MB/s
+        let t = sched.register(5);
+        // The burst grant admits immediately without blocking.
+        assert!(t.try_acquire_wire(64 << 10).is_ok());
+        // Push the bucket deep into debt, then ask again: refused, with
+        // a retry hint in the right ballpark (~0.5 MB of debt at
+        // 1 MB/s ≈ 0.5 s; backlogged_weight includes only us).
+        t.try_acquire_wire(700 << 10).expect("debt model admits");
+        let retry = t.try_acquire_wire(1).expect_err("must refuse in debt");
+        assert!(sched.parked() == 1, "refusal must park the bucket");
+        assert!(
+            retry > Duration::from_millis(50) && retry < Duration::from_secs(5),
+            "retry hint {retry:?}"
+        );
+        // Waiting out the hint clears the debt; the retry admits and
+        // unparks.
+        thread::sleep(retry);
+        t.try_acquire_wire(1).expect("debt must have cleared");
+        assert_eq!(sched.parked(), 0);
+    }
+
+    #[test]
+    fn parked_waker_fires_on_refill_deregistration_and_budget_change() {
+        use std::sync::atomic::AtomicUsize;
+        let sched = FairScheduler::new(Some(1e6));
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let w = Arc::clone(&wakes);
+        sched.set_parked_waker(Arc::new(move || {
+            w.fetch_add(1, Ordering::Relaxed);
+        }));
+        let parked = sched.register(1);
+        parked.try_acquire_wire(600 << 10).expect("burst admits");
+        parked.try_acquire_wire(1).expect_err("parks");
+        assert_eq!(sched.parked(), 1);
+
+        // Another connection's paced admissions perform refills; with a
+        // parked peer those must invoke the waker.
+        let other = sched.register(2);
+        thread::sleep(Duration::from_millis(5));
+        other.acquire_wire(1024);
+        assert!(
+            wakes.load(Ordering::Relaxed) >= 1,
+            "a refill with a parked bucket must fire the waker"
+        );
+
+        // Deregistration returns share: waker again.
+        let before = wakes.load(Ordering::Relaxed);
+        drop(other);
+        assert!(wakes.load(Ordering::Relaxed) > before, "deregister wake");
+
+        // Budget change: waker again.
+        let before = wakes.load(Ordering::Relaxed);
+        sched.set_budget(Some(2e6));
+        assert!(wakes.load(Ordering::Relaxed) > before, "budget wake");
+
+        // Lifting the budget entirely lets the retry admit instantly.
+        sched.set_budget(None);
+        parked.try_acquire_wire(1).expect("unlimited admits");
+        assert_eq!(sched.parked(), 0);
+    }
+
+    #[test]
+    fn parked_bucket_keeps_receiving_refill_credit() {
+        // A parked bucket is backlogged: while the connection sits in
+        // its reactor, refills performed by a busy peer must keep
+        // crediting it, so the eventual retry admits — the reactor
+        // analogue of work conservation.
+        let sched = FairScheduler::new(Some(2e6));
+        let parked = sched.register(1);
+        parked.try_acquire_wire(800 << 10).expect("burst admits");
+        let retry = parked.try_acquire_wire(1).expect_err("parks in debt");
+        // A busy peer keeps admitting (and thus refilling) meanwhile.
+        let busy = sched.register(2);
+        let deadline = Instant::now() + retry + Duration::from_millis(200);
+        let mut admitted = false;
+        while Instant::now() < deadline {
+            busy.acquire_wire(16 << 10);
+            if parked.try_acquire_wire(1).is_ok() {
+                admitted = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(admitted, "parked bucket starved despite peer refills");
+        assert_eq!(sched.parked(), 0);
+    }
+
+    #[test]
+    fn deregistering_a_parked_connection_balances_the_gauge() {
+        let sched = FairScheduler::new(Some(1e6));
+        let t = sched.register(8);
+        t.try_acquire_wire(600 << 10).expect("burst admits");
+        t.try_acquire_wire(1).expect_err("parks");
+        assert_eq!(sched.parked(), 1);
+        drop(t); // deregisters while parked
+        assert_eq!(sched.parked(), 0, "parked gauge must not leak");
+    }
+
+    #[test]
+    fn default_throttle_try_acquire_admits() {
+        // The trait-level default (used by NoThrottle configs and the
+        // serve_stream blocking adapter) must always admit.
+        assert!(adoc::NoThrottle.try_acquire_wire(100 << 20).is_ok());
     }
 
     #[test]

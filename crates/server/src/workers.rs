@@ -1,0 +1,375 @@
+//! The bounded codec worker pool behind the reactor: compression and
+//! decompression jobs from every connection run on a fixed set of
+//! threads sized to the machine's cores, instead of on one dedicated
+//! thread per connection.
+//!
+//! This is the paper's CPU-budget premise made structural: adaptive
+//! compression may use idle cycles, but the *capacity* it can consume
+//! is bounded up front, so a thousand registered connections cost a
+//! thousand socket buffers — not a thousand runnable threads. The
+//! reactor enforces the complementary queue bound by keeping **at most
+//! one job in flight per connection** (a connection's state machine
+//! parks until its completion arrives), so the queue can never exceed
+//! the number of live connections.
+//!
+//! Each worker owns one reusable [`Codec`], preserving the
+//! steady-state-allocates-nothing property the per-connection serve
+//! loop had. A job that panics is caught: the worker reports it
+//! through the completion sink as an error for *that connection* and
+//! keeps serving — a poisoned buffer must never wedge the pool (the
+//! same isolation stance as [`crate::EventBus`]'s subscriber
+//! poisoning). Gauges live in a [`WorkerGauges`] owned by the
+//! [`crate::Server`], so the v2 metrics document renders worker load
+//! even while no pool is running (embedders using only
+//! [`crate::Server::serve_stream`] never start one).
+
+use crate::event::{Event, EventBus};
+use adoc_codec::Codec;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Snapshot of a [`WorkerGauges`] — the `workers` section of the v2
+/// metrics document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker threads alive (0 = no pool running).
+    pub threads: usize,
+    /// Jobs queued and not yet picked up.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Jobs completed over the pool's lifetime.
+    pub completed: u64,
+    /// Jobs that panicked (each surfaced as a connection error).
+    pub panics: u64,
+    /// Deepest queue observed at enqueue time.
+    pub queue_peak: usize,
+}
+
+/// Lock-free worker-pool gauges, shared between a running
+/// [`WorkerPool`] and the metrics collector. The [`crate::Server`]
+/// owns one for its whole lifetime; a pool updates it only while it
+/// exists.
+#[derive(Debug, Default)]
+pub struct WorkerGauges {
+    threads: AtomicUsize,
+    queued: AtomicUsize,
+    in_flight: AtomicUsize,
+    completed: AtomicU64,
+    panics: AtomicU64,
+    queue_peak: AtomicUsize,
+}
+
+impl WorkerGauges {
+    /// Reads every gauge (relaxed; the fields are mutually consistent
+    /// only to within a job).
+    pub fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            threads: self.threads.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One unit of codec work tied to a connection: the closure gets the
+/// worker's reusable [`Codec`] and returns whatever the submitter's
+/// state machine resumes on.
+pub struct Job<T> {
+    /// Connection the completion routes back to.
+    pub conn: u64,
+    /// The work; runs on a worker thread under `catch_unwind`.
+    pub work: Box<dyn FnOnce(&mut Codec) -> T + Send>,
+}
+
+struct Queue<T> {
+    jobs: VecDeque<Job<T>>,
+    shutdown: bool,
+}
+
+struct PoolInner<T> {
+    queue: Mutex<Queue<T>>,
+    available: Condvar,
+    gauges: Arc<WorkerGauges>,
+    bus: Arc<EventBus>,
+    /// Completion delivery, called from worker threads: `Err` carries a
+    /// panic message (the job's own failures travel inside `T`).
+    sink: Box<dyn Fn(u64, Result<T, String>) + Send + Sync>,
+}
+
+/// The bounded worker pool (see the module docs). Dropping it drains
+/// the queue flag-first and joins every worker; jobs already queued
+/// still complete.
+pub struct WorkerPool<T> {
+    inner: Arc<PoolInner<T>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<T> std::fmt::Debug for WorkerPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads.len())
+            .field("stats", &self.inner.gauges.snapshot())
+            .finish()
+    }
+}
+
+/// Worker-thread count matched to the machine: one per core.
+pub fn default_worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `threads` workers (min 1) delivering completions through
+    /// `sink`. `gauges` is the server-owned gauge block; `bus` receives
+    /// a [`Event::WorkerQueueDepth`] per enqueue when instrumented.
+    pub fn new(
+        threads: usize,
+        gauges: Arc<WorkerGauges>,
+        bus: Arc<EventBus>,
+        sink: impl Fn(u64, Result<T, String>) + Send + Sync + 'static,
+    ) -> WorkerPool<T> {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            gauges,
+            bus,
+            sink: Box::new(sink),
+        });
+        let threads = (1..=threads.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("adoc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn codec worker")
+            })
+            .collect::<Vec<_>>();
+        inner.gauges.threads.store(threads.len(), Ordering::Relaxed);
+        WorkerPool { inner, threads }
+    }
+
+    /// Queues `job`; a sleeping worker wakes to take it. Never blocks:
+    /// the one-job-per-connection discipline upstream is the bound.
+    pub fn submit(&self, job: Job<T>) {
+        let depth = {
+            let mut q = self.inner.queue.lock();
+            q.jobs.push_back(job);
+            q.jobs.len()
+        };
+        let g = &self.inner.gauges;
+        g.queued.fetch_add(1, Ordering::Relaxed);
+        g.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        self.inner.available.notify_one();
+        if self.inner.bus.is_active() {
+            self.inner.bus.emit(Event::WorkerQueueDepth { depth });
+        }
+    }
+
+    /// The server-owned gauge block this pool updates.
+    pub fn gauges(&self) -> &WorkerGauges {
+        &self.inner.gauges
+    }
+}
+
+impl<T> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock();
+            q.shutdown = true;
+        }
+        self.inner.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.inner.gauges.threads.store(0, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop<T>(inner: &PoolInner<T>) {
+    let mut codec = Codec::new();
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                inner.available.wait(&mut q);
+            }
+        };
+        let g = &inner.gauges;
+        g.queued.fetch_sub(1, Ordering::Relaxed);
+        g.in_flight.fetch_add(1, Ordering::Relaxed);
+        let conn = job.conn;
+        let result = catch_unwind(AssertUnwindSafe(|| (job.work)(&mut codec)));
+        g.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match result {
+            Ok(v) => {
+                g.completed.fetch_add(1, Ordering::Relaxed);
+                (inner.sink)(conn, Ok(v));
+            }
+            Err(panic) => {
+                // The encoder may have been left mid-state; rebuild it
+                // so the next job starts clean.
+                codec = Codec::new();
+                g.panics.fetch_add(1, Ordering::Relaxed);
+                (inner.sink)(conn, Err(panic_message(panic)));
+            }
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    type Done = Arc<Mutex<Vec<(u64, Result<Vec<u8>, String>)>>>;
+
+    fn collect_pool() -> (WorkerPool<Vec<u8>>, Done, Arc<WorkerGauges>) {
+        let done = Done::default();
+        let gauges = Arc::new(WorkerGauges::default());
+        let sink_done = Arc::clone(&done);
+        let pool = WorkerPool::new(
+            2,
+            Arc::clone(&gauges),
+            Arc::new(EventBus::silent()),
+            move |conn, r| sink_done.lock().push((conn, r)),
+        );
+        (pool, done, gauges)
+    }
+
+    fn wait_for(done: &Done, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while done.lock().len() < n {
+            assert!(Instant::now() < deadline, "jobs did not complete");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn jobs_complete_through_the_sink_with_working_codecs() {
+        let (pool, done, gauges) = collect_pool();
+        let input = b"worker pool codec roundtrip ".repeat(200);
+        for conn in 1..=4u64 {
+            let input = input.clone();
+            pool.submit(Job {
+                conn,
+                work: Box::new(move |codec| {
+                    let mut out = Vec::new();
+                    codec.compress_at(6, &input, &mut out);
+                    out
+                }),
+            });
+        }
+        wait_for(&done, 4);
+        let results = done.lock();
+        assert_eq!(results.len(), 4);
+        for (conn, r) in results.iter() {
+            let compressed = r.as_ref().expect("job succeeds");
+            let mut back = Vec::new();
+            adoc_codec::decompress_at(6, compressed, input.len(), &mut back).unwrap();
+            assert_eq!(back, input, "conn {conn}");
+        }
+        let s = gauges.snapshot();
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.panics, 0);
+        assert_eq!(s.queued, 0);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.threads, 2);
+        assert!(s.queue_peak >= 1);
+    }
+
+    #[test]
+    fn a_panicking_job_reports_and_the_pool_keeps_serving() {
+        let (pool, done, gauges) = collect_pool();
+        // Quiet the default panic hook for the expected panic.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        pool.submit(Job {
+            conn: 7,
+            work: Box::new(|_codec| panic!("corrupt frame state")),
+        });
+        wait_for(&done, 1);
+        std::panic::set_hook(hook);
+        // The pool is still alive: a healthy job after the panic runs.
+        pool.submit(Job {
+            conn: 8,
+            work: Box::new(|_codec| vec![1, 2, 3]),
+        });
+        wait_for(&done, 2);
+        let results = done.lock();
+        let panicked = results.iter().find(|(c, _)| *c == 7).unwrap();
+        assert_eq!(
+            panicked.1.as_ref().unwrap_err(),
+            "corrupt frame state",
+            "panic text must surface through the sink"
+        );
+        let healthy = results.iter().find(|(c, _)| *c == 8).unwrap();
+        assert_eq!(healthy.1.as_ref().unwrap(), &vec![1, 2, 3]);
+        let s = gauges.snapshot();
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn enqueue_emits_queue_depth_events() {
+        let sub = Arc::new(crate::event::MetricsSubscriber::new());
+        let bus = Arc::new(EventBus::new(vec![sub.clone()]));
+        let gauges = Arc::new(WorkerGauges::default());
+        let pool: WorkerPool<()> =
+            WorkerPool::new(1, Arc::clone(&gauges), bus, move |_conn, _r| {});
+        for conn in 0..3 {
+            pool.submit(Job {
+                conn,
+                work: Box::new(|_codec| std::thread::sleep(Duration::from_millis(5))),
+            });
+        }
+        drop(pool); // joins workers; all jobs done
+        let counts = sub.counts();
+        assert_eq!(counts.worker_jobs, 3);
+        assert!(counts.worker_queue_peak >= 1);
+        assert_eq!(gauges.snapshot().threads, 0, "drop clears the gauge");
+        assert_eq!(gauges.snapshot().completed, 3);
+    }
+
+    #[test]
+    fn drop_completes_already_queued_jobs() {
+        let (pool, done, _gauges) = collect_pool();
+        for conn in 0..16u64 {
+            pool.submit(Job {
+                conn,
+                work: Box::new(move |_codec| vec![conn as u8]),
+            });
+        }
+        drop(pool);
+        assert_eq!(done.lock().len(), 16, "shutdown must drain the queue");
+    }
+}

@@ -511,7 +511,10 @@ mod tests {
         let rtt = start.elapsed();
         t.join().unwrap();
         assert!(rtt >= Duration::from_millis(10), "rtt {rtt:?}");
-        assert!(rtt <= Duration::from_millis(40), "rtt {rtt:?}");
+        // Generous ceiling: under a full parallel test run on a single-core
+        // runner the thread can lose tens of ms to the scheduler on top of
+        // the simulated 2x5ms latency.
+        assert!(rtt <= Duration::from_millis(150), "rtt {rtt:?}");
     }
 
     #[test]
