@@ -506,9 +506,19 @@ impl Reactor {
             for ev in &events {
                 if ev.token == WAKE_TOKEN {
                     woken = true;
-                    self.shared.waker.clear();
+                    // Drain the pipe BEFORE clearing the pending flag:
+                    // wake() only writes on a false→true transition, so
+                    // while `pending` is still true no new byte can
+                    // land, and this read can never consume a byte
+                    // whose wake() skipped the write. (Clearing first
+                    // opens exactly that race — a wake between the
+                    // clear and the read leaves pending=true with an
+                    // empty pipe, permanently wedging the waker.) A
+                    // wake landing after the clear writes its own byte,
+                    // which the next poll observes.
                     let mut drain_buf = [0u8; 64];
                     let _ = self.wake_rx.read(&mut drain_buf);
+                    self.shared.waker.clear();
                 } else {
                     work += 1;
                 }
@@ -516,13 +526,31 @@ impl Reactor {
             // Readiness dispatch happens after the wake-pipe drain so a
             // completion queued during dispatch still wakes the next
             // poll.
-            let ready: Vec<u64> = events
+            let ready: Vec<PollEvent> = events
                 .iter()
                 .filter(|ev| ev.token != WAKE_TOKEN)
-                .map(|ev| ev.token)
+                .copied()
                 .collect();
-            for token in ready {
-                self.dispatch(token);
+            for ev in ready {
+                if ev.error && !ev.readable && !ev.writable {
+                    // ERR/HUP is reported regardless of the interest
+                    // mask. With no readiness the state machine can act
+                    // on (a parked or worker-waiting connection holds
+                    // Interest::NONE), dispatching would just re-refuse
+                    // admission against a dead peer on every poll — a
+                    // 100% CPU loop growing the timer heap. The peer is
+                    // gone; close directly.
+                    if let Some(conn) = self.conns.remove(&ev.token) {
+                        let kind = if conn.id.is_some() {
+                            CloseKind::Failed
+                        } else {
+                            CloseKind::Handshake
+                        };
+                        self.close(conn, kind);
+                    }
+                } else {
+                    self.dispatch(ev.token);
+                }
             }
         }
         self.events = events;
@@ -916,17 +944,18 @@ impl Reactor {
                     if raw_len > conn.cfg().max_message {
                         return Flow::Close(CloseKind::Failed);
                     }
+                    if raw_len == 0 {
+                        // A zero-byte message (of either kind) is a
+                        // client-initiated close, like the blocking
+                        // serve loop.
+                        return Flow::Close(CloseKind::Clean);
+                    }
                     conn.raw_len = raw_len;
                     conn.filled = 0;
                     let mut msg = conn.cfg().pool.get(raw_len as usize);
                     msg.resize(raw_len as usize, 0);
                     conn.msg = Some(msg);
                     conn.state = match kind {
-                        MsgKind::Direct if raw_len == 0 => {
-                            // A zero-byte message is a client-initiated
-                            // close, like the blocking serve loop.
-                            return Flow::Close(CloseKind::Clean);
-                        }
                         MsgKind::Direct => State::ReadDirect { credit: 0 },
                         MsgKind::Adaptive => State::ReadProbeLen { got: 0 },
                     };
@@ -985,7 +1014,10 @@ impl Reactor {
                         return Flow::Close(CloseKind::Failed);
                     }
                     if probe_len == 0 {
-                        conn.state = self.after_inbound_bytes(conn);
+                        conn.state = match self.after_inbound_bytes(conn) {
+                            Ok(state) => state,
+                            Err(kind) => return Flow::Close(kind),
+                        };
                     } else {
                         conn.state = State::ReadProbe {
                             end: probe_len as usize,
@@ -1016,7 +1048,10 @@ impl Reactor {
                         }
                     }
                     conn.state = if conn.filled == end {
-                        self.after_inbound_bytes(conn)
+                        match self.after_inbound_bytes(conn) {
+                            Ok(state) => state,
+                            Err(kind) => return Flow::Close(kind),
+                        }
                     } else {
                         State::ReadProbe { end, credit }
                     };
@@ -1095,7 +1130,10 @@ impl Reactor {
                         let msg = conn.msg.as_mut().expect("frame read has a message");
                         msg[conn.filled..conn.filled + payload.len()].copy_from_slice(&payload);
                         conn.filled += payload.len();
-                        conn.state = self.after_inbound_bytes(conn);
+                        conn.state = match self.after_inbound_bytes(conn) {
+                            Ok(state) => state,
+                            Err(kind) => return Flow::Close(kind),
+                        };
                         if matches!(conn.state, State::Reply(_)) {
                             continue;
                         }
@@ -1138,16 +1176,15 @@ impl Reactor {
         }
     }
 
-    /// After probe/frame bytes landed: more frames, a finished
-    /// message (start the reply), or nothing left (close).
-    fn after_inbound_bytes(&mut self, conn: &mut Conn) -> State {
+    /// After probe/frame bytes landed: more frames, or a finished
+    /// message (start the reply). `Err` propagates `start_reply`'s
+    /// close verdict to the caller instead of inventing a state.
+    fn after_inbound_bytes(&mut self, conn: &mut Conn) -> Result<State, CloseKind> {
         if conn.filled as u64 == conn.raw_len {
-            match self.start_reply(conn) {
-                Ok(()) => std::mem::replace(&mut conn.state, State::Taken),
-                Err(_) => State::ReadFrameHeader { got: 0 }, // unreachable: start_reply for adaptive cannot fail
-            }
+            self.start_reply(conn)?;
+            Ok(std::mem::replace(&mut conn.state, State::Taken))
         } else {
-            State::ReadFrameHeader { got: 0 }
+            Ok(State::ReadFrameHeader { got: 0 })
         }
     }
 
@@ -1631,6 +1668,148 @@ mod tests {
             .expect("timeout");
         let n = probe.read(&mut buf).unwrap_or(0);
         assert_eq!(n, 0, "the socket must be closed, not wedged");
+    }
+
+    #[test]
+    fn wake_consume_order_never_strands_the_pending_flag() {
+        // Mirrors run_once's consume cycle: drain the pipe, THEN clear.
+        // A wake racing in between is coalesced into the current cycle
+        // (pending is still true, so it writes nothing), and the first
+        // wake after the clear must land a fresh byte — pending can
+        // never end up true over an empty pipe, which would leave the
+        // waker permanently dead.
+        let (mut rx, tx) = io::pipe().expect("pipe");
+        let waker = Waker {
+            tx: Mutex::new(tx),
+            pending: AtomicBool::new(false),
+        };
+        waker.wake();
+        let mut buf = [0u8; 64];
+        assert_eq!(rx.read(&mut buf).expect("drain"), 1);
+        waker.wake(); // races the consume cycle: coalesced, no byte
+        waker.clear();
+        waker.wake(); // first wake after the clear re-arms the pipe
+        let poller = Poller::new().expect("poller");
+        poller
+            .register(rx.as_raw_fd(), 1, Interest::READ)
+            .expect("register");
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .expect("wait");
+        assert_eq!(
+            n, 1,
+            "a wake after clear() must write a byte or the reactor sleeps forever"
+        );
+    }
+
+    #[test]
+    fn a_zero_length_adaptive_message_is_a_clean_close() {
+        let (mut reactor, server, listener, addr) =
+            reactor_with(ServerConfig::builder().build().expect("config"));
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.write_all(&wire::encode_msg_header(MsgKind::Adaptive, 0))
+            .expect("header");
+        accept_into(&reactor, &listener);
+        run_until(&mut reactor, Duration::from_secs(10), |r| r.live() == 0);
+        let totals = server.registry().totals();
+        assert_eq!(
+            totals.completed, 1,
+            "a zero-length message of either kind is a client-initiated close"
+        );
+        assert_eq!(totals.failed, 0);
+        // The server closed the socket instead of waiting for frames
+        // that will never come.
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut buf = [0u8; 1];
+        assert_eq!(sock.read(&mut buf).unwrap_or(0), 0, "socket must close");
+    }
+
+    /// Forces an RST on close (`SO_LINGER` with a zero timeout) so the
+    /// peer observes ERR/HUP instead of an orderly FIN.
+    fn rst_close(sock: TcpStream) {
+        use std::os::raw::c_int;
+        #[repr(C)]
+        struct Linger {
+            l_onoff: c_int,
+            l_linger: c_int,
+        }
+        extern "C" {
+            fn setsockopt(
+                fd: c_int,
+                level: c_int,
+                name: c_int,
+                value: *const Linger,
+                len: u32,
+            ) -> c_int;
+        }
+        #[cfg(target_os = "linux")]
+        const SOL_SOCKET: c_int = 1;
+        #[cfg(target_os = "linux")]
+        const SO_LINGER: c_int = 13;
+        #[cfg(not(target_os = "linux"))]
+        const SOL_SOCKET: c_int = 0xffff;
+        #[cfg(not(target_os = "linux"))]
+        const SO_LINGER: c_int = 0x0080;
+        let linger = Linger {
+            l_onoff: 1,
+            l_linger: 0,
+        };
+        let rc = unsafe {
+            setsockopt(
+                sock.as_raw_fd(),
+                SOL_SOCKET,
+                SO_LINGER,
+                &linger,
+                std::mem::size_of::<Linger>() as u32,
+            )
+        };
+        assert_eq!(rc, 0, "setsockopt(SO_LINGER)");
+        drop(sock); // close() now sends RST
+    }
+
+    #[test]
+    fn a_dead_peer_closes_a_parked_connection_instead_of_spinning() {
+        // A parked connection holds Interest::NONE, but ERR/HUP is
+        // reported regardless of the mask. A peer reset must close it
+        // on the first poll that sees the hangup — re-dispatching the
+        // state machine would re-refuse admission (10 B/s below never
+        // admits a quantum within the test horizon) and re-park on
+        // every level-triggered HUP: a 100% CPU loop that also grows
+        // the timer heap without bound.
+        let (mut reactor, server, listener, addr) = reactor_with(
+            ServerConfig::builder()
+                .budget(Some(10.0))
+                .build()
+                .expect("config"),
+        );
+        let sock = TcpStream::connect(addr).expect("connect");
+        let writer = {
+            let s = sock.try_clone().expect("clone");
+            std::thread::spawn(move || {
+                (&s).write_all(&wire::encode_msg_header(MsgKind::Direct, 1 << 20))
+                    .expect("header");
+                // The debt-based bucket admits the first buffer_size
+                // quantum on burst credit; one byte past it forces a
+                // second admission, which is refused — the park.
+                (&s).write_all(&vec![0x5au8; 200 * 1024 + 1]).expect("body");
+            })
+        };
+        accept_into(&reactor, &listener);
+        run_until(&mut reactor, Duration::from_secs(10), |_| {
+            server.scheduler().parked() == 1
+        });
+        writer.join().expect("writer");
+        rst_close(sock);
+        run_until(&mut reactor, Duration::from_secs(5), |r| r.live() == 0);
+        let totals = server.registry().totals();
+        assert_eq!(totals.failed, 1, "the reset conn is counted Failed");
+        assert_eq!(
+            server.scheduler().parked(),
+            0,
+            "the parked gauge drains with the close"
+        );
     }
 
     #[test]

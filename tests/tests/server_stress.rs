@@ -648,7 +648,13 @@ fn raise_nofile_limit(want: u64) -> u64 {
         fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
         fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
     }
+    // The resource number is not portable: Linux says 7, while macOS
+    // and the BSDs (the hosts poll.rs's poll(2) fallback targets) all
+    // say 8 — using the wrong one silently adjusts a different limit.
+    #[cfg(target_os = "linux")]
     const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
     unsafe {
         let mut have = Rlimit { cur: 0, max: 0 };
         if getrlimit(RLIMIT_NOFILE, &mut have) != 0 {
