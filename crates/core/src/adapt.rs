@@ -1,15 +1,26 @@
 //! The compression-level update algorithm — Figure 2 of the paper,
-//! verbatim — plus the two §5 guards layered on top:
+//! verbatim — split into **mechanism** and **policy**:
 //!
-//! * the **divergence guard**: if the current level's visible bandwidth is
-//!   beaten by a smaller level, fall back and forbid the level for 1 s;
-//! * the **incompressible-data guard**: after a buffer compresses below
-//!   the ratio threshold, pin the level to minimum for the next 10
-//!   packets.
+//! * mechanisms stay in [`LevelController`]: the Fig. 2 queue-driven
+//!   candidate, the forbidden-level table the divergence guard writes
+//!   into, and the §5 incompressible-data penalty (minimum level for
+//!   the next 10 packets after a bad ratio);
+//! * policies implement [`LevelPolicy`]: given the Fig. 2 candidate,
+//!   the visible-bandwidth monitor and (optionally) a
+//!   [`DelaySnapshot`] from the signal layer, they pick the level and
+//!   say *why* ([`LevelReason`]).
+//!
+//! [`ThroughputPolicy`] is the paper's §5 divergence guard verbatim;
+//! [`DelayAwarePolicy`] (the default) layers the delay-gradient signal
+//! on top: a rising delay gradient means the *network* is the
+//! bottleneck, so the level rises to squeeze more data through the
+//! same pipe; a draining queue with falling delay means the *CPU* is
+//! the gate, so the level backs off.
 
 use crate::bw::BandwidthMonitor;
 use crate::config::AdocConfig;
-use std::time::Instant;
+use crate::signals::{CongestionState, DelaySnapshot};
+use std::time::{Duration, Instant};
 
 /// Figure 2, line for line. `n` is the queue length in packets, `delta`
 /// its change since the previous update, `l` the old level.
@@ -60,8 +71,169 @@ pub fn update_level(
     l.clamp(i32::from(min), i32::from(max)) as u8
 }
 
+/// Why the controller moved (or held) the compression level. Attached
+/// to level-change events so operators can attribute every move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LevelReason {
+    /// The Fig. 2 queue-length algorithm drove the decision.
+    #[default]
+    QueuePressure,
+    /// The §5 divergence guard vetoed a level whose visible bandwidth a
+    /// smaller level beats.
+    ThroughputDiverged,
+    /// The delay-gradient signal overrode the queue-driven candidate.
+    DelayGradient,
+    /// The §5 incompressible-data penalty pinned the level to minimum.
+    IncompressiblePenalty,
+}
+
+impl LevelReason {
+    /// Stable lower-snake name (for events/metrics JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LevelReason::QueuePressure => "queue_pressure",
+            LevelReason::ThroughputDiverged => "throughput_diverged",
+            LevelReason::DelayGradient => "delay_gradient",
+            LevelReason::IncompressiblePenalty => "incompressible_penalty",
+        }
+    }
+}
+
+/// Everything a [`LevelPolicy`] may consult for one decision.
+pub struct PolicyCtx<'a> {
+    /// Emission-queue length in packets.
+    pub queue_len: usize,
+    /// Queue-length change since the previous decision.
+    pub delta: isize,
+    /// The Fig. 2 candidate level for this buffer.
+    pub candidate: u8,
+    /// The level the previous buffer was compressed at.
+    pub current: u8,
+    /// Per-level visible-bandwidth monitor.
+    pub bw: &'a BandwidthMonitor,
+    /// Freshest delay-gradient snapshot, if the signal layer has one.
+    pub delay: Option<DelaySnapshot>,
+    /// The transfer's configuration (watermarks, level bounds, margins).
+    pub cfg: &'a AdocConfig,
+}
+
+/// A policy's verdict for one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelDecision {
+    /// The level to compress the next buffer at (still subject to the
+    /// controller's forbidden-level table).
+    pub level: u8,
+    /// Why.
+    pub reason: LevelReason,
+    /// A level the controller should forbid for
+    /// [`AdocConfig::forbid_duration`] (the divergence guard's veto).
+    pub forbid: Option<u8>,
+}
+
+impl LevelDecision {
+    /// A plain queue-driven decision for `level`.
+    pub fn queue(level: u8) -> LevelDecision {
+        LevelDecision {
+            level,
+            reason: LevelReason::QueuePressure,
+            forbid: None,
+        }
+    }
+}
+
+/// A pluggable level-selection policy: mechanisms (Fig. 2 candidate,
+/// forbid table, ratio penalty) live in [`LevelController`]; the
+/// judgement call between them lives here.
+pub trait LevelPolicy: Send {
+    /// Picks the level for the next buffer.
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> LevelDecision;
+}
+
+/// The paper's §5 divergence guard as a policy: accept the Fig. 2
+/// candidate unless a smaller level demonstrably moves raw data faster,
+/// in which case fall back to it and ask for the candidate to be
+/// forbidden.
+#[derive(Debug, Default)]
+pub struct ThroughputPolicy;
+
+impl LevelPolicy for ThroughputPolicy {
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> LevelDecision {
+        let cand = ctx.candidate;
+        if cand > ctx.cfg.min_level {
+            if let (Some(cur_bw), Some((best_level, best_bw))) =
+                (ctx.bw.visible(cand), ctx.bw.best_below(cand))
+            {
+                if best_bw > cur_bw * ctx.cfg.divergence_margin {
+                    return LevelDecision {
+                        level: best_level.max(ctx.cfg.min_level),
+                        reason: LevelReason::ThroughputDiverged,
+                        forbid: Some(cand),
+                    };
+                }
+            }
+        }
+        LevelDecision::queue(cand)
+    }
+}
+
+/// How fresh a delay snapshot must be before [`DelayAwarePolicy`]
+/// trusts it over the pure throughput view.
+pub const DELAY_FRESH: Duration = Duration::from_secs(1);
+
+/// The default policy: the throughput (divergence) view, overridden by
+/// the delay-gradient signal when it is fresh and decisive.
+///
+/// * **Overuse** (delay rising — the network is the bottleneck): raise
+///   the level one step above the current one even if the queue alone
+///   would not, unless the throughput guard just vetoed a level
+///   (divergence is CPU-side evidence that more compression is slower).
+/// * **Underuse** with a small queue (delay falling, sender barely
+///   queueing — the CPU is the gate): back the level off one step so
+///   compression stops throttling emission.
+#[derive(Debug, Default)]
+pub struct DelayAwarePolicy {
+    throughput: ThroughputPolicy,
+}
+
+impl LevelPolicy for DelayAwarePolicy {
+    fn decide(&mut self, ctx: &PolicyCtx<'_>) -> LevelDecision {
+        let base = self.throughput.decide(ctx);
+        let Some(d) = ctx.delay else { return base };
+        if d.age > DELAY_FRESH {
+            return base;
+        }
+        match d.state {
+            CongestionState::Overuse if base.forbid.is_none() => {
+                let boosted = base.level.max((ctx.current + 1).min(ctx.cfg.max_level));
+                if boosted != base.level {
+                    LevelDecision {
+                        level: boosted,
+                        reason: LevelReason::DelayGradient,
+                        forbid: None,
+                    }
+                } else {
+                    base
+                }
+            }
+            CongestionState::Underuse
+                if ctx.queue_len < ctx.cfg.low_water
+                    && ctx.current > ctx.cfg.min_level
+                    && base.level >= ctx.current =>
+            {
+                LevelDecision {
+                    level: ctx.current - 1,
+                    reason: LevelReason::DelayGradient,
+                    forbid: None,
+                }
+            }
+            _ => base,
+        }
+    }
+}
+
 /// Stateful controller driving one adaptive transfer: tracks the previous
-/// queue length, forbidden levels and the ratio penalty.
+/// queue length, forbidden levels and the ratio penalty, delegating the
+/// judgement call to the configured [`LevelPolicy`].
 pub struct LevelController {
     level: u8,
     last_len: Option<usize>,
@@ -79,6 +251,11 @@ pub struct LevelController {
     /// After a trip, buffers are pre-checked cheaply (paper: the per-
     /// packet ratio check aborts compression early) until one passes.
     suspicious: bool,
+    /// The pluggable judgement call (built from
+    /// [`AdocConfig::level_policy`] at construction).
+    policy: Box<dyn LevelPolicy>,
+    /// Why the most recent decision landed where it did.
+    last_reason: LevelReason,
     /// Counters surfaced through [`crate::stats::TransferStats`].
     pub divergence_reverts: u64,
     /// Number of ratio-guard trips.
@@ -95,6 +272,8 @@ impl LevelController {
             penalty_packets: 0,
             penalty_draining: false,
             suspicious: false,
+            policy: cfg.level_policy(),
+            last_reason: LevelReason::QueuePressure,
             divergence_reverts: 0,
             ratio_trips: 0,
         }
@@ -105,9 +284,27 @@ impl LevelController {
         self.level
     }
 
+    /// Why the most recent [`Self::next_level`] decision landed where
+    /// it did.
+    pub fn last_reason(&self) -> LevelReason {
+        self.last_reason
+    }
+
     /// Computes the level for the next buffer given the current queue
-    /// length and the visible-bandwidth monitor.
+    /// length and the visible-bandwidth monitor (no delay signal).
     pub fn next_level(&mut self, queue_len: usize, bw: &BandwidthMonitor, cfg: &AdocConfig) -> u8 {
+        self.next_level_with(queue_len, bw, None, cfg)
+    }
+
+    /// Computes the level for the next buffer, feeding the policy the
+    /// freshest delay-gradient snapshot the caller has.
+    pub fn next_level_with(
+        &mut self,
+        queue_len: usize,
+        bw: &BandwidthMonitor,
+        delay: Option<DelaySnapshot>,
+        cfg: &AdocConfig,
+    ) -> u8 {
         let now = Instant::now();
 
         // Incompressible-data penalty takes precedence (§5): minimum level
@@ -121,6 +318,7 @@ impl LevelController {
             self.last_len = None;
             self.penalty_draining = true;
             self.level = cfg.min_level;
+            self.last_reason = LevelReason::IncompressiblePenalty;
             return self.level;
         }
         self.penalty_draining = false;
@@ -131,7 +329,7 @@ impl LevelController {
         };
         self.last_len = Some(queue_len);
 
-        let mut cand = update_level(
+        let candidate = update_level(
             queue_len,
             delta,
             self.level,
@@ -142,30 +340,44 @@ impl LevelController {
             cfg.high_water,
         );
 
-        // Divergence guard: if a smaller level demonstrably moves raw data
-        // faster than the candidate, fall back to it and forbid the
-        // candidate for a while.
-        if cand > cfg.min_level {
-            if let Some(cur_bw) = bw.visible(cand) {
-                if let Some((best_level, best_bw)) = bw.best_below(cand) {
-                    if best_bw > cur_bw * cfg.divergence_margin {
-                        self.forbidden_until[cand as usize] = Some(now + cfg.forbid_duration);
-                        self.divergence_reverts += 1;
-                        cand = best_level.max(cfg.min_level);
-                    }
-                }
-            }
+        let decision = self.policy.decide(&PolicyCtx {
+            queue_len,
+            delta,
+            candidate,
+            current: self.level,
+            bw,
+            delay,
+            cfg,
+        });
+        // Effective bounds: the config's static limits intersected with
+        // any registry-steered bounds on the signal hub (a server-side
+        // policy narrowing this connection's range at runtime).
+        let (mut lo, mut hi) = (cfg.min_level, cfg.max_level);
+        if let Some(hub) = cfg.signal_hub() {
+            let (slo, shi) = hub.level_bounds();
+            lo = lo.max(slo).min(cfg.max_level);
+            hi = hi.min(shi).max(lo);
+        }
+        let mut cand = decision.level.clamp(lo, hi);
+        let mut reason = decision.reason;
+        if let Some(f) = decision.forbid {
+            self.forbidden_until[f as usize] = Some(now + cfg.forbid_duration);
+            self.divergence_reverts += 1;
         }
 
         // Skip levels still under a forbid (fall to the next lower one).
-        while cand > cfg.min_level {
+        while cand > lo {
             match self.forbidden_until[cand as usize] {
-                Some(t) if t > now => cand -= 1,
+                Some(t) if t > now => {
+                    cand -= 1;
+                    reason = LevelReason::ThroughputDiverged;
+                }
                 _ => break,
             }
         }
 
         self.level = cand;
+        self.last_reason = reason;
         cand
     }
 
@@ -409,6 +621,83 @@ mod tests {
         c.level = 6;
         c.report_ratio(3.0, &cfg);
         assert_eq!(c.ratio_trips, 0);
+    }
+
+    fn delay_snap(state: CongestionState) -> DelaySnapshot {
+        DelaySnapshot {
+            queue_delay_us: 5_000,
+            baseline_us: 0,
+            gradient: 50.0,
+            state,
+            target_bps: None,
+            groups: 20,
+            source: crate::signals::SignalSource::Local,
+            age: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn overuse_delay_boosts_the_level() {
+        // Mid-band queue holding steady would keep the level; a rising
+        // delay gradient (network bottleneck) pushes it one step up.
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 3;
+        c.last_len = Some(15);
+        let l = c.next_level_with(15, &bw, Some(delay_snap(CongestionState::Overuse)), &cfg);
+        assert_eq!(l, 4);
+        assert_eq!(c.last_reason(), LevelReason::DelayGradient);
+    }
+
+    #[test]
+    fn underuse_with_small_queue_backs_the_level_off() {
+        // Small growing queue holds the level; a draining delay signal
+        // (CPU bottleneck) backs it off one step instead.
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 5;
+        c.last_len = Some(3);
+        let l = c.next_level_with(5, &bw, Some(delay_snap(CongestionState::Underuse)), &cfg);
+        assert_eq!(l, 4);
+        assert_eq!(c.last_reason(), LevelReason::DelayGradient);
+    }
+
+    #[test]
+    fn stale_delay_snapshots_are_ignored() {
+        let cfg = test_cfg();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        c.level = 3;
+        c.last_len = Some(15);
+        let mut snap = delay_snap(CongestionState::Overuse);
+        snap.age = DELAY_FRESH + Duration::from_millis(1);
+        let l = c.next_level_with(15, &bw, Some(snap), &cfg);
+        assert_eq!(l, 3, "stale signal must not boost");
+        assert_eq!(c.last_reason(), LevelReason::QueuePressure);
+    }
+
+    #[test]
+    fn registry_steered_bounds_clamp_the_controller() {
+        let mut cfg = test_cfg();
+        cfg.ensure_signal_hub();
+        let hub = cfg.signals.clone().unwrap();
+        let bw = BandwidthMonitor::new();
+        let mut c = LevelController::new(&cfg);
+        hub.set_level_bounds(2, 4);
+        c.level = 4;
+        c.last_len = Some(20);
+        // Very large growing queue wants +2; the steered ceiling holds it.
+        assert_eq!(c.next_level(50, &bw, &cfg), 4);
+        // A shrinking small queue wants to halve; the steered floor holds.
+        c.last_len = Some(8);
+        assert_eq!(c.next_level(5, &bw, &cfg), 2);
+        // Bounds released: the controller can climb again.
+        hub.set_level_bounds(0, 10);
+        c.level = 4;
+        c.last_len = Some(20);
+        assert_eq!(c.next_level(50, &bw, &cfg), 6);
     }
 
     #[test]

@@ -64,20 +64,25 @@ pub mod pool;
 pub mod queue;
 pub mod receiver;
 pub mod sender;
+pub mod signals;
 pub mod socket;
 pub mod stats;
 pub mod throttle;
 pub mod wire;
 
+pub use adapt::{
+    DelayAwarePolicy, LevelDecision, LevelPolicy, LevelReason, PolicyCtx, ThroughputPolicy,
+};
 pub use capi::{
     adoc_close, adoc_read, adoc_receive_file, adoc_register, adoc_register_cfg,
     adoc_register_group, adoc_send_file, adoc_send_file_levels, adoc_write, adoc_write_levels,
 };
-pub use config::AdocConfig;
+pub use config::{AdocConfig, LevelPolicyFactory};
 pub use error::AdocError;
 pub use pool::{BufferPool, PoolStats, PooledBuf};
+pub use signals::{CongestionState, DelaySnapshot, SignalHub, SignalSource};
 pub use socket::{AdocSocket, AdocStreamGroup, SendReport};
-pub use stats::{StreamSendStats, TransferStats};
+pub use stats::{LevelEvent, StreamSendStats, TransferStats};
 pub use throttle::{NoThrottle, SleepThrottle, Throttle};
 
 /// Lowest compression level (no compression).

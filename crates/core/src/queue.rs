@@ -44,6 +44,10 @@ pub struct Packet {
     /// Share of the buffer's *raw* size this packet represents (for
     /// visible-bandwidth accounting).
     pub raw_share: u32,
+    /// When this packet entered the emission queue, if the sender is
+    /// feeding the delay-signal layer ([`crate::signals`]): the local
+    /// estimator's departure timestamp.
+    pub queued_at: Option<std::time::Instant>,
 }
 
 impl Packet {
@@ -64,6 +68,7 @@ impl Packet {
             len,
             level,
             raw_share,
+            queued_at: None,
         }
     }
 

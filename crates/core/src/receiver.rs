@@ -524,6 +524,13 @@ fn stream_reception_thread<R: Read>(
         }
         check_payload_bound(fh.raw_len, fh.payload_len, cfg)?;
         let payload = read_payload(reader, fh.payload_len, cfg)?;
+        // Timestamped frame → the remote leg of the delay-signal loop:
+        // departure is the sender's stamp, arrival is now. Both
+        // estimators only consume deltas, so the two clocks never need
+        // to agree on an epoch.
+        if let (Some(ts), Some(hub)) = (fh.ts_us, cfg.signal_hub()) {
+            hub.record_remote(ts, hub.now_us(), fh.payload_len as usize);
+        }
         frames_seen += 1;
         let frame = RecvFrame {
             level: fh.level,
@@ -716,6 +723,41 @@ mod tests {
             assert_eq!(tx.pool.stats().outstanding, 0);
             assert_eq!(rx.pool.stats().outstanding, 0);
         }
+    }
+
+    #[test]
+    fn striped_roundtrip_feeds_the_remote_estimator() {
+        // With hubs installed on both ends, striped frames carry the
+        // 0x40-flagged timestamp and the receiver's hub must come back
+        // with a Remote snapshot; the sender's hub sees local emission
+        // samples regardless.
+        use crate::signals::{SignalHub, SignalSource};
+        let tx_hub = std::sync::Arc::new(SignalHub::new());
+        let rx_hub = std::sync::Arc::new(SignalHub::new());
+        let tx = AdocConfig::default()
+            .with_levels(1, 10)
+            .with_signals(tx_hub.clone());
+        let rx = AdocConfig::default().with_signals(rx_hub.clone());
+        let data = compressible(2 << 20);
+        assert_eq!(roundtrip_striped(3, &tx, &rx, &data), data);
+        let snap = rx_hub
+            .snapshot()
+            .expect("timestamped frames must feed the receiver's estimator");
+        assert_eq!(snap.source, SignalSource::Remote);
+        assert!(tx_hub.snapshot().is_some(), "sender-side local samples");
+    }
+
+    #[test]
+    fn signal_hub_on_tx_only_still_roundtrips() {
+        // A timestamp-stamping sender against a hub-less receiver: the
+        // flag bit must parse cleanly and the bytes must survive.
+        use crate::signals::SignalHub;
+        let tx = AdocConfig::default()
+            .with_levels(1, 10)
+            .with_signals(std::sync::Arc::new(SignalHub::new()));
+        let rx = AdocConfig::default();
+        let data = compressible(1 << 20);
+        assert_eq!(roundtrip_striped(2, &tx, &rx, &data), data);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::config::AdocConfig;
 use crate::error::AdocError;
 use crate::pool::PooledBuf;
 use crate::queue::{BoundedQueue, Packet, PacketQueue};
+use crate::signals::SignalHub;
 use crate::stats::{StreamSendStats, TransferStats};
 use crate::wire::{self, FrameHeader, FrameHeaderV2, MsgKind};
 use std::io::{self, Read, Write};
@@ -44,8 +45,8 @@ pub struct SendOutcome {
     pub direct: bool,
     /// Buffers encoded per level during this message.
     pub buffers_at_level: [u64; 11],
-    /// `(when, level)` per compression buffer, in order.
-    pub level_events: Vec<(Instant, u8)>,
+    /// `(when, level, reason)` per compression buffer, in order.
+    pub level_events: Vec<(Instant, u8, crate::adapt::LevelReason)>,
     /// Divergence-guard reverts during this message.
     pub divergence_reverts: u64,
     /// Ratio-guard trips during this message.
@@ -79,8 +80,8 @@ impl SendOutcome {
         if self.fast_path {
             stats.fast_path_hits += 1;
         }
-        for &(t, level) in &self.level_events {
-            stats.record_buffer_at(t, level);
+        for &(t, level, reason) in &self.level_events {
+            stats.record_buffer_reason(t, level, reason);
         }
         debug_assert_eq!(
             self.buffers_at_level.iter().sum::<u64>(),
@@ -219,7 +220,8 @@ where
             writer.write_all(&frame)?;
             out.wire_bytes += frame.len() as u64;
             out.buffers_at_level[0] += 1;
-            out.level_events.push((Instant::now(), 0));
+            out.level_events
+                .push((Instant::now(), 0, crate::adapt::LevelReason::default()));
             remaining -= want as u64;
         }
         writer.flush()?;
@@ -234,7 +236,8 @@ where
 
     let (comp_res, emit_res) = std::thread::scope(|s| {
         let comp = s.spawn(|| compression_thread(source, remaining, &queue, &bw, cfg));
-        let emit = s.spawn(|| emission_thread(writer, &queue, &bw, &*cfg.throttle));
+        let emit =
+            s.spawn(|| emission_thread(writer, &queue, &bw, &*cfg.throttle, cfg.signal_hub()));
         (comp.join(), emit.join())
     });
     // A panicking thread has already released its peer through the queue
@@ -302,8 +305,21 @@ struct RawFrame {
     seq: u64,
     /// Raw payload bytes in `buf` (after the reserved header prefix).
     want: usize,
-    /// Pooled buffer: `FRAME_HEADER_V2_LEN` reserved bytes, then payload.
+    /// Pooled buffer: [`v2_header_len`] reserved bytes, then payload.
     buf: PooledBuf,
+}
+
+/// Header bytes reserved in front of every striped data frame: the wide
+/// (timestamped) v2 header when this connection feeds the delay-signal
+/// layer, the classic 18-byte one otherwise. The dispatcher and each
+/// stream's compression thread must agree, so both derive it from the
+/// same config gate.
+fn v2_header_len(cfg: &AdocConfig) -> usize {
+    if cfg.signal_hub().is_some() {
+        wire::FRAME_HEADER_V2_TS_LEN
+    } else {
+        wire::FRAME_HEADER_V2_LEN
+    }
 }
 
 fn send_adaptive_striped<W, S>(
@@ -340,19 +356,16 @@ where
             let want = next_frame_size(cfg.buffer_size, left)?;
             frame.resize(wire::FRAME_HEADER_V2_LEN + want, 0);
             source.read_exact(&mut frame[wire::FRAME_HEADER_V2_LEN..])?;
-            let fh = FrameHeaderV2 {
-                level: 0,
-                stream: 0,
-                seq,
-                raw_len: want as u32,
-                payload_len: want as u32,
-            };
+            // Fast-path frames skip the timestamp: the link already
+            // outran compression, so there is no adaptation to feed.
+            let fh = FrameHeaderV2::data(0, 0, seq, want as u32, want as u32);
             frame[..wire::FRAME_HEADER_V2_LEN].copy_from_slice(&fh.encode());
             cfg.throttle.acquire_wire(frame.len());
             writers[0].write_all(&frame)?;
             out.wire_bytes += frame.len() as u64;
             out.buffers_at_level[0] += 1;
-            out.level_events.push((Instant::now(), 0));
+            out.level_events
+                .push((Instant::now(), 0, crate::adapt::LevelReason::default()));
             seq += 1;
             left -= want as u64;
         }
@@ -389,7 +402,9 @@ where
         for (i, w) in writers.iter_mut().enumerate() {
             let (rq, pq, bw) = (&raw_queues[i], &pkt_queues[i], &monitors[i]);
             comp_handles.push(s.spawn(move || stream_compression_thread(i as u8, rq, pq, bw, cfg)));
-            emit_handles.push(s.spawn(move || emission_thread(w, pq, bw, &*cfg.throttle)));
+            emit_handles.push(
+                s.spawn(move || emission_thread(w, pq, bw, &*cfg.throttle, cfg.signal_hub())),
+            );
         }
 
         // Dispatcher: read buffers in order, stripe frame s onto stream
@@ -401,10 +416,11 @@ where
         let disp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> io::Result<()> {
             let mut left = remaining;
             let mut seq = 0u64;
+            let hdr = v2_header_len(cfg);
             while left > 0 {
                 let want = next_frame_size(cfg.buffer_size, left)?;
-                let mut buf = cfg.pool.get(wire::FRAME_HEADER_V2_LEN + want);
-                buf.resize(wire::FRAME_HEADER_V2_LEN, 0);
+                let mut buf = cfg.pool.get(hdr + want);
+                buf.resize(hdr, 0);
                 match source.by_ref().take(want as u64).read_to_end(&mut buf) {
                     Ok(got) if got == want => {}
                     Ok(_) => {
@@ -493,14 +509,14 @@ where
     }
     // Interleaved pipelines report out of order; the connection timeline
     // must stay chronological.
-    out.level_events.sort_by_key(|&(t, _)| t);
+    out.level_events.sort_by_key(|&(t, _, _)| t);
     Ok(out)
 }
 
 /// Per-message results a compression thread reports back.
 struct CompOutcome {
     buffers_at_level: [u64; 11],
-    level_events: Vec<(Instant, u8)>,
+    level_events: Vec<(Instant, u8, crate::adapt::LevelReason)>,
     divergence_reverts: u64,
     ratio_trips: u64,
     /// Data frames fully handed to the emission queue.
@@ -598,10 +614,12 @@ fn push_frame_packets(
     let frame = Arc::new(frame);
     let mut pushed = 0u32;
     let mut offset = 0usize;
+    let queued_at = Instant::now();
     while offset < total {
         let end = (offset + packet_size).min(total);
         let share = raw_share(want, offset, end, total);
-        let pkt = Packet::view(Arc::clone(&frame), offset, end - offset, level, share);
+        let mut pkt = Packet::view(Arc::clone(&frame), offset, end - offset, level, share);
+        pkt.queued_at = Some(queued_at);
         if queue.push(pkt).is_err() {
             return Err(());
         }
@@ -645,8 +663,11 @@ fn compression_thread<S: Read>(
             Err(e) => return Err(e),
         }
 
-        // §3.2: the level is updated before each new buffer.
-        let level = ctrl.next_level(queue.len(), bw, cfg);
+        // §3.2: the level is updated before each new buffer — with the
+        // freshest delay verdict alongside the queue length, when this
+        // connection runs the signal layer.
+        let delay = cfg.signal_hub().and_then(|h| h.snapshot());
+        let level = ctrl.next_level_with(queue.len(), bw, delay, cfg);
         let (mut frame, level) = encode_frame_payload(
             raw,
             want,
@@ -657,7 +678,8 @@ fn compression_thread<S: Read>(
             cfg,
         )?;
         out.buffers_at_level[level as usize] += 1;
-        out.level_events.push((Instant::now(), level));
+        out.level_events
+            .push((Instant::now(), level, ctrl.last_reason()));
 
         let fh = FrameHeader {
             level,
@@ -695,29 +717,30 @@ fn stream_compression_thread(
     let mut ctrl = LevelController::new(cfg);
     let mut codec = adoc_codec::Codec::new();
     let mut out = CompOutcome::new();
+    let hub = cfg.signal_hub();
+    let hdr = v2_header_len(cfg);
 
     while let Some(RawFrame { seq, want, buf }) = raw_queue.pop() {
-        let level = ctrl.next_level(queue.len(), bw, cfg);
-        let (mut frame, level) = encode_frame_payload(
-            buf,
-            want,
-            wire::FRAME_HEADER_V2_LEN,
-            level,
-            &mut ctrl,
-            &mut codec,
-            cfg,
-        )?;
+        let delay = hub.and_then(|h| h.snapshot());
+        let level = ctrl.next_level_with(queue.len(), bw, delay, cfg);
+        let (mut frame, level) =
+            encode_frame_payload(buf, want, hdr, level, &mut ctrl, &mut codec, cfg)?;
         out.buffers_at_level[level as usize] += 1;
-        out.level_events.push((Instant::now(), level));
+        out.level_events
+            .push((Instant::now(), level, ctrl.last_reason()));
 
-        let fh = FrameHeaderV2 {
+        let mut fh = FrameHeaderV2::data(
             level,
-            stream: stream_id,
+            stream_id,
             seq,
-            raw_len: want as u32,
-            payload_len: (frame.len() - wire::FRAME_HEADER_V2_LEN) as u32,
-        };
-        frame[..wire::FRAME_HEADER_V2_LEN].copy_from_slice(&fh.encode());
+            want as u32,
+            (frame.len() - hdr) as u32,
+        );
+        // Departure stamp for the receiver's remote estimator: taken at
+        // enqueue, so emission-queue wait shows up as delay — exactly the
+        // backlog the gradient is meant to see.
+        fh.ts_us = hub.map(|h| h.now_us());
+        frame[..hdr].copy_from_slice(&fh.encode());
 
         match push_frame_packets(queue, frame, want, level, cfg.packet_size) {
             Ok(pushed) => ctrl.packets_pushed(pushed),
@@ -755,6 +778,7 @@ fn emission_thread<W: Write>(
     queue: &PacketQueue,
     bw: &BandwidthMonitor,
     throttle: &dyn crate::throttle::Throttle,
+    signals: Option<&SignalHub>,
 ) -> io::Result<u64> {
     // Any exit — socket error, panic — must unblock a producer waiting
     // for queue space; poisoning after a clean drain is a no-op for the
@@ -771,6 +795,11 @@ fn emission_thread<W: Write>(
         writer.write_all(pkt.bytes())?;
         if pkt.raw_share > 0 {
             bw.record(pkt.level, u64::from(pkt.raw_share), t0.elapsed());
+        }
+        // Local estimator: enqueue → wire is the sender-side leg of the
+        // delay a receiver would echo back, available even on v1 framing.
+        if let (Some(hub), Some(q)) = (signals, pkt.queued_at) {
+            hub.record_local(q, Instant::now(), pkt.len());
         }
         wire_bytes += pkt.len() as u64;
     }

@@ -69,8 +69,9 @@ impl<R: Read + Send, W: Write + Send> AdocSocket<R, W> {
     /// [`AdocError::InvalidConfig`] (inside the `io::Error`) when the
     /// configuration is inconsistent, instead of letting the bad field
     /// panic or hang inside the pipeline threads later.
-    pub fn with_config(reader: R, writer: W, cfg: AdocConfig) -> io::Result<Self> {
+    pub fn with_config(reader: R, writer: W, mut cfg: AdocConfig) -> io::Result<Self> {
         cfg.validate()?;
+        cfg.ensure_signal_hub();
         Ok(AdocSocket {
             reader,
             writer,
@@ -338,8 +339,9 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
         token: u64,
     ) -> io::Result<Self> {
         assert!(!pairs.is_empty(), "a stream group needs at least 1 stream");
-        let cfg = cfg.with_streams(pairs.len());
+        let mut cfg = cfg.with_streams(pairs.len());
         cfg.validate()?;
+        cfg.ensure_signal_hub();
         let n = pairs.len();
         let (mut readers, mut writers): (Vec<R>, Vec<W>) = pairs.into_iter().unzip();
         if n > 1 {
@@ -393,8 +395,9 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
     /// itself (see the `adoc-server` daemon).
     pub fn from_negotiated(pairs: Vec<(R, W)>, cfg: AdocConfig) -> io::Result<Self> {
         assert!(!pairs.is_empty(), "a stream group needs at least 1 stream");
-        let cfg = cfg.with_streams(pairs.len());
+        let mut cfg = cfg.with_streams(pairs.len());
         cfg.validate()?;
+        cfg.ensure_signal_hub();
         let (readers, writers): (Vec<R>, Vec<W>) = pairs.into_iter().unzip();
         Ok(AdocStreamGroup {
             readers,
@@ -621,8 +624,9 @@ impl AdocStreamGroup<TcpStream, TcpStream> {
     /// a typed [`AdocError::HelloTimeout`] instead of wedging the accept
     /// loop forever (a client may die between its dials just as easily
     /// as between connecting and its hello).
-    pub fn accept(listener: &TcpListener, cfg: AdocConfig) -> io::Result<Self> {
+    pub fn accept(listener: &TcpListener, mut cfg: AdocConfig) -> io::Result<Self> {
         cfg.validate()?;
+        cfg.ensure_signal_hub();
         let n = cfg.streams;
         if n == 1 {
             let (s, _) = listener.accept()?;

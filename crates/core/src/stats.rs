@@ -4,11 +4,26 @@
 //! level timelines and to verify probe / guard behaviour; none of it is
 //! on the wire.
 
+use crate::adapt::LevelReason;
 use std::time::Instant;
 
 /// Maximum retained timeline entries (a 32 MB transfer produces ~160
 /// buffers; the cap only matters for very long-lived connections).
 const TIMELINE_CAP: usize = 100_000;
+
+/// One compression buffer on the connection's level timeline: when it
+/// was encoded, at what level, and which verdict put the controller
+/// there ([`LevelReason`]) — the provenance the server's `LevelChange`
+/// events surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelEvent {
+    /// Seconds since the connection's stats epoch.
+    pub secs: f64,
+    /// AdOC level the buffer was encoded at.
+    pub level: u8,
+    /// Why the controller chose (or kept) this level.
+    pub reason: LevelReason,
+}
 
 /// What one stream of a striped message carried (reported per message in
 /// [`crate::sender::SendOutcome::per_stream`], accumulated per connection
@@ -49,8 +64,8 @@ pub struct TransferStats {
     pub divergence_reverts: u64,
     /// Incompressible-data guard trips (§5).
     pub ratio_trips: u64,
-    /// `(seconds_since_connection, level)` per compression buffer.
-    pub level_timeline: Vec<(f64, u8)>,
+    /// One [`LevelEvent`] per compression buffer, in order.
+    pub level_timeline: Vec<LevelEvent>,
     /// Cumulative per-stream totals for striped transfers (indexed by
     /// stream id; empty on single-stream connections).
     pub per_stream: Vec<StreamSendStats>,
@@ -102,10 +117,19 @@ impl TransferStats {
     /// Records one buffer compressed at `level` at a given instant (the
     /// sender reports timestamps captured inside the compression thread).
     pub fn record_buffer_at(&mut self, t: Instant, level: u8) {
+        self.record_buffer_reason(t, level, LevelReason::default());
+    }
+
+    /// [`Self::record_buffer_at`] with the controller's verdict attached.
+    pub fn record_buffer_reason(&mut self, t: Instant, level: u8, reason: LevelReason) {
         self.buffers_at_level[level as usize] += 1;
         if self.level_timeline.len() < TIMELINE_CAP {
             let secs = t.saturating_duration_since(self.epoch).as_secs_f64();
-            self.level_timeline.push((secs, level));
+            self.level_timeline.push(LevelEvent {
+                secs,
+                level,
+                reason,
+            });
         }
     }
 
@@ -289,7 +313,7 @@ mod tests {
         for i in 0..50 {
             s.record_buffer((i % 11) as u8);
         }
-        assert!(s.level_timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(s.level_timeline.windows(2).all(|w| w[0].secs <= w[1].secs));
     }
 }
 
@@ -297,9 +321,14 @@ impl TransferStats {
     /// Exports the level timeline as CSV (`seconds,level` rows) for
     /// replotting — the adaptive_trace example's machine-readable twin.
     pub fn timeline_csv(&self) -> String {
-        let mut out = String::from("seconds,level\n");
-        for &(secs, level) in &self.level_timeline {
-            out.push_str(&format!("{secs:.6},{level}\n"));
+        let mut out = String::from("seconds,level,reason\n");
+        for e in &self.level_timeline {
+            out.push_str(&format!(
+                "{:.6},{},{}\n",
+                e.secs,
+                e.level,
+                e.reason.as_str()
+            ));
         }
         out
     }
@@ -313,11 +342,11 @@ mod csv_tests {
     fn timeline_csv_format() {
         let mut s = TransferStats::new();
         s.record_buffer(3);
-        s.record_buffer(5);
+        s.record_buffer_reason(Instant::now(), 5, LevelReason::DelayGradient);
         let csv = s.timeline_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "seconds,level");
-        assert!(lines[1].ends_with(",3"));
-        assert!(lines[2].ends_with(",5"));
+        assert_eq!(lines[0], "seconds,level,reason");
+        assert!(lines[1].ends_with(",3,queue_pressure"));
+        assert!(lines[2].ends_with(",5,delay_gradient"));
     }
 }

@@ -96,6 +96,16 @@ pub const GROUP_HELLO_TOKENED_LEN: usize = GROUP_HELLO_LEN + 8;
 /// Level byte marking a v2 end-of-message frame on one stream.
 pub const LEVEL_FIN: u8 = 0xFF;
 
+/// Flag bit in the v2 level byte announcing that a little-endian `u64`
+/// departure timestamp (µs, sender's [`crate::SignalHub`] clock)
+/// follows the fixed header. Compression levels top out at 10, so the
+/// bit never collides with a real level; [`LEVEL_FIN`] is tested first,
+/// so FIN frames (which never carry timestamps) are unaffected.
+pub const FRAME_TS_FLAG: u8 = 0x40;
+
+/// Size of an encoded v2 frame header carrying a departure timestamp.
+pub const FRAME_HEADER_V2_TS_LEN: usize = FRAME_HEADER_V2_LEN + 8;
+
 /// Largest raw (and encoded) frame size the u32 header fields can carry.
 /// The sender refuses larger buffers with
 /// [`crate::error::AdocError::FrameTooLarge`] instead of truncating.
@@ -227,9 +237,40 @@ pub struct FrameHeaderV2 {
     pub raw_len: u32,
     /// Encoded (on-wire) payload size.
     pub payload_len: u32,
+    /// Departure timestamp (µs on the sender's signal clock), carried
+    /// when [`FRAME_TS_FLAG`] is set. Feeds the receiver's
+    /// delay-gradient estimator; `None` on FIN frames, on v2 peers
+    /// predating the flag, and whenever `delay_signals` is off.
+    pub ts_us: Option<u64>,
+}
+
+/// An encoded v2 frame header: 18 bytes, or 26 with a timestamp.
+/// Dereferences to the valid byte slice.
+pub struct EncodedFrameV2 {
+    buf: [u8; FRAME_HEADER_V2_TS_LEN],
+    len: usize,
+}
+
+impl std::ops::Deref for EncodedFrameV2 {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
 }
 
 impl FrameHeaderV2 {
+    /// A data frame without a timestamp (the pre-signals v2 layout).
+    pub fn data(level: u8, stream: u8, seq: u64, raw_len: u32, payload_len: u32) -> FrameHeaderV2 {
+        FrameHeaderV2 {
+            level,
+            stream,
+            seq,
+            raw_len,
+            payload_len,
+            ts_us: None,
+        }
+    }
+
     /// The end-of-message marker for `stream`, recording how many data
     /// frames that stream carried.
     pub fn fin(stream: u8, frames_sent: u64) -> FrameHeaderV2 {
@@ -239,6 +280,7 @@ impl FrameHeaderV2 {
             seq: frames_sent,
             raw_len: 0,
             payload_len: 0,
+            ts_us: None,
         }
     }
 
@@ -247,22 +289,36 @@ impl FrameHeaderV2 {
         self.level == LEVEL_FIN
     }
 
-    /// Encodes into an 18-byte array.
-    pub fn encode(&self) -> [u8; FRAME_HEADER_V2_LEN] {
-        let mut h = [0u8; FRAME_HEADER_V2_LEN];
+    /// Encodes into 18 bytes, or 26 when a timestamp rides along.
+    pub fn encode(&self) -> EncodedFrameV2 {
+        let mut h = [0u8; FRAME_HEADER_V2_TS_LEN];
         h[0] = self.level;
         h[1] = self.stream;
         h[2..10].copy_from_slice(&self.seq.to_le_bytes());
         h[10..14].copy_from_slice(&self.raw_len.to_le_bytes());
         h[14..18].copy_from_slice(&self.payload_len.to_le_bytes());
-        h
+        let len = match self.ts_us {
+            Some(ts) if self.level != LEVEL_FIN => {
+                h[0] |= FRAME_TS_FLAG;
+                h[18..26].copy_from_slice(&ts.to_le_bytes());
+                FRAME_HEADER_V2_TS_LEN
+            }
+            _ => FRAME_HEADER_V2_LEN,
+        };
+        EncodedFrameV2 { buf: h, len }
     }
 
-    /// Reads and validates a v2 frame header.
+    /// Reads and validates a v2 frame header (either layout).
     pub fn read(r: &mut impl Read, max_level: u8) -> io::Result<FrameHeaderV2> {
         let mut h = [0u8; FRAME_HEADER_V2_LEN];
         r.read_exact(&mut h)?;
-        let level = h[0];
+        // FIN first: 0xFF has the timestamp bit set but is not a
+        // timestamped frame.
+        let (level, ts_flagged) = if h[0] == LEVEL_FIN {
+            (LEVEL_FIN, false)
+        } else {
+            (h[0] & !FRAME_TS_FLAG, h[0] & FRAME_TS_FLAG != 0)
+        };
         if level != LEVEL_FIN && level > max_level {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -273,6 +329,13 @@ impl FrameHeaderV2 {
         let seq = u64::from_le_bytes(h[2..10].try_into().expect("8 bytes"));
         let raw_len = u32::from_le_bytes(h[10..14].try_into().expect("4 bytes"));
         let payload_len = u32::from_le_bytes(h[14..18].try_into().expect("4 bytes"));
+        let ts_us = if ts_flagged {
+            let mut t = [0u8; 8];
+            r.read_exact(&mut t)?;
+            Some(u64::from_le_bytes(t))
+        } else {
+            None
+        };
         if level == LEVEL_FIN && (raw_len != 0 || payload_len != 0) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -291,6 +354,7 @@ impl FrameHeaderV2 {
             seq,
             raw_len,
             payload_len,
+            ts_us,
         })
     }
 }
@@ -465,15 +529,66 @@ mod tests {
 
     #[test]
     fn frame_v2_roundtrip() {
+        let fh = FrameHeaderV2::data(9, 3, u64::MAX / 3, 204_800, 55_555);
+        let enc = fh.encode();
+        assert_eq!(enc.len(), FRAME_HEADER_V2_LEN, "no ts: layout unchanged");
+        let mut c = Cursor::new(enc.to_vec());
+        assert_eq!(FrameHeaderV2::read(&mut c, 10).unwrap(), fh);
+    }
+
+    #[test]
+    fn frame_v2_timestamp_roundtrip() {
         let fh = FrameHeaderV2 {
-            level: 9,
-            stream: 3,
-            seq: u64::MAX / 3,
-            raw_len: 204_800,
-            payload_len: 55_555,
+            ts_us: Some(123_456_789_012),
+            ..FrameHeaderV2::data(7, 1, 42, 204_800, 31_337)
+        };
+        let enc = fh.encode();
+        assert_eq!(enc.len(), FRAME_HEADER_V2_TS_LEN);
+        assert_eq!(enc[0], 7 | FRAME_TS_FLAG);
+        let mut c = Cursor::new(enc.to_vec());
+        let got = FrameHeaderV2::read(&mut c, 10).unwrap();
+        assert_eq!(got, fh);
+        assert_eq!(got.ts_us, Some(123_456_789_012));
+    }
+
+    #[test]
+    fn frame_v2_timestamped_level_zero_roundtrips() {
+        // Level 0 (raw) with the ts flag: the flag must be masked off
+        // before the raw-length consistency check.
+        let fh = FrameHeaderV2 {
+            ts_us: Some(5),
+            ..FrameHeaderV2::data(0, 0, 0, 8_192, 8_192)
         };
         let mut c = Cursor::new(fh.encode().to_vec());
         assert_eq!(FrameHeaderV2::read(&mut c, 10).unwrap(), fh);
+    }
+
+    #[test]
+    fn frame_v2_truncated_timestamp_is_error() {
+        let fh = FrameHeaderV2 {
+            ts_us: Some(99),
+            ..FrameHeaderV2::data(3, 0, 1, 10, 10)
+        };
+        let enc = fh.encode().to_vec();
+        let mut c = Cursor::new(enc[..FRAME_HEADER_V2_LEN + 3].to_vec());
+        assert!(FrameHeaderV2::read(&mut c, 10).is_err());
+    }
+
+    #[test]
+    fn fin_never_carries_a_timestamp() {
+        // A FIN built with a timestamp silently encodes without one:
+        // 0xFF already has the flag bit, so a timestamped FIN would be
+        // unparseable.
+        let fin = FrameHeaderV2 {
+            ts_us: Some(7),
+            ..FrameHeaderV2::fin(1, 3)
+        };
+        let enc = fin.encode();
+        assert_eq!(enc.len(), FRAME_HEADER_V2_LEN);
+        let mut c = Cursor::new(enc.to_vec());
+        let got = FrameHeaderV2::read(&mut c, 10).unwrap();
+        assert!(got.is_fin());
+        assert_eq!(got.ts_us, None);
     }
 
     #[test]
@@ -488,29 +603,16 @@ mod tests {
 
     #[test]
     fn frame_v2_rejects_bad_level_and_nonempty_fin() {
-        let mut bad_level = FrameHeaderV2 {
-            level: 11,
-            stream: 0,
-            seq: 0,
-            raw_len: 1,
-            payload_len: 1,
-        }
-        .encode();
-        assert!(FrameHeaderV2::read(&mut Cursor::new(bad_level.to_vec()), 10).is_err());
+        let mut bad_level = FrameHeaderV2::data(11, 0, 0, 1, 1).encode().to_vec();
+        assert!(FrameHeaderV2::read(&mut Cursor::new(bad_level.clone()), 10).is_err());
         // A FIN whose length fields are non-zero is corrupt.
         bad_level[0] = LEVEL_FIN;
-        assert!(FrameHeaderV2::read(&mut Cursor::new(bad_level.to_vec()), 10).is_err());
+        assert!(FrameHeaderV2::read(&mut Cursor::new(bad_level), 10).is_err());
     }
 
     #[test]
     fn frame_v2_raw_length_mismatch_rejected() {
-        let fh = FrameHeaderV2 {
-            level: 0,
-            stream: 1,
-            seq: 7,
-            raw_len: 10,
-            payload_len: 9,
-        };
+        let fh = FrameHeaderV2::data(0, 1, 7, 10, 9);
         let mut c = Cursor::new(fh.encode().to_vec());
         assert!(FrameHeaderV2::read(&mut c, 10).is_err());
     }

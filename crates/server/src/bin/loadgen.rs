@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! adoc-loadgen [--connect ADDR] [--clients N] [--idle-clients N]
+//!              [--bulk-clients N] [--bulk-size B]
 //!              [--messages M] [--size B]
 //!              [--streams CSV] [--kind ascii|binary|incompressible|mixed]
 //!              [--levels MIN,MAX] [--mode echo|sink] [--budget-mbit F]
 //!              [--default-tier control|paid|bulk]
+//!              [--tier control|paid|bulk] [--rps F]
 //!              [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]
 //! ```
 //!
@@ -15,6 +17,23 @@
 //! scheduler (busy clients run the whole `--budget-mbit`) from a fixed
 //! fair-share one (pinned at `budget / (busy + idle)`). Idle traffic is
 //! excluded from the reported aggregate.
+//!
+//! `--tier` + `--rps` turn the busy clients into request/response
+//! latency probes: each client is re-tiered on the spawned daemon's
+//! scheduler (after a warmup round trip), then sends `--messages`
+//! requests paced at `--rps` per second, and the per-request round-trip
+//! latencies land in the report as a p50/p99 histogram. `--tier` needs
+//! the in-process daemon (single-stream connections): it is rejected
+//! with `--connect` and `--sim`. `--rps` alone paces without
+//! re-tiering and works in every mode.
+//!
+//! `--bulk-clients N` adds N *saturating* background connections (each
+//! loops `--bulk-size` messages back-to-back at the server's default
+//! tier for the whole busy phase). Combined with `--tier control
+//! --rps`, this is the Table-2 tier-latency scenario: control-tier
+//! round trips probed while bulk traffic saturates the budget. The
+//! bulk population reports its own throughput and latency histogram as
+//! a second entry in the JSON report.
 //!
 //! Three ways to find a server:
 //!
@@ -47,9 +66,15 @@ fn usage() -> ! {
          \u{20}                   [--streams CSV] [--kind ascii|binary|incompressible|mixed]\n\
          \u{20}                   [--levels MIN,MAX] [--mode echo|sink] [--budget-mbit F]\n\
          \u{20}                   [--default-tier control|paid|bulk]\n\
+         \u{20}                   [--bulk-clients N] [--bulk-size B]\n\
+         \u{20}                   [--tier control|paid|bulk] [--rps F]\n\
          \u{20}                   [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]\n\
          --idle-clients holds N extra registered-but-idle connections open\n\
-         (skewed load: a work-conserving budget still runs at full rate)"
+         (skewed load: a work-conserving budget still runs at full rate)\n\
+         --tier/--rps run the busy clients as paced request/response\n\
+         latency probes and report a p50/p99 round-trip histogram\n\
+         --bulk-clients adds saturating background traffic for the\n\
+         whole busy phase (tier-latency scenarios)"
     );
     std::process::exit(2);
 }
@@ -79,12 +104,24 @@ struct Plan {
     mode: ServeMode,
     /// Tier a spawned in-process daemon assigns to every connection.
     default_tier: Tier,
+    /// Re-tier the busy clients on the spawned daemon's scheduler
+    /// (request/response latency-probe mode).
+    tier: Option<Tier>,
+    /// Per-client request pacing, requests per second (`None` =
+    /// back-to-back).
+    rps: Option<f64>,
+    /// Saturating background connections held for the whole busy phase.
+    bulk_clients: usize,
+    /// Message size of the saturating background clients.
+    bulk_size: usize,
 }
 
 #[derive(Debug)]
 struct ClientResult {
     raw_bytes: u64,
     secs: f64,
+    /// Per-request round-trip latencies, µs.
+    latencies_us: Vec<u64>,
 }
 
 /// One client's whole session: `messages` send+verify round trips.
@@ -95,7 +132,21 @@ fn run_client_on(
 ) -> Result<ClientResult, String> {
     let start = Instant::now();
     let mut raw = 0u64;
+    let interval = plan
+        .rps
+        .map(|r| std::time::Duration::from_secs_f64(1.0 / r));
+    let mut latencies_us = Vec::with_capacity(plan.messages);
     for m in 0..plan.messages {
+        if let Some(iv) = interval {
+            // Pace against the schedule, not the previous completion,
+            // so a slow round trip does not smear every later slot.
+            let slot = start + iv.mul_f32(m as f32);
+            let now = Instant::now();
+            if slot > now {
+                std::thread::sleep(slot - now);
+            }
+        }
+        let req = Instant::now();
         conn.send(payload).map_err(|e| format!("send {m}: {e}"))?;
         match plan.mode {
             ServeMode::Echo => {
@@ -117,11 +168,65 @@ fn run_client_on(
                 raw += payload.len() as u64;
             }
         }
+        latencies_us.push(req.elapsed().as_micros() as u64);
     }
     Ok(ClientResult {
         raw_bytes: raw,
         secs: start.elapsed().as_secs_f64(),
+        latencies_us,
     })
+}
+
+/// Moves a latency probe's connection onto `tier` on the spawned
+/// daemon's scheduler: one small untimed warmup round trip gets the
+/// connection sniffed, registered, and admitted, then the registry row
+/// whose peer matches the probe's local socket address is re-tiered.
+fn retier_probe(
+    server: &Arc<Server>,
+    conn: &mut dyn ClientConn,
+    plan: &Plan,
+    local_addr: &str,
+    tier: Tier,
+) -> Result<(), String> {
+    let warmup = Plan {
+        clients: 1,
+        idle_clients: 0,
+        messages: 1,
+        size: 1024,
+        rps: None,
+        ..plan.clone()
+    };
+    let payload = generate(DataKind::Ascii, warmup.size, 0xBEEF);
+    run_client_on(conn, &warmup, &payload).map_err(|e| format!("warmup: {e}"))?;
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let id = server
+            .registry()
+            .snapshot()
+            .into_iter()
+            .find(|s| s.peer == local_addr)
+            .map(|s| s.id);
+        if let Some(id) = id {
+            if server.scheduler().set_tier(id, tier) {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "could not re-tier: peer {local_addr} not admitted within 5s"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+/// `p` ∈ [0, 1] percentile of an ascending-sorted sample (nearest rank).
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
 }
 
 /// Object-safe client connection (plain socket or stream group).
@@ -171,6 +276,10 @@ fn main() {
         levels: None,
         mode: ServeMode::Echo,
         default_tier: Tier::Bulk,
+        tier: None,
+        rps: None,
+        bulk_clients: 0,
+        bulk_size: 1 << 20,
     };
 
     let mut args = std::env::args().skip(1);
@@ -179,7 +288,18 @@ fn main() {
             "--connect" => connect = Some(parse(&mut args, "--connect")),
             "--clients" => plan.clients = parse(&mut args, "--clients"),
             "--idle-clients" => plan.idle_clients = parse(&mut args, "--idle-clients"),
+            "--bulk-clients" => plan.bulk_clients = parse(&mut args, "--bulk-clients"),
+            "--bulk-size" => plan.bulk_size = parse(&mut args, "--bulk-size"),
             "--default-tier" => plan.default_tier = parse(&mut args, "--default-tier"),
+            "--tier" => plan.tier = Some(parse(&mut args, "--tier")),
+            "--rps" => {
+                let rps: f64 = parse(&mut args, "--rps");
+                if !(rps > 0.0 && rps.is_finite()) {
+                    eprintln!("--rps wants a positive finite rate, got {rps}");
+                    usage();
+                }
+                plan.rps = Some(rps);
+            }
             "--messages" => plan.messages = parse(&mut args, "--messages"),
             "--size" => plan.size = parse(&mut args, "--size"),
             "--streams" => {
@@ -273,6 +393,25 @@ fn main() {
         eprintln!("adoc-loadgen: --idle-clients needs the TCP path; drop --sim");
         std::process::exit(2);
     }
+    if sim.is_some() && plan.bulk_clients > 0 {
+        eprintln!("adoc-loadgen: --bulk-clients needs the TCP path; drop --sim");
+        std::process::exit(2);
+    }
+    if plan.tier.is_some() && connect.is_some() {
+        eprintln!(
+            "adoc-loadgen: --tier re-tiers connections on the spawned in-process \
+             daemon's scheduler; an external server's tiers are set on adoc-serverd"
+        );
+        std::process::exit(2);
+    }
+    if plan.tier.is_some() && sim.is_some() {
+        eprintln!("adoc-loadgen: --tier needs the spawned TCP path; drop --sim");
+        std::process::exit(2);
+    }
+    if plan.tier.is_some() && plan.streams.iter().any(|&s| s != 1) {
+        eprintln!("adoc-loadgen: --tier probes use single-stream connections; drop --streams");
+        std::process::exit(2);
+    }
     if connect.is_some() && budget_mbit.is_some() {
         eprintln!(
             "adoc-loadgen: --budget-mbit only configures a spawned in-process \
@@ -292,9 +431,16 @@ fn main() {
             total_raw,
             wall,
             client_secs,
+            latencies_us,
+            bulk_raw,
+            bulk_latencies_us,
             server_metrics,
         }) => {
             let mib = total_raw as f64 / wall / (1024.0 * 1024.0);
+            let (p50_us, p99_us) = (
+                percentile(&latencies_us, 0.50),
+                percentile(&latencies_us, 0.99),
+            );
             let fastest = client_secs.iter().cloned().fold(f64::INFINITY, f64::min);
             let slowest = client_secs.iter().cloned().fold(0.0, f64::max);
             println!(
@@ -313,12 +459,31 @@ fn main() {
                 fastest,
                 slowest
             );
+            if plan.tier.is_some() || plan.rps.is_some() {
+                println!(
+                    "adoc-loadgen: round-trip latency over {} requests: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+                    latencies_us.len(),
+                    p50_us as f64 / 1e3,
+                    p99_us as f64 / 1e3,
+                    latencies_us.last().copied().unwrap_or(0) as f64 / 1e3,
+                );
+            }
+            if plan.bulk_clients > 0 {
+                println!(
+                    "adoc-loadgen: {} bulk clients x {} B background: {:.1} MiB moved = {:.2} MiB/s (message p50 {:.1} ms)",
+                    plan.bulk_clients,
+                    plan.bulk_size,
+                    bulk_raw as f64 / (1024.0 * 1024.0),
+                    bulk_raw as f64 / wall / (1024.0 * 1024.0),
+                    percentile(&bulk_latencies_us, 0.50) as f64 / 1e3,
+                );
+            }
             if let Some(m) = &server_metrics {
                 println!("{m}");
             }
             if let Some(path) = json {
-                let doc = format!(
-                    "{{\n  \"schema\": \"adoc-loadgen-v1\",\n  \"results\": [\n    {{ \"id\": \"loadgen/{}/clients={}\", \"mean_ns\": {}, \"samples\": 1, \"throughput_bytes\": {}, \"mib_per_s\": {:.2} }}\n  ]\n}}\n",
+                let mut entries = vec![format!(
+                    "    {{ \"id\": \"loadgen/{}/clients={}\", \"mean_ns\": {}, \"samples\": 1, \"throughput_bytes\": {}, \"mib_per_s\": {:.2},\n      \"latency\": {{ \"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {} }} }}",
                     match plan.mode {
                         ServeMode::Echo => "echo",
                         ServeMode::Sink => "sink",
@@ -326,7 +491,28 @@ fn main() {
                     plan.clients,
                     (wall * 1e9) as u128,
                     total_raw,
-                    mib
+                    mib,
+                    latencies_us.len(),
+                    p50_us,
+                    p99_us,
+                    latencies_us.last().copied().unwrap_or(0),
+                )];
+                if plan.bulk_clients > 0 {
+                    entries.push(format!(
+                        "    {{ \"id\": \"loadgen/bulk/clients={}\", \"mean_ns\": {}, \"samples\": 1, \"throughput_bytes\": {}, \"mib_per_s\": {:.2},\n      \"latency\": {{ \"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {} }} }}",
+                        plan.bulk_clients,
+                        (wall * 1e9) as u128,
+                        bulk_raw,
+                        bulk_raw as f64 / wall / (1024.0 * 1024.0),
+                        bulk_latencies_us.len(),
+                        percentile(&bulk_latencies_us, 0.50),
+                        percentile(&bulk_latencies_us, 0.99),
+                        bulk_latencies_us.last().copied().unwrap_or(0),
+                    ));
+                }
+                let doc = format!(
+                    "{{\n  \"schema\": \"adoc-loadgen-v1\",\n  \"results\": [\n{}\n  ]\n}}\n",
+                    entries.join(",\n")
                 );
                 if let Err(e) = std::fs::write(&path, doc) {
                     eprintln!("adoc-loadgen: cannot write {path}: {e}");
@@ -346,26 +532,49 @@ struct Outcome {
     total_raw: u64,
     wall: f64,
     client_secs: Vec<f64>,
+    /// Round-trip latencies merged across every busy client, µs,
+    /// ascending.
+    latencies_us: Vec<u64>,
+    /// Raw bytes moved by the saturating background population.
+    bulk_raw: u64,
+    /// Per-message latencies of the background population, µs,
+    /// ascending.
+    bulk_latencies_us: Vec<u64>,
     server_metrics: Option<String>,
 }
 
 impl Outcome {
     fn collect(
         results: Vec<Result<ClientResult, String>>,
+        bulk: Vec<Result<ClientResult, String>>,
         wall: f64,
         server_metrics: Option<String>,
     ) -> Result<Outcome, String> {
         let mut total_raw = 0u64;
         let mut client_secs = Vec::with_capacity(results.len());
+        let mut latencies_us = Vec::new();
         for r in results {
             let r = r?;
             total_raw += r.raw_bytes;
             client_secs.push(r.secs);
+            latencies_us.extend(r.latencies_us);
         }
+        latencies_us.sort_unstable();
+        let mut bulk_raw = 0u64;
+        let mut bulk_latencies_us = Vec::new();
+        for r in bulk {
+            let r = r?;
+            bulk_raw += r.raw_bytes;
+            bulk_latencies_us.extend(r.latencies_us);
+        }
+        bulk_latencies_us.sort_unstable();
         Ok(Outcome {
             total_raw,
             wall,
             client_secs,
+            latencies_us,
+            bulk_raw,
+            bulk_latencies_us,
             server_metrics,
         })
     }
@@ -384,7 +593,7 @@ fn run_tcp(
             let cfg = ServerConfig::builder()
                 .mode(plan.mode)
                 .budget(budget_mbit.map(|m| m * 1e6 / 8.0))
-                .max_conns(((plan.clients + plan.idle_clients) * 2).max(64))
+                .max_conns(((plan.clients + plan.idle_clients + plan.bulk_clients) * 2).max(64))
                 .default_tier(plan.default_tier)
                 .build()
                 .map_err(|e| format!("server config: {e}"))?;
@@ -410,8 +619,14 @@ fn run_tcp(
     }
     let idle_ready = std::sync::Barrier::new(plan.idle_clients + 1);
     let busy_done = std::sync::atomic::AtomicBool::new(false);
+    // The saturating background population: connected and verified
+    // before the wall clock starts, released only after every busy
+    // client has finished (so the probes never see an unloaded server).
+    let bulk_ready = std::sync::Barrier::new(plan.bulk_clients + 1);
+    let bulk_stop = std::sync::atomic::AtomicBool::new(false);
     let mut wall = 0.0;
-    let results: Vec<Result<ClientResult, String>> = std::thread::scope(|s| {
+    type ClientResults = Vec<Result<ClientResult, String>>;
+    let (results, bulk): (ClientResults, ClientResults) = std::thread::scope(|s| {
         let mut idle_handles = Vec::with_capacity(plan.idle_clients);
         for c in 0..plan.idle_clients {
             let addr = addr.clone();
@@ -449,6 +664,57 @@ fn run_tcp(
         idle_ready.wait();
         let release_idles = SetOnDrop(&busy_done);
 
+        let mut bulk_handles = Vec::with_capacity(plan.bulk_clients);
+        for c in 0..plan.bulk_clients {
+            let addr = addr.clone();
+            let (bulk_ready, bulk_stop) = (&bulk_ready, &bulk_stop);
+            bulk_handles.push(s.spawn(move || {
+                let one = Plan {
+                    clients: 1,
+                    idle_clients: 0,
+                    messages: 1,
+                    size: plan.bulk_size,
+                    tier: None,
+                    rps: None,
+                    ..plan.clone()
+                };
+                let payload = generate(plan.kinds[c % plan.kinds.len()], one.size, c as u64 + 5001);
+                let started = Instant::now();
+                let mut reached_barrier = false;
+                let run = |reached: &mut bool| -> Result<ClientResult, String> {
+                    let sock = TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                    sock.set_nodelay(true).ok();
+                    let r = sock.try_clone().map_err(|e| format!("clone: {e}"))?;
+                    let mut conn = AdocSocket::with_config(r, sock, client_cfg(&one))
+                        .map_err(|e| format!("cfg: {e}"))?;
+                    bulk_ready.wait();
+                    *reached = true;
+                    let mut raw = 0u64;
+                    let mut latencies_us = Vec::new();
+                    while !bulk_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let round = run_client_on(&mut conn, &one, &payload)?;
+                        raw += round.raw_bytes;
+                        latencies_us.extend(round.latencies_us);
+                    }
+                    latencies_us.sort_unstable();
+                    Ok(ClientResult {
+                        raw_bytes: raw,
+                        secs: started.elapsed().as_secs_f64(),
+                        latencies_us,
+                    })
+                };
+                let out = run(&mut reached_barrier);
+                if !reached_barrier {
+                    // Do not leave the main thread stuck at the barrier.
+                    bulk_ready.wait();
+                }
+                out.map_err(|e| format!("bulk client {c}: {e}"))
+            }));
+        }
+        bulk_ready.wait();
+        let release_bulk = SetOnDrop(&bulk_stop);
+
+        let tier_server: Option<&Arc<Server>> = handle.as_ref().map(|h| h.server());
         let wall_start = Instant::now();
         let mut handles = Vec::with_capacity(plan.clients);
         for c in 0..plan.clients {
@@ -465,11 +731,21 @@ fn run_tcp(
                     let sock = TcpStream::connect(&addr)
                         .map_err(|e| format!("client {c} connect: {e}"))?;
                     sock.set_nodelay(true).ok();
+                    let local = sock
+                        .local_addr()
+                        .map_err(|e| format!("client {c} local addr: {e}"))?
+                        .to_string();
                     let r = sock
                         .try_clone()
                         .map_err(|e| format!("client {c} clone: {e}"))?;
                     let mut conn = AdocSocket::with_config(r, sock, cfg)
                         .map_err(|e| format!("client {c} cfg: {e}"))?;
+                    if let Some(tier) = plan.tier {
+                        let server =
+                            tier_server.expect("--tier is rejected without a spawned daemon");
+                        retier_probe(server, &mut conn, plan, &local, tier)
+                            .map_err(|e| format!("client {c}: {e}"))?;
+                    }
                     run_client_on(&mut conn, plan, &payload)
                 } else {
                     let mut conn = AdocStreamGroup::connect(&addr, cfg.with_streams(streams))
@@ -482,15 +758,20 @@ fn run_tcp(
         let mut results: Vec<Result<ClientResult, String>> =
             handles.into_iter().map(|h| h.join().unwrap()).collect();
         wall = wall_start.elapsed().as_secs_f64();
-        drop(release_idles); // busy phase over: release the idle holders
+        drop(release_bulk); // busy phase over: stop the saturators…
+        drop(release_idles); // …and release the idle holders.
                              // Idle sessions must end cleanly too, but contribute no bytes
                              // or client timings to the aggregate.
+        let bulk: Vec<Result<ClientResult, String>> = bulk_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
         for h in idle_handles {
             if let Err(e) = h.join().unwrap() {
                 results.push(Err(e));
             }
         }
-        results
+        (results, bulk)
     });
 
     let metrics = match handle {
@@ -508,7 +789,7 @@ fn run_tcp(
         }
         None => None,
     };
-    Outcome::collect(results, wall, metrics)
+    Outcome::collect(results, bulk, wall, metrics)
 }
 
 /// Runs the plan over per-client `adoc-sim` shaped links straight into
@@ -561,5 +842,5 @@ fn run_sim(plan: &Plan, profile: NetProfile, budget_mbit: Option<f64>) -> Result
         ));
     }
     let metrics = Some(server.metrics_json());
-    Outcome::collect(results, wall, metrics)
+    Outcome::collect(results, Vec::new(), wall, metrics)
 }

@@ -364,19 +364,24 @@ fn serve_loop(
             ServeMode::Sink => conn.send(&sink_ack(n, fnv1a64(&buf)))?,
         };
         served += 1;
-        server.registry().update(id, n, report.wire, conn.stats());
+        if let Some(snap) = server.registry().update(id, n, report.wire, conn.stats()) {
+            server.scheduler().report_delay(id, snap);
+        }
         server.events().emit(crate::Event::MessageServed {
             conn: id,
             raw_bytes: n,
             reply_wire_bytes: report.wire,
         });
         if server.events().is_active() {
-            if let Some(&(_, level)) = conn.stats().level_timeline.last() {
+            if let Some(&adoc::LevelEvent { level, reason, .. }) =
+                conn.stats().level_timeline.last()
+            {
                 if let Some(from) = last_level.filter(|&prev| prev != level) {
                     server.events().emit(crate::Event::LevelChange {
                         conn: id,
                         from,
                         to: level,
+                        reason,
                     });
                 }
                 last_level = Some(level);

@@ -18,20 +18,15 @@ use std::sync::Arc;
 ///
 /// | line                | command                          |
 /// |---------------------|----------------------------------|
-/// | `metrics`           | `Metrics { v1: false }`          |
-/// | `metrics v1`        | `Metrics { v1: true }`           |
+/// | `metrics`           | `Metrics`                        |
 /// | `drain`             | `Drain`                          |
 /// | `budget <mbit>`     | `Budget(Some(bytes_per_sec))`    |
 /// | `budget off`        | `Budget(None)`                   |
 /// | `help`              | `Help`                           |
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Print a metrics document; `v1` selects the deprecated
-    /// `adoc-server-metrics-v1` layout.
-    Metrics {
-        /// Emit the legacy v1 schema instead of v2.
-        v1: bool,
-    },
+    /// Print a metrics document (`adoc-server-metrics-v2`).
+    Metrics,
     /// Begin a graceful drain.
     Drain,
     /// Change the global bandwidth budget (bytes/sec); `None` lifts it.
@@ -57,11 +52,10 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
         return Err(format!("unexpected trailing argument \"{extra}\""));
     }
     let cmd = match (verb, arg) {
-        ("metrics", None) => Command::Metrics { v1: false },
-        ("metrics", Some("v1")) => Command::Metrics { v1: true },
-        ("metrics", Some(other)) => {
+        ("metrics", None) => Command::Metrics,
+        ("metrics", Some(extra)) => {
             return Err(format!(
-                "unknown metrics schema \"{other}\" (try \"metrics\" or \"metrics v1\")"
+                "unexpected trailing argument \"{extra}\" (the v1 schema has been removed)"
             ))
         }
         ("drain", None) => Command::Drain,
@@ -86,7 +80,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, String> {
 
 /// The command vocabulary, one verb per line (the `help` reply).
 pub fn help_text() -> &'static str {
-    "commands:\n  metrics        print a v2 metrics document\n  metrics v1     print the deprecated v1 metrics document\n  drain          begin a graceful drain\n  budget <mbit>  set the global budget in Mbit/s\n  budget off     lift the budget\n  help           this text"
+    "commands:\n  metrics        print a v2 metrics document\n  drain          begin a graceful drain\n  budget <mbit>  set the global budget in Mbit/s\n  budget off     lift the budget\n  help           this text"
 }
 
 /// Executes control commands against a running server. Cheap to clone
@@ -110,11 +104,6 @@ impl Control {
     /// Current metrics document in the v2 schema.
     pub fn metrics_json(&self) -> String {
         self.server.metrics_json()
-    }
-
-    /// Current metrics document in the deprecated v1 schema.
-    pub fn metrics_json_v1(&self) -> String {
-        self.server.metrics_json_v1()
     }
 
     /// Buffered event records with sequence numbers greater than
@@ -143,8 +132,7 @@ impl Control {
     /// empty string for commands with no output).
     pub fn run(&self, cmd: &Command) -> String {
         match cmd {
-            Command::Metrics { v1: false } => self.metrics_json(),
-            Command::Metrics { v1: true } => self.metrics_json_v1(),
+            Command::Metrics => self.metrics_json(),
             Command::Drain => {
                 self.drain();
                 String::new()
@@ -170,14 +158,7 @@ mod tests {
 
     #[test]
     fn known_verbs_parse_with_sloppy_whitespace() {
-        assert_eq!(
-            parse_command("  metrics  "),
-            Ok(Some(Command::Metrics { v1: false }))
-        );
-        assert_eq!(
-            parse_command("metrics   v1"),
-            Ok(Some(Command::Metrics { v1: true }))
-        );
+        assert_eq!(parse_command("  metrics  "), Ok(Some(Command::Metrics)));
         assert_eq!(parse_command("\tdrain"), Ok(Some(Command::Drain)));
         assert_eq!(parse_command("help"), Ok(Some(Command::Help)));
         assert_eq!(parse_command("budget off"), Ok(Some(Command::Budget(None))));
@@ -196,7 +177,7 @@ mod tests {
     fn errors_are_single_line_and_name_the_offender() {
         for (line, needle) in [
             ("metricz", "unknown command \"metricz\""),
-            ("metrics v3", "unknown metrics schema \"v3\""),
+            ("metrics v1", "unexpected trailing argument \"v1\""),
             ("budget", "budget needs an argument"),
             ("budget fast", "bad budget \"fast\""),
             ("budget -3", "bad budget \"-3\""),

@@ -41,6 +41,7 @@
 
 use crate::registry::{ConnId, ConnOutcome};
 use crate::sched::Tier;
+use adoc::LevelReason;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -157,6 +158,9 @@ pub enum Event<'a> {
         from: u8,
         /// New observed level.
         to: u8,
+        /// The controller verdict behind the move (queue pressure,
+        /// divergence guard, delay gradient, incompressible guard).
+        reason: LevelReason,
     },
     /// A graceful drain began.
     DrainStarted,
@@ -252,7 +256,12 @@ pub trait Subscriber: Send + Sync {
             } => self.on_message_served(meta, conn, raw_bytes, reply_wire_bytes),
             Event::SchedWait { conn, tier, waited } => self.on_sched_wait(meta, conn, tier, waited),
             Event::RefillEpoch { credit } => self.on_refill_epoch(meta, credit),
-            Event::LevelChange { conn, from, to } => self.on_level_change(meta, conn, from, to),
+            Event::LevelChange {
+                conn,
+                from,
+                to,
+                reason,
+            } => self.on_level_change(meta, conn, from, to, reason),
             Event::DrainStarted => self.on_drain_started(meta),
             Event::DrainFinished => self.on_drain_finished(meta),
             Event::PoolEvict { evicted } => self.on_pool_evict(meta, evicted),
@@ -279,7 +288,15 @@ pub trait Subscriber: Send + Sync {
     /// Refill credit was distributed.
     fn on_refill_epoch(&self, meta: &EventMeta, credit: f64) {}
     /// A connection's compression level moved.
-    fn on_level_change(&self, meta: &EventMeta, conn: ConnId, from: u8, to: u8) {}
+    fn on_level_change(
+        &self,
+        meta: &EventMeta,
+        conn: ConnId,
+        from: u8,
+        to: u8,
+        reason: LevelReason,
+    ) {
+    }
     /// A drain began.
     fn on_drain_started(&self, meta: &EventMeta) {}
     /// The drain completed.
@@ -516,7 +533,7 @@ impl Subscriber for MetricsSubscriber {
     fn on_refill_epoch(&self, _m: &EventMeta, _credit: f64) {
         self.refill_epochs.fetch_add(1, Ordering::Relaxed);
     }
-    fn on_level_change(&self, _m: &EventMeta, _conn: ConnId, _from: u8, _to: u8) {
+    fn on_level_change(&self, _m: &EventMeta, _conn: ConnId, _from: u8, _to: u8, _r: LevelReason) {
         self.level_changes.fetch_add(1, Ordering::Relaxed);
     }
     fn on_drain_started(&self, _m: &EventMeta) {
@@ -708,8 +725,17 @@ pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
         Event::RefillEpoch { credit } => {
             let _ = write!(out, ", \"credit_bytes\": {credit:.0}");
         }
-        Event::LevelChange { conn, from, to } => {
-            let _ = write!(out, ", \"conn\": {conn}, \"from\": {from}, \"to\": {to}");
+        Event::LevelChange {
+            conn,
+            from,
+            to,
+            reason,
+        } => {
+            let _ = write!(
+                out,
+                ", \"conn\": {conn}, \"from\": {from}, \"to\": {to}, \"reason\": \"{}\"",
+                reason.as_str()
+            );
         }
         Event::DrainStarted | Event::DrainFinished => {}
         Event::PoolEvict { evicted } => {

@@ -6,7 +6,6 @@
 //! Routes:
 //!
 //! * `GET /metrics` — the v2 metrics document
-//!   (`?schema=v1` selects the deprecated v1 layout)
 //! * `GET /events?since=<seq>` — buffered events after `seq` as JSON
 //!   lines (`since` defaults to 0, i.e. everything still buffered)
 //! * `POST /control/drain` — begin a graceful drain
@@ -219,17 +218,13 @@ fn serve_request(control: &Control, mut stream: TcpStream) -> io::Result<()> {
 fn route(control: &Control, method: &str, path: &str, query: &str, body: &str) -> Response {
     match (method, path) {
         ("GET", "/metrics") => {
-            let doc = match query_param(query, "schema") {
-                Some("v1") => control.metrics_json_v1(),
-                Some(other) => {
-                    return Response::error(
-                        "400 Bad Request",
-                        &format!("unknown metrics schema \"{other}\""),
-                    )
-                }
-                None => control.metrics_json(),
-            };
-            Response::ok("application/json", doc)
+            if let Some(other) = query_param(query, "schema") {
+                return Response::error(
+                    "400 Bad Request",
+                    &format!("unknown metrics schema \"{other}\" (the v1 schema has been removed)"),
+                );
+            }
+            Response::ok("application/json", control.metrics_json())
         }
         ("GET", "/events") => {
             let since = match query_param(query, "since") {

@@ -379,6 +379,7 @@ impl Server {
         subs.extend(cfg.subscribers.iter().cloned());
         let bus = Arc::new(EventBus::new(subs));
         let registry = ConnRegistry::with_bus(Arc::clone(&bus));
+        registry.set_policy(Some(Arc::new(registry::SharedBottleneckPolicy)));
         let sched = FairScheduler::with_bus(cfg.budget_bytes_per_sec, Arc::clone(&bus));
         Ok(Arc::new(Server {
             cfg,
@@ -529,7 +530,15 @@ impl Server {
             .sched
             .register_with(id, self.tier_for(peer), 1.0)
             .with_cpu(Arc::clone(&base.throttle));
-        base.with_throttle(Arc::new(throttle)).with_streams(streams)
+        let mut cfg = base.with_throttle(Arc::new(throttle)).with_streams(streams);
+        // Give the connection its own signal hub and hand the registry a
+        // handle: delay snapshots flow registry-ward on every update and
+        // the registry policy steers level bounds back through it.
+        cfg.ensure_signal_hub();
+        if let Some(hub) = cfg.signals.clone().filter(|_| cfg.delay_signals) {
+            self.registry.attach_hub(id, hub);
+        }
+        cfg
     }
 
     /// Serves one already-connected v1 client over any `Read`/`Write`
@@ -570,12 +579,6 @@ impl Server {
     /// use [`Server::metrics_doc`].
     pub fn metrics_json(&self) -> String {
         MetricsDoc::collect(self).to_json()
-    }
-
-    /// The deprecated v1-schema rendering of the same snapshot, for
-    /// consumers still pinned to `adoc-server-metrics-v1`.
-    pub fn metrics_json_v1(&self) -> String {
-        MetricsDoc::collect(self).to_json_v1()
     }
 }
 

@@ -41,15 +41,17 @@
 //!                      "streams": 1, "messages": 1, "raw_bytes": 1,
 //!                      "reply_wire_bytes": 1, "age_secs": 1.0,
 //!                      "sched_admitted": 1, "sched_tier": "bulk",
-//!                      "sched_weight": 1.0,
+//!                      "sched_weight": 1.0, "sched_boost": 1.0,
+//!                      "delay_us": 1200, "delay_state": "normal",
+//!                      "level_bounds": [0, 10],
 //!                      "level_bps": { "3": 1.0 } } ]
 //! }
 //! ```
 //!
-//! [`MetricsDoc::to_json_v1`] renders the same snapshot in the
-//! **deprecated** `adoc-server-metrics-v1` layout (no `sched.total_admitted`,
-//! `sched.utilization`, or `events` section) for consumers not yet
-//! migrated; it will be removed once nothing scrapes it.
+//! `delay_us`/`delay_state` are `null` until the connection's delay
+//! estimator completes its first packet group. The deprecated
+//! `adoc-server-metrics-v1` rendering has been removed; v2 is the only
+//! schema.
 
 use crate::event::{json_escape, EventCounts};
 use crate::registry::{ConnId, RegistryTotals};
@@ -143,6 +145,16 @@ pub struct ConnMetrics {
     pub sched_tier: Tier,
     /// Effective scheduling weight.
     pub sched_weight: f64,
+    /// Delay-driven scheduler weight boost (1.0 = none).
+    pub sched_boost: f64,
+    /// Latest queueing delay above the path baseline, µs (`None` until
+    /// the delay estimator completes a packet group).
+    pub delay_us: Option<u64>,
+    /// Congestion-state name from the delay estimator (`"normal"`,
+    /// `"overuse"`, `"underuse"`).
+    pub delay_state: Option<&'static str>,
+    /// Registry-steered compression-level bounds.
+    pub level_bounds: (u8, u8),
     /// Observed throughput by compression level (index = level), bytes
     /// per second; zero entries are elided when rendered.
     pub level_bps: [f64; 11],
@@ -150,8 +162,7 @@ pub struct ConnMetrics {
 
 /// A complete, typed metrics snapshot (see the module docs for the
 /// rendered schema). Collect one with [`MetricsDoc::collect`]; render
-/// with [`MetricsDoc::to_json`] (v2) or the deprecated
-/// [`MetricsDoc::to_json_v1`].
+/// with [`MetricsDoc::to_json`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsDoc {
     /// Seconds since the server was created.
@@ -178,8 +189,6 @@ pub struct MetricsDoc {
 
 /// Schema identifier of [`MetricsDoc::to_json`].
 pub const SCHEMA_V2: &str = "adoc-server-metrics-v2";
-/// Schema identifier of the deprecated [`MetricsDoc::to_json_v1`].
-pub const SCHEMA_V1: &str = "adoc-server-metrics-v1";
 
 impl MetricsDoc {
     /// Snapshots `server` into a typed document. Reads "now" once from
@@ -216,6 +225,10 @@ impl MetricsDoc {
                     sched_admitted: bucket.map_or(0, |b| b.admitted),
                     sched_tier: bucket.map_or(Tier::Bulk, |b| b.tier),
                     sched_weight: bucket.map_or(1.0, |b| b.weight),
+                    sched_boost: bucket.map_or(1.0, |b| b.boost),
+                    delay_us: c.delay.map(|d| d.above_baseline_us()),
+                    delay_state: c.delay.map(|d| d.state.as_str()),
+                    level_bounds: c.level_bounds,
                     level_bps: c.level_bps,
                     peer: c.peer,
                 }
@@ -320,23 +333,7 @@ impl MetricsDoc {
         out
     }
 
-    /// Renders the **deprecated** `adoc-server-metrics-v1` layout of
-    /// this snapshot, byte-compatible with what pre-v2 daemons printed
-    /// (no `events` section, no scheduler utilization fields).
-    pub fn to_json_v1(&self) -> String {
-        let mut out = String::with_capacity(1024);
-        let _ = writeln!(out, "{{\n  \"schema\": \"{SCHEMA_V1}\",");
-        self.render_header(&mut out);
-        let _ = writeln!(
-            out,
-            "  \"sched\": {{ \"work_conserving\": {}, \"drain_admitted\": {} }},",
-            self.sched.work_conserving, self.sched.drain_admitted,
-        );
-        self.render_tail(&mut out);
-        out
-    }
-
-    /// The uptime/draining/mode/budget lines shared by both schemas.
+    /// The uptime/draining/mode/budget lines of the document header.
     fn render_header(&self, out: &mut String) {
         let _ = writeln!(
             out,
@@ -356,7 +353,7 @@ impl MetricsDoc {
         }
     }
 
-    /// The totals/pool/connections sections shared by both schemas.
+    /// The totals/pool/connections sections of the document.
     fn render_tail(&self, out: &mut String) {
         let t = &self.totals;
         let _ = writeln!(
@@ -413,7 +410,8 @@ impl MetricsDoc {
                 "    {{ \"id\": {}, \"peer\": \"{}\", \"state\": \"{}\", \"streams\": {}, \
                  \"messages\": {}, \"raw_bytes\": {}, \"reply_wire_bytes\": {}, \"age_secs\": {:.3}, \
                  \"sched_admitted\": {}, \"sched_tier\": \"{}\", \"sched_weight\": {:.2}, \
-                 \"level_bps\": {{ {} }} }}{}",
+                 \"sched_boost\": {:.2}, \"delay_us\": {}, \"delay_state\": {}, \
+                 \"level_bounds\": [{}, {}], \"level_bps\": {{ {} }} }}{}",
                 c.id,
                 json_escape(&c.peer),
                 c.state,
@@ -425,6 +423,17 @@ impl MetricsDoc {
                 c.sched_admitted,
                 c.sched_tier,
                 c.sched_weight,
+                c.sched_boost,
+                match c.delay_us {
+                    Some(us) => us.to_string(),
+                    None => "null".into(),
+                },
+                match c.delay_state {
+                    Some(s) => format!("\"{s}\""),
+                    None => "null".into(),
+                },
+                c.level_bounds.0,
+                c.level_bounds.1,
                 levels,
                 sep,
             );
@@ -471,6 +480,10 @@ mod tests {
             "\"state\": \"active\"",
             "\"sched_tier\": \"bulk\"",
             "\"sched_weight\": 1.00",
+            "\"sched_boost\": 1.00",
+            "\"delay_us\": null",
+            "\"delay_state\": null",
+            "\"level_bounds\": [0, 10]",
             "\\\"quote", // escaping
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
@@ -478,34 +491,25 @@ mod tests {
     }
 
     #[test]
-    fn v1_document_keeps_the_legacy_layout() {
-        let server = Server::new(ServerConfig {
-            budget_bytes_per_sec: Some(5e6),
-            ..ServerConfig::default()
-        })
-        .unwrap();
-        let id = server.registry().register("127.0.0.1:9");
+    fn delay_fields_render_once_the_hub_signals() {
+        use adoc::SignalHub;
+        use std::sync::Arc;
+
+        let server = Server::new(ServerConfig::default()).unwrap();
+        let id = server.registry().register("peer-d");
         server.registry().activate(id, 1);
-        let doc = server.metrics_json_v1();
-        for needle in [
-            "\"schema\": \"adoc-server-metrics-v1\"",
-            "\"budget_bytes_per_sec\": 5000000.0",
-            "\"sched\": { \"work_conserving\": true, \"drain_admitted\": 0 },",
-            "\"totals\":",
-            "\"pool\":",
-            "\"connections\": [",
-            "\"state\": \"active\"",
-            "\"sched_weight\": 1.00",
-        ] {
-            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        let hub = Arc::new(SignalHub::new());
+        server.registry().attach_hub(id, hub.clone());
+        for i in 0..30u64 {
+            hub.record_remote(i * 20_000, i * 20_000 + 500, 1000);
         }
-        assert!(
-            !doc.contains("\"events\""),
-            "v1 must not grow new sections:\n{doc}"
-        );
-        assert!(!doc.contains("total_admitted"), "{doc}");
-        assert!(!doc.contains("\"workers\""), "{doc}");
-        assert!(!doc.contains("parked_on_throttle"), "{doc}");
+        let stats = adoc::TransferStats::new();
+        server.registry().update(id, 1, 1, &stats);
+        hub.set_level_bounds(1, 8);
+        let doc = server.metrics_json();
+        assert!(doc.contains("\"delay_us\": "), "{doc}");
+        assert!(!doc.contains("\"delay_state\": null"), "{doc}");
+        assert!(doc.contains("\"level_bounds\": [1, 8]"), "{doc}");
     }
 
     #[test]

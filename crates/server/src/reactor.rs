@@ -1413,21 +1413,27 @@ impl Reactor {
         conn.stats.messages += 1;
         conn.stats.raw_bytes += reply.raw;
         conn.stats.wire_bytes += reply.wire;
-        self.server
+        if let Some(snap) = self
+            .server
             .registry()
-            .update(id, conn.raw_len, reply.wire, &conn.stats);
+            .update(id, conn.raw_len, reply.wire, &conn.stats)
+        {
+            self.server.scheduler().report_delay(id, snap);
+        }
         self.server.events().emit(Event::MessageServed {
             conn: id,
             raw_bytes: conn.raw_len,
             reply_wire_bytes: reply.wire,
         });
         if self.server.events().is_active() {
-            if let Some(&(_, level)) = conn.stats.level_timeline.last() {
+            if let Some(&adoc::LevelEvent { level, reason, .. }) = conn.stats.level_timeline.last()
+            {
                 if let Some(from) = conn.last_level.filter(|&prev| prev != level) {
                     self.server.events().emit(Event::LevelChange {
                         conn: id,
                         from,
                         to: level,
+                        reason,
                     });
                 }
                 conn.last_level = Some(level);

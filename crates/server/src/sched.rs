@@ -60,10 +60,10 @@
 //! traffic slipping through unpaced.
 
 use crate::event::{Event, EventBus};
-use adoc::Throttle;
+use adoc::{DelaySnapshot, Throttle};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +85,20 @@ const MIN_EPOCH_SECS: f64 = 0.0005;
 /// Floor on a computed wakeup sleep, so rounding can never busy-spin a
 /// waiter.
 const MIN_SLEEP_SECS: f64 = 0.0002;
+
+/// Fraction of every refill epoch reserved for backlogged Control-tier
+/// buckets (the phase-0 preemption quanta): however deep the bulk
+/// backlog, a blocked control admission's debt is paid at no less than
+/// this share of the budget, which is what bounds its p99 admission
+/// latency.
+const CONTROL_PREEMPT_FRACTION: f64 = 0.5;
+
+/// Ceiling on the delay-driven weight boost [`FairScheduler::report_delay`]
+/// may apply to a Control-tier connection.
+const MAX_DELAY_BOOST: f64 = 2.0;
+
+/// Queueing delay above baseline (µs) at which the delay boost saturates.
+const BOOST_SATURATION_US: f64 = 10_000.0;
 
 /// Priority tier of a connection's traffic: `Control > Paid > Bulk`.
 ///
@@ -111,6 +125,23 @@ impl Tier {
             Tier::Control => 4.0,
             Tier::Paid => 2.0,
             Tier::Bulk => 1.0,
+        }
+    }
+
+    /// Compact encoding for the lock-free per-connection tier cell.
+    fn code(self) -> u8 {
+        match self {
+            Tier::Control => 0,
+            Tier::Paid => 1,
+            Tier::Bulk => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Tier {
+        match code {
+            0 => Tier::Control,
+            1 => Tier::Paid,
+            _ => Tier::Bulk,
         }
     }
 
@@ -153,20 +184,28 @@ struct ConnStats {
     /// f64 bit-pattern of the token balance as of the last pacing event
     /// (registration, refill, or admission) — advisory for metrics.
     tokens_bits: AtomicU64,
-    /// Effective scheduling weight (tier multiplier × registration
-    /// weight); immutable after registration.
-    weight: f64,
-    /// Registered tier; immutable after registration.
-    tier: Tier,
+    /// Per-connection weight multiplier from registration; immutable.
+    base_weight: f64,
+    /// Current tier ([`Tier::code`]); mutable via
+    /// [`FairScheduler::set_tier`].
+    tier_code: AtomicU8,
+    /// f64 bit-pattern of the delay-driven weight boost (1.0 = none),
+    /// written by [`FairScheduler::report_delay`].
+    boost_bits: AtomicU64,
+    /// Latest delay snapshot reported for this connection (metrics and
+    /// registry policies read it back through [`BucketSnapshot`]).
+    delay: Mutex<Option<DelaySnapshot>>,
 }
 
 impl ConnStats {
-    fn new(weight: f64, tier: Tier, tokens: f64) -> Arc<ConnStats> {
+    fn new(base_weight: f64, tier: Tier, tokens: f64) -> Arc<ConnStats> {
         Arc::new(ConnStats {
             admitted: AtomicU64::new(0),
             tokens_bits: AtomicU64::new(tokens.to_bits()),
-            weight,
-            tier,
+            base_weight,
+            tier_code: AtomicU8::new(tier.code()),
+            boost_bits: AtomicU64::new(1.0f64.to_bits()),
+            delay: Mutex::new(None),
         })
     }
 
@@ -176,6 +215,20 @@ impl ConnStats {
 
     fn tokens(&self) -> f64 {
         f64::from_bits(self.tokens_bits.load(Ordering::Relaxed))
+    }
+
+    fn tier(&self) -> Tier {
+        Tier::from_code(self.tier_code.load(Ordering::Relaxed))
+    }
+
+    fn boost(&self) -> f64 {
+        f64::from_bits(self.boost_bits.load(Ordering::Relaxed))
+    }
+
+    /// Effective scheduling weight: tier multiplier × registration
+    /// weight × delay boost.
+    fn weight(&self) -> f64 {
+        self.tier().weight() * self.base_weight * self.boost()
     }
 }
 
@@ -201,7 +254,7 @@ struct Bucket {
 
 impl Bucket {
     fn weight(&self) -> f64 {
-        self.stats.weight
+        self.stats.weight()
     }
 
     /// True when an admission is pending on this bucket — blocked on the
@@ -256,6 +309,17 @@ impl Pacing {
         w
     }
 
+    /// Sum of the weights of backlogged Control-tier buckets — the
+    /// denominator of a control waiter's phase-0 share prediction. The
+    /// drain bucket is always Bulk and never contributes.
+    fn control_backlogged_weight(&self) -> f64 {
+        self.buckets
+            .values()
+            .filter(|b| b.backlogged() && b.stats.tier() == Tier::Control)
+            .map(Bucket::weight)
+            .sum()
+    }
+
     fn bucket_mut(&mut self, conn: u64) -> &mut Bucket {
         // Deregistered while a pipeline thread was still flushing: the
         // shared drain bucket paces it so the aggregate cap holds.
@@ -287,10 +351,24 @@ impl Pacing {
         let credit = budget * dt;
         let total_weight = self.total_weight();
 
-        // Phase 1: backlogged buckets split the whole epoch's credit.
+        // Phase 0: preemption quanta. Backlogged Control-tier buckets
+        // take a reserved slice of the epoch ahead of the general
+        // weighted split, so a blocked control admission's debt is paid
+        // at >= CONTROL_PREEMPT_FRACTION of the budget no matter how
+        // many bulk waiters compete — the bound behind the control-tier
+        // p99 admission-latency guarantee.
+        let mut remaining = credit;
+        let control = self.phase_buckets(|b| b.backlogged() && b.stats.tier() == Tier::Control);
+        if !control.is_empty() {
+            let reserve = credit * CONTROL_PREEMPT_FRACTION;
+            let leftover = Self::water_fill(control, reserve, budget, total_weight);
+            remaining = credit - (reserve - leftover);
+        }
+
+        // Phase 1: backlogged buckets split the remaining credit.
         let surplus = Self::water_fill(
             self.phase_buckets(|b| b.backlogged()),
-            credit,
+            remaining,
             budget,
             total_weight,
         );
@@ -439,10 +517,16 @@ pub struct BucketSnapshot {
     pub tokens: f64,
     /// Total wire bytes admitted so far.
     pub admitted: u64,
-    /// Effective scheduling weight (tier × per-connection multiplier).
+    /// Effective scheduling weight (tier × per-connection multiplier ×
+    /// delay boost).
     pub weight: f64,
     /// Priority tier.
     pub tier: Tier,
+    /// Queueing delay (µs) of the latest reported delay snapshot, if
+    /// the connection has one.
+    pub delay_us: Option<u64>,
+    /// Delay-driven weight boost currently applied (1.0 = none).
+    pub boost: f64,
 }
 
 impl BucketSnapshot {
@@ -451,8 +535,10 @@ impl BucketSnapshot {
             conn,
             tokens: stats.tokens(),
             admitted: stats.admitted.load(Ordering::Relaxed),
-            weight: stats.weight,
-            tier: stats.tier,
+            weight: stats.weight(),
+            tier: stats.tier(),
+            delay_us: stats.delay.lock().map(|d| d.queue_delay_us),
+            boost: stats.boost(),
         }
     }
 }
@@ -474,7 +560,7 @@ impl FairScheduler {
                 "a bandwidth budget must be positive and finite"
             );
         }
-        let drain_stats = ConnStats::new(Tier::Bulk.weight(), Tier::Bulk, MIN_BURST);
+        let drain_stats = ConnStats::new(1.0, Tier::Bulk, MIN_BURST);
         FairScheduler {
             inner: Arc::new(Inner {
                 budget_bits: AtomicU64::new(Self::budget_to_bits(budget_bytes_per_sec)),
@@ -545,7 +631,7 @@ impl FairScheduler {
         p.drain.tokens = p.drain.tokens.min(cap(p.drain.weight()));
         p.drain.stats.store_tokens(p.drain.tokens);
         for b in p.buckets.values_mut() {
-            b.tokens = b.tokens.min(cap(b.stats.weight));
+            b.tokens = b.tokens.min(cap(b.stats.weight()));
             b.stats.store_tokens(b.tokens);
         }
         self.inner.budget_bits.store(
@@ -587,7 +673,7 @@ impl FairScheduler {
             Some(b) => Pacing::cap_for(b, effective, total_weight),
             None => MIN_BURST,
         };
-        let stats = ConnStats::new(effective, tier, tokens);
+        let stats = ConnStats::new(weight, tier, tokens);
         p.buckets.insert(
             conn,
             Bucket {
@@ -610,6 +696,57 @@ impl FairScheduler {
     /// Active (registered) connection count.
     pub fn active(&self) -> usize {
         self.inner.directory.lock().len()
+    }
+
+    /// Moves a registered connection to a different [`Tier`] at runtime
+    /// (the loadgen's `--tier` flag and the control surface use this).
+    /// The weight change takes effect from the next refill; waiters and
+    /// parked admissions are woken to re-evaluate their shares. Returns
+    /// false when `conn` is not registered.
+    pub fn set_tier(&self, conn: u64, tier: Tier) -> bool {
+        let dir = self.inner.directory.lock();
+        let Some(stats) = dir.get(&conn) else {
+            return false;
+        };
+        stats.tier_code.store(tier.code(), Ordering::Relaxed);
+        drop(dir);
+        self.inner.refilled.notify_all();
+        self.wake_parked();
+        true
+    }
+
+    /// The tier a connection is currently scheduled at, if registered.
+    pub fn tier_of(&self, conn: u64) -> Option<Tier> {
+        self.inner.directory.lock().get(&conn).map(|s| s.tier())
+    }
+
+    /// Feeds a connection's latest delay-gradient snapshot into the
+    /// scheduler. A Control-tier connection whose queueing delay is
+    /// building gets a transient weight boost (up to
+    /// [`MAX_DELAY_BOOST`]×, saturating at [`BOOST_SATURATION_US`] of
+    /// delay above baseline), so the latency-sensitive tier wins share
+    /// exactly when its latency is being hurt. Bulk and Paid tiers
+    /// store the snapshot (for metrics and registry policies) but are
+    /// never boosted — their delay is the congestion being managed, not
+    /// a claim on more bandwidth.
+    pub fn report_delay(&self, conn: u64, snap: DelaySnapshot) {
+        let dir = self.inner.directory.lock();
+        let Some(stats) = dir.get(&conn) else {
+            return;
+        };
+        let boost = if stats.tier() == Tier::Control {
+            (1.0 + snap.above_baseline_us() as f64 / BOOST_SATURATION_US).min(MAX_DELAY_BOOST)
+        } else {
+            1.0
+        };
+        stats.boost_bits.store(boost.to_bits(), Ordering::Relaxed);
+        *stats.delay.lock() = Some(snap);
+    }
+
+    /// The latest delay snapshot reported for `conn`, if any.
+    pub fn delay_of(&self, conn: u64) -> Option<DelaySnapshot> {
+        let dir = self.inner.directory.lock();
+        dir.get(&conn).and_then(|s| *s.delay.lock())
     }
 
     /// Snapshots every live bucket, sorted by connection id. Read-only
@@ -668,7 +805,7 @@ impl FairScheduler {
                     b.waiters -= 1;
                 }
                 b.stats.admitted.fetch_add(bytes as u64, Ordering::Relaxed);
-                let tier = b.stats.tier;
+                let tier = b.stats.tier();
                 if waiting {
                     p.waiters -= 1;
                 }
@@ -684,7 +821,7 @@ impl FairScheduler {
                 b.tokens -= bytes as f64;
                 b.stats.store_tokens(b.tokens);
                 b.stats.admitted.fetch_add(bytes as u64, Ordering::Relaxed);
-                let tier = b.stats.tier;
+                let tier = b.stats.tier();
                 if waiting {
                     b.waiters -= 1;
                     p.waiters -= 1;
@@ -715,6 +852,7 @@ impl FairScheduler {
             // wake loops back to a shorter sleep — never a longer one.
             let debt = -b.tokens;
             let weight = b.weight();
+            let tier = b.stats.tier();
             if !waiting {
                 b.waiters += 1;
                 p.waiters += 1;
@@ -725,7 +863,14 @@ impl FairScheduler {
                 // The refill may have satisfied another waiter.
                 self.inner.refilled.notify_all();
             }
-            let rate = budget * weight / p.backlogged_weight().max(weight);
+            let mut rate = budget * weight / p.backlogged_weight().max(weight);
+            if tier == Tier::Control {
+                // Phase-0 preemption guarantees control waiters at
+                // least their slice of the reserved fraction; sleep on
+                // the better of the two predictions.
+                let cw = p.control_backlogged_weight().max(weight);
+                rate = rate.max(budget * CONTROL_PREEMPT_FRACTION * weight / cw);
+            }
             let wait = ((debt + 1.0) / rate).max(MIN_SLEEP_SECS);
             let deadline = now + Duration::from_secs_f64(wait);
             deadline_wake = self.inner.refilled.wait_until(&mut p, deadline).timed_out();
@@ -761,7 +906,7 @@ impl FairScheduler {
                 b.stats.store_tokens(b.tokens);
             }
             b.stats.admitted.fetch_add(bytes as u64, Ordering::Relaxed);
-            let tier = b.stats.tier;
+            let tier = b.stats.tier();
             let parked_since = b.parked_since.take();
             if parked_since.is_some() {
                 p.parked -= 1;
@@ -785,12 +930,17 @@ impl FairScheduler {
         let budget = budget.expect("refused admission implies a budget");
         let debt = -b.tokens;
         let weight = b.weight();
+        let tier = b.stats.tier();
         if b.parked_since.is_none() {
             b.parked_since = Some(now);
             p.parked += 1;
             self.inner.parked_count.fetch_add(1, Ordering::Relaxed);
         }
-        let rate = budget * weight / p.backlogged_weight().max(weight);
+        let mut rate = budget * weight / p.backlogged_weight().max(weight);
+        if tier == Tier::Control {
+            let cw = p.control_backlogged_weight().max(weight);
+            rate = rate.max(budget * CONTROL_PREEMPT_FRACTION * weight / cw);
+        }
         let retry = ((debt + 1.0) / rate).max(MIN_SLEEP_SECS);
         drop(p);
         // No SchedWait yet — the episode ends when the retry admits.
@@ -877,8 +1027,8 @@ impl std::fmt::Debug for ConnThrottle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConnThrottle")
             .field("conn", &self.conn)
-            .field("weight", &self.stats.weight)
-            .field("tier", &self.stats.tier)
+            .field("weight", &self.stats.weight())
+            .field("tier", &self.stats.tier())
             .field("chained_cpu", &self.cpu.is_some())
             .finish()
     }
@@ -897,9 +1047,10 @@ impl ConnThrottle {
         self.conn
     }
 
-    /// The connection's priority tier.
+    /// The connection's priority tier (reads the live cell, so a
+    /// [`FairScheduler::set_tier`] is visible here immediately).
     pub fn tier(&self) -> Tier {
-        self.stats.tier
+        self.stats.tier()
     }
 }
 
@@ -953,7 +1104,7 @@ impl Throttle for ConnThrottle {
     }
 
     fn wire_weight(&self) -> f64 {
-        self.stats.weight
+        self.stats.weight()
     }
 }
 
@@ -1177,7 +1328,8 @@ mod tests {
             tokens: 400_000.0, // above bulk's cap, well below its own
             waiters: 0,
             parked_since: None,
-            stats: ConnStats::new(4.0, Tier::Control, 400_000.0),
+            // base 1.0 at Control tier = effective weight 4.
+            stats: ConnStats::new(1.0, Tier::Control, 400_000.0),
         };
         assert!(control.tokens > bulk_cap && control.tokens < control_cap);
         let leftover = Pacing::water_fill(
@@ -1393,6 +1545,94 @@ mod tests {
         assert_eq!(sched.parked(), 1);
         drop(t); // deregisters while parked
         assert_eq!(sched.parked(), 0, "parked gauge must not leak");
+    }
+
+    #[test]
+    fn set_tier_retiers_a_live_connection() {
+        let sched = FairScheduler::new(Some(1e6));
+        let t = sched.register(3);
+        assert_eq!(t.tier(), Tier::Bulk);
+        assert!(sched.set_tier(3, Tier::Control));
+        assert_eq!(t.tier(), Tier::Control);
+        assert_eq!(sched.tier_of(3), Some(Tier::Control));
+        let snap = sched.snapshot();
+        assert_eq!(snap[0].tier, Tier::Control);
+        assert_eq!(snap[0].weight, Tier::Control.weight());
+        assert_eq!(Throttle::wire_weight(&t), 4.0);
+        assert!(!sched.set_tier(99, Tier::Paid), "unknown conn refused");
+    }
+
+    fn overuse_snap(above_us: u64) -> DelaySnapshot {
+        DelaySnapshot {
+            queue_delay_us: above_us,
+            baseline_us: 0,
+            gradient: 100.0,
+            state: adoc::CongestionState::Overuse,
+            target_bps: None,
+            groups: 30,
+            source: adoc::SignalSource::Remote,
+            age: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn delay_reports_boost_only_the_control_tier() {
+        let sched = FairScheduler::new(Some(8e6));
+        let c = sched.register_with(1, Tier::Control, 1.0);
+        let b = sched.register(2);
+        // Saturated delay: control doubles, bulk stays at weight 1.
+        sched.report_delay(1, overuse_snap(20_000));
+        sched.report_delay(2, overuse_snap(20_000));
+        let snap = sched.snapshot();
+        let of = |conn: u64| *snap.iter().find(|s| s.conn == conn).unwrap();
+        assert_eq!(of(1).boost, MAX_DELAY_BOOST);
+        assert_eq!(of(1).weight, Tier::Control.weight() * MAX_DELAY_BOOST);
+        assert_eq!(of(2).boost, 1.0);
+        assert_eq!(of(2).weight, 1.0);
+        assert_eq!(of(1).delay_us, Some(20_000));
+        assert_eq!(sched.delay_of(2).map(|d| d.queue_delay_us), Some(20_000));
+        // A calmed signal releases the boost.
+        let mut calm = overuse_snap(0);
+        calm.state = adoc::CongestionState::Normal;
+        sched.report_delay(1, calm);
+        assert_eq!(sched.snapshot()[0].boost, 1.0);
+        drop((c, b));
+    }
+
+    #[test]
+    fn control_preemption_pays_control_debt_first() {
+        // 8 parked bulk buckets vs 1 parked control bucket. Without the
+        // phase-0 reserve the control share of an epoch is
+        // 4/(8+4) = 33%; with it, 50% + 50%·33% ≈ 67% — and each bulk
+        // bucket gets ~1/24th. The per-epoch gain ratio is the
+        // deterministic signature of preemption (timing noise cancels
+        // out of the ratio).
+        let sched = FairScheduler::new(Some(1e6));
+        let bulks: Vec<ConnThrottle> = (1..=8).map(|c| sched.register(c)).collect();
+        let control = sched.register_with(99, Tier::Control, 1.0);
+        for b in &bulks {
+            b.try_acquire_wire(400 << 10).expect("burst admits");
+            b.try_acquire_wire(1).expect_err("parks in debt");
+        }
+        control.try_acquire_wire(700 << 10).expect("burst admits");
+        control.try_acquire_wire(1).expect_err("parks in debt");
+        let before = sched.snapshot();
+        thread::sleep(Duration::from_millis(100));
+        // An unrelated admission advances the refill epoch.
+        let other = sched.register(50);
+        other.acquire_wire(1);
+        let after = sched.snapshot();
+        let tokens = |snap: &[BucketSnapshot], conn: u64| {
+            snap.iter().find(|s| s.conn == conn).unwrap().tokens
+        };
+        let control_gain = tokens(&after, 99) - tokens(&before, 99);
+        let bulk_gain = tokens(&after, 1) - tokens(&before, 1);
+        assert!(control_gain > 0.0, "control bucket received no credit");
+        assert!(
+            control_gain > 8.0 * bulk_gain,
+            "phase-0 preemption missing: control +{control_gain:.0} vs bulk +{bulk_gain:.0}"
+        );
+        drop((bulks, control, other));
     }
 
     #[test]

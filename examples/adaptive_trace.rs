@@ -39,9 +39,15 @@ fn main() {
     receiver.join().unwrap();
 
     let stats = tx.stats();
-    println!("time(s)  level  (one row per 200 KB compression buffer)");
-    for &(secs, level) in &stats.level_timeline {
-        println!("{secs:7.3}   {level:>2}    {}", "#".repeat(level as usize));
+    println!("time(s)  level  reason  (one row per 200 KB compression buffer)");
+    for e in &stats.level_timeline {
+        println!(
+            "{:7.3}   {:>2}    {:<20} {}",
+            e.secs,
+            e.level,
+            e.reason.as_str(),
+            "#".repeat(e.level as usize)
+        );
     }
     println!("\n--- summary ---\n{stats}");
 }

@@ -240,7 +240,7 @@ fn slow_receiver_divergence_converges_to_low_levels() {
             .iter()
             .rev()
             .take(5)
-            .map(|&(_, l)| l)
+            .map(|e| e.level)
             .collect();
         let tail_max = tail.iter().copied().max().unwrap_or(0);
         if tail_max <= 2 || stats.divergence_reverts > 0 {
@@ -276,13 +276,13 @@ fn congestion_trace_raises_level_mid_transfer() {
             .level_timeline
             .iter()
             .take(4)
-            .map(|&(_, l)| l)
+            .map(|e| e.level)
             .max()
             .unwrap_or(0);
         let late_max = stats
             .level_timeline
             .iter()
-            .map(|&(_, l)| l)
+            .map(|e| e.level)
             .max()
             .unwrap_or(0);
         if late_max <= early_max.max(2) {

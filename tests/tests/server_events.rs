@@ -193,14 +193,9 @@ fn http_surface_serves_metrics_events_and_control() {
     );
     assert!(body.contains("\"conns_accepted\": 1"), "{body}");
 
-    // GET /metrics?schema=v1: the deprecated layout, no event section.
-    let (status, body) = http_request(maddr, "GET /metrics?schema=v1 HTTP/1.1\r\n\r\n");
-    assert!(status.contains("200"), "{status}");
-    assert!(
-        body.contains("\"schema\": \"adoc-server-metrics-v1\""),
-        "{body}"
-    );
-    assert!(!body.contains("\"events\""), "{body}");
+    // GET /metrics?schema=v1: the removed v1 layout is now a 400.
+    let (status, _) = http_request(maddr, "GET /metrics?schema=v1 HTTP/1.1\r\n\r\n");
+    assert!(status.contains("400"), "{status}");
 
     // GET /events: JSON lines covering the connection's lifecycle.
     let (status, lines) = http_request(maddr, "GET /events?since=0 HTTP/1.1\r\n\r\n");
