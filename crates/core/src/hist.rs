@@ -1,0 +1,502 @@
+//! Lock-free log-linear latency histograms (HdrHistogram-style).
+//!
+//! One fixed bucket layout shared by everything that measures time in
+//! this workspace — the server's per-stage spans, `adoc-loadgen`'s
+//! round-trip probes, and any future scenario harness — so percentiles
+//! computed on one side are directly comparable with (and mergeable
+//! into) percentiles computed on the other.
+//!
+//! ## Bucketing
+//!
+//! Values are microseconds. The first 32 buckets are exact (0–31 µs);
+//! above that each power-of-two octave is split into 32 linear
+//! sub-buckets, so the relative quantization error is bounded by
+//! 1/32 ≈ 3.1 % across the whole range. Values cap at
+//! [`MAX_VALUE`] ≈ 134 s (anything larger is clamped into the top
+//! bucket), which comfortably covers the ~1 µs – 100 s span a transfer
+//! daemon can produce. The layout is **static** — 736 buckets, ~5.8 KB
+//! of counters per histogram — so recording is one index computation
+//! plus a handful of relaxed atomic adds: no allocation, no locks, no
+//! resizing, safe from any thread.
+//!
+//! ## Snapshots and merging
+//!
+//! [`Histogram::snapshot`] copies the counters into a plain
+//! [`HistSnapshot`], which supports [`HistSnapshot::merge`]
+//! (commutative and associative — property-tested), nearest-rank
+//! [`HistSnapshot::percentile`], and the convenience
+//! [`HistSnapshot::summary`] (p50/p90/p99/p999). Because a snapshot is
+//! taken bucket-by-bucket while writers may still be recording, it is a
+//! *consistent-enough* view for monitoring: each counter is exact at
+//! the moment it was read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear buckets, bounding relative error at
+/// `1 / 2^SUB_BITS`.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Largest distinguishable value, in µs (≈ 134 s). Larger values clamp
+/// here rather than erroring — a watchdog-scale outlier still lands in
+/// the top bucket and moves the max/percentiles the right way.
+pub const MAX_VALUE: u64 = (1 << 27) - 1;
+
+/// Total buckets in the fixed layout: indices 0..=735.
+const NUM_BUCKETS: usize = bucket_index(MAX_VALUE) + 1;
+
+/// Maps a (clamped) value to its bucket index.
+const fn bucket_index(value: u64) -> usize {
+    let v = if value > MAX_VALUE { MAX_VALUE } else { value };
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    // Highest set bit m ≥ 5: keep the top 6 bits (1 implicit + 5 sub).
+    let m = 63 - v.leading_zeros();
+    let shift = m - SUB_BITS;
+    let top = v >> shift; // in [32, 64)
+    ((shift as u64 + 1) * SUB_BUCKETS + (top - SUB_BUCKETS)) as usize
+}
+
+/// Inclusive upper bound of the values that land in bucket `idx` —
+/// the value percentile queries report for the bucket.
+const fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS as usize {
+        return idx as u64;
+    }
+    let octave = (idx as u64) / SUB_BUCKETS;
+    let off = (idx as u64) % SUB_BUCKETS;
+    let shift = (octave - 1) as u32;
+    let low = (SUB_BUCKETS + off) << shift;
+    low + (1u64 << shift) - 1
+}
+
+/// A mergeable, lock-free log-linear histogram of µs values.
+///
+/// All methods take `&self`; recording from many threads concurrently
+/// is the intended use. See the module docs for the bucket layout.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (all counters zero).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (µs). Values above [`MAX_VALUE`] clamp into
+    /// the top bucket. Lock-free: a few relaxed atomic RMWs.
+    pub fn record(&self, value_us: u64) {
+        let v = value_us.min(MAX_VALUE);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration at µs resolution.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(MAX_VALUE as u128) as u64);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the counters into a plain, mergeable snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Box<[u64]> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive count/sum from the copied buckets where possible so a
+        // snapshot racing a writer stays internally consistent: the
+        // percentile walk and `count` agree on the same totals.
+        let count: u64 = buckets.iter().sum();
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Percentile summary of one snapshot — the five numbers every latency
+/// surface in the workspace reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Values observed.
+    pub count: u64,
+    /// 50th percentile, µs.
+    pub p50: u64,
+    /// 90th percentile, µs.
+    pub p90: u64,
+    /// 99th percentile, µs.
+    pub p99: u64,
+    /// 99.9th percentile, µs.
+    pub p999: u64,
+    /// Largest observed value, µs.
+    pub max: u64,
+}
+
+/// A plain (non-atomic) copy of a histogram's counters: mergeable,
+/// queryable, cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no recorded values.
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0u64; NUM_BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Adds every counter of `other` into `self`. Merging is
+    /// commutative and associative, so per-thread or per-connection
+    /// histograms can be folded in any order into one aggregate with
+    /// identical percentiles.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values, µs.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, µs (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Nearest-rank percentile: the smallest bucket upper bound such
+    /// that at least `⌈p/100 · count⌉` recorded values are ≤ it.
+    /// `p` is in percent (`50.0`, `99.9`, …); returns 0 on an empty
+    /// snapshot. The result never exceeds the observed max, so exact
+    /// single-value distributions report exactly that value.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard p50/p90/p99/p999 summary.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_is_contiguous_and_monotone() {
+        // Every bucket's upper bound strictly increases, and every
+        // value maps into the bucket whose range contains it.
+        let mut prev = None;
+        for idx in 0..NUM_BUCKETS {
+            let hi = bucket_upper(idx);
+            if let Some(p) = prev {
+                assert!(hi > p, "bucket {idx} upper {hi} <= previous {p}");
+                // Contiguity: the first value of this bucket is p + 1.
+                assert_eq!(bucket_index(p + 1), idx);
+            }
+            assert_eq!(bucket_index(hi), idx, "upper bound must map back");
+            prev = Some(hi);
+        }
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), MAX_VALUE);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), SUB_BUCKETS);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.percentile(100.0), SUB_BUCKETS - 1);
+        // 0..=31 recorded once each: p50 over 32 values is the 16th
+        // rank, i.e. exactly 15 (buckets are exact below 32).
+        assert_eq!(s.percentile(50.0), 15);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [
+            1u64, 31, 32, 33, 1_000, 12_345, 1_000_000, 99_999_999, MAX_VALUE,
+        ] {
+            let hi = bucket_upper(bucket_index(v));
+            assert!(hi >= v);
+            let err = (hi - v) as f64 / (v.max(1)) as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64, "v={v} hi={hi} err={err}");
+        }
+    }
+
+    #[test]
+    fn values_above_the_cap_clamp_into_the_top_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record_duration(Duration::from_secs(10_000));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), MAX_VALUE);
+        assert_eq!(s.percentile(50.0), MAX_VALUE);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(99.0), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.p999, 0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_empty_is_identity() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            a.record(v);
+        }
+        b.record(7);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.min(), 5);
+        assert_eq!(m.max(), 50_000);
+        let mut id = m.clone();
+        id.merge(&HistSnapshot::empty());
+        assert_eq!(id, m, "merging an empty snapshot changes nothing");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + (i % 997));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    /// Strategy spanning the full bucket range (exact region, every
+    /// octave, the cap) rather than uniform-u64 (which would almost
+    /// never sample small values).
+    fn values() -> impl Strategy<Value = u64> {
+        prop_oneof![
+            0u64..64,
+            (0u32..27u32, 0u64..SUB_BUCKETS).prop_map(|(oct, off)| (1u64 << oct) + off),
+            0u64..=MAX_VALUE,
+            Just(MAX_VALUE),
+        ]
+    }
+
+    fn snap_of(vals: &[u64]) -> HistSnapshot {
+        let h = Histogram::new();
+        for &v in vals {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_recorded_value_bounds(vals in proptest::collection::vec(values(), 1..200)) {
+            // Any percentile of the recorded set lies within the data's
+            // range, and within the bucketing's 1/32 relative error of
+            // some recorded value's bucket.
+            let s = snap_of(&vals);
+            let lo = *vals.iter().min().unwrap();
+            let hi = *vals.iter().max().unwrap();
+            for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                let q = s.percentile(p);
+                prop_assert!(q <= hi, "p{p}: {q} > max {hi}");
+                // The reported value is a bucket upper bound capped at
+                // the observed max, so it can never undershoot the
+                // smallest recorded value.
+                prop_assert!(q >= lo, "p{p}: {q} < min {lo}");
+            }
+            // The max percentile equals the observed max exactly.
+            prop_assert_eq!(s.percentile(100.0), hi);
+        }
+
+        #[test]
+        fn prop_percentiles_are_monotone(vals in proptest::collection::vec(values(), 1..200)) {
+            let s = snap_of(&vals);
+            let mut prev = 0u64;
+            for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+                let q = s.percentile(p);
+                prop_assert!(q >= prev, "p{p} = {q} < previous {prev}");
+                prev = q;
+            }
+        }
+
+        #[test]
+        fn prop_merge_is_commutative(
+            a in proptest::collection::vec(values(), 0..100),
+            b in proptest::collection::vec(values(), 0..100),
+        ) {
+            let (sa, sb) = (snap_of(&a), snap_of(&b));
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(&ab, &ba);
+            // And merging matches recording everything into one
+            // histogram directly.
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            prop_assert_eq!(&ab, &snap_of(&all));
+        }
+
+        #[test]
+        fn prop_merge_is_associative(
+            a in proptest::collection::vec(values(), 0..60),
+            b in proptest::collection::vec(values(), 0..60),
+            c in proptest::collection::vec(values(), 0..60),
+        ) {
+            let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+            let mut left = sa.clone(); // (a ∪ b) ∪ c
+            left.merge(&sb);
+            left.merge(&sc);
+            let mut bc = sb.clone(); // a ∪ (b ∪ c)
+            bc.merge(&sc);
+            let mut right = sa.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_quantization_error_bounded(v in 0u64..=MAX_VALUE) {
+            let hi = bucket_upper(bucket_index(v));
+            prop_assert!(hi >= v);
+            prop_assert!((hi - v) as f64 <= v as f64 / SUB_BUCKETS as f64 + 1.0);
+            // Single-value distributions report that value exactly at
+            // every percentile (upper bound capped by the observed max).
+            let s = snap_of(&[v]);
+            for p in [50.0, 99.0, 100.0] {
+                prop_assert_eq!(s.percentile(p), v);
+            }
+        }
+    }
+}

@@ -60,6 +60,7 @@ pub mod bw;
 pub mod capi;
 pub mod config;
 pub mod error;
+pub mod hist;
 pub mod pool;
 pub mod queue;
 pub mod receiver;
@@ -79,6 +80,7 @@ pub use capi::{
 };
 pub use config::{AdocConfig, LevelPolicyFactory};
 pub use error::AdocError;
+pub use hist::{HistSnapshot, HistSummary, Histogram};
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use signals::{CongestionState, DelaySnapshot, SignalHub, SignalSource};
 pub use socket::{AdocSocket, AdocStreamGroup, SendReport};

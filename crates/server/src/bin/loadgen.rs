@@ -49,7 +49,7 @@
 //! Every echo is verified byte-exact (sink mode verifies the length +
 //! FNV-1a ack); any mismatch fails the process.
 
-use adoc::{AdocConfig, AdocSocket, AdocStreamGroup};
+use adoc::{AdocConfig, AdocSocket, AdocStreamGroup, HistSnapshot, Histogram};
 use adoc_data::{generate, DataKind};
 use adoc_server::{daemon, fnv1a64, sink_ack, ServeMode, Server, ServerConfig, Tier};
 use adoc_sim::link::duplex;
@@ -120,8 +120,8 @@ struct Plan {
 struct ClientResult {
     raw_bytes: u64,
     secs: f64,
-    /// Per-request round-trip latencies, µs.
-    latencies_us: Vec<u64>,
+    /// Round-trip latency histogram (mergeable across clients).
+    latency: HistSnapshot,
 }
 
 /// One client's whole session: `messages` send+verify round trips.
@@ -135,7 +135,7 @@ fn run_client_on(
     let interval = plan
         .rps
         .map(|r| std::time::Duration::from_secs_f64(1.0 / r));
-    let mut latencies_us = Vec::with_capacity(plan.messages);
+    let latency = Histogram::new();
     for m in 0..plan.messages {
         if let Some(iv) = interval {
             // Pace against the schedule, not the previous completion,
@@ -168,12 +168,12 @@ fn run_client_on(
                 raw += payload.len() as u64;
             }
         }
-        latencies_us.push(req.elapsed().as_micros() as u64);
+        latency.record_duration(req.elapsed());
     }
     Ok(ClientResult {
         raw_bytes: raw,
         secs: start.elapsed().as_secs_f64(),
-        latencies_us,
+        latency: latency.snapshot(),
     })
 }
 
@@ -218,15 +218,6 @@ fn retier_probe(
         }
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
-}
-
-/// `p` ∈ [0, 1] percentile of an ascending-sorted sample (nearest rank).
-fn percentile(sorted_us: &[u64], p: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
 }
 
 /// Object-safe client connection (plain socket or stream group).
@@ -431,16 +422,13 @@ fn main() {
             total_raw,
             wall,
             client_secs,
-            latencies_us,
+            latency,
             bulk_raw,
-            bulk_latencies_us,
+            bulk_latency,
             server_metrics,
         }) => {
             let mib = total_raw as f64 / wall / (1024.0 * 1024.0);
-            let (p50_us, p99_us) = (
-                percentile(&latencies_us, 0.50),
-                percentile(&latencies_us, 0.99),
-            );
+            let lat = latency.summary();
             let fastest = client_secs.iter().cloned().fold(f64::INFINITY, f64::min);
             let slowest = client_secs.iter().cloned().fold(0.0, f64::max);
             println!(
@@ -462,10 +450,10 @@ fn main() {
             if plan.tier.is_some() || plan.rps.is_some() {
                 println!(
                     "adoc-loadgen: round-trip latency over {} requests: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
-                    latencies_us.len(),
-                    p50_us as f64 / 1e3,
-                    p99_us as f64 / 1e3,
-                    latencies_us.last().copied().unwrap_or(0) as f64 / 1e3,
+                    lat.count,
+                    lat.p50 as f64 / 1e3,
+                    lat.p99 as f64 / 1e3,
+                    lat.max as f64 / 1e3,
                 );
             }
             if plan.bulk_clients > 0 {
@@ -475,7 +463,7 @@ fn main() {
                     plan.bulk_size,
                     bulk_raw as f64 / (1024.0 * 1024.0),
                     bulk_raw as f64 / wall / (1024.0 * 1024.0),
-                    percentile(&bulk_latencies_us, 0.50) as f64 / 1e3,
+                    bulk_latency.summary().p50 as f64 / 1e3,
                 );
             }
             if let Some(m) = &server_metrics {
@@ -492,22 +480,23 @@ fn main() {
                     (wall * 1e9) as u128,
                     total_raw,
                     mib,
-                    latencies_us.len(),
-                    p50_us,
-                    p99_us,
-                    latencies_us.last().copied().unwrap_or(0),
+                    lat.count,
+                    lat.p50,
+                    lat.p99,
+                    lat.max,
                 )];
                 if plan.bulk_clients > 0 {
+                    let blat = bulk_latency.summary();
                     entries.push(format!(
                         "    {{ \"id\": \"loadgen/bulk/clients={}\", \"mean_ns\": {}, \"samples\": 1, \"throughput_bytes\": {}, \"mib_per_s\": {:.2},\n      \"latency\": {{ \"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {} }} }}",
                         plan.bulk_clients,
                         (wall * 1e9) as u128,
                         bulk_raw,
                         bulk_raw as f64 / wall / (1024.0 * 1024.0),
-                        bulk_latencies_us.len(),
-                        percentile(&bulk_latencies_us, 0.50),
-                        percentile(&bulk_latencies_us, 0.99),
-                        bulk_latencies_us.last().copied().unwrap_or(0),
+                        blat.count,
+                        blat.p50,
+                        blat.p99,
+                        blat.max,
                     ));
                 }
                 let doc = format!(
@@ -532,14 +521,12 @@ struct Outcome {
     total_raw: u64,
     wall: f64,
     client_secs: Vec<f64>,
-    /// Round-trip latencies merged across every busy client, µs,
-    /// ascending.
-    latencies_us: Vec<u64>,
+    /// Round-trip latency histogram merged across every busy client.
+    latency: HistSnapshot,
     /// Raw bytes moved by the saturating background population.
     bulk_raw: u64,
-    /// Per-message latencies of the background population, µs,
-    /// ascending.
-    bulk_latencies_us: Vec<u64>,
+    /// Per-message latency histogram of the background population.
+    bulk_latency: HistSnapshot,
     server_metrics: Option<String>,
 }
 
@@ -552,29 +539,27 @@ impl Outcome {
     ) -> Result<Outcome, String> {
         let mut total_raw = 0u64;
         let mut client_secs = Vec::with_capacity(results.len());
-        let mut latencies_us = Vec::new();
+        let mut latency = HistSnapshot::default();
         for r in results {
             let r = r?;
             total_raw += r.raw_bytes;
             client_secs.push(r.secs);
-            latencies_us.extend(r.latencies_us);
+            latency.merge(&r.latency);
         }
-        latencies_us.sort_unstable();
         let mut bulk_raw = 0u64;
-        let mut bulk_latencies_us = Vec::new();
+        let mut bulk_latency = HistSnapshot::default();
         for r in bulk {
             let r = r?;
             bulk_raw += r.raw_bytes;
-            bulk_latencies_us.extend(r.latencies_us);
+            bulk_latency.merge(&r.latency);
         }
-        bulk_latencies_us.sort_unstable();
         Ok(Outcome {
             total_raw,
             wall,
             client_secs,
-            latencies_us,
+            latency,
             bulk_raw,
-            bulk_latencies_us,
+            bulk_latency,
             server_metrics,
         })
     }
@@ -690,17 +675,16 @@ fn run_tcp(
                     bulk_ready.wait();
                     *reached = true;
                     let mut raw = 0u64;
-                    let mut latencies_us = Vec::new();
+                    let mut latency = HistSnapshot::default();
                     while !bulk_stop.load(std::sync::atomic::Ordering::Relaxed) {
                         let round = run_client_on(&mut conn, &one, &payload)?;
                         raw += round.raw_bytes;
-                        latencies_us.extend(round.latencies_us);
+                        latency.merge(&round.latency);
                     }
-                    latencies_us.sort_unstable();
                     Ok(ClientResult {
                         raw_bytes: raw,
                         secs: started.elapsed().as_secs_f64(),
-                        latencies_us,
+                        latency,
                     })
                 };
                 let out = run(&mut reached_barrier);

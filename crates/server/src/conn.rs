@@ -330,6 +330,7 @@ pub(crate) fn serve_messages(
         Ok(_) => server.registry().remove(id, ConnOutcome::Completed),
         Err(_) => server.registry().remove(id, ConnOutcome::Failed),
     }
+    server.tracer().deregister(id);
     result
 }
 
@@ -353,24 +354,46 @@ fn serve_loop(
         }
         ctl.mark_boundary();
         buf.clear();
+        let t0 = std::time::Instant::now();
         let n = conn.receive(&mut buf)?;
         if n == 0 && buf.is_empty() {
             // Clean EOF (or a zero-byte message, which the protocol
             // treats as a client-initiated close).
             return Ok(served);
         }
+        let read_us = t0.elapsed().as_micros() as u64;
+        let t1 = std::time::Instant::now();
         let report = match server.mode() {
             ServeMode::Echo => conn.send(&buf)?,
             ServeMode::Sink => conn.send(&sink_ack(n, fnv1a64(&buf)))?,
         };
+        let write_us = t1.elapsed().as_micros() as u64;
         served += 1;
         if let Some(snap) = server.registry().update(id, n, report.wire, conn.stats()) {
             server.scheduler().report_delay(id, snap);
+        }
+        // Coarse two-stage span for the blocking path: receive() and
+        // send() run the whole pipeline inline, so scheduler waits and
+        // codec time are indistinguishable from I/O here. receive()
+        // also includes the client's think-time before the message, so
+        // this path never emits SlowRequest — only the reactor's spans,
+        // which start at the first header byte, can judge slowness.
+        let times = crate::trace::StageTimes {
+            read_us,
+            write_us,
+            total_us: read_us + write_us,
+            ..Default::default()
+        };
+        if server.config().instrument {
+            server
+                .tracer()
+                .record(id, n, server.events().now().as_secs_f64(), &times);
         }
         server.events().emit(crate::Event::MessageServed {
             conn: id,
             raw_bytes: n,
             reply_wire_bytes: report.wire,
+            times,
         });
         if server.events().is_active() {
             if let Some(&adoc::LevelEvent { level, reason, .. }) =

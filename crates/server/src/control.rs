@@ -106,6 +106,17 @@ impl Control {
         self.server.metrics_json()
     }
 
+    /// Server-wide per-stage latency percentiles (`adoc-latency-v1`).
+    pub fn latency_json(&self) -> String {
+        self.server.tracer().latency_json()
+    }
+
+    /// One connection's flight-recorder document (`adoc-trace-v1`), or
+    /// `None` when the connection has no trace (unknown or departed).
+    pub fn trace_json(&self, conn: crate::registry::ConnId) -> Option<String> {
+        self.server.tracer().trace_json(conn)
+    }
+
     /// Buffered event records with sequence numbers greater than
     /// `since`, oldest first.
     pub fn events_since(&self, since: u64) -> Vec<EventRecord> {

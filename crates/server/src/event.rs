@@ -41,6 +41,7 @@
 
 use crate::registry::{ConnId, ConnOutcome};
 use crate::sched::Tier;
+use crate::trace::StageTimes;
 use adoc::LevelReason;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -131,6 +132,20 @@ pub enum Event<'a> {
         raw_bytes: u64,
         /// Wire bytes of the server's reply.
         reply_wire_bytes: u64,
+        /// Where the message's wall-clock time went (all zeros when the
+        /// serving path does not trace stages).
+        times: StageTimes,
+    },
+    /// A message's end-to-end latency exceeded the configured
+    /// slow-request threshold; carries the full stage span so the
+    /// offending stage is visible in the event itself.
+    SlowRequest {
+        /// Registry id.
+        conn: ConnId,
+        /// Raw payload bytes of the received message.
+        raw_bytes: u64,
+        /// The stage breakdown that blew the threshold.
+        times: StageTimes,
     },
     /// A scheduler admission had to block and has now been admitted;
     /// `waited` is the episode's total blocked time.
@@ -205,6 +220,7 @@ impl Event<'_> {
             Event::HandshakeFailed { .. } => "handshake_failed",
             Event::ConnError { .. } => "conn_error",
             Event::MessageServed { .. } => "message_served",
+            Event::SlowRequest { .. } => "slow_request",
             Event::SchedWait { .. } => "sched_wait",
             Event::RefillEpoch { .. } => "refill_epoch",
             Event::LevelChange { .. } => "level_change",
@@ -253,7 +269,13 @@ pub trait Subscriber: Send + Sync {
                 conn,
                 raw_bytes,
                 reply_wire_bytes,
-            } => self.on_message_served(meta, conn, raw_bytes, reply_wire_bytes),
+                times,
+            } => self.on_message_served(meta, conn, raw_bytes, reply_wire_bytes, &times),
+            Event::SlowRequest {
+                conn,
+                raw_bytes,
+                times,
+            } => self.on_slow_request(meta, conn, raw_bytes, &times),
             Event::SchedWait { conn, tier, waited } => self.on_sched_wait(meta, conn, tier, waited),
             Event::RefillEpoch { credit } => self.on_refill_epoch(meta, credit),
             Event::LevelChange {
@@ -281,8 +303,19 @@ pub trait Subscriber: Send + Sync {
     fn on_handshake_failed(&self, meta: &EventMeta, conn: Option<ConnId>) {}
     /// A connection failed from an internal fault (worker panic…).
     fn on_conn_error(&self, meta: &EventMeta, conn: Option<ConnId>, error: &str) {}
-    /// One message was served.
-    fn on_message_served(&self, meta: &EventMeta, conn: ConnId, raw: u64, reply_wire: u64) {}
+    /// One message was served; `times` is its stage span (all zeros on
+    /// untraced paths).
+    fn on_message_served(
+        &self,
+        meta: &EventMeta,
+        conn: ConnId,
+        raw: u64,
+        reply_wire: u64,
+        times: &StageTimes,
+    ) {
+    }
+    /// A message exceeded the slow-request threshold.
+    fn on_slow_request(&self, meta: &EventMeta, conn: ConnId, raw_bytes: u64, times: &StageTimes) {}
     /// A blocked admission was admitted after `waited`.
     fn on_sched_wait(&self, meta: &EventMeta, conn: ConnId, tier: Tier, waited: Duration) {}
     /// Refill credit was distributed.
@@ -435,6 +468,8 @@ pub struct EventCounts {
     pub handshake_failures: u64,
     /// `MessageServed` events.
     pub messages_served: u64,
+    /// `SlowRequest` events (messages over the latency threshold).
+    pub slow_requests: u64,
     /// `SchedWait` events (blocked admissions).
     pub sched_waits: u64,
     /// Total time blocked admissions spent waiting, in seconds.
@@ -469,6 +504,7 @@ pub struct MetricsSubscriber {
     conns_closed: AtomicU64,
     handshake_failures: AtomicU64,
     messages_served: AtomicU64,
+    slow_requests: AtomicU64,
     sched_waits: AtomicU64,
     sched_wait_nanos: AtomicU64,
     refill_epochs: AtomicU64,
@@ -495,6 +531,7 @@ impl MetricsSubscriber {
             conns_closed: self.conns_closed.load(Ordering::Relaxed),
             handshake_failures: self.handshake_failures.load(Ordering::Relaxed),
             messages_served: self.messages_served.load(Ordering::Relaxed),
+            slow_requests: self.slow_requests.load(Ordering::Relaxed),
             sched_waits: self.sched_waits.load(Ordering::Relaxed),
             sched_wait_secs: self.sched_wait_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             refill_epochs: self.refill_epochs.load(Ordering::Relaxed),
@@ -522,8 +559,18 @@ impl Subscriber for MetricsSubscriber {
     fn on_handshake_failed(&self, _m: &EventMeta, _conn: Option<ConnId>) {
         self.handshake_failures.fetch_add(1, Ordering::Relaxed);
     }
-    fn on_message_served(&self, _m: &EventMeta, _conn: ConnId, _raw: u64, _reply_wire: u64) {
+    fn on_message_served(
+        &self,
+        _m: &EventMeta,
+        _conn: ConnId,
+        _raw: u64,
+        _reply_wire: u64,
+        _times: &StageTimes,
+    ) {
         self.messages_served.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_slow_request(&self, _m: &EventMeta, _conn: ConnId, _raw: u64, _times: &StageTimes) {
+        self.slow_requests.fetch_add(1, Ordering::Relaxed);
     }
     fn on_sched_wait(&self, _m: &EventMeta, _conn: ConnId, _tier: Tier, waited: Duration) {
         self.sched_waits.fetch_add(1, Ordering::Relaxed);
@@ -709,11 +756,21 @@ pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
             conn,
             raw_bytes,
             reply_wire_bytes,
+            times,
         } => {
             let _ = write!(
                 out,
                 ", \"conn\": {conn}, \"raw_bytes\": {raw_bytes}, \"reply_wire_bytes\": {reply_wire_bytes}"
             );
+            write_stages(&mut out, &times);
+        }
+        Event::SlowRequest {
+            conn,
+            raw_bytes,
+            times,
+        } => {
+            let _ = write!(out, ", \"conn\": {conn}, \"raw_bytes\": {raw_bytes}");
+            write_stages(&mut out, &times);
         }
         Event::SchedWait { conn, tier, waited } => {
             let _ = write!(
@@ -756,6 +813,16 @@ pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
     }
     out.push('}');
     out
+}
+
+/// Appends a `"stages"` object with the span's per-stage microseconds.
+fn write_stages(out: &mut String, t: &StageTimes) {
+    let _ = write!(
+        out,
+        ", \"stages\": {{\"read_us\": {}, \"sched_us\": {}, \"queue_us\": {}, \
+         \"codec_us\": {}, \"write_us\": {}, \"total_us\": {}}}",
+        t.read_us, t.sched_us, t.queue_us, t.codec_us, t.write_us, t.total_us
+    );
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
@@ -859,6 +926,7 @@ mod tests {
                 conn: 1,
                 raw_bytes: 10,
                 reply_wire_bytes: 4,
+                times: StageTimes::default(),
             },
         );
         sub.on_event(
@@ -875,6 +943,50 @@ mod tests {
         assert_eq!(c.sched_waits, 1);
         assert!((c.sched_wait_secs - 0.25).abs() < 1e-6);
         assert_eq!(c.pool_evictions, 3);
+    }
+
+    #[test]
+    fn slow_request_counts_and_renders_the_span() {
+        let sub = MetricsSubscriber::new();
+        let meta = EventMeta {
+            seq: 9,
+            t: Duration::from_millis(7),
+        };
+        let times = StageTimes {
+            read_us: 11,
+            sched_us: 22,
+            queue_us: 33,
+            codec_us: 44,
+            write_us: 55,
+            total_us: 1_500_000,
+        };
+        let ev = Event::SlowRequest {
+            conn: 6,
+            raw_bytes: 2048,
+            times,
+        };
+        sub.on_event(&meta, &ev);
+        assert_eq!(sub.counts().slow_requests, 1);
+        let line = render_json_line(&meta, &ev);
+        assert!(line.contains("\"event\": \"slow_request\""), "{line}");
+        assert!(line.contains("\"conn\": 6, \"raw_bytes\": 2048"), "{line}");
+        assert!(
+            line.contains("\"stages\": {\"read_us\": 11, \"sched_us\": 22"),
+            "{line}"
+        );
+        assert!(line.contains("\"total_us\": 1500000"), "{line}");
+        // MessageServed carries the same stage block.
+        let line = render_json_line(
+            &meta,
+            &Event::MessageServed {
+                conn: 6,
+                raw_bytes: 2048,
+                reply_wire_bytes: 99,
+                times,
+            },
+        );
+        assert!(line.contains("\"reply_wire_bytes\": 99"), "{line}");
+        assert!(line.contains("\"codec_us\": 44"), "{line}");
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * `GET /metrics` — the v2 metrics document
 //! * `GET /events?since=<seq>` — buffered events after `seq` as JSON
 //!   lines (`since` defaults to 0, i.e. everything still buffered)
+//! * `GET /latency` — server-wide per-stage latency percentiles
+//!   (`adoc-latency-v1`)
+//! * `GET /trace?conn=<id>` — one connection's flight recorder:
+//!   stage summaries plus recent spans (`adoc-trace-v1`)
 //! * `POST /control/drain` — begin a graceful drain
 //! * `POST /control/budget` — body `<mbit>` or `off`
 //!
@@ -241,6 +245,25 @@ fn route(control: &Control, method: &str, path: &str, query: &str, body: &str) -
             };
             Response::ok("application/x-ndjson", control.events_json_lines(since))
         }
+        ("GET", "/latency") => Response::ok("application/json", control.latency_json()),
+        ("GET", "/trace") => {
+            let conn = match query_param(query, "conn") {
+                Some(v) => match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return Response::error(
+                            "400 Bad Request",
+                            &format!("bad conn \"{v}\" (want a connection id)"),
+                        )
+                    }
+                },
+                None => return Response::error("400 Bad Request", "missing conn parameter"),
+            };
+            match control.trace_json(conn) {
+                Some(doc) => Response::ok("application/json", doc),
+                None => Response::error("404 Not Found", &format!("unknown conn {conn}")),
+            }
+        }
         ("POST", "/control/drain") => {
             control.drain();
             Response::ok("text/plain", "draining\n".into())
@@ -253,7 +276,8 @@ fn route(control: &Control, method: &str, path: &str, query: &str, body: &str) -
             Ok(_) => Response::error("400 Bad Request", "empty budget body"),
             Err(e) => Response::error("400 Bad Request", &e),
         },
-        ("GET", "/control/drain" | "/control/budget") | ("POST", "/metrics" | "/events") => {
+        ("GET", "/control/drain" | "/control/budget")
+        | ("POST", "/metrics" | "/events" | "/latency" | "/trace") => {
             Response::error("405 Method Not Allowed", "method not allowed")
         }
         _ => Response::error("404 Not Found", "not found"),

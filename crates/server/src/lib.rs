@@ -51,6 +51,7 @@ pub mod poll;
 pub mod reactor;
 pub mod registry;
 pub mod sched;
+pub mod trace;
 pub mod workers;
 
 pub use conn::{fnv1a64, sink_ack, ServeMode};
@@ -63,7 +64,8 @@ pub use http::HttpHandle;
 pub use metrics::MetricsDoc;
 pub use registry::{ConnOutcome, ConnRegistry, ConnSnapshot, ConnState, RegistryTotals};
 pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler, Tier};
-pub use workers::{WorkerGauges, WorkerPool, WorkerStats};
+pub use trace::{SpanRecord, StageHists, StageSummaries, StageTimes, TraceCenter};
+pub use workers::{JobTiming, WorkerGauges, WorkerPool, WorkerStats};
 
 use adoc::{AdocConfig, AdocError, AdocSocket, BufferPool};
 use conn::{ConnCtl, DrainState, GuardedReader, RegistryGuard};
@@ -117,6 +119,12 @@ pub struct ServerConfig {
     pub metrics_addr: Option<String>,
     /// Retention capacity of the built-in [`EventLog`] ring buffer.
     pub event_log_cap: usize,
+    /// End-to-end latency above which a traced message additionally
+    /// emits [`Event::SlowRequest`] with its full stage span.
+    pub slow_request_threshold: Duration,
+    /// Spans retained per connection by the [`TraceCenter`]'s flight
+    /// recorder (the `GET /trace?conn=ID` ring).
+    pub trace_ring_cap: usize,
     /// Attach the built-in [`MetricsSubscriber`] and [`EventLog`]
     /// (`false` runs the event bus bare — only explicitly added
     /// subscribers see events; the bench suite uses this to price
@@ -141,6 +149,8 @@ impl Default for ServerConfig {
             tier_overrides: Vec::new(),
             metrics_addr: None,
             event_log_cap: 1024,
+            slow_request_threshold: Duration::from_secs(1),
+            trace_ring_cap: 64,
             instrument: true,
             subscribers: Vec::new(),
         }
@@ -161,6 +171,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("tier_overrides", &self.tier_overrides)
             .field("metrics_addr", &self.metrics_addr)
             .field("event_log_cap", &self.event_log_cap)
+            .field("slow_request_threshold", &self.slow_request_threshold)
+            .field("trace_ring_cap", &self.trace_ring_cap)
             .field("instrument", &self.instrument)
             .field("subscribers", &self.subscribers.len())
             .finish_non_exhaustive()
@@ -272,6 +284,20 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Latency threshold above which a traced message emits
+    /// [`Event::SlowRequest`] (must be > 0; default 1s).
+    pub fn slow_request_threshold(mut self, threshold: Duration) -> Self {
+        self.cfg.slow_request_threshold = threshold;
+        self
+    }
+
+    /// Per-connection flight-recorder capacity (must be ≥ 1;
+    /// default 64).
+    pub fn trace_ring_cap(mut self, cap: usize) -> Self {
+        self.cfg.trace_ring_cap = cap;
+        self
+    }
+
     /// Enables/disables the built-in metrics and event-log subscribers
     /// (default on).
     pub fn instrument(mut self, on: bool) -> Self {
@@ -311,6 +337,16 @@ impl ServerConfigBuilder {
                 reason: "event_log_cap must be >= 1".into(),
             });
         }
+        if cfg.slow_request_threshold.is_zero() {
+            return Err(AdocError::InvalidConfig {
+                reason: "slow_request_threshold must be > 0".into(),
+            });
+        }
+        if cfg.trace_ring_cap == 0 {
+            return Err(AdocError::InvalidConfig {
+                reason: "trace_ring_cap must be >= 1".into(),
+            });
+        }
         if let Some(addr) = &cfg.metrics_addr {
             if addr.trim().is_empty() {
                 return Err(AdocError::InvalidConfig {
@@ -337,6 +373,10 @@ pub struct Server {
     /// Worker-pool gauges: the reactor's [`WorkerPool`] updates them
     /// while it runs; the metrics document reads them unconditionally.
     worker_gauges: Arc<WorkerGauges>,
+    /// Per-message stage-latency layer: server-wide histograms plus the
+    /// per-connection flight recorders behind `GET /latency` and
+    /// `GET /trace?conn=ID`.
+    tracer: TraceCenter,
     /// Pool evictions already reported as [`Event::PoolEvict`] — the
     /// pool counter is monotonic, so the delta since this watermark is
     /// what a new event carries.
@@ -381,8 +421,10 @@ impl Server {
         let registry = ConnRegistry::with_bus(Arc::clone(&bus));
         registry.set_policy(Some(Arc::new(registry::SharedBottleneckPolicy)));
         let sched = FairScheduler::with_bus(cfg.budget_bytes_per_sec, Arc::clone(&bus));
+        let tracer = TraceCenter::new(cfg.trace_ring_cap);
         Ok(Arc::new(Server {
             cfg,
+            tracer,
             registry,
             sched,
             drain: Arc::new(DrainState::default()),
@@ -437,6 +479,13 @@ impl Server {
     /// The daemon-wide shared buffer pool.
     pub fn pool(&self) -> &BufferPool {
         &self.cfg.adoc.pool
+    }
+
+    /// The per-message stage-latency layer (histograms + flight
+    /// recorders). Serving paths record into it only when
+    /// [`ServerConfig::instrument`] is on; it always answers reads.
+    pub fn tracer(&self) -> &TraceCenter {
+        &self.tracer
     }
 
     /// The worker-pool gauge block (shared with the reactor's
@@ -669,6 +718,16 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("drain_poll"));
+        let err = ServerConfig::builder()
+            .slow_request_threshold(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("slow_request_threshold"));
+        let err = ServerConfig::builder()
+            .trace_ring_cap(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("trace_ring_cap"));
         // Struct-literal construction reports the same violations
         // through Server::new.
         let err = Server::new(ServerConfig {
@@ -709,6 +768,8 @@ mod tests {
             .tier_override("vip-", Tier::Control)
             .metrics_addr("127.0.0.1:0")
             .event_log_cap(16)
+            .slow_request_threshold(Duration::from_millis(250))
+            .trace_ring_cap(8)
             .instrument(false)
             .build()
             .unwrap();
@@ -723,6 +784,8 @@ mod tests {
         );
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.event_log_cap, 16);
+        assert_eq!(cfg.slow_request_threshold, Duration::from_millis(250));
+        assert_eq!(cfg.trace_ring_cap, 8);
         assert!(!cfg.instrument);
     }
 

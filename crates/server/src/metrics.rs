@@ -28,9 +28,15 @@
 //!                           "level_changes": 0, "pool_evictions": 0,
 //!                           "budget_changes": 0, "drains": 0,
 //!                           "reactor_ticks": 0, "worker_jobs": 0,
-//!                           "worker_queue_peak": 0 } },
+//!                           "worker_queue_peak": 0,
+//!                           "slow_requests": 0 } },
 //!   "workers": { "threads": 1, "queued": 0, "in_flight": 0,
 //!                "completed": 0, "panics": 0, "queue_peak": 0 },
+//!   "latency": { "messages": 1,
+//!                "read": { "count": 1, "p50_us": 10, "p90_us": 10,
+//!                          "p99_us": 10, "p999_us": 10, "max_us": 10 },
+//!                "sched_wait": { … }, "queue_wait": { … },
+//!                "codec": { … }, "write": { … }, "total": { … } },
 //!   "totals": { "accepted": 1, "completed": 1, "failed": 0,
 //!               "handshake_failures": 0, "messages": 1,
 //!               "raw_bytes": 1, "reply_wire_bytes": 1 },
@@ -56,6 +62,7 @@
 use crate::event::{json_escape, EventCounts};
 use crate::registry::{ConnId, RegistryTotals};
 use crate::sched::{BucketSnapshot, Tier};
+use crate::trace::StageSummaries;
 use crate::workers::WorkerStats;
 use crate::{ServeMode, Server};
 use std::collections::HashMap;
@@ -72,8 +79,10 @@ pub struct SchedMetrics {
     /// Lifetime wire bytes admitted across every connection and path
     /// (including the unlimited fast path).
     pub total_admitted: u64,
-    /// `total_admitted / (budget × uptime)` — the fraction of the
-    /// configured budget actually spent; `None` when unlimited.
+    /// Fraction of the scheduler's granted admission capacity actually
+    /// consumed ([`crate::FairScheduler::utilization`]): paced
+    /// admissions net of outstanding debt over burst grants plus the
+    /// budget integral — exact, pinned ≤ 1.0. `None` when unlimited.
     pub utilization: Option<f64>,
     /// Connections currently parked in the reactor on a throttle
     /// refusal (nonblocking admissions awaiting refill credit).
@@ -94,6 +103,17 @@ pub struct EventsMetrics {
     /// Lifetime counts aggregated by the built-in
     /// [`crate::MetricsSubscriber`].
     pub counts: EventCounts,
+}
+
+/// Per-stage latency section of a metrics document, aggregated over
+/// every traced message since startup (all zeros when the server runs
+/// uninstrumented).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyMetrics {
+    /// Messages recorded into the server-wide stage histograms.
+    pub messages: u64,
+    /// Percentile summaries for each pipeline stage.
+    pub stages: StageSummaries,
 }
 
 /// Shared-pool section of a metrics document.
@@ -179,6 +199,8 @@ pub struct MetricsDoc {
     pub events: EventsMetrics,
     /// Codec worker-pool section (all zeros when no reactor runs).
     pub workers: WorkerStats,
+    /// Per-stage latency section.
+    pub latency: LatencyMetrics,
     /// Registry lifetime totals.
     pub totals: RegistryTotals,
     /// Shared-pool section.
@@ -206,8 +228,7 @@ impl MetricsDoc {
             .collect();
         let budget = server.scheduler().budget();
         let total_admitted = server.scheduler().total_admitted();
-        let utilization = budget
-            .and_then(|b| (uptime_secs > 0.0).then(|| total_admitted as f64 / (b * uptime_secs)));
+        let utilization = server.scheduler().utilization();
         let connections = server
             .registry()
             .snapshot_at(now)
@@ -247,6 +268,10 @@ impl MetricsDoc {
                 parked_on_throttle: server.scheduler().parked(),
             },
             workers: server.worker_stats(),
+            latency: LatencyMetrics {
+                messages: server.tracer().messages(),
+                stages: server.tracer().global().summaries(),
+            },
             events: EventsMetrics {
                 last_seq: server.events().last_seq(),
                 log_len: server.event_log().len(),
@@ -305,7 +330,7 @@ impl MetricsDoc {
              \"sched_waits\": {}, \"sched_wait_secs\": {:.6}, \"refill_epochs\": {}, \
              \"level_changes\": {}, \"pool_evictions\": {}, \"budget_changes\": {}, \
              \"drains\": {}, \"reactor_ticks\": {}, \"worker_jobs\": {}, \
-             \"worker_queue_peak\": {} }} }},",
+             \"worker_queue_peak\": {}, \"slow_requests\": {} }} }},",
             c.conns_accepted,
             c.conns_admitted,
             c.conns_closed,
@@ -321,6 +346,7 @@ impl MetricsDoc {
             c.reactor_ticks,
             c.worker_jobs,
             c.worker_queue_peak,
+            c.slow_requests,
         );
         let w = &self.workers;
         let _ = writeln!(
@@ -329,6 +355,13 @@ impl MetricsDoc {
              \"completed\": {}, \"panics\": {}, \"queue_peak\": {} }},",
             w.threads, w.queued, w.in_flight, w.completed, w.panics, w.queue_peak,
         );
+        let _ = write!(
+            out,
+            "  \"latency\": {{ \"messages\": {}, ",
+            self.latency.messages
+        );
+        self.latency.stages.write_json_fields(&mut out);
+        out.push_str(" },\n");
         self.render_tail(&mut out);
         out
     }
@@ -468,6 +501,10 @@ mod tests {
             "\"workers\": { \"threads\": 0, \"queued\": 0, \"in_flight\": 0",
             "\"reactor_ticks\": 0",
             "\"worker_queue_peak\": 0",
+            "\"slow_requests\": 0",
+            "\"latency\": { \"messages\": 0",
+            "\"sched_wait\": { \"count\": 0",
+            "\"total\": { \"count\": 0",
             "\"events\":",
             "\"last_seq\":",
             "\"subscribers_poisoned\": 0",

@@ -52,7 +52,8 @@ use crate::daemon::{handle_group_stream, PendingGroups};
 use crate::event::Event;
 use crate::poll::{Interest, PollEvent, Poller};
 use crate::registry::{ConnId, ConnOutcome};
-use crate::workers::{default_worker_threads, Job, WorkerPool};
+use crate::trace::StageTimes;
+use crate::workers::{default_worker_threads, Job, JobTiming, WorkerPool};
 use crate::Server;
 use adoc::wire::{
     self, FrameHeader, MsgKind, FRAME_HEADER_LEN, GROUP_MAGIC, MAGIC, MSG_HEADER_LEN,
@@ -109,8 +110,10 @@ struct Shared {
     /// Sockets accepted but not yet picked up by the reactor.
     inject: Mutex<Vec<(TcpStream, SocketAddr)>>,
     /// Finished worker jobs waiting for the reactor to resume their
-    /// connections. `Err` carries a worker panic or codec failure.
-    completions: Mutex<Vec<(u64, Result<JobDone, String>)>>,
+    /// connections. `Err` carries a worker panic or codec failure; the
+    /// [`JobTiming`] is the job's queue wait and codec time for the
+    /// connection's stage span.
+    completions: Mutex<Vec<Completion>>,
     /// Connections currently owned by the reactor plus running group
     /// threads — the daemon's admission-control count.
     live: AtomicUsize,
@@ -133,6 +136,85 @@ enum JobDone {
 }
 
 type JobResult = Result<JobDone, String>;
+
+/// One worker completion routed back to the reactor: `(token, result,
+/// timing)`.
+type Completion = (u64, JobResult, JobTiming);
+
+/// Which stage owns the span's lap clock on the reactor thread. Worker
+/// stages (queue wait, codec) are measured by the worker itself and
+/// folded in via [`MsgSpan::absorb_job`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StageKind {
+    /// Reading inbound bytes (header, body, probe, frame payloads).
+    Read,
+    /// Parked on a refused wire admission.
+    SchedWait,
+    /// Writing the reply.
+    Write,
+}
+
+/// Lap clock over one in-flight message: wall time since `mark`
+/// accrues to `owner` whenever ownership switches, so park time lands
+/// in `sched_us` no matter which stage the refusal interrupted.
+/// Created when the first header byte arrives (idle client think-time
+/// between messages belongs to no span) and finished at the reply's
+/// last byte. Stages deliberately need not sum to `total_us`: handoff
+/// slivers (a completion waiting for the next poll) are dropped rather
+/// than misattributed.
+struct MsgSpan {
+    started: Instant,
+    mark: Instant,
+    owner: StageKind,
+    times: StageTimes,
+}
+
+impl MsgSpan {
+    fn begin() -> MsgSpan {
+        let now = Instant::now();
+        MsgSpan {
+            started: now,
+            mark: now,
+            owner: StageKind::Read,
+            times: StageTimes::default(),
+        }
+    }
+
+    /// Charges the lap since `mark` to the current owner.
+    fn flush(&mut self) {
+        let now = Instant::now();
+        let us = now.duration_since(self.mark).as_micros() as u64;
+        match self.owner {
+            StageKind::Read => self.times.read_us += us,
+            StageKind::SchedWait => self.times.sched_us += us,
+            StageKind::Write => self.times.write_us += us,
+        }
+        self.mark = now;
+    }
+
+    /// Charges the lap to the current owner, then hands the clock to
+    /// `to`.
+    fn switch(&mut self, to: StageKind) {
+        self.flush();
+        self.owner = to;
+    }
+
+    /// Folds a worker job's self-measured durations in and restarts the
+    /// lap at now (the submit-side `flush` already closed the reactor's
+    /// lap, so the worker interval is never double-counted).
+    fn absorb_job(&mut self, timing: JobTiming) {
+        self.times.queue_us += timing.queue.as_micros() as u64;
+        self.times.codec_us += timing.codec.as_micros() as u64;
+        self.mark = Instant::now();
+    }
+
+    /// Closes the span: final lap charged, total stamped.
+    fn finish(mut self) -> StageTimes {
+        self.flush();
+        self.times.total_us = self.started.elapsed().as_micros() as u64;
+        self.times
+    }
+}
 
 /// The handle the daemon owns: socket injection, the admission gauge,
 /// and shutdown.
@@ -288,6 +370,9 @@ struct Conn {
     /// Generation of this connection's live timer; stale heap entries
     /// are skipped on pop.
     timer_gen: u64,
+    /// Stage span of the in-flight message (present between the first
+    /// header byte and the reply's last byte, on traced servers).
+    span: Option<MsgSpan>,
 }
 
 impl Conn {
@@ -379,6 +464,11 @@ pub struct Reactor {
     events: Vec<PollEvent>,
     drain: Arc<DrainState>,
     next_token: u64,
+    /// Stage spans are recorded only on instrumented servers, so the
+    /// bare bench configuration pays nothing for the latency layer.
+    traced: bool,
+    /// [`crate::ServerConfig::slow_request_threshold`] in microseconds.
+    slow_us: u64,
 }
 
 impl Reactor {
@@ -409,19 +499,26 @@ impl Reactor {
             default_worker_threads(),
             Arc::clone(server.worker_gauges()),
             server.events_shared(),
-            move |conn, result| {
+            move |conn, result, timing| {
                 // Flatten the pool's panic channel into the job's own
                 // error channel: both close the connection the same way.
                 let flat = match result {
                     Ok(inner) => inner,
                     Err(panic) => Err(panic),
                 };
-                completion_shared.completions.lock().push((conn, flat));
+                completion_shared
+                    .completions
+                    .lock()
+                    .push((conn, flat, timing));
                 completion_shared.waker.wake();
             },
         );
         let drain = server.drain_state();
+        let traced = server.config().instrument;
+        let slow_us = server.config().slow_request_threshold.as_micros() as u64;
         Ok(Reactor {
+            traced,
+            slow_us,
             server,
             pending,
             poller,
@@ -621,6 +718,7 @@ impl Reactor {
             last_level: None,
             out_level: 0,
             timer_gen: 0,
+            span: None,
         };
         self.arm_timer(&mut conn, hello_timeout);
         self.conns.insert(token, conn);
@@ -630,11 +728,11 @@ impl Reactor {
     }
 
     fn process_completions(&mut self) -> usize {
-        let done: Vec<(u64, Result<JobDone, String>)> =
+        let done: Vec<(u64, Result<JobDone, String>, JobTiming)> =
             std::mem::take(&mut *self.shared.completions.lock());
         let n = done.len();
-        for (token, result) in done {
-            self.complete(token, result);
+        for (token, result, timing) in done {
+            self.complete(token, result, timing);
         }
         n
     }
@@ -741,10 +839,13 @@ impl Reactor {
     }
 
     /// Resumes a connection with its worker-job result.
-    fn complete(&mut self, token: u64, result: Result<JobDone, String>) {
+    fn complete(&mut self, token: u64, result: Result<JobDone, String>, timing: JobTiming) {
         let Some(mut conn) = self.conns.remove(&token) else {
             return; // closed while the job ran (drain cut, peer reset)
         };
+        if let Some(span) = conn.span.as_mut() {
+            span.absorb_job(timing);
+        }
         let done = match result {
             Ok(done) => done,
             Err(msg) => {
@@ -811,12 +912,21 @@ impl Reactor {
         )));
     }
 
-    /// Admission helper: `Ok(true)` = admitted, `Ok(false)` = parked
-    /// (timer armed, caller returns `Keep(NONE)`).
-    fn try_admit(&mut self, conn: &mut Conn, bytes: usize) -> bool {
+    /// Admission helper: `true` = admitted (the span's lap clock goes
+    /// to `stage`), `false` = parked (timer armed, the lap clock goes
+    /// to sched-wait, caller returns `Keep(NONE)`).
+    fn try_admit(&mut self, conn: &mut Conn, bytes: usize, stage: StageKind) -> bool {
         match conn.cfg().throttle.try_acquire_wire(bytes) {
-            Ok(()) => true,
+            Ok(()) => {
+                if let Some(span) = conn.span.as_mut() {
+                    span.switch(stage);
+                }
+                true
+            }
             Err(retry) => {
+                if let Some(span) = conn.span.as_mut() {
+                    span.switch(StageKind::SchedWait);
+                }
                 self.throttled.insert(conn.token);
                 self.arm_timer(conn, retry);
                 false
@@ -827,6 +937,9 @@ impl Reactor {
     fn close(&mut self, conn: Conn, kind: CloseKind) {
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         self.throttled.remove(&conn.token);
+        if let Some(id) = conn.id {
+            self.server.tracer().deregister(id);
+        }
         match (conn.id, kind) {
             (Some(id), CloseKind::Clean) => {
                 self.server.registry().remove(id, ConnOutcome::Completed)
@@ -913,6 +1026,13 @@ impl Reactor {
                     conn.out_level = cfg.min_level;
                     conn.id = Some(id);
                     conn.cfg = Some(cfg);
+                    if self.traced {
+                        // A live, registered connection answers
+                        // GET /trace (empty ring) before its first
+                        // message completes.
+                        self.server.tracer().register(id);
+                        conn.span = Some(MsgSpan::begin());
+                    }
                     conn.state = State::ReadHeader { got: 2 };
                 }
                 State::ReadHeader { mut got } => {
@@ -929,6 +1049,12 @@ impl Reactor {
                             return Flow::Keep(Interest::READ);
                         }
                         ReadStep::Data(n) => {
+                            if got == 0 && n > 0 && self.traced && conn.span.is_none() {
+                                // First header byte of a new message:
+                                // the span starts here, so client idle
+                                // time between messages is excluded.
+                                conn.span = Some(MsgSpan::begin());
+                            }
                             got += n;
                             if got < MSG_HEADER_LEN {
                                 conn.state = State::ReadHeader { got };
@@ -966,7 +1092,7 @@ impl Reactor {
                         // Inbound pacing in the blocking receiver's
                         // quanta: a buffer_size's worth at a time.
                         let quantum = remaining.min(conn.cfg().buffer_size);
-                        if !self.try_admit(conn, quantum) {
+                        if !self.try_admit(conn, quantum, StageKind::Read) {
                             conn.state = State::ReadDirect { credit };
                             return Flow::Keep(Interest::NONE);
                         }
@@ -1028,7 +1154,7 @@ impl Reactor {
                 State::ReadProbe { end, mut credit } => {
                     if credit == 0 {
                         let quantum = (end - conn.filled).min(conn.cfg().packet_size);
-                        if !self.try_admit(conn, quantum) {
+                        if !self.try_admit(conn, quantum, StageKind::Read) {
                             conn.state = State::ReadProbe { end, credit };
                             return Flow::Keep(Interest::NONE);
                         }
@@ -1094,7 +1220,7 @@ impl Reactor {
                     // Wire admission covers the payload, as in the
                     // blocking receiver; parking here is what lets a
                     // throttled connection sleep instead of spin.
-                    if !self.try_admit(conn, hdr.payload_len as usize) {
+                    if !self.try_admit(conn, hdr.payload_len as usize, StageKind::Read) {
                         conn.state = State::AwaitPayloadBudget { hdr };
                         return Flow::Keep(Interest::NONE);
                     }
@@ -1142,6 +1268,11 @@ impl Reactor {
                         let level = hdr.level;
                         let raw_len = hdr.raw_len as usize;
                         let input = std::mem::take(&mut *payload);
+                        if let Some(span) = conn.span.as_mut() {
+                            // Close the read lap; the worker measures
+                            // its own queue/codec interval.
+                            span.flush();
+                        }
                         self.pool.submit(Job {
                             conn: conn.token,
                             work: Box::new(move |_codec| {
@@ -1247,6 +1378,11 @@ impl Reactor {
                 }
             }
         };
+        if let Some(span) = conn.span.as_mut() {
+            // The message is fully read; everything from here is the
+            // write side (a refused admission re-takes the clock).
+            span.switch(StageKind::Write);
+        }
         conn.state = State::Reply(reply);
         Ok(())
     }
@@ -1267,7 +1403,7 @@ impl Reactor {
             // A frame (or ack) already encoded: put it on the wire.
             if let Some((frame, mut pos)) = reply.frame.take() {
                 if !reply.charged {
-                    if !self.try_admit(conn, frame.len()) {
+                    if !self.try_admit(conn, frame.len(), StageKind::Write) {
                         reply.frame = Some((frame, pos));
                         return ReplyFlow::Wait(State::Reply(reply), Interest::NONE);
                     }
@@ -1302,7 +1438,7 @@ impl Reactor {
             match &mut reply.body {
                 ReplyBody::Ack { buf, pos } => {
                     if !reply.charged {
-                        if !self.try_admit(conn, buf.len()) {
+                        if !self.try_admit(conn, buf.len(), StageKind::Write) {
                             return ReplyFlow::Wait(State::Reply(reply), Interest::NONE);
                         }
                         reply.charged = true;
@@ -1322,20 +1458,17 @@ impl Reactor {
                     return self.finish_message(conn, reply);
                 }
                 ReplyBody::Direct { pos, credit } => {
-                    let msg = conn.msg.as_ref().expect("direct reply has a message");
-                    while *pos < msg.len() {
+                    let msg_len = conn.msg.as_ref().expect("direct reply has a message").len();
+                    while *pos < msg_len {
                         if *credit == 0 {
-                            let quantum = (msg.len() - *pos).min(conn.cfg().buffer_size);
-                            match conn.cfg().throttle.try_acquire_wire(quantum) {
-                                Ok(()) => *credit = quantum,
-                                Err(retry) => {
-                                    self.throttled.insert(conn.token);
-                                    self.arm_timer(conn, retry);
-                                    return ReplyFlow::Wait(State::Reply(reply), Interest::NONE);
-                                }
+                            let quantum = (msg_len - *pos).min(conn.cfg().buffer_size);
+                            if !self.try_admit(conn, quantum, StageKind::Write) {
+                                return ReplyFlow::Wait(State::Reply(reply), Interest::NONE);
                             }
+                            *credit = quantum;
                         }
-                        let end = (*pos + *credit).min(msg.len());
+                        let end = (*pos + *credit).min(msg_len);
+                        let msg = conn.msg.as_ref().expect("direct reply has a message");
                         match write_step(&mut conn.stream, &msg[*pos..end]) {
                             WriteStep::Fail => return ReplyFlow::Close(CloseKind::Failed),
                             WriteStep::Block => {
@@ -1378,6 +1511,9 @@ impl Reactor {
                     // Compression is worker-pool work; one job in
                     // flight per connection bounds the queue.
                     let chunk = msg[start..end].to_vec();
+                    if let Some(span) = conn.span.as_mut() {
+                        span.flush();
+                    }
                     self.pool.submit(Job {
                         conn: conn.token,
                         work: Box::new(move |codec| {
@@ -1420,11 +1556,28 @@ impl Reactor {
         {
             self.server.scheduler().report_delay(id, snap);
         }
+        let span_times = conn.span.take().map(MsgSpan::finish);
+        if let Some(times) = span_times {
+            self.server.tracer().record(
+                id,
+                conn.raw_len,
+                self.server.events().now().as_secs_f64(),
+                &times,
+            );
+        }
         self.server.events().emit(Event::MessageServed {
             conn: id,
             raw_bytes: conn.raw_len,
             reply_wire_bytes: reply.wire,
+            times: span_times.unwrap_or_default(),
         });
+        if let Some(times) = span_times.filter(|t| t.total_us > self.slow_us) {
+            self.server.events().emit(Event::SlowRequest {
+                conn: id,
+                raw_bytes: conn.raw_len,
+                times,
+            });
+        }
         if self.server.events().is_active() {
             if let Some(&adoc::LevelEvent { level, reason, .. }) = conn.stats.level_timeline.last()
             {

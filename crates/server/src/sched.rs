@@ -469,6 +469,19 @@ struct Inner {
     /// existed (per-bucket counters die with their registration) — the
     /// numerator of the metrics document's utilization figure.
     total_admitted: AtomicU64,
+    /// Wire bytes admitted while the budget was lifted (unlimited):
+    /// counted in `total_admitted` but never charged to any bucket, so
+    /// [`FairScheduler::utilization`] subtracts them — unpaced traffic
+    /// must not register as budget consumption.
+    unpaced_admitted: AtomicU64,
+    /// f64 bit-pattern of the cumulative admission **capacity** ever
+    /// granted, in bytes: one-time registration burst grants, refill
+    /// credit (`budget × dt` per epoch), and debt forgiven when an
+    /// indebted bucket deregisters. Written only under the pacing lock
+    /// (via a CAS loop for safety), read lock-free — the denominator of
+    /// [`FairScheduler::utilization`]. Every paced admission is covered
+    /// by capacity accrued here, which is what pins the ratio ≤ 1.
+    capacity_bits: AtomicU64,
     /// Where [`Event::SchedWait`] / [`Event::RefillEpoch`] /
     /// [`Event::BudgetChanged`] go. Emission always happens *after* the
     /// pacing lock is released.
@@ -581,6 +594,19 @@ impl FairScheduler {
                 directory: Mutex::new(HashMap::new()),
                 drain_stats,
                 total_admitted: AtomicU64::new(0),
+                unpaced_admitted: AtomicU64::new(0),
+                // The drain bucket's construction-time burst grant is
+                // spendable capacity only under a budget; an unlimited
+                // scheduler accrues balances when a budget first
+                // arrives (see set_budget).
+                capacity_bits: AtomicU64::new(
+                    if budget_bytes_per_sec.is_some() {
+                        MIN_BURST
+                    } else {
+                        0.0
+                    }
+                    .to_bits(),
+                ),
                 bus,
                 parked_count: AtomicU64::new(0),
                 waker: Mutex::new(None),
@@ -592,6 +618,56 @@ impl FairScheduler {
     /// ones that have since deregistered, and drain-bucket traffic).
     pub fn total_admitted(&self) -> u64 {
         self.inner.total_admitted.load(Ordering::Relaxed)
+    }
+
+    /// Adds `bytes` of admission capacity (see `Inner::capacity_bits`).
+    fn accrue_capacity(&self, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        let cell = &self.inner.capacity_bits;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + bytes).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Fraction of the granted admission capacity actually consumed:
+    /// `(paced admissions − outstanding debt) / capacity`, where
+    /// capacity is every burst grant plus the integral of the budget
+    /// over refill epochs. `None` when the budget is unlimited (there
+    /// is nothing to utilize); `Some(0.0)` on a fresh scheduler.
+    ///
+    /// The ratio is **exact at rest** and clamped to `[0, 1]` under
+    /// concurrency: counters are read admissions-first and capacity
+    /// last, so a race can only shrink the reported ratio, and the
+    /// token-deduction/admission-count window (debt visible before the
+    /// admitted bytes are) is absorbed by the clamp. PR 8's 104%
+    /// came from admissions charged against capacity that was never
+    /// accounted (drain-bucket grants, `set_budget` clock edges, and
+    /// unpaced fast-path bytes); each now lands on the correct side of
+    /// the division.
+    pub fn utilization(&self) -> Option<f64> {
+        self.budget()?;
+        let admitted = self.inner.total_admitted.load(Ordering::Relaxed) as f64;
+        let unpaced = self.inner.unpaced_admitted.load(Ordering::Relaxed) as f64;
+        // Outstanding debt: bytes admitted ahead of capacity that the
+        // indebted buckets will pay back out of future refills. Live
+        // buckets only — a deregistered bucket's debt is forgiven into
+        // capacity at deregistration.
+        let mut debt = (-self.drain_snapshot().tokens).max(0.0);
+        for s in self.snapshot() {
+            debt += (-s.tokens).max(0.0);
+        }
+        let capacity = f64::from_bits(self.inner.capacity_bits.load(Ordering::Relaxed));
+        if capacity <= 0.0 {
+            return Some(0.0);
+        }
+        Some(((admitted - unpaced - debt) / capacity).clamp(0.0, 1.0))
     }
 
     fn budget_to_bits(budget: Option<f64>) -> u64 {
@@ -621,6 +697,13 @@ impl FairScheduler {
             );
         }
         let mut p = self.inner.pacing.lock();
+        // Clock edge: the tail of credit earned under the outgoing
+        // budget is distributed — and accounted as capacity — before
+        // the rate changes, so no interval is ever billed at the wrong
+        // rate (or dropped entirely, which is where part of PR 8's
+        // >100% utilization came from).
+        let was_unlimited = p.budget.is_none();
+        self.accrue_capacity(p.refill(Instant::now(), true));
         p.budget = budget_bytes_per_sec;
         p.last_refill = Instant::now();
         let total_weight = p.total_weight();
@@ -633,6 +716,14 @@ impl FairScheduler {
         for b in p.buckets.values_mut() {
             b.tokens = b.tokens.min(cap(b.stats.weight()));
             b.stats.store_tokens(b.tokens);
+        }
+        if was_unlimited && budget_bytes_per_sec.is_some() {
+            // Balances banked while the budget was lifted were never
+            // accounted (unlimited admissions bypass the buckets);
+            // they become spendable paced capacity from this instant.
+            let banked = p.drain.tokens.max(0.0)
+                + p.buckets.values().map(|b| b.tokens.max(0.0)).sum::<f64>();
+            self.accrue_capacity(banked);
         }
         self.inner.budget_bits.store(
             Self::budget_to_bits(budget_bytes_per_sec),
@@ -673,6 +764,12 @@ impl FairScheduler {
             Some(b) => Pacing::cap_for(b, effective, total_weight),
             None => MIN_BURST,
         };
+        if p.budget.is_some() {
+            // The one-time burst grant is spendable paced capacity
+            // (under an unlimited budget the bank is decorative until
+            // set_budget accrues whatever survives the clamp).
+            self.accrue_capacity(tokens);
+        }
         let stats = ConnStats::new(weight, tier, tokens);
         p.buckets.insert(
             conn,
@@ -795,6 +892,7 @@ impl FairScheduler {
         loop {
             let now = Instant::now();
             let credit = p.refill(now, deadline_wake);
+            self.accrue_capacity(credit);
             episode_credit += credit;
             let refilled = credit > 0.0;
             let Some(budget) = p.budget else {
@@ -812,6 +910,9 @@ impl FairScheduler {
                 drop(p);
                 self.inner
                     .total_admitted
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                self.inner
+                    .unpaced_admitted
                     .fetch_add(bytes as u64, Ordering::Relaxed);
                 self.emit_episode(conn, tier, wait_start, episode_credit);
                 return;
@@ -897,6 +998,7 @@ impl FairScheduler {
         // the refill past MIN_EPOCH_SECS, mirroring a deadline wake.
         let force = p.bucket_mut(conn).parked_since.is_some();
         let credit = p.refill(now, force);
+        self.accrue_capacity(credit);
         let refilled = credit > 0.0;
         let budget = p.budget;
         let b = p.bucket_mut(conn);
@@ -924,6 +1026,11 @@ impl FairScheduler {
             self.inner
                 .total_admitted
                 .fetch_add(bytes as u64, Ordering::Relaxed);
+            if budget.is_none() {
+                self.inner
+                    .unpaced_admitted
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            }
             self.emit_episode(conn, tier, parked_since, credit);
             return Ok(());
         }
@@ -999,6 +1106,11 @@ impl FairScheduler {
             // drain bucket when it wakes; hand the waiter count over so
             // the bookkeeping stays balanced.
             p.drain.waiters += removed.waiters;
+            // Debt dies with the bucket but its admitted bytes were
+            // counted: forgive it into capacity so utilization stays a
+            // true ratio. (A positive leftover bank stays in capacity
+            // unspent — conservative, never inflating the ratio.)
+            self.accrue_capacity(-removed.tokens);
             // A parked admission dies with its connection (the reactor
             // closes it; there is no thread to re-resolve).
             if removed.parked_since.is_some() {
@@ -1074,6 +1186,10 @@ impl Throttle for ConnThrottle {
                 .inner
                 .total_admitted
                 .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.sched
+                .inner
+                .unpaced_admitted
+                .fetch_add(bytes as u64, Ordering::Relaxed);
         }
         if let Some(cpu) = &self.cpu {
             cpu.acquire_wire(bytes);
@@ -1094,6 +1210,10 @@ impl Throttle for ConnThrottle {
             self.sched
                 .inner
                 .total_admitted
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.sched
+                .inner
+                .unpaced_admitted
                 .fetch_add(bytes as u64, Ordering::Relaxed);
             Ok(())
         }
@@ -1633,6 +1753,69 @@ mod tests {
             "phase-0 preemption missing: control +{control_gain:.0} vs bulk +{bulk_gain:.0}"
         );
         drop((bulks, control, other));
+    }
+
+    #[test]
+    fn utilization_is_none_unlimited_and_zero_fresh() {
+        let unlimited = FairScheduler::new(None);
+        assert_eq!(unlimited.utilization(), None);
+        let t = unlimited.register(1);
+        t.acquire_wire(10 << 20);
+        assert_eq!(unlimited.utilization(), None, "unpaced bytes never count");
+
+        let fresh = FairScheduler::new(Some(1e6));
+        assert_eq!(fresh.utilization(), Some(0.0));
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one_under_saturation() {
+        // Three connections hammer a small budget flat out — including
+        // a mid-run deregistration (debt forgiven into capacity, its
+        // straggler traffic repriced through the drain bucket) and a
+        // mid-run budget retune (clock edge). PR 8 logged 104% on a
+        // shape like this; the capacity-accounted ratio must stay a
+        // true fraction at every sample and end saturated.
+        let sched = FairScheduler::new(Some(4e6));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = (1..=3u64)
+            .map(|conn| {
+                let sched = sched.clone();
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let t = sched.register(conn);
+                    while !stop.load(Ordering::Relaxed) {
+                        t.acquire_wire(48 << 10);
+                        if conn == 3 {
+                            return; // deregisters with debt outstanding
+                        }
+                    }
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_millis(400);
+        let mut samples = 0u32;
+        while Instant::now() < deadline {
+            if let Some(u) = sched.utilization() {
+                assert!(u <= 1.0, "utilization {u} exceeded 1.0 mid-run");
+                assert!(u >= 0.0, "utilization {u} negative");
+                samples += 1;
+            }
+            if samples == 20 {
+                sched.set_budget(Some(2e6)); // exercise the clock edge
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+        let u = sched.utilization().expect("budgeted scheduler");
+        assert!(u <= 1.0, "final utilization {u} exceeded 1.0");
+        assert!(
+            u > 0.5,
+            "saturating load should consume most of the granted capacity, got {u}"
+        );
+        assert!(samples > 20, "sampler never observed the run");
     }
 
     #[test]

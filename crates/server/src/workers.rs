@@ -31,6 +31,19 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long one job spent in the pool, measured by the worker itself:
+/// queue wait (enqueue to pickup) and codec execution. Delivered with
+/// every completion so the reactor can fold the durations into the
+/// message's stage span without a clock of its own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Enqueue to worker pickup.
+    pub queue: Duration,
+    /// Codec execution (including a panicking job's partial run).
+    pub codec: Duration,
+}
 
 /// Snapshot of a [`WorkerGauges`] — the `workers` section of the v2
 /// metrics document.
@@ -89,8 +102,15 @@ pub struct Job<T> {
     pub work: Box<dyn FnOnce(&mut Codec) -> T + Send>,
 }
 
+/// A queued job plus its enqueue stamp ([`WorkerPool::submit`] sets it;
+/// submitters never see it).
+struct Queued<T> {
+    job: Job<T>,
+    enqueued: Instant,
+}
+
 struct Queue<T> {
-    jobs: VecDeque<Job<T>>,
+    jobs: VecDeque<Queued<T>>,
     shutdown: bool,
 }
 
@@ -100,9 +120,13 @@ struct PoolInner<T> {
     gauges: Arc<WorkerGauges>,
     bus: Arc<EventBus>,
     /// Completion delivery, called from worker threads: `Err` carries a
-    /// panic message (the job's own failures travel inside `T`).
-    sink: Box<dyn Fn(u64, Result<T, String>) + Send + Sync>,
+    /// panic message (the job's own failures travel inside `T`). The
+    /// [`JobTiming`] reports the job's queue wait and execution time.
+    sink: Sink<T>,
 }
+
+/// Completion callback: `(conn, result-or-panic-message, timing)`.
+type Sink<T> = Box<dyn Fn(u64, Result<T, String>, JobTiming) + Send + Sync>;
 
 /// The bounded worker pool (see the module docs). Dropping it drains
 /// the queue flag-first and joins every worker; jobs already queued
@@ -136,7 +160,7 @@ impl<T: Send + 'static> WorkerPool<T> {
         threads: usize,
         gauges: Arc<WorkerGauges>,
         bus: Arc<EventBus>,
-        sink: impl Fn(u64, Result<T, String>) + Send + Sync + 'static,
+        sink: impl Fn(u64, Result<T, String>, JobTiming) + Send + Sync + 'static,
     ) -> WorkerPool<T> {
         let inner = Arc::new(PoolInner {
             queue: Mutex::new(Queue {
@@ -166,7 +190,10 @@ impl<T: Send + 'static> WorkerPool<T> {
     pub fn submit(&self, job: Job<T>) {
         let depth = {
             let mut q = self.inner.queue.lock();
-            q.jobs.push_back(job);
+            q.jobs.push_back(Queued {
+                job,
+                enqueued: Instant::now(),
+            });
             q.jobs.len()
         };
         let g = &self.inner.gauges;
@@ -201,11 +228,11 @@ impl<T> Drop for WorkerPool<T> {
 fn worker_loop<T>(inner: &PoolInner<T>) {
     let mut codec = Codec::new();
     loop {
-        let job = {
+        let queued = {
             let mut q = inner.queue.lock();
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
+                if let Some(queued) = q.jobs.pop_front() {
+                    break queued;
                 }
                 if q.shutdown {
                     return;
@@ -216,20 +243,26 @@ fn worker_loop<T>(inner: &PoolInner<T>) {
         let g = &inner.gauges;
         g.queued.fetch_sub(1, Ordering::Relaxed);
         g.in_flight.fetch_add(1, Ordering::Relaxed);
-        let conn = job.conn;
-        let result = catch_unwind(AssertUnwindSafe(|| (job.work)(&mut codec)));
+        let picked = Instant::now();
+        let queue_wait = picked.duration_since(queued.enqueued);
+        let conn = queued.job.conn;
+        let result = catch_unwind(AssertUnwindSafe(|| (queued.job.work)(&mut codec)));
+        let timing = JobTiming {
+            queue: queue_wait,
+            codec: picked.elapsed(),
+        };
         g.in_flight.fetch_sub(1, Ordering::Relaxed);
         match result {
             Ok(v) => {
                 g.completed.fetch_add(1, Ordering::Relaxed);
-                (inner.sink)(conn, Ok(v));
+                (inner.sink)(conn, Ok(v), timing);
             }
             Err(panic) => {
                 // The encoder may have been left mid-state; rebuild it
                 // so the next job starts clean.
                 codec = Codec::new();
                 g.panics.fetch_add(1, Ordering::Relaxed);
-                (inner.sink)(conn, Err(panic_message(panic)));
+                (inner.sink)(conn, Err(panic_message(panic)), timing);
             }
         }
     }
@@ -251,7 +284,7 @@ mod tests {
     use super::*;
     use std::time::{Duration, Instant};
 
-    type Done = Arc<Mutex<Vec<(u64, Result<Vec<u8>, String>)>>>;
+    type Done = Arc<Mutex<Vec<(u64, Result<Vec<u8>, String>, JobTiming)>>>;
 
     fn collect_pool() -> (WorkerPool<Vec<u8>>, Done, Arc<WorkerGauges>) {
         let done = Done::default();
@@ -261,7 +294,7 @@ mod tests {
             2,
             Arc::clone(&gauges),
             Arc::new(EventBus::silent()),
-            move |conn, r| sink_done.lock().push((conn, r)),
+            move |conn, r, t| sink_done.lock().push((conn, r, t)),
         );
         (pool, done, gauges)
     }
@@ -292,11 +325,12 @@ mod tests {
         wait_for(&done, 4);
         let results = done.lock();
         assert_eq!(results.len(), 4);
-        for (conn, r) in results.iter() {
+        for (conn, r, timing) in results.iter() {
             let compressed = r.as_ref().expect("job succeeds");
             let mut back = Vec::new();
             adoc_codec::decompress_at(6, compressed, input.len(), &mut back).unwrap();
             assert_eq!(back, input, "conn {conn}");
+            assert!(timing.codec > Duration::ZERO, "codec time is measured");
         }
         let s = gauges.snapshot();
         assert_eq!(s.completed, 4);
@@ -326,13 +360,13 @@ mod tests {
         });
         wait_for(&done, 2);
         let results = done.lock();
-        let panicked = results.iter().find(|(c, _)| *c == 7).unwrap();
+        let panicked = results.iter().find(|(c, _, _)| *c == 7).unwrap();
         assert_eq!(
             panicked.1.as_ref().unwrap_err(),
             "corrupt frame state",
             "panic text must surface through the sink"
         );
-        let healthy = results.iter().find(|(c, _)| *c == 8).unwrap();
+        let healthy = results.iter().find(|(c, _, _)| *c == 8).unwrap();
         assert_eq!(healthy.1.as_ref().unwrap(), &vec![1, 2, 3]);
         let s = gauges.snapshot();
         assert_eq!(s.panics, 1);
@@ -345,7 +379,7 @@ mod tests {
         let bus = Arc::new(EventBus::new(vec![sub.clone()]));
         let gauges = Arc::new(WorkerGauges::default());
         let pool: WorkerPool<()> =
-            WorkerPool::new(1, Arc::clone(&gauges), bus, move |_conn, _r| {});
+            WorkerPool::new(1, Arc::clone(&gauges), bus, move |_conn, _r, _t| {});
         for conn in 0..3 {
             pool.submit(Job {
                 conn,

@@ -147,6 +147,123 @@ fn panicking_subscriber_is_isolated_from_the_serve_loop() {
     );
 }
 
+#[test]
+fn http_latency_and_trace_surfaces_cover_a_live_connection() {
+    let cfg = ServerConfig::builder()
+        .metrics_addr("127.0.0.1:0")
+        .build()
+        .unwrap();
+    let server = Server::new(cfg).unwrap();
+    let handle = daemon::spawn(server, "127.0.0.1:0").expect("bind daemon");
+    let maddr = handle.metrics_addr().expect("http listener bound");
+
+    // Echo over a real TCP connection and hold it open: the flight
+    // recorder deregisters a connection's trace when it closes, so
+    // /trace?conn= must be scraped while the peer is still connected.
+    let sock = TcpStream::connect(handle.addr()).expect("connect");
+    sock.set_nodelay(true).ok();
+    let r = sock.try_clone().expect("clone");
+    let mut conn = AdocSocket::new(r, sock);
+    let payload = vec![0xA5u8; 90_000];
+    for _ in 0..3 {
+        conn.write(&payload).expect("send");
+        let mut back = vec![0u8; payload.len()];
+        conn.read_exact(&mut back).expect("echo");
+        assert_eq!(back, payload);
+    }
+
+    // The last span lands in the recorder just after the final reply
+    // byte reaches the client; poll the global document briefly.
+    let t0 = Instant::now();
+    let body = loop {
+        let (status, body) = http_request(maddr, "GET /latency HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(status.contains("200"), "{status}");
+        if body.contains("\"messages\": 3") {
+            break body;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "latency document never reached 3 messages: {body}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    };
+    assert!(body.contains("\"schema\": \"adoc-latency-v1\""), "{body}");
+    for stage in [
+        "read",
+        "sched_wait",
+        "queue_wait",
+        "codec",
+        "write",
+        "total",
+    ] {
+        assert!(body.contains(&format!("\"{stage}\": {{")), "{body}");
+    }
+    assert!(body.contains("\"p99_us\":"), "{body}");
+
+    // The flight recorder for the (only) live connection: per-stage
+    // summaries plus one span record per message, oldest first.
+    let (status, body) = http_request(maddr, "GET /trace?conn=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"schema\": \"adoc-trace-v1\""), "{body}");
+    assert!(body.contains("\"conn\": 1"), "{body}");
+    assert!(body.contains("\"messages\": 3"), "{body}");
+    assert!(body.contains("\"spans\": ["), "{body}");
+    assert!(body.contains("\"msg\": 1"), "{body}");
+    assert!(body.contains("\"msg\": 3"), "{body}");
+    assert!(body.contains("\"total_us\":"), "{body}");
+
+    // Bad and missing conn parameters.
+    let (status, _) = http_request(maddr, "GET /trace?conn=999 HTTP/1.1\r\n\r\n");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_request(maddr, "GET /trace HTTP/1.1\r\n\r\n");
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = http_request(maddr, "GET /trace?conn=abc HTTP/1.1\r\n\r\n");
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = http_request(maddr, "POST /latency HTTP/1.1\r\n\r\n");
+    assert!(status.contains("405"), "{status}");
+
+    // A departed connection's flight recorder is gone: close the echo
+    // connection and wait for the reactor to reap it.
+    drop(conn);
+    let t0 = Instant::now();
+    loop {
+        let (status, _) = http_request(maddr, "GET /trace?conn=1 HTTP/1.1\r\n\r\n");
+        if status.contains("404") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "closed connection's trace was never deregistered"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // The DeadlineReader cuts a dripping request at ~2s (each 25ms
+    // byte defeats the per-read socket timeout, so only the
+    // whole-request deadline can end it); the serial listener then
+    // answers the next scrape normally.
+    let t0 = Instant::now();
+    let mut drip = TcpStream::connect(maddr).expect("connect drip");
+    let waited = loop {
+        if drip.write_all(b"G").is_err() {
+            break t0.elapsed(); // listener cut us
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(8),
+            "dripping request was never cut by the 2s deadline"
+        );
+        thread::sleep(Duration::from_millis(25));
+    };
+    assert!(
+        waited >= Duration::from_millis(1500),
+        "dripping request should survive to the 2s deadline, cut after {waited:?}"
+    );
+    let (status, _) = http_request(maddr, "GET /latency HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+
+    handle.shutdown().expect("drain shutdown");
+}
+
 /// One blocking HTTP exchange; returns (status line, body).
 fn http_request(addr: SocketAddr, request: &str) -> (String, String) {
     let mut s = TcpStream::connect(addr).expect("connect http");
