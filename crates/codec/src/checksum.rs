@@ -142,9 +142,43 @@ impl Crc32 {
     }
 }
 
+/// Constant-time equality for secret material (MAC tags, session
+/// tickets). A byte-wise `==` short-circuits at the first mismatch, so
+/// its running time leaks how long a forged prefix matched — the classic
+/// MAC timing side channel. This fold touches every byte of both inputs
+/// regardless of where they differ; only the *lengths* are allowed to
+/// influence timing (lengths are public protocol constants here).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Reduce through a volatile-ish path: the comparison happens once, on
+    // the accumulated difference, never per byte.
+    std::hint::black_box(diff) == 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ct_eq_agrees_with_plain_equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"same bytes", b"same bytes"));
+        assert!(!ct_eq(b"same bytes", b"same bytez"));
+        // First-byte and last-byte differences are both caught.
+        assert!(!ct_eq(b"Xame bytes", b"same bytes"));
+        assert!(!ct_eq(b"abc", b"abcd"), "length mismatch is unequal");
+        assert!(!ct_eq(b"", b"x"));
+        // Exhaustive single-byte check: every differing bit pattern.
+        for x in 0..=255u8 {
+            assert_eq!(ct_eq(&[x], &[0x5A]), x == 0x5A);
+        }
+    }
 
     #[test]
     fn adler32_known_vectors() {

@@ -45,6 +45,20 @@ pub enum AdocError {
         /// The timeout that elapsed.
         timeout: std::time::Duration,
     },
+    /// The server refused the session handshake before admission: a bad
+    /// or missing hello MAC, a tampered ticket, or a plaintext hello on
+    /// a `require_auth` deployment.
+    AuthFailed {
+        /// What the server (or local verification) objected to.
+        reason: String,
+    },
+    /// The server refused to resume a session: the ticket expired, the
+    /// session is unknown or was already reclaimed, the peer address
+    /// changed, or the server is draining.
+    ResumeRejected {
+        /// Why the resume was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AdocError {
@@ -67,6 +81,12 @@ impl fmt::Display for AdocError {
                 f,
                 "peer connected but sent no stream-group hello within {timeout:?}"
             ),
+            AdocError::AuthFailed { reason } => {
+                write!(f, "session authentication failed: {reason}")
+            }
+            AdocError::ResumeRejected { reason } => {
+                write!(f, "session resume rejected: {reason}")
+            }
         }
     }
 }
@@ -77,6 +97,8 @@ impl From<AdocError> for io::Error {
     fn from(e: AdocError) -> io::Error {
         let kind = match &e {
             AdocError::HelloTimeout { .. } => io::ErrorKind::TimedOut,
+            AdocError::AuthFailed { .. } => io::ErrorKind::PermissionDenied,
+            AdocError::ResumeRejected { .. } => io::ErrorKind::InvalidData,
             _ => io::ErrorKind::InvalidInput,
         };
         io::Error::new(kind, e)
@@ -151,6 +173,25 @@ mod tests {
             }
             other => panic!("lost the typed error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_errors_carry_kind_and_reason() {
+        let e: io::Error = AdocError::AuthFailed {
+            reason: "bad hello MAC".into(),
+        }
+        .into();
+        assert_eq!(e.kind(), io::ErrorKind::PermissionDenied);
+        assert!(matches!(
+            AdocError::from_io(&e),
+            Some(AdocError::AuthFailed { .. })
+        ));
+        let e: io::Error = AdocError::ResumeRejected {
+            reason: "unknown session".into(),
+        }
+        .into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("unknown session"));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod pool;
 pub mod queue;
 pub mod receiver;
 pub mod sender;
+pub mod session;
 pub mod signals;
 pub mod socket;
 pub mod stats;
@@ -82,8 +83,10 @@ pub use config::{AdocConfig, LevelPolicyFactory};
 pub use error::AdocError;
 pub use hist::{HistSnapshot, HistSummary, Histogram};
 pub use pool::{BufferPool, PoolStats, PooledBuf};
+pub use receiver::RecvProgress;
+pub use session::{SessionTicket, TicketError, TicketKey, TICKET_LEN};
 pub use signals::{CongestionState, DelaySnapshot, SignalHub, SignalSource};
-pub use socket::{AdocSocket, AdocStreamGroup, SendReport};
+pub use socket::{AdocSocket, AdocStreamGroup, ResumePoint, SendReport, SessionInfo};
 pub use stats::{LevelEvent, StreamSendStats, TransferStats};
 pub use throttle::{NoThrottle, SleepThrottle, Throttle};
 

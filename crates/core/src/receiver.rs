@@ -68,6 +68,33 @@ where
     }
 }
 
+/// Live progress of a striped receive, exposed so a session-serving
+/// caller can park a partially-delivered message when the connection
+/// dies and continue it on the next one. Only the striped adaptive path
+/// reports progress: direct bodies and v1 (single-stream) framing have
+/// no global sequence numbers, so an interrupted message there restarts
+/// from its beginning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecvProgress {
+    /// A trackable (striped adaptive) message is in flight. Cleared once
+    /// the message completes — a partial exists only while this is set.
+    pub active: bool,
+    /// Raw length of the in-flight message.
+    pub total_raw: u64,
+    /// Raw bytes delivered contiguously to the sink so far (probe bytes
+    /// plus in-order frames).
+    pub delivered_raw: u64,
+    /// The next global frame sequence number the reorder window expects.
+    pub next_seq: u64,
+}
+
+impl RecvProgress {
+    /// Clears all progress (called at each message boundary).
+    pub fn reset(&mut self) {
+        *self = RecvProgress::default();
+    }
+}
+
 /// Receives one message from a striped stream group (`readers[0]` is the
 /// primary stream). With one reader this is exactly [`receive_message`].
 pub fn receive_message_multi<R, K>(
@@ -79,10 +106,28 @@ where
     R: Read + Send,
     K: Write + Send,
 {
+    let mut progress = RecvProgress::default();
+    receive_message_multi_tracked(readers, sink, cfg, &mut progress)
+}
+
+/// [`receive_message_multi`] that additionally reports delivery progress
+/// through `progress` — on error, `progress` (plus the bytes already in
+/// the sink) defines the resume point a session server parks.
+pub fn receive_message_multi_tracked<R, K>(
+    readers: &mut [R],
+    sink: &mut K,
+    cfg: &AdocConfig,
+    progress: &mut RecvProgress,
+) -> io::Result<Option<u64>>
+where
+    R: Read + Send,
+    K: Write + Send,
+{
     assert!(
         !readers.is_empty(),
         "a stream group needs at least 1 stream"
     );
+    progress.reset();
     if readers.len() == 1 {
         return receive_message(&mut readers[0], sink, cfg);
     }
@@ -101,10 +146,55 @@ where
             Ok(Some(raw_len))
         }
         MsgKind::Adaptive => {
-            receive_adaptive_striped(readers, sink, raw_len, cfg)?;
+            progress.active = true;
+            progress.total_raw = raw_len;
+            receive_adaptive_striped(readers, sink, raw_len, cfg, progress)?;
+            progress.active = false;
             Ok(Some(raw_len))
         }
     }
+}
+
+/// Continues a striped message interrupted mid-delivery: the peer ships
+/// frames `next_seq..` of a `total_raw`-byte message whose first
+/// `delivered_raw` bytes the caller already holds. No message header and
+/// no probe are read; framing is always v2, even over a single stream
+/// (mirroring [`crate::sender::send_message_multi_resumed`]). Frames
+/// with sequence numbers below `next_seq` — replays — are rejected as
+/// duplicates. Returns `total_raw` on completion.
+pub fn receive_message_multi_resumed<R, K>(
+    readers: &mut [R],
+    sink: &mut K,
+    total_raw: u64,
+    delivered_raw: u64,
+    next_seq: u64,
+    cfg: &AdocConfig,
+    progress: &mut RecvProgress,
+) -> io::Result<u64>
+where
+    R: Read + Send,
+    K: Write + Send,
+{
+    assert!(
+        !readers.is_empty(),
+        "a stream group needs at least 1 stream"
+    );
+    let remaining = total_raw.checked_sub(delivered_raw).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "resume point beyond message length",
+        )
+    })?;
+    progress.active = true;
+    progress.total_raw = total_raw;
+    progress.delivered_raw = delivered_raw;
+    progress.next_seq = next_seq;
+    // Even with nothing left to deliver the peer sends its per-stream
+    // FINs, which must be consumed here or they would corrupt the next
+    // message's parse.
+    striped_body(readers, sink, remaining, next_seq, cfg, progress)?;
+    progress.active = false;
+    Ok(total_raw)
 }
 
 fn receive_adaptive<R, K>(
@@ -307,11 +397,15 @@ struct ReorderBuffer {
 }
 
 impl ReorderBuffer {
-    fn new(total_streams: usize) -> ReorderBuffer {
+    /// `start_seq` is the first global sequence number the window
+    /// expects — 0 for a fresh message, the parked `next_seq` when
+    /// resuming one; anything below it is a replay and is rejected as a
+    /// duplicate.
+    fn new(total_streams: usize, start_seq: u64) -> ReorderBuffer {
         ReorderBuffer {
             inner: Mutex::new(ReorderInner {
                 frames: HashMap::new(),
-                next: 0,
+                next: start_seq,
                 streams_done: 0,
                 total_streams,
                 aborted: false,
@@ -435,19 +529,39 @@ fn receive_adaptive_striped<R, K>(
     sink: &mut K,
     raw_len: u64,
     cfg: &AdocConfig,
+    progress: &mut RecvProgress,
 ) -> io::Result<()>
 where
     R: Read + Send,
     K: Write + Send,
 {
     let probe_len = read_probe_prefix(&mut readers[0], sink, raw_len, cfg)?;
+    progress.delivered_raw = probe_len;
     let remaining = raw_len - probe_len;
     if remaining == 0 {
         return Ok(());
     }
+    striped_body(readers, sink, remaining, 0, cfg, progress)
+}
 
+/// The frame stage of a striped receive: per-stream reception threads
+/// feed a reorder window drained in global-sequence order on the calling
+/// thread. Shared by the fresh path (after the probe, `start_seq` 0) and
+/// the resume path (no probe, `start_seq` = the parked cursor).
+fn striped_body<R, K>(
+    readers: &mut [R],
+    sink: &mut K,
+    remaining: u64,
+    start_seq: u64,
+    cfg: &AdocConfig,
+    progress: &mut RecvProgress,
+) -> io::Result<()>
+where
+    R: Read + Send,
+    K: Write + Send,
+{
     let n = readers.len();
-    let reorder = ReorderBuffer::new(n);
+    let reorder = ReorderBuffer::new(n, start_seq);
     let (recv_res, decomp_res) = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n);
         for (i, r) in readers.iter_mut().enumerate() {
@@ -460,7 +574,7 @@ where
         // guard has already released the reception threads by the time
         // the unwind is caught).
         let decomp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            striped_decompression(sink, remaining, &reorder, cfg)
+            striped_decompression(sink, remaining, &reorder, cfg, progress)
         }))
         .unwrap_or_else(|_| Err(io::Error::other("decompression stage panicked")));
         (
@@ -562,6 +676,7 @@ fn striped_decompression<K: Write>(
     total_raw: u64,
     reorder: &ReorderBuffer,
     cfg: &AdocConfig,
+    progress: &mut RecvProgress,
 ) -> io::Result<()> {
     let _fail = FailOnDrop { rb: reorder };
     let mut produced = 0u64;
@@ -586,6 +701,8 @@ fn striped_decompression<K: Write>(
         cfg.throttle.charge(t0.elapsed());
         sink.write_all(&scratch)?;
         produced += u64::from(frame.raw_len);
+        progress.delivered_raw += u64::from(frame.raw_len);
+        progress.next_seq += 1;
     }
     if produced != total_raw {
         return Err(io::Error::new(
@@ -623,7 +740,7 @@ fn copy_exact<R: Read, W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sender::{send_message, send_message_multi};
+    use crate::sender::{send_message, send_message_multi, send_message_multi_resumed};
     use std::io::Cursor;
 
     fn roundtrip_with(cfg_tx: &AdocConfig, cfg_rx: &AdocConfig, data: &[u8]) -> Vec<u8> {
@@ -824,6 +941,123 @@ mod tests {
         let mut out = Vec::new();
         let res = receive_message_multi(&mut cursors, &mut out, &AdocConfig::default());
         assert!(res.is_err(), "duplicate sequence must be rejected");
+    }
+
+    #[test]
+    fn resumed_tail_roundtrips_at_any_width() {
+        // A message interrupted at 123 456 delivered bytes / 7 frames is
+        // continued on groups of width 1, 2 and 4 — the resumed width
+        // need not match the original, and chunk boundaries of the
+        // continuation are independent of the first attempt's.
+        let data = compressible(2 << 20);
+        let delivered = 123_456u64;
+        let next_seq = 7u64;
+        for streams in [1usize, 2, 4] {
+            let tx = AdocConfig::default().with_levels(1, 10);
+            let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); streams];
+            let mut src = &data[delivered as usize..];
+            send_message_multi_resumed(
+                &mut sinks,
+                &mut src,
+                data.len() as u64 - delivered,
+                next_seq,
+                &tx,
+            )
+            .unwrap();
+            let mut cursors: Vec<Cursor<Vec<u8>>> = sinks.into_iter().map(Cursor::new).collect();
+            let mut out = data[..delivered as usize].to_vec();
+            let mut progress = RecvProgress::default();
+            let n = receive_message_multi_resumed(
+                &mut cursors,
+                &mut out,
+                data.len() as u64,
+                delivered,
+                next_seq,
+                &AdocConfig::default(),
+                &mut progress,
+            )
+            .unwrap();
+            assert_eq!(n, data.len() as u64, "streams = {streams}");
+            assert_eq!(out, data, "streams = {streams}");
+            assert!(!progress.active, "completed resume clears the partial");
+            assert_eq!(progress.delivered_raw, data.len() as u64);
+            assert_eq!(tx.pool.stats().outstanding, 0);
+        }
+    }
+
+    #[test]
+    fn resumed_with_nothing_left_exchanges_only_fins() {
+        // The kill landed after the last data frame: the continuation is
+        // pure FINs, which the receiver must still consume so the next
+        // message parses cleanly.
+        let tx = AdocConfig::default();
+        let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        let mut src: &[u8] = b"";
+        send_message_multi_resumed(&mut sinks, &mut src, 0, 5, &tx).unwrap();
+        for s in &sinks {
+            assert_eq!(s.len(), wire::FRAME_HEADER_V2_LEN, "FIN only");
+        }
+        let mut cursors: Vec<Cursor<Vec<u8>>> = sinks.into_iter().map(Cursor::new).collect();
+        let mut out = Vec::new();
+        let mut progress = RecvProgress::default();
+        let n = receive_message_multi_resumed(
+            &mut cursors,
+            &mut out,
+            100,
+            100,
+            5,
+            &AdocConfig::default(),
+            &mut progress,
+        )
+        .unwrap();
+        assert_eq!(n, 100);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn replayed_sequences_on_resume_are_rejected() {
+        // A peer that replays the message from seq 0 although the
+        // receiver already delivered 4 frames: every replayed frame sits
+        // below the reorder window's start and must be refused as a
+        // duplicate rather than re-delivered.
+        let data = compressible(1 << 20);
+        let tx = AdocConfig::default().with_levels(1, 10);
+        let mut sinks: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        let mut src = &data[..];
+        send_message_multi_resumed(&mut sinks, &mut src, data.len() as u64, 0, &tx).unwrap();
+        let mut cursors: Vec<Cursor<Vec<u8>>> = sinks.into_iter().map(Cursor::new).collect();
+        let mut out = Vec::new();
+        let mut progress = RecvProgress::default();
+        let err = receive_message_multi_resumed(
+            &mut cursors,
+            &mut out,
+            2 * data.len() as u64,
+            data.len() as u64,
+            4,
+            &AdocConfig::default(),
+            &mut progress,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn resume_point_beyond_message_is_invalid() {
+        let mut cursors: Vec<Cursor<Vec<u8>>> = vec![Cursor::new(Vec::new())];
+        let mut out = Vec::new();
+        let mut progress = RecvProgress::default();
+        let err = receive_message_multi_resumed(
+            &mut cursors,
+            &mut out,
+            10,
+            11,
+            0,
+            &AdocConfig::default(),
+            &mut progress,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -332,7 +332,6 @@ where
     W: Write + Send,
     S: Read + Send,
 {
-    let n = writers.len();
     let mut out = SendOutcome::default();
     writers[0].write_all(&wire::encode_msg_header(MsgKind::Adaptive, raw_len))?;
     out.wire_bytes += wire::MSG_HEADER_LEN as u64;
@@ -387,9 +386,67 @@ where
         return Ok(out);
     }
 
-    // Per-stream pipelines around the shared pool: dispatcher (this
-    // thread) → raw queue → compression thread → packet queue → emission
-    // thread → writer i.
+    striped_pipelines(writers, source, remaining, 0, cfg, &mut out)?;
+    Ok(out)
+}
+
+/// Resumes a striped message on a fresh stream group: ships the
+/// not-yet-delivered tail of a message whose first `start_seq` frames
+/// (and probe) the receiver already has. No message header and no probe
+/// go on the wire — both sides agreed on the resume point during the
+/// session handshake — and frames are numbered from `start_seq` so the
+/// receiver's reorder window slots them behind the bytes it kept.
+/// Always uses v2 framing, even over a single stream: the original
+/// message was striped, so the continuation must be too.
+pub fn send_message_multi_resumed<W, S>(
+    writers: &mut [W],
+    source: &mut S,
+    remaining: u64,
+    start_seq: u64,
+    cfg: &AdocConfig,
+) -> io::Result<SendOutcome>
+where
+    W: Write + Send,
+    S: Read + Send,
+{
+    assert!(
+        !writers.is_empty(),
+        "a stream group needs at least 1 stream"
+    );
+    assert!(writers.len() <= 255, "stream ids are u8");
+    let mut out = SendOutcome::default();
+    if remaining == 0 {
+        // Nothing left to ship, but every stream still owes its FIN so
+        // the receiver's per-stream readers observe end-of-message.
+        for (i, w) in writers.iter_mut().enumerate() {
+            w.write_all(&FrameHeaderV2::fin(i as u8, 0).encode())?;
+            w.flush()?;
+            out.wire_bytes += wire::FRAME_HEADER_V2_LEN as u64;
+        }
+        return Ok(out);
+    }
+    striped_pipelines(writers, source, remaining, start_seq, cfg, &mut out)?;
+    Ok(out)
+}
+
+/// The shared heart of a striped adaptive send: per-stream pipelines
+/// around the shared pool — dispatcher (this thread) → raw queue →
+/// compression thread → packet queue → emission thread → writer i.
+/// Frames are numbered globally from `start_seq` (0 for a fresh message,
+/// the negotiated resume point for a continued one).
+fn striped_pipelines<W, S>(
+    writers: &mut [W],
+    source: &mut S,
+    remaining: u64,
+    start_seq: u64,
+    cfg: &AdocConfig,
+    out: &mut SendOutcome,
+) -> io::Result<()>
+where
+    W: Write + Send,
+    S: Read + Send,
+{
+    let n = writers.len();
     let raw_queues: Vec<BoundedQueue<RawFrame>> = (0..n)
         .map(|_| BoundedQueue::new(RAW_QUEUE_FRAMES))
         .collect();
@@ -415,7 +472,7 @@ where
         let _closers: Vec<_> = raw_queues.iter().map(|q| q.close_on_drop()).collect();
         let disp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> io::Result<()> {
             let mut left = remaining;
-            let mut seq = 0u64;
+            let mut seq = start_seq;
             let hdr = v2_header_len(cfg);
             while left > 0 {
                 let want = next_frame_size(cfg.buffer_size, left)?;
@@ -510,7 +567,7 @@ where
     // Interleaved pipelines report out of order; the connection timeline
     // must stay chronological.
     out.level_events.sort_by_key(|&(t, _, _)| t);
-    Ok(out)
+    Ok(())
 }
 
 /// Per-message results a compression thread reports back.

@@ -7,13 +7,53 @@
 
 use crate::config::AdocConfig;
 use crate::error::AdocError;
-use crate::receiver::{receive_message, receive_message_multi};
-use crate::sender::{send_message, send_message_multi, SendOutcome};
+use crate::receiver::{
+    receive_message, receive_message_multi, receive_message_multi_resumed,
+    receive_message_multi_tracked, RecvProgress,
+};
+use crate::sender::{send_message, send_message_multi, send_message_multi_resumed, SendOutcome};
+use crate::session::{SessionTicket, TicketKey};
 use crate::stats::TransferStats;
-use crate::wire::GroupHello;
+use crate::wire::{self, session_status, GroupHello, SessionAccept, SessionHello, SessionKind};
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// What the server granted at the end of a session handshake: the
+/// session's identity and the ticket that can later
+/// [resume](AdocStreamGroup::resume_session) it on a brand-new set of
+/// TCP connections.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Server-assigned session id (also embedded in the ticket).
+    pub session_id: u64,
+    /// The bearer ticket for reconnecting. Treat like a credential.
+    pub ticket: SessionTicket,
+    /// True when this handshake resumed an existing session rather than
+    /// opening a fresh one.
+    pub resumed: bool,
+}
+
+/// Where to continue an interrupted transfer, as reported by the server
+/// in its resume accept: the sender skips the first `delivered_raw`
+/// bytes of the in-flight message and numbers its frames from
+/// `next_seq`. `(0, 0)` means no partial message survived — the client
+/// re-sends from the message boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumePoint {
+    /// Next global frame sequence number the receiver expects.
+    pub next_seq: u64,
+    /// Raw bytes of the interrupted message already delivered.
+    pub delivered_raw: u64,
+}
+
+impl ResumePoint {
+    /// True when a partially-delivered message is waiting to be
+    /// continued (rather than restarted from its boundary).
+    pub fn mid_message(&self) -> bool {
+        self.next_seq != 0 || self.delivered_raw != 0
+    }
+}
 
 /// What one send did, mirroring the paper's `slen` out-parameter
 /// (`raw / wire` is the achieved compression ratio).
@@ -536,6 +576,19 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
     /// Drains any partially-read message, then receives exactly one
     /// message into `sink`. Returns the number of bytes stored.
     pub fn receive_file(&mut self, sink: &mut (impl Write + Send)) -> io::Result<u64> {
+        let mut progress = RecvProgress::default();
+        self.receive_file_tracked(sink, &mut progress)
+    }
+
+    /// [`Self::receive_file`] that additionally reports delivery progress
+    /// through `progress`: when the receive fails mid-message, `progress`
+    /// plus the bytes already written to `sink` define the resume point a
+    /// session server parks for the reconnecting peer.
+    pub fn receive_file_tracked(
+        &mut self,
+        sink: &mut (impl Write + Send),
+        progress: &mut RecvProgress,
+    ) -> io::Result<u64> {
         let mut total = 0u64;
         if self.leftover_len() > 0 {
             sink.write_all(&self.leftover[self.leftover_pos..])?;
@@ -543,11 +596,61 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
             self.leftover.clear();
             self.leftover_pos = 0;
         }
-        match receive_message_multi(&mut self.readers, sink, &self.cfg)? {
+        match receive_message_multi_tracked(&mut self.readers, sink, &self.cfg, progress)? {
             Some(n) => Ok(total + n),
             None if total > 0 => Ok(total),
             None => Ok(0),
         }
+    }
+
+    /// Continues receiving a message interrupted on a previous
+    /// connection: the peer ships frames `next_seq..` of a
+    /// `total_raw`-byte message whose first `delivered_raw` bytes were
+    /// already delivered. Always v2 striped framing, any stream count
+    /// (the resumed group's width may differ from the original's).
+    /// Returns `total_raw` on completion.
+    pub fn receive_file_resumed(
+        &mut self,
+        sink: &mut (impl Write + Send),
+        total_raw: u64,
+        delivered_raw: u64,
+        next_seq: u64,
+        progress: &mut RecvProgress,
+    ) -> io::Result<u64> {
+        receive_message_multi_resumed(
+            &mut self.readers,
+            sink,
+            total_raw,
+            delivered_raw,
+            next_seq,
+            &self.cfg,
+            progress,
+        )
+    }
+
+    /// Continues sending a message interrupted on a previous connection:
+    /// ships `data[at.delivered_raw..]` as striped frames numbered from
+    /// `at.next_seq`, re-striping the remainder across however many
+    /// streams *this* group has. `data` must be the same message the
+    /// interrupted send was transmitting. The report covers the resumed
+    /// portion only.
+    pub fn write_resumed(&mut self, data: &[u8], at: ResumePoint) -> io::Result<SendReport> {
+        let total = data.len() as u64;
+        if at.delivered_raw > total {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "resume point {} beyond message length {total}",
+                    at.delivered_raw
+                ),
+            ));
+        }
+        let cfg = self.cfg.clone();
+        let mut src = &data[at.delivered_raw as usize..];
+        let remaining = total - at.delivered_raw;
+        let out =
+            send_message_multi_resumed(&mut self.writers, &mut src, remaining, at.next_seq, &cfg)?;
+        Ok(self.merge(out, remaining))
     }
 
     /// Flushes every stream and frees the partial-read buffers. The
@@ -569,6 +672,29 @@ impl<R: Read + Send, W: Write + Send> AdocStreamGroup<R, W> {
     /// Consumes the group, returning the underlying stream pairs.
     pub fn into_pairs(self) -> Vec<(R, W)> {
         self.readers.into_iter().zip(self.writers).collect()
+    }
+}
+
+/// Maps a non-OK [`SessionAccept`] status to the typed error the client
+/// surfaces.
+fn session_reject_error(status: u8) -> io::Error {
+    match status {
+        session_status::AUTH_FAILED => AdocError::AuthFailed {
+            reason: "server refused the session hello".into(),
+        }
+        .into(),
+        session_status::TICKET_EXPIRED => AdocError::ResumeRejected {
+            reason: "session ticket expired".into(),
+        }
+        .into(),
+        session_status::RESUME_REJECTED => AdocError::ResumeRejected {
+            reason: "unknown, reclaimed, or non-resumable session".into(),
+        }
+        .into(),
+        other => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("session handshake rejected with unknown status {other}"),
+        ),
     }
 }
 
@@ -610,6 +736,192 @@ impl AdocStreamGroup<TcpStream, TcpStream> {
             pairs.push((s.try_clone()?, s));
         }
         Self::from_pairs_with_token(pairs, cfg, fresh_group_token())
+    }
+
+    /// Dials `cfg.streams` TCP connections and opens an authenticated,
+    /// resumable **session** with an `adoc-server` daemon (version-4
+    /// handshake). `secret`, when given, must match the server's
+    /// configured auth secret: each hello then carries a MAC binding the
+    /// stream count and group token, which a `require_auth` server
+    /// demands before admitting the connection anywhere. Returns the
+    /// group plus the [`SessionInfo`] whose ticket can later
+    /// [`Self::resume_session`] after a disconnect.
+    pub fn connect_session(
+        addr: impl ToSocketAddrs,
+        cfg: AdocConfig,
+        secret: Option<&[u8]>,
+    ) -> io::Result<(Self, SessionInfo)> {
+        let token = fresh_group_token();
+        let mac = match secret {
+            Some(s) => TicketKey::from_secret(s).hello_mac(cfg.streams as u8, token),
+            None => [0u8; 16],
+        };
+        let (group, accept) =
+            Self::session_handshake(addr, cfg, token, SessionKind::New, 0, 0, mac)?;
+        let info = SessionInfo {
+            session_id: accept.session_id,
+            ticket: SessionTicket {
+                session_id: accept.session_id,
+                expires_us: accept.expires_us,
+                mac: accept.mac,
+            },
+            resumed: accept.resumed != 0,
+        };
+        Ok((group, info))
+    }
+
+    /// Reconnects to a session after a disconnect, presenting `ticket`
+    /// as the credential (no secret needed — the ticket is bearer
+    /// authentication). The new dial may use a *different*
+    /// `cfg.streams` than the original connection. Returns the fresh
+    /// group, the (re-issued) session info, and the [`ResumePoint`]
+    /// telling the sender where to continue an interrupted message —
+    /// `(0, 0)` when the last message completed and the next send starts
+    /// at a message boundary.
+    pub fn resume_session(
+        addr: impl ToSocketAddrs,
+        cfg: AdocConfig,
+        ticket: &SessionTicket,
+    ) -> io::Result<(Self, SessionInfo, ResumePoint)> {
+        let token = fresh_group_token();
+        let (group, accept) = Self::session_handshake(
+            addr,
+            cfg,
+            token,
+            SessionKind::Resume,
+            ticket.session_id,
+            ticket.expires_us,
+            ticket.mac,
+        )?;
+        let info = SessionInfo {
+            session_id: accept.session_id,
+            ticket: SessionTicket {
+                session_id: accept.session_id,
+                expires_us: accept.expires_us,
+                mac: accept.mac,
+            },
+            resumed: accept.resumed != 0,
+        };
+        let at = ResumePoint {
+            next_seq: accept.next_seq,
+            delivered_raw: accept.delivered_raw,
+        };
+        Ok((group, info, at))
+    }
+
+    /// The client half of the version-4 handshake: dial every stream,
+    /// announce an identical [`SessionHello`] on each, then read the
+    /// server's per-stream [`GroupHello`] answers and the
+    /// [`SessionAccept`] on the primary. A rejection arrives as a
+    /// `SessionAccept` *instead of* the hellos and surfaces as a typed
+    /// [`AdocError::AuthFailed`] / [`AdocError::ResumeRejected`].
+    fn session_handshake(
+        addr: impl ToSocketAddrs,
+        mut cfg: AdocConfig,
+        token: u64,
+        kind: SessionKind,
+        session_id: u64,
+        expires_us: u64,
+        mac: [u8; 16],
+    ) -> io::Result<(Self, SessionAccept)> {
+        cfg.validate()?;
+        cfg.ensure_signal_hub();
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let n = cfg.streams;
+        let mut streams = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true).ok();
+            (&s).write_all(
+                &SessionHello {
+                    streams: n as u8,
+                    stream_id: i as u8,
+                    token,
+                    kind,
+                    session_id,
+                    expires_us,
+                    mac,
+                }
+                .encode(),
+            )?;
+            streams.push(s);
+        }
+        for s in &streams {
+            s.set_read_timeout(Some(cfg.hello_timeout))?;
+        }
+        // The server answers with per-stream group hellos (accept) or a
+        // session-accept record carrying the rejection status. Sniff two
+        // bytes on the primary to tell them apart, then replay them.
+        let mut sniff = [0u8; 2];
+        (&streams[0])
+            .read_exact(&mut sniff)
+            .map_err(|e| AdocError::map_hello_timeout(e, cfg.hello_timeout))?;
+        let mut primary = io::Read::chain(&sniff[..], &streams[0]);
+        if sniff == [wire::MAGIC, wire::SESSION_MAGIC] {
+            let accept = SessionAccept::read(&mut primary)?;
+            return Err(session_reject_error(accept.status));
+        }
+        let hello = GroupHello::read(&mut primary)
+            .map_err(|e| AdocError::map_hello_timeout(e, cfg.hello_timeout))?;
+        if hello.streams as usize != n {
+            return Err(AdocError::StreamCountMismatch {
+                ours: n as u8,
+                theirs: hello.streams,
+            }
+            .into());
+        }
+        if hello.stream_id != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server answered stream {} on the primary", hello.stream_id),
+            ));
+        }
+        for (i, s) in streams.iter().enumerate().skip(1) {
+            let hello = GroupHello::read(&mut &*s)
+                .map_err(|e| AdocError::map_hello_timeout(e, cfg.hello_timeout))?;
+            if hello.streams as usize != n || hello.stream_id as usize != i {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "server answered stream {}/{} on local stream {i}",
+                        hello.stream_id, hello.streams
+                    ),
+                ));
+            }
+        }
+        let accept = SessionAccept::read(&mut primary)
+            .map_err(|e| AdocError::map_hello_timeout(e, cfg.hello_timeout))?;
+        if accept.status != session_status::OK {
+            return Err(session_reject_error(accept.status));
+        }
+        for s in &streams {
+            s.set_read_timeout(None)?;
+        }
+        let mut pairs = Vec::with_capacity(n);
+        for s in streams {
+            pairs.push((s.try_clone()?, s));
+        }
+        let group = Self::from_negotiated(pairs, cfg)?;
+        Ok((group, accept))
+    }
+
+    /// Hard-kills every TCP stream in the group (both directions),
+    /// simulating an abrupt network failure: the peer sees connection
+    /// resets mid-message. The group is unusable afterwards; used by the
+    /// churn load generator and the failure-injection tests to exercise
+    /// session resume.
+    pub fn shutdown_streams(&self) -> io::Result<()> {
+        for w in &self.writers {
+            match w.shutdown(std::net::Shutdown::Both) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotConnected => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Accepts `cfg.streams` TCP connections from `listener` and forms a

@@ -82,6 +82,13 @@ pub const GROUP_VERSION: u8 = 2;
 /// token after the version-2 fields).
 pub const GROUP_VERSION_TOKENED: u8 = 3;
 
+/// Wire-format version of a [`SessionHello`]: the version-3 layout
+/// followed by the session fields (kind, session id, expiry, MAC).
+pub const GROUP_VERSION_SESSION: u8 = 4;
+
+/// Second magic byte of a [`SessionAccept`] reply (`'S'`).
+pub const SESSION_MAGIC: u8 = b'S';
+
 /// Size of an encoded message header.
 pub const MSG_HEADER_LEN: usize = 10;
 /// Size of an encoded frame header.
@@ -92,6 +99,11 @@ pub const FRAME_HEADER_V2_LEN: usize = 18;
 pub const GROUP_HELLO_LEN: usize = 5;
 /// Size of an encoded tokened (version 3) stream-group hello.
 pub const GROUP_HELLO_TOKENED_LEN: usize = GROUP_HELLO_LEN + 8;
+/// Size of an encoded session (version 4) hello: the tokened layout plus
+/// `kind`, `session_id`, `expires_us` and a 16-byte MAC.
+pub const SESSION_HELLO_LEN: usize = GROUP_HELLO_TOKENED_LEN + 1 + 8 + 8 + 16;
+/// Size of an encoded [`SessionAccept`] reply.
+pub const SESSION_ACCEPT_LEN: usize = 2 + 1 + 1 + 8 + 8 + 16 + 8 + 8;
 
 /// Level byte marking a v2 end-of-message frame on one stream.
 pub const LEVEL_FIN: u8 = 0xFF;
@@ -440,6 +452,262 @@ impl GroupHello {
     }
 }
 
+/// What a version-4 hello is asking for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Open a fresh session; the ticket fields are zero (or, under
+    /// `require_auth`, the MAC authenticates the hello itself).
+    New,
+    /// Resume the session the embedded ticket names.
+    Resume,
+}
+
+impl SessionKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            SessionKind::New => 0,
+            SessionKind::Resume => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> io::Result<Self> {
+        match b {
+            0 => Ok(SessionKind::New),
+            1 => Ok(SessionKind::Resume),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown session hello kind {other}"),
+            )),
+        }
+    }
+}
+
+/// The version-4 per-stream negotiation record: a [`GroupHello`] that
+/// additionally names (or requests) a **session**. All session fields are
+/// identical on every stream of one dial — the MAC deliberately excludes
+/// the stream id — so the acceptor can verify any stream in isolation,
+/// *before* admitting the peer anywhere.
+///
+/// * `kind == New`: `session_id`/`expires_us` are 0. Under `require_auth`
+///   the MAC is [`crate::session::TicketKey::hello_mac`] over
+///   `(streams, token)`; otherwise it is all-zero and ignored.
+/// * `kind == Resume`: `session_id`, `expires_us` and `mac` are the
+///   fields of the [`crate::session::SessionTicket`] being presented,
+///   verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionHello {
+    /// Total streams in the group the sender is announcing (1 is legal
+    /// here, unlike plain group hellos: a session may span one stream).
+    pub streams: u8,
+    /// Which stream of the group this hello travels on (0-based).
+    pub stream_id: u8,
+    /// Fresh group token naming this dial (nonzero).
+    pub token: u64,
+    /// New session or resume.
+    pub kind: SessionKind,
+    /// Ticket session id (`Resume`) or 0 (`New`).
+    pub session_id: u64,
+    /// Ticket expiry (`Resume`) or 0 (`New`).
+    pub expires_us: u64,
+    /// Ticket MAC (`Resume`) or hello MAC / zeros (`New`).
+    pub mac: [u8; 16],
+}
+
+impl SessionHello {
+    /// Encodes into the 46-byte version-4 layout.
+    pub fn encode(&self) -> [u8; SESSION_HELLO_LEN] {
+        let mut out = [0u8; SESSION_HELLO_LEN];
+        out[0] = MAGIC;
+        out[1] = GROUP_MAGIC;
+        out[2] = GROUP_VERSION_SESSION;
+        out[3] = self.streams;
+        out[4] = self.stream_id;
+        out[5..13].copy_from_slice(&self.token.to_le_bytes());
+        out[13] = self.kind.to_byte();
+        out[14..22].copy_from_slice(&self.session_id.to_le_bytes());
+        out[22..30].copy_from_slice(&self.expires_us.to_le_bytes());
+        out[30..46].copy_from_slice(&self.mac);
+        out
+    }
+
+    /// Reads the fields following the 5-byte hello prefix (magic, group
+    /// magic, version, streams, stream_id), which the caller has already
+    /// consumed and validated as version 4.
+    fn read_tail(r: &mut impl Read, streams: u8, stream_id: u8) -> io::Result<SessionHello> {
+        let mut tail = [0u8; SESSION_HELLO_LEN - GROUP_HELLO_LEN];
+        r.read_exact(&mut tail)?;
+        let token = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+        let kind = SessionKind::from_byte(tail[8])?;
+        let session_id = u64::from_le_bytes(tail[9..17].try_into().expect("8 bytes"));
+        let expires_us = u64::from_le_bytes(tail[17..25].try_into().expect("8 bytes"));
+        let mut mac = [0u8; 16];
+        mac.copy_from_slice(&tail[25..41]);
+        Ok(SessionHello {
+            streams,
+            stream_id,
+            token,
+            kind,
+            session_id,
+            expires_us,
+            mac,
+        })
+    }
+}
+
+/// Any hello an acceptor may receive: legacy group (v2/v3) or session
+/// (v4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hello {
+    /// A version-2/3 [`GroupHello`].
+    Group(GroupHello),
+    /// A version-4 [`SessionHello`].
+    Session(SessionHello),
+}
+
+/// Reads a hello of any supported version — the acceptor-side entry
+/// point. Shares validation with [`GroupHello::read`] (magic, version,
+/// nonzero stream count).
+pub fn read_hello(r: &mut impl Read) -> io::Result<Hello> {
+    let mut h = [0u8; GROUP_HELLO_LEN];
+    r.read_exact(&mut h)?;
+    if h[0] != MAGIC || h[1] != GROUP_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "expected stream-group hello, got {:#04x} {:#04x} (v1 peer on a multi-stream group?)",
+                h[0], h[1]
+            ),
+        ));
+    }
+    if h[3] == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "stream-group hello announcing zero streams",
+        ));
+    }
+    match h[2] {
+        GROUP_VERSION => Ok(Hello::Group(GroupHello {
+            streams: h[3],
+            stream_id: h[4],
+            token: 0,
+        })),
+        GROUP_VERSION_TOKENED => {
+            let mut t = [0u8; 8];
+            r.read_exact(&mut t)?;
+            Ok(Hello::Group(GroupHello {
+                streams: h[3],
+                stream_id: h[4],
+                token: u64::from_le_bytes(t),
+            }))
+        }
+        GROUP_VERSION_SESSION => Ok(Hello::Session(SessionHello::read_tail(r, h[3], h[4])?)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported stream-group version {other}"),
+        )),
+    }
+}
+
+/// Why a session handshake was refused — the `status` codes of a
+/// [`SessionAccept`].
+pub mod session_status {
+    /// Handshake accepted.
+    pub const OK: u8 = 0;
+    /// Authentication failed (bad or missing hello MAC, or a plaintext
+    /// hello under `require_auth`).
+    pub const AUTH_FAILED: u8 = 1;
+    /// Resume refused: unknown or already-reclaimed session, peer
+    /// mismatch, or the server is draining.
+    pub const RESUME_REJECTED: u8 = 2;
+    /// The presented ticket's expiry has passed.
+    pub const TICKET_EXPIRED: u8 = 3;
+}
+
+/// The acceptor's reply to a [`SessionHello`], written on the primary
+/// stream after the per-stream [`GroupHello`] answers (on accept), or on
+/// each stream *instead* of a hello (on reject — so a rejected client
+/// learns why before the socket closes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionAccept {
+    /// One of [`session_status`]; non-zero means rejected and every
+    /// other field is zero.
+    pub status: u8,
+    /// 1 when an existing session was resumed, 0 for a fresh session.
+    pub resumed: u8,
+    /// Ticket: session id.
+    pub session_id: u64,
+    /// Ticket: absolute expiry (µs since the Unix epoch).
+    pub expires_us: u64,
+    /// Ticket: MAC.
+    pub mac: [u8; 16],
+    /// Resume point: the next global frame sequence number the server
+    /// expects (0 when there is no partial message to continue).
+    pub next_seq: u64,
+    /// Resume point: raw message bytes already delivered contiguously
+    /// (0 when there is no partial message to continue).
+    pub delivered_raw: u64,
+}
+
+impl SessionAccept {
+    /// A rejection carrying only the status code.
+    pub fn reject(status: u8) -> SessionAccept {
+        SessionAccept {
+            status,
+            resumed: 0,
+            session_id: 0,
+            expires_us: 0,
+            mac: [0u8; 16],
+            next_seq: 0,
+            delivered_raw: 0,
+        }
+    }
+
+    /// Encodes into the 52-byte layout.
+    pub fn encode(&self) -> [u8; SESSION_ACCEPT_LEN] {
+        let mut out = [0u8; SESSION_ACCEPT_LEN];
+        out[0] = MAGIC;
+        out[1] = SESSION_MAGIC;
+        out[2] = self.status;
+        out[3] = self.resumed;
+        out[4..12].copy_from_slice(&self.session_id.to_le_bytes());
+        out[12..20].copy_from_slice(&self.expires_us.to_le_bytes());
+        out[20..36].copy_from_slice(&self.mac);
+        out[36..44].copy_from_slice(&self.next_seq.to_le_bytes());
+        out[44..52].copy_from_slice(&self.delivered_raw.to_le_bytes());
+        out
+    }
+
+    /// Reads and validates a session-accept reply.
+    pub fn read(r: &mut impl Read) -> io::Result<SessionAccept> {
+        let mut h = [0u8; SESSION_ACCEPT_LEN];
+        r.read_exact(&mut h)?;
+        Self::parse(&h)
+    }
+
+    /// Parses an already-buffered 52-byte reply (the client sniffs the
+    /// first two bytes to distinguish accept-path hellos from rejects,
+    /// then hands the full buffer here).
+    pub fn parse(h: &[u8; SESSION_ACCEPT_LEN]) -> io::Result<SessionAccept> {
+        if h[0] != MAGIC || h[1] != SESSION_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected session accept, got {:#04x} {:#04x}", h[0], h[1]),
+            ));
+        }
+        let mut mac = [0u8; 16];
+        mac.copy_from_slice(&h[20..36]);
+        Ok(SessionAccept {
+            status: h[2],
+            resumed: h[3],
+            session_id: u64::from_le_bytes(h[4..12].try_into().expect("8 bytes")),
+            expires_us: u64::from_le_bytes(h[12..20].try_into().expect("8 bytes")),
+            mac,
+            next_seq: u64::from_le_bytes(h[36..44].try_into().expect("8 bytes")),
+            delivered_raw: u64::from_le_bytes(h[44..52].try_into().expect("8 bytes")),
+        })
+    }
+}
+
 /// Writes a `u32` length prefix (probe segment).
 pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -652,6 +920,75 @@ mod tests {
         // Cut inside the token field: the reader must not misparse.
         let mut c = Cursor::new(enc[..GROUP_HELLO_LEN + 3].to_vec());
         assert!(GroupHello::read(&mut c).is_err());
+    }
+
+    #[test]
+    fn session_hello_roundtrip_via_read_hello() {
+        let h = SessionHello {
+            streams: 3,
+            stream_id: 2,
+            token: 0x1122_3344_5566_7788,
+            kind: SessionKind::Resume,
+            session_id: 77,
+            expires_us: 1_000_000,
+            mac: [0xAB; 16],
+        };
+        let enc = h.encode();
+        assert_eq!(enc.len(), SESSION_HELLO_LEN);
+        let mut c = Cursor::new(enc.to_vec());
+        assert_eq!(read_hello(&mut c).unwrap(), Hello::Session(h));
+        // Legacy hellos still parse through the same entry point.
+        let legacy = GroupHello {
+            streams: 2,
+            stream_id: 1,
+            token: 99,
+        };
+        let mut c = Cursor::new(legacy.encode());
+        assert_eq!(read_hello(&mut c).unwrap(), Hello::Group(legacy));
+    }
+
+    #[test]
+    fn session_hello_rejects_truncation_and_bad_kind() {
+        let h = SessionHello {
+            streams: 2,
+            stream_id: 0,
+            token: 1,
+            kind: SessionKind::New,
+            session_id: 0,
+            expires_us: 0,
+            mac: [0u8; 16],
+        };
+        let enc = h.encode();
+        for cut in [6, 13, 20, 45] {
+            let mut c = Cursor::new(enc[..cut].to_vec());
+            assert!(read_hello(&mut c).is_err(), "cut {cut}");
+        }
+        let mut bad = enc;
+        bad[13] = 9; // unknown kind byte
+        assert!(read_hello(&mut Cursor::new(bad.to_vec())).is_err());
+    }
+
+    #[test]
+    fn session_accept_roundtrip_and_reject() {
+        let a = SessionAccept {
+            status: session_status::OK,
+            resumed: 1,
+            session_id: 5,
+            expires_us: 123,
+            mac: [0x5C; 16],
+            next_seq: 17,
+            delivered_raw: 3_400_000,
+        };
+        let enc = a.encode();
+        assert_eq!(enc.len(), SESSION_ACCEPT_LEN);
+        let mut c = Cursor::new(enc.to_vec());
+        assert_eq!(SessionAccept::read(&mut c).unwrap(), a);
+        let r = SessionAccept::reject(session_status::AUTH_FAILED);
+        let mut c = Cursor::new(r.encode().to_vec());
+        assert_eq!(SessionAccept::read(&mut c).unwrap().status, 1);
+        let mut bad = a.encode();
+        bad[1] = b'X';
+        assert!(SessionAccept::parse(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Property tests for session tickets: minting, wire roundtrip,
+//! tampering, truncation and expiry. Whatever a peer puts on the wire,
+//! a ticket must only verify when it is byte-identical to one this key
+//! minted *and* its expiry has not passed.
+
+use adoc::{SessionTicket, TicketError, TicketKey, TICKET_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity, and a decoded ticket verifies
+    /// under the minting key at any instant before its expiry.
+    #[test]
+    fn mint_roundtrips_and_verifies(
+        secret in proptest::collection::vec(any::<u8>(), 0..64),
+        session_id in any::<u64>(),
+        expires_us in 1u64..u64::MAX,
+        now_off in 1u64..1_000_000_000,
+    ) {
+        let key = TicketKey::from_secret(&secret);
+        let t = key.mint(session_id, expires_us);
+        let decoded = SessionTicket::decode(&t.encode()).expect("full-length ticket parses");
+        prop_assert_eq!(decoded, t);
+        let now = expires_us.saturating_sub(now_off);
+        prop_assert!(key.verify(&decoded, now).is_ok());
+    }
+
+    /// Flipping any single bit anywhere in the 32-byte wire form makes
+    /// verification fail — in the MAC bytes it is a direct mismatch, in
+    /// the id/expiry bytes the tag no longer covers the fields.
+    #[test]
+    fn any_single_bitflip_is_rejected(
+        secret in proptest::collection::vec(any::<u8>(), 1..64),
+        session_id in any::<u64>(),
+        expires_us in 1u64..u64::MAX,
+        byte in 0usize..TICKET_LEN,
+        bit in 0u8..8,
+    ) {
+        let key = TicketKey::from_secret(&secret);
+        let mut wire = key.mint(session_id, expires_us).encode();
+        wire[byte] ^= 1 << bit;
+        let t = SessionTicket::decode(&wire).expect("length unchanged");
+        prop_assert!(key.verify(&t, 0).is_err());
+    }
+
+    /// A ticket minted under one secret never verifies under a
+    /// different secret.
+    #[test]
+    fn wrong_key_is_rejected(
+        a in proptest::collection::vec(any::<u8>(), 0..48),
+        b in proptest::collection::vec(any::<u8>(), 0..48),
+        session_id in any::<u64>(),
+        expires_us in 1u64..u64::MAX,
+    ) {
+        prop_assume!(a != b);
+        let t = TicketKey::from_secret(&a).mint(session_id, expires_us);
+        prop_assert_eq!(
+            TicketKey::from_secret(&b).verify(&t, 0),
+            Err(TicketError::BadMac)
+        );
+    }
+
+    /// Truncated (or over-long) byte strings never parse into a ticket.
+    #[test]
+    fn wrong_length_never_parses(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        prop_assume!(bytes.len() != TICKET_LEN);
+        prop_assert!(SessionTicket::decode(&bytes).is_err());
+    }
+
+    /// An authentic ticket observed at or past its expiry reports
+    /// `Expired` (not `BadMac`): the MAC still checks out.
+    #[test]
+    fn expiry_is_enforced(
+        secret in proptest::collection::vec(any::<u8>(), 0..64),
+        session_id in any::<u64>(),
+        expires_us in any::<u64>(),
+        late in 0u64..1_000_000_000,
+    ) {
+        let key = TicketKey::from_secret(&secret);
+        let t = key.mint(session_id, expires_us);
+        let now = expires_us.saturating_add(late);
+        prop_assert_eq!(key.verify(&t, now), Err(TicketError::Expired));
+    }
+
+    /// Key derivation is deterministic: the same secret always yields a
+    /// key minting identical tickets, across processes and restarts.
+    #[test]
+    fn derivation_is_deterministic(
+        secret in proptest::collection::vec(any::<u8>(), 0..64),
+        session_id in any::<u64>(),
+        expires_us in any::<u64>(),
+    ) {
+        let t1 = TicketKey::from_secret(&secret).mint(session_id, expires_us);
+        let t2 = TicketKey::from_secret(&secret).mint(session_id, expires_us);
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -9,7 +9,21 @@
 //!              [--default-tier control|paid|bulk]
 //!              [--tier control|paid|bulk] [--rps F]
 //!              [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]
+//!              [--churn SECS] [--secret STRING]
 //! ```
+//!
+//! `--churn SECS` switches to **session churn** mode: every client opens
+//! an authenticated, resumable v4 session, then repeatedly cuts its own
+//! connections mid-message (half the message streamed, then a hard
+//! socket shutdown) and reconnects with its session ticket. A reconnect
+//! that lands mid-message finishes the interrupted transfer from the
+//! server's resume point — counted as *resumed*; one that finds the
+//! session gone (or back at a message boundary) re-sends the whole
+//! message — counted as *restarted*. Every echo is still verified
+//! byte-exact, resumes alternate onto a different stream width, and the
+//! report (and `--json`) carries the resumed/restarted counts.
+//! `--secret` makes the spawned daemon require authentication and sends
+//! MAC'd hellos (it matches `adoc-serverd --secret`).
 //!
 //! `--idle-clients N` holds N extra connections open (each does one
 //! tiny echo to register, then sits idle) while the busy clients
@@ -57,7 +71,7 @@ use adoc_sim::netprofiles::NetProfile;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -69,6 +83,11 @@ fn usage() -> ! {
          \u{20}                   [--bulk-clients N] [--bulk-size B]\n\
          \u{20}                   [--tier control|paid|bulk] [--rps F]\n\
          \u{20}                   [--sim lan100|renater|internet|gbit] [--quick] [--json PATH]\n\
+         \u{20}                   [--churn SECS] [--secret STRING]\n\
+         --churn runs resumable v4 sessions that cut their connections\n\
+         mid-message and resume with their tickets for SECS seconds,\n\
+         reporting resumed vs restarted transfers (--secret matches\n\
+         adoc-serverd --secret and turns on require-auth when spawning)\n\
          --idle-clients holds N extra registered-but-idle connections open\n\
          (skewed load: a work-conserving budget still runs at full rate)\n\
          --tier/--rps run the busy clients as paced request/response\n\
@@ -257,6 +276,8 @@ fn main() {
     let mut budget_mbit: Option<f64> = None;
     let mut json: Option<String> = None;
     let mut quick = false;
+    let mut churn: Option<u64> = None;
+    let mut secret: Option<String> = None;
     let mut plan = Plan {
         clients: 8,
         idle_clients: 0,
@@ -353,6 +374,15 @@ fn main() {
                     }
                 })
             }
+            "--churn" => {
+                let secs: u64 = parse(&mut args, "--churn");
+                if secs == 0 {
+                    eprintln!("--churn wants a positive duration in seconds");
+                    usage();
+                }
+                churn = Some(secs);
+            }
+            "--secret" => secret = Some(parse(&mut args, "--secret")),
             "--quick" => quick = true,
             "--json" => json = Some(parse(&mut args, "--json")),
             "--help" | "-h" => usage(),
@@ -409,6 +439,51 @@ fn main() {
              daemon; an external server's budget is set on adoc-serverd"
         );
         std::process::exit(2);
+    }
+    if churn.is_some() {
+        if sim.is_some() || plan.tier.is_some() || plan.rps.is_some() {
+            eprintln!(
+                "adoc-loadgen: --churn drives plain v4 sessions over TCP; drop --sim/--tier/--rps"
+            );
+            std::process::exit(2);
+        }
+        if plan.idle_clients > 0 || plan.bulk_clients > 0 {
+            eprintln!("adoc-loadgen: --churn does not mix with --idle-clients/--bulk-clients");
+            std::process::exit(2);
+        }
+        if plan.mode != ServeMode::Echo {
+            eprintln!("adoc-loadgen: --churn verifies byte-exact echoes; drop --mode sink");
+            std::process::exit(2);
+        }
+        // Mid-message resume needs *trackable* receives: multi-stream
+        // striped-adaptive messages past the 512 KiB probe threshold
+        // (smaller ones ship Direct, and single-stream fresh receives
+        // are untracked — both can only restart, never resume).
+        const CHURN_MIN_SIZE: usize = 640 << 10;
+        if plan.size < CHURN_MIN_SIZE {
+            eprintln!(
+                "adoc-loadgen: --churn raises --size {} -> {} (cuts must land past the probe, mid-striped-body)",
+                plan.size, CHURN_MIN_SIZE
+            );
+            plan.size = CHURN_MIN_SIZE;
+        }
+        if plan.streams.iter().all(|&s| s == 1) {
+            plan.streams = vec![2, 3];
+        }
+    } else if secret.is_some() {
+        eprintln!("adoc-loadgen: --secret keys session-mode clients; it needs --churn");
+        std::process::exit(2);
+    }
+
+    if let Some(secs) = churn {
+        let key = secret.as_ref().map(|s| s.as_bytes());
+        match run_churn(&plan, connect, budget_mbit, secs, key, json.as_deref()) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("adoc-loadgen: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let result = if let Some(profile) = sim {
@@ -774,6 +849,204 @@ fn run_tcp(
         None => None,
     };
     Outcome::collect(results, bulk, wall, metrics)
+}
+
+/// What one churn client tallied over its whole run.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChurnResult {
+    /// Reconnects that continued an interrupted message mid-stream from
+    /// the server's resume point.
+    resumed: u64,
+    /// Reconnects that re-sent the whole message (session gone, or the
+    /// cut landed at a message boundary).
+    restarted: u64,
+    /// Byte-exact echoes verified.
+    messages: u64,
+    raw_bytes: u64,
+}
+
+/// One churn client: a resumable session that repeatedly cuts its own
+/// connections mid-message and reconnects with its ticket until
+/// `deadline`.
+fn churn_client(
+    addr: &str,
+    plan: &Plan,
+    secret: Option<&[u8]>,
+    deadline: Instant,
+    seed: u64,
+) -> Result<ChurnResult, String> {
+    let payload = generate(
+        plan.kinds[seed as usize % plan.kinds.len()],
+        plan.size,
+        seed * 7 + 1,
+    );
+    let base_streams = plan.streams[seed as usize % plan.streams.len()];
+    // Resumes alternate onto a different width so re-striping the
+    // remainder of a message across a new stream count gets exercised.
+    let alt_streams = if base_streams >= 2 {
+        base_streams - 1
+    } else {
+        2
+    };
+    let cfg = client_cfg(plan).with_streams(base_streams);
+    let (mut conn, mut info) = AdocStreamGroup::connect_session(addr, cfg.clone(), secret)
+        .map_err(|e| format!("connect_session: {e}"))?;
+    let mut out = ChurnResult::default();
+    let mut attempt = 0u64;
+    while Instant::now() < deadline {
+        attempt += 1;
+        if attempt % 2 == 1 {
+            // Interrupted transfer: stream only half the message (the
+            // short source fails the send mid-message), hard-cut every
+            // socket, then come back with the ticket.
+            let cut = (payload.len() / 2).max(1);
+            let mut src = &payload[..cut];
+            let _ = conn.send_reader(&mut src, payload.len() as u64, &cfg);
+            let _ = conn.shutdown_streams();
+            drop(conn);
+            let width = if attempt % 4 == 1 {
+                alt_streams
+            } else {
+                base_streams
+            };
+            let resume_cfg = client_cfg(plan).with_streams(width);
+            match AdocStreamGroup::resume_session(addr, resume_cfg, &info.ticket) {
+                Ok((c2, i2, at)) => {
+                    conn = c2;
+                    info = i2;
+                    if at.mid_message() {
+                        conn.write_resumed(&payload, at)
+                            .map_err(|e| format!("write_resumed: {e}"))?;
+                        out.resumed += 1;
+                    } else {
+                        AdocStreamGroup::write(&mut conn, &payload)
+                            .map_err(|e| format!("restart send: {e}"))?;
+                        out.restarted += 1;
+                    }
+                }
+                Err(resume_err) => {
+                    // Session gone (completed, swept, or the server
+                    // restarted): open a fresh one and re-send.
+                    let (c2, i2) = AdocStreamGroup::connect_session(addr, cfg.clone(), secret)
+                        .map_err(|e| format!("reconnect after \"{resume_err}\": {e}"))?;
+                    conn = c2;
+                    info = i2;
+                    AdocStreamGroup::write(&mut conn, &payload)
+                        .map_err(|e| format!("restart send: {e}"))?;
+                    out.restarted += 1;
+                }
+            }
+        } else {
+            AdocStreamGroup::write(&mut conn, &payload).map_err(|e| format!("send: {e}"))?;
+        }
+        // The echo must be byte-exact no matter how the message got
+        // there — one contiguous delivery stitched across connections.
+        let mut back = vec![0u8; payload.len()];
+        AdocStreamGroup::read_exact(&mut conn, &mut back).map_err(|e| format!("echo read: {e}"))?;
+        if back != payload {
+            return Err("echo was not byte-exact after a churn cycle".into());
+        }
+        out.messages += 1;
+        out.raw_bytes += 2 * payload.len() as u64;
+    }
+    Ok(out)
+}
+
+/// Session-churn mode: `plan.clients` resumable sessions cutting and
+/// resuming their connections for `secs` seconds (see the module docs).
+fn run_churn(
+    plan: &Plan,
+    connect: Option<String>,
+    budget_mbit: Option<f64>,
+    secs: u64,
+    secret: Option<&[u8]>,
+    json: Option<&str>,
+) -> Result<(), String> {
+    let (addr, handle) = match connect {
+        Some(addr) => (addr, None),
+        None => {
+            let mut builder = ServerConfig::builder()
+                .mode(ServeMode::Echo)
+                .budget(budget_mbit.map(|m| m * 1e6 / 8.0))
+                .max_conns((plan.clients * 8).max(64))
+                .default_tier(plan.default_tier);
+            if let Some(s) = secret {
+                // A keyed run exercises the full path: MAC'd hellos are
+                // demanded, plaintext clients are refused.
+                builder = builder.auth_secret(s.to_vec()).require_auth(true);
+            }
+            let cfg = builder.build().map_err(|e| format!("server config: {e}"))?;
+            let server = Server::new(cfg).map_err(|e| format!("server config: {e}"))?;
+            let handle =
+                daemon::spawn(server, "127.0.0.1:0").map_err(|e| format!("spawn daemon: {e}"))?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let wall_start = Instant::now();
+    let results: Vec<Result<ChurnResult, String>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(plan.clients);
+        for c in 0..plan.clients {
+            let addr = addr.clone();
+            handles.push(s.spawn(move || {
+                churn_client(&addr, plan, secret, deadline, c as u64)
+                    .map_err(|e| format!("churn client {c}: {e}"))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let mut total = ChurnResult::default();
+    for r in results {
+        let r = r?;
+        total.resumed += r.resumed;
+        total.restarted += r.restarted;
+        total.messages += r.messages;
+        total.raw_bytes += r.raw_bytes;
+    }
+
+    let server_metrics = match handle {
+        Some(h) => {
+            let server = Arc::clone(h.server());
+            h.shutdown().map_err(|e| format!("drain: {e}"))?;
+            let pool = server.pool().stats();
+            if pool.outstanding != 0 {
+                return Err(format!(
+                    "pool leak after drain: {} buffers outstanding",
+                    pool.outstanding
+                ));
+            }
+            Some(server.metrics_json())
+        }
+        None => None,
+    };
+
+    println!(
+        "adoc-loadgen: churn: {} clients x {} B for {}s: {} messages verified byte-exact, {} resumed mid-message, {} restarted, {:.1} MiB moved in {:.3}s",
+        plan.clients,
+        plan.size,
+        secs,
+        total.messages,
+        total.resumed,
+        total.restarted,
+        total.raw_bytes as f64 / (1024.0 * 1024.0),
+        wall,
+    );
+    if let Some(m) = &server_metrics {
+        println!("{m}");
+    }
+    if let Some(path) = json {
+        let doc = format!(
+            "{{\n  \"schema\": \"adoc-loadgen-churn-v1\",\n  \"results\": [\n    {{ \"id\": \"loadgen/churn/clients={}\", \"resumed\": {}, \"restarted\": {}, \"messages\": {}, \"throughput_bytes\": {}, \"wall_s\": {:.3} }}\n  ]\n}}\n",
+            plan.clients, total.resumed, total.restarted, total.messages, total.raw_bytes, wall,
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            return Err(format!("cannot write {path}: {e}"));
+        }
+    }
+    Ok(())
 }
 
 /// Runs the plan over per-client `adoc-sim` shaped links straight into

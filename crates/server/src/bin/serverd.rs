@@ -9,7 +9,16 @@
 //!              [--tier-peer PREFIX=TIER]...
 //!              [--metrics-every-secs N] [--port-file PATH]
 //!              [--metrics-addr ADDR] [--metrics-port-file PATH]
+//!              [--require-auth] [--secret STRING]
+//!              [--resume-window-ms N] [--ticket-ttl-secs N]
 //! ```
+//!
+//! `--secret` keys the HMAC session tickets (v4 clients get a ticket on
+//! connect and can resume a dropped session mid-message with it);
+//! `--require-auth` additionally refuses every unauthenticated client
+//! (v1, plaintext v2/v3 groups, and v4 hellos without a valid MAC).
+//! Without `--secret` the key is random per process, so tickets only
+//! resume against the daemon that minted them.
 //!
 //! The wire budget is shared by a **work-conserving weighted
 //! scheduler**: share idle connections leave unused flows to backlogged
@@ -50,6 +59,10 @@ fn usage() -> ! {
          \u{20}                   [--tier-peer PREFIX=TIER]...\n\
          \u{20}                   [--metrics-every-secs N] [--port-file PATH]\n\
          \u{20}                   [--metrics-addr ADDR] [--metrics-port-file PATH]\n\
+         \u{20}                   [--require-auth] [--secret STRING]\n\
+         \u{20}                   [--resume-window-ms N] [--ticket-ttl-secs N]\n\
+         --secret keys HMAC session tickets (resumable v4 sessions);\n\
+         --require-auth refuses every client without a valid MAC\n\
          the budget is work-conserving weighted fair: tiers weigh control=4x,\n\
          paid=2x, bulk=1x; --tier-peer assigns a tier by peer-address prefix\n\
          (first match wins) and may be repeated\n\
@@ -129,6 +142,18 @@ fn main() {
                     usage();
                 };
                 builder = builder.tier_override(prefix, tier);
+            }
+            "--require-auth" => builder = builder.require_auth(true),
+            "--secret" => builder = builder.auth_secret(parse::<String>(&mut args, "--secret")),
+            "--resume-window-ms" => {
+                builder = builder.resume_window(Duration::from_millis(parse(
+                    &mut args,
+                    "--resume-window-ms",
+                )));
+            }
+            "--ticket-ttl-secs" => {
+                builder =
+                    builder.ticket_ttl(Duration::from_secs(parse(&mut args, "--ticket-ttl-secs")));
             }
             "--metrics-every-secs" => metrics_every = parse(&mut args, "--metrics-every-secs"),
             "--port-file" => port_file = Some(parse(&mut args, "--port-file")),

@@ -20,8 +20,9 @@
 //!   hostage forever.
 
 use crate::registry::{ConnId, ConnOutcome};
+use crate::session::PartialRecv;
 use crate::Server;
-use adoc::{AdocSocket, AdocStreamGroup, SendReport, TransferStats};
+use adoc::{AdocSocket, AdocStreamGroup, RecvProgress, SendReport, TransferStats};
 use parking_lot::{Condvar, Mutex};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,17 +117,31 @@ impl ConnCtl {
 pub(crate) struct RegistryGuard<'a> {
     server: &'a Server,
     id: ConnId,
+    armed: bool,
 }
 
 impl<'a> RegistryGuard<'a> {
     pub(crate) fn new(server: &'a Server, id: ConnId) -> RegistryGuard<'a> {
-        RegistryGuard { server, id }
+        RegistryGuard {
+            server,
+            id,
+            armed: true,
+        }
+    }
+
+    /// Defuses the guard: the session-park path keeps the registry
+    /// entry alive (as `Detached`) so a reconnecting client can resume
+    /// it — removal would orphan the parked session.
+    pub(crate) fn disarm(&mut self) {
+        self.armed = false;
     }
 }
 
 impl Drop for RegistryGuard<'_> {
     fn drop(&mut self) {
-        self.server.registry().remove(self.id, ConnOutcome::Failed);
+        if self.armed {
+            self.server.registry().remove(self.id, ConnOutcome::Failed);
+        }
     }
 }
 
@@ -378,6 +393,132 @@ fn serve_loop(
         // also includes the client's think-time before the message, so
         // this path never emits SlowRequest — only the reactor's spans,
         // which start at the first header byte, can judge slowness.
+        let times = crate::trace::StageTimes {
+            read_us,
+            write_us,
+            total_us: read_us + write_us,
+            ..Default::default()
+        };
+        if server.config().instrument {
+            server
+                .tracer()
+                .record(id, n, server.events().now().as_secs_f64(), &times);
+        }
+        server.events().emit(crate::Event::MessageServed {
+            conn: id,
+            raw_bytes: n,
+            reply_wire_bytes: report.wire,
+            times,
+        });
+        if server.events().is_active() {
+            if let Some(&adoc::LevelEvent { level, reason, .. }) =
+                conn.stats().level_timeline.last()
+            {
+                if let Some(from) = last_level.filter(|&prev| prev != level) {
+                    server.events().emit(crate::Event::LevelChange {
+                        conn: id,
+                        from,
+                        to: level,
+                        reason,
+                    });
+                }
+                last_level = Some(level);
+            }
+            server.note_pool_evictions();
+        }
+    }
+}
+
+/// The session-aware variant of [`serve_loop`]: identical message loop,
+/// but (a) the first receive can continue a half-finished message a
+/// previous connection left behind, and (b) on a receive error the
+/// half-received state is handed back to the caller so the daemon can
+/// park it for a future resume instead of discarding it.
+///
+/// Returns the messages served, or the error plus the partial message
+/// (if the disconnect hit mid-message with bytes already delivered).
+/// Registry removal is the caller's job — unlike [`serve_messages`],
+/// the connection may live on as a detached session.
+pub(crate) fn serve_session_messages<R: Read + Send, W: Write + Send>(
+    server: &Server,
+    id: ConnId,
+    conn: &mut AdocStreamGroup<R, W>,
+    ctl: &ConnCtl,
+    resume: Option<PartialRecv>,
+) -> Result<u64, (io::Error, Option<PartialRecv>)> {
+    let mut served = 0u64;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_level: Option<u8> = None;
+    let mut progress = RecvProgress::default();
+    let mut pending_resume = resume;
+    loop {
+        if server.is_draining() {
+            return Ok(served);
+        }
+        ctl.mark_boundary();
+        buf.clear();
+        let t0 = std::time::Instant::now();
+        let recv = match pending_resume.take() {
+            Some(p) => {
+                // Continue the interrupted message: the delivered prefix
+                // is already in hand, the new connection supplies the
+                // frames from `next_seq` on.
+                buf = p.buf;
+                let delivered = buf.len() as u64;
+                conn.receive_file_resumed(
+                    &mut buf,
+                    p.total_raw,
+                    delivered,
+                    p.next_seq,
+                    &mut progress,
+                )
+            }
+            None => conn.receive_file_tracked(&mut buf, &mut progress),
+        };
+        let n = match recv {
+            Ok(n) => n,
+            Err(e) => {
+                // Only a mid-message death leaves something worth
+                // parking; at a boundary the client simply restarts the
+                // message (at-least-once delivery).
+                let partial = if progress.active
+                    && progress.total_raw > 0
+                    && (progress.delivered_raw > 0 || progress.next_seq > 0)
+                {
+                    let mut kept = std::mem::take(&mut buf);
+                    kept.truncate(progress.delivered_raw as usize);
+                    Some(PartialRecv {
+                        buf: kept,
+                        total_raw: progress.total_raw,
+                        next_seq: progress.next_seq,
+                    })
+                } else {
+                    None
+                };
+                return Err((e, partial));
+            }
+        };
+        if n == 0 && buf.is_empty() {
+            return Ok(served);
+        }
+        let read_us = t0.elapsed().as_micros() as u64;
+        let t1 = std::time::Instant::now();
+        let reply = match server.mode() {
+            ServeMode::Echo => conn.write(&buf),
+            ServeMode::Sink => conn.write(&sink_ack(n, fnv1a64(&buf))),
+        };
+        // A lost reply cannot be resumed (the message was consumed):
+        // surface it with no partial so the caller parks a boundary
+        // resume point and the client re-sends the whole message.
+        let report = match reply {
+            Ok(r) => r,
+            Err(e) => return Err((e, None)),
+        };
+        let write_us = t1.elapsed().as_micros() as u64;
+        served += 1;
+        if let Some(snap) = server.registry().update(id, n, report.wire, conn.stats()) {
+            server.scheduler().report_delay(id, snap);
+        }
         let times = crate::trace::StageTimes {
             read_us,
             write_us,

@@ -41,15 +41,22 @@
 //! loop, expires parked sockets, and shuts the reactor down (which
 //! closes every connection, bounded by the drain deadline).
 
-use crate::conn::{serve_messages, ConnCtl, GuardedReader, GuardedWriter, RegistryGuard};
+use crate::conn::{
+    serve_messages, serve_session_messages, ConnCtl, GuardedReader, GuardedWriter, RegistryGuard,
+};
 use crate::control::Control;
 use crate::event::Event;
 use crate::http::{self, HttpHandle};
 use crate::reactor::{Reactor, ReactorHandle};
-use crate::registry::ConnOutcome;
+use crate::registry::{ConnId, ConnOutcome};
+use crate::session::{ParkedSession, PartialRecv};
 use crate::Server;
-use adoc::wire::GroupHello;
-use adoc::AdocStreamGroup;
+use adoc::session::unix_now_us;
+use adoc::wire::{
+    self, session_status, GroupHello, Hello, SessionAccept, SessionHello, SessionKind,
+};
+use adoc::{AdocStreamGroup, SessionTicket, TicketError};
+use adoc_codec::checksum::ct_eq;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -220,6 +227,15 @@ impl DaemonHandle {
                 first_err = first_err.or(Some(e));
             }
         }
+        // Sessions still parked can never resume now (resumes are
+        // refused while draining): reclaim their registry slots.
+        for (sid, p) in self.server.sessions().expire_all() {
+            self.server.events().emit(Event::SessionExpired {
+                conn: p.conn,
+                session_id: sid,
+            });
+            self.server.registry().remove(p.conn, ConnOutcome::Failed);
+        }
         // Every connection has closed: the drain is complete. Emitted
         // before the HTTP listener stops so a final /events scrape can
         // still observe it.
@@ -286,6 +302,16 @@ fn accept_loop(
             server.registry().count_handshake_failure();
         }
 
+        // Parked sessions whose resume window lapsed give their registry
+        // slot back; the client that never came back is a failure.
+        for (sid, p) in server.sessions().sweep(Instant::now()) {
+            server.events().emit(Event::SessionExpired {
+                conn: p.conn,
+                session_id: sid,
+            });
+            server.registry().remove(p.conn, ConnOutcome::Failed);
+        }
+
         // Admission control: at the cap we simply stop accepting; the
         // kernel backlog backpressures the dialers. The count must cover
         // every socket the reactor owns, not just registered
@@ -318,18 +344,43 @@ pub(crate) fn handle_group_stream(
     sniff: [u8; 2],
     hello_timeout: Duration,
 ) {
-    // Re-attach the sniffed bytes and parse the full hello.
+    // Re-attach the sniffed bytes and parse the full hello (any
+    // supported version — v4 session hellos share the v2 prefix).
     let hello = {
         let mut chained = io::Read::chain(&sniff[..], &mut stream);
-        match GroupHello::read(&mut chained) {
+        match wire::read_hello(&mut chained) {
             Ok(h) => h,
-            Err(e) => {
-                let _ = e;
+            Err(_) => {
                 server.registry().count_handshake_failure();
                 return;
             }
         }
     };
+    match hello {
+        Hello::Group(h) => handle_plain_group(server, pending, stream, peer, h, hello_timeout),
+        Hello::Session(h) => handle_session_stream(server, pending, stream, peer, h, hello_timeout),
+    }
+}
+
+fn handle_plain_group(
+    server: Arc<Server>,
+    pending: Arc<PendingGroups>,
+    stream: TcpStream,
+    peer: SocketAddr,
+    hello: GroupHello,
+    hello_timeout: Duration,
+) {
+    if server.config().require_auth {
+        // A v2/v3 hello carries no MAC, so under require_auth there is
+        // nothing to verify: refuse before the socket can even park.
+        server.sessions().count_rejected();
+        server.registry().count_handshake_failure();
+        server.events().emit(Event::TicketRejected {
+            session_id: None,
+            reason: "auth",
+        });
+        return;
+    }
     let n = hello.streams as usize;
     if n < 2 {
         // A 1-stream client never sends a hello; announcing 1 here is a
@@ -387,5 +438,355 @@ pub(crate) fn handle_group_stream(
             let _ = serve_messages(&server, id, &mut group, &ctl);
         }
         Err(_) => server.registry().remove(id, ConnOutcome::Failed),
+    }
+}
+
+/// Writes a [`SessionAccept`] rejection on `stream` and records the
+/// refusal (session counter, handshake failure, typed event).
+fn reject_session(
+    server: &Server,
+    stream: &mut TcpStream,
+    status: u8,
+    session_id: Option<u64>,
+    reason: &'static str,
+) {
+    let _ = io::Write::write_all(stream, &SessionAccept::reject(status).encode());
+    let _ = io::Write::flush(stream);
+    server.sessions().count_rejected();
+    server.registry().count_handshake_failure();
+    server
+        .events()
+        .emit(Event::TicketRejected { session_id, reason });
+}
+
+/// One stream of a v4 session group: the credential is verified **per
+/// stream, before admission** — a bad MAC or stale ticket never parks a
+/// socket in the group table, let alone reaches the registry.
+fn handle_session_stream(
+    server: Arc<Server>,
+    pending: Arc<PendingGroups>,
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    hello: SessionHello,
+    hello_timeout: Duration,
+) {
+    let n = hello.streams as usize;
+    // Session hellos are sent on every stream including n == 1, but a
+    // zero stream count or the reserved zero token is a protocol error.
+    if n == 0 || hello.token == 0 {
+        server.registry().count_handshake_failure();
+        return;
+    }
+    let verdict: Result<(), (u8, &'static str)> = match hello.kind {
+        SessionKind::New => {
+            if server.config().require_auth {
+                let want = server.ticket_key().hello_mac(hello.streams, hello.token);
+                if ct_eq(&want, &hello.mac) {
+                    Ok(())
+                } else {
+                    Err((session_status::AUTH_FAILED, "auth"))
+                }
+            } else {
+                // Auth optional: a fresh v4 session is always welcome.
+                Ok(())
+            }
+        }
+        SessionKind::Resume => {
+            if server.is_draining() {
+                Err((session_status::RESUME_REJECTED, "draining"))
+            } else {
+                let ticket = SessionTicket {
+                    session_id: hello.session_id,
+                    expires_us: hello.expires_us,
+                    mac: hello.mac,
+                };
+                match server.ticket_key().verify(&ticket, unix_now_us()) {
+                    Ok(()) => Ok(()),
+                    Err(TicketError::BadMac) => Err((session_status::AUTH_FAILED, "auth")),
+                    Err(TicketError::Expired) => Err((session_status::TICKET_EXPIRED, "expired")),
+                }
+            }
+        }
+    };
+    if let Err((status, reason)) = verdict {
+        let sid = (hello.kind == SessionKind::Resume).then_some(hello.session_id);
+        reject_session(&server, &mut stream, status, sid, reason);
+        return;
+    }
+
+    let key: GroupKey = (peer.ip(), hello.streams, hello.token);
+    let deadline = Instant::now() + hello_timeout;
+    let streams = match pending.place(key, hello.stream_id, stream, deadline) {
+        Placed::Parked => return,
+        Placed::Invalid => {
+            server.registry().count_handshake_failure();
+            return;
+        }
+        Placed::Complete(streams) => streams,
+    };
+    match hello.kind {
+        SessionKind::New => serve_new_session(server, streams, peer),
+        SessionKind::Resume => serve_resumed_session(server, streams, peer, hello, hello_timeout),
+    }
+}
+
+/// Replies the acceptor [`GroupHello`]s in id order (plus the
+/// [`SessionAccept`] on the primary, queued behind its hello) and wraps
+/// every stream in the drain-aware guards. `None` means a socket write
+/// failed; the handshake is already recorded as failed.
+fn answer_session_streams(
+    server: &Server,
+    id: ConnId,
+    ctl: &Arc<ConnCtl>,
+    streams: Vec<TcpStream>,
+    accept: &SessionAccept,
+) -> Option<Vec<(GuardedReader<TcpStream>, GuardedWriter<TcpStream>)>> {
+    let n = streams.len();
+    let poll = server.config().drain_poll;
+    let mut pairs = Vec::with_capacity(n);
+    for (i, mut s) in streams.into_iter().enumerate() {
+        let mut ok =
+            io::Write::write_all(&mut s, &GroupHello::new(n as u8, i as u8).encode()).is_ok();
+        if ok && i == 0 {
+            ok = io::Write::write_all(&mut s, &accept.encode()).is_ok();
+        }
+        ok = ok
+            && io::Write::flush(&mut s).is_ok()
+            && s.set_read_timeout(Some(poll)).is_ok()
+            && s.set_write_timeout(Some(poll)).is_ok();
+        let reader = if ok { s.try_clone().ok() } else { None };
+        match reader {
+            Some(r) => pairs.push((
+                GuardedReader::new(r, Vec::new(), Arc::clone(ctl), i == 0),
+                GuardedWriter::new(s, Arc::clone(ctl)),
+            )),
+            None => {
+                server.registry().fail_handshake(id);
+                return None;
+            }
+        }
+    }
+    Some(pairs)
+}
+
+fn serve_new_session(server: Arc<Server>, streams: Vec<TcpStream>, peer: SocketAddr) {
+    let n = streams.len();
+    let peer_label = format!("{peer} x{n}");
+    let id = server.registry().register(peer_label.clone());
+    let mut ghostbuster = RegistryGuard::new(&server, id);
+    let ctl = ConnCtl::new(server.drain_state());
+    let session_id = server.sessions().mint_id();
+    let ttl_us = server
+        .config()
+        .ticket_ttl
+        .as_micros()
+        .min(u128::from(u64::MAX)) as u64;
+    let expires_us = unix_now_us().saturating_add(ttl_us);
+    let ticket = server.ticket_key().mint(session_id, expires_us);
+    let accept = SessionAccept {
+        status: session_status::OK,
+        resumed: 0,
+        session_id,
+        expires_us,
+        mac: ticket.mac,
+        next_seq: 0,
+        delivered_raw: 0,
+    };
+    let Some(pairs) = answer_session_streams(&server, id, &ctl, streams, &accept) else {
+        return;
+    };
+    let cfg = server.conn_config(id, n, &peer_label);
+    server.registry().activate(id, n);
+    match AdocStreamGroup::from_negotiated(pairs, cfg) {
+        Ok(group) => run_session(
+            &server,
+            id,
+            session_id,
+            peer.ip(),
+            group,
+            &ctl,
+            None,
+            &mut ghostbuster,
+        ),
+        Err(_) => server.registry().remove(id, ConnOutcome::Failed),
+    }
+}
+
+fn serve_resumed_session(
+    server: Arc<Server>,
+    mut streams: Vec<TcpStream>,
+    peer: SocketAddr,
+    hello: SessionHello,
+    hello_timeout: Duration,
+) {
+    let n = streams.len();
+    let session_id = hello.session_id;
+    // The dying connection parks its session only after its serve thread
+    // unwinds, so a fast reconnect can beat the park: poll briefly.
+    let give_up = Instant::now() + hello_timeout / 2;
+    let parked = loop {
+        match server.sessions().take(session_id) {
+            Some(p) => break Some(p),
+            None if Instant::now() >= give_up || server.is_draining() => break None,
+            None => thread::sleep(Duration::from_millis(5)),
+        }
+    };
+    let Some(parked) = parked else {
+        let reason = if server.is_draining() {
+            "draining"
+        } else {
+            "unknown"
+        };
+        reject_session(
+            &server,
+            &mut streams[0],
+            session_status::RESUME_REJECTED,
+            Some(session_id),
+            reason,
+        );
+        return;
+    };
+    if parked.peer != peer.ip() {
+        // The ticket is bearer-style; the IP pin narrows replay. Re-park
+        // so the legitimate client can still come back.
+        server.sessions().park(session_id, parked);
+        reject_session(
+            &server,
+            &mut streams[0],
+            session_status::RESUME_REJECTED,
+            Some(session_id),
+            "peer",
+        );
+        return;
+    }
+    let id = parked.conn;
+    if !server.registry().resume(id, n) {
+        // The registry entry vanished (swept between take and here).
+        reject_session(
+            &server,
+            &mut streams[0],
+            session_status::RESUME_REJECTED,
+            Some(session_id),
+            "unknown",
+        );
+        return;
+    }
+    let peer_label = format!("{peer} x{n}");
+    let mut ghostbuster = RegistryGuard::new(&server, id);
+    let ctl = ConnCtl::new(server.drain_state());
+    let (next_seq, delivered_raw) = parked
+        .partial
+        .as_ref()
+        .map(|p| (p.next_seq, p.buf.len() as u64))
+        .unwrap_or((0, 0));
+    let accept = SessionAccept {
+        status: session_status::OK,
+        resumed: 1,
+        session_id,
+        expires_us: hello.expires_us,
+        mac: hello.mac,
+        next_seq,
+        delivered_raw,
+    };
+    let Some(pairs) = answer_session_streams(&server, id, &ctl, streams, &accept) else {
+        return;
+    };
+    // The new transport may have a different stream count; the sender
+    // re-stripes accordingly. Scheduler state (tier, weight, token
+    // balance, admitted bytes) carries over when it was captured.
+    let cfg = match parked.carryover {
+        Some(co) => server.conn_config_resumed(id, n, co),
+        None => server.conn_config(id, n, &peer_label),
+    };
+    server.sessions().count_resumed();
+    server.events().emit(Event::SessionResumed {
+        conn: id,
+        session_id,
+        streams: n,
+        mid_message: parked.partial.is_some(),
+    });
+    match AdocStreamGroup::from_negotiated(pairs, cfg) {
+        Ok(group) => run_session(
+            &server,
+            id,
+            session_id,
+            peer.ip(),
+            group,
+            &ctl,
+            parked.partial,
+            &mut ghostbuster,
+        ),
+        Err(_) => server.registry().remove(id, ConnOutcome::Failed),
+    }
+}
+
+/// How a session serve ended, decided before the stream group is
+/// dropped.
+enum SessionEnd {
+    Done(ConnOutcome),
+    Park {
+        carryover: Option<crate::sched::SchedCarryover>,
+        partial: Option<PartialRecv>,
+    },
+}
+
+/// Serves a session connection and settles its fate: completion and
+/// hard failures remove the registry entry as usual, while a
+/// disconnect-like death (the peer vanished mid-session) detaches the
+/// entry and parks the session for a resume within the window.
+#[allow(clippy::too_many_arguments)]
+fn run_session(
+    server: &Server,
+    id: ConnId,
+    session_id: u64,
+    peer: IpAddr,
+    mut group: AdocStreamGroup<GuardedReader<TcpStream>, GuardedWriter<TcpStream>>,
+    ctl: &ConnCtl,
+    resume: Option<PartialRecv>,
+    guard: &mut RegistryGuard<'_>,
+) {
+    let end = match serve_session_messages(server, id, &mut group, ctl, resume) {
+        Ok(_) => SessionEnd::Done(ConnOutcome::Completed),
+        Err((e, partial)) => {
+            let disconnect = matches!(
+                e.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            );
+            if disconnect && !server.is_draining() {
+                // Scheduler state must be read while the group — whose
+                // throttle handle owns the bucket — is still alive.
+                let carryover = server.scheduler().carryover_of(id);
+                server.registry().detach(id);
+                SessionEnd::Park { carryover, partial }
+            } else {
+                SessionEnd::Done(ConnOutcome::Failed)
+            }
+        }
+    };
+    // The group must be gone before the session is published as parked:
+    // a resume arriving earlier could restore the scheduler bucket and
+    // then lose it to the old throttle handle's deregistration.
+    drop(group);
+    match end {
+        SessionEnd::Done(outcome) => {
+            server.registry().remove(id, outcome);
+            server.tracer().deregister(id);
+        }
+        SessionEnd::Park { carryover, partial } => {
+            server.sessions().park(
+                session_id,
+                ParkedSession {
+                    conn: id,
+                    peer,
+                    carryover,
+                    partial,
+                    deadline: Instant::now() + server.config().resume_window,
+                },
+            );
+            guard.disarm();
+        }
     }
 }

@@ -207,6 +207,39 @@ pub enum Event<'a> {
         /// Jobs waiting (not yet picked up) after this enqueue.
         depth: usize,
     },
+    /// A reconnecting client presented a valid ticket and took over its
+    /// detached session — the registry entry, scheduler state, and any
+    /// half-received message carried across the reconnect.
+    SessionResumed {
+        /// Registry id (the same id the session held before detaching).
+        conn: ConnId,
+        /// Session id from the presented ticket.
+        session_id: u64,
+        /// Stream count of the *new* group (may differ from the old).
+        streams: usize,
+        /// True when the resume picked up mid-message (a partial
+        /// receive was carried over), false for a boundary resume.
+        mid_message: bool,
+    },
+    /// A session hello or resume ticket failed verification and the
+    /// socket was refused before registry admission.
+    TicketRejected {
+        /// Session id the client presented (None for a rejected
+        /// new-session hello, which has no session yet).
+        session_id: Option<u64>,
+        /// Why it was refused (`"auth"`, `"expired"`, `"unknown"`,
+        /// `"draining"`…).
+        reason: &'a str,
+    },
+    /// A detached session outlived its resume window (or the daemon
+    /// shut down) and was reclaimed: its registry entry is removed and
+    /// its ticket will never be honoured again.
+    SessionExpired {
+        /// Registry id the session held.
+        conn: ConnId,
+        /// The expired session's id.
+        session_id: u64,
+    },
 }
 
 impl Event<'_> {
@@ -230,6 +263,9 @@ impl Event<'_> {
             Event::BudgetChanged { .. } => "budget_changed",
             Event::ReactorTick { .. } => "reactor_tick",
             Event::WorkerQueueDepth { .. } => "worker_queue_depth",
+            Event::SessionResumed { .. } => "session_resumed",
+            Event::TicketRejected { .. } => "ticket_rejected",
+            Event::SessionExpired { .. } => "session_expired",
         }
     }
 }
@@ -290,6 +326,18 @@ pub trait Subscriber: Send + Sync {
             Event::BudgetChanged { bytes_per_sec } => self.on_budget_changed(meta, bytes_per_sec),
             Event::ReactorTick { ready, parked } => self.on_reactor_tick(meta, ready, parked),
             Event::WorkerQueueDepth { depth } => self.on_worker_queue_depth(meta, depth),
+            Event::SessionResumed {
+                conn,
+                session_id,
+                streams,
+                mid_message,
+            } => self.on_session_resumed(meta, conn, session_id, streams, mid_message),
+            Event::TicketRejected { session_id, reason } => {
+                self.on_ticket_rejected(meta, session_id, reason)
+            }
+            Event::SessionExpired { conn, session_id } => {
+                self.on_session_expired(meta, conn, session_id)
+            }
         }
     }
 
@@ -342,6 +390,20 @@ pub trait Subscriber: Send + Sync {
     fn on_reactor_tick(&self, meta: &EventMeta, ready: usize, parked: usize) {}
     /// A codec job entered the worker-pool queue.
     fn on_worker_queue_depth(&self, meta: &EventMeta, depth: usize) {}
+    /// A reconnecting client resumed its detached session.
+    fn on_session_resumed(
+        &self,
+        meta: &EventMeta,
+        conn: ConnId,
+        session_id: u64,
+        streams: usize,
+        mid_message: bool,
+    ) {
+    }
+    /// A session hello or resume ticket was refused pre-admission.
+    fn on_ticket_rejected(&self, meta: &EventMeta, session_id: Option<u64>, reason: &str) {}
+    /// A detached session's resume window lapsed and it was reclaimed.
+    fn on_session_expired(&self, meta: &EventMeta, conn: ConnId, session_id: u64) {}
 }
 
 struct SubscriberEntry {
@@ -490,6 +552,12 @@ pub struct EventCounts {
     pub worker_jobs: u64,
     /// Deepest worker-pool queue observed at enqueue time.
     pub worker_queue_peak: u64,
+    /// `SessionResumed` events.
+    pub sessions_resumed: u64,
+    /// `TicketRejected` events.
+    pub tickets_rejected: u64,
+    /// `SessionExpired` events.
+    pub sessions_expired: u64,
 }
 
 /// The aggregating built-in subscriber: lock-free counters a metrics
@@ -515,6 +583,9 @@ pub struct MetricsSubscriber {
     reactor_ticks: AtomicU64,
     worker_jobs: AtomicU64,
     worker_queue_peak: AtomicU64,
+    sessions_resumed: AtomicU64,
+    tickets_rejected: AtomicU64,
+    sessions_expired: AtomicU64,
 }
 
 impl MetricsSubscriber {
@@ -542,6 +613,9 @@ impl MetricsSubscriber {
             reactor_ticks: self.reactor_ticks.load(Ordering::Relaxed),
             worker_jobs: self.worker_jobs.load(Ordering::Relaxed),
             worker_queue_peak: self.worker_queue_peak.load(Ordering::Relaxed),
+            sessions_resumed: self.sessions_resumed.load(Ordering::Relaxed),
+            tickets_rejected: self.tickets_rejected.load(Ordering::Relaxed),
+            sessions_expired: self.sessions_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -599,6 +673,22 @@ impl Subscriber for MetricsSubscriber {
         self.worker_jobs.fetch_add(1, Ordering::Relaxed);
         self.worker_queue_peak
             .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+    fn on_session_resumed(
+        &self,
+        _m: &EventMeta,
+        _conn: ConnId,
+        _session_id: u64,
+        _streams: usize,
+        _mid_message: bool,
+    ) {
+        self.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_ticket_rejected(&self, _m: &EventMeta, _session_id: Option<u64>, _reason: &str) {
+        self.tickets_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_session_expired(&self, _m: &EventMeta, _conn: ConnId, _session_id: u64) {
+        self.sessions_expired.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -809,6 +899,30 @@ pub fn render_json_line(meta: &EventMeta, event: &Event<'_>) -> String {
         }
         Event::WorkerQueueDepth { depth } => {
             let _ = write!(out, ", \"depth\": {depth}");
+        }
+        Event::SessionResumed {
+            conn,
+            session_id,
+            streams,
+            mid_message,
+        } => {
+            let _ = write!(
+                out,
+                ", \"conn\": {conn}, \"session_id\": {session_id}, \"streams\": {streams}, \
+                 \"mid_message\": {mid_message}"
+            );
+        }
+        Event::TicketRejected { session_id, reason } => {
+            match session_id {
+                Some(id) => {
+                    let _ = write!(out, ", \"session_id\": {id}");
+                }
+                None => out.push_str(", \"session_id\": null"),
+            }
+            let _ = write!(out, ", \"reason\": \"{}\"", json_escape(reason));
+        }
+        Event::SessionExpired { conn, session_id } => {
+            let _ = write!(out, ", \"conn\": {conn}, \"session_id\": {session_id}");
         }
     }
     out.push('}');
@@ -1055,6 +1169,50 @@ mod tests {
         let line = render_json_line(&meta, &Event::WorkerQueueDepth { depth: 3 });
         assert!(line.contains("\"event\": \"worker_queue_depth\""), "{line}");
         assert!(line.contains("\"depth\": 3"), "{line}");
+    }
+
+    #[test]
+    fn session_events_aggregate_and_render() {
+        let sub = MetricsSubscriber::new();
+        let meta = EventMeta {
+            seq: 3,
+            t: Duration::from_millis(4),
+        };
+        let resumed = Event::SessionResumed {
+            conn: 2,
+            session_id: 77,
+            streams: 4,
+            mid_message: true,
+        };
+        let rejected = Event::TicketRejected {
+            session_id: None,
+            reason: "auth",
+        };
+        let expired = Event::SessionExpired {
+            conn: 2,
+            session_id: 77,
+        };
+        sub.on_event(&meta, &resumed);
+        sub.on_event(&meta, &rejected);
+        sub.on_event(&meta, &expired);
+        let c = sub.counts();
+        assert_eq!(c.sessions_resumed, 1);
+        assert_eq!(c.tickets_rejected, 1);
+        assert_eq!(c.sessions_expired, 1);
+
+        let line = render_json_line(&meta, &resumed);
+        assert!(line.contains("\"event\": \"session_resumed\""), "{line}");
+        assert!(
+            line.contains("\"session_id\": 77, \"streams\": 4, \"mid_message\": true"),
+            "{line}"
+        );
+        let line = render_json_line(&meta, &rejected);
+        assert!(
+            line.contains("\"session_id\": null, \"reason\": \"auth\""),
+            "{line}"
+        );
+        let line = render_json_line(&meta, &expired);
+        assert!(line.contains("\"event\": \"session_expired\""), "{line}");
     }
 
     #[test]

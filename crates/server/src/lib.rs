@@ -51,6 +51,7 @@ pub mod poll;
 pub mod reactor;
 pub mod registry;
 pub mod sched;
+pub mod session;
 pub mod trace;
 pub mod workers;
 
@@ -63,7 +64,8 @@ pub use event::{
 pub use http::HttpHandle;
 pub use metrics::MetricsDoc;
 pub use registry::{ConnOutcome, ConnRegistry, ConnSnapshot, ConnState, RegistryTotals};
-pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler, Tier};
+pub use sched::{BucketSnapshot, ConnThrottle, FairScheduler, SchedCarryover, Tier};
+pub use session::{SessionStats, SessionTable};
 pub use trace::{SpanRecord, StageHists, StageSummaries, StageTimes, TraceCenter};
 pub use workers::{JobTiming, WorkerGauges, WorkerPool, WorkerStats};
 
@@ -132,6 +134,25 @@ pub struct ServerConfig {
     pub instrument: bool,
     /// Additional user subscribers attached to the event bus.
     pub subscribers: Vec<Arc<dyn Subscriber>>,
+    /// Refuse every connection that does not authenticate its session
+    /// hello: plaintext v1 connections and unauthenticated v2/v3 group
+    /// hellos are rejected at the handshake, before registry admission.
+    /// Requires `auth_secret`.
+    pub require_auth: bool,
+    /// Shared secret the session ticket key derives from. `Some` makes
+    /// tickets verifiable across daemon restarts (and lets clients
+    /// pre-compute hello MACs); `None` derives a random per-process
+    /// key — resumable sessions still work, but only against this
+    /// process, and `require_auth` cannot be enabled.
+    pub auth_secret: Option<Vec<u8>>,
+    /// How long a detached session stays resumable after its
+    /// connection dies; past this the session is reclaimed and its
+    /// registry slot freed.
+    pub resume_window: Duration,
+    /// Lifetime of a minted session ticket. A resume presented after
+    /// expiry is refused with `TICKET_EXPIRED` even if the session is
+    /// still parked.
+    pub ticket_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -153,6 +174,10 @@ impl Default for ServerConfig {
             trace_ring_cap: 64,
             instrument: true,
             subscribers: Vec::new(),
+            require_auth: false,
+            auth_secret: None,
+            resume_window: Duration::from_secs(30),
+            ticket_ttl: Duration::from_secs(3600),
         }
     }
 }
@@ -175,6 +200,11 @@ impl std::fmt::Debug for ServerConfig {
             .field("trace_ring_cap", &self.trace_ring_cap)
             .field("instrument", &self.instrument)
             .field("subscribers", &self.subscribers.len())
+            .field("require_auth", &self.require_auth)
+            // Never print the secret itself.
+            .field("auth_secret", &self.auth_secret.as_ref().map(|_| "<set>"))
+            .field("resume_window", &self.resume_window)
+            .field("ticket_ttl", &self.ticket_ttl)
             .finish_non_exhaustive()
     }
 }
@@ -311,6 +341,31 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Refuse unauthenticated hellos at the handshake (requires an
+    /// `auth_secret`).
+    pub fn require_auth(mut self, on: bool) -> Self {
+        self.cfg.require_auth = on;
+        self
+    }
+
+    /// Shared secret the session ticket key derives from.
+    pub fn auth_secret(mut self, secret: impl Into<Vec<u8>>) -> Self {
+        self.cfg.auth_secret = Some(secret.into());
+        self
+    }
+
+    /// How long a detached session stays resumable (must be > 0).
+    pub fn resume_window(mut self, window: Duration) -> Self {
+        self.cfg.resume_window = window;
+        self
+    }
+
+    /// Lifetime of minted session tickets (must be > 0).
+    pub fn ticket_ttl(mut self, ttl: Duration) -> Self {
+        self.cfg.ticket_ttl = ttl;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServerConfig, AdocError> {
         let cfg = self.cfg;
@@ -354,6 +409,23 @@ impl ServerConfigBuilder {
                 });
             }
         }
+        if cfg.require_auth && cfg.auth_secret.is_none() {
+            return Err(AdocError::InvalidConfig {
+                reason: "require_auth needs an auth_secret (a random per-process key \
+                         would refuse every client that cannot know it)"
+                    .into(),
+            });
+        }
+        if cfg.resume_window.is_zero() {
+            return Err(AdocError::InvalidConfig {
+                reason: "resume_window must be > 0".into(),
+            });
+        }
+        if cfg.ticket_ttl.is_zero() {
+            return Err(AdocError::InvalidConfig {
+                reason: "ticket_ttl must be > 0".into(),
+            });
+        }
         Ok(cfg)
     }
 }
@@ -381,6 +453,12 @@ pub struct Server {
     /// pool counter is monotonic, so the delta since this watermark is
     /// what a new event carries.
     evictions_seen: AtomicU64,
+    /// Key session tickets are minted and verified under: derived from
+    /// `auth_secret` when configured, else random per-process.
+    ticket_key: adoc::TicketKey,
+    /// Parked (detached) sessions awaiting a reconnect, plus the
+    /// session id mint and lifetime counters.
+    sessions: SessionTable,
 }
 
 impl std::fmt::Debug for Server {
@@ -422,7 +500,13 @@ impl Server {
         registry.set_policy(Some(Arc::new(registry::SharedBottleneckPolicy)));
         let sched = FairScheduler::with_bus(cfg.budget_bytes_per_sec, Arc::clone(&bus));
         let tracer = TraceCenter::new(cfg.trace_ring_cap);
+        let ticket_key = match &cfg.auth_secret {
+            Some(secret) => adoc::TicketKey::from_secret(secret),
+            None => adoc::TicketKey::random(),
+        };
         Ok(Arc::new(Server {
+            ticket_key,
+            sessions: SessionTable::default(),
             cfg,
             tracer,
             registry,
@@ -449,6 +533,16 @@ impl Server {
     /// The fair-share scheduler.
     pub fn scheduler(&self) -> &FairScheduler {
         &self.sched
+    }
+
+    /// The session table (parked sessions + lifetime counters).
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
+    /// The key session tickets are minted and verified under.
+    pub(crate) fn ticket_key(&self) -> &adoc::TicketKey {
+        &self.ticket_key
     }
 
     /// The event bus every producer in this server emits through. Its
@@ -583,6 +677,30 @@ impl Server {
         // Give the connection its own signal hub and hand the registry a
         // handle: delay snapshots flow registry-ward on every update and
         // the registry policy steers level bounds back through it.
+        cfg.ensure_signal_hub();
+        if let Some(hub) = cfg.signals.clone().filter(|_| cfg.delay_signals) {
+            self.registry.attach_hub(id, hub);
+        }
+        cfg
+    }
+
+    /// Like [`Server::conn_config`], but for a **resumed** session: the
+    /// scheduler bucket is rebuilt from the carried-over state (tier,
+    /// weight, token balance, lifetime admitted bytes) instead of a
+    /// fresh registration, so the reconnect is invisible to fairness
+    /// accounting and the metrics document's per-connection counters.
+    pub(crate) fn conn_config_resumed(
+        &self,
+        id: registry::ConnId,
+        streams: usize,
+        co: sched::SchedCarryover,
+    ) -> AdocConfig {
+        let base = self.cfg.adoc.clone();
+        let throttle = self
+            .sched
+            .restore(id, co)
+            .with_cpu(Arc::clone(&base.throttle));
+        let mut cfg = base.with_throttle(Arc::new(throttle)).with_streams(streams);
         cfg.ensure_signal_hub();
         if let Some(hub) = cfg.signals.clone().filter(|_| cfg.delay_signals) {
             self.registry.attach_hub(id, hub);

@@ -19,6 +19,8 @@
 //!   "sched": { "work_conserving": true, "drain_admitted": 0,
 //!              "total_admitted": 123456, "utilization": 0.87,
 //!              "parked_on_throttle": 0 },
+//!   "sessions": { "minted": 0, "resumed": 0, "rejected": 0,
+//!                 "expired": 0, "parked": 0 },
 //!   "events": { "last_seq": 42, "log_len": 42, "log_dropped": 0,
 //!               "subscribers_poisoned": 0,
 //!               "counts": { "conns_accepted": 1, "conns_admitted": 1,
@@ -62,6 +64,7 @@
 use crate::event::{json_escape, EventCounts};
 use crate::registry::{ConnId, RegistryTotals};
 use crate::sched::{BucketSnapshot, Tier};
+use crate::session::SessionStats;
 use crate::trace::StageSummaries;
 use crate::workers::WorkerStats;
 use crate::{ServeMode, Server};
@@ -195,6 +198,9 @@ pub struct MetricsDoc {
     pub budget_bytes_per_sec: Option<f64>,
     /// Scheduler section.
     pub sched: SchedMetrics,
+    /// Session-layer section (ticket mints, resumes, rejections, and
+    /// the parked gauge).
+    pub sessions: SessionStats,
     /// Event-layer section.
     pub events: EventsMetrics,
     /// Codec worker-pool section (all zeros when no reactor runs).
@@ -267,6 +273,7 @@ impl MetricsDoc {
                 utilization,
                 parked_on_throttle: server.scheduler().parked(),
             },
+            sessions: server.sessions().stats(),
             workers: server.worker_stats(),
             latency: LatencyMetrics {
                 messages: server.tracer().messages(),
@@ -312,6 +319,13 @@ impl MetricsDoc {
                 None => "null".into(),
             },
             self.sched.parked_on_throttle,
+        );
+        let s = &self.sessions;
+        let _ = writeln!(
+            out,
+            "  \"sessions\": {{ \"minted\": {}, \"resumed\": {}, \"rejected\": {}, \
+             \"expired\": {}, \"parked\": {} }},",
+            s.minted, s.resumed, s.rejected, s.expired, s.parked,
         );
         let c = &self.events.counts;
         let _ = writeln!(
@@ -498,6 +512,7 @@ mod tests {
             "\"total_admitted\": 0",
             "\"utilization\": 0.0000",
             "\"parked_on_throttle\": 0",
+            "\"sessions\": { \"minted\": 0, \"resumed\": 0, \"rejected\": 0, \"expired\": 0, \"parked\": 0 }",
             "\"workers\": { \"threads\": 0, \"queued\": 0, \"in_flight\": 0",
             "\"reactor_ticks\": 0",
             "\"worker_queue_peak\": 0",

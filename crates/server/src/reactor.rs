@@ -1016,6 +1016,17 @@ impl Reactor {
                     if conn.hdr[1] > 1 {
                         return Flow::Close(CloseKind::Handshake);
                     }
+                    if self.server.config().require_auth {
+                        // A v1 connection has no credential to present:
+                        // refused pre-admission, exactly like a
+                        // plaintext group hello.
+                        self.server.sessions().count_rejected();
+                        self.server.events().emit(Event::TicketRejected {
+                            session_id: None,
+                            reason: "auth",
+                        });
+                        return Flow::Close(CloseKind::Handshake);
+                    }
                     // A v1 message header begins: register the
                     // connection and resume header parsing with the two
                     // sniffed bytes already in place.

@@ -43,6 +43,11 @@ pub enum ConnState {
     /// Server is draining: the connection finishes its in-flight
     /// message, then closes.
     Draining,
+    /// The transport died but the session survives: the entry is parked
+    /// under its resume deadline, keeping its lifetime counters and
+    /// signal hub for the reconnect. No sockets are attached while
+    /// detached.
+    Detached,
 }
 
 impl ConnState {
@@ -52,6 +57,7 @@ impl ConnState {
             ConnState::Handshaking => "handshaking",
             ConnState::Active => "active",
             ConnState::Draining => "draining",
+            ConnState::Detached => "detached",
         }
     }
 }
@@ -288,6 +294,38 @@ impl ConnRegistry {
         drop(g);
         if admitted {
             self.bus.emit(Event::ConnAdmitted { conn: id, streams });
+        }
+    }
+
+    /// Parks `id` as [`ConnState::Detached`]: its transport died but a
+    /// resumable session names it, so the entry — lifetime counters,
+    /// signal hub, registration time — survives for the reconnect
+    /// instead of folding into totals. Returns false when the id is
+    /// unknown (already removed).
+    pub fn detach(&self, id: ConnId) -> bool {
+        let mut g = self.inner.lock();
+        match g.live.get_mut(&id) {
+            Some(e) => {
+                e.state = ConnState::Detached;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-activates a [`ConnState::Detached`] entry on resume, with the
+    /// stream count of the *new* transport (which may differ from the
+    /// original's). The lifetime counters carry over untouched. Returns
+    /// false when the id is unknown or not detached.
+    pub fn resume(&self, id: ConnId, streams: usize) -> bool {
+        let mut g = self.inner.lock();
+        match g.live.get_mut(&id) {
+            Some(e) if e.state == ConnState::Detached => {
+                e.state = ConnState::Active;
+                e.streams = streams;
+                true
+            }
+            _ => false,
         }
     }
 

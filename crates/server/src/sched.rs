@@ -232,6 +232,24 @@ impl ConnStats {
     }
 }
 
+/// Scheduling state captured from a live registration so it can
+/// survive a disconnect: a resumed connection is rebuilt from this via
+/// [`FairScheduler::restore`] instead of a fresh registration, keeping
+/// its tier, weight, token balance (debt included) and lifetime
+/// admitted byte counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedCarryover {
+    /// Priority tier at the moment of capture.
+    pub tier: Tier,
+    /// Per-connection weight multiplier from registration.
+    pub weight: f64,
+    /// Token balance in bytes; negative means the connection detached
+    /// in debt and must earn its way back before admitting.
+    pub tokens: f64,
+    /// Lifetime wire bytes admitted before the disconnect.
+    pub admitted: u64,
+}
+
 /// One pacing bucket (a registered connection, or the shared drain
 /// bucket).
 #[derive(Debug)]
@@ -790,6 +808,67 @@ impl FairScheduler {
         }
     }
 
+    /// Captures the scheduling state worth preserving across a
+    /// reconnect. Must be called while the old registration is still
+    /// live — dropping the connection's [`ConnThrottle`] deregisters
+    /// the bucket (and forgives its debt), after which there is
+    /// nothing left to carry. Returns `None` when `conn` is not
+    /// registered.
+    pub fn carryover_of(&self, conn: u64) -> Option<SchedCarryover> {
+        let p = self.inner.pacing.lock();
+        let b = p.buckets.get(&conn)?;
+        Some(SchedCarryover {
+            tier: b.stats.tier(),
+            weight: b.stats.base_weight,
+            tokens: b.tokens,
+            admitted: b.stats.admitted.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Re-registers a resumed connection from a [`SchedCarryover`]
+    /// instead of a fresh burst grant: the tier, weight, token balance
+    /// (including any debt the connection detached with) and lifetime
+    /// admitted counter all survive. The restored balance is clamped
+    /// to the same burst cap a new registration would get, so a long
+    /// park can never bank an outsized burst. Capacity accounting is
+    /// conservative in both directions — a forgiven debt that comes
+    /// back is re-earned through ordinary refill credit, and a
+    /// restored positive balance was accrued when originally granted —
+    /// so the utilization ratio stays ≤ 1.
+    pub fn restore(&self, conn: u64, co: SchedCarryover) -> ConnThrottle {
+        assert!(
+            co.weight > 0.0 && co.weight.is_finite(),
+            "a scheduling weight must be positive and finite"
+        );
+        let effective = co.tier.weight() * co.weight;
+        let mut p = self.inner.pacing.lock();
+        let total_weight = p.total_weight() + effective;
+        let cap = match p.budget {
+            Some(b) => Pacing::cap_for(b, effective, total_weight),
+            None => MIN_BURST,
+        };
+        let tokens = co.tokens.min(cap);
+        let stats = ConnStats::new(co.weight, co.tier, tokens);
+        stats.admitted.store(co.admitted, Ordering::Relaxed);
+        p.buckets.insert(
+            conn,
+            Bucket {
+                tokens,
+                waiters: 0,
+                parked_since: None,
+                stats: Arc::clone(&stats),
+            },
+        );
+        drop(p);
+        self.inner.directory.lock().insert(conn, Arc::clone(&stats));
+        ConnThrottle {
+            sched: self.clone(),
+            conn,
+            stats,
+            cpu: None,
+        }
+    }
+
     /// Active (registered) connection count.
     pub fn active(&self) -> usize {
         self.inner.directory.lock().len()
@@ -1254,6 +1333,40 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn zero_weight_is_rejected() {
         FairScheduler::new(None).register_with(1, Tier::Bulk, 0.0);
+    }
+
+    #[test]
+    fn carryover_preserves_tier_weight_and_admitted_bytes() {
+        let sched = FairScheduler::new(None);
+        let t = sched.register_with(9, Tier::Paid, 2.5);
+        t.acquire_wire(4096);
+        t.acquire_wire(1024);
+        let co = sched
+            .carryover_of(9)
+            .expect("live registration has carryover");
+        assert_eq!(co.tier, Tier::Paid);
+        assert_eq!(co.weight, 2.5);
+        assert_eq!(co.admitted, 5120);
+        drop(t);
+        assert!(
+            sched.carryover_of(9).is_none(),
+            "deregistration must clear the bucket"
+        );
+        let restored = sched.restore(9, co);
+        assert_eq!(restored.tier(), Tier::Paid);
+        let snap = sched.snapshot();
+        let row = snap.iter().find(|r| r.conn == 9).expect("restored row");
+        assert_eq!(row.admitted, 5120, "lifetime counter must survive");
+        // Effective weight = tier multiplier (Paid = 2x) × registration
+        // weight × boost (1.0 after restore).
+        assert_eq!(row.weight, 5.0);
+        assert_eq!(row.tier, Tier::Paid);
+        restored.acquire_wire(100);
+        assert_eq!(
+            sched.carryover_of(9).map(|c| c.admitted),
+            Some(5220),
+            "counter keeps accruing after the resume"
+        );
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! Failure injection across the stack: truncated streams, mid-transfer
-//! corruption, vanishing peers. AdOC must fail with errors, never hang or
-//! deliver wrong bytes silently.
+//! corruption, vanishing peers, and killed session connections. AdOC
+//! must fail with errors, never hang or deliver wrong bytes silently —
+//! and an authenticated session must survive a mid-message kill by
+//! resuming byte-exactly on a fresh connection.
 
-use adoc::{AdocConfig, AdocSocket};
+use adoc::{AdocConfig, AdocError, AdocSocket, AdocStreamGroup};
 use adoc_data::{generate, DataKind};
+use adoc_server::{daemon, DaemonHandle, Server, ServerConfig, Tier};
 use adoc_sim::pipe::{duplex_pipe, pipe};
 use std::io::Write;
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 fn payload(n: usize) -> Vec<u8> {
     generate(DataKind::Ascii, n, 0xFA11)
@@ -248,4 +253,241 @@ fn striped_receiver_vanishing_fails_all_streams() {
         killer.join().unwrap();
         res.is_err()
     });
+}
+
+// ---------------------------------------------------------------------------
+// Session-layer failure injection: killed connections against a live
+// daemon, resumed (or refused) via HMAC tickets.
+// ---------------------------------------------------------------------------
+
+const SECRET: &[u8] = b"s3cret-failure-injection";
+
+fn spawn_session_server(cfg: ServerConfig) -> DaemonHandle {
+    let server = Server::new(cfg).expect("server config");
+    daemon::spawn(server, "127.0.0.1:0").expect("bind daemon")
+}
+
+/// Streams the first `cut` bytes of `payload` as a message claiming the
+/// full length, then hard-kills every TCP stream: the server is left
+/// mid-message and must park the session for resume. The payload must be
+/// large enough (≥ probe threshold) and the group wide enough (≥ 2) that
+/// the receive is trackable.
+fn kill_mid_message(
+    conn: AdocStreamGroup<std::net::TcpStream, std::net::TcpStream>,
+    payload: &[u8],
+    cut: usize,
+    cfg: &AdocConfig,
+) {
+    let mut conn = conn;
+    let mut short = &payload[..cut];
+    // The source runs dry before the declared length: the send errors
+    // after the header, probe, and ~cut bytes of frames are in flight.
+    let _ = conn.send_reader(&mut short, payload.len() as u64, cfg);
+    conn.shutdown_streams().expect("kill streams");
+    drop(conn);
+}
+
+#[test]
+fn mid_message_kill_then_resume_delivers_byte_exact() {
+    let handle = spawn_session_server(
+        ServerConfig::builder()
+            .auth_secret(SECRET.to_vec())
+            .require_auth(true)
+            .build()
+            .unwrap(),
+    );
+    let server = Arc::clone(handle.server());
+    let addr = handle.addr();
+    let payload = generate(DataKind::Ascii, 1 << 20, 0x5E55);
+
+    let cfg = AdocConfig::default().with_streams(3);
+    let (mut conn, info) =
+        AdocStreamGroup::connect_session(addr, cfg.clone(), Some(SECRET)).expect("connect");
+    assert!(!info.resumed);
+
+    // One complete echo round-trip first, so the registry and scheduler
+    // have state worth carrying across the kill.
+    conn.write(&payload).expect("send");
+    let mut back = vec![0u8; payload.len()];
+    conn.read_exact(&mut back).expect("echo");
+    assert_eq!(back, payload);
+
+    let rows = server.registry().snapshot();
+    assert_eq!(rows.len(), 1, "exactly one live connection");
+    let id = rows[0].id;
+    assert!(server.scheduler().set_tier(id, Tier::Control));
+    let pre_admitted = server
+        .scheduler()
+        .snapshot()
+        .iter()
+        .find(|b| b.conn == id)
+        .expect("bucket")
+        .admitted;
+
+    kill_mid_message(conn, &payload, 600_000, &cfg);
+
+    // Resume onto a *different* stream width (3 → 2). The server-side
+    // handshake retry-polls for the park, so no sleep is needed here.
+    let (mut conn2, info2, at) =
+        AdocStreamGroup::resume_session(addr, AdocConfig::default().with_streams(2), &info.ticket)
+            .expect("resume");
+    assert!(info2.resumed, "server must report a resumed session");
+    assert_eq!(info2.session_id, info.session_id);
+    assert!(
+        at.mid_message(),
+        "kill landed mid-message, resume point was {at:?}"
+    );
+    assert!(at.delivered_raw < payload.len() as u64);
+
+    // Finish the interrupted message; the echo must be the FULL payload,
+    // byte-exact, assembled from both connections.
+    conn2.write_resumed(&payload, at).expect("resumed send");
+    let mut back = vec![0u8; payload.len()];
+    conn2.read_exact(&mut back).expect("resumed echo");
+    assert_eq!(back, payload, "resumed delivery must be byte-exact");
+
+    // State carryover: same registry id, tier survives, admitted bytes
+    // kept the pre-kill history.
+    assert!(server.sessions().stats().resumed >= 1);
+    let rows = server.registry().snapshot();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].id, id, "resume must keep the registry identity");
+    assert_eq!(rows[0].streams, 2, "snapshot reflects the new width");
+    let bucket = server
+        .scheduler()
+        .snapshot()
+        .into_iter()
+        .find(|b| b.conn == id)
+        .expect("resumed bucket");
+    assert_eq!(bucket.tier, Tier::Control, "tier must survive the resume");
+    assert!(
+        bucket.admitted >= pre_admitted,
+        "admitted byte history must carry over ({} < {pre_admitted})",
+        bucket.admitted
+    );
+
+    drop(conn2);
+    handle.shutdown().expect("clean drain");
+}
+
+#[test]
+fn tampered_ticket_rejected_before_admission() {
+    let handle = spawn_session_server(
+        ServerConfig::builder()
+            .auth_secret(SECRET.to_vec())
+            .require_auth(true)
+            .build()
+            .unwrap(),
+    );
+    let server = Arc::clone(handle.server());
+    let addr = handle.addr();
+
+    let cfg = AdocConfig::default().with_streams(2);
+    let (conn, info) = AdocStreamGroup::connect_session(addr, cfg, Some(SECRET)).expect("connect");
+    drop(conn); // clean close at a boundary: session completes
+
+    // The server activates (and counts) the connection after it has
+    // already answered the hello; wait for the close to land so the
+    // accepted total below is stable.
+    let t0 = Instant::now();
+    while server.registry().totals().completed == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "first session never completed: {:?}",
+            server.registry().totals()
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    let accepted_before = server.registry().totals().accepted;
+    assert_eq!(accepted_before, 1);
+    let mut bad = info.ticket;
+    bad.mac[0] ^= 0x01;
+    let err = AdocStreamGroup::resume_session(addr, AdocConfig::default().with_streams(2), &bad)
+        .expect_err("tampered ticket must be refused");
+    assert!(
+        matches!(AdocError::from_io(&err), Some(AdocError::AuthFailed { .. })),
+        "want AuthFailed, got {err:?}"
+    );
+    assert!(server.sessions().stats().rejected >= 1);
+    assert_eq!(
+        server.registry().totals().accepted,
+        accepted_before,
+        "a rejected ticket must never reach registry admission"
+    );
+    handle.shutdown().expect("clean drain");
+}
+
+#[test]
+fn expired_ticket_rejected_with_typed_error() {
+    let handle = spawn_session_server(
+        ServerConfig::builder()
+            .auth_secret(SECRET.to_vec())
+            .ticket_ttl(Duration::from_millis(1))
+            .build()
+            .unwrap(),
+    );
+    let addr = handle.addr();
+    let (conn, info) =
+        AdocStreamGroup::connect_session(addr, AdocConfig::default().with_streams(2), Some(SECRET))
+            .expect("connect");
+    drop(conn);
+
+    thread::sleep(Duration::from_millis(20));
+    let err =
+        AdocStreamGroup::resume_session(addr, AdocConfig::default().with_streams(2), &info.ticket)
+            .expect_err("expired ticket must be refused");
+    assert!(
+        matches!(
+            AdocError::from_io(&err),
+            Some(AdocError::ResumeRejected { .. })
+        ),
+        "want ResumeRejected, got {err:?}"
+    );
+    handle.shutdown().expect("clean drain");
+}
+
+#[test]
+fn resume_across_drain_refused() {
+    let handle = spawn_session_server(
+        ServerConfig::builder()
+            .auth_secret(SECRET.to_vec())
+            .drain_deadline(Duration::from_millis(500))
+            .build()
+            .unwrap(),
+    );
+    let server = Arc::clone(handle.server());
+    let addr = handle.addr();
+    let payload = generate(DataKind::Binary, 1 << 20, 0xD2A1);
+
+    let cfg = AdocConfig::default().with_streams(2);
+    let (conn, info) =
+        AdocStreamGroup::connect_session(addr, cfg.clone(), Some(SECRET)).expect("connect");
+    let ticket = info.ticket;
+    kill_mid_message(conn, &payload, 600_000, &cfg);
+
+    // Wait for the server to actually park the session before draining.
+    let t0 = Instant::now();
+    while server.sessions().stats().parked == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "session never parked: {:?}",
+            server.sessions().stats()
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    server.begin_drain();
+    let err = AdocStreamGroup::resume_session(addr, AdocConfig::default().with_streams(2), &ticket)
+        .expect_err("a draining server must refuse resumes");
+    assert!(
+        matches!(
+            AdocError::from_io(&err),
+            Some(AdocError::ResumeRejected { .. })
+        ),
+        "want ResumeRejected, got {err:?}"
+    );
+
+    handle.shutdown().expect("drain completes");
+    // Shutdown reclaims the still-parked session.
+    assert!(server.sessions().stats().expired >= 1);
 }
